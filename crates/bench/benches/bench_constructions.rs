@@ -1,0 +1,35 @@
+//! Criterion benches: construction + certification time of every theorem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn constructions(c: &mut Criterion) {
+    c.bench_function("theorem1_n10", |b| {
+        b.iter(|| hyperpath_core::cycles::theorem1(black_box(10)).unwrap())
+    });
+    c.bench_function("theorem2_n8", |b| {
+        b.iter(|| {
+            hyperpath_core::cycles::theorem2(
+                black_box(8),
+                hyperpath_core::cycles::Theorem2Variant::Cost3,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("ccc_multi_copy_n8", |b| {
+        b.iter(|| hyperpath_core::ccc_copies::ccc_multi_copy(black_box(8)).unwrap())
+    });
+    c.bench_function("theorem4_cycles_n6", |b| {
+        let copies = hyperpath_core::baseline::multi_copy_cycles(6).unwrap();
+        b.iter(|| hyperpath_core::induced::induced_cross_product(black_box(&copies)).unwrap())
+    });
+    c.bench_function("theorem5_n4", |b| {
+        b.iter(|| hyperpath_core::trees::theorem5(black_box(4)).unwrap())
+    });
+    c.bench_function("grid_embedding_4x4", |b| {
+        b.iter(|| hyperpath_core::grids::grid_embedding(black_box(&[4, 4]), false).unwrap())
+    });
+}
+
+criterion_group!(benches, constructions);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches: topology primitives (Gray codes, moments,
+//! Hamiltonian decompositions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn topology(c: &mut Criterion) {
+    c.bench_function("gray_code_sweep_2^16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..(1u64 << 16) {
+                acc ^= hyperpath_topology::gray_code(black_box(i));
+            }
+            acc
+        })
+    });
+    c.bench_function("moment_sweep_2^16", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for v in 0..(1u64 << 16) {
+                acc ^= hyperpath_topology::moment(black_box(v));
+            }
+            acc
+        })
+    });
+    for n in [4u32, 6, 8] {
+        c.bench_function(&format!("decompose_q{n}"), |b| {
+            b.iter(|| hyperpath_topology::hamiltonian::decompose(black_box(n)).unwrap())
+        });
+    }
+    c.bench_function("decompose_q9_odd_merge", |b| {
+        b.iter(|| hyperpath_topology::hamiltonian::decompose(black_box(9)).unwrap())
+    });
+}
+
+criterion_group!(benches, topology);
+criterion_main!(benches);

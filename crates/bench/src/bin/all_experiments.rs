@@ -1,0 +1,29 @@
+//! Runs every experiment binary in sequence and prints a combined report —
+//! the one-command regeneration of the paper's entire evaluation.
+//!
+//! `cargo run -p hyperpath-bench --release --bin all_experiments`
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "e1_cycle_speedup", "e2_theorem1", "e3_theorem2", "e4_lower_bound",
+        "e5_grids", "e6_squaring", "e7_ccc_copies", "e8_induced", "e9_trees",
+        "e10_wormhole", "e11_grid_mapping", "e12_faults", "e13_relaxation",
+        "e14_large_copy", "e15_pinout",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for e in exps {
+        println!("\n{}\n{}\n", "=".repeat(78), format!("== {e} =="));
+        let out = Command::new(dir.join(e))
+            .output()
+            .unwrap_or_else(|err| panic!("failed to run {e}: {err}"));
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        if !out.status.success() {
+            eprintln!("{e} FAILED:\n{}", String::from_utf8_lossy(&out.stderr));
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll {} experiments completed.", exps.len());
+}

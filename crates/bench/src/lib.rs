@@ -1,0 +1,6 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/e*.rs`) and
+//! criterion benches: table formatting and common workload builders.
+
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,92 @@
+//! Baseline embeddings: the classical Gray-code cycle map (Figure 1) and the
+//! Lemma 1 multiple-copy cycle embedding.
+
+use hyperpath_embedding::{CopyEmbedding, HostPath, MultiCopyEmbedding, MultiPathEmbedding};
+use hyperpath_guests::directed_cycle;
+use hyperpath_topology::hamiltonian::{decompose, directed_cycles};
+use hyperpath_topology::{gray_code, Hypercube, Node};
+
+/// The classical binary reflected Gray-code embedding of the `2^n`-node
+/// directed cycle into `Q_n` (Figure 1): load 1, dilation 1, congestion 1 —
+/// and `n-1` of every node's `n` outgoing links permanently idle, which is
+/// the inefficiency the paper attacks. Section 2 shows its `m`-packet cost is
+/// at least `m/2` (dimension 0 must carry `m·2^{n-1}` packets over `2^n`
+/// directed edges).
+pub fn gray_cycle_embedding(n: u32) -> MultiPathEmbedding {
+    let host = Hypercube::new(n);
+    let len = host.num_nodes();
+    let guest = directed_cycle(len as u32);
+    let vertex_map: Vec<Node> = (0..len).map(gray_code).collect();
+    let edge_paths = guest
+        .edges()
+        .iter()
+        .map(|&(u, v)| vec![HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])])
+        .collect();
+    MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+}
+
+/// Lemma 1: for `n` even (odd), `n` (`n-1`) copies of the `2^n`-node
+/// directed cycle embed in `Q_n` with dilation 1 and congestion 1, via the
+/// Hamiltonian decomposition of `Q_n` with both orientations of every cycle.
+pub fn multi_copy_cycles(n: u32) -> Result<MultiCopyEmbedding, String> {
+    let host = Hypercube::new(n);
+    let guest = directed_cycle(host.num_nodes() as u32);
+    let dec = decompose(n)?;
+    let copies = directed_cycles(&dec)
+        .into_iter()
+        .map(|dir| {
+            let vertex_map = dir.nodes_from(0);
+            let edge_paths = guest
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])
+                })
+                .collect();
+            CopyEmbedding { vertex_map, edge_paths }
+        })
+        .collect();
+    Ok(MultiCopyEmbedding { host, guest, copies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
+    use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
+
+    #[test]
+    fn gray_baseline_validates() {
+        for n in [3u32, 6] {
+            let e = gray_cycle_embedding(n);
+            validate_multi_path(&e, 1, Some(1)).unwrap();
+            let m = multi_path_metrics(&e);
+            assert_eq!((m.load, m.dilation, m.congestion, m.width), (1, 1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn lemma1_even() {
+        for n in [2u32, 4, 6] {
+            let mc = multi_copy_cycles(n).unwrap();
+            assert_eq!(mc.num_copies() as u32, n, "n even gives n copies");
+            validate_multi_copy(&mc).unwrap();
+            let m = multi_copy_metrics(&mc);
+            assert_eq!(m.dilation, 1);
+            assert_eq!(m.edge_congestion, 1, "each directed edge in at most one copy");
+            assert!((m.utilization - 1.0).abs() < 1e-12, "even n uses every directed edge");
+        }
+    }
+
+    #[test]
+    fn lemma1_odd() {
+        for n in [3u32, 5] {
+            let mc = multi_copy_cycles(n).unwrap();
+            assert_eq!(mc.num_copies() as u32, n - 1, "n odd gives n-1 copies");
+            validate_multi_copy(&mc).unwrap();
+            let m = multi_copy_metrics(&mc);
+            assert_eq!(m.dilation, 1);
+            assert_eq!(m.edge_congestion, 1);
+        }
+    }
+}

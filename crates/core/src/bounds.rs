@@ -1,0 +1,97 @@
+//! Lemma 3: limits on width and cost (Section 4.4).
+//!
+//! Two facts bound what any embedding of the `2^{n+1}`-node directed cycle
+//! into `Q_n` can achieve:
+//!
+//! 1. **Dilation.** More than two edge-disjoint paths between distinct
+//!    hypercube nodes force one path of length ≥ 3, so every width-`w > 2`
+//!    embedding has cost ≥ 3.
+//! 2. **Counting.** In 3 steps the host offers `3 · n · 2^n` directed
+//!    edge-slots. A width-`w` embedding of the `2^{n+1}`-edge cycle whose
+//!    packets all arrive within 3 steps spends at least
+//!    `2^{n+1} · (3(w-1) + 1)` slots (per guest edge: at least `w-1` paths
+//!    of length ≥ 3 plus one more of length ≥ 1). Feasibility therefore
+//!    requires `2(3w - 2) ≤ 3n`.
+//!
+//! For even `n` the counting bound collapses to exactly `⌊n/2⌋`, which
+//! Theorem 2 attains — the embedding is optimal. For odd `n` the counting
+//! argument alone leaves room for `⌊n/2⌋ + 1` (the lemma's statement of
+//! `⌊n/2⌋` is slightly stronger than its printed proof); we expose the
+//! counting value and test that our constructions never exceed it.
+
+/// Largest width `w` a cost-3 embedding of the `2^{n+1}`-node cycle in `Q_n`
+/// can have by the Lemma 3 counting argument: `max{w : 2(3w-2) ≤ 3n}`.
+pub fn max_width_for_cost3(n: u32) -> u32 {
+    (3 * n + 4) / 6
+}
+
+/// Checks a `(width, cost)` pair for the load-2 cycle against Lemma 3:
+/// `Ok(())` when consistent with both the dilation and counting bounds,
+/// `Err` describing the violated bound otherwise.
+pub fn verify_lemma3_counting(n: u32, width: u32, cost: u64) -> Result<(), String> {
+    if width > 2 && cost < 3 {
+        return Err(format!(
+            "width {width} > 2 requires a path of length >= 3, so cost >= 3 (got {cost})"
+        ));
+    }
+    if cost == 3 && width > max_width_for_cost3(n) {
+        return Err(format!(
+            "cost-3 width {width} exceeds the counting bound {} for Q_{n}",
+            max_width_for_cost3(n)
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::{theorem2, Theorem2Variant};
+
+    #[test]
+    fn counting_bound_matches_floor_n_over_2_for_even_n() {
+        for n in (4..=32u32).step_by(2) {
+            assert_eq!(max_width_for_cost3(n), n / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn counting_bound_odd_n_slack() {
+        // For odd n the pure counting argument leaves one unit of slack
+        // above ⌊n/2⌋ (see module docs).
+        for n in (5..=31u32).step_by(2) {
+            let b = max_width_for_cost3(n);
+            assert!(b == n / 2 || b == n / 2 + 1, "n={n}: bound {b}");
+        }
+    }
+
+    #[test]
+    fn theorem2_is_optimal_where_the_bound_is_tight() {
+        // n ≡ 0 (mod 4): Theorem 2 achieves width ⌊n/2⌋ at cost 3, meeting
+        // the counting bound exactly.
+        for n in [4u32, 8] {
+            let t2 = theorem2(n, Theorem2Variant::Cost3).unwrap();
+            assert_eq!(t2.cost, 3);
+            assert_eq!(t2.claimed_width as u32, max_width_for_cost3(n), "n={n}");
+            verify_lemma3_counting(n, t2.claimed_width as u32, t2.cost).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_theorem2_variants_respect_the_bounds() {
+        for n in 4..=9u32 {
+            for v in [Theorem2Variant::Cost3, Theorem2Variant::FullWidth] {
+                let t2 = theorem2(n, v).unwrap();
+                verify_lemma3_counting(n, t2.claimed_width as u32, t2.cost).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        assert!(verify_lemma3_counting(8, 5, 3).is_err(), "width 5 > 4 at cost 3 in Q_8");
+        assert!(verify_lemma3_counting(8, 3, 2).is_err(), "width 3 needs cost >= 3");
+        assert!(verify_lemma3_counting(8, 4, 3).is_ok());
+        assert!(verify_lemma3_counting(8, 2, 2).is_ok(), "width 2 may have cost 2");
+    }
+}

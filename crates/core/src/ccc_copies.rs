@@ -1,0 +1,513 @@
+//! Section 5: multiple-copy embeddings of cube-connected-cycles (and, via
+//! CCC, of wrapped butterflies).
+//!
+//! A single CCC copy (Lemma 4, after Greenberg–Heath–Rosenberg) is fixed by
+//! a length-`r` window `W` (`r = log n`), a disjoint length-`n` window `W̄`,
+//! and a Hamiltonian cycle `H` of `Q_r`: CCC vertex `⟨ℓ, c⟩` maps to the
+//! `Q_{n+r}` node with signature `H(ℓ)` on `W` and signature `c` on `W̄`.
+//! Straight edges then cross dimension `W(G_r(ℓ))` and cross edges dimension
+//! `W̄(ℓ)` — dilation 1.
+//!
+//! **Theorem 3** packs `n` such copies at edge-congestion 2 by choosing the
+//! *overlapping window family*
+//!
+//! ```text
+//! W^k(0) = 1,   W^k(i) = 2^i + ρ_i(k)   (0 < i < r)
+//! W̄^k(ℓ) = ℓ if ℓ ∉ W^k, else n + ⌊log ℓ⌋
+//! H^k(ℓ) = H_r(ℓ) ⊕ b(k)
+//! ```
+//!
+//! (all windows share dimension 1; of the windows containing dimension `i`,
+//! half continue with `2i` and half with `2i+1`). The prefix structure makes
+//! any two copies' level-`ℓ` images separable by a common window dimension
+//! (Lemmas 5–8), so no directed host edge carries more than one cross-edge
+//! and two straight-edges. We *measure* this rather than trust it: tests pin
+//! edge-congestion exactly 2 and cross/straight profiles per dimension.
+//!
+//! The module also implements the paper's own Section 5.3 negative results
+//! as ablations (identical windows, and pairwise-disjoint windows — both
+//! congestion `n/r`), the Section 5.4 undirected variant (congestion ≤ 4),
+//! and the butterfly transfer (butterfly → CCC with dilation 2, congestion
+//! 2, composed with Theorem 3).
+//!
+//! Supported sizes: `n = 2^t` (the paper's own simplifying assumption; for
+//! other `n` it concedes doubled congestion and dilation 2, which we do not
+//! reproduce).
+
+use hyperpath_embedding::{CopyEmbedding, HostPath, MultiCopyEmbedding};
+use hyperpath_guests::{Butterfly, Ccc};
+use hyperpath_topology::{gray_code, prefix, Hypercube, Node, Window};
+
+/// How the `n` copies choose their windows (Theorem 3 vs the Section 5.3
+/// counter-examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStrategy {
+    /// Theorem 3's overlapping binary-tree windows: edge-congestion 2.
+    Overlapping,
+    /// Ablation: every copy uses the same window (only the Hamiltonian
+    /// shift differs): straight edges pile onto `r` dimensions, congestion
+    /// `≥ n/r`.
+    SameForAll,
+    /// Ablation: `n/r` copies with pairwise-disjoint windows (the paper's
+    /// second counter-example): cross-edges collide, congestion `n/r`.
+    Disjoint,
+}
+
+/// The result of a CCC multiple-copy construction.
+#[derive(Debug, Clone)]
+pub struct CccCopies {
+    /// The guest CCC shape.
+    pub ccc: Ccc,
+    /// The copies, all in `Q_{n + log n}`.
+    pub multi_copy: MultiCopyEmbedding,
+    /// The window strategy used.
+    pub strategy: WindowStrategy,
+}
+
+/// Reverses the low `r` bits of `x` (bit 0 ↔ bit r-1).
+///
+/// The paper reads Gray-code values and copy indices most-significant-bit
+/// first: window position 0 (dimension 1, shared by every window) must carry
+/// the Gray bit used only at levels `n/2 - 1` and `n - 1` — which in our
+/// LSB-first `gray_code` is bit `r-1`. Signatures are therefore the
+/// bit-reversal of `gray_code(ℓ) ⊕ k`; without the reversal the heavily-used
+/// Gray bit 0 would land on the shared dimension 1 and straight-edge
+/// congestion would blow past 2 (tests pin this).
+fn rev_bits(x: u64, r: u32) -> u64 {
+    (0..r).fold(0u64, |acc, i| acc | (((x >> i) & 1) << (r - 1 - i)))
+}
+
+fn log2_exact(n: u32) -> Result<u32, String> {
+    if n >= 2 && n.is_power_of_two() {
+        Ok(n.trailing_zeros())
+    } else {
+        Err(format!("CCC copy construction requires n a power of two >= 2, got {n}"))
+    }
+}
+
+/// Theorem 3's windows for copy `k`: `W^k(0) = 1`, `W^k(i) = 2^i + ρ_i(k)`.
+fn overlapping_window(n: u32, r: u32, k: u32) -> Window {
+    let mut dims = Vec::with_capacity(r as usize);
+    dims.push(1);
+    for i in 1..r {
+        dims.push((1u32 << i) + prefix(k as u64, r, i) as u32);
+    }
+    debug_assert!(dims.iter().all(|&d| d < n));
+    Window::new(dims)
+}
+
+/// The complement window `W̄^k`: `ℓ` itself when `ℓ ∉ W^k`, else the spare
+/// dimension `n + ⌊log ℓ⌋`.
+fn complement_window(n: u32, w: &Window) -> Window {
+    let dims = (0..n)
+        .map(|l| {
+            if w.contains(l) {
+                n + (31 - l.leading_zeros())
+            } else {
+                l
+            }
+        })
+        .collect();
+    Window::new(dims)
+}
+
+/// One CCC copy from explicit windows and a (shifted) Hamiltonian node
+/// sequence `ham[ℓ] = H(ℓ)` of `Q_r`.
+///
+/// This is Lemma 4 in the abstract setting of Section 5.2; the copy has
+/// dilation 1 by construction (asserted).
+pub fn ccc_copy_from_windows(
+    n: u32,
+    w: &Window,
+    wbar: &Window,
+    ham: &[u64],
+) -> Result<CopyEmbedding, String> {
+    let ccc = Ccc::new(n);
+    let host = Hypercube::new(n + w.len() as u32);
+    if !w.disjoint(wbar) {
+        return Err("windows must be disjoint".into());
+    }
+    if wbar.len() as u32 != n || ham.len() as u32 != n {
+        return Err("complement window and Hamiltonian cycle must have length n".into());
+    }
+    let image = |l: u32, c: u32| -> Node { w.scatter(ham[l as usize]) | wbar.scatter(c as u64) };
+
+    let mut vertex_map = vec![0u64; ccc.num_vertices() as usize];
+    for c in 0..ccc.num_columns() {
+        for l in 0..n {
+            vertex_map[ccc.vertex(l, c) as usize] = image(l, c);
+        }
+    }
+    let guest = ccc.graph();
+    let mut edge_paths = Vec::with_capacity(guest.num_edges());
+    for &(u, v) in guest.edges() {
+        let (a, b) = (vertex_map[u as usize], vertex_map[v as usize]);
+        if host.edge_dim(a, b).is_none() {
+            return Err(format!(
+                "copy is not dilation 1: images {a:#x} -> {b:#x} of guest edge ({u},{v})"
+            ));
+        }
+        edge_paths.push(HostPath::new(vec![a, b]));
+    }
+    Ok(CopyEmbedding { vertex_map, edge_paths })
+}
+
+/// **Lemma 4**: one CCC copy in `Q_{n + log n}` with dilation 1 (`n = 2^t`),
+/// using copy 0's windows.
+pub fn ccc_single_copy(n: u32) -> Result<CopyEmbedding, String> {
+    let r = log2_exact(n)?;
+    let w = overlapping_window(n, r, 0);
+    let wbar = complement_window(n, &w);
+    let ham: Vec<u64> = (0..n as u64).map(|l| rev_bits(gray_code(l), r)).collect();
+    ccc_copy_from_windows(n, &w, &wbar, &ham)
+}
+
+/// **Theorem 3** (and its Section 5.3 ablations): multiple copies of the
+/// `n`-stage CCC in `Q_{n + log n}`.
+///
+/// * `Overlapping` — `n` copies, edge-congestion 2, dilation 1.
+/// * `SameForAll` — `n` copies sharing copy 0's windows (only the
+///   Hamiltonian shift `⊕ b(k)` differs): measured congestion `≥ n/r`.
+/// * `Disjoint` — `n/r` copies with disjoint windows: congestion `n/r`.
+pub fn ccc_multi_copy_with(
+    n: u32,
+    strategy: WindowStrategy,
+) -> Result<CccCopies, String> {
+    let r = log2_exact(n)?;
+    let host = Hypercube::new(n + r);
+    let ccc = Ccc::new(n);
+    let guest = ccc.graph();
+
+    let mut copies = Vec::new();
+    match strategy {
+        WindowStrategy::Overlapping | WindowStrategy::SameForAll => {
+            for k in 0..n {
+                let w = match strategy {
+                    WindowStrategy::Overlapping => overlapping_window(n, r, k),
+                    _ => overlapping_window(n, r, 0),
+                };
+                let wbar = complement_window(n, &w);
+                let ham: Vec<u64> =
+                    (0..n as u64).map(|l| rev_bits(gray_code(l) ^ k as u64, r)).collect();
+                copies.push(ccc_copy_from_windows(n, &w, &wbar, &ham)?);
+            }
+        }
+        WindowStrategy::Disjoint => {
+            // n/r copies; copy i owns low dims [i*r, (i+1)*r).
+            for i in 0..n / r {
+                let dims: Vec<u32> = (i * r..(i + 1) * r).collect();
+                let w = Window::new(dims);
+                // W̄: the remaining low dims in order, then the spare top r.
+                let rest: Vec<u32> = (0..n)
+                    .filter(|&d| !w.contains(d))
+                    .chain(n..n + r)
+                    .collect();
+                let wbar = Window::new(rest);
+                let ham: Vec<u64> = (0..n as u64).map(|l| rev_bits(gray_code(l), r)).collect();
+                copies.push(ccc_copy_from_windows(n, &w, &wbar, &ham)?);
+            }
+        }
+    }
+    Ok(CccCopies {
+        ccc,
+        multi_copy: MultiCopyEmbedding { host, guest, copies },
+        strategy,
+    })
+}
+
+/// Theorem 3 with its stated strategy.
+pub fn ccc_multi_copy(n: u32) -> Result<CccCopies, String> {
+    ccc_multi_copy_with(n, WindowStrategy::Overlapping)
+}
+
+/// Section 5.4's undirected extension: adds the downward straight edges
+/// (`⟨ℓ+1, c⟩ → ⟨ℓ, c⟩`) to every copy. Total congestion at most 4.
+pub fn ccc_multi_copy_undirected(n: u32) -> Result<MultiCopyEmbedding, String> {
+    let base = ccc_multi_copy(n)?;
+    let ccc = base.ccc;
+    let mut edges: Vec<(u32, u32)> = base.multi_copy.guest.edges().to_vec();
+    for c in 0..ccc.num_columns() {
+        for l in 0..ccc.levels() {
+            let (sl, sc) = ccc.straight(l, c);
+            edges.push((ccc.vertex(sl, sc), ccc.vertex(l, c)));
+        }
+    }
+    let guest = hyperpath_guests::Digraph::from_edges(
+        format!("CCC_{}_undirected", ccc.levels()),
+        ccc.num_vertices(),
+        edges,
+    );
+    let copies = base
+        .multi_copy
+        .copies
+        .into_iter()
+        .map(|copy| {
+            let edge_paths = guest
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    HostPath::new(vec![
+                        copy.vertex_map[u as usize],
+                        copy.vertex_map[v as usize],
+                    ])
+                })
+                .collect();
+            CopyEmbedding { vertex_map: copy.vertex_map, edge_paths }
+        })
+        .collect();
+    Ok(MultiCopyEmbedding { host: base.multi_copy.host, guest, copies })
+}
+
+/// Section 5.4: `n` copies of the `n`-level wrapped butterfly in
+/// `Q_{n + log n}`, via the dilation-2 congestion-2 butterfly→CCC embedding
+/// (straight ↦ straight; cross ↦ cross-then-straight) composed with
+/// Theorem 3. Measured host congestion ≤ 4.
+pub fn butterfly_multi_copy(n: u32) -> Result<MultiCopyEmbedding, String> {
+    let base = ccc_multi_copy(n)?;
+    let ccc = base.ccc;
+    let bf = Butterfly::new(n);
+    let guest = bf.graph();
+    let copies = base
+        .multi_copy
+        .copies
+        .into_iter()
+        .map(|copy| {
+            // Butterfly vertex (l, c) sits on CCC vertex (l, c): identical
+            // ids under the shared column-major numbering.
+            let vertex_map = copy.vertex_map;
+            let edge_paths = guest
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    let (lu, cu) = bf.address(u);
+                    let (lv, cv) = bf.address(v);
+                    debug_assert_eq!(lv, (lu + 1) % n);
+                    if cu == cv {
+                        // straight: one CCC straight edge
+                        HostPath::new(vec![
+                            vertex_map[ccc.vertex(lu, cu) as usize],
+                            vertex_map[ccc.vertex(lv, cv) as usize],
+                        ])
+                    } else {
+                        // cross: CCC cross at level lu, then straight
+                        HostPath::new(vec![
+                            vertex_map[ccc.vertex(lu, cu) as usize],
+                            vertex_map[ccc.vertex(lu, cv) as usize],
+                            vertex_map[ccc.vertex(lv, cv) as usize],
+                        ])
+                    }
+                })
+                .collect();
+            CopyEmbedding { vertex_map, edge_paths }
+        })
+        .collect();
+    Ok(MultiCopyEmbedding { host: base.multi_copy.host, guest, copies })
+}
+
+/// Section 5.4 for FFT graphs: `n` copies of the `(n+1)·2^n`-vertex FFT
+/// dependence graph, each copy riding the butterfly copy with level `n`
+/// wrapped onto level 0 (load 2 per copy on the shared level). Because the
+/// copies are two-to-one they are returned as plain multiple-path
+/// embeddings (singleton bundles), one per copy.
+pub fn fft_multi_copy(n: u32) -> Result<Vec<hyperpath_embedding::MultiPathEmbedding>, String> {
+    use hyperpath_guests::FftGraph;
+    let base = ccc_multi_copy(n)?;
+    let ccc = base.ccc;
+    let fft = FftGraph::new(n);
+    let guest = fft.graph();
+    let host = base.multi_copy.host;
+    Ok(base
+        .multi_copy
+        .copies
+        .into_iter()
+        .map(|copy| {
+            // FFT vertex (l, c): levels 0..n map onto CCC level l; the
+            // terminal level n shares level 0's host node.
+            let place = |l: u32, c: u32| -> hyperpath_topology::Node {
+                copy.vertex_map[ccc.vertex(l % n, c) as usize]
+            };
+            let vertex_map: Vec<hyperpath_topology::Node> = (0..guest.num_vertices())
+                .map(|v| {
+                    let (l, c) = fft.address(v);
+                    place(l, c)
+                })
+                .collect();
+            let edge_paths = guest
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    let (lu, cu) = fft.address(u);
+                    let (lv, cv) = fft.address(v);
+                    debug_assert_eq!(lv, lu + 1);
+                    if cu == cv {
+                        vec![HostPath::new(vec![place(lu, cu), place(lv, cv)])]
+                    } else {
+                        vec![HostPath::new(vec![
+                            place(lu, cu),
+                            place(lu, cv),
+                            place(lv, cv),
+                        ])]
+                    }
+                })
+                .collect();
+            hyperpath_embedding::MultiPathEmbedding {
+                host,
+                guest: guest.clone(),
+                vertex_map,
+                edge_paths,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_embedding::metrics::multi_copy_metrics;
+    use hyperpath_embedding::validate::validate_multi_copy;
+
+    #[test]
+    fn window_family_structure() {
+        // "all windows contain dimension 1; half of the windows contain
+        // dimension 2 and the other half contain dimension 3; …"
+        let n = 8;
+        let r = 3;
+        let windows: Vec<Window> = (0..n).map(|k| overlapping_window(n, r, k)).collect();
+        assert!(windows.iter().all(|w| w.contains(1)));
+        let with2 = windows.iter().filter(|w| w.contains(2)).count();
+        let with3 = windows.iter().filter(|w| w.contains(3)).count();
+        assert_eq!((with2, with3), (4, 4));
+        for parent in [2u32, 3] {
+            let family: Vec<&Window> =
+                windows.iter().filter(|w| w.contains(parent)).collect();
+            let lo = family.iter().filter(|w| w.contains(2 * parent)).count();
+            let hi = family.iter().filter(|w| w.contains(2 * parent + 1)).count();
+            assert_eq!((lo, hi), (2, 2), "parent {parent}");
+        }
+    }
+
+    #[test]
+    fn complement_windows_are_disjoint_and_total() {
+        let n = 8;
+        let r = 3;
+        for k in 0..n {
+            let w = overlapping_window(n, r, k);
+            let wbar = complement_window(n, &w);
+            assert!(w.disjoint(&wbar), "k={k}");
+            assert_eq!(wbar.len() as u32, n);
+            let mut all: Vec<u32> = w.dims().iter().chain(wbar.dims()).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len() as u32, n + r, "k={k}: windows cover n+r distinct dims");
+        }
+    }
+
+    #[test]
+    fn lemma4_single_copy_dilation_1() {
+        for n in [2u32, 4, 8] {
+            let copy = ccc_single_copy(n).unwrap();
+            assert_eq!(copy.dilation(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn theorem3_congestion_two() {
+        for n in [4u32, 8] {
+            let c = ccc_multi_copy(n).unwrap();
+            assert_eq!(c.multi_copy.num_copies() as u32, n);
+            validate_multi_copy(&c.multi_copy).unwrap();
+            let m = multi_copy_metrics(&c.multi_copy);
+            assert_eq!(m.dilation, 1, "n={n}");
+            assert_eq!(m.edge_congestion, 2, "n={n}: Theorem 3's bound is exactly met");
+        }
+    }
+
+    #[test]
+    fn theorem3_dimension_one_carries_no_cross_edges() {
+        // Lemma 7: congestion on dimension 1 comes only from straight edges.
+        let n = 8u32;
+        let c = ccc_multi_copy(n).unwrap();
+        let ccc = c.ccc;
+        let host = c.multi_copy.host;
+        for (k, copy) in c.multi_copy.copies.iter().enumerate() {
+            for (eid, &(u, v)) in c.multi_copy.guest.edges().iter().enumerate() {
+                let (lu, _) = ccc.address(u);
+                let (lv, _) = ccc.address(v);
+                let p = &copy.edge_paths[eid];
+                let dim = host.edge_dim(p.from(), p.to()).unwrap();
+                if lu == lv {
+                    assert_ne!(dim, 1, "copy {k}: cross edge mapped to dimension 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ablations_blow_up_congestion() {
+        let n = 8u32;
+        let r = 3;
+        let good = multi_copy_metrics(&ccc_multi_copy(n).unwrap().multi_copy);
+        let same =
+            multi_copy_metrics(&ccc_multi_copy_with(n, WindowStrategy::SameForAll).unwrap().multi_copy);
+        let disj =
+            multi_copy_metrics(&ccc_multi_copy_with(n, WindowStrategy::Disjoint).unwrap().multi_copy);
+        assert_eq!(good.edge_congestion, 2);
+        assert!(
+            same.edge_congestion as u32 >= n / r,
+            "same-windows congestion {} should reach n/r",
+            same.edge_congestion
+        );
+        assert!(
+            disj.edge_congestion as u32 >= n / r,
+            "disjoint-windows congestion {} should reach n/r",
+            disj.edge_congestion
+        );
+    }
+
+    #[test]
+    fn undirected_variant_congestion_at_most_4() {
+        let mc = ccc_multi_copy_undirected(8).unwrap();
+        validate_multi_copy(&mc).unwrap();
+        let m = multi_copy_metrics(&mc);
+        assert!(m.edge_congestion <= 4, "got {}", m.edge_congestion);
+        assert_eq!(m.dilation, 1);
+    }
+
+    #[test]
+    fn butterfly_copies_via_ccc() {
+        let mc = butterfly_multi_copy(8).unwrap();
+        assert_eq!(mc.num_copies(), 8);
+        validate_multi_copy(&mc).unwrap();
+        let m = multi_copy_metrics(&mc);
+        assert_eq!(m.dilation, 2, "cross edges route through two CCC hops");
+        assert!(m.edge_congestion <= 4, "got {}", m.edge_congestion);
+    }
+
+    #[test]
+    fn fft_copies_have_load_two() {
+        use hyperpath_embedding::metrics::multi_path_metrics;
+        use hyperpath_embedding::validate::validate_multi_path;
+        let copies = fft_multi_copy(4).unwrap();
+        assert_eq!(copies.len(), 4);
+        let mut cong = vec![0usize; copies[0].host.num_directed_edges() as usize];
+        for e in &copies {
+            validate_multi_path(e, 1, Some(2)).unwrap();
+            let m = multi_path_metrics(e);
+            assert_eq!(m.load, 2, "terminal level shares level 0");
+            assert!(m.dilation <= 2);
+            for (_, _, p) in e.all_paths() {
+                for edge in p.edges() {
+                    cong[e.host.dir_edge_index(edge)] += 1;
+                }
+            }
+        }
+        // All n copies together stay within a small constant congestion.
+        assert!(*cong.iter().max().unwrap() <= 6, "joint congestion {}", cong.iter().max().unwrap());
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(ccc_multi_copy(6).is_err());
+        assert!(ccc_single_copy(3).is_err());
+    }
+}

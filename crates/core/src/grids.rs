@@ -1,0 +1,330 @@
+//! Corollaries 1 and 2: multiple-path embeddings of grids and tori
+//! (Section 4.5).
+//!
+//! Grids/tori are cross products of paths/cycles, and `Q_{ak} = (Q_a)^×k`,
+//! so the Theorem 1 cycle embedding lifts axis-by-axis: every axis of length
+//! `2^a` is embedded in its own factor `Q_a` and the cross product composes
+//! the bundles (Corollary 1). Unequal or non-power-of-two sides are first
+//! *squared* (mapped onto a balanced power-of-two grid with O(1) dilation,
+//! see [`hyperpath_embedding::squaring`]) and then embedded (Corollary 2).
+//!
+//! Directionality: the paper's cycles are directed, so Corollary 1 as stated
+//! yields the **directed** torus (each process sends "forward" along every
+//! axis) with `⌈a/2⌉`-packet cost 3. Real grid relaxations exchange data in
+//! *both* directions per axis; with both directions active the step-0 first
+//! edges of opposite directions collide on shared dimensions and the cost
+//! doubles (certified here by the phase-aligned scheduler — measured in
+//! experiment E5 rather than hand-waved).
+
+use crate::cycles::theorem1;
+use hyperpath_embedding::{
+    cross_product_embedding, HostPath, MultiPathEmbedding, PhaseSchedule,
+};
+use hyperpath_embedding::{pow2_square, GridMap};
+use hyperpath_guests::{directed_cycle, Digraph, Grid};
+use hyperpath_topology::{gray_code, Hypercube, Node};
+
+/// A constructed grid embedding with its certified schedule.
+#[derive(Debug, Clone)]
+pub struct GridEmbedding {
+    /// The grid being embedded (axis coordinates, vertex numbering).
+    pub grid: Grid,
+    /// log2 of each axis length.
+    pub axes_log2: Vec<u32>,
+    /// The embedding: guest vertices are grid vertices in [`Grid`]'s
+    /// numbering (axis 0 fastest).
+    pub embedding: MultiPathEmbedding,
+    /// Verified conflict-free schedule.
+    pub schedule: PhaseSchedule,
+    /// Width every bundle is guaranteed to have (min over axes of the
+    /// axis-cycle width).
+    pub width: usize,
+    /// Certified cost of `schedule`.
+    pub cost: u64,
+    /// Whether backward axis edges are included.
+    pub bidirectional: bool,
+}
+
+/// The width-`max(1, ⌊a/2⌋)` multiple-path embedding of the `2^a`-node
+/// directed cycle: Theorem 1 for `a ≥ 4`, the classical Gray-code map (width
+/// 1, cost 1) for the tiny sizes where `⌊a/2⌋ ≤ 1`.
+fn axis_cycle(a: u32) -> Result<(MultiPathEmbedding, usize), String> {
+    if a >= 4 {
+        let t1 = theorem1(a)?;
+        Ok((t1.embedding, t1.claimed_width))
+    } else {
+        let host = Hypercube::new(a);
+        let len = host.num_nodes();
+        let guest = directed_cycle(len as u32);
+        let vertex_map: Vec<Node> = (0..len).map(gray_code).collect();
+        let edge_paths = guest
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                vec![HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])]
+            })
+            .collect();
+        Ok((MultiPathEmbedding { host, guest, vertex_map, edge_paths }, 1))
+    }
+}
+
+/// Adds the reverse direction to a cycle/torus-axis embedding: each backward
+/// guest edge reuses the forward bundle with every path reversed (reversing
+/// flips every directed host edge, so per-bundle edge-disjointness is
+/// preserved).
+fn bidirectionalize(e: &MultiPathEmbedding) -> MultiPathEmbedding {
+    let mut edges: Vec<(u32, u32)> = e.guest.edges().to_vec();
+    edges.extend(e.guest.edges().iter().map(|&(u, v)| (v, u)));
+    let guest = Digraph::from_edges(
+        format!("{}<->", e.guest.name()),
+        e.guest.num_vertices(),
+        edges,
+    );
+    let mut edge_paths = vec![Vec::new(); guest.num_edges()];
+    for (id, &(u, v)) in guest.edges().iter().enumerate() {
+        // Find the forward bundle for (u,v) or (v,u).
+        if let Some((fid, _)) = e.guest.out_edges(u).find(|&(_, w)| w == v) {
+            edge_paths[id] = e.edge_paths[fid].clone();
+        } else {
+            let (fid, _) = e
+                .guest
+                .out_edges(v)
+                .find(|&(_, w)| w == u)
+                .expect("backward edge has a forward partner");
+            edge_paths[id] = e.edge_paths[fid].iter().map(HostPath::reversed).collect();
+        }
+    }
+    MultiPathEmbedding { host: e.host, guest, vertex_map: e.vertex_map.clone(), edge_paths }
+}
+
+/// **Corollary 1**: embeds the `k`-axis torus with side lengths `2^{a_i}`
+/// into `Q_{Σ a_i}` with width `min_i ⌊a_i/2⌋` (1 for `a_i < 4`). With
+/// `bidirectional = false` (the paper's directed cycles) the certified cost
+/// is 3 whenever every axis certifies cost 3; with `bidirectional = true`
+/// both directions of every axis are active and the measured cost doubles.
+pub fn grid_embedding(axes_log2: &[u32], bidirectional: bool) -> Result<GridEmbedding, String> {
+    if axes_log2.is_empty() {
+        return Err("need at least one axis".into());
+    }
+    if axes_log2.iter().any(|&a| a < 2) {
+        return Err("axis lengths below 4 have no proper cycle".into());
+    }
+    let mut widths = Vec::with_capacity(axes_log2.len());
+    let mut acc: Option<MultiPathEmbedding> = None;
+    for &a in axes_log2 {
+        let (mut axis, w) = axis_cycle(a)?;
+        if bidirectional {
+            axis = bidirectionalize(&axis);
+        }
+        widths.push(w);
+        acc = Some(match acc {
+            None => axis,
+            Some(prev) => cross_product_embedding(&prev, &axis),
+        });
+    }
+    let embedding = acc.expect("at least one axis");
+    let width = widths.iter().copied().min().unwrap_or(0);
+
+    let natural = PhaseSchedule::all_paths_at_once(&embedding);
+    let (schedule, cost) = match natural.verify(&embedding) {
+        Ok(()) => {
+            let c = natural.makespan(&embedding);
+            (natural, c)
+        }
+        Err(_) => {
+            let s = PhaseSchedule::phase_aligned(&embedding);
+            s.verify(&embedding)?;
+            let c = s.makespan(&embedding);
+            (s, c)
+        }
+    };
+
+    let sides: Vec<u32> = axes_log2.iter().map(|&a| 1u32 << a).collect();
+    Ok(GridEmbedding {
+        grid: Grid::torus(&sides),
+        axes_log2: axes_log2.to_vec(),
+        embedding,
+        schedule,
+        width,
+        cost,
+        bidirectional,
+    })
+}
+
+/// **Corollary 2**: embeds an arbitrary-sided grid by squaring it onto a
+/// balanced power-of-two grid and composing with [`grid_embedding`]. Bundle
+/// paths for an original edge concatenate the hop bundles along a monotone
+/// route in the squared grid; paths that stop being edge-disjoint after
+/// concatenation are dropped, so the resulting width is *measured* (reported
+/// by experiment E6) rather than claimed.
+pub fn squared_grid_embedding(
+    sides: &[u32],
+    bidirectional: bool,
+) -> Result<(GridMap, GridEmbedding), String> {
+    let original = Grid::new(sides);
+    let map = pow2_square(&original);
+    let axes_log2: Vec<u32> = map.to.sides().iter().map(|s| s.trailing_zeros()).collect();
+    let inner = grid_embedding(&axes_log2, true)?;
+
+    // Compose: original guest edge (u, v) routes along a monotone coordinate
+    // path between the squared images.
+    let guest = original.graph();
+    let vertex_map: Vec<Node> = (0..original.num_vertices())
+        .map(|v| inner.embedding.image(map.map(v)))
+        .collect();
+    let mut edge_paths = Vec::with_capacity(guest.num_edges());
+    for &(u, v) in guest.edges() {
+        let route = monotone_route(&map.to, map.map(u), map.map(v));
+        let width = inner.width.max(1);
+        let mut bundle: Vec<HostPath> = Vec::with_capacity(width);
+        'path: for j in 0..width {
+            let mut nodes: Vec<Node> = vec![inner.embedding.image(route[0])];
+            for hop in route.windows(2) {
+                let eid = inner
+                    .embedding
+                    .guest
+                    .out_edges(hop[0])
+                    .find(|&(_, w)| w == hop[1])
+                    .map(|(eid, _)| eid)
+                    .ok_or("squared route leaves the torus guest")?;
+                let paths = &inner.embedding.edge_paths[eid];
+                let p = &paths[j % paths.len()];
+                nodes.extend_from_slice(&p.nodes()[1..]);
+            }
+            let candidate = HostPath::new(nodes);
+            // Keep only candidates that stay edge-disjoint within the bundle.
+            let mut seen: std::collections::HashSet<usize> = bundle
+                .iter()
+                .flat_map(|p| p.edges().map(|e| inner.embedding.host.dir_edge_index(e)))
+                .collect();
+            for e in candidate.edges() {
+                if !seen.insert(inner.embedding.host.dir_edge_index(e)) {
+                    continue 'path;
+                }
+            }
+            bundle.push(candidate);
+        }
+        if bundle.is_empty() {
+            return Err("composition produced an empty bundle".into());
+        }
+        edge_paths.push(bundle);
+    }
+
+    let embedding = MultiPathEmbedding {
+        host: inner.embedding.host,
+        guest,
+        vertex_map,
+        edge_paths,
+    };
+    let schedule = PhaseSchedule::phase_aligned(&embedding);
+    schedule.verify(&embedding)?;
+    let cost = schedule.makespan(&embedding);
+    let width = embedding.width();
+    Ok((
+        map,
+        GridEmbedding {
+            grid: original,
+            axes_log2,
+            embedding,
+            schedule,
+            width,
+            cost,
+            bidirectional,
+        },
+    ))
+}
+
+/// A monotone (axis-by-axis) route between two vertices of a grid.
+fn monotone_route(grid: &Grid, from: u32, to: u32) -> Vec<u32> {
+    let mut route = vec![from];
+    let mut cur = grid.coords(from);
+    let target = grid.coords(to);
+    for axis in 0..grid.num_axes() {
+        while cur[axis] != target[axis] {
+            if cur[axis] < target[axis] {
+                cur[axis] += 1;
+            } else {
+                cur[axis] -= 1;
+            }
+            route.push(grid.vertex(&cur));
+        }
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_embedding::metrics::multi_path_metrics;
+    use hyperpath_embedding::validate::validate_multi_path;
+
+    #[test]
+    fn corollary1_directed_torus_cost3() {
+        // 2-axis torus 16x16 in Q_8: width ⌊4/2⌋ = 2, cost 3.
+        let g = grid_embedding(&[4, 4], false).unwrap();
+        assert_eq!(g.width, 2);
+        assert_eq!(g.cost, 3);
+        validate_multi_path(&g.embedding, g.width, Some(1)).unwrap();
+        let m = multi_path_metrics(&g.embedding);
+        assert_eq!(m.load, 1);
+        assert_eq!(m.dilation, 3);
+    }
+
+    #[test]
+    fn corollary1_three_axes() {
+        let g = grid_embedding(&[4, 4, 4], false).unwrap();
+        assert_eq!(g.embedding.host.dims(), 12);
+        assert_eq!(g.width, 2);
+        assert_eq!(g.cost, 3);
+        validate_multi_path(&g.embedding, g.width, Some(1)).unwrap();
+    }
+
+    #[test]
+    fn corollary1_mixed_axis_sizes() {
+        let g = grid_embedding(&[5, 4], false).unwrap();
+        assert_eq!(g.embedding.host.dims(), 9);
+        assert_eq!(g.width, 2);
+        assert_eq!(g.cost, 3);
+        validate_multi_path(&g.embedding, 2, Some(1)).unwrap();
+    }
+
+    #[test]
+    fn small_axes_fall_back_to_width_one() {
+        let g = grid_embedding(&[2, 2], false).unwrap();
+        assert_eq!(g.width, 1);
+        assert_eq!(g.cost, 1, "pure Gray axes have one-packet cost 1");
+        validate_multi_path(&g.embedding, 1, Some(1)).unwrap();
+    }
+
+    #[test]
+    fn bidirectional_doubles_cost() {
+        let g = grid_embedding(&[4, 4], true).unwrap();
+        validate_multi_path(&g.embedding, g.width, Some(1)).unwrap();
+        assert!(g.cost >= 4 && g.cost <= 6, "both directions collide on first edges: {}", g.cost);
+        // Guest has twice the edges of the directed torus.
+        assert_eq!(g.embedding.guest.num_edges(), 2 * 2 * 256);
+    }
+
+    #[test]
+    fn corollary2_squares_and_embeds() {
+        let (map, g) = squared_grid_embedding(&[5, 5], true).unwrap();
+        assert_eq!(map.to.sides(), &[8, 8]);
+        assert_eq!(g.embedding.host.dims(), 6);
+        assert!(g.width >= 1);
+        validate_multi_path(&g.embedding, g.width, None).unwrap();
+        let m = multi_path_metrics(&g.embedding);
+        assert_eq!(m.load, 1, "squaring is injective");
+        assert!(g.cost <= 12, "O(1) cost, measured: {}", g.cost);
+    }
+
+    #[test]
+    fn corollary2_skewed() {
+        let (map, g) = squared_grid_embedding(&[3, 17], true).unwrap();
+        assert_eq!(map.to.sides(), &[8, 16]);
+        validate_multi_path(&g.embedding, g.width, None).unwrap();
+        assert!(g.width >= 1);
+        let m = multi_path_metrics(&g.embedding);
+        // dilation = squared-grid dilation (<=2 hops) * 3 per hop
+        assert!(m.dilation <= 6, "dilation {}", m.dilation);
+    }
+}

@@ -1,0 +1,217 @@
+//! Section 8: large-copy embeddings.
+//!
+//! Instead of widening paths (multiple-path) or packing independent copies
+//! (multiple-copy), a *large-copy* embedding fills the hypercube's links
+//! with one guest of `n·2^n` vertices, evenly balancing vertices over nodes
+//! and edges over links:
+//!
+//! * **Corollary 3** — the `n·2^n`-node directed cycle traverses the `n`
+//!   edge-disjoint directed Hamiltonian cycles of Lemma 1 in sequence:
+//!   dilation 1, congestion 1, every directed link used exactly once.
+//!   (For even `n` the undirected variant threads the `n/2` undirected
+//!   cycles: `n·2^{n-1}` vertices.)
+//! * **Lemma 9** — the `n·2^n`-node CCC/FFT/butterfly collapse columns:
+//!   vertex `⟨ℓ, c⟩ ↦ c`. Straight edges become zero-length (the `n`-node
+//!   column cycle is time-sliced on one processor), level-`ℓ` cross edges
+//!   map onto dimension-`ℓ` links — congestion 1 for the CCC, 2 for the
+//!   FFT/butterfly (two cross edges per column pair).
+//!
+//! Guests here are *undirected* in the paper's Section 8 sense (degree 3
+//! CCC, degree 4 butterfly/FFT), so the communication graphs carry both
+//! directions of every link.
+
+use hyperpath_embedding::{HostPath, MultiPathEmbedding};
+use hyperpath_guests::{directed_cycle, Butterfly, Ccc, Digraph, FftGraph};
+use hyperpath_topology::hamiltonian::{decompose, directed_cycles};
+use hyperpath_topology::{Hypercube, Node};
+
+/// Which CCC-like guest Lemma 9 embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcLike {
+    /// Cube-connected cycles (`n·2^n` vertices, congestion 1).
+    Ccc,
+    /// Wrapped butterfly (`n·2^n` vertices, congestion 2).
+    Butterfly,
+    /// FFT graph (`(n+1)·2^n` vertices, congestion 2).
+    Fft,
+}
+
+/// **Corollary 3** (directed): the `n·2^n`-node directed cycle into `Q_n`
+/// with load `n`, dilation 1, congestion 1, traversing the Lemma 1 directed
+/// cycles in sequence. For even `n` every directed link is used exactly
+/// once.
+pub fn large_copy_cycle(n: u32) -> Result<MultiPathEmbedding, String> {
+    let host = Hypercube::new(n);
+    let dec = decompose(n)?;
+    let dirs = directed_cycles(&dec);
+    let copies = dirs.len() as u64; // n (even) or n-1 (odd)
+    let size = host.num_nodes();
+    let guest = directed_cycle((copies * size) as u32);
+    let mut vertex_map: Vec<Node> = Vec::with_capacity((copies * size) as usize);
+    for d in &dirs {
+        vertex_map.extend(d.nodes_from(0));
+    }
+    let len = vertex_map.len();
+    let edge_paths = (0..len)
+        .map(|t| vec![HostPath::new(vec![vertex_map[t], vertex_map[(t + 1) % len]])])
+        .collect();
+    Ok(MultiPathEmbedding { host, guest, vertex_map, edge_paths })
+}
+
+/// Corollary 3 (undirected, even `n`): the `n·2^{n-1}`-node cycle threading
+/// the `n/2` undirected Hamiltonian cycles; each undirected link carries the
+/// cycle exactly once.
+pub fn large_copy_cycle_undirected(n: u32) -> Result<MultiPathEmbedding, String> {
+    if !n.is_multiple_of(2) {
+        return Err("undirected large-copy cycle needs even n".into());
+    }
+    let host = Hypercube::new(n);
+    let dec = decompose(n)?;
+    let size = host.num_nodes();
+    let guest = directed_cycle((dec.cycles.len() as u64 * size) as u32);
+    let mut vertex_map: Vec<Node> = Vec::with_capacity(guest.num_vertices() as usize);
+    for c in &dec.cycles {
+        let mut nodes = c.nodes();
+        // All frozen/constructed cycles start at 0; rotate defensively so
+        // consecutive cycles join at node 0.
+        let zero = nodes.iter().position(|&v| v == 0).expect("cycle spans all nodes");
+        nodes.rotate_left(zero);
+        vertex_map.extend(nodes);
+    }
+    let len = vertex_map.len();
+    let edge_paths = (0..len)
+        .map(|t| vec![HostPath::new(vec![vertex_map[t], vertex_map[(t + 1) % len]])])
+        .collect();
+    Ok(MultiPathEmbedding { host, guest, vertex_map, edge_paths })
+}
+
+/// **Lemma 9**: large-copy embedding of an undirected CCC-like network into
+/// `Q_n` by collapsing each column onto its hypercube node. Straight edges
+/// get zero-length paths; cross edges ride their dimension's link.
+pub fn large_copy_ccc_like(kind: CcLike, n: u32) -> Result<MultiPathEmbedding, String> {
+    let host = Hypercube::new(n);
+    let (guest, vertex_map): (Digraph, Vec<Node>) = match kind {
+        CcLike::Ccc => {
+            let ccc = Ccc::new(n);
+            let g = ccc.graph();
+            let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+            // Undirected: add reverse straight edges (cross pairs are
+            // already mutual).
+            for c in 0..ccc.num_columns() {
+                for l in 0..n {
+                    let (sl, sc) = ccc.straight(l, c);
+                    edges.push((ccc.vertex(sl, sc), ccc.vertex(l, c)));
+                }
+            }
+            let guest = Digraph::from_edges(
+                format!("CCC_{n}_undirected"),
+                ccc.num_vertices(),
+                edges,
+            );
+            let map = (0..ccc.num_vertices())
+                .map(|v| ccc.address(v).1 as Node)
+                .collect();
+            (guest, map)
+        }
+        CcLike::Butterfly => {
+            let bf = Butterfly::new(n);
+            let g = bf.graph();
+            let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+            edges.extend(g.edges().iter().map(|&(u, v)| (v, u)));
+            let guest = Digraph::from_edges(
+                format!("BF_{n}_undirected"),
+                bf.num_vertices(),
+                edges,
+            );
+            let map = (0..bf.num_vertices()).map(|v| bf.address(v).1 as Node).collect();
+            (guest, map)
+        }
+        CcLike::Fft => {
+            let f = FftGraph::new(n);
+            let g = f.graph();
+            let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+            edges.extend(g.edges().iter().map(|&(u, v)| (v, u)));
+            let guest =
+                Digraph::from_edges(format!("FFT_{n}_undirected"), f.num_vertices(), edges);
+            let map = (0..f.num_vertices()).map(|v| f.address(v).1 as Node).collect();
+            (guest, map)
+        }
+    };
+    let edge_paths = guest
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (vertex_map[u as usize], vertex_map[v as usize]);
+            if a == b {
+                vec![HostPath::new(vec![a])]
+            } else {
+                vec![HostPath::new(vec![a, b])]
+            }
+        })
+        .collect();
+    Ok(MultiPathEmbedding { host, guest, vertex_map, edge_paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_embedding::metrics::multi_path_metrics;
+    use hyperpath_embedding::validate::validate_multi_path;
+
+    #[test]
+    fn corollary3_directed() {
+        for n in [2u32, 4, 5, 6] {
+            let e = large_copy_cycle(n).unwrap();
+            let copies = if n % 2 == 0 { n } else { n - 1 };
+            assert_eq!(e.guest.num_vertices() as u64, u64::from(copies) << n, "n={n}");
+            validate_multi_path(&e, 1, Some(copies as usize)).unwrap();
+            let m = multi_path_metrics(&e);
+            assert_eq!(m.dilation, 1, "n={n}");
+            assert_eq!(m.congestion, 1, "n={n}");
+            assert_eq!(m.load, copies as usize, "n={n}");
+            if n % 2 == 0 {
+                assert!((m.utilization - 1.0).abs() < 1e-12, "n={n}: all links used");
+            }
+        }
+    }
+
+    #[test]
+    fn corollary3_undirected() {
+        for n in [2u32, 4, 6] {
+            let e = large_copy_cycle_undirected(n).unwrap();
+            assert_eq!(e.guest.num_vertices() as u64, u64::from(n) << (n - 1), "n={n}");
+            validate_multi_path(&e, 1, Some((n / 2) as usize)).unwrap();
+            let m = multi_path_metrics(&e);
+            assert_eq!((m.dilation, m.congestion), (1, 1), "n={n}");
+        }
+        assert!(large_copy_cycle_undirected(5).is_err());
+    }
+
+    #[test]
+    fn lemma9_ccc() {
+        let e = large_copy_ccc_like(CcLike::Ccc, 4).unwrap();
+        validate_multi_path(&e, 1, Some(4)).unwrap();
+        let m = multi_path_metrics(&e);
+        assert_eq!(m.load, 4);
+        assert_eq!(m.dilation, 1);
+        assert_eq!(m.min_dilation, 0, "straight edges collapse");
+        assert_eq!(m.congestion, 1, "CCC cross edges fill each link once");
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma9_butterfly_and_fft() {
+        for kind in [CcLike::Butterfly, CcLike::Fft] {
+            let e = large_copy_ccc_like(kind, 4).unwrap();
+            let expected_load = match kind {
+                CcLike::Fft => 5,
+                _ => 4,
+            };
+            validate_multi_path(&e, 1, Some(expected_load)).unwrap();
+            let m = multi_path_metrics(&e);
+            assert_eq!(m.load, expected_load, "{kind:?}");
+            assert_eq!(m.dilation, 1, "{kind:?}");
+            assert_eq!(m.congestion, 2, "{kind:?}: two cross edges per column pair");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Property-based tests for the theorem constructions.
+
+use hyperpath_core::cycles::{theorem1, theorem2, Theorem2Variant};
+use hyperpath_embedding::validate::validate_multi_path;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Theorem 1 validates at its claimed width for every supported n, and
+    /// the certified cost stays within the paper's + 1 regime.
+    #[test]
+    fn theorem1_total(n in 4u32..=15) {
+        let r = theorem1(n).unwrap();
+        validate_multi_path(&r.embedding, r.claimed_width, Some(1)).unwrap();
+        prop_assert!(r.cost <= 4);
+        prop_assert!(r.packets as usize >= r.claimed_width);
+        // The cycle visits all nodes once: vertex map is a permutation.
+        let mut vm = r.embedding.vertex_map.clone();
+        vm.sort_unstable();
+        vm.dedup();
+        prop_assert_eq!(vm.len() as u64, r.embedding.host.num_nodes());
+    }
+
+    /// Theorem 2 validates at load 2 for both variants.
+    #[test]
+    fn theorem2_total(n in 4u32..=11, fullwidth in any::<bool>()) {
+        let v = if fullwidth { Theorem2Variant::FullWidth } else { Theorem2Variant::Cost3 };
+        let r = theorem2(n, v).unwrap();
+        validate_multi_path(&r.embedding, r.claimed_width, Some(2)).unwrap();
+        prop_assert!(r.cost <= 4);
+        // Load exactly 2 everywhere: 2^{n+1} guest vertices on 2^n nodes.
+        let mut counts = vec![0u32; r.embedding.host.num_nodes() as usize];
+        for &img in &r.embedding.vertex_map {
+            counts[img as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 2));
+    }
+}

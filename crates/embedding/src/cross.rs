@@ -1,0 +1,186 @@
+//! Cross products of guests and of embeddings (Section 4.5).
+//!
+//! Grids/tori are cross products of paths/cycles and `Q_{a+b} = Q_a × Q_b`,
+//! so an embedding of `G` into `Q_a` and one of `H` into `Q_b` compose into
+//! an embedding of `G × H` into `Q_{a+b}`: each row of the product inherits
+//! the `G` embedding (translated into its row subcube) and each column the
+//! `H` embedding. Bundles survive unchanged — the product of width-`w_G` and
+//! width-`w_H` embeddings gives every `G`-edge width `w_G` and every `H`-edge
+//! width `w_H` — and since row paths and column paths cross disjoint
+//! dimension sets, a conflict-free schedule for each factor stays
+//! conflict-free in the product.
+
+use crate::map::MultiPathEmbedding;
+use hyperpath_guests::Digraph;
+use hyperpath_topology::Hypercube;
+
+/// The cross product `G × H` with vertex `⟨g, h⟩ ↦ g + h·|V(G)|`
+/// (`G` varies fastest). Edge order: all `G`-copies' edges first (sorted by
+/// source after CSR normalization, like every [`Digraph`]).
+pub fn cross_product_graph(g: &Digraph, h: &Digraph) -> Digraph {
+    let ng = g.num_vertices();
+    let nh = h.num_vertices();
+    let total = (ng as u64) * (nh as u64);
+    assert!(total <= u32::MAX as u64, "cross product too large");
+    let mut edges = Vec::with_capacity(g.num_edges() * nh as usize + h.num_edges() * ng as usize);
+    for hv in 0..nh {
+        for &(a, b) in g.edges() {
+            edges.push((a + hv * ng, b + hv * ng));
+        }
+    }
+    for gv in 0..ng {
+        for &(a, b) in h.edges() {
+            edges.push((gv + a * ng, gv + b * ng));
+        }
+    }
+    Digraph::from_edges(
+        format!("({})x({})", g.name(), h.name()),
+        total as u32,
+        edges,
+    )
+}
+
+/// Composes embeddings along the cross product: `ea : G → Q_a` and
+/// `eb : H → Q_b` give `G × H → Q_{a+b}` with the low `a` address bits
+/// holding the `G` coordinate.
+pub fn cross_product_embedding(
+    ea: &MultiPathEmbedding,
+    eb: &MultiPathEmbedding,
+) -> MultiPathEmbedding {
+    let a = ea.host.dims();
+    let b = eb.host.dims();
+    let host = Hypercube::new(a + b);
+    let guest = cross_product_graph(&ea.guest, &eb.guest);
+    let ng = ea.guest.num_vertices();
+
+    let vertex_map: Vec<u64> = (0..guest.num_vertices())
+        .map(|v| {
+            let gv = v % ng;
+            let hv = v / ng;
+            ea.image(gv) | (eb.image(hv) << a)
+        })
+        .collect();
+
+    // The product guest re-sorts edges; translate each product edge back to
+    // its factor edge by inspecting which coordinate moved.
+    let mut edge_paths = Vec::with_capacity(guest.num_edges());
+    for &(u, v) in guest.edges() {
+        let (gu, hu) = (u % ng, u / ng);
+        let (gv, hv) = (v % ng, v / ng);
+        if hu == hv {
+            // G-edge inside row hu: translate ea's bundle into the row.
+            let eid = find_edge(&ea.guest, gu, gv);
+            let offset = eb.image(hu) << a;
+            let bundle = ea.edge_paths[eid]
+                .iter()
+                .map(|p| p.mapped(|node| node | offset))
+                .collect();
+            edge_paths.push(bundle);
+        } else {
+            debug_assert_eq!(gu, gv, "product edge must move exactly one coordinate");
+            let eid = find_edge(&eb.guest, hu, hv);
+            let low = ea.image(gu);
+            let bundle = eb.edge_paths[eid]
+                .iter()
+                .map(|p| p.mapped(|node| (node << a) | low))
+                .collect();
+            edge_paths.push(bundle);
+        }
+    }
+
+    MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+}
+
+/// Finds the id of edge `(u, v)` in `g`. Multi-edges resolve to the first
+/// occurrence (factor guests used with cross products are simple graphs).
+fn find_edge(g: &Digraph, u: u32, v: u32) -> usize {
+    g.out_edges(u)
+        .find(|&(_, w)| w == v)
+        .map(|(eid, _)| eid)
+        .unwrap_or_else(|| panic!("edge ({u},{v}) not present in factor guest"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::multi_path_metrics;
+    use crate::path::HostPath;
+    use crate::schedule::PhaseSchedule;
+    use crate::validate::validate_multi_path;
+    use hyperpath_guests::{directed_cycle, Grid};
+    use hyperpath_topology::gray_code;
+
+    fn gray_embedding(n: u32) -> MultiPathEmbedding {
+        let host = Hypercube::new(n);
+        let len = host.num_nodes() as u32;
+        let guest = directed_cycle(len);
+        let vertex_map: Vec<u64> = (0..len as u64).map(gray_code).collect();
+        let edge_paths = guest
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                vec![HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])]
+            })
+            .collect();
+        MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+    }
+
+    #[test]
+    fn product_of_cycles_is_torus_shaped() {
+        let c4 = directed_cycle(4);
+        let g = cross_product_graph(&c4, &c4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 32);
+        assert!(g.is_connected());
+        // Directed torus: out-degree 2 everywhere.
+        assert_eq!(g.max_out_degree(), 2);
+        // Matches the (directed) 4x4 torus link structure: each vertex of
+        // Grid::torus has in-degree 4 counting both directions; here each
+        // cycle contributes 1.
+        assert!(g.in_degrees().iter().all(|&d| d == 2));
+        let _ = Grid::torus(&[4, 4]); // same vertex numbering convention (axis 0 fastest)
+    }
+
+    #[test]
+    fn product_embedding_validates_and_keeps_metrics() {
+        let ea = gray_embedding(2);
+        let eb = gray_embedding(3);
+        let prod = cross_product_embedding(&ea, &eb);
+        assert_eq!(prod.host.dims(), 5);
+        validate_multi_path(&prod, 1, Some(1)).unwrap();
+        let m = multi_path_metrics(&prod);
+        assert_eq!(m.load, 1);
+        assert_eq!(m.dilation, 1);
+        assert_eq!(m.congestion, 1);
+        // Utilization: cycle edges use 1 dim-slot per node per factor:
+        // (4*8 + 8*4) directed edges used of 5*32.
+        assert!((m.utilization - 64.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_schedule_is_conflict_free() {
+        let ea = gray_embedding(2);
+        let eb = gray_embedding(2);
+        let prod = cross_product_embedding(&ea, &eb);
+        let s = PhaseSchedule::all_paths_at_once(&prod);
+        let (p, cost) = s.certified_cost(&prod).unwrap();
+        assert_eq!(p, 1);
+        assert_eq!(cost, 1);
+    }
+
+    #[test]
+    fn vertex_map_is_factorwise() {
+        let ea = gray_embedding(2);
+        let eb = gray_embedding(2);
+        let prod = cross_product_embedding(&ea, &eb);
+        for hv in 0..4u32 {
+            for gv in 0..4u32 {
+                let v = gv + 4 * hv;
+                assert_eq!(
+                    prod.image(v),
+                    gray_code(gv as u64) | (gray_code(hv as u64) << 2)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph-embedding framework.
+//!
+//! Following Section 3 of Greenberg & Bhatt, an *embedding* of a guest graph
+//! `G` into a host graph `H` is a vertex map `η` plus an edge map `μ` sending
+//! each guest edge to a host path. This crate generalizes the edge map to
+//! path *bundles* (one bundle per guest edge) so that a single data model
+//! covers all three families the paper studies:
+//!
+//! * **multiple-path embeddings** (width-`w`: each bundle holds `w`
+//!   edge-disjoint paths) — [`MultiPathEmbedding`];
+//! * **multiple-copy embeddings** (`k` independent one-to-one embeddings) —
+//!   [`MultiCopyEmbedding`];
+//! * classical and **large-copy** embeddings (bundles of one path, load
+//!   possibly > 1) — also [`MultiPathEmbedding`].
+//!
+//! Everything a theorem claims about an embedding — load, dilation,
+//! congestion, width, expansion, edge-disjointness — is computed by
+//! [`metrics`] and machine-checked by [`validate`]; the claimed `p`-packet
+//! costs are witnessed by explicit per-step [`schedule`]s whose
+//! conflict-freedom is verified edge-by-edge. [`cross`] composes embeddings
+//! along hypercube cross products (Section 4.5) and [`squaring`] provides the
+//! grid-squaring plug-in of Corollary 2.
+
+pub mod cross;
+pub mod map;
+pub mod metrics;
+pub mod path;
+pub mod schedule;
+pub mod squaring;
+pub mod validate;
+
+pub use cross::{cross_product_embedding, cross_product_graph};
+pub use map::{CopyEmbedding, MultiCopyEmbedding, MultiPathEmbedding};
+pub use metrics::{EmbeddingMetrics, MultiCopyMetrics};
+pub use path::HostPath;
+pub use schedule::{PhaseSchedule, Transmission};
+pub use squaring::{pow2_square, GridMap};

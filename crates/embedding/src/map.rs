@@ -1,0 +1,174 @@
+//! Embedding data types: multiple-path and multiple-copy embeddings.
+
+use crate::path::HostPath;
+use hyperpath_guests::Digraph;
+use hyperpath_topology::{Hypercube, Node};
+
+/// A (possibly many-to-one) embedding of a guest graph into a hypercube in
+/// which every guest edge is mapped to a *bundle* of host paths.
+///
+/// * Width-`w` multiple-path embeddings (Section 3) put `w` edge-disjoint
+///   paths in every bundle.
+/// * Classical embeddings and large-copy embeddings (Section 8) put exactly
+///   one path in every bundle.
+#[derive(Debug, Clone)]
+pub struct MultiPathEmbedding {
+    /// The host hypercube.
+    pub host: Hypercube,
+    /// The guest communication graph.
+    pub guest: Digraph,
+    /// `η`: host image of each guest vertex, indexed by guest vertex id.
+    pub vertex_map: Vec<Node>,
+    /// `μ`: path bundle of each guest edge, indexed by guest edge id. Every
+    /// path must run from `η(u)` to `η(v)` for the edge `(u, v)`.
+    pub edge_paths: Vec<Vec<HostPath>>,
+}
+
+impl MultiPathEmbedding {
+    /// The host image of guest vertex `v`.
+    #[inline]
+    pub fn image(&self, v: u32) -> Node {
+        self.vertex_map[v as usize]
+    }
+
+    /// The path bundle of guest edge `e`.
+    #[inline]
+    pub fn paths(&self, e: usize) -> &[HostPath] {
+        &self.edge_paths[e]
+    }
+
+    /// The *width* of the embedding: the minimum bundle size over all guest
+    /// edges (0 if the guest has no edges). Note that a width-`w` claim
+    /// additionally requires per-bundle edge-disjointness, which
+    /// [`crate::validate::validate_multi_path`] checks.
+    pub fn width(&self) -> usize {
+        self.edge_paths.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Iterates over `(guest_edge_id, path_index, path)` for all paths.
+    pub fn all_paths(&self) -> impl Iterator<Item = (usize, usize, &HostPath)> {
+        self.edge_paths
+            .iter()
+            .enumerate()
+            .flat_map(|(e, bundle)| bundle.iter().enumerate().map(move |(i, p)| (e, i, p)))
+    }
+}
+
+/// One copy of a multiple-copy embedding: a one-to-one vertex map plus one
+/// host path per guest edge.
+#[derive(Debug, Clone)]
+pub struct CopyEmbedding {
+    /// `η`: host image of each guest vertex (one-to-one).
+    pub vertex_map: Vec<Node>,
+    /// `μ`: host path of each guest edge.
+    pub edge_paths: Vec<HostPath>,
+}
+
+impl CopyEmbedding {
+    /// The host image of guest vertex `v`.
+    #[inline]
+    pub fn image(&self, v: u32) -> Node {
+        self.vertex_map[v as usize]
+    }
+
+    /// Dilation of this copy: the longest edge path (0 if no edges).
+    pub fn dilation(&self) -> usize {
+        self.edge_paths.iter().map(HostPath::len).max().unwrap_or(0)
+    }
+}
+
+/// A `k`-copy embedding (Section 3): `k` one-to-one embeddings of the same
+/// guest into the same host. Each host node may carry up to `k` guest
+/// vertices, one per copy; the *edge-congestion* sums congestion over all
+/// copies.
+#[derive(Debug, Clone)]
+pub struct MultiCopyEmbedding {
+    /// The host hypercube.
+    pub host: Hypercube,
+    /// The guest graph all copies share.
+    pub guest: Digraph,
+    /// The independent copies.
+    pub copies: Vec<CopyEmbedding>,
+}
+
+impl MultiCopyEmbedding {
+    /// Number of copies `k`.
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Flattens copy `i` into a [`MultiPathEmbedding`] with singleton
+    /// bundles (useful for reusing the single-embedding validator/metrics).
+    pub fn copy_as_multi_path(&self, i: usize) -> MultiPathEmbedding {
+        let c = &self.copies[i];
+        MultiPathEmbedding {
+            host: self.host,
+            guest: self.guest.clone(),
+            vertex_map: c.vertex_map.clone(),
+            edge_paths: c.edge_paths.iter().map(|p| vec![p.clone()]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_guests::directed_cycle;
+
+    fn tiny() -> MultiPathEmbedding {
+        // C_4 into Q_2 via the identity Gray map, one direct path per edge.
+        let host = Hypercube::new(2);
+        let guest = directed_cycle(4);
+        let vertex_map: Vec<Node> = (0..4).map(hyperpath_topology::gray_code).collect();
+        let edge_paths = guest
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                vec![HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])]
+            })
+            .collect();
+        MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+    }
+
+    #[test]
+    fn width_is_min_bundle() {
+        let mut e = tiny();
+        assert_eq!(e.width(), 1);
+        e.edge_paths[0].push(HostPath::from_dims(e.vertex_map[0], &[1, 0, 1]));
+        assert_eq!(e.width(), 1, "one bigger bundle does not raise the min");
+        assert_eq!(e.all_paths().count(), 5);
+    }
+
+    #[test]
+    fn images_follow_vertex_map() {
+        let e = tiny();
+        assert_eq!(e.image(0), 0);
+        assert_eq!(e.image(1), 1);
+        assert_eq!(e.image(2), 3);
+        assert_eq!(e.image(3), 2);
+    }
+
+    #[test]
+    fn copy_flattening() {
+        let host = Hypercube::new(2);
+        let guest = directed_cycle(4);
+        let copy = CopyEmbedding {
+            vertex_map: (0..4).map(hyperpath_topology::gray_code).collect(),
+            edge_paths: guest
+                .edges()
+                .iter()
+                .map(|&(u, v)| {
+                    HostPath::new(vec![
+                        hyperpath_topology::gray_code(u as u64),
+                        hyperpath_topology::gray_code(v as u64),
+                    ])
+                })
+                .collect(),
+        };
+        assert_eq!(copy.dilation(), 1);
+        let mc = MultiCopyEmbedding { host, guest, copies: vec![copy] };
+        assert_eq!(mc.num_copies(), 1);
+        let flat = mc.copy_as_multi_path(0);
+        assert_eq!(flat.width(), 1);
+    }
+}

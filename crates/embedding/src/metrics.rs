@@ -1,0 +1,195 @@
+//! Embedding metrics: load, dilation, congestion, width, expansion,
+//! utilization (Section 3 definitions).
+
+use crate::map::{MultiCopyEmbedding, MultiPathEmbedding};
+use hyperpath_topology::Hypercube;
+
+/// Measured properties of a [`MultiPathEmbedding`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingMetrics {
+    /// Max number of guest vertices mapped to one host node.
+    pub load: usize,
+    /// Max path length over all bundles (the embedding's dilation).
+    pub dilation: usize,
+    /// Min path length over all bundles (1 for classical embeddings; 0 when
+    /// an edge collapses).
+    pub min_dilation: usize,
+    /// Min bundle size over all guest edges (the width, assuming per-bundle
+    /// disjointness, which `validate` checks separately).
+    pub width: usize,
+    /// Max over directed host edges of the number of paths crossing it.
+    pub congestion: usize,
+    /// Per-dimension max congestion (index = host dimension).
+    pub congestion_by_dim: Vec<usize>,
+    /// Fraction of directed host edges crossed by at least one path.
+    pub utilization: f64,
+    /// Host size divided by the smallest hypercube that fits the guest:
+    /// `2^n / 2^⌈log2 |V(G)|⌉`.
+    pub expansion: f64,
+}
+
+/// Computes metrics for a multiple-path embedding.
+pub fn multi_path_metrics(e: &MultiPathEmbedding) -> EmbeddingMetrics {
+    let host = e.host;
+    let mut load = vec![0usize; host.num_nodes() as usize];
+    for &v in &e.vertex_map {
+        load[v as usize] += 1;
+    }
+    let mut cong = vec![0usize; host.num_directed_edges() as usize];
+    let mut dilation = 0usize;
+    let mut min_dilation = usize::MAX;
+    for (_, _, p) in e.all_paths() {
+        dilation = dilation.max(p.len());
+        min_dilation = min_dilation.min(p.len());
+        for edge in p.edges() {
+            cong[host.dir_edge_index(edge)] += 1;
+        }
+    }
+    if min_dilation == usize::MAX {
+        min_dilation = 0;
+    }
+    let used = cong.iter().filter(|&&c| c > 0).count();
+    EmbeddingMetrics {
+        load: load.iter().copied().max().unwrap_or(0),
+        dilation,
+        min_dilation,
+        width: e.width(),
+        congestion: cong.iter().copied().max().unwrap_or(0),
+        congestion_by_dim: per_dim_max(&host, &cong),
+        utilization: used as f64 / cong.len() as f64,
+        expansion: expansion(&host, e.guest.num_vertices()),
+    }
+}
+
+/// Measured properties of a [`MultiCopyEmbedding`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCopyMetrics {
+    /// Number of copies `k`.
+    pub copies: usize,
+    /// Max dilation over all copies.
+    pub dilation: usize,
+    /// Edge-congestion: max over directed host edges of the path count
+    /// summed over **all** copies (Section 3's multiple-copy congestion).
+    pub edge_congestion: usize,
+    /// Per-dimension max edge-congestion.
+    pub congestion_by_dim: Vec<usize>,
+    /// Max number of guest vertices a host node carries across all copies
+    /// (at most `k` for one-to-one copies of a full-size guest).
+    pub load: usize,
+    /// Fraction of directed host edges used by at least one copy.
+    pub utilization: f64,
+}
+
+/// Computes metrics for a multiple-copy embedding.
+pub fn multi_copy_metrics(e: &MultiCopyEmbedding) -> MultiCopyMetrics {
+    let host = e.host;
+    let mut cong = vec![0usize; host.num_directed_edges() as usize];
+    let mut load = vec![0usize; host.num_nodes() as usize];
+    let mut dilation = 0usize;
+    for c in &e.copies {
+        for &v in &c.vertex_map {
+            load[v as usize] += 1;
+        }
+        for p in &c.edge_paths {
+            dilation = dilation.max(p.len());
+            for edge in p.edges() {
+                cong[host.dir_edge_index(edge)] += 1;
+            }
+        }
+    }
+    let used = cong.iter().filter(|&&c| c > 0).count();
+    MultiCopyMetrics {
+        copies: e.copies.len(),
+        dilation,
+        edge_congestion: cong.iter().copied().max().unwrap_or(0),
+        congestion_by_dim: per_dim_max(&host, &cong),
+        load: load.iter().copied().max().unwrap_or(0),
+        utilization: used as f64 / cong.len() as f64,
+    }
+}
+
+fn per_dim_max(host: &Hypercube, cong: &[usize]) -> Vec<usize> {
+    let n = host.dims() as usize;
+    let mut by_dim = vec![0usize; n];
+    for (idx, &c) in cong.iter().enumerate() {
+        by_dim[idx % n] = by_dim[idx % n].max(c);
+    }
+    by_dim
+}
+
+/// The paper's *expansion*: host size over the smallest hypercube at least
+/// as large as the guest.
+pub fn expansion(host: &Hypercube, guest_vertices: u32) -> f64 {
+    let needed = (guest_vertices.max(1) as u64).next_power_of_two();
+    host.num_nodes() as f64 / needed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::HostPath;
+    use hyperpath_guests::directed_cycle;
+    use hyperpath_topology::gray_code;
+
+    /// The classical Gray-code embedding of `C_{2^n}` into `Q_n` (Figure 1).
+    pub fn gray_cycle_embedding(n: u32) -> MultiPathEmbedding {
+        let host = Hypercube::new(n);
+        let len = host.num_nodes() as u32;
+        let guest = directed_cycle(len);
+        let vertex_map: Vec<u64> = (0..len as u64).map(gray_code).collect();
+        let edge_paths = guest
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                vec![HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])]
+            })
+            .collect();
+        MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+    }
+
+    #[test]
+    fn gray_code_metrics_match_section2() {
+        // The classical embedding: load 1, dilation 1, congestion 1, and only
+        // a 1/n fraction of directed links used — the inefficiency that
+        // motivates the paper.
+        for n in [3u32, 5, 8] {
+            let m = multi_path_metrics(&gray_cycle_embedding(n));
+            assert_eq!(m.load, 1);
+            assert_eq!(m.dilation, 1);
+            assert_eq!(m.min_dilation, 1);
+            assert_eq!(m.width, 1);
+            assert_eq!(m.congestion, 1);
+            assert!((m.utilization - 1.0 / n as f64).abs() < 1e-12, "n={n}");
+            assert_eq!(m.expansion, 1.0);
+        }
+    }
+
+    #[test]
+    fn congestion_counts_overlaps() {
+        let mut e = gray_cycle_embedding(3);
+        // Duplicate one path: congestion on its edge becomes 2.
+        let p = e.edge_paths[0][0].clone();
+        e.edge_paths[0].push(p);
+        let m = multi_path_metrics(&e);
+        assert_eq!(m.congestion, 2);
+        assert_eq!(m.width, 1);
+    }
+
+    #[test]
+    fn per_dim_profile() {
+        let e = gray_cycle_embedding(3);
+        let m = multi_path_metrics(&e);
+        assert_eq!(m.congestion_by_dim.len(), 3);
+        // Gray code uses every dimension at least once around the cycle.
+        assert!(m.congestion_by_dim.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn expansion_of_padded_guest() {
+        // 5 guest vertices in Q_4: smallest fitting cube is Q_3.
+        let host = Hypercube::new(4);
+        assert_eq!(expansion(&host, 5), 2.0);
+        assert_eq!(expansion(&host, 16), 1.0);
+        assert_eq!(expansion(&host, 17), 0.5, "guest larger than host is allowed (load > 1)");
+    }
+}

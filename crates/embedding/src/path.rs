@@ -1,0 +1,189 @@
+//! Host paths: walks in the hypercube that images of guest edges follow.
+
+use hyperpath_topology::{Dim, DirEdge, Hypercube, Node};
+use serde::{Deserialize, Serialize};
+
+/// A walk in the host hypercube, stored as its node sequence.
+///
+/// A path of a single node (`len() == 0`) is legal and represents a guest
+/// edge whose endpoints share a host image (dilation 0), as happens in
+/// large-copy embeddings (Section 8) where whole guest cycles collapse onto
+/// one host node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostPath {
+    nodes: Vec<Node>,
+}
+
+impl HostPath {
+    /// Creates a path from its node sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty. Hypercube-adjacency of consecutive
+    /// nodes is checked by [`HostPath::validate`] / the embedding validator,
+    /// not here, so constructions can build paths cheaply.
+    pub fn new(nodes: Vec<Node>) -> Self {
+        assert!(!nodes.is_empty(), "a host path has at least one node");
+        HostPath { nodes }
+    }
+
+    /// Builds the path `from, from^2^d0, …` following a dimension sequence.
+    pub fn from_dims(from: Node, dims: &[Dim]) -> Self {
+        let mut nodes = Vec::with_capacity(dims.len() + 1);
+        let mut v = from;
+        nodes.push(v);
+        for &d in dims {
+            v ^= 1u64 << d;
+            nodes.push(v);
+        }
+        HostPath { nodes }
+    }
+
+    /// First node.
+    #[inline]
+    pub fn from(&self) -> Node {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    #[inline]
+    pub fn to(&self) -> Node {
+        *self.nodes.last().expect("nonempty")
+    }
+
+    /// Number of edges (the paper's *dilation* of the guest edge following
+    /// this path).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the path has no edges (single node).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The node sequence.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The directed host edges traversed, in order.
+    pub fn edges(&self) -> impl Iterator<Item = DirEdge> + '_ {
+        self.nodes.windows(2).map(|w| {
+            let dim = (w[0] ^ w[1]).trailing_zeros();
+            DirEdge::new(w[0], dim)
+        })
+    }
+
+    /// Checks that this is a valid walk in `cube` and returns the crossed
+    /// dimensions.
+    pub fn validate(&self, cube: &Hypercube) -> Result<Vec<Dim>, String> {
+        cube.validate_walk(&self.nodes)
+    }
+
+    /// The reverse walk.
+    pub fn reversed(&self) -> HostPath {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        HostPath { nodes }
+    }
+
+    /// This path with every node translated by XOR with `mask` (a hypercube
+    /// automorphism, so walks stay walks).
+    pub fn translated(&self, mask: Node) -> HostPath {
+        HostPath { nodes: self.nodes.iter().map(|&v| v ^ mask).collect() }
+    }
+
+    /// This path with every node passed through `f` (caller promises `f` is
+    /// a hypercube automorphism).
+    pub fn mapped(&self, f: impl Fn(Node) -> Node) -> HostPath {
+        HostPath { nodes: self.nodes.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+/// Checks that a bundle of paths is pairwise edge-disjoint on **directed**
+/// edges (the width property of Section 3). Returns the offending edge on
+/// failure.
+pub fn paths_edge_disjoint(cube: &Hypercube, paths: &[HostPath]) -> Result<(), DirEdge> {
+    use std::collections::HashSet;
+    let mut seen: HashSet<usize> = HashSet::new();
+    for p in paths {
+        for e in p.edges() {
+            if !seen.insert(cube.dir_edge_index(e)) {
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dims_builds_expected_walk() {
+        let p = HostPath::from_dims(0b0000, &[0, 2, 0]);
+        assert_eq!(p.nodes(), &[0b0000, 0b0001, 0b0101, 0b0100]);
+        assert_eq!(p.from(), 0);
+        assert_eq!(p.to(), 0b0100);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn single_node_path() {
+        let p = HostPath::new(vec![5]);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.from(), 5);
+        assert_eq!(p.to(), 5);
+        assert_eq!(p.edges().count(), 0);
+    }
+
+    #[test]
+    fn edges_carry_dims() {
+        let p = HostPath::from_dims(0b101, &[1, 0]);
+        let es: Vec<DirEdge> = p.edges().collect();
+        assert_eq!(es, vec![DirEdge::new(0b101, 1), DirEdge::new(0b111, 0)]);
+    }
+
+    #[test]
+    fn validate_rejects_teleport() {
+        let cube = Hypercube::new(3);
+        assert!(HostPath::new(vec![0, 3]).validate(&cube).is_err());
+        assert!(HostPath::new(vec![0, 1, 3]).validate(&cube).is_ok());
+    }
+
+    #[test]
+    fn reversal_and_translation() {
+        let cube = Hypercube::new(4);
+        let p = HostPath::from_dims(0b0011, &[2, 3]);
+        let r = p.reversed();
+        assert_eq!(r.from(), p.to());
+        assert_eq!(r.to(), p.from());
+        assert!(r.validate(&cube).is_ok());
+        let t = p.translated(0b1111);
+        assert_eq!(t.from(), 0b1100);
+        assert!(t.validate(&cube).is_ok());
+        assert_eq!(t.len(), p.len());
+    }
+
+    #[test]
+    fn disjointness_checker() {
+        let cube = Hypercube::new(3);
+        let a = HostPath::from_dims(0, &[0]);
+        let b = HostPath::from_dims(0, &[1, 0, 1]);
+        assert!(paths_edge_disjoint(&cube, &[a.clone(), b.clone()]).is_ok());
+        // Same directed edge in both:
+        let c = HostPath::from_dims(0, &[0, 1]);
+        assert!(paths_edge_disjoint(&cube, &[a, c]).is_err());
+        // Opposite directions of one link are distinct directed edges:
+        let d = HostPath::from_dims(0, &[0]);
+        let e = HostPath::from_dims(1, &[0]);
+        assert!(paths_edge_disjoint(&cube, &[d, e]).is_ok());
+        assert!(paths_edge_disjoint(&cube, &[b]).is_ok());
+    }
+}

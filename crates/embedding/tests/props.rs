@@ -1,0 +1,85 @@
+//! Property-based tests for the embedding framework.
+
+use hyperpath_embedding::*;
+use hyperpath_guests::directed_cycle;
+use hyperpath_topology::{gray_code, Hypercube};
+use proptest::prelude::*;
+
+fn random_multipath(n: u32, detours: &[u32]) -> MultiPathEmbedding {
+    // Gray cycle plus optional valid 3-hop detours picked by `detours`.
+    let host = Hypercube::new(n);
+    let len = host.num_nodes();
+    let guest = directed_cycle(len as u32);
+    let vertex_map: Vec<u64> = (0..len).map(gray_code).collect();
+    let edge_paths = guest
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            let a = vertex_map[u as usize];
+            let b = vertex_map[v as usize];
+            let d = (a ^ b).trailing_zeros();
+            let mut bundle = vec![HostPath::new(vec![a, b])];
+            let ks: std::collections::BTreeSet<u32> = detours.iter().map(|&k| k % n).collect();
+            for k in ks {
+                if k != d {
+                    bundle.push(HostPath::from_dims(a, &[k, d, k]));
+                }
+            }
+            bundle
+        })
+        .collect();
+    MultiPathEmbedding { host, guest, vertex_map, edge_paths }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any bundle built from distinct detour dimensions validates, and the
+    /// greedy and phase-aligned schedulers always produce verified
+    /// schedules whose makespan bounds are sane.
+    #[test]
+    fn schedulers_always_verify(n in 3u32..7, ks in proptest::collection::btree_set(0u32..7, 0..4)) {
+        let detours: Vec<u32> = ks.into_iter().collect();
+        let e = random_multipath(n, &detours);
+        validate_multi_path_ok(&e)?;
+        let g = PhaseSchedule::greedy(&e);
+        g.verify(&e).unwrap();
+        let a = PhaseSchedule::phase_aligned(&e);
+        a.verify(&e).unwrap();
+        // Phase-aligned is never shorter than the longest path.
+        let max_len = e.all_paths().map(|(_, _, p)| p.len() as u64).max().unwrap();
+        prop_assert!(a.makespan(&e) >= max_len);
+        prop_assert!(g.makespan(&e) >= max_len);
+    }
+
+    /// Cross products preserve validity and multiply host sizes.
+    #[test]
+    fn cross_products_validate(na in 2u32..5, nb in 2u32..5) {
+        let ea = random_multipath(na, &[]);
+        let eb = random_multipath(nb, &[]);
+        let prod = cross_product_embedding(&ea, &eb);
+        prop_assert_eq!(prod.host.dims(), na + nb);
+        validate_multi_path_ok(&prod)?;
+        let m = metrics::multi_path_metrics(&prod);
+        prop_assert_eq!(m.load, 1);
+        prop_assert_eq!(m.dilation, 1);
+    }
+
+    /// Squaring maps are injective with the documented dilation bound.
+    #[test]
+    fn squaring_injective(w in 2u32..12, h in 2u32..12) {
+        let g = hyperpath_guests::Grid::new(&[w, h]);
+        let m = pow2_square(&g);
+        prop_assert!(m.is_injective());
+        let folds = {
+            let (we, he) = (w.next_power_of_two().trailing_zeros(), h.next_power_of_two().trailing_zeros());
+            we.abs_diff(he) / 2
+        };
+        prop_assert!(m.dilation() <= 1 << folds.max(1), "dilation {} folds {}", m.dilation(), folds);
+    }
+}
+
+fn validate_multi_path_ok(e: &MultiPathEmbedding) -> Result<(), TestCaseError> {
+    hyperpath_embedding::validate::validate_multi_path(e, 1, Some(1))
+        .map_err(|err| TestCaseError::fail(err))
+}

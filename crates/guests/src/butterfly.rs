@@ -1,0 +1,178 @@
+//! Wrapped butterflies and FFT graphs (Sections 5.4, 6, 7).
+//!
+//! The `m`-level *wrapped butterfly* has `m · 2^m` vertices `⟨ℓ, c⟩`
+//! (`0 ≤ ℓ < m`) and directed edges
+//!
+//! * straight: `⟨ℓ, c⟩ → ⟨(ℓ+1) mod m, c⟩`
+//! * cross:    `⟨ℓ, c⟩ → ⟨(ℓ+1) mod m, c ⊕ 2^ℓ⟩`
+//!
+//! The *FFT graph* is the unwrapped variant with `m+1` levels
+//! (`(m+1) · 2^m` vertices); level `m` has no outgoing edges. Both embed in
+//! the `m`-stage CCC with dilation 2 and congestion 2 (Section 5.4), which is
+//! how the paper transfers its multiple-copy CCC embedding to them.
+
+use crate::digraph::{Digraph, GuestVertex};
+
+/// The `m`-level wrapped butterfly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Butterfly {
+    m: u32,
+}
+
+impl Butterfly {
+    /// Creates the `m`-level wrapped butterfly (`m ≥ 2`).
+    pub fn new(m: u32) -> Self {
+        assert!((2..=24).contains(&m), "butterfly level count out of supported range");
+        Butterfly { m }
+    }
+
+    /// Number of levels `m`.
+    pub fn levels(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of columns `2^m`.
+    pub fn num_columns(&self) -> u32 {
+        1 << self.m
+    }
+
+    /// Number of vertices `m · 2^m`.
+    pub fn num_vertices(&self) -> u32 {
+        self.m * self.num_columns()
+    }
+
+    /// Vertex id of `⟨level, column⟩` (column-major, matching
+    /// [`crate::ccc::Ccc`] so the dilation-2 CCC embedding is the identity on
+    /// ids).
+    pub fn vertex(&self, level: u32, column: u32) -> GuestVertex {
+        debug_assert!(level < self.m && column < self.num_columns());
+        column * self.m + level
+    }
+
+    /// The `⟨level, column⟩` address of a vertex id.
+    pub fn address(&self, v: GuestVertex) -> (u32, u32) {
+        (v % self.m, v / self.m)
+    }
+
+    /// The directed communication graph. Edge order per vertex: straight
+    /// first, then cross.
+    pub fn graph(&self) -> Digraph {
+        let mut edges = Vec::with_capacity(2 * self.num_vertices() as usize);
+        for c in 0..self.num_columns() {
+            for l in 0..self.m {
+                let v = self.vertex(l, c);
+                let nl = (l + 1) % self.m;
+                edges.push((v, self.vertex(nl, c)));
+                edges.push((v, self.vertex(nl, c ^ (1 << l))));
+            }
+        }
+        Digraph::from_edges(format!("BF_{}", self.m), self.num_vertices(), edges)
+    }
+}
+
+/// The `m`-dimensional FFT dependence graph: `m+1` levels, unwrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftGraph {
+    m: u32,
+}
+
+impl FftGraph {
+    /// Creates the `m`-dimensional FFT graph (`m ≥ 1`).
+    pub fn new(m: u32) -> Self {
+        assert!((1..=24).contains(&m), "FFT size out of supported range");
+        FftGraph { m }
+    }
+
+    /// Number of butterfly dimensions `m` (levels run `0..=m`).
+    pub fn dims(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of columns `2^m`.
+    pub fn num_columns(&self) -> u32 {
+        1 << self.m
+    }
+
+    /// Number of vertices `(m+1) · 2^m`.
+    pub fn num_vertices(&self) -> u32 {
+        (self.m + 1) * self.num_columns()
+    }
+
+    /// Vertex id of `⟨level, column⟩`, `0 ≤ level ≤ m`.
+    pub fn vertex(&self, level: u32, column: u32) -> GuestVertex {
+        debug_assert!(level <= self.m && column < self.num_columns());
+        column * (self.m + 1) + level
+    }
+
+    /// The `⟨level, column⟩` address of a vertex id.
+    pub fn address(&self, v: GuestVertex) -> (u32, u32) {
+        (v % (self.m + 1), v / (self.m + 1))
+    }
+
+    /// The directed communication graph (data flows level `ℓ` → `ℓ+1`).
+    pub fn graph(&self) -> Digraph {
+        let mut edges = Vec::with_capacity((2 * (self.m as usize)) << self.m);
+        for c in 0..self.num_columns() {
+            for l in 0..self.m {
+                let v = self.vertex(l, c);
+                edges.push((v, self.vertex(l + 1, c)));
+                edges.push((v, self.vertex(l + 1, c ^ (1 << l))));
+            }
+        }
+        Digraph::from_edges(format!("FFT_{}", self.m), self.num_vertices(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_sizes() {
+        let bf = Butterfly::new(3);
+        assert_eq!(bf.num_vertices(), 24);
+        let g = bf.graph();
+        assert_eq!(g.num_edges(), 48);
+        assert!(g.in_degrees().iter().all(|&d| d == 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn butterfly_address_roundtrip() {
+        let bf = Butterfly::new(4);
+        for v in 0..bf.num_vertices() {
+            let (l, c) = bf.address(v);
+            assert_eq!(bf.vertex(l, c), v);
+        }
+    }
+
+    #[test]
+    fn fft_sizes_and_structure() {
+        let f = FftGraph::new(3);
+        assert_eq!(f.num_vertices(), 32);
+        let g = f.graph();
+        assert_eq!(g.num_edges(), 48);
+        // level m has no out-edges, level 0 no in-edges
+        for c in 0..f.num_columns() {
+            assert_eq!(g.out_degree(f.vertex(3, c)), 0);
+        }
+        let indeg = g.in_degrees();
+        for c in 0..f.num_columns() {
+            assert_eq!(indeg[f.vertex(0, c) as usize], 0);
+            assert_eq!(indeg[f.vertex(1, c) as usize], 2);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn butterfly_cross_edges_change_exactly_level_bit() {
+        let bf = Butterfly::new(4);
+        let g = bf.graph();
+        for &(u, v) in g.edges() {
+            let (lu, cu) = bf.address(u);
+            let (lv, cv) = bf.address(v);
+            assert_eq!(lv, (lu + 1) % 4);
+            assert!(cu == cv || cu ^ cv == 1 << lu);
+        }
+    }
+}

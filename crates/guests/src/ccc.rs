@@ -1,0 +1,134 @@
+//! The cube-connected-cycles network (Section 5.1, after Preparata &
+//! Vuillemin).
+//!
+//! The `n`-stage directed CCC has `n · 2^n` vertices `⟨ℓ, c⟩` with `n` levels
+//! and `2^n` columns, and two directed edge families:
+//!
+//! * straight edges `S`: `⟨ℓ, c⟩ → ⟨(ℓ+1) mod n, c⟩` — the `n` vertices of a
+//!   column form a directed cycle;
+//! * cross edges `C`: `⟨ℓ, c⟩ → ⟨ℓ, c ⊕ 2^ℓ⟩` — oppositely oriented pairs.
+//!
+//! Every vertex has out-degree 2 (one straight, one cross).
+
+use crate::digraph::{Digraph, GuestVertex};
+
+/// The `n`-stage cube-connected-cycles network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ccc {
+    n: u32,
+}
+
+impl Ccc {
+    /// Creates the `n`-stage CCC (`n ≥ 2` so cross edges are meaningful and
+    /// column cycles are proper).
+    pub fn new(n: u32) -> Self {
+        assert!((2..=24).contains(&n), "CCC stage count out of supported range");
+        Ccc { n }
+    }
+
+    /// Number of levels (= stage count `n`).
+    pub fn levels(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of columns, `2^n`.
+    pub fn num_columns(&self) -> u32 {
+        1 << self.n
+    }
+
+    /// Number of vertices, `n · 2^n`.
+    pub fn num_vertices(&self) -> u32 {
+        self.n * self.num_columns()
+    }
+
+    /// Vertex id of `⟨level, column⟩` (column-major: a column's cycle is
+    /// contiguous).
+    pub fn vertex(&self, level: u32, column: u32) -> GuestVertex {
+        debug_assert!(level < self.n && column < self.num_columns());
+        column * self.n + level
+    }
+
+    /// The `⟨level, column⟩` address of a vertex id.
+    pub fn address(&self, v: GuestVertex) -> (u32, u32) {
+        (v % self.n, v / self.n)
+    }
+
+    /// The straight-edge successor of `⟨ℓ, c⟩`.
+    pub fn straight(&self, level: u32, column: u32) -> (u32, u32) {
+        ((level + 1) % self.n, column)
+    }
+
+    /// The cross-edge partner of `⟨ℓ, c⟩`.
+    pub fn cross(&self, level: u32, column: u32) -> (u32, u32) {
+        (level, column ^ (1 << level))
+    }
+
+    /// The directed communication graph. Edge order per vertex: straight
+    /// first, then cross.
+    pub fn graph(&self) -> Digraph {
+        let mut edges = Vec::with_capacity(2 * self.num_vertices() as usize);
+        for c in 0..self.num_columns() {
+            for l in 0..self.n {
+                let v = self.vertex(l, c);
+                let (sl, sc) = self.straight(l, c);
+                edges.push((v, self.vertex(sl, sc)));
+                let (xl, xc) = self.cross(l, c);
+                edges.push((v, self.vertex(xl, xc)));
+            }
+        }
+        Digraph::from_edges(format!("CCC_{}", self.n), self.num_vertices(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let ccc = Ccc::new(3);
+        assert_eq!(ccc.num_vertices(), 24);
+        assert_eq!(ccc.num_columns(), 8);
+        let g = ccc.graph();
+        assert_eq!(g.num_edges(), 48);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!(g.in_degrees().iter().all(|&d| d == 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn address_roundtrip() {
+        let ccc = Ccc::new(4);
+        for v in 0..ccc.num_vertices() {
+            let (l, c) = ccc.address(v);
+            assert_eq!(ccc.vertex(l, c), v);
+        }
+    }
+
+    #[test]
+    fn cross_edges_pair_up() {
+        let ccc = Ccc::new(4);
+        for c in 0..ccc.num_columns() {
+            for l in 0..ccc.levels() {
+                let (xl, xc) = ccc.cross(l, c);
+                assert_eq!(xl, l);
+                assert_eq!(ccc.cross(xl, xc), (l, c), "cross is an involution");
+                assert_eq!(xc ^ c, 1 << l);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_directed_cycles() {
+        let ccc = Ccc::new(5);
+        for c in 0..ccc.num_columns() {
+            let mut l = 0;
+            for _ in 0..ccc.levels() {
+                let (nl, nc) = ccc.straight(l, c);
+                assert_eq!(nc, c);
+                l = nl;
+            }
+            assert_eq!(l, 0, "straight edges of a column close a cycle");
+        }
+    }
+}

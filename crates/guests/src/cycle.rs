@@ -1,0 +1,45 @@
+//! Directed cycles and paths (Sections 2 and 4).
+
+use crate::digraph::Digraph;
+
+/// The directed cycle on `len` vertices: edges `i → (i+1) mod len`.
+///
+/// # Panics
+/// Panics if `len < 2`.
+pub fn directed_cycle(len: u32) -> Digraph {
+    assert!(len >= 2, "cycle needs at least 2 vertices");
+    let edges = (0..len).map(|i| (i, (i + 1) % len)).collect();
+    Digraph::from_edges(format!("C_{len}"), len, edges)
+}
+
+/// The directed path on `len` vertices: edges `i → i+1`.
+pub fn directed_path(len: u32) -> Digraph {
+    assert!(len >= 1, "path needs at least 1 vertex");
+    let edges = (0..len.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Digraph::from_edges(format!("P_{len}"), len, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_shape() {
+        let c = directed_cycle(8);
+        assert_eq!(c.num_vertices(), 8);
+        assert_eq!(c.num_edges(), 8);
+        assert_eq!(c.max_out_degree(), 1);
+        assert!(c.in_degrees().iter().all(|&d| d == 1));
+        assert!(c.is_connected());
+    }
+
+    #[test]
+    fn path_shape() {
+        let p = directed_path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.out_degree(4), 0);
+        assert!(p.is_connected());
+        let single = directed_path(1);
+        assert_eq!(single.num_edges(), 0);
+    }
+}

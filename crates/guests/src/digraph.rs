@@ -1,0 +1,208 @@
+//! A compact directed graph in CSR (compressed sparse row) form.
+//!
+//! Guest graphs are static, so we store edges once in a flat array sorted by
+//! source; `out_offsets[v]..out_offsets[v+1]` indexes the out-neighborhood of
+//! `v`. Edge identity (used by embeddings to attach path bundles) is the
+//! position of the edge in [`Digraph::edges`], which is stable and
+//! deterministic for a given construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Guest vertex identifier.
+pub type GuestVertex = u32;
+
+/// Index of a guest edge within [`Digraph::edges`].
+pub type GuestEdgeId = usize;
+
+/// A static directed multigraph with CSR adjacency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    name: String,
+    num_vertices: u32,
+    /// Directed edges sorted by `(src, insertion order)`.
+    edges: Vec<(GuestVertex, GuestVertex)>,
+    /// CSR offsets into `edges`: out-edges of `v` occupy
+    /// `out_offsets[v] .. out_offsets[v+1]`.
+    out_offsets: Vec<usize>,
+}
+
+impl Digraph {
+    /// Builds a graph from an edge list. Edges are re-sorted by source
+    /// (stably, preserving relative order of parallel edges).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(
+        name: impl Into<String>,
+        num_vertices: u32,
+        mut edges: Vec<(GuestVertex, GuestVertex)>,
+    ) -> Self {
+        for &(u, v) in &edges {
+            assert!(u < num_vertices && v < num_vertices, "edge ({u},{v}) out of range");
+        }
+        edges.sort_by_key(|&(u, _)| u);
+        let mut out_offsets = vec![0usize; num_vertices as usize + 1];
+        for &(u, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..num_vertices as usize {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        Digraph { name: name.into(), num_vertices, edges, out_offsets }
+    }
+
+    /// Human-readable graph family name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All directed edges; the position of an edge in this slice is its
+    /// stable [`GuestEdgeId`].
+    pub fn edges(&self) -> &[(GuestVertex, GuestVertex)] {
+        &self.edges
+    }
+
+    /// The endpoints of edge `id`.
+    pub fn edge(&self, id: GuestEdgeId) -> (GuestVertex, GuestVertex) {
+        self.edges[id]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: GuestVertex) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v` (with edge ids).
+    pub fn out_edges(&self, v: GuestVertex) -> impl Iterator<Item = (GuestEdgeId, GuestVertex)> + '_ {
+        (self.out_offsets[v as usize]..self.out_offsets[v as usize + 1])
+            .map(move |i| (i, self.edges[i].1))
+    }
+
+    /// Maximum out-degree `δ` over all vertices (0 for an empty graph).
+    /// This is the `δ` of Theorem 4's cost bound `c + 2δ`.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_vertices).map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// In-degrees of all vertices.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.num_vertices as usize];
+        for &(_, v) in &self.edges {
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    /// Whether the underlying undirected graph is connected (vacuously true
+    /// for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        if self.num_vertices == 0 {
+            return true;
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.num_vertices as usize];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut seen = vec![false; self.num_vertices as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1u32;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.num_vertices
+    }
+
+    /// Renames vertices through a bijection `f`, preserving edge ids'
+    /// relative order per source as far as the re-sort allows.
+    pub fn relabel(&self, name: impl Into<String>, f: impl Fn(GuestVertex) -> GuestVertex) -> Digraph {
+        let edges = self.edges.iter().map(|&(u, v)| (f(u), f(v))).collect();
+        Digraph::from_edges(name, self.num_vertices, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        Digraph::from_edges("diamond", 4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        let n0: Vec<u32> = g.out_edges(0).map(|(_, v)| v).collect();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.max_out_degree(), 2);
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn edge_ids_are_stable_positions() {
+        let g = diamond();
+        for (id, &(u, v)) in g.edges().iter().enumerate() {
+            assert_eq!(g.edge(id), (u, v));
+            assert!(g.out_edges(u).any(|(eid, w)| eid == id && w == v));
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_normalized() {
+        let g = Digraph::from_edges("x", 3, vec![(2, 0), (0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 1);
+        let srcs: Vec<u32> = g.edges().iter().map(|e| e.0).collect();
+        assert!(srcs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(diamond().is_connected());
+        let g = Digraph::from_edges("split", 4, vec![(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let lone = Digraph::from_edges("lone", 1, vec![]);
+        assert!(lone.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let g = Digraph::from_edges("multi", 2, vec![(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn relabel_permutes() {
+        let g = diamond().relabel("rev", |v| 3 - v);
+        assert_eq!(g.out_degree(3), 2);
+        assert_eq!(g.in_degrees(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_rejected() {
+        let _ = Digraph::from_edges("bad", 2, vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-dimensional grids and tori (Section 4.5).
+//!
+//! The `k`-axis grid with side lengths `L_1 × … × L_k` is the cross product
+//! of `k` paths (cycles, for a torus). Vertices are numbered in mixed-radix
+//! order with axis 0 varying fastest. Every adjacent pair communicates in
+//! both directions, so the guest has two directed edges per grid link —
+//! matching the paper's grid-relaxation phases where each node exchanges
+//! boundary data with all its neighbors.
+
+use crate::digraph::{Digraph, GuestVertex};
+
+/// A `k`-axis grid or torus with per-axis side lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    sides: Vec<u32>,
+    wrap: bool,
+}
+
+impl Grid {
+    /// Creates an open (non-wrapping) grid.
+    pub fn new(sides: &[u32]) -> Self {
+        Self::build(sides, false)
+    }
+
+    /// Creates a torus (every axis wraps).
+    pub fn torus(sides: &[u32]) -> Self {
+        Self::build(sides, true)
+    }
+
+    fn build(sides: &[u32], wrap: bool) -> Self {
+        assert!(!sides.is_empty(), "grid needs at least one axis");
+        assert!(sides.iter().all(|&s| s >= 2), "every side must be >= 2");
+        let total: u64 = sides.iter().map(|&s| s as u64).product();
+        assert!(total <= u32::MAX as u64, "grid too large");
+        Grid { sides: sides.to_vec(), wrap }
+    }
+
+    /// Number of axes `k`.
+    pub fn num_axes(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Side lengths.
+    pub fn sides(&self) -> &[u32] {
+        &self.sides
+    }
+
+    /// Whether the grid wraps (torus).
+    pub fn wraps(&self) -> bool {
+        self.wrap
+    }
+
+    /// Total number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.sides.iter().product()
+    }
+
+    /// Vertex id of the point with the given per-axis coordinates.
+    pub fn vertex(&self, coords: &[u32]) -> GuestVertex {
+        assert_eq!(coords.len(), self.sides.len());
+        let mut id = 0u64;
+        for (i, (&c, &s)) in coords.iter().zip(&self.sides).enumerate().rev() {
+            assert!(c < s, "coordinate {c} out of range on axis {i}");
+            id = id * s as u64 + c as u64;
+        }
+        id as GuestVertex
+    }
+
+    /// Per-axis coordinates of a vertex id.
+    pub fn coords(&self, v: GuestVertex) -> Vec<u32> {
+        let mut rest = v;
+        self.sides
+            .iter()
+            .map(|&s| {
+                let c = rest % s;
+                rest /= s;
+                c
+            })
+            .collect()
+    }
+
+    /// The communication graph: both directed edges per grid link.
+    pub fn graph(&self) -> Digraph {
+        let n = self.num_vertices();
+        let mut edges = Vec::new();
+        for v in 0..n {
+            let coords = self.coords(v);
+            for (axis, &side) in self.sides.iter().enumerate() {
+                let c = coords[axis];
+                let forward = if c + 1 < side {
+                    Some(c + 1)
+                } else if self.wrap && side > 2 {
+                    Some(0)
+                } else {
+                    None
+                };
+                if let Some(nc) = forward {
+                    let mut to = coords.clone();
+                    to[axis] = nc;
+                    let w = self.vertex(&to);
+                    edges.push((v, w));
+                    edges.push((w, v));
+                }
+            }
+        }
+        let kind = if self.wrap { "torus" } else { "grid" };
+        let dims: Vec<String> = self.sides.iter().map(|s| s.to_string()).collect();
+        Digraph::from_edges(format!("{kind}_{}", dims.join("x")), n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid::new(&[3, 4, 5]);
+        assert_eq!(g.num_vertices(), 60);
+        for v in 0..60 {
+            assert_eq!(g.vertex(&g.coords(v)), v);
+        }
+        assert_eq!(g.coords(0), vec![0, 0, 0]);
+        assert_eq!(g.vertex(&[1, 0, 0]), 1);
+        assert_eq!(g.vertex(&[0, 1, 0]), 3);
+        assert_eq!(g.vertex(&[0, 0, 1]), 12);
+    }
+
+    #[test]
+    fn open_grid_edge_count() {
+        // 3x4 grid: links = 2*4_along_axis0? axis0: (3-1)*4 = 8; axis1: 3*(4-1) = 9;
+        // directed edges = 2 * 17.
+        let g = Grid::new(&[3, 4]).graph();
+        assert_eq!(g.num_edges(), 2 * (8 + 9));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_edge_count() {
+        // 4x4 torus: 2 links per vertex per axis direction => 2 axes * 16
+        // links each; directed = 2 * 32.
+        let g = Grid::torus(&[4, 4]).graph();
+        assert_eq!(g.num_edges(), 2 * 32);
+        assert!(g.in_degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn side_two_torus_does_not_double_edges() {
+        // On a side-2 axis, wrap would duplicate the single link; we keep one.
+        let g = Grid::torus(&[2, 3]).graph();
+        // axis0: 3 links; axis1 (wrapping, side 3): 2*3... links: per column of
+        // axis1: 3 links (cycle of 3), 2 columns => 6; axis0: 3 rows? side 2:
+        // 1 link per axis1-value => 3. total 9 links, 18 directed.
+        assert_eq!(g.num_edges(), 18);
+    }
+
+    #[test]
+    fn degree_of_interior_vertex() {
+        let g = Grid::new(&[5, 5]).graph();
+        let grid = Grid::new(&[5, 5]);
+        let center = grid.vertex(&[2, 2]);
+        assert_eq!(g.out_degree(center), 4);
+        let corner = grid.vertex(&[0, 0]);
+        assert_eq!(g.out_degree(corner), 2);
+    }
+}

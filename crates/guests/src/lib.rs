@@ -1,0 +1,29 @@
+//! Guest communication graphs.
+//!
+//! In the paper's model (Section 3) a *guest* graph represents a parallel
+//! computation: vertices are processes and directed edges connect processes
+//! that must communicate. One *phase* of the computation sends a message
+//! along every guest edge simultaneously. This crate provides the guest
+//! families the paper embeds:
+//!
+//! * [`cycle`] — directed cycles and paths (Sections 2 and 4),
+//! * [`grid`] — multi-dimensional grids and tori (Section 4.5),
+//! * [`ccc`] — cube-connected-cycles networks (Section 5),
+//! * [`butterfly`] — wrapped butterflies and FFT graphs (Sections 5.4, 6, 7),
+//! * [`tree`] — complete and arbitrary binary trees (Sections 6.1, 6.2),
+//!
+//! all built on a small CSR [`Digraph`] type.
+
+pub mod butterfly;
+pub mod ccc;
+pub mod cycle;
+pub mod digraph;
+pub mod grid;
+pub mod tree;
+
+pub use butterfly::{Butterfly, FftGraph};
+pub use ccc::Ccc;
+pub use cycle::{directed_cycle, directed_path};
+pub use digraph::Digraph;
+pub use grid::Grid;
+pub use tree::{complete_binary_tree, random_binary_tree, CompleteBinaryTree};

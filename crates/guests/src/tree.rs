@@ -1,0 +1,165 @@
+//! Complete and arbitrary binary trees (Sections 6.1 and 6.2).
+//!
+//! The *`L`-level complete binary tree* (CBT) has `2^L - 1` vertices in heap
+//! order: vertex 0 is the root; the children of `v` are `2v+1` and `2v+2`.
+//! Tree computations exchange data both ways along every tree edge, so the
+//! communication graph has two directed edges per tree link.
+
+use crate::digraph::{Digraph, GuestVertex};
+use rand::{Rng, RngExt};
+
+/// The `levels`-level complete binary tree in heap order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteBinaryTree {
+    levels: u32,
+}
+
+impl CompleteBinaryTree {
+    /// Creates the tree with the given number of levels (`≥ 1`; one level is
+    /// a single root).
+    pub fn new(levels: u32) -> Self {
+        assert!((1..=30).contains(&levels), "level count out of supported range");
+        CompleteBinaryTree { levels }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of vertices, `2^levels - 1`.
+    pub fn num_vertices(&self) -> u32 {
+        (1u32 << self.levels) - 1
+    }
+
+    /// Depth of a vertex (root = 0).
+    pub fn depth(&self, v: GuestVertex) -> u32 {
+        debug_assert!(v < self.num_vertices());
+        (u32::BITS - 1) - (v + 1).leading_zeros()
+    }
+
+    /// Parent of a non-root vertex.
+    pub fn parent(&self, v: GuestVertex) -> Option<GuestVertex> {
+        (v > 0).then(|| (v - 1) / 2)
+    }
+
+    /// Children of `v`, if internal.
+    pub fn children(&self, v: GuestVertex) -> Option<(GuestVertex, GuestVertex)> {
+        let l = 2 * v + 1;
+        (l + 1 < self.num_vertices()).then_some((l, l + 1))
+    }
+
+    /// The root-to-`v` path as left/right choices packed little-endian
+    /// (first choice = bit `depth-1`, matching the usual heap labeling where
+    /// `v + 1` in binary spells the path from the root).
+    pub fn path_bits(&self, v: GuestVertex) -> u32 {
+        let d = self.depth(v);
+        (v + 1) & ((1 << d) - 1)
+    }
+
+    /// The communication graph (both directions per tree link).
+    pub fn graph(&self) -> Digraph {
+        let n = self.num_vertices();
+        let mut edges = Vec::with_capacity(2 * (n as usize - 1));
+        for v in 1..n {
+            let p = (v - 1) / 2;
+            edges.push((p, v));
+            edges.push((v, p));
+        }
+        Digraph::from_edges(format!("CBT_{}", self.levels), n, edges)
+    }
+}
+
+/// The `levels`-level CBT communication graph.
+pub fn complete_binary_tree(levels: u32) -> Digraph {
+    CompleteBinaryTree::new(levels).graph()
+}
+
+/// A uniformly random binary tree on `n` vertices (each non-root vertex
+/// attaches below a random earlier vertex with a free child slot), with two
+/// directed edges per link. Used by the Section 6.2 arbitrary-tree
+/// embeddings.
+pub fn random_binary_tree(n: u32, rng: &mut impl Rng) -> Digraph {
+    assert!(n >= 1);
+    let mut free: Vec<(GuestVertex, u8)> = vec![(0, 2)]; // (vertex, open slots)
+    let mut edges = Vec::with_capacity(2 * (n as usize - 1));
+    for v in 1..n {
+        let i = rng.random_range(0..free.len());
+        let (p, slots) = free[i];
+        edges.push((p, v));
+        edges.push((v, p));
+        if slots == 1 {
+            free.swap_remove(i);
+        } else {
+            free[i].1 = 1;
+        }
+        free.push((v, 2));
+    }
+    Digraph::from_edges(format!("RBT_{n}"), n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbt_shape() {
+        let t = CompleteBinaryTree::new(4);
+        assert_eq!(t.num_vertices(), 15);
+        let g = t.graph();
+        assert_eq!(g.num_edges(), 28);
+        assert!(g.is_connected());
+        assert_eq!(g.max_out_degree(), 3); // internal node: parent + 2 children
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn depth_and_parent() {
+        let t = CompleteBinaryTree::new(4);
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.depth(2), 1);
+        assert_eq!(t.depth(7), 3);
+        assert_eq!(t.depth(14), 3);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(5), Some(2));
+        assert_eq!(t.children(2), Some((5, 6)));
+        assert_eq!(t.children(7), None, "leaves have no children");
+    }
+
+    #[test]
+    fn path_bits_spell_heap_label() {
+        let t = CompleteBinaryTree::new(4);
+        // vertex 9: 9+1 = 0b1010, depth 3, path bits 0b010
+        assert_eq!(t.depth(9), 3);
+        assert_eq!(t.path_bits(9), 0b010);
+        assert_eq!(t.path_bits(0), 0);
+    }
+
+    #[test]
+    fn random_tree_is_a_binary_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1u32, 2, 17, 100] {
+            let g = random_binary_tree(n, &mut rng);
+            assert_eq!(g.num_edges() as u32, 2 * (n - 1));
+            assert!(g.is_connected());
+            // Each vertex has at most 2 children: out_degree <= 3 with one
+            // edge to the parent (root: <= 2).
+            assert!(g.out_degree(0) <= 2);
+            for v in 1..n {
+                assert!(g.out_degree(v) <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_per_seed() {
+        let a = random_binary_tree(50, &mut StdRng::seed_from_u64(1));
+        let b = random_binary_tree(50, &mut StdRng::seed_from_u64(1));
+        let c = random_binary_tree(50, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,148 @@
+//! Arithmetic in `GF(2^8)` with the AES reduction polynomial
+//! `x^8 + x^4 + x^3 + x + 1` (0x11b), via log/antilog tables built at first
+//! use from the generator 3.
+
+use std::ops::{Add, Mul};
+use std::sync::OnceLock;
+
+/// An element of `GF(2^8)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gf256(u8);
+
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255u16 {
+            exp[i as usize] = x as u8;
+            log[x as usize] = i as u8;
+            // multiply x by the generator 3 = x + 1: x*2 ^ x
+            let doubled = (x << 1) ^ if x & 0x80 != 0 { 0x11b } else { 0 };
+            x = (doubled ^ x) & 0x1ff;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        for i in 255..510 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Wraps a byte.
+    #[inline]
+    pub fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// The raw byte.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn inverse(self) -> Gf256 {
+        assert!(self.0 != 0, "zero has no inverse");
+        let t = tables();
+        Gf256(t.exp[255 - usize::from(t.log[usize::from(self.0)])])
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // GF(2^8) addition IS xor
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let s = usize::from(t.log[usize::from(self.0)]) + usize::from(t.log[usize::from(rhs.0)]);
+        Gf256(t.exp[s])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0x57) + Gf256::new(0x83), Gf256::new(0xd4));
+        assert_eq!(Gf256::new(9) + Gf256::new(9), Gf256::ZERO);
+    }
+
+    #[test]
+    fn aes_reference_product() {
+        // Classic AES example: 0x57 * 0x83 = 0xc1.
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+        assert_eq!(Gf256::new(0x57) * Gf256::ONE, Gf256::new(0x57));
+        assert_eq!(Gf256::new(0x57) * Gf256::ZERO, Gf256::ZERO);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            let x = Gf256::new(v);
+            assert_eq!(x * x.inverse(), Gf256::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        for &a in &[1u8, 7, 0x53, 0xca, 0xff] {
+            for &b in &[2u8, 0x11, 0x80, 0xfe] {
+                let (x, y) = (Gf256::new(a), Gf256::new(b));
+                assert_eq!(x * y, y * x);
+                for &c in &[3u8, 0x1b] {
+                    let z = Gf256::new(c);
+                    assert_eq!((x * y) * z, x * (y * z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for &a in &[5u8, 0x63, 0xb2] {
+            for &b in &[9u8, 0x2f] {
+                for &c in &[0x41u8, 0x99] {
+                    let (x, y, z) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                    assert_eq!(x * (y + z), x * y + x * z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inverse_panics() {
+        let _ = Gf256::ZERO.inverse();
+    }
+}

@@ -1,0 +1,249 @@
+//! Rabin's Information Dispersal Algorithm (IDA) over `GF(2^8)`.
+//!
+//! The paper (Sections 1–2) points out that a width-`w` multiple-path
+//! embedding can carry Rabin's IDA along its edge-disjoint paths: a message
+//! of `|M|` bytes is dispersed into `w` shares of `|M|/k` bytes such that
+//! **any** `k` shares reconstruct it — so up to `w - k` of the disjoint
+//! paths may fail (or be slow) without losing the message, at a bandwidth
+//! overhead of only `w/k`.
+//!
+//! This implementation uses a systematic Vandermonde-style linear code over
+//! the field `GF(2^8)` with the AES polynomial `x^8+x^4+x^3+x+1`: share `i`
+//! evaluates the degree-`k-1` polynomial defined by each group of `k`
+//! message bytes at the point `α_i`. Reconstruction solves the `k×k`
+//! Vandermonde system by Gaussian elimination (fields this small need no
+//! cleverness).
+
+mod gf256;
+
+pub use gf256::Gf256;
+
+use bytes::Bytes;
+
+/// A `(w, k)` dispersal scheme: `w` shares, any `k` reconstruct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ida {
+    w: u8,
+    k: u8,
+}
+
+/// One share: its evaluation-point index plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Which of the `w` shares this is (the evaluation point is `x = index`).
+    pub index: u8,
+    /// `⌈message_len / k⌉` payload bytes (plus the original length header).
+    pub data: Bytes,
+}
+
+impl Ida {
+    /// Creates a `(w, k)` scheme.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ w ≤ 255`.
+    pub fn new(w: u8, k: u8) -> Self {
+        assert!(k >= 1 && k <= w, "need 1 <= k <= w");
+        Ida { w, k }
+    }
+
+    /// Total number of shares `w`.
+    pub fn shares(&self) -> u8 {
+        self.w
+    }
+
+    /// Reconstruction threshold `k`.
+    pub fn threshold(&self) -> u8 {
+        self.k
+    }
+
+    /// Disperses `message` into `w` shares.
+    pub fn disperse(&self, message: &[u8]) -> Vec<Share> {
+        let k = usize::from(self.k);
+        let groups = message.len().div_ceil(k);
+        let mut shares: Vec<Vec<u8>> = vec![Vec::with_capacity(groups + 8); usize::from(self.w)];
+        // Length header (8 bytes LE), replicated into every share.
+        for s in &mut shares {
+            s.extend_from_slice(&(message.len() as u64).to_le_bytes());
+        }
+        for g in 0..groups {
+            // Coefficients: the g-th group of k message bytes (zero-padded).
+            for (i, share) in shares.iter_mut().enumerate() {
+                let x = Gf256::new(i as u8);
+                // Horner evaluation of Σ c_j x^j.
+                let mut acc = Gf256::ZERO;
+                for j in (0..k).rev() {
+                    let c = message.get(g * k + j).copied().unwrap_or(0);
+                    acc = acc * x + Gf256::new(c);
+                }
+                share.push(acc.value());
+            }
+        }
+        shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| Share { index: i as u8, data: Bytes::from(data) })
+            .collect()
+    }
+
+    /// Reconstructs the message from any `k` (or more) distinct shares.
+    pub fn reconstruct(&self, shares: &[Share]) -> Result<Vec<u8>, String> {
+        let k = usize::from(self.k);
+        if shares.len() < k {
+            return Err(format!("need {k} shares, got {}", shares.len()));
+        }
+        let picked = &shares[..k];
+        let mut seen = [false; 256];
+        for s in picked {
+            if s.index >= self.w {
+                return Err(format!("share index {} out of range", s.index));
+            }
+            if seen[usize::from(s.index)] {
+                return Err(format!("duplicate share index {}", s.index));
+            }
+            seen[usize::from(s.index)] = true;
+        }
+        let header = picked[0].data.get(..8).ok_or("share too short")?;
+        let msg_len = u64::from_le_bytes(header.try_into().unwrap()) as usize;
+        let payload_len = picked[0].data.len() - 8;
+        if picked.iter().any(|s| s.data.len() != payload_len + 8) {
+            return Err("inconsistent share lengths".into());
+        }
+        if payload_len * k < msg_len {
+            return Err("shares too short for declared message length".into());
+        }
+
+        // Invert the k×k Vandermonde system once (Gauss-Jordan), reuse per
+        // group.
+        let mut a: Vec<Vec<Gf256>> = picked
+            .iter()
+            .map(|s| {
+                let x = Gf256::new(s.index);
+                let mut row = Vec::with_capacity(k);
+                let mut p = Gf256::ONE;
+                for _ in 0..k {
+                    row.push(p);
+                    p = p * x;
+                }
+                row
+            })
+            .collect();
+        let mut inv: Vec<Vec<Gf256>> = (0..k)
+            .map(|i| (0..k).map(|j| if i == j { Gf256::ONE } else { Gf256::ZERO }).collect())
+            .collect();
+        for col in 0..k {
+            let pivot = (col..k)
+                .find(|&r| a[r][col] != Gf256::ZERO)
+                .ok_or("singular system (duplicate evaluation points?)")?;
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            let inv_p = a[col][col].inverse();
+            for j in 0..k {
+                a[col][j] = a[col][j] * inv_p;
+                inv[col][j] = inv[col][j] * inv_p;
+            }
+            for r in 0..k {
+                if r != col && a[r][col] != Gf256::ZERO {
+                    let f = a[r][col];
+                    for j in 0..k {
+                        a[r][j] = a[r][j] + f * a[col][j];
+                        inv[r][j] = inv[r][j] + f * inv[col][j];
+                    }
+                }
+            }
+        }
+
+        let mut out = vec![0u8; msg_len];
+        for g in 0..payload_len {
+            for j in 0..k {
+                let idx = g * k + j;
+                if idx >= msg_len {
+                    break;
+                }
+                let mut acc = Gf256::ZERO;
+                for (r, s) in picked.iter().enumerate() {
+                    acc = acc + inv[j][r] * Gf256::new(s.data[8 + g]);
+                }
+                out[idx] = acc.value();
+            }
+        }
+        Ok(out)
+    }
+
+    /// The bandwidth overhead factor `w / k` (total bytes sent over message
+    /// bytes, ignoring the fixed header).
+    pub fn overhead(&self) -> f64 {
+        f64::from(self.w) / f64::from(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_shares() {
+        let ida = Ida::new(5, 3);
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        let shares = ida.disperse(msg);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(ida.reconstruct(&shares).unwrap(), msg);
+    }
+
+    #[test]
+    fn any_k_shares_suffice() {
+        let ida = Ida::new(6, 3);
+        let msg: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let shares = ida.disperse(&msg);
+        // Try several k-subsets.
+        for combo in [[0usize, 1, 2], [3, 4, 5], [0, 2, 4], [5, 1, 3]] {
+            let subset: Vec<Share> = combo.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(ida.reconstruct(&subset).unwrap(), msg, "combo {combo:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_fails() {
+        let ida = Ida::new(4, 3);
+        let shares = ida.disperse(b"hello");
+        assert!(ida.reconstruct(&shares[..2]).is_err());
+    }
+
+    #[test]
+    fn duplicate_shares_rejected() {
+        let ida = Ida::new(4, 2);
+        let shares = ida.disperse(b"hello");
+        let dup = vec![shares[1].clone(), shares[1].clone()];
+        assert!(ida.reconstruct(&dup).is_err());
+    }
+
+    #[test]
+    fn share_sizes_match_overhead() {
+        let ida = Ida::new(8, 4);
+        let msg = vec![7u8; 4096];
+        let shares = ida.disperse(&msg);
+        for s in &shares {
+            assert_eq!(s.data.len(), 8 + 1024, "share = len header + |M|/k bytes");
+        }
+        assert_eq!(ida.overhead(), 2.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_messages() {
+        let ida = Ida::new(3, 2);
+        for msg in [&b""[..], b"a", b"ab", b"abc"] {
+            let shares = ida.disperse(msg);
+            assert_eq!(ida.reconstruct(&shares[1..]).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        let ida = Ida::new(3, 1);
+        let msg = b"replicate me";
+        let shares = ida.disperse(msg);
+        for s in &shares {
+            let one = vec![s.clone()];
+            assert_eq!(ida.reconstruct(&one).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the IDA codec.
+
+use hyperpath_ida::Ida;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any k-subset of shares reconstructs any message for any (w, k).
+    #[test]
+    fn reconstruct_from_any_subset(
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        w in 1u8..12,
+        k_off in 0u8..12,
+        skip in 0usize..12,
+    ) {
+        let k = 1 + k_off % w;
+        let ida = Ida::new(w, k);
+        let shares = ida.disperse(&msg);
+        prop_assert_eq!(shares.len(), usize::from(w));
+        // Rotate the share list and take the first k.
+        let start = skip % shares.len();
+        let subset: Vec<_> = (0..usize::from(k))
+            .map(|i| shares[(start + i * 7 % shares.len() + i) % shares.len()].clone())
+            .collect();
+        // Dedup-protect: if index collision happened, fall back to first k.
+        let mut idxs: Vec<u8> = subset.iter().map(|s| s.index).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let subset = if idxs.len() == usize::from(k) {
+            subset
+        } else {
+            shares[..usize::from(k)].to_vec()
+        };
+        prop_assert_eq!(ida.reconstruct(&subset).unwrap(), msg);
+    }
+
+    /// Corrupting one byte of one used share changes the reconstruction
+    /// (the code is not silently error-correcting) or the message —
+    /// reconstruction never panics.
+    #[test]
+    fn corruption_never_panics(
+        msg in proptest::collection::vec(any::<u8>(), 1..128),
+        flip in any::<u8>(),
+    ) {
+        let ida = Ida::new(4, 2);
+        let mut shares = ida.disperse(&msg);
+        let mut data = shares[0].data.to_vec();
+        let pos = 8 + usize::from(flip) % (data.len() - 8).max(1);
+        if pos < data.len() {
+            data[pos] ^= 0x5a;
+        }
+        shares[0].data = data.into();
+        let _ = ida.reconstruct(&shares[..2]); // must not panic
+    }
+}

@@ -1,0 +1,174 @@
+//! Link-fault injection (the Section 1/2 fault-tolerance application).
+//!
+//! Multiple-path embeddings tolerate link faults: a width-`w` bundle still
+//! delivers if enough of its `w` edge-disjoint paths avoid the faulty
+//! links; with Rabin's IDA (the `hyperpath-ida` crate) any `k` surviving
+//! paths reconstruct the message. This module provides fault sets, path
+//! survival tests, and Monte-Carlo delivery estimation.
+
+use hyperpath_embedding::MultiPathEmbedding;
+use hyperpath_topology::Hypercube;
+use rand::{Rng, RngExt};
+
+/// A set of failed directed links (bitset over directed edge indices).
+/// Faults here are direction-symmetric: killing a link kills both
+/// orientations, modeling a severed physical channel.
+#[derive(Debug, Clone)]
+pub struct FaultSet {
+    failed: Vec<bool>,
+}
+
+impl FaultSet {
+    /// No faults.
+    pub fn none(host: &Hypercube) -> Self {
+        FaultSet { failed: vec![false; host.num_directed_edges() as usize] }
+    }
+
+    /// Marks the undirected link carrying `edge` as failed (both
+    /// directions).
+    pub fn fail_link(&mut self, host: &Hypercube, edge: hyperpath_topology::DirEdge) {
+        self.failed[host.dir_edge_index(edge)] = true;
+        self.failed[host.dir_edge_index(edge.reversed())] = true;
+    }
+
+    /// Whether the directed edge is failed.
+    pub fn is_failed(&self, host: &Hypercube, edge: hyperpath_topology::DirEdge) -> bool {
+        self.failed[host.dir_edge_index(edge)]
+    }
+
+    /// Number of failed directed edges.
+    pub fn count(&self) -> usize {
+        self.failed.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Each undirected link fails independently with probability `p`.
+pub fn random_fault_set(host: &Hypercube, p: f64, rng: &mut impl Rng) -> FaultSet {
+    let mut fs = FaultSet::none(host);
+    for e in host.undirected_edges() {
+        if rng.random_bool(p) {
+            fs.fail_link(host, e);
+        }
+    }
+    fs
+}
+
+/// How many paths of each bundle survive the faults. Entry `i` is the
+/// number of fault-free paths of guest edge `i`.
+pub fn surviving_paths(e: &MultiPathEmbedding, faults: &FaultSet) -> Vec<usize> {
+    e.edge_paths
+        .iter()
+        .map(|bundle| {
+            bundle
+                .iter()
+                .filter(|p| p.edges().all(|edge| !faults.is_failed(&e.host, edge)))
+                .count()
+        })
+        .collect()
+}
+
+/// Monte-Carlo delivery probability: the fraction of `trials` random fault
+/// sets (per-link failure probability `p`) under which **every** guest edge
+/// keeps at least `k` surviving paths — i.e. a `(w, k)` dispersal scheme
+/// delivers every message of the phase.
+pub fn delivery_probability(
+    e: &MultiPathEmbedding,
+    p: f64,
+    k: usize,
+    trials: u32,
+    rng: &mut impl Rng,
+) -> f64 {
+    use rand::SeedableRng;
+    use rayon::prelude::*;
+    // One independent seed per trial so the parallel sweep stays
+    // deterministic for a given caller RNG state.
+    let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
+    let ok = seeds
+        .par_iter()
+        .filter(|&&seed| {
+            let mut trial_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let faults = random_fault_set(&e.host, p, &mut trial_rng);
+            surviving_paths(e, &faults).iter().all(|&s| s >= k)
+        })
+        .count() as u32;
+    f64::from(ok) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_core::baseline::gray_cycle_embedding;
+    use hyperpath_core::cycles::theorem1;
+    use hyperpath_topology::DirEdge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_all_survive() {
+        let t1 = theorem1(6).unwrap();
+        let fs = FaultSet::none(&t1.embedding.host);
+        let s = surviving_paths(&t1.embedding, &fs);
+        assert!(s.iter().all(|&c| c >= t1.claimed_width));
+    }
+
+    #[test]
+    fn single_fault_kills_at_most_one_path_per_bundle() {
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let mut fs = FaultSet::none(&host);
+        fs.fail_link(&host, DirEdge::new(0, 0));
+        let s = surviving_paths(&t1.embedding, &fs);
+        // Edge-disjointness per bundle: one dead link costs each bundle at
+        // most ... both orientations, so at most 2 paths.
+        for (i, &c) in s.iter().enumerate() {
+            assert!(
+                c + 2 >= t1.embedding.edge_paths[i].len(),
+                "bundle {i} lost more than two paths to one link"
+            );
+        }
+    }
+
+    #[test]
+    fn width_one_embedding_is_fragile() {
+        let gray = gray_cycle_embedding(6);
+        let host = gray.host;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Kill one specific cycle link: some guest edge must lose its only
+        // path.
+        let path0 = &gray.edge_paths[0][0];
+        let edge = path0.edges().next().unwrap();
+        let mut fs = FaultSet::none(&host);
+        fs.fail_link(&host, edge);
+        let s = surviving_paths(&gray, &fs);
+        assert!(s.iter().any(|&c| c == 0), "gray embedding has no redundancy");
+        // And its Monte-Carlo delivery probability at p=0.02 is clearly
+        // below the wide embedding's.
+        let t1 = theorem1(6).unwrap();
+        let d_gray = delivery_probability(&gray, 0.02, 1, 60, &mut rng);
+        let d_t1 = delivery_probability(&t1.embedding, 0.02, 1, 60, &mut rng);
+        assert!(
+            d_t1 > d_gray,
+            "width-3 bundles should survive faults better: {d_t1} vs {d_gray}"
+        );
+    }
+
+    #[test]
+    fn fault_counting() {
+        let host = Hypercube::new(4);
+        let mut fs = FaultSet::none(&host);
+        assert_eq!(fs.count(), 0);
+        fs.fail_link(&host, DirEdge::new(3, 1));
+        assert_eq!(fs.count(), 2, "both orientations fail");
+        assert!(fs.is_failed(&host, DirEdge::new(3, 1)));
+        assert!(fs.is_failed(&host, DirEdge::new(3 ^ 2, 1)));
+    }
+
+    #[test]
+    fn random_faults_scale_with_p() {
+        let host = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let lo = random_fault_set(&host, 0.01, &mut rng).count();
+        let hi = random_fault_set(&host, 0.2, &mut rng).count();
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synchronous packet-level hypercube network simulator.
+//!
+//! The paper's cost model (Section 3) **is** a machine model: per time unit
+//! every processor may send one message packet over each outgoing link.
+//! This crate implements that machine literally, so measured completion
+//! times *are* the paper's `p`-packet costs:
+//!
+//! * [`packet`] — store-and-forward engine: packets follow fixed host
+//!   paths, per-link FIFO queues, one packet per directed link per step,
+//!   deterministic arbitration (lowest flow id first). Includes flow
+//!   builders that turn an embedding (+ a packets-per-edge count) into a
+//!   simulation workload.
+//! * [`wormhole`] — cut-through/wormhole mode for Section 7: an `F`-flit
+//!   worm holds each link from the step its head crosses until its tail
+//!   does; blocked heads stall the whole worm.
+//! * [`routing`] — path generators: greedy e-cube, Valiant two-phase
+//!   random-intermediate, and Section 7's CCC-copy split routes.
+//! * [`faults`] — link-fault injection: which bundle paths survive a fault
+//!   set, and Monte-Carlo delivery probabilities for width-`w` embeddings
+//!   with a `(w, k)` dispersal scheme.
+
+pub mod faults;
+pub mod packet;
+pub mod routing;
+pub mod wormhole;
+
+pub use faults::{random_fault_set, surviving_paths, FaultSet};
+pub use packet::{Flow, PacketSim, SimReport};
+pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
+pub use wormhole::{Worm, WormReport, WormholeSim};

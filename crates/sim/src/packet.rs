@@ -1,0 +1,324 @@
+//! Store-and-forward packet simulation.
+//!
+//! Semantics (Section 3's machine): time advances in synchronous steps; in
+//! one step every directed link transmits at most one packet. Packets carry
+//! fixed precomputed host paths, queue FIFO at each hop, and links
+//! arbitrate deterministically (lowest flow id, then injection sequence),
+//! so every run is exactly reproducible.
+
+use hyperpath_embedding::MultiPathEmbedding;
+use hyperpath_topology::{Hypercube, Node};
+use std::collections::VecDeque;
+
+/// One flow: `packets` packets injected at step 0, every packet following
+/// the same `path` (a node sequence; consecutive nodes host-adjacent).
+/// Packets of later flows queue behind earlier ones on shared links.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Node sequence the packets follow.
+    pub path: Vec<Node>,
+    /// Number of packets.
+    pub packets: u64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Step after which every packet had arrived.
+    pub makespan: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Total packet-hops executed.
+    pub packet_hops: u64,
+    /// Mean fraction of directed links busy per step (over the makespan).
+    pub mean_utilization: f64,
+    /// Largest per-link queue length observed.
+    pub max_queue: usize,
+}
+
+/// The simulator: a hypercube plus a set of flows.
+#[derive(Debug, Clone)]
+pub struct PacketSim {
+    host: Hypercube,
+    flows: Vec<Flow>,
+}
+
+struct Packet {
+    flow: u32,
+    seq: u32,
+    /// Index into the flow's path: next hop crosses `path[pos] -> path[pos+1]`.
+    pos: u32,
+}
+
+impl PacketSim {
+    /// Creates a simulator for `host` with no flows.
+    pub fn new(host: Hypercube) -> Self {
+        PacketSim { host, flows: Vec::new() }
+    }
+
+    /// Adds one flow; returns its id.
+    pub fn add_flow(&mut self, flow: Flow) -> u32 {
+        assert!(
+            self.host.validate_walk(&flow.path).is_ok(),
+            "flow path must be a hypercube walk"
+        );
+        self.flows.push(flow);
+        (self.flows.len() - 1) as u32
+    }
+
+    /// Builds the "one phase, `p` packets per guest edge" workload of an
+    /// embedding: packets of guest edge `e` are spread round-robin over its
+    /// bundle paths (path `i` carries `⌈(p - i)/w⌉` packets), all injected
+    /// at step 0. Zero-length paths deliver instantly and are skipped.
+    pub fn phase_workload(e: &MultiPathEmbedding, packets_per_edge: u64) -> PacketSim {
+        let mut sim = PacketSim::new(e.host);
+        for bundle in &e.edge_paths {
+            let w = bundle.len() as u64;
+            for (i, path) in bundle.iter().enumerate() {
+                if path.is_empty() {
+                    continue;
+                }
+                let count = (packets_per_edge + w - 1 - i as u64) / w;
+                if count > 0 {
+                    sim.add_flow(Flow { path: path.nodes().to_vec(), packets: count });
+                }
+            }
+        }
+        sim
+    }
+
+    /// Like [`phase_workload`](Self::phase_workload) but restricted to the
+    /// first `width` paths of every bundle (to compare narrower variants of
+    /// the same embedding).
+    pub fn phase_workload_with_width(
+        e: &MultiPathEmbedding,
+        packets_per_edge: u64,
+        width: usize,
+    ) -> PacketSim {
+        let mut sim = PacketSim::new(e.host);
+        for bundle in &e.edge_paths {
+            let w = bundle.len().min(width).max(1) as u64;
+            for (i, path) in bundle.iter().take(w as usize).enumerate() {
+                if path.is_empty() {
+                    continue;
+                }
+                let count = (packets_per_edge + w - 1 - i as u64) / w;
+                if count > 0 {
+                    sim.add_flow(Flow { path: path.nodes().to_vec(), packets: count });
+                }
+            }
+        }
+        sim
+    }
+
+    /// Runs to completion (or `max_steps`) and reports.
+    ///
+    /// # Panics
+    /// Panics if packets remain undelivered after `max_steps` (a stuck
+    /// simulation is a bug in the workload, not a measurement).
+    pub fn run(&self, max_steps: u64) -> SimReport {
+        let num_links = self.host.num_directed_edges() as usize;
+        // Per-link FIFO queues of packets waiting to cross it.
+        let mut queues: Vec<VecDeque<Packet>> = (0..num_links).map(|_| VecDeque::new()).collect();
+        let mut active: Vec<u32> = Vec::new(); // link indices with waiters
+        let mut in_active = vec![false; num_links];
+
+        let mut pending = 0u64;
+        let enqueue = |pkt: Packet,
+                           flows: &[Flow],
+                           queues: &mut Vec<VecDeque<Packet>>,
+                           active: &mut Vec<u32>,
+                           in_active: &mut Vec<bool>|
+         -> bool {
+            let path = &flows[pkt.flow as usize].path;
+            if (pkt.pos + 1) as usize >= path.len() {
+                return false; // delivered
+            }
+            let from = path[pkt.pos as usize];
+            let to = path[pkt.pos as usize + 1];
+            let dim = (from ^ to).trailing_zeros();
+            let idx = self.host.dir_edge_index(hyperpath_topology::DirEdge::new(from, dim));
+            // Keep FIFO order with (flow, seq) priority at insertion: queues
+            // are served FIFO; packets are inserted in (flow, seq) order at
+            // injection and re-queued on arrival, which preserves
+            // determinism.
+            queues[idx].push_back(pkt);
+            if !in_active[idx] {
+                in_active[idx] = true;
+                active.push(idx as u32);
+            }
+            true
+        };
+
+        // Inject (flows are already in id order; packets in seq order).
+        for (fid, flow) in self.flows.iter().enumerate() {
+            for seq in 0..flow.packets {
+                let pkt = Packet { flow: fid as u32, seq: seq as u32, pos: 0 };
+                if enqueue(pkt, &self.flows, &mut queues, &mut active, &mut in_active) {
+                    pending += 1;
+                }
+            }
+        }
+        let total_injected: u64 = self.flows.iter().map(|f| f.packets).sum();
+
+        let mut step = 0u64;
+        let mut packet_hops = 0u64;
+        let mut busy_accum = 0u64;
+        let mut max_queue = 0usize;
+        while pending > 0 {
+            if step >= max_steps {
+                panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
+            }
+            // One packet per active link.
+            let mut next_active: Vec<u32> = Vec::with_capacity(active.len());
+            let mut moved: Vec<Packet> = Vec::with_capacity(active.len());
+            let mut busy = 0u64;
+            for &idx in &active {
+                let q = &mut queues[idx as usize];
+                max_queue = max_queue.max(q.len());
+                if let Some(mut pkt) = q.pop_front() {
+                    pkt.pos += 1;
+                    moved.push(pkt);
+                    busy += 1;
+                }
+                if q.is_empty() {
+                    in_active[idx as usize] = false;
+                } else {
+                    next_active.push(idx);
+                }
+            }
+            packet_hops += busy;
+            busy_accum += busy;
+            active = next_active;
+            // Re-queue moved packets (deterministic order: by link index,
+            // which we iterated in insertion order; ties cannot occur since
+            // one packet per link per step).
+            moved.sort_by_key(|p| (p.flow, p.seq));
+            for pkt in moved {
+                if !enqueue(pkt, &self.flows, &mut queues, &mut active, &mut in_active) {
+                    pending -= 1;
+                }
+            }
+            step += 1;
+        }
+        SimReport {
+            makespan: step,
+            delivered: total_injected,
+            packet_hops,
+            mean_utilization: if step == 0 {
+                0.0
+            } else {
+                busy_accum as f64 / (step as f64 * num_links as f64)
+            },
+            max_queue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_core::baseline::gray_cycle_embedding;
+    use hyperpath_core::cycles::theorem1;
+
+    #[test]
+    fn single_packet_single_hop() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1], packets: 1 });
+        let r = sim.run(100);
+        assert_eq!(r.makespan, 1);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.packet_hops, 1);
+    }
+
+    #[test]
+    fn packets_serialize_on_one_link() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1], packets: 10 });
+        let r = sim.run(100);
+        assert_eq!(r.makespan, 10, "one link, one packet per step");
+    }
+
+    #[test]
+    fn pipeline_overlaps_hops() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3, 7], packets: 5 });
+        let r = sim.run(100);
+        // 3-hop path, 5 packets pipelined: 3 + 4 = 7 steps.
+        assert_eq!(r.makespan, 7);
+        assert_eq!(r.packet_hops, 15);
+    }
+
+    #[test]
+    fn contention_is_fair_and_finite() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        // Two flows crossing the same first link.
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 3 });
+        sim.add_flow(Flow { path: vec![0, 1, 5], packets: 3 });
+        let r = sim.run(100);
+        // 6 packets over the shared link: last crosses at step 6, one more
+        // hop: 7.
+        assert_eq!(r.makespan, 7);
+        assert_eq!(r.delivered, 6);
+    }
+
+    #[test]
+    fn gray_cycle_m_packet_cost_matches_section2() {
+        // Section 2: with the classical embedding, m packets per node need
+        // exactly m steps (each node's single outgoing cycle link serializes
+        // them; all links work in parallel).
+        let e = gray_cycle_embedding(5);
+        for m in [1u64, 4, 16] {
+            let sim = PacketSim::phase_workload(&e, m);
+            let r = sim.run(10_000);
+            assert_eq!(r.makespan, m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn theorem1_workload_beats_gray_by_theta_n() {
+        // Free-running (no global schedule) the width-w workload settles at
+        // ~2.4·m/w steps (first edges of one bundle contend with middle
+        // edges of others when batches overlap); that is still Θ(m/n), and
+        // the speedup over the Gray baseline grows with n.
+        let m = 64u64;
+        let mut ratios = Vec::new();
+        for n in [8u32, 12] {
+            let gray = gray_cycle_embedding(n);
+            let t1 = theorem1(n).unwrap();
+            let r_gray = PacketSim::phase_workload(&gray, m).run(100_000).makespan;
+            let r_t1 = PacketSim::phase_workload(&t1.embedding, m).run(100_000).makespan;
+            assert_eq!(r_gray, m, "n={n}");
+            let w = (n / 2) as u64;
+            assert!(
+                r_t1 <= 3 * m / w + 8,
+                "n={n}: theorem1 makespan {r_t1} above 3m/w + O(1)"
+            );
+            ratios.push(r_gray as f64 / r_t1 as f64);
+        }
+        assert!(ratios[1] > ratios[0], "speedup must grow with n: {ratios:?}");
+        assert!(ratios[0] > 1.5, "already a clear win at n=8: {ratios:?}");
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let e = gray_cycle_embedding(4);
+        let r = PacketSim::phase_workload(&e, 8).run(10_000);
+        // Only 1/n of links ever busy.
+        assert!(r.mean_utilization <= 0.26);
+        assert!(r.mean_utilization > 0.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stuck_simulation_panics() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1], packets: 100 });
+        let _ = sim.run(5);
+    }
+}

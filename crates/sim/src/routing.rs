@@ -1,0 +1,186 @@
+//! Routing path generators (Section 7's workloads).
+
+use hyperpath_core::ccc_copies::CccCopies;
+use hyperpath_topology::{Hypercube, Node};
+use rand::{Rng, RngExt};
+
+/// Greedy e-cube path from `a` to `b`: differing dimensions corrected in
+/// increasing order. Deterministic, minimal.
+pub fn ecube_path(a: Node, b: Node) -> Vec<Node> {
+    let mut nodes = vec![a];
+    let mut cur = a;
+    let mut diff = a ^ b;
+    while diff != 0 {
+        let d = diff.trailing_zeros();
+        cur ^= 1u64 << d;
+        diff ^= 1u64 << d;
+        nodes.push(cur);
+    }
+    nodes
+}
+
+/// Valiant two-phase path: e-cube to a uniformly random intermediate node,
+/// then e-cube to the destination (the classic fix for adversarial
+/// permutations).
+pub fn valiant_path(host: &Hypercube, a: Node, b: Node, rng: &mut impl Rng) -> Vec<Node> {
+    let mid = rng.random_range(0..host.num_nodes());
+    let mut p = ecube_path(a, mid);
+    let tail = ecube_path(mid, b);
+    p.extend_from_slice(&tail[1..]);
+    p
+}
+
+/// Section 7's message-splitting routes: one route per CCC copy. The
+/// message from host node `a` to `b` is split across the `n` copies of
+/// Theorem 3; in copy `k`, `a` and `b` are images of CCC vertices (the copy
+/// is a bijection onto the host), and the piece walks copy `k`'s CCC edges:
+/// around the column cycle, taking the cross edge at level `ℓ` whenever the
+/// column coordinates differ in bit `ℓ`, then on to the destination level.
+/// Because the copies jointly have edge-congestion 2, the `n` routes of one
+/// message make nearly independent use of the host links.
+pub fn ccc_copy_routes(copies: &CccCopies, a: Node, b: Node) -> Vec<Vec<Node>> {
+    CccRouter::new(copies).routes(a, b)
+}
+
+/// Precomputed inverse vertex maps for repeated [`ccc_copy_routes`] queries.
+pub struct CccRouter<'a> {
+    copies: &'a CccCopies,
+    inverse: Vec<Vec<u32>>,
+}
+
+impl<'a> CccRouter<'a> {
+    /// Builds the router (inverts every copy's vertex map once).
+    pub fn new(copies: &'a CccCopies) -> Self {
+        let size = copies.multi_copy.host.num_nodes() as usize;
+        let inverse = copies
+            .multi_copy
+            .copies
+            .iter()
+            .map(|copy| {
+                let mut inv = vec![u32::MAX; size];
+                for (v, &img) in copy.vertex_map.iter().enumerate() {
+                    inv[img as usize] = v as u32;
+                }
+                inv
+            })
+            .collect();
+        CccRouter { copies, inverse }
+    }
+
+    /// One route per copy from host node `a` to host node `b`.
+    pub fn routes(&self, a: Node, b: Node) -> Vec<Vec<Node>> {
+        ccc_copy_routes_inner(self.copies, &self.inverse, a, b)
+    }
+}
+
+fn ccc_copy_routes_inner(
+    copies: &CccCopies,
+    inverse: &[Vec<u32>],
+    a: Node,
+    b: Node,
+) -> Vec<Vec<Node>> {
+    let ccc = copies.ccc;
+    let n = ccc.levels();
+    copies
+        .multi_copy
+        .copies
+        .iter()
+        .zip(inverse)
+        .map(|(copy, inv)| {
+            let find = |target: Node| -> u32 {
+                let v = inv[target as usize];
+                assert_ne!(v, u32::MAX, "copies are bijections onto the host");
+                v
+            };
+            let (mut l, mut c) = ccc.address(find(a));
+            let (bl, bc) = ccc.address(find(b));
+            let mut route = vec![a];
+            let push = |l: u32, c: u32, route: &mut Vec<Node>| {
+                route.push(copy.vertex_map[ccc.vertex(l, c) as usize]);
+            };
+            // Fix column bits while walking levels (at most 2n straight
+            // hops + n cross hops).
+            for _ in 0..n {
+                if c == bc {
+                    break;
+                }
+                if (c ^ bc) >> l & 1 == 1 {
+                    c ^= 1 << l;
+                    push(l, c, &mut route);
+                }
+                l = (l + 1) % n;
+                push(l, c, &mut route);
+            }
+            // Walk straight edges to the destination level.
+            while l != bl {
+                l = (l + 1) % n;
+                push(l, c, &mut route);
+            }
+            debug_assert_eq!(*route.last().unwrap(), b);
+            route
+        })
+        .collect()
+}
+
+/// A uniformly random permutation workload: each node sends to a distinct
+/// destination.
+pub fn random_permutation(host: &Hypercube, rng: &mut impl Rng) -> Vec<Node> {
+    use rand::seq::SliceRandom;
+    let mut perm: Vec<Node> = host.nodes().collect();
+    perm.shuffle(rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_core::ccc_copies::ccc_multi_copy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ecube_is_minimal() {
+        let p = ecube_path(0b0000, 0b1011);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p, vec![0b0000, 0b0001, 0b0011, 0b1011]);
+        assert_eq!(ecube_path(5, 5), vec![5]);
+    }
+
+    #[test]
+    fn valiant_connects() {
+        let host = Hypercube::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = rng.random_range(0..host.num_nodes());
+            let b = rng.random_range(0..host.num_nodes());
+            let p = valiant_path(&host, a, b, &mut rng);
+            assert_eq!(p[0], a);
+            assert_eq!(*p.last().unwrap(), b);
+            host.validate_walk(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn ccc_routes_connect_and_are_walks() {
+        let copies = ccc_multi_copy(4).unwrap();
+        let host = copies.multi_copy.host;
+        let routes = ccc_copy_routes(&copies, 3, 42);
+        assert_eq!(routes.len(), 4);
+        for r in &routes {
+            assert_eq!(r[0], 3);
+            assert_eq!(*r.last().unwrap(), 42);
+            host.validate_walk(r).unwrap();
+            assert!(r.len() <= 3 * 4 + 2, "CCC route length O(n): {}", r.len());
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let host = Hypercube::new(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = random_permutation(&host, &mut rng);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, host.nodes().collect::<Vec<_>>());
+    }
+}

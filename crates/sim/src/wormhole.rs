@@ -1,0 +1,193 @@
+//! Wormhole (cut-through) routing simulation (Section 7).
+//!
+//! A *worm* is a message of `flits` flits following one fixed path. Its
+//! head advances one hop per step when the next link is free; the body
+//! streams behind, so a link is held from the step the head crosses it
+//! until the tail (flit `flits`) has crossed — and while the head is
+//! blocked, everything behind it stalls and the held links stay held.
+//! Store-and-forward would charge `Θ(hops + queue_delays)` *per message
+//! re-queue*, i.e. `Θ(n·M)` for an `M`-flit message crossing `n` links
+//! under contention; wormhole pipelining charges `hops + M` when the path
+//! is clear — the contrast experiment E10 measures.
+
+use hyperpath_topology::{DirEdge, Hypercube, Node};
+
+/// One wormhole message.
+#[derive(Debug, Clone)]
+pub struct Worm {
+    /// Node sequence the worm follows.
+    pub path: Vec<Node>,
+    /// Number of flits (message length).
+    pub flits: u64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WormReport {
+    /// Step after which every tail had arrived.
+    pub makespan: u64,
+    /// Per-worm completion times (tail arrival).
+    pub completion: Vec<u64>,
+}
+
+/// The wormhole simulator.
+#[derive(Debug, Clone)]
+pub struct WormholeSim {
+    host: Hypercube,
+    worms: Vec<Worm>,
+}
+
+impl WormholeSim {
+    /// Creates a simulator with no worms.
+    pub fn new(host: Hypercube) -> Self {
+        WormholeSim { host, worms: Vec::new() }
+    }
+
+    /// Adds a worm; returns its id. Lower ids win link arbitration.
+    pub fn add_worm(&mut self, worm: Worm) -> u32 {
+        assert!(self.host.validate_walk(&worm.path).is_ok(), "worm path must be a walk");
+        assert!(worm.flits >= 1);
+        self.worms.push(worm);
+        (self.worms.len() - 1) as u32
+    }
+
+    /// Runs to completion (or panics after `max_steps`).
+    pub fn run(&self, max_steps: u64) -> WormReport {
+        let num_links = self.host.num_directed_edges() as usize;
+        // Which worm holds each link (u32::MAX = free).
+        let mut holder: Vec<u32> = vec![u32::MAX; num_links];
+        // Per worm: hops the head has crossed, flits the tail has pushed
+        // through the first held link (tail progress), completion time.
+        #[derive(Clone)]
+        struct State {
+            head: usize,         // hops crossed by the head
+            entered: Vec<u64>,   // step at which the head crossed hop i
+            done: Option<u64>,
+        }
+        let mut st: Vec<State> = self
+            .worms
+            .iter()
+            .map(|w| State { head: 0, entered: vec![0; w.path.len().saturating_sub(1)], done: None })
+            .collect();
+        let link_of = |w: &Worm, hop: usize| -> usize {
+            let from = w.path[hop];
+            let dim = (from ^ w.path[hop + 1]).trailing_zeros();
+            self.host.dir_edge_index(DirEdge::new(from, dim))
+        };
+
+        let mut step = 0u64;
+        loop {
+            let mut all_done = true;
+            for (wid, w) in self.worms.iter().enumerate() {
+                if st[wid].done.is_some() {
+                    continue;
+                }
+                all_done = false;
+                let hops = w.path.len() - 1;
+                if hops == 0 {
+                    st[wid].done = Some(step);
+                    continue;
+                }
+                if st[wid].head < hops {
+                    // Try to advance the head across the next link.
+                    let idx = link_of(w, st[wid].head);
+                    if holder[idx] == u32::MAX {
+                        holder[idx] = wid as u32;
+                        let h = st[wid].head;
+                        st[wid].entered[h] = step;
+                        st[wid].head += 1;
+                    }
+                    // Heads that cannot move stall (links stay held).
+                } else {
+                    // Head arrived; the tail clears link i once `flits`
+                    // flits have crossed it: release at entered[i] + flits.
+                    let release = st[wid].entered[hops - 1] + w.flits;
+                    if step + 1 >= release {
+                        for hop in 0..hops {
+                            holder[link_of(w, hop)] = u32::MAX;
+                        }
+                        st[wid].done = Some(release);
+                    }
+                }
+            }
+            // Release links behind the tail as it streams forward.
+            for (wid, w) in self.worms.iter().enumerate() {
+                if st[wid].done.is_some() {
+                    continue;
+                }
+                let hops = w.path.len() - 1;
+                for hop in 0..st[wid].head.min(hops) {
+                    let idx = link_of(w, hop);
+                    if holder[idx] == wid as u32 && step + 1 >= st[wid].entered[hop] + w.flits {
+                        holder[idx] = u32::MAX;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            step += 1;
+            if step > max_steps {
+                panic!("wormhole simulation did not finish within {max_steps} steps");
+            }
+        }
+        let completion: Vec<u64> = st.iter().map(|s| s.done.unwrap()).collect();
+        WormReport { makespan: completion.iter().copied().max().unwrap_or(0), completion }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_worm_pipelines() {
+        let host = Hypercube::new(4);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3, 7, 15], flits: 10 });
+        let r = sim.run(1000);
+        // 4 hops + 10 flits: tail arrives at 4 - 1 + 10 = 13.
+        assert_eq!(r.makespan, 13);
+    }
+
+    #[test]
+    fn single_hop_worm() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1], flits: 5 });
+        let r = sim.run(100);
+        assert_eq!(r.makespan, 5);
+    }
+
+    #[test]
+    fn contending_worms_serialize() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 8 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 8 });
+        let r = sim.run(1000);
+        // Worm 0 holds (0,1) during steps 0..8; worm 1 starts after.
+        assert_eq!(r.completion[0], 9);
+        assert!(r.completion[1] >= 16, "second worm waits for the shared link");
+    }
+
+    #[test]
+    fn disjoint_worms_run_in_parallel() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 8 });
+        sim.add_worm(Worm { path: vec![4, 6, 7], flits: 8 });
+        let r = sim.run(1000);
+        assert_eq!(r.completion[0], 9);
+        assert_eq!(r.completion[1], 9);
+    }
+
+    #[test]
+    fn zero_hop_worm_completes_immediately() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![2], flits: 4 });
+        let r = sim.run(10);
+        assert_eq!(r.makespan, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Generator for the frozen Hamiltonian decompositions.
+//!
+//! `cargo run -p hyperpath-topology --example freeze_bases --release -- <n>`
+//! prints Rust constant definitions for the `Q_n` decomposition: a single
+//! rotation-orbit base cycle when the symmetric search succeeds, else the
+//! full explicit cycle list from the sequential search.
+use hyperpath_topology::hamiltonian::{search_sequential, search_symmetric_base};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u32 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(8);
+    let t = Instant::now();
+    for seed in 0..8u64 {
+        if let Some(base) = search_symmetric_base(n, seed, 5_000_000) {
+            let s: Vec<String> = base.iter().map(|d| d.to_string()).collect();
+            println!("// symmetric base, seed {seed}, {:?}", t.elapsed());
+            println!("pub const Q{n}: &[u8] = &[{}];", s.join(", "));
+            return;
+        }
+    }
+    println!("// symmetric search failed; trying sequential ({:?})", t.elapsed());
+    if let Some(cycles) = search_sequential(n, 2000, 4_000_000) {
+        println!("// sequential, {:?}", t.elapsed());
+        println!("pub const Q{n}_CYCLES: &[&[u8]] = &[");
+        for c in cycles {
+            let s: Vec<String> = c.iter().map(|d| d.to_string()).collect();
+            println!("    &[{}],", s.join(", "));
+        }
+        println!("];");
+    } else {
+        println!("// FAILED");
+    }
+}

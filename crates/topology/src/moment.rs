@@ -1,0 +1,89 @@
+//! Node *moments* (Section 3.2, Definition 1).
+//!
+//! The moment of an `n`-bit number `v` is `M(v) = ⊕_{i : v_i = 1} b(i)`,
+//! the bitwise XOR of the (⌈log n⌉-bit) binary representations of the
+//! positions of its set bits. Lemma 2: all hypercube neighbors of a node have
+//! distinct moments, because `M(v ⊕ 2^i) = M(v) ⊕ b(i)` and the `b(i)` are
+//! distinct. This single property underlies every multiple-path embedding in
+//! the paper: it lets each node fan its traffic out to neighbors that carry
+//! provably non-colliding "special" structures.
+
+/// The moment `M(v)` of a node address.
+///
+/// `M(0) = 0` and `M(v) = ⊕_{i : bit i of v set} i`.
+#[inline]
+pub fn moment(v: u64) -> u32 {
+    let mut m = 0u32;
+    let mut x = v;
+    while x != 0 {
+        let i = x.trailing_zeros();
+        m ^= i;
+        x &= x - 1;
+    }
+    m
+}
+
+/// Number of bits a moment of an `n`-bit address can occupy: `⌈log2 n⌉`
+/// (0 for `n = 1`).
+#[inline]
+pub fn moment_bits(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    u32::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(moment(0), 0);
+        assert_eq!(moment(0b1), 0); // bit 0 contributes b(0) = 0
+        assert_eq!(moment(0b10), 1);
+        assert_eq!(moment(0b100), 2);
+        assert_eq!(moment(0b110), 3); // 1 ^ 2
+        assert_eq!(moment(0b111), 3); // 0 ^ 1 ^ 2
+    }
+
+    #[test]
+    fn xor_update_rule() {
+        for v in 0..1024u64 {
+            for i in 0..10u32 {
+                assert_eq!(moment(v ^ (1 << i)) ^ moment(v), i);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_neighbors_have_distinct_moments() {
+        // Every node of Q_10: the 10 neighbors yield 10 distinct moments.
+        let n = 10u32;
+        for v in 0..(1u64 << n) {
+            let mut seen = 0u32; // bitset over moment values (< 16)
+            for i in 0..n {
+                let m = moment(v ^ (1 << i));
+                assert!(m < 16);
+                assert_eq!(seen & (1 << m), 0, "duplicate moment at v={v:#b}, i={i}");
+                seen |= 1 << m;
+            }
+        }
+    }
+
+    #[test]
+    fn moment_bits_bound() {
+        assert_eq!(moment_bits(1), 0);
+        assert_eq!(moment_bits(2), 1);
+        assert_eq!(moment_bits(3), 2);
+        assert_eq!(moment_bits(4), 2);
+        assert_eq!(moment_bits(5), 3);
+        assert_eq!(moment_bits(8), 3);
+        assert_eq!(moment_bits(9), 4);
+        // moments of n-bit addresses fit in moment_bits(n) bits
+        for n in 1..=12u32 {
+            let q = moment_bits(n);
+            for v in 0..(1u64 << n) {
+                assert!(moment(v) < (1 << q).max(1), "n={n} v={v:#b}");
+            }
+        }
+    }
+}

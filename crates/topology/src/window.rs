@@ -1,0 +1,225 @@
+//! Windows, signatures, and prefix helpers (Section 5.1).
+//!
+//! A *window* `W ⊆ Z_k` is an **ordered** subset of the dimensions of a
+//! hypercube. The *signature* `σ_W(v)` of node `v` over `W` is the value of
+//! `v`'s address bits in the dimensions ordered by `W`. Windows let the
+//! multiple-copy CCC embedding of Theorem 3 carve `Q_{n+log n}` into a
+//! "level part" and a "column part" independently per copy.
+//!
+//! Bit-order convention: window position `j` (the `j`-th dimension in the
+//! window's order) corresponds to **bit `j`** of the signature value. The
+//! paper's prefixes `ρ_i` read a sequence from its *first* element, which for
+//! an `r`-bit value we take to be its most significant bit (this is what
+//! makes the window definition `W^k(i) = 2^i + ρ_i(k)` generate the
+//! overlapping binary-tree window family of Section 5.3).
+
+use crate::cube::{Dim, Node};
+
+/// An ordered subset of hypercube dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Window {
+    dims: Vec<Dim>,
+}
+
+impl Window {
+    /// Creates a window from an ordered dimension list.
+    ///
+    /// # Panics
+    /// Panics if a dimension repeats.
+    pub fn new(dims: Vec<Dim>) -> Self {
+        let mut seen = 0u64;
+        for &d in &dims {
+            assert!(d < 64, "dimension {d} too large");
+            assert!(seen & (1 << d) == 0, "dimension {d} repeats in window");
+            seen |= 1 << d;
+        }
+        Window { dims }
+    }
+
+    /// Number of dimensions in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The dimension at window position `i` (the paper's `W(i)`).
+    #[inline]
+    pub fn dim(&self, i: usize) -> Dim {
+        self.dims[i]
+    }
+
+    /// The ordered dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Whether `d` occurs in the window.
+    pub fn contains(&self, d: Dim) -> bool {
+        self.dims.contains(&d)
+    }
+
+    /// Window position of dimension `d`, if present.
+    pub fn position(&self, d: Dim) -> Option<usize> {
+        self.dims.iter().position(|&x| x == d)
+    }
+
+    /// Whether two windows use disjoint dimension sets.
+    pub fn disjoint(&self, other: &Window) -> bool {
+        self.dims.iter().all(|d| !other.contains(*d))
+    }
+
+    /// The signature `σ_W(v)`: bit `j` of the result is bit `W(j)` of `v`.
+    #[inline]
+    pub fn signature(&self, v: Node) -> u64 {
+        let mut sig = 0u64;
+        for (j, &d) in self.dims.iter().enumerate() {
+            sig |= ((v >> d) & 1) << j;
+        }
+        sig
+    }
+
+    /// Builds the partial address whose bits in this window spell `sig` and
+    /// whose other bits are zero. `scatter` is a right inverse of
+    /// [`signature`](Self::signature).
+    #[inline]
+    pub fn scatter(&self, sig: u64) -> Node {
+        let mut v = 0u64;
+        for (j, &d) in self.dims.iter().enumerate() {
+            v |= ((sig >> j) & 1) << d;
+        }
+        v
+    }
+
+    /// Overwrites the window bits of `v` with the bits of `sig`.
+    #[inline]
+    pub fn write(&self, v: Node, sig: u64) -> Node {
+        let mask: u64 = self.dims.iter().map(|&d| 1u64 << d).fold(0, |a, b| a | b);
+        (v & !mask) | self.scatter(sig)
+    }
+}
+
+/// The paper's `ρ_i(a)`: the length-`i` prefix of the `width`-bit value `a`,
+/// reading most-significant-bit first, returned as an integer in `0..2^i`.
+#[inline]
+pub fn prefix(a: u64, width: u32, i: u32) -> u64 {
+    debug_assert!(i <= width && width <= 64);
+    debug_assert!(width == 64 || a < (1u64 << width));
+    if i == 0 {
+        0
+    } else {
+        a >> (width - i)
+    }
+}
+
+/// The paper's `λ(a, b)`: the length of the longest common prefix of two
+/// `width`-bit values (MSB first).
+#[inline]
+pub fn common_prefix_len(a: u64, b: u64, width: u32) -> u32 {
+    debug_assert!(width <= 64);
+    let x = a ^ b;
+    if x == 0 {
+        width
+    } else {
+        let highest = 63 - x.leading_zeros(); // index of highest differing bit
+        debug_assert!(highest < width, "values exceed stated width");
+        width - 1 - highest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_signature_example() {
+        // "the signature of node 01001 over the window W = {1, 4, 3} is 110,
+        // the bits in positions 1, 4, and 3."
+        //
+        // The paper writes addresses as strings indexed from the left, so
+        // node "01001" has bit values 0,1,0,0,1 at positions 0..4 and the
+        // signature string "110" lists positions 1, 4, 3 in order. In our
+        // LSB-indexed convention string position p is bit 4-p, so the node
+        // value is 0b01001, the window {1,4,3} becomes dims {3,0,1}, and the
+        // signature string "110" (first element = window position 0) is the
+        // value 0b011.
+        let node: Node = 0b01001;
+        let w = Window::new(vec![3, 0, 1]);
+        assert_eq!(w.signature(node), 0b011);
+    }
+
+    #[test]
+    fn signature_scatter_roundtrip() {
+        let w = Window::new(vec![5, 0, 2, 7]);
+        for sig in 0..16u64 {
+            let v = w.scatter(sig);
+            assert_eq!(w.signature(v), sig);
+            // scatter touches only window dims
+            assert_eq!(v & !0b10100101, 0);
+        }
+    }
+
+    #[test]
+    fn write_preserves_other_bits() {
+        let w = Window::new(vec![1, 3]);
+        let v = 0b11111;
+        assert_eq!(w.write(v, 0b00), 0b10101);
+        assert_eq!(w.write(v, 0b01), 0b10111);
+        assert_eq!(w.write(v, 0b10), 0b11101);
+        assert_eq!(w.signature(w.write(v, 0b10)), 0b10);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Window::new(vec![0, 2, 4]);
+        let b = Window::new(vec![1, 3, 5]);
+        let c = Window::new(vec![4, 6]);
+        assert!(a.disjoint(&b));
+        assert!(!a.disjoint(&c));
+    }
+
+    #[test]
+    fn prefix_msb_first() {
+        // 6-bit value 0b101100: prefixes 1, 10, 101, 1011, ...
+        let a = 0b101100u64;
+        assert_eq!(prefix(a, 6, 0), 0);
+        assert_eq!(prefix(a, 6, 1), 0b1);
+        assert_eq!(prefix(a, 6, 2), 0b10);
+        assert_eq!(prefix(a, 6, 3), 0b101);
+        assert_eq!(prefix(a, 6, 6), a);
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(0b1010, 0b1010, 4), 4);
+        assert_eq!(common_prefix_len(0b1010, 0b1011, 4), 3);
+        assert_eq!(common_prefix_len(0b1010, 0b1000, 4), 2);
+        assert_eq!(common_prefix_len(0b1010, 0b0010, 4), 0);
+        assert_eq!(common_prefix_len(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn lambda_consistency_with_prefix() {
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let l = common_prefix_len(a, b, 6);
+                assert_eq!(prefix(a, 6, l), prefix(b, 6, l));
+                if l < 6 {
+                    assert_ne!(prefix(a, 6, l + 1), prefix(b, 6, l + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_dim_rejected() {
+        let _ = Window::new(vec![1, 2, 1]);
+    }
+}
