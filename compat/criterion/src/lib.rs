@@ -1,0 +1,124 @@
+//! Offline compatibility shim for `criterion`.
+//!
+//! A minimal wall-clock bench runner with the same macro surface
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`). No statistical analysis or HTML reports — each bench
+//! warms up, runs batches until a time budget is spent, and prints the
+//! best observed mean iteration time (the low-noise point estimate).
+
+use std::time::{Duration, Instant};
+
+/// The bench registry/driver.
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warmup: Duration::from_millis(300), budget: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { warmup: self.warmup, budget: self.budget, best_ns: f64::INFINITY };
+        f(&mut b);
+        println!("{name:<48} {:>14}/iter", format_ns(b.best_ns));
+        self
+    }
+}
+
+/// Passed to each bench target; call [`iter`](Bencher::iter) with the body.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `body`, keeping the best batch-mean iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm up and size batches so one batch is ~10ms.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup {
+            std::hint::black_box(body());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((10_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        let run = Instant::now();
+        while run.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of the std
+/// hint; upstream criterion's version predates its stabilization).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group: a function invoking each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c =
+            Criterion { warmup: Duration::from_millis(5), budget: Duration::from_millis(10) };
+        c.bench_function("smoke", |b| b.iter(|| 2u64 + 2));
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2_300_000_000.0).ends_with('s'));
+    }
+}

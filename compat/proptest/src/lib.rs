@@ -1,0 +1,303 @@
+//! Offline compatibility shim for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), integer-range and `any::<T>()` strategies,
+//! `collection::{vec, btree_set}`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! no shrinking (a failing case reports its sampled inputs instead), and
+//! case generation is seeded deterministically from the test's module path
+//! and name, so every run explores the same cases — failures are always
+//! reproducible, never flaky.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case failed (upstream: `proptest::test_runner::TestCaseError`).
+/// Property bodies may `?`-propagate these; the harness reports the case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case could not be run (counted, not failed, upstream; failed here).
+    Abort(String),
+    /// The property does not hold for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An abort with the given reason.
+    pub fn abort(reason: impl Into<String>) -> Self {
+        TestCaseError::Abort(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Abort(r) => write!(f, "abort: {r}"),
+            TestCaseError::Fail(r) => write!(f, "fail: {r}"),
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform over the whole domain of `T`.
+pub fn any<T: rand::StandardUniform>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: rand::StandardUniform> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// `Vec` of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of `element` values with a target size drawn from `size`.
+    /// Best-effort on small domains: gives up growing after a bounded
+    /// number of duplicate draws (like upstream's rejection limit).
+    pub fn btree_set<S>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy produced by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.random_range(self.size.clone());
+            let mut set = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * target + 64 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test RNG: seeded from the fully-qualified test name
+/// and the case number (FNV-1a), so runs are reproducible and independent
+/// tests explore independent sequences.
+pub fn rng_for(test: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in test.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case)).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// The proptest test-definition macro: each `fn name(arg in strategy, ..)`
+/// becomes a `#[test]` running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg($cfg) $($rest)*);
+    };
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng =
+                        $crate::rng_for(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Bodies may use `?` with `TestCaseError`, so each case
+                    // runs in a move closure returning `Result`.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} case {case}: {e}",
+                            concat!(module_path!(), "::", stringify!($name)),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that names the property framework in its failure message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro samples, binds, and runs bodies.
+        #[test]
+        fn ranges_respected(a in 3u32..10, b in 0u64..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+        }
+
+        /// Collections honor their size bounds.
+        #[test]
+        fn collections_sized(v in collection::vec(any::<u8>(), 0..17), s in collection::btree_set(0u32..100, 1..9)) {
+            prop_assert!(v.len() < 17);
+            prop_assert!(!s.is_empty() && s.len() < 9);
+        }
+    }
+
+    proptest! {
+        /// Default config form (no inner attribute) also parses.
+        #[test]
+        fn default_config_form(x in 0u8..255) {
+            prop_assert_ne!(x, 255);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        use rand::RngCore;
+        let a = crate::rng_for("t::x", 0).next_u64();
+        let b = crate::rng_for("t::x", 0).next_u64();
+        let c = crate::rng_for("t::x", 1).next_u64();
+        let d = crate::rng_for("t::y", 0).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline compatibility shim for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the handful of `rand` APIs the workspace uses are
+//! implemented locally: [`RngCore`]/[`Rng`]/[`RngExt`], [`SeedableRng`],
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64 — like upstream,
+//! the `StdRng` algorithm is explicitly unspecified and may change), and
+//! [`seq::SliceRandom`].
+//!
+//! Determinism contract: for a fixed seed every generator in this crate
+//! produces a platform-independent stream, which is all the workspace
+//! relies on (reproducible experiments, frozen Hamiltonian searches,
+//! Monte-Carlo trials keyed by per-trial seeds).
+
+/// Core random number generation: a source of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for generators usable in `&mut impl Rng` bounds.
+pub trait Rng: RngCore {}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Convenience sampling methods (upstream `rand` folds these into `Rng`).
+pub trait RngExt: Rng {
+    /// A uniformly random value of a primitive type.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer ranges).
+    fn random_range<T, R: UniformRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (`0.0 ≤ p ≤ 1.0`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard [0, 1) construction.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types samplable uniformly over their whole domain via [`RngExt::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer ranges samplable via [`RngExt::random_range`].
+pub trait UniformRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` by rejection (no modulo bias). `span = 0`
+/// means the full 2^64 domain.
+fn uniform_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Largest multiple of `span` that fits; reject draws above it.
+    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_range_signed {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                start.wrapping_add(uniform_u64(rng, span.wrapping_add(1)) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_range_signed!(i8, i16, i32, i64, isize);
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (stable across
+    /// platforms and releases of this shim).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let chunk = sm.next().to_le_bytes();
+            let take = chunk.len().min(bytes.len() - i);
+            bytes[i..i + take].copy_from_slice(&chunk[..take]);
+            i += take;
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seeds from another generator.
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the canonical seed expander.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's default deterministic generator: xoshiro256++.
+    /// (Upstream leaves the `StdRng` algorithm unspecified; only
+    /// seed-determinism is relied upon.)
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state is the one forbidden xoshiro fixed point.
+            if s == [0; 4] {
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0x6A09E667F3BCC909,
+                    0xBB67AE8584CAA73B,
+                    0x3C6EF372FE94F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element (`None` on empty slices).
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0usize..=5);
+            assert!(w <= 5);
+            let s: i32 = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline compatibility shim for `rand_chacha`: a real ChaCha block
+//! function (djb variant: 64-bit block counter + 64-bit stream id) behind
+//! the [`rand::RngCore`]/[`rand::SeedableRng`] traits.
+//!
+//! The property the workspace depends on is the one ChaCha is chosen for
+//! upstream: a single 256-bit seed defines 2^64 *independent* streams
+//! selected by [`set_stream`](ChaChaRng::set_stream), so a parallel sweep
+//! can hand every grid point its own statistically independent generator
+//! derived from one master seed, making results independent of thread
+//! schedule.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with a configurable round count (8/12/20 via the type aliases).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// 64-bit stream id (state words 14–15).
+    stream: u64,
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 = exhausted.
+    idx: usize,
+}
+
+/// ChaCha with 8 rounds — the workspace default for Monte-Carlo streams.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    /// Selects one of the 2^64 independent streams of this seed and
+    /// rewinds the stream to its start.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.idx = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646E, 0x79622D32, 0x6B206574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, &inp) in state.iter_mut().zip(&input) {
+            *word = word.wrapping_add(inp);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaRng { key, counter: 0, stream: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector, adapted to the djb layout: the RFC
+        // uses a 32-bit counter + 96-bit nonce; with nonce words
+        // (0x09000000, 0x4a000000, 0x00000000) and counter 1, the djb
+        // layout coincides when counter = 1 | (0x09000000 << 32) fails —
+        // so instead check the all-zero key/nonce/counter=0 keystream,
+        // which is layout-independent and published widely.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        // First 16 keystream bytes for zero key/nonce: 76 b8 e0 ad a0 f1
+        // 3d 90 40 5d 6a e5 53 86 bd 28 (little-endian words below).
+        assert_eq!(first, vec![0xade0b876, 0x903df1a0, 0xe56a5d40, 0x28bd8653]);
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(1);
+        b.set_stream(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        b.set_stream(2);
+        let vc: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn set_stream_rewinds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        rng.set_stream(5);
+        let first = rng.next_u64();
+        let _ = rng.next_u64();
+        rng.set_stream(5);
+        assert_eq!(rng.next_u64(), first);
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline compatibility shim for `rayon`.
+//!
+//! Implements the data-parallel iterator surface the workspace uses
+//! (`par_iter().map(..).collect()`, `.filter(..).count()`) on plain
+//! `std::thread::scope` fan-out: items are split into one contiguous
+//! chunk per thread, each chunk is processed in order, and the chunk
+//! results are concatenated in order — so **results are always in input
+//! order and independent of the thread count**, which is the property the
+//! deterministic sweep engine builds on.
+//!
+//! Thread count: an installed [`ThreadPool`] override, else the
+//! `RAYON_NUM_THREADS` environment variable, else available parallelism.
+//! Unlike upstream there is no work-stealing pool; each adapter stage
+//! evaluates eagerly. For the workspace's coarse-grained workloads
+//! (whole simulator runs per item) that is the same wall-clock shape.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fixes the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible here; `Result` for API compatibility.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped thread-count override (no persistent workers in this shim).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing all parallel
+    /// iterators invoked (non-nested) inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE
+            .with(|c| c.replace(self.num_threads.or_else(|| Some(current_num_threads()))));
+        let out = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Chunked fork-join evaluation preserving input order.
+fn par_eval<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let outputs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// An eagerly evaluated parallel pipeline stage (items in input order).
+pub struct ParallelPipeline<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelPipeline<T> {
+    /// Parallel map.
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParallelPipeline<R> {
+        ParallelPipeline { items: par_eval(self.items, f) }
+    }
+
+    /// Parallel filter (predicate sees `&Item`, as in rayon).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> ParallelPipeline<T> {
+        let kept = par_eval(self.items, |item| if pred(&item) { Some(item) } else { None });
+        ParallelPipeline { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Number of items remaining in the pipeline.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects the pipeline (items are already in input order).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Parallel for-each (side effects only; runs in chunked order).
+    pub fn for_each(self, f: impl Fn(T) + Sync)
+    where
+        T: Send,
+    {
+        let _ = par_eval(self.items, f);
+    }
+}
+
+/// `.par_iter()` on slice-like containers (yields `&T` items).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParallelPipeline<&'a Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParallelPipeline<&'a T> {
+        ParallelPipeline { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParallelPipeline<&'a T> {
+        ParallelPipeline { items: self.iter().collect() }
+    }
+}
+
+/// `.into_par_iter()` on owning containers.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+
+    /// Parallel iterator over owned items.
+    fn into_par_iter(self) -> ParallelPipeline<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParallelPipeline<T> {
+        ParallelPipeline { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParallelPipeline<usize> {
+        ParallelPipeline { items: self.collect() }
+    }
+}
+
+/// The rayon prelude: traits needed for `.par_iter()` etc.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelPipeline};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_count_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let even = v.par_iter().filter(|&&x| x % 2 == 0).count();
+        assert_eq!(even, 5_000);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let v: Vec<u64> = (0..777).collect();
+        let serial: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| v.par_iter().map(|&x| x * x).collect());
+        let parallel: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap()
+            .install(|| v.par_iter().map(|&x| x * x).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+        let owned: Vec<String> =
+            vec!["a".to_string(), "b".to_string()].into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+}

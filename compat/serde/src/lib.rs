@@ -1,0 +1,15 @@
+//! Offline compatibility shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (marker traits plus
+//! no-op derive macros) so types can stay tagged for downstream
+//! consumers while building without registry access. Nothing in the
+//! workspace bounds on these traits; machine-readable output goes
+//! through the explicit `hyperpath-bench::json` encoder.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

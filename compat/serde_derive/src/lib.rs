@@ -1,0 +1,19 @@
+//! Offline compatibility shim for `serde_derive`: the derives expand to
+//! nothing. The workspace only *tags* types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers; nothing
+//! in-tree bounds on the traits, and the experiment JSON output is
+//! produced by the explicit `hyperpath-bench::json` encoder instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,15 +7,26 @@ use std::process::Command;
 
 fn main() {
     let exps = [
-        "e1_cycle_speedup", "e2_theorem1", "e3_theorem2", "e4_lower_bound",
-        "e5_grids", "e6_squaring", "e7_ccc_copies", "e8_induced", "e9_trees",
-        "e10_wormhole", "e11_grid_mapping", "e12_faults", "e13_relaxation",
-        "e14_large_copy", "e15_pinout",
+        "e1_cycle_speedup",
+        "e2_theorem1",
+        "e3_theorem2",
+        "e4_lower_bound",
+        "e5_grids",
+        "e6_squaring",
+        "e7_ccc_copies",
+        "e8_induced",
+        "e9_trees",
+        "e10_wormhole",
+        "e11_grid_mapping",
+        "e12_faults",
+        "e13_relaxation",
+        "e14_large_copy",
+        "e15_pinout",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
     for e in exps {
-        println!("\n{}\n{}\n", "=".repeat(78), format!("== {e} =="));
+        println!("\n{}\n== {e} ==\n", "=".repeat(78));
         let out = Command::new(dir.join(e))
             .output()
             .unwrap_or_else(|err| panic!("failed to run {e}: {err}"));

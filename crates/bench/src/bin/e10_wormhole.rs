@@ -1,57 +1,19 @@
 //! E10 — Section 7: wormhole routing of M-packet permutations; single path
 //! vs n-way CCC-copy splitting.
+//!
+//! `--json [PATH]` additionally writes the sweep artifact
+//! (`BENCH_E10_WORMHOLE.json` by default). Every grid point draws its
+//! permutation from its own ChaCha stream, so the artifact is byte-stable
+//! across thread counts.
 
-use hyperpath_bench::Table;
-use hyperpath_core::ccc_copies::ccc_multi_copy;
-use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
-use hyperpath_sim::{Worm, WormholeSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hyperpath_bench::experiments::{e10_wormhole, maybe_write_json, parse_cli};
 
 fn main() {
+    let opts = parse_cli(std::env::args().skip(1));
     println!("E10: M-flit permutation routing, wormhole mode (Section 7)");
     println!("Claim: single-path completion grows ~ n·M under contention; splitting each");
     println!("message across the n CCC copies completes in O(M).\n");
-    let mut t = Table::new(&["n (CCC)", "host", "M flits", "single-path", "ccc-split", "ratio"]);
-    let mut rng = StdRng::seed_from_u64(7);
-    for n in [4u32, 8] {
-        let copies = ccc_multi_copy(n).expect("Theorem 3");
-        let host = copies.multi_copy.host;
-        let router = CccRouter::new(&copies);
-        let perm = random_permutation(&host, &mut rng);
-        for m_flits in [16u64, 64, 256] {
-            // Single path: the whole message as one worm on the e-cube path.
-            let mut single = WormholeSim::new(host);
-            for (src, &dst) in perm.iter().enumerate() {
-                let src = src as u64;
-                if src == dst {
-                    continue;
-                }
-                single.add_worm(Worm { path: ecube_path(src, dst), flits: m_flits });
-            }
-            let r1 = single.run(10_000_000).makespan;
-            // Split: n worms of M/n flits along the CCC copy routes.
-            let mut split = WormholeSim::new(host);
-            let piece = (m_flits / u64::from(n)).max(1);
-            for (src, &dst) in perm.iter().enumerate() {
-                let src = src as u64;
-                if src == dst {
-                    continue;
-                }
-                for route in router.routes(src, dst) {
-                    split.add_worm(Worm { path: route, flits: piece });
-                }
-            }
-            let r2 = split.run(10_000_000).makespan;
-            t.row(vec![
-                n.to_string(),
-                format!("Q_{}", host.dims()),
-                m_flits.to_string(),
-                r1.to_string(),
-                r2.to_string(),
-                format!("{:.2}x", r1 as f64 / r2 as f64),
-            ]);
-        }
-    }
-    println!("{}", t.render());
+    let (table, out) = e10_wormhole(&[4, 8], 7);
+    println!("{}", table.render());
+    maybe_write_json(&out, &opts);
 }

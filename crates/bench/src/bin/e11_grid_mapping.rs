@@ -10,7 +10,12 @@ fn main() {
     println!("Approach 1: point-per-process large-copy; Approach 2: blocked multiple-path;");
     println!("Approach 3: blocked large-copy with log N × more processes.\n");
     let mut t = Table::new(&[
-        "a (N=2^a)", "M/N", "total traffic 1", "traffic 2", "traffic 3", "phase steps (2)",
+        "a (N=2^a)",
+        "M/N",
+        "total traffic 1",
+        "traffic 2",
+        "traffic 3",
+        "phase steps (2)",
     ]);
     for a in [2u32, 3, 4] {
         for ratio in [4u64, 16, 64] {
@@ -20,8 +25,8 @@ fn main() {
             let t2_traffic = 4 * m_side * (1u64 << a); // O(M N): block boundaries
             let logn = u64::from(a);
             let t3_traffic = 4 * m_side * (1u64 << a) * logn.max(1); // O(M N log N)
-            // Phase time under approach 2: the 2a-dim torus embedding ships
-            // M/N boundary packets per edge.
+                                                                     // Phase time under approach 2: the 2a-dim torus embedding ships
+                                                                     // M/N boundary packets per edge.
             let g = grid_embedding(&[a, a], true).expect("torus");
             let steps = PacketSim::phase_workload(&g.embedding, ratio).run(10_000_000).makespan;
             // Approach 1 sanity: the large-copy cycle exists (its per-phase

@@ -1,49 +1,25 @@
 //! E12 — fault tolerance: width-w bundles + (w,k) IDA vs a single path.
+//!
+//! `--trials N` sets the Monte-Carlo trial count per grid point (default
+//! 200); `--json [PATH]` additionally writes the sweep artifact
+//! (`BENCH_E12_FAULTS.json` by default). Every grid point draws its faults
+//! from its own ChaCha stream, so the artifact is byte-stable across
+//! thread counts.
 
-use hyperpath_bench::Table;
-use hyperpath_core::baseline::gray_cycle_embedding;
-use hyperpath_core::cycles::theorem1;
-use hyperpath_ida::Ida;
-use hyperpath_sim::faults::delivery_probability;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hyperpath_bench::experiments::{e12_faults, ida_sanity_line, maybe_write_json, parse_cli};
 
 fn main() {
-    println!("E12: phase delivery probability under link faults (Monte-Carlo, 200 trials)");
+    let opts = parse_cli(std::env::args().skip(1));
+    let trials = opts.trials.unwrap_or(200);
+    println!("E12: phase delivery probability under link faults (Monte-Carlo, {trials} trials)");
     println!("Claim (Sections 1-2): w edge-disjoint paths + Rabin IDA tolerate link faults.\n");
 
     // Demonstrate the IDA machinery end to end once.
-    let ida = Ida::new(5, 3);
-    let msg = b"multiple paths tolerate faults";
-    let shares = ida.disperse(msg);
-    let rec = ida.reconstruct(&shares[2..]).expect("any k shares reconstruct");
-    assert_eq!(rec, msg);
-    println!(
-        "IDA(5,3) sanity: {} bytes -> 5 shares x {} bytes; reconstructed from shares 2..5: ok\n",
-        msg.len(),
-        shares[0].data.len()
-    );
+    println!("{}\n", ida_sanity_line());
 
-    let mut t = Table::new(&["n", "p(link fail)", "gray (w=1)", "multipath all-paths", "IDA k=⌈w/2⌉"]);
-    let mut rng = StdRng::seed_from_u64(99);
-    for n in [8u32, 10] {
-        let gray = gray_cycle_embedding(n);
-        let t1 = theorem1(n).expect("theorem 1");
-        let w = t1.claimed_width;
-        for p in [0.0005f64, 0.002, 0.01, 0.05] {
-            let d_gray = delivery_probability(&gray, p, 1, 200, &mut rng);
-            let d_any = delivery_probability(&t1.embedding, p, 1, 200, &mut rng);
-            let d_ida = delivery_probability(&t1.embedding, p, w.div_ceil(2), 200, &mut rng);
-            t.row(vec![
-                n.to_string(),
-                format!("{p}"),
-                format!("{d_gray:.3}"),
-                format!("{d_any:.3}"),
-                format!("{d_ida:.3}"),
-            ]);
-        }
-    }
-    println!("{}", t.render());
+    let (table, out) = e12_faults(&[8, 10], trials, 99);
+    println!("{}", table.render());
     println!("'all-paths' = at least one of the w disjoint paths survives per edge (k=1);");
     println!("'IDA' = at least ⌈w/2⌉ survive (bandwidth overhead 2x).");
+    maybe_write_json(&out, &opts);
 }

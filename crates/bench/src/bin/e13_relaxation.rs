@@ -13,7 +13,14 @@ use hyperpath_sim::PacketSim;
 fn main() {
     println!("E13: 2-D torus relaxation phase (directed), M/N packets per edge\n");
     let mut t = Table::new(&[
-        "a (side 2^a)", "host", "axis width", "M/N", "classical", "free-run", "scheduled", "speedup",
+        "a (side 2^a)",
+        "host",
+        "axis width",
+        "M/N",
+        "classical",
+        "free-run",
+        "scheduled",
+        "speedup",
     ]);
     for a in [4u32, 6, 8] {
         let g = grid_embedding(&[a, a], false).expect("torus embedding");

@@ -6,8 +6,19 @@ use hyperpath_embedding::metrics::multi_path_metrics;
 use hyperpath_embedding::validate::validate_multi_path;
 
 fn main() {
-    println!("E14: large-copy embeddings (claims: cycle dil 1/cong 1; CCC cong 1; FFT/BF cong 2)\n");
-    let mut t = Table::new(&["guest", "n", "vertices", "load", "dilation", "congestion", "utilization", "valid"]);
+    println!(
+        "E14: large-copy embeddings (claims: cycle dil 1/cong 1; CCC cong 1; FFT/BF cong 2)\n"
+    );
+    let mut t = Table::new(&[
+        "guest",
+        "n",
+        "vertices",
+        "load",
+        "dilation",
+        "congestion",
+        "utilization",
+        "valid",
+    ]);
     for n in [4u32, 6, 8] {
         let e = large_copy_cycle(n).expect("Corollary 3");
         let m = multi_path_metrics(&e);

@@ -13,8 +13,13 @@ fn main() {
     println!("Hypercube: 2a channels of width W/(2a) → more packets, but the width-⌊a/2⌋");
     println!("bundles ship ⌊a/2⌋+1 of them every 3 steps. Claim: O(1) slowdown for all sizes.\n");
     let mut t = Table::new(&[
-        "a", "nodes", "grid phase", "cube phase (scheduled)", "slowdown",
-        "cube tree-phase", "grid tree diameter",
+        "a",
+        "nodes",
+        "grid phase",
+        "cube phase (scheduled)",
+        "slowdown",
+        "cube tree-phase",
+        "grid tree diameter",
     ]);
     let w_pins = 64u64;
     let b_bytes = 512u64;

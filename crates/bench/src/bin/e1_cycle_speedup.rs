@@ -3,38 +3,19 @@
 //! Paper claim: the classical Gray-code embedding needs ≥ m/2 steps (and
 //! realizes m); the multiple-path embedding needs Θ(m/n). We simulate one
 //! phase of the 2^n-cycle with m packets per edge under both embeddings.
+//!
+//! `--json [PATH]` additionally writes the sweep artifact
+//! (`BENCH_E1_CYCLE_SPEEDUP.json` by default).
 
-use hyperpath_bench::Table;
-use hyperpath_core::baseline::gray_cycle_embedding;
-use hyperpath_core::cycles::theorem1;
-use hyperpath_sim::PacketSim;
+use hyperpath_bench::experiments::{e1_cycle_speedup, maybe_write_json, parse_cli};
 
 fn main() {
+    let opts = parse_cli(std::env::args().skip(1));
     println!("E1: m-packet cycle phase, Gray code vs Theorem 1 (Section 2)\n");
-    let mut t = Table::new(&[
-        "n", "m", "gray steps", "free-run multipath", "scheduled multipath", "speedup", "m/2 bound",
-    ]);
-    for n in [6u32, 8, 10, 12, 14] {
-        let gray = gray_cycle_embedding(n);
-        let t1 = theorem1(n).expect("theorem 1");
-        for m in [u64::from(n) / 2, u64::from(n), 4 * u64::from(n), 16 * u64::from(n)] {
-            let g = PacketSim::phase_workload(&gray, m).run(10_000_000).makespan;
-            let w = PacketSim::phase_workload(&t1.embedding, m).run(10_000_000).makespan;
-            // Repeating the certified schedule back-to-back ships `packets`
-            // packets every `cost` steps with zero conflicts.
-            let sched = t1.cost * m.div_ceil(t1.packets);
-            let best = w.min(sched);
-            t.row(vec![
-                n.to_string(),
-                m.to_string(),
-                g.to_string(),
-                w.to_string(),
-                sched.to_string(),
-                format!("{:.2}x", g as f64 / best as f64),
-                (m / 2).to_string(),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-    println!("Expectation: gray = m exactly; multipath ≈ 3m/⌊n/2⌋ + O(1); speedup grows ~linearly in n.");
+    let (table, out) = e1_cycle_speedup(&[6, 8, 10, 12, 14]);
+    println!("{}", table.render());
+    println!(
+        "Expectation: gray = m exactly; multipath ≈ 3m/⌊n/2⌋ + O(1); speedup grows ~linearly in n."
+    );
+    maybe_write_json(&out, &opts);
 }

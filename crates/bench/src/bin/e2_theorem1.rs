@@ -1,31 +1,10 @@
 //! E2 — Theorem 1: width-⌊n/2⌋ load-1 cycle embeddings, certified cost 3.
 
-use hyperpath_bench::Table;
-use hyperpath_core::cycles::theorem1;
-use hyperpath_embedding::metrics::multi_path_metrics;
-use hyperpath_embedding::validate::validate_multi_path;
+use hyperpath_bench::experiments::theorem1_table;
 
 fn main() {
     println!("E2: Theorem 1 across n (claim: width ⌊n/2⌋, ⌊n/2⌋-packet cost 3, load 1)\n");
-    let mut t = Table::new(&[
-        "n", "claimed width", "packets", "certified cost", "natural?", "load", "dilation", "valid",
-    ]);
-    for n in 4..=16u32 {
-        let r = theorem1(n).expect("construction");
-        let ok = validate_multi_path(&r.embedding, r.claimed_width, Some(1)).is_ok();
-        let m = multi_path_metrics(&r.embedding);
-        t.row(vec![
-            n.to_string(),
-            r.claimed_width.to_string(),
-            r.packets.to_string(),
-            r.cost.to_string(),
-            if r.natural_schedule_ok { "yes".into() } else { "no (aligned)".into() },
-            m.load.to_string(),
-            m.dilation.to_string(),
-            ok.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
+    println!("{}", theorem1_table(4..=16).render());
     println!("Cost 3 whenever 2⌊n/4⌋ is a power of two (the paper's implicit assumption);");
     println!("n=12..15 (2k=6) certify cost 4 via the phase-aligned scheduler — see DESIGN.md.");
 }

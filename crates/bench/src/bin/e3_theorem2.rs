@@ -7,10 +7,19 @@ use hyperpath_embedding::metrics::multi_path_metrics;
 fn main() {
     println!("E3: Theorem 2 across n and variants (claim table of Section 4.3)\n");
     let mut t = Table::new(&[
-        "n", "n mod 4", "variant", "width", "cost", "load", "utilization", "hops=3|E_dir|?",
+        "n",
+        "n mod 4",
+        "variant",
+        "width",
+        "cost",
+        "load",
+        "utilization",
+        "hops=3|E_dir|?",
     ]);
     for n in 4..=13u32 {
-        for (v, name) in [(Theorem2Variant::Cost3, "cost3"), (Theorem2Variant::FullWidth, "fullwidth")] {
+        for (v, name) in
+            [(Theorem2Variant::Cost3, "cost3"), (Theorem2Variant::FullWidth, "fullwidth")]
+        {
             if n % 4 <= 1 && matches!(v, Theorem2Variant::FullWidth) {
                 continue; // identical to cost3 for these residues
             }

@@ -6,7 +6,15 @@ use hyperpath_embedding::metrics::multi_path_metrics;
 
 fn main() {
     println!("E5: Corollary 1 — k-axis tori with sides 2^a (claim: width ⌊a/2⌋, cost 3, expansion ≤ k+1)\n");
-    let mut t = Table::new(&["axes (log2 sides)", "host dims", "width", "cost", "expansion", "dirs", "load"]);
+    let mut t = Table::new(&[
+        "axes (log2 sides)",
+        "host dims",
+        "width",
+        "cost",
+        "expansion",
+        "dirs",
+        "load",
+    ]);
     let cases: Vec<(Vec<u32>, bool)> = vec![
         (vec![4, 4], false),
         (vec![4, 4], true),

@@ -7,7 +7,14 @@ use hyperpath_embedding::metrics::multi_path_metrics;
 fn main() {
     println!("E6: Corollary 2 — arbitrary-sided grids squared then embedded (claim: O(1) expansion & cost)\n");
     let mut t = Table::new(&[
-        "sides", "squared", "grid dilation", "host dims", "width", "cost", "emb dilation", "expansion",
+        "sides",
+        "squared",
+        "grid dilation",
+        "host dims",
+        "width",
+        "cost",
+        "emb dilation",
+        "expansion",
     ]);
     for sides in [vec![5u32, 5], vec![3, 17], vec![6, 10], vec![6, 10, 3], vec![7, 9]] {
         let (map, g) = squared_grid_embedding(&sides, true).expect("construction");
@@ -24,6 +31,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Squaring dilation 2^folds (O(1) for bounded aspect ratio; the cited Kosaraju–Atallah");
+    println!(
+        "Squaring dilation 2^folds (O(1) for bounded aspect ratio; the cited Kosaraju–Atallah"
+    );
     println!("construction achieves O(1) unconditionally — substitution documented in DESIGN.md).");
 }

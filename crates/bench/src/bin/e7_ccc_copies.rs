@@ -1,51 +1,13 @@
 //! E7 — Theorem 3: n CCC copies at edge-congestion 2, plus the Section 5.3
 //! ablations.
 
-use hyperpath_bench::Table;
-use hyperpath_core::ccc_copies::{butterfly_multi_copy, ccc_multi_copy_with, WindowStrategy};
-use hyperpath_embedding::metrics::multi_copy_metrics;
-use hyperpath_embedding::validate::validate_multi_copy;
+use hyperpath_bench::experiments::{butterfly_copies_table, ccc_copies_table};
 
 fn main() {
-    println!("E7: Theorem 3 CCC copies in Q_(n+log n) (claim: congestion 2, dilation 1) + ablations\n");
-    let mut t = Table::new(&["n", "strategy", "copies", "dilation", "edge congestion", "n/r", "valid"]);
-    for n in [4u32, 8, 16] {
-        let r = n.trailing_zeros();
-        for (strat, name) in [
-            (WindowStrategy::Overlapping, "overlapping (Thm 3)"),
-            (WindowStrategy::SameForAll, "same windows"),
-            (WindowStrategy::Disjoint, "disjoint windows"),
-        ] {
-            if n == 16 && strat != WindowStrategy::Overlapping {
-                continue; // keep the big ablations short
-            }
-            let c = ccc_multi_copy_with(n, strat).expect("construction");
-            let ok = validate_multi_copy(&c.multi_copy).is_ok();
-            let m = multi_copy_metrics(&c.multi_copy);
-            t.row(vec![
-                n.to_string(),
-                name.into(),
-                c.multi_copy.num_copies().to_string(),
-                m.dilation.to_string(),
-                m.edge_congestion.to_string(),
-                (n / r).to_string(),
-                ok.to_string(),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-
+    println!(
+        "E7: Theorem 3 CCC copies in Q_(n+log n) (claim: congestion 2, dilation 1) + ablations\n"
+    );
+    println!("{}", ccc_copies_table(&[4, 8, 16]).render());
     println!("Section 5.4 transfer — n butterfly copies via CCC (dilation 2, congestion ≤ 4):\n");
-    let mut t2 = Table::new(&["n", "copies", "dilation", "edge congestion"]);
-    for n in [4u32, 8] {
-        let mc = butterfly_multi_copy(n).expect("construction");
-        let m = multi_copy_metrics(&mc);
-        t2.row(vec![
-            n.to_string(),
-            mc.num_copies().to_string(),
-            m.dilation.to_string(),
-            m.edge_congestion.to_string(),
-        ]);
-    }
-    println!("{}", t2.render());
+    println!("{}", butterfly_copies_table(&[4, 8]).render());
 }

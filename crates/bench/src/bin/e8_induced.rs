@@ -8,7 +8,16 @@ use hyperpath_embedding::validate::validate_multi_path;
 
 fn main() {
     println!("E8: Theorem 4 — X(G) in Q_2n with width n, n-packet cost c + 2δ\n");
-    let mut t = Table::new(&["G", "n", "host", "width", "packets", "claimed c+2δ", "certified cost", "natural?"]);
+    let mut t = Table::new(&[
+        "G",
+        "n",
+        "host",
+        "width",
+        "packets",
+        "claimed c+2δ",
+        "certified cost",
+        "natural?",
+    ]);
     for n in [4u32, 6, 8] {
         let copies = multi_copy_cycles(n).expect("Lemma 1");
         let (x, claimed) = theorem4(&copies).expect("transformation");
@@ -42,5 +51,7 @@ fn main() {
     }
     println!("{}", t.render());
     println!("Cycles: c=1, δ=1 → cost 3, exactly as Theorem 1 (power-of-two n certify naturally).");
-    println!("Butterflies: dilation-2 copies and non-power-of-two n cost a few extra steps (measured).");
+    println!(
+        "Butterflies: dilation-2 copies and non-power-of-two n cost a few extra steps (measured)."
+    );
 }

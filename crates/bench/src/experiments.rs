@@ -1,0 +1,448 @@
+//! Reusable experiment drivers behind the `e*` binaries.
+//!
+//! Each driver returns the human-readable [`Table`] the binary prints plus
+//! (for the randomized / sweep-shaped experiments) the [`SweepOutput`] it
+//! was computed from, so the same code path serves three consumers: the
+//! binaries, the golden-output tests, and the `BENCH_*.json` artifacts.
+
+use crate::json::{Json, ToJson};
+use crate::sweep::{Sweep, SweepOutput};
+use crate::table::Table;
+use hyperpath_core::baseline::gray_cycle_embedding;
+use hyperpath_core::ccc_copies::{
+    butterfly_multi_copy, ccc_multi_copy, ccc_multi_copy_with, WindowStrategy,
+};
+use hyperpath_core::cycles::theorem1;
+use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
+use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
+use hyperpath_ida::Ida;
+use hyperpath_sim::faults::delivery_probability;
+use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
+use hyperpath_sim::{PacketSim, Worm, WormholeSim};
+
+const SIM_CAP: u64 = 10_000_000;
+
+fn fetch(r: &Json, key: &str) -> u64 {
+    r.get(key).and_then(Json::as_u64).expect("record field")
+}
+
+fn fetch_f(r: &Json, key: &str) -> f64 {
+    r.get(key).and_then(Json::as_f64).expect("record field")
+}
+
+// ---------------------------------------------------------------------------
+// E1 — m-packet cycle phase: Gray code vs Theorem 1 (Section 2).
+// ---------------------------------------------------------------------------
+
+/// One E1 grid point: cycle dimension and packets per cycle edge.
+#[derive(Debug, Clone, Copy)]
+pub struct CyclePoint {
+    /// Hypercube dimension (the cycle has `2^n` nodes).
+    pub n: u32,
+    /// Packets per cycle edge in the phase.
+    pub m: u64,
+}
+
+impl ToJson for CyclePoint {
+    fn to_json(&self) -> Json {
+        Json::object([("n", self.n.to_json()), ("m", self.m.to_json())])
+    }
+}
+
+/// The default E1 grid over the given dimensions: `m ∈ {n/2, n, 4n, 16n}`.
+pub fn e1_grid(ns: &[u32]) -> Vec<CyclePoint> {
+    ns.iter()
+        .flat_map(|&n| {
+            [u64::from(n) / 2, u64::from(n), 4 * u64::from(n), 16 * u64::from(n)]
+                .map(|m| CyclePoint { n, m })
+        })
+        .collect()
+}
+
+/// E1: simulates one m-packet phase of the `2^n`-cycle under the Gray-code
+/// embedding, the free-running Theorem 1 embedding, and the certified
+/// schedule. Deterministic (the grid point RNG goes unused).
+pub fn e1_cycle_speedup(ns: &[u32]) -> (Table, SweepOutput) {
+    let out = Sweep::new("e1_cycle_speedup", 0).run(e1_grid(ns), |p, _rng| {
+        let gray = gray_cycle_embedding(p.n);
+        let t1 = theorem1(p.n).expect("theorem 1");
+        let g = PacketSim::phase_workload(&gray, p.m).run(SIM_CAP).makespan;
+        let w = PacketSim::phase_workload(&t1.embedding, p.m).run(SIM_CAP).makespan;
+        // Repeating the certified schedule back-to-back ships `packets`
+        // packets every `cost` steps with zero conflicts.
+        let sched = t1.cost * p.m.div_ceil(t1.packets);
+        let best = w.min(sched);
+        Json::object([
+            ("gray_steps", g.to_json()),
+            ("free_run", w.to_json()),
+            ("scheduled", sched.to_json()),
+            ("speedup", (g as f64 / best as f64).to_json()),
+            ("half_m_bound", (p.m / 2).to_json()),
+        ])
+    });
+    let mut t = Table::new(&[
+        "n",
+        "m",
+        "gray steps",
+        "free-run multipath",
+        "scheduled multipath",
+        "speedup",
+        "m/2 bound",
+    ]);
+    for rec in &out.records {
+        t.row(vec![
+            fetch(&rec.params, "n").to_string(),
+            fetch(&rec.params, "m").to_string(),
+            fetch(&rec.result, "gray_steps").to_string(),
+            fetch(&rec.result, "free_run").to_string(),
+            fetch(&rec.result, "scheduled").to_string(),
+            format!("{:.2}x", fetch_f(&rec.result, "speedup")),
+            fetch(&rec.result, "half_m_bound").to_string(),
+        ]);
+    }
+    (t, out)
+}
+
+// ---------------------------------------------------------------------------
+// E10 — wormhole permutation routing: single path vs CCC-copy split
+// (Section 7).
+// ---------------------------------------------------------------------------
+
+/// One E10 grid point: CCC parameter and message length.
+#[derive(Debug, Clone, Copy)]
+pub struct WormholePoint {
+    /// CCC parameter (host is `Q_{n + log n}`).
+    pub n: u32,
+    /// Message length in flits.
+    pub flits: u64,
+}
+
+impl ToJson for WormholePoint {
+    fn to_json(&self) -> Json {
+        Json::object([("n", self.n.to_json()), ("flits", self.flits.to_json())])
+    }
+}
+
+/// The default E10 grid: `flits ∈ {16, 64, 256}` per dimension.
+pub fn e10_grid(ns: &[u32]) -> Vec<WormholePoint> {
+    ns.iter().flat_map(|&n| [16u64, 64, 256].map(|flits| WormholePoint { n, flits })).collect()
+}
+
+/// E10: routes a random permutation in wormhole mode, whole-message e-cube
+/// worms vs `n` split worms over the Theorem 3 CCC copies. Each grid point
+/// draws its permutation from its own ChaCha stream.
+pub fn e10_wormhole(ns: &[u32], master_seed: u64) -> (Table, SweepOutput) {
+    let out = Sweep::new("e10_wormhole", master_seed).run(e10_grid(ns), |p, rng| {
+        let copies = ccc_multi_copy(p.n).expect("Theorem 3");
+        let host = copies.multi_copy.host;
+        let router = CccRouter::new(&copies);
+        let perm = random_permutation(&host, rng);
+        // Single path: the whole message as one worm on the e-cube path.
+        let mut single = WormholeSim::new(host);
+        for (src, &dst) in perm.iter().enumerate() {
+            let src = src as u64;
+            if src != dst {
+                single.add_worm(Worm { path: ecube_path(src, dst), flits: p.flits });
+            }
+        }
+        let r1 = single.run(SIM_CAP).makespan;
+        // Split: n worms of flits/n flits along the CCC copy routes.
+        let mut split = WormholeSim::new(host);
+        let piece = (p.flits / u64::from(p.n)).max(1);
+        for (src, &dst) in perm.iter().enumerate() {
+            let src = src as u64;
+            if src != dst {
+                for route in router.routes(src, dst) {
+                    split.add_worm(Worm { path: route, flits: piece });
+                }
+            }
+        }
+        let r2 = split.run(SIM_CAP).makespan;
+        Json::object([
+            ("host_dims", host.dims().to_json()),
+            ("single_path", r1.to_json()),
+            ("ccc_split", r2.to_json()),
+            ("ratio", (r1 as f64 / r2 as f64).to_json()),
+        ])
+    });
+    let mut t = Table::new(&["n (CCC)", "host", "M flits", "single-path", "ccc-split", "ratio"]);
+    for rec in &out.records {
+        t.row(vec![
+            fetch(&rec.params, "n").to_string(),
+            format!("Q_{}", fetch(&rec.result, "host_dims")),
+            fetch(&rec.params, "flits").to_string(),
+            fetch(&rec.result, "single_path").to_string(),
+            fetch(&rec.result, "ccc_split").to_string(),
+            format!("{:.2}x", fetch_f(&rec.result, "ratio")),
+        ]);
+    }
+    (t, out)
+}
+
+// ---------------------------------------------------------------------------
+// E12 — delivery probability under random link faults (Sections 1-2).
+// ---------------------------------------------------------------------------
+
+/// One E12 grid point: dimension and per-link fault probability.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Hypercube dimension.
+    pub n: u32,
+    /// Independent per-link failure probability.
+    pub p: f64,
+}
+
+impl ToJson for FaultPoint {
+    fn to_json(&self) -> Json {
+        Json::object([("n", self.n.to_json()), ("p", self.p.to_json())])
+    }
+}
+
+/// The default E12 grid: `p ∈ {0.0005, 0.002, 0.01, 0.05}` per dimension.
+pub fn e12_grid(ns: &[u32]) -> Vec<FaultPoint> {
+    ns.iter().flat_map(|&n| [0.0005f64, 0.002, 0.01, 0.05].map(|p| FaultPoint { n, p })).collect()
+}
+
+/// E12: Monte-Carlo phase delivery probability for the Gray-code single
+/// path, the width-w multipath bundle with `k = 1`, and the IDA threshold
+/// `k = ⌈w/2⌉`. Each grid point runs `trials` fault draws from its own
+/// ChaCha stream.
+pub fn e12_faults(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
+    e12_faults_with_threads(ns, trials, master_seed, None)
+}
+
+/// [`e12_faults`] with a pinned worker count (the determinism tests run
+/// the same sweep on 1 and 4 workers and require byte-identical JSON).
+pub fn e12_faults_with_threads(
+    ns: &[u32],
+    trials: u32,
+    master_seed: u64,
+    threads: Option<usize>,
+) -> (Table, SweepOutput) {
+    let mut sweep = Sweep::new("e12_faults", master_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let out = sweep.run(e12_grid(ns), move |p, rng| {
+        let gray = gray_cycle_embedding(p.n);
+        let t1 = theorem1(p.n).expect("theorem 1");
+        let w = t1.claimed_width;
+        let d_gray = delivery_probability(&gray, p.p, 1, trials, rng);
+        let d_any = delivery_probability(&t1.embedding, p.p, 1, trials, rng);
+        let d_ida = delivery_probability(&t1.embedding, p.p, w.div_ceil(2), trials, rng);
+        Json::object([
+            ("width", w.to_json()),
+            ("trials", trials.to_json()),
+            ("gray_w1", d_gray.to_json()),
+            ("multipath_k1", d_any.to_json()),
+            ("ida_k_half", d_ida.to_json()),
+        ])
+    });
+    let mut t =
+        Table::new(&["n", "p(link fail)", "gray (w=1)", "multipath all-paths", "IDA k=⌈w/2⌉"]);
+    for rec in &out.records {
+        t.row(vec![
+            fetch(&rec.params, "n").to_string(),
+            format!("{}", fetch_f(&rec.params, "p")),
+            format!("{:.3}", fetch_f(&rec.result, "gray_w1")),
+            format!("{:.3}", fetch_f(&rec.result, "multipath_k1")),
+            format!("{:.3}", fetch_f(&rec.result, "ida_k_half")),
+        ]);
+    }
+    (t, out)
+}
+
+/// The E12 preamble demo: runs (5,3)-IDA end to end and returns the line
+/// the binary prints. Panics if reconstruction fails.
+pub fn ida_sanity_line() -> String {
+    let ida = Ida::new(5, 3);
+    let msg = b"multiple paths tolerate faults";
+    let shares = ida.disperse(msg);
+    let rec = ida.reconstruct(&shares[2..]).expect("any k shares reconstruct");
+    assert_eq!(rec, msg);
+    format!(
+        "IDA(5,3) sanity: {} bytes -> 5 shares x {} bytes; reconstructed from shares 2..5: ok",
+        msg.len(),
+        shares[0].data.len()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// E2 / E7 — deterministic construction tables (golden-tested).
+// ---------------------------------------------------------------------------
+
+/// E2: the Theorem 1 summary table over the given dimensions.
+pub fn theorem1_table(ns: impl IntoIterator<Item = u32>) -> Table {
+    let mut t = Table::new(&[
+        "n",
+        "claimed width",
+        "packets",
+        "certified cost",
+        "natural?",
+        "load",
+        "dilation",
+        "valid",
+    ]);
+    for n in ns {
+        let r = theorem1(n).expect("construction");
+        let ok = validate_multi_path(&r.embedding, r.claimed_width, Some(1)).is_ok();
+        let m = multi_path_metrics(&r.embedding);
+        t.row(vec![
+            n.to_string(),
+            r.claimed_width.to_string(),
+            r.packets.to_string(),
+            r.cost.to_string(),
+            if r.natural_schedule_ok { "yes".into() } else { "no (aligned)".into() },
+            m.load.to_string(),
+            m.dilation.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7: the Theorem 3 CCC-copies table (all three window strategies; for
+/// `n ≥ 16` only the Theorem 3 strategy, to keep the big ablations short).
+pub fn ccc_copies_table(ns: &[u32]) -> Table {
+    let mut t =
+        Table::new(&["n", "strategy", "copies", "dilation", "edge congestion", "n/r", "valid"]);
+    for &n in ns {
+        let r = n.trailing_zeros();
+        for (strat, name) in [
+            (WindowStrategy::Overlapping, "overlapping (Thm 3)"),
+            (WindowStrategy::SameForAll, "same windows"),
+            (WindowStrategy::Disjoint, "disjoint windows"),
+        ] {
+            if n >= 16 && strat != WindowStrategy::Overlapping {
+                continue;
+            }
+            let c = ccc_multi_copy_with(n, strat).expect("construction");
+            let ok = validate_multi_copy(&c.multi_copy).is_ok();
+            let m = multi_copy_metrics(&c.multi_copy);
+            t.row(vec![
+                n.to_string(),
+                name.into(),
+                c.multi_copy.num_copies().to_string(),
+                m.dilation.to_string(),
+                m.edge_congestion.to_string(),
+                (n / r).to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E7, second table: the Section 5.4 butterfly-copy transfer.
+pub fn butterfly_copies_table(ns: &[u32]) -> Table {
+    let mut t = Table::new(&["n", "copies", "dilation", "edge congestion"]);
+    for &n in ns {
+        let mc = butterfly_multi_copy(n).expect("construction");
+        let m = multi_copy_metrics(&mc);
+        t.row(vec![
+            n.to_string(),
+            mc.num_copies().to_string(),
+            m.dilation.to_string(),
+            m.edge_congestion.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Shared CLI plumbing for the `e*` binaries.
+// ---------------------------------------------------------------------------
+
+/// Options common to the experiment binaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliOpts {
+    /// `--json [PATH]`: write the sweep artifact (to PATH, or the default
+    /// `BENCH_<EXPERIMENT>.json` when no path follows the flag).
+    pub json: Option<Option<std::path::PathBuf>>,
+    /// `--trials N` (E12 only): Monte-Carlo trials per grid point.
+    pub trials: Option<u32>,
+}
+
+/// Parses the experiment-binary command line. Unknown flags abort with a
+/// usage message.
+pub fn parse_cli(args: impl IntoIterator<Item = String>) -> CliOpts {
+    let mut opts = CliOpts::default();
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => {
+                        Some(std::path::PathBuf::from(it.next().unwrap()))
+                    }
+                    _ => None,
+                };
+                opts.json = Some(path);
+            }
+            "--trials" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u32| n > 0)
+                    .unwrap_or_else(|| panic!("--trials requires a positive integer"));
+                opts.trials = Some(n);
+            }
+            other => panic!("unknown flag {other:?} (supported: --json [PATH], --trials N)"),
+        }
+    }
+    opts
+}
+
+/// Writes the sweep artifact if `--json` was given; prints where it went.
+pub fn maybe_write_json(out: &SweepOutput, opts: &CliOpts) {
+    if let Some(path) = &opts.json {
+        let path = match path {
+            Some(p) => {
+                out.write_to(p).expect("write JSON artifact");
+                p.clone()
+            }
+            None => out.write_default().expect("write JSON artifact"),
+        };
+        println!("\nwrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_json_and_trials() {
+        assert_eq!(parse_cli(Vec::new()), CliOpts::default());
+        let o = parse_cli(["--json".to_string()]);
+        assert_eq!(o.json, Some(None));
+        let o = parse_cli(["--json".to_string(), "out.json".to_string()]);
+        assert_eq!(o.json, Some(Some("out.json".into())));
+        let o = parse_cli(["--trials".to_string(), "50".to_string(), "--json".to_string()]);
+        assert_eq!(o.trials, Some(50));
+        assert_eq!(o.json, Some(None));
+    }
+
+    #[test]
+    fn e1_small_grid_matches_theory() {
+        let (t, out) = e1_cycle_speedup(&[6]);
+        assert_eq!(out.records.len(), 4);
+        // Gray code realizes exactly m steps per phase.
+        for rec in &out.records {
+            let m = rec.params.get("m").and_then(Json::as_u64).unwrap();
+            assert_eq!(rec.result.get("gray_steps").and_then(Json::as_u64), Some(m));
+        }
+        assert!(t.render().contains("gray steps"));
+    }
+
+    #[test]
+    fn e12_probabilities_are_probabilities_and_ordered_by_construction() {
+        let (_, out) = e12_faults(&[8], 20, 99);
+        for rec in &out.records {
+            for key in ["gray_w1", "multipath_k1", "ida_k_half"] {
+                let v = rec.result.get(key).and_then(Json::as_f64).unwrap();
+                assert!((0.0..=1.0).contains(&v), "{key} = {v}");
+            }
+        }
+    }
+}

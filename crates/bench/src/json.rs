@@ -1,0 +1,305 @@
+//! Deterministic JSON encoding for benchmark artifacts.
+//!
+//! `BENCH_*.json` files must be byte-stable across runs, machines, and
+//! thread counts, so this encoder is deliberately minimal and predictable:
+//! object members keep insertion order (no hashing), floats render through
+//! Rust's shortest-roundtrip formatting, and non-finite floats become
+//! `null` (JSON has no NaN). The `serde` derives on the sweep types tag
+//! them for downstream consumers; the bytes on disk come from here.
+
+/// A JSON value. Objects preserve member insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (renders without decimal point).
+    UInt(u64),
+    /// Signed integer (renders without decimal point).
+    Int(i64),
+    /// Finite floats render shortest-roundtrip; non-finite render `null`.
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object as ordered members.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from ordered members.
+    pub fn object(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (floats and integers both qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (open_pad, close_pad, sep): (String, String, &str) = match indent {
+            Some(w) => (
+                format!("\n{}", " ".repeat(w * (depth + 1))),
+                format!("\n{}", " ".repeat(w * depth)),
+                ": ",
+            ),
+            None => (String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Shortest-roundtrip; force a decimal marker so the
+                    // value reads back as a float.
+                    let s = f.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&open_pad);
+                    write_escaped(out, k);
+                    out.push_str(sep);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into [`Json`] for sweep parameters and results.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_tojson_uint!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_is_stable() {
+        let j = Json::object([
+            ("name", "e12".to_json()),
+            ("seed", 99u64.to_json()),
+            ("probs", vec![0.5f64, 0.125].to_json()),
+            ("ok", true.to_json()),
+            ("missing", Json::Null),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"e12","seed":99,"probs":[0.5,0.125],"ok":true,"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn floats_roundtrip_and_keep_marker() {
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(Json::Float(0.1).render(), "0.1");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        // Rust's Display never uses exponent form; huge values still get a
+        // decimal marker and read back exactly.
+        let big = Json::Float(1e300).render();
+        assert!(big.ends_with(".0"));
+        assert_eq!(big.parse::<f64>(), Ok(1e300));
+    }
+
+    #[test]
+    fn strings_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).render(), r#""a\"b\\c\n""#);
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::object([("a", 1u32.to_json()), ("b", Json::Array(vec![Json::UInt(2)]))]);
+        assert_eq!(j.render_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn accessors_read_back_values() {
+        let j = Json::object([("n", 8u32.to_json()), ("p", 0.5f64.to_json())]);
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(8));
+        assert_eq!(j.get("p").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Str("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Json::UInt(3).as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_containers_compact() {
+        assert_eq!(Json::Array(vec![]).render_pretty(), "[]\n");
+        assert_eq!(Json::Object(vec![]).render(), "{}");
+    }
+}

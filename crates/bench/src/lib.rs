@@ -1,6 +1,14 @@
 //! Shared infrastructure for the experiment binaries (`src/bin/e*.rs`) and
-//! criterion benches: table formatting and common workload builders.
+//! criterion benches: table formatting, deterministic JSON artifacts,
+//! rayon-parallel parameter sweeps, and the experiment drivers themselves
+//! (so golden and determinism tests exercise exactly what the binaries
+//! run).
 
+pub mod experiments;
+pub mod json;
+pub mod sweep;
 pub mod table;
 
+pub use json::{Json, ToJson};
+pub use sweep::{Sweep, SweepOutput, SweepRecord};
 pub use table::Table;

@@ -1,0 +1,31 @@
+//! Golden-output tests: the deterministic construction tables printed by
+//! `e2_theorem1` and `e7_ccc_copies` are snapshotted at small `n`. A diff
+//! here means a theorem construction changed observable behavior — update
+//! the `tests/golden/*.txt` snapshot only if that change is intentional
+//! (regenerate with `cargo run -p hyperpath-bench --bin e2_theorem1` etc.).
+
+use hyperpath_bench::experiments::{butterfly_copies_table, ccc_copies_table, theorem1_table};
+
+#[test]
+fn e2_theorem1_small_table_matches_golden() {
+    let got = theorem1_table(4..=8).render();
+    let want = include_str!("golden/e2_theorem1_small.txt");
+    assert_eq!(got, want, "theorem1 table changed; see tests/golden/e2_theorem1_small.txt");
+}
+
+#[test]
+fn e7_ccc_copies_small_table_matches_golden() {
+    let got = ccc_copies_table(&[4, 8]).render();
+    let want = include_str!("golden/e7_ccc_copies_small.txt");
+    assert_eq!(got, want, "CCC copies table changed; see tests/golden/e7_ccc_copies_small.txt");
+}
+
+#[test]
+fn e7_butterfly_copies_small_table_matches_golden() {
+    let got = butterfly_copies_table(&[4, 8]).render();
+    let want = include_str!("golden/e7_butterfly_small.txt");
+    assert_eq!(
+        got, want,
+        "butterfly copies table changed; see tests/golden/e7_butterfly_small.txt"
+    );
+}

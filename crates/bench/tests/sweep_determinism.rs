@@ -1,0 +1,34 @@
+//! Thread-schedule independence of the sweep runner: the same master seed
+//! must produce identical records — and byte-identical JSON — whether the
+//! sweep runs on one worker or four. This is the acceptance criterion for
+//! the `BENCH_*.json` artifacts (per-point ChaCha streams + grid-order
+//! collection make worker scheduling unobservable).
+
+use hyperpath_bench::experiments::e12_faults_with_threads;
+use hyperpath_bench::{Json, Sweep};
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn e12_sweep_is_identical_on_1_and_4_threads() {
+    let (t1, out1) = e12_faults_with_threads(&[8], 25, 99, Some(1));
+    let (t4, out4) = e12_faults_with_threads(&[8], 25, 99, Some(4));
+    assert_eq!(out1, out4, "sweep records must not depend on the worker count");
+    assert_eq!(out1.render(), out4.render(), "JSON artifact must be byte-identical");
+    assert_eq!(t1.render(), t4.render(), "printed table must be identical");
+    // And the artifact actually carries the grid.
+    let json = out1.to_json();
+    assert_eq!(json.get("points").and_then(Json::as_u64), Some(4));
+    assert_eq!(json.get("master_seed").and_then(Json::as_u64), Some(99));
+}
+
+#[test]
+fn raw_sweep_reruns_reproduce_records() {
+    let grid: Vec<u32> = (0..40).collect();
+    let f = |&p: &u32, rng: &mut ChaCha8Rng| rng.next_u64() ^ u64::from(p);
+    let a = Sweep::new("repro", 123).threads(3).run(grid.clone(), f);
+    let b = Sweep::new("repro", 123).run(grid.clone(), f);
+    assert_eq!(a, b, "pinned pool vs ambient pool");
+    let c = Sweep::new("repro", 124).run(grid, f);
+    assert_ne!(a.records, c.records, "the master seed must matter");
+}

@@ -39,9 +39,7 @@ pub fn multi_copy_cycles(n: u32) -> Result<MultiCopyEmbedding, String> {
             let edge_paths = guest
                 .edges()
                 .iter()
-                .map(|&(u, v)| {
-                    HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]])
-                })
+                .map(|&(u, v)| HostPath::new(vec![vertex_map[u as usize], vertex_map[v as usize]]))
                 .collect();
             CopyEmbedding { vertex_map, edge_paths }
         })

@@ -99,15 +99,8 @@ fn overlapping_window(n: u32, r: u32, k: u32) -> Window {
 /// The complement window `W̄^k`: `ℓ` itself when `ℓ ∉ W^k`, else the spare
 /// dimension `n + ⌊log ℓ⌋`.
 fn complement_window(n: u32, w: &Window) -> Window {
-    let dims = (0..n)
-        .map(|l| {
-            if w.contains(l) {
-                n + (31 - l.leading_zeros())
-            } else {
-                l
-            }
-        })
-        .collect();
+    let dims =
+        (0..n).map(|l| if w.contains(l) { n + (31 - l.leading_zeros()) } else { l }).collect();
     Window::new(dims)
 }
 
@@ -169,10 +162,7 @@ pub fn ccc_single_copy(n: u32) -> Result<CopyEmbedding, String> {
 /// * `SameForAll` — `n` copies sharing copy 0's windows (only the
 ///   Hamiltonian shift `⊕ b(k)` differs): measured congestion `≥ n/r`.
 /// * `Disjoint` — `n/r` copies with disjoint windows: congestion `n/r`.
-pub fn ccc_multi_copy_with(
-    n: u32,
-    strategy: WindowStrategy,
-) -> Result<CccCopies, String> {
+pub fn ccc_multi_copy_with(n: u32, strategy: WindowStrategy) -> Result<CccCopies, String> {
     let r = log2_exact(n)?;
     let host = Hypercube::new(n + r);
     let ccc = Ccc::new(n);
@@ -198,21 +188,14 @@ pub fn ccc_multi_copy_with(
                 let dims: Vec<u32> = (i * r..(i + 1) * r).collect();
                 let w = Window::new(dims);
                 // W̄: the remaining low dims in order, then the spare top r.
-                let rest: Vec<u32> = (0..n)
-                    .filter(|&d| !w.contains(d))
-                    .chain(n..n + r)
-                    .collect();
+                let rest: Vec<u32> = (0..n).filter(|&d| !w.contains(d)).chain(n..n + r).collect();
                 let wbar = Window::new(rest);
                 let ham: Vec<u64> = (0..n as u64).map(|l| rev_bits(gray_code(l), r)).collect();
                 copies.push(ccc_copy_from_windows(n, &w, &wbar, &ham)?);
             }
         }
     }
-    Ok(CccCopies {
-        ccc,
-        multi_copy: MultiCopyEmbedding { host, guest, copies },
-        strategy,
-    })
+    Ok(CccCopies { ccc, multi_copy: MultiCopyEmbedding { host, guest, copies }, strategy })
 }
 
 /// Theorem 3 with its stated strategy.
@@ -246,10 +229,7 @@ pub fn ccc_multi_copy_undirected(n: u32) -> Result<MultiCopyEmbedding, String> {
                 .edges()
                 .iter()
                 .map(|&(u, v)| {
-                    HostPath::new(vec![
-                        copy.vertex_map[u as usize],
-                        copy.vertex_map[v as usize],
-                    ])
+                    HostPath::new(vec![copy.vertex_map[u as usize], copy.vertex_map[v as usize]])
                 })
                 .collect();
             CopyEmbedding { vertex_map: copy.vertex_map, edge_paths }
@@ -342,11 +322,7 @@ pub fn fft_multi_copy(n: u32) -> Result<Vec<hyperpath_embedding::MultiPathEmbedd
                     if cu == cv {
                         vec![HostPath::new(vec![place(lu, cu), place(lv, cv)])]
                     } else {
-                        vec![HostPath::new(vec![
-                            place(lu, cu),
-                            place(lu, cv),
-                            place(lv, cv),
-                        ])]
+                        vec![HostPath::new(vec![place(lu, cu), place(lu, cv), place(lv, cv)])]
                     }
                 })
                 .collect();
@@ -378,8 +354,7 @@ mod tests {
         let with3 = windows.iter().filter(|w| w.contains(3)).count();
         assert_eq!((with2, with3), (4, 4));
         for parent in [2u32, 3] {
-            let family: Vec<&Window> =
-                windows.iter().filter(|w| w.contains(parent)).collect();
+            let family: Vec<&Window> = windows.iter().filter(|w| w.contains(parent)).collect();
             let lo = family.iter().filter(|w| w.contains(2 * parent)).count();
             let hi = family.iter().filter(|w| w.contains(2 * parent + 1)).count();
             assert_eq!((lo, hi), (2, 2), "parent {parent}");
@@ -447,10 +422,12 @@ mod tests {
         let n = 8u32;
         let r = 3;
         let good = multi_copy_metrics(&ccc_multi_copy(n).unwrap().multi_copy);
-        let same =
-            multi_copy_metrics(&ccc_multi_copy_with(n, WindowStrategy::SameForAll).unwrap().multi_copy);
-        let disj =
-            multi_copy_metrics(&ccc_multi_copy_with(n, WindowStrategy::Disjoint).unwrap().multi_copy);
+        let same = multi_copy_metrics(
+            &ccc_multi_copy_with(n, WindowStrategy::SameForAll).unwrap().multi_copy,
+        );
+        let disj = multi_copy_metrics(
+            &ccc_multi_copy_with(n, WindowStrategy::Disjoint).unwrap().multi_copy,
+        );
         assert_eq!(good.edge_congestion, 2);
         assert!(
             same.edge_congestion as u32 >= n / r,
@@ -502,7 +479,11 @@ mod tests {
             }
         }
         // All n copies together stay within a small constant congestion.
-        assert!(*cong.iter().max().unwrap() <= 6, "joint congestion {}", cong.iter().max().unwrap());
+        assert!(
+            *cong.iter().max().unwrap() <= 6,
+            "joint congestion {}",
+            cong.iter().max().unwrap()
+        );
     }
 
     #[test]

@@ -146,14 +146,7 @@ fn certify(
         }
     };
     let (packets, cost) = schedule.certified_cost(&embedding)?;
-    Ok(CycleEmbedding {
-        embedding,
-        schedule,
-        claimed_width,
-        packets,
-        cost,
-        natural_schedule_ok,
-    })
+    Ok(CycleEmbedding { embedding, schedule, claimed_width, packets, cost, natural_schedule_ok })
 }
 
 /// **Theorem 1**: embeds the `2^n`-node directed cycle into `Q_n` with load
@@ -257,15 +250,14 @@ pub fn theorem2(n: u32, variant: Theorem2Variant) -> Result<CycleEmbedding, Stri
     let row_dirs = directed_cycles(&row_dec);
     let (ca, ra) = (col_dirs.len() as u32, row_dirs.len() as u32);
 
-    let col_cycle = |c: Node| -> &DirectedHamCycle {
-        &col_dirs[(moment(c >> block_bits) % ca) as usize]
-    };
+    let col_cycle =
+        |c: Node| -> &DirectedHamCycle { &col_dirs[(moment(c >> block_bits) % ca) as usize] };
     let row_cycle = |y: Node| -> &DirectedHamCycle { &row_dirs[(moment(y) % ra) as usize] };
 
     let col_mask = (1u64 << col_bits) - 1;
     let split = |v: Node| -> (Node, Node) { (v >> col_bits, v & col_mask) }; // (row, col)
-    // Out-edge 0: row-cycle successor (changes column); out-edge 1:
-    // column-cycle successor (changes row).
+                                                                             // Out-edge 0: row-cycle successor (changes column); out-edge 1:
+                                                                             // column-cycle successor (changes row).
     let out = |v: Node, which: u8| -> Node {
         let (y, c) = split(v);
         match which {
@@ -393,11 +385,7 @@ mod tests {
         // Stronger per-step claim: with cost 3 and 3 * |E| edge-slots all
         // used exactly once, every link is busy at every step.
         let host = t2.embedding.host;
-        let total_hops: usize = t2
-            .embedding
-            .all_paths()
-            .map(|(_, _, p)| p.len())
-            .sum();
+        let total_hops: usize = t2.embedding.all_paths().map(|(_, _, p)| p.len()).sum();
         assert_eq!(total_hops as u64, 3 * host.num_directed_edges());
     }
 

@@ -17,9 +17,7 @@
 //! experiment E5 rather than hand-waved).
 
 use crate::cycles::theorem1;
-use hyperpath_embedding::{
-    cross_product_embedding, HostPath, MultiPathEmbedding, PhaseSchedule,
-};
+use hyperpath_embedding::{cross_product_embedding, HostPath, MultiPathEmbedding, PhaseSchedule};
 use hyperpath_embedding::{pow2_square, GridMap};
 use hyperpath_guests::{directed_cycle, Digraph, Grid};
 use hyperpath_topology::{gray_code, Hypercube, Node};
@@ -75,11 +73,8 @@ fn axis_cycle(a: u32) -> Result<(MultiPathEmbedding, usize), String> {
 fn bidirectionalize(e: &MultiPathEmbedding) -> MultiPathEmbedding {
     let mut edges: Vec<(u32, u32)> = e.guest.edges().to_vec();
     edges.extend(e.guest.edges().iter().map(|&(u, v)| (v, u)));
-    let guest = Digraph::from_edges(
-        format!("{}<->", e.guest.name()),
-        e.guest.num_vertices(),
-        edges,
-    );
+    let guest =
+        Digraph::from_edges(format!("{}<->", e.guest.name()), e.guest.num_vertices(), edges);
     let mut edge_paths = vec![Vec::new(); guest.num_edges()];
     for (id, &(u, v)) in guest.edges().iter().enumerate() {
         // Find the forward bundle for (u,v) or (v,u).
@@ -169,9 +164,8 @@ pub fn squared_grid_embedding(
     // Compose: original guest edge (u, v) routes along a monotone coordinate
     // path between the squared images.
     let guest = original.graph();
-    let vertex_map: Vec<Node> = (0..original.num_vertices())
-        .map(|v| inner.embedding.image(map.map(v)))
-        .collect();
+    let vertex_map: Vec<Node> =
+        (0..original.num_vertices()).map(|v| inner.embedding.image(map.map(v))).collect();
     let mut edge_paths = Vec::with_capacity(guest.num_edges());
     for &(u, v) in guest.edges() {
         let route = monotone_route(&map.to, map.map(u), map.map(v));
@@ -210,12 +204,8 @@ pub fn squared_grid_embedding(
         edge_paths.push(bundle);
     }
 
-    let embedding = MultiPathEmbedding {
-        host: inner.embedding.host,
-        guest,
-        vertex_map,
-        edge_paths,
-    };
+    let embedding =
+        MultiPathEmbedding { host: inner.embedding.host, guest, vertex_map, edge_paths };
     let schedule = PhaseSchedule::phase_aligned(&embedding);
     schedule.verify(&embedding)?;
     let cost = schedule.makespan(&embedding);

@@ -25,9 +25,7 @@
 //!   n` reuses automorphs, middle edges can collide, and the phase-aligned
 //!   scheduler certifies the (slightly larger) measured cost.
 
-use hyperpath_embedding::{
-    HostPath, MultiCopyEmbedding, MultiPathEmbedding, PhaseSchedule,
-};
+use hyperpath_embedding::{HostPath, MultiCopyEmbedding, MultiPathEmbedding, PhaseSchedule};
 use hyperpath_guests::Digraph;
 use hyperpath_topology::{moment, Hypercube, Node};
 
@@ -75,8 +73,7 @@ pub fn induced_cross_product(copies: &MultiCopyEmbedding) -> Result<InducedProdu
     // The n automorphisms (cyclic repetition if fewer copies available).
     let autos: Vec<usize> = (0..n as usize).map(|t| t % num_copies).collect();
     // Row/column i uses automorph index M(i) mod n.
-    let automorph_of: Vec<usize> =
-        (0..size).map(|i| autos[(moment(i) % n) as usize]).collect();
+    let automorph_of: Vec<usize> = (0..size).map(|i| autos[(moment(i) % n) as usize]).collect();
 
     let g_edges = copies.guest.edges();
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * size as usize * g_edges.len());
@@ -104,11 +101,8 @@ pub fn induced_cross_product(copies: &MultiCopyEmbedding) -> Result<InducedProdu
             meta.insert((a, b), (false, j, eid));
         }
     }
-    let guest = Digraph::from_edges(
-        format!("X({})", copies.guest.name()),
-        (size * size) as u32,
-        edges,
-    );
+    let guest =
+        Digraph::from_edges(format!("X({})", copies.guest.name()), (size * size) as u32, edges);
 
     // Vertex ⟨i, j⟩ ↦ host node (i << n) | j.
     let vertex_map: Vec<Node> =
@@ -116,9 +110,8 @@ pub fn induced_cross_product(copies: &MultiCopyEmbedding) -> Result<InducedProdu
 
     let mut edge_paths = Vec::with_capacity(guest.num_edges());
     for &(a, b) in guest.edges() {
-        let &(is_row, line, eid) = meta
-            .get(&(a, b))
-            .ok_or("internal: X-edge lost its provenance")?;
+        let &(is_row, line, eid) =
+            meta.get(&(a, b)).ok_or("internal: X-edge lost its provenance")?;
         let copy = &copies.copies[automorph_of[line as usize]];
         let base = &copy.edge_paths[eid];
         // Lift the copy's Q_n path into the row (low bits) or column (high

@@ -103,14 +103,9 @@ pub fn large_copy_ccc_like(kind: CcLike, n: u32) -> Result<MultiPathEmbedding, S
                     edges.push((ccc.vertex(sl, sc), ccc.vertex(l, c)));
                 }
             }
-            let guest = Digraph::from_edges(
-                format!("CCC_{n}_undirected"),
-                ccc.num_vertices(),
-                edges,
-            );
-            let map = (0..ccc.num_vertices())
-                .map(|v| ccc.address(v).1 as Node)
-                .collect();
+            let guest =
+                Digraph::from_edges(format!("CCC_{n}_undirected"), ccc.num_vertices(), edges);
+            let map = (0..ccc.num_vertices()).map(|v| ccc.address(v).1 as Node).collect();
             (guest, map)
         }
         CcLike::Butterfly => {
@@ -118,11 +113,7 @@ pub fn large_copy_ccc_like(kind: CcLike, n: u32) -> Result<MultiPathEmbedding, S
             let g = bf.graph();
             let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
             edges.extend(g.edges().iter().map(|&(u, v)| (v, u)));
-            let guest = Digraph::from_edges(
-                format!("BF_{n}_undirected"),
-                bf.num_vertices(),
-                edges,
-            );
+            let guest = Digraph::from_edges(format!("BF_{n}_undirected"), bf.num_vertices(), edges);
             let map = (0..bf.num_vertices()).map(|v| bf.address(v).1 as Node).collect();
             (guest, map)
         }
@@ -131,8 +122,7 @@ pub fn large_copy_ccc_like(kind: CcLike, n: u32) -> Result<MultiPathEmbedding, S
             let g = f.graph();
             let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
             edges.extend(g.edges().iter().map(|&(u, v)| (v, u)));
-            let guest =
-                Digraph::from_edges(format!("FFT_{n}_undirected"), f.num_vertices(), edges);
+            let guest = Digraph::from_edges(format!("FFT_{n}_undirected"), f.num_vertices(), edges);
             let map = (0..f.num_vertices()).map(|v| f.address(v).1 as Node).collect();
             (guest, map)
         }

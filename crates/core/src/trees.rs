@@ -90,16 +90,16 @@ fn column_bit_perm(c: Node, n: u32) -> Vec<u32> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut perm: Vec<u32> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e3779b97f4a7c15u64 ^ c.wrapping_mul(0x2545f4914f6cdd1d));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(
+        0x9e3779b97f4a7c15u64 ^ c.wrapping_mul(0x2545f4914f6cdd1d),
+    );
     perm.shuffle(&mut rng);
     perm
 }
 
 /// Applies a bit-position permutation to the low `n` bits of `x`.
 fn apply_bit_perm(perm: &[u32], x: Node) -> Node {
-    perm.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &p)| acc | (((x >> i) & 1) << p))
+    perm.iter().enumerate().fold(0u64, |acc, (i, &p)| acc | (((x >> i) & 1) << p))
 }
 
 /// The classical inorder embedding of the `L`-level CBT into `Q_L`:
@@ -226,13 +226,13 @@ pub fn theorem5(n: u32) -> Result<TreeEmbedding, String> {
         let d = big.depth(v);
         let path = big.path_bits(v) as u64; // d bits, first branch at bit d-1
         let top_path = path >> (d - n); // n bits: route to the level-n ancestor
-        let side = (top_path & 1); // left (0) or right (1) child at level n
+        let side = top_path & 1; // left (0) or right (1) child at level n
         let leaf_path = (top_path >> 1) as u32; // n-1 bits: the depth-(n-1) leaf
         let leaf_v = ((1u32 << (n - 1)) - 1) + leaf_path;
         let p = inorder_label(&top, leaf_v);
         let column = p ^ side; // left child -> column p (odd), right -> p ^ 1 (even)
-        // Within-column: the subtree below the level-n ancestor, as a CBT_n
-        // heap index from the remaining d-n path bits.
+                               // Within-column: the subtree below the level-n ancestor, as a CBT_n
+                               // heap index from the remaining d-n path bits.
         let rel_depth = d - n;
         let rel_path = path & ((1u64 << rel_depth) - 1);
         let rel_v = ((1u32 << rel_depth) - 1) + rel_path as u32;
@@ -264,11 +264,7 @@ pub fn theorem5(n: u32) -> Result<TreeEmbedding, String> {
         .iter()
         .map(|&(u, v)| {
             let (a, b) = (vertex_map[u as usize], vertex_map[v as usize]);
-            greedy_route(a, b)
-                .nodes()
-                .windows(2)
-                .map(|h| (h[0] ^ h[1]).trailing_zeros())
-                .collect()
+            greedy_route(a, b).nodes().windows(2).map(|h| (h[0] ^ h[1]).trailing_zeros()).collect()
         })
         .collect();
     let mut cursor = 0usize;
@@ -349,8 +345,7 @@ fn widen_orthogonal(e: &MultiPathEmbedding, n: u32) -> MultiPathEmbedding {
                     simplify_walk(nodes)
                 };
                 let cand = HostPath::new(nodes);
-                let idxs: Vec<usize> =
-                    cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
+                let idxs: Vec<usize> = cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
                 let mut fresh = used.clone();
                 for &i in &idxs {
                     if !fresh.insert(i) {
@@ -407,8 +402,7 @@ pub fn cbt_naive_widened(levels: u32) -> Result<TreeEmbedding, String> {
                     nodes.push(y);
                 }
                 let cand = HostPath::new(nodes);
-                let idxs: Vec<usize> =
-                    cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
+                let idxs: Vec<usize> = cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
                 let mut fresh = used.clone();
                 for &i in &idxs {
                     if !fresh.insert(i) {
@@ -478,9 +472,8 @@ pub fn arbitrary_tree(tree: &Digraph) -> Result<TreeEmbedding, String> {
         cbt_of[v as usize] = rank as u32;
     }
 
-    let vertex_map: Vec<Node> = (0..t_verts)
-        .map(|v| inorder_label(&cbt, cbt_of[v as usize]))
-        .collect();
+    let vertex_map: Vec<Node> =
+        (0..t_verts).map(|v| inorder_label(&cbt, cbt_of[v as usize])).collect();
 
     let base_paths: Vec<HostPath> = tree
         .edges()
@@ -502,11 +495,7 @@ pub fn arbitrary_tree(tree: &Digraph) -> Result<TreeEmbedding, String> {
             up.extend(down.into_iter().rev());
             let mut nodes: Vec<Node> = vec![inorder_label(&cbt, up[0])];
             for w in up.windows(2) {
-                let r = host_route(
-                    &host,
-                    inorder_label(&cbt, w[0]),
-                    inorder_label(&cbt, w[1]),
-                );
+                let r = host_route(&host, inorder_label(&cbt, w[0]), inorder_label(&cbt, w[1]));
                 nodes.extend_from_slice(&r.nodes()[1..]);
             }
             HostPath::new(simplify_walk(nodes))
@@ -546,8 +535,7 @@ pub fn arbitrary_tree(tree: &Digraph) -> Result<TreeEmbedding, String> {
                     }
                 }
                 let cand = HostPath::new(nodes);
-                let idxs: Vec<usize> =
-                    cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
+                let idxs: Vec<usize> = cand.edges().map(|edge| host.dir_edge_index(edge)).collect();
                 let mut fresh = used.clone();
                 for &i in &idxs {
                     if !fresh.insert(i) {
@@ -583,7 +571,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for v in 0..t.num_vertices() {
             let l = inorder_label(&t, v);
-            assert!(l >= 1 && l < 32);
+            assert!((1..32).contains(&l));
             assert!(seen.insert(l), "duplicate label {l}");
             // depth-d labels end in 1 followed by L-1-d zeros
             assert_eq!(l.trailing_zeros(), 5 - 1 - t.depth(v), "v={v}");
@@ -608,11 +596,7 @@ mod tests {
             validate_multi_path(&t5.embedding, 1, Some(1)).unwrap();
             let m = multi_path_metrics(&t5.embedding);
             assert_eq!(m.load, 1, "n={n}");
-            assert!(
-                t5.width as u32 >= n.min(t5.width as u32),
-                "n={n}: width {}",
-                t5.width
-            );
+            assert!(t5.width as u32 >= n.min(t5.width as u32), "n={n}: width {}", t5.width);
             assert!(t5.width as u32 >= n - 1, "n={n}: width {} too small", t5.width);
         }
     }
@@ -625,14 +609,9 @@ mod tests {
         // single-cube ablation is exactly linear (5L - 4). The separation
         // and the sublinear trend are what we pin here; EXPERIMENTS.md
         // reports the full series and discusses the gap.
-        let costs: Vec<u64> = [2u32, 3, 4, 5]
-            .iter()
-            .map(|&n| theorem5(n).unwrap().cost)
-            .collect();
-        let naive: Vec<u64> = [4u32, 6, 8, 10]
-            .iter()
-            .map(|&l| cbt_naive_widened(l).unwrap().cost)
-            .collect();
+        let costs: Vec<u64> = [2u32, 3, 4, 5].iter().map(|&n| theorem5(n).unwrap().cost).collect();
+        let naive: Vec<u64> =
+            [4u32, 6, 8, 10].iter().map(|&l| cbt_naive_widened(l).unwrap().cost).collect();
         assert!(*costs.iter().max().unwrap() <= 30, "theorem5 costs {costs:?}");
         // Naive ablation: strictly growing, linear, and clearly worse.
         assert!(naive.windows(2).all(|w| w[0] < w[1]), "naive costs {naive:?}");

@@ -33,11 +33,7 @@ pub fn cross_product_graph(g: &Digraph, h: &Digraph) -> Digraph {
             edges.push((gv + a * ng, gv + b * ng));
         }
     }
-    Digraph::from_edges(
-        format!("({})x({})", g.name(), h.name()),
-        total as u32,
-        edges,
-    )
+    Digraph::from_edges(format!("({})x({})", g.name(), h.name()), total as u32, edges)
 }
 
 /// Composes embeddings along the cross product: `ea : G → Q_a` and
@@ -71,19 +67,15 @@ pub fn cross_product_embedding(
             // G-edge inside row hu: translate ea's bundle into the row.
             let eid = find_edge(&ea.guest, gu, gv);
             let offset = eb.image(hu) << a;
-            let bundle = ea.edge_paths[eid]
-                .iter()
-                .map(|p| p.mapped(|node| node | offset))
-                .collect();
+            let bundle =
+                ea.edge_paths[eid].iter().map(|p| p.mapped(|node| node | offset)).collect();
             edge_paths.push(bundle);
         } else {
             debug_assert_eq!(gu, gv, "product edge must move exactly one coordinate");
             let eid = find_edge(&eb.guest, hu, hv);
             let low = ea.image(gu);
-            let bundle = eb.edge_paths[eid]
-                .iter()
-                .map(|p| p.mapped(|node| (node << a) | low))
-                .collect();
+            let bundle =
+                eb.edge_paths[eid].iter().map(|p| p.mapped(|node| (node << a) | low)).collect();
             edge_paths.push(bundle);
         }
     }
@@ -176,10 +168,7 @@ mod tests {
         for hv in 0..4u32 {
             for gv in 0..4u32 {
                 let v = gv + 4 * hv;
-                assert_eq!(
-                    prod.image(v),
-                    gray_code(gv as u64) | (gray_code(hv as u64) << 2)
-                );
+                assert_eq!(prod.image(v), gray_code(gv as u64) | (gray_code(hv as u64) << 2));
             }
         }
     }

@@ -33,7 +33,11 @@ impl Transmission {
     /// A packet that advances one hop per step starting at `start` along a
     /// path of `len` hops.
     pub fn consecutive(guest_edge: usize, path_idx: usize, start: u64, len: usize) -> Self {
-        Transmission { guest_edge, path_idx, hop_starts: (0..len as u64).map(|h| start + h).collect() }
+        Transmission {
+            guest_edge,
+            path_idx,
+            hop_starts: (0..len as u64).map(|h| start + h).collect(),
+        }
     }
 
     /// The step after the packet's last hop (0 for zero-length paths).
@@ -260,9 +264,7 @@ mod tests {
         };
         let t = Transmission { guest_edge: 0, path_idx: 0, hop_starts: vec![0, 3, 4] };
         assert_eq!(t.arrival(), 5);
-        let s = PhaseSchedule {
-            transmissions: vec![t, Transmission::consecutive(1, 0, 0, 1)],
-        };
+        let s = PhaseSchedule { transmissions: vec![t, Transmission::consecutive(1, 0, 0, 1)] };
         s.verify(&e).unwrap();
         assert_eq!(s.makespan(&e), 5);
     }
@@ -321,13 +323,9 @@ mod tests {
     #[test]
     fn out_of_range_indices_rejected() {
         let e = gray_embedding(3);
-        let s = PhaseSchedule {
-            transmissions: vec![Transmission::consecutive(999, 0, 0, 1)],
-        };
+        let s = PhaseSchedule { transmissions: vec![Transmission::consecutive(999, 0, 0, 1)] };
         assert!(s.verify(&e).is_err());
-        let s2 = PhaseSchedule {
-            transmissions: vec![Transmission::consecutive(0, 7, 0, 1)],
-        };
+        let s2 = PhaseSchedule { transmissions: vec![Transmission::consecutive(0, 7, 0, 1)] };
         assert!(s2.verify(&e).is_err());
     }
 }

@@ -33,11 +33,7 @@ pub struct GridMap {
 impl GridMap {
     /// The identity map on a grid.
     pub fn identity(g: &Grid) -> Self {
-        GridMap {
-            from: g.clone(),
-            to: g.clone(),
-            map: (0..g.num_vertices()).collect(),
-        }
+        GridMap { from: g.clone(), to: g.clone(), map: (0..g.num_vertices()).collect() }
     }
 
     /// Image of `from`-vertex `v`.
@@ -95,9 +91,7 @@ impl GridMap {
 pub fn pow2_round(g: &Grid) -> GridMap {
     let sides: Vec<u32> = g.sides().iter().map(|&s| s.next_power_of_two()).collect();
     let to = Grid::new(&sides);
-    let map = (0..g.num_vertices())
-        .map(|v| to.vertex(&g.coords(v)))
-        .collect();
+    let map = (0..g.num_vertices()).map(|v| to.vertex(&g.coords(v))).collect();
     GridMap { from: g.clone(), to, map }
 }
 

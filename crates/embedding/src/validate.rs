@@ -64,8 +64,7 @@ pub fn validate_multi_path(
             ));
         }
         for (i, p) in bundle.iter().enumerate() {
-            p.validate(&host)
-                .map_err(|err| format!("edge {eid} path {i}: {err}"))?;
+            p.validate(&host).map_err(|err| format!("edge {eid} path {i}: {err}"))?;
             if p.from() != e.image(u) || p.to() != e.image(v) {
                 return Err(format!(
                     "edge {eid} path {i} runs {:#x}->{:#x}, expected {:#x}->{:#x}",

@@ -80,6 +80,5 @@ proptest! {
 }
 
 fn validate_multi_path_ok(e: &MultiPathEmbedding) -> Result<(), TestCaseError> {
-    hyperpath_embedding::validate::validate_multi_path(e, 1, Some(1))
-        .map_err(|err| TestCaseError::fail(err))
+    hyperpath_embedding::validate::validate_multi_path(e, 1, Some(1)).map_err(TestCaseError::fail)
 }

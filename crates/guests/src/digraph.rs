@@ -83,7 +83,10 @@ impl Digraph {
     }
 
     /// Out-neighbors of `v` (with edge ids).
-    pub fn out_edges(&self, v: GuestVertex) -> impl Iterator<Item = (GuestEdgeId, GuestVertex)> + '_ {
+    pub fn out_edges(
+        &self,
+        v: GuestVertex,
+    ) -> impl Iterator<Item = (GuestEdgeId, GuestVertex)> + '_ {
         (self.out_offsets[v as usize]..self.out_offsets[v as usize + 1])
             .map(move |i| (i, self.edges[i].1))
     }
@@ -132,7 +135,11 @@ impl Digraph {
 
     /// Renames vertices through a bijection `f`, preserving edge ids'
     /// relative order per source as far as the re-sort allows.
-    pub fn relabel(&self, name: impl Into<String>, f: impl Fn(GuestVertex) -> GuestVertex) -> Digraph {
+    pub fn relabel(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(GuestVertex) -> GuestVertex,
+    ) -> Digraph {
         let edges = self.edges.iter().map(|&(u, v)| (f(u), f(v))).collect();
         Digraph::from_edges(name, self.num_vertices, edges)
     }

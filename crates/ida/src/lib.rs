@@ -154,14 +154,14 @@ impl Ida {
 
         let mut out = vec![0u8; msg_len];
         for g in 0..payload_len {
-            for j in 0..k {
+            for (j, inv_row) in inv.iter().enumerate() {
                 let idx = g * k + j;
                 if idx >= msg_len {
                     break;
                 }
                 let mut acc = Gf256::ZERO;
                 for (r, s) in picked.iter().enumerate() {
-                    acc = acc + inv[j][r] * Gf256::new(s.data[8 + g]);
+                    acc = acc + inv_row[r] * Gf256::new(s.data[8 + g]);
                 }
                 out[idx] = acc.value();
             }

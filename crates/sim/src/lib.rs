@@ -18,13 +18,23 @@
 //! * [`faults`] — link-fault injection: which bundle paths survive a fault
 //!   set, and Monte-Carlo delivery probabilities for width-`w` embeddings
 //!   with a `(w, k)` dispersal scheme.
+//! * [`trace`] — zero-cost-when-off instrumentation: a [`Recorder`] event
+//!   sink the packet engine reports to, plus percentile summaries of busy
+//!   links, latencies and queue depths ([`PacketSim::run_traced`]).
+//! * [`schedule_exec`] — executes a verified `PhaseSchedule` on this
+//!   machine model, so a theorem's certified cost can be checked against a
+//!   measured makespan.
 
 pub mod faults;
 pub mod packet;
 pub mod routing;
+pub mod schedule_exec;
+pub mod trace;
 pub mod wormhole;
 
 pub use faults::{random_fault_set, surviving_paths, FaultSet};
 pub use packet::{Flow, PacketSim, SimReport};
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
+pub use schedule_exec::run_schedule;
+pub use trace::{NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport};
 pub use wormhole::{Worm, WormReport, WormholeSim};

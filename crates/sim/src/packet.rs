@@ -5,9 +5,28 @@
 //! fixed precomputed host paths, queue FIFO at each hop, and links
 //! arbitrate deterministically (lowest flow id, then injection sequence),
 //! so every run is exactly reproducible.
+//!
+//! Two engines implement these semantics:
+//!
+//! * [`PacketSim::run`] — the production engine. Packets live in a flat
+//!   slab whose ids are assigned in (flow, seq) injection order, so
+//!   ascending slab id *is* the arbitration order; per-link FIFOs are
+//!   intrusive lists over the slab; and packets moving in one step are
+//!   re-queued through per-destination-link buckets (sorted insertion into
+//!   at most `n` slots), which reproduces the global (flow, seq) sort
+//!   without sorting. The step loop allocates nothing.
+//! * [`PacketSim::run_reference`] — the original straightforward engine
+//!   (per-step `Vec`s plus an explicit `sort_by_key`). It is kept as the
+//!   executable specification; property tests in `tests/props.rs` assert
+//!   both engines produce bit-identical [`SimReport`]s.
+//!
+//! The production engine additionally reports to a [`Recorder`]
+//! (`sim::trace`); the default [`NopRecorder`] monomorphizes every hook to
+//! nothing, so tracing costs nothing when off.
 
+use crate::trace::{NopRecorder, Recorder};
 use hyperpath_embedding::MultiPathEmbedding;
-use hyperpath_topology::{Hypercube, Node};
+use hyperpath_topology::{DirEdge, Hypercube, Node};
 use std::collections::VecDeque;
 
 /// One flow: `packets` packets injected at step 0, every packet following
@@ -43,6 +62,9 @@ pub struct PacketSim {
     flows: Vec<Flow>,
 }
 
+/// Sentinel for "no packet" in the intrusive queue links.
+const NONE: u32 = u32::MAX;
+
 struct Packet {
     flow: u32,
     seq: u32,
@@ -58,12 +80,19 @@ impl PacketSim {
 
     /// Adds one flow; returns its id.
     pub fn add_flow(&mut self, flow: Flow) -> u32 {
-        assert!(
-            self.host.validate_walk(&flow.path).is_ok(),
-            "flow path must be a hypercube walk"
-        );
+        assert!(self.host.validate_walk(&flow.path).is_ok(), "flow path must be a hypercube walk");
         self.flows.push(flow);
         (self.flows.len() - 1) as u32
+    }
+
+    /// The host cube.
+    pub fn host(&self) -> Hypercube {
+        self.host
+    }
+
+    /// The configured flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
     }
 
     /// Builds the "one phase, `p` packets per guest edge" workload of an
@@ -117,6 +146,210 @@ impl PacketSim {
     /// Panics if packets remain undelivered after `max_steps` (a stuck
     /// simulation is a bug in the workload, not a measurement).
     pub fn run(&self, max_steps: u64) -> SimReport {
+        self.run_recorded(max_steps, &mut NopRecorder)
+    }
+
+    /// The production engine, reporting per-step/per-packet events to
+    /// `rec`. [`run`](Self::run) passes the no-op recorder, which
+    /// monomorphizes all hooks away; `run_traced` (in `sim::trace`) passes
+    /// a collecting recorder.
+    ///
+    /// # Panics
+    /// Panics if packets remain undelivered after `max_steps`.
+    pub fn run_recorded<R: Recorder>(&self, max_steps: u64, rec: &mut R) -> SimReport {
+        let num_links = self.host.num_directed_edges() as usize;
+        let dims = self.host.dims() as usize;
+
+        // Per-flow directed-link sequences, precomputed once into a flat
+        // arena (the old engine recomputed XOR + edge index on every hop).
+        let mut flow_off: Vec<u32> = Vec::with_capacity(self.flows.len() + 1);
+        let mut hop_links: Vec<u32> = Vec::new();
+        flow_off.push(0);
+        for flow in &self.flows {
+            for w in flow.path.windows(2) {
+                let dim = (w[0] ^ w[1]).trailing_zeros();
+                hop_links.push(self.host.dir_edge_index(DirEdge::new(w[0], dim)) as u32);
+            }
+            flow_off.push(hop_links.len() as u32);
+        }
+
+        let total_injected: u64 = self.flows.iter().map(|f| f.packets).sum();
+        assert!(total_injected < u64::from(u32::MAX), "packet slab holds at most u32::MAX - 1");
+
+        // Packet slab in (flow, seq) injection order: the slab id is the
+        // (flow, seq) lexicographic rank, so ascending id IS the link
+        // arbitration order and no per-step sort is ever needed.
+        let total = total_injected as usize;
+        let mut pkt_flow: Vec<u32> = Vec::with_capacity(total);
+        let mut pkt_pos: Vec<u32> = vec![0; total];
+        let mut pkt_next: Vec<u32> = vec![NONE; total];
+
+        // Per-link FIFO queues: intrusive singly-linked lists over the slab.
+        let mut q_head: Vec<u32> = vec![NONE; num_links];
+        let mut q_tail: Vec<u32> = vec![NONE; num_links];
+        let mut q_len: Vec<u32> = vec![0; num_links];
+        let mut active: Vec<u32> = Vec::new(); // link indices with waiters
+        let mut in_active = vec![false; num_links];
+
+        let push_back = |link: usize,
+                         pid: u32,
+                         q_head: &mut [u32],
+                         q_tail: &mut [u32],
+                         pkt_next: &mut [u32]| {
+            if q_head[link] == NONE {
+                q_head[link] = pid;
+            } else {
+                pkt_next[q_tail[link] as usize] = pid;
+            }
+            q_tail[link] = pid;
+        };
+
+        // Inject (flows in id order, packets in seq order ⇒ slab order).
+        let mut pending = 0u64;
+        for (fid, flow) in self.flows.iter().enumerate() {
+            rec.record_injection(fid as u32, flow.packets, 0);
+            let hops = flow_off[fid + 1] - flow_off[fid];
+            for _seq in 0..flow.packets {
+                let pid = pkt_flow.len() as u32;
+                pkt_flow.push(fid as u32);
+                if hops == 0 {
+                    rec.record_delivery(fid as u32, 0); // delivered instantly
+                    continue;
+                }
+                let link = hop_links[flow_off[fid] as usize] as usize;
+                push_back(link, pid, &mut q_head, &mut q_tail, &mut pkt_next);
+                q_len[link] += 1;
+                if !in_active[link] {
+                    in_active[link] = true;
+                    active.push(link as u32);
+                }
+                pending += 1;
+            }
+        }
+
+        // Reusable step buffers — nothing below allocates inside the loop.
+        let mut moved: Vec<u32> = Vec::with_capacity(active.len());
+        let mut touched: Vec<u32> = Vec::new();
+        // Per-destination-link staging buckets: at most one packet arrives
+        // per incoming link of the destination's tail node, so `dims` slots
+        // per link suffice.
+        let mut stage: Vec<u32> = vec![0; num_links * dims];
+        let mut stage_len: Vec<u8> = vec![0; num_links];
+
+        let mut step = 0u64;
+        let mut packet_hops = 0u64;
+        let mut busy_accum = 0u64;
+        let mut max_queue = 0usize;
+        while pending > 0 {
+            if step >= max_steps {
+                panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
+            }
+            // Pop phase: one packet per active link; the active list is
+            // compacted in place (a link stays active iff still non-empty).
+            moved.clear();
+            let mut busy = 0u64;
+            let mut kept = 0usize;
+            for r in 0..active.len() {
+                let idx = active[r] as usize;
+                let depth = q_len[idx] as usize;
+                if depth > max_queue {
+                    max_queue = depth;
+                }
+                rec.record_queue_depth(idx as u32, depth);
+                let pid = q_head[idx]; // active ⇒ non-empty
+                let next = pkt_next[pid as usize];
+                q_head[idx] = next;
+                pkt_next[pid as usize] = NONE;
+                q_len[idx] -= 1;
+                pkt_pos[pid as usize] += 1;
+                moved.push(pid);
+                busy += 1;
+                if next == NONE {
+                    q_tail[idx] = NONE;
+                    in_active[idx] = false;
+                } else {
+                    active[kept] = idx as u32;
+                    kept += 1;
+                }
+            }
+            active.truncate(kept);
+            packet_hops += busy;
+            busy_accum += busy;
+            rec.record_step(step, busy);
+
+            // Stage phase: bucket arrivals by destination link, keeping each
+            // bucket id-sorted via sorted insertion (≤ `dims` slots). All
+            // pops of a step happen before all re-queues, so per-link
+            // arrival order is the only order the FIFOs can observe — and
+            // per-bucket ascending ids reproduce exactly what the global
+            // (flow, seq) sort produced.
+            for &pid in &moved {
+                let f = pkt_flow[pid as usize] as usize;
+                let pos = pkt_pos[pid as usize];
+                if flow_off[f] + pos >= flow_off[f + 1] {
+                    pending -= 1;
+                    rec.record_delivery(f as u32, step + 1);
+                    continue;
+                }
+                let dest = hop_links[(flow_off[f] + pos) as usize] as usize;
+                let len = stage_len[dest] as usize;
+                let bucket = &mut stage[dest * dims..dest * dims + len + 1];
+                let mut i = len;
+                while i > 0 && bucket[i - 1] > pid {
+                    bucket[i] = bucket[i - 1];
+                    i -= 1;
+                }
+                bucket[i] = pid;
+                if len == 0 {
+                    touched.push(dest as u32);
+                }
+                stage_len[dest] += 1;
+            }
+
+            // Flush phase: append each bucket (ascending ids) to its FIFO.
+            for &dest in &touched {
+                let dest = dest as usize;
+                let len = stage_len[dest] as usize;
+                for i in 0..len {
+                    push_back(
+                        dest,
+                        stage[dest * dims + i],
+                        &mut q_head,
+                        &mut q_tail,
+                        &mut pkt_next,
+                    );
+                }
+                q_len[dest] += len as u32;
+                stage_len[dest] = 0;
+                if !in_active[dest] {
+                    in_active[dest] = true;
+                    active.push(dest as u32);
+                }
+            }
+            touched.clear();
+            step += 1;
+        }
+        SimReport {
+            makespan: step,
+            delivered: total_injected,
+            packet_hops,
+            mean_utilization: if step == 0 {
+                0.0
+            } else {
+                busy_accum as f64 / (step as f64 * num_links as f64)
+            },
+            max_queue,
+        }
+    }
+
+    /// The original engine, kept verbatim as the executable specification:
+    /// per-step `Vec`s plus an explicit `(flow, seq)` sort. Property tests
+    /// assert [`run`](Self::run) matches it bit for bit; it is not meant
+    /// for production use.
+    ///
+    /// # Panics
+    /// Panics if packets remain undelivered after `max_steps`.
+    pub fn run_reference(&self, max_steps: u64) -> SimReport {
         let num_links = self.host.num_directed_edges() as usize;
         // Per-link FIFO queues of packets waiting to cross it.
         let mut queues: Vec<VecDeque<Packet>> = (0..num_links).map(|_| VecDeque::new()).collect();
@@ -125,10 +358,10 @@ impl PacketSim {
 
         let mut pending = 0u64;
         let enqueue = |pkt: Packet,
-                           flows: &[Flow],
-                           queues: &mut Vec<VecDeque<Packet>>,
-                           active: &mut Vec<u32>,
-                           in_active: &mut Vec<bool>|
+                       flows: &[Flow],
+                       queues: &mut Vec<VecDeque<Packet>>,
+                       active: &mut Vec<u32>,
+                       in_active: &mut Vec<bool>|
          -> bool {
             let path = &flows[pkt.flow as usize].path;
             if (pkt.pos + 1) as usize >= path.len() {
@@ -137,7 +370,7 @@ impl PacketSim {
             let from = path[pkt.pos as usize];
             let to = path[pkt.pos as usize + 1];
             let dim = (from ^ to).trailing_zeros();
-            let idx = self.host.dir_edge_index(hyperpath_topology::DirEdge::new(from, dim));
+            let idx = self.host.dir_edge_index(DirEdge::new(from, dim));
             // Keep FIFO order with (flow, seq) priority at insertion: queues
             // are served FIFO; packets are inserted in (flow, seq) order at
             // injection and re-queued on arrival, which preserves
@@ -294,10 +527,7 @@ mod tests {
             let r_t1 = PacketSim::phase_workload(&t1.embedding, m).run(100_000).makespan;
             assert_eq!(r_gray, m, "n={n}");
             let w = (n / 2) as u64;
-            assert!(
-                r_t1 <= 3 * m / w + 8,
-                "n={n}: theorem1 makespan {r_t1} above 3m/w + O(1)"
-            );
+            assert!(r_t1 <= 3 * m / w + 8, "n={n}: theorem1 makespan {r_t1} above 3m/w + O(1)");
             ratios.push(r_gray as f64 / r_t1 as f64);
         }
         assert!(ratios[1] > ratios[0], "speedup must grow with n: {ratios:?}");
@@ -320,5 +550,28 @@ mod tests {
         let mut sim = PacketSim::new(host);
         sim.add_flow(Flow { path: vec![0, 1], packets: 100 });
         let _ = sim.run(5);
+    }
+
+    #[test]
+    fn engines_agree_on_contended_workload() {
+        // Smoke-level old-vs-new equivalence (the exhaustive randomized
+        // version lives in tests/props.rs).
+        let e = theorem1(6).unwrap().embedding;
+        for m in [1u64, 5, 32] {
+            let sim = PacketSim::phase_workload(&e, m);
+            assert_eq!(sim.run(100_000), sim.run_reference(100_000), "m={m}");
+        }
+    }
+
+    #[test]
+    fn zero_hop_flows_deliver_instantly_in_both_engines() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![4], packets: 3 });
+        sim.add_flow(Flow { path: vec![0, 1], packets: 2 });
+        let r = sim.run(100);
+        assert_eq!(r, sim.run_reference(100));
+        assert_eq!(r.delivered, 5);
+        assert_eq!(r.makespan, 2);
     }
 }

@@ -1,0 +1,318 @@
+//! Zero-cost-when-off instrumentation for the packet simulator.
+//!
+//! [`PacketSim::run_recorded`] reports events to a [`Recorder`]. Every hook
+//! has an empty default body and the engine is generic over the recorder
+//! type, so running with [`NopRecorder`] (what [`PacketSim::run`] does)
+//! monomorphizes the instrumentation away entirely — the traced and
+//! untraced engines are the same code path, which is what lets the
+//! equivalence tests cover both at once.
+//!
+//! [`TraceRecorder`] is the collecting implementation: per-step busy-link
+//! counts, per-flow injection/delivery accounting, and per-link queue-depth
+//! high-water marks, condensed by [`TraceRecorder::summary`] into a
+//! [`TraceSummary`] of nearest-rank percentiles. [`PacketSim::run_traced`]
+//! bundles it all into a [`TracedReport`].
+
+use crate::packet::{PacketSim, SimReport};
+
+/// Event sink for one simulation run. All hooks default to no-ops; a
+/// recorder implements only what it needs.
+pub trait Recorder {
+    /// A step completed with `busy_links` links transmitting.
+    #[inline]
+    fn record_step(&mut self, _step: u64, _busy_links: u64) {}
+
+    /// A link's queue held `depth` packets when served (called once per
+    /// active link per step, before the pop).
+    #[inline]
+    fn record_queue_depth(&mut self, _link: u32, _depth: usize) {}
+
+    /// Flow `flow` injected `packets` packets at `step`.
+    #[inline]
+    fn record_injection(&mut self, _flow: u32, _packets: u64, _step: u64) {}
+
+    /// One packet of `flow` reached its destination at `step`.
+    #[inline]
+    fn record_delivery(&mut self, _flow: u32, _step: u64) {}
+}
+
+/// The do-nothing recorder behind [`PacketSim::run`].
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {}
+
+/// Collects the full event stream of one run.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// Busy-link count of step `i`.
+    pub busy_per_step: Vec<u64>,
+    /// Delivery step of every packet, in delivery order (all injections
+    /// happen at step 0, so this is also the per-packet latency).
+    pub delivery_steps: Vec<u64>,
+    /// Per-link queue-depth high-water mark (indexed by directed link).
+    pub queue_high_water: Vec<usize>,
+    /// Per-flow accounting, indexed by flow id.
+    pub flows: Vec<FlowTrace>,
+}
+
+/// Per-flow injection/delivery accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowTrace {
+    /// Packets injected.
+    pub injected: u64,
+    /// Step the flow's packets were injected (always 0 for phase loads).
+    pub injected_at: u64,
+    /// Packets delivered so far.
+    pub delivered: u64,
+    /// Sum of delivery latencies (delivery step − injection step).
+    pub latency_sum: u64,
+    /// Latest delivery latency observed.
+    pub max_latency: u64,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    fn flow_mut(&mut self, flow: u32) -> &mut FlowTrace {
+        let i = flow as usize;
+        if i >= self.flows.len() {
+            self.flows.resize(i + 1, FlowTrace::default());
+        }
+        &mut self.flows[i]
+    }
+
+    /// Condenses the collected stream into percentile summaries.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            steps: self.busy_per_step.len() as u64,
+            busy_links: PercentileSummary::of(self.busy_per_step.iter().copied()),
+            latency: PercentileSummary::of(self.delivery_steps.iter().copied()),
+            queue_high_water: PercentileSummary::of(
+                // Only links that ever queued anything carry signal; the
+                // all-zero rest would drown the distribution.
+                self.queue_high_water.iter().filter(|&&d| d > 0).map(|&d| d as u64),
+            ),
+            flows: self
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(id, f)| FlowSummary {
+                    flow: id as u32,
+                    injected: f.injected,
+                    delivered: f.delivered,
+                    mean_latency: if f.delivered == 0 {
+                        0.0
+                    } else {
+                        f.latency_sum as f64 / f.delivered as f64
+                    },
+                    max_latency: f.max_latency,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record_step(&mut self, step: u64, busy_links: u64) {
+        debug_assert_eq!(step, self.busy_per_step.len() as u64);
+        self.busy_per_step.push(busy_links);
+    }
+
+    fn record_queue_depth(&mut self, link: u32, depth: usize) {
+        let i = link as usize;
+        if i >= self.queue_high_water.len() {
+            self.queue_high_water.resize(i + 1, 0);
+        }
+        if depth > self.queue_high_water[i] {
+            self.queue_high_water[i] = depth;
+        }
+    }
+
+    fn record_injection(&mut self, flow: u32, packets: u64, step: u64) {
+        let f = self.flow_mut(flow);
+        f.injected += packets;
+        f.injected_at = step;
+    }
+
+    fn record_delivery(&mut self, flow: u32, step: u64) {
+        let injected_at = self.flow_mut(flow).injected_at;
+        let latency = step - injected_at;
+        let f = self.flow_mut(flow);
+        f.delivered += 1;
+        f.latency_sum += latency;
+        f.max_latency = f.max_latency.max(latency);
+        self.delivery_steps.push(latency);
+    }
+}
+
+/// Nearest-rank percentiles of one observed distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+}
+
+impl PercentileSummary {
+    /// Summarizes `values` (any order; empty input gives all zeros).
+    pub fn of(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        if v.is_empty() {
+            return PercentileSummary {
+                count: 0,
+                min: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        v.sort_unstable();
+        let nearest = |p: f64| -> u64 {
+            // Nearest-rank: the ⌈p·N⌉-th smallest observation.
+            let rank = (p * v.len() as f64).ceil() as usize;
+            v[rank.clamp(1, v.len()) - 1]
+        };
+        let sum: u64 = v.iter().sum();
+        PercentileSummary {
+            count: v.len() as u64,
+            min: v[0],
+            p50: nearest(0.50),
+            p90: nearest(0.90),
+            p99: nearest(0.99),
+            max: v[v.len() - 1],
+            mean: sum as f64 / v.len() as f64,
+        }
+    }
+}
+
+/// Percentile view of one run's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Steps simulated (= makespan).
+    pub steps: u64,
+    /// Distribution of per-step busy-link counts.
+    pub busy_links: PercentileSummary,
+    /// Distribution of per-packet delivery latencies.
+    pub latency: PercentileSummary,
+    /// Distribution of per-link queue high-water marks (links that queued).
+    pub queue_high_water: PercentileSummary,
+    /// Per-flow delivery summaries, indexed by flow id.
+    pub flows: Vec<FlowSummary>,
+}
+
+/// One flow's delivery summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Flow id.
+    pub flow: u32,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mean delivery latency.
+    pub mean_latency: f64,
+    /// Worst delivery latency.
+    pub max_latency: u64,
+}
+
+/// A [`SimReport`] extended with its trace summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedReport {
+    /// The plain report ([`PacketSim::run`] would return exactly this).
+    pub report: SimReport,
+    /// Percentile summaries of the run's event stream.
+    pub trace: TraceSummary,
+}
+
+impl PacketSim {
+    /// Like [`run`](PacketSim::run), additionally collecting a full trace.
+    /// The report is bit-identical to the untraced run's.
+    ///
+    /// # Panics
+    /// Panics if packets remain undelivered after `max_steps`.
+    pub fn run_traced(&self, max_steps: u64) -> TracedReport {
+        let mut rec = TraceRecorder::new();
+        let report = self.run_recorded(max_steps, &mut rec);
+        TracedReport { report, trace: rec.summary() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Flow;
+    use hyperpath_core::cycles::theorem1;
+    use hyperpath_topology::Hypercube;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = PercentileSummary::of(1..=100u64);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        let empty = PercentileSummary::of(std::iter::empty());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
+        let one = PercentileSummary::of([7u64]);
+        assert_eq!((one.min, one.p50, one.p99, one.max), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn traced_report_matches_untraced() {
+        let e = theorem1(6).unwrap().embedding;
+        let sim = crate::packet::PacketSim::phase_workload(&e, 16);
+        let traced = sim.run_traced(100_000);
+        assert_eq!(traced.report, sim.run(100_000));
+        assert_eq!(traced.trace.steps, traced.report.makespan);
+        assert_eq!(traced.trace.latency.count, traced.report.delivered);
+        assert_eq!(traced.trace.latency.max, traced.report.makespan);
+        assert_eq!(traced.trace.queue_high_water.max, traced.report.max_queue as u64);
+        let delivered: u64 = traced.trace.flows.iter().map(|f| f.delivered).sum();
+        assert_eq!(delivered, traced.report.delivered);
+    }
+
+    #[test]
+    fn busy_counts_sum_to_packet_hops() {
+        let host = Hypercube::new(3);
+        let mut sim = crate::packet::PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3, 7], packets: 5 });
+        sim.add_flow(Flow { path: vec![0, 2, 3], packets: 2 });
+        let mut rec = TraceRecorder::new();
+        let report = sim.run_recorded(1_000, &mut rec);
+        assert_eq!(rec.busy_per_step.iter().sum::<u64>(), report.packet_hops);
+        assert_eq!(rec.busy_per_step.len() as u64, report.makespan);
+    }
+
+    #[test]
+    fn per_flow_latencies_ordered_by_contention() {
+        let host = Hypercube::new(3);
+        let mut sim = crate::packet::PacketSim::new(host);
+        // Flow 0 wins every arbitration on the shared first link.
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 4 });
+        sim.add_flow(Flow { path: vec![0, 1, 5], packets: 4 });
+        let t = sim.run_traced(1_000);
+        assert!(t.trace.flows[1].mean_latency > t.trace.flows[0].mean_latency);
+        assert_eq!(t.trace.flows[0].delivered, 4);
+        assert_eq!(t.trace.flows[1].delivered, 4);
+    }
+}

@@ -52,7 +52,97 @@ impl WormholeSim {
     }
 
     /// Runs to completion (or panics after `max_steps`).
+    ///
+    /// The production engine: per-worm link sequences are precomputed once
+    /// into a flat arena (the reference engine recomputes XOR + edge index
+    /// on every access), and finished worms leave the iteration via an
+    /// in-place `retain` compaction of the active list — which preserves
+    /// ascending worm-id order, i.e. exactly the reference engine's
+    /// arbitration. Property tests assert both engines produce identical
+    /// [`WormReport`]s.
     pub fn run(&self, max_steps: u64) -> WormReport {
+        let num_links = self.host.num_directed_edges() as usize;
+        // Which worm holds each link (u32::MAX = free).
+        let mut holder: Vec<u32> = vec![u32::MAX; num_links];
+
+        // Flat per-worm arenas: link index and head-entry step per hop.
+        let mut worm_off: Vec<u32> = Vec::with_capacity(self.worms.len() + 1);
+        let mut worm_links: Vec<u32> = Vec::new();
+        worm_off.push(0);
+        for w in &self.worms {
+            for pair in w.path.windows(2) {
+                let dim = (pair[0] ^ pair[1]).trailing_zeros();
+                worm_links.push(self.host.dir_edge_index(DirEdge::new(pair[0], dim)) as u32);
+            }
+            worm_off.push(worm_links.len() as u32);
+        }
+        let mut entered: Vec<u64> = vec![0; worm_links.len()];
+        let mut head: Vec<usize> = vec![0; self.worms.len()];
+        let mut completion: Vec<u64> = vec![0; self.worms.len()];
+
+        // Zero-hop worms complete instantly; the rest start active, in id
+        // order (the list only ever compacts, so it stays id-sorted).
+        let mut active: Vec<u32> = (0..self.worms.len() as u32)
+            .filter(|&wid| worm_off[wid as usize + 1] > worm_off[wid as usize])
+            .collect();
+
+        let mut step = 0u64;
+        while !active.is_empty() {
+            // Advance heads / complete worms, lowest id first (arbitration).
+            active.retain(|&wid| {
+                let w = wid as usize;
+                let off = worm_off[w] as usize;
+                let hops = worm_off[w + 1] as usize - off;
+                if head[w] < hops {
+                    // Try to advance the head across the next link; heads
+                    // that cannot move stall (held links stay held).
+                    let idx = worm_links[off + head[w]] as usize;
+                    if holder[idx] == u32::MAX {
+                        holder[idx] = wid;
+                        entered[off + head[w]] = step;
+                        head[w] += 1;
+                    }
+                    true
+                } else {
+                    // Head arrived; the tail clears the last link once
+                    // `flits` flits have crossed it.
+                    let release = entered[off + hops - 1] + self.worms[w].flits;
+                    if step + 1 >= release {
+                        for h in 0..hops {
+                            holder[worm_links[off + h] as usize] = u32::MAX;
+                        }
+                        completion[w] = release;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            });
+            // Release links behind each still-active tail as it streams.
+            for &wid in &active {
+                let w = wid as usize;
+                let off = worm_off[w] as usize;
+                for h in 0..head[w] {
+                    let idx = worm_links[off + h] as usize;
+                    if holder[idx] == wid && step + 1 >= entered[off + h] + self.worms[w].flits {
+                        holder[idx] = u32::MAX;
+                    }
+                }
+            }
+            step += 1;
+            if step > max_steps && !active.is_empty() {
+                panic!("wormhole simulation did not finish within {max_steps} steps");
+            }
+        }
+        WormReport { makespan: completion.iter().copied().max().unwrap_or(0), completion }
+    }
+
+    /// The original engine, kept as the executable specification for the
+    /// old-vs-new property tests; not meant for production use.
+    ///
+    /// # Panics
+    /// Panics if worms remain unfinished after `max_steps`.
+    pub fn run_reference(&self, max_steps: u64) -> WormReport {
         let num_links = self.host.num_directed_edges() as usize;
         // Which worm holds each link (u32::MAX = free).
         let mut holder: Vec<u32> = vec![u32::MAX; num_links];
@@ -60,14 +150,18 @@ impl WormholeSim {
         // through the first held link (tail progress), completion time.
         #[derive(Clone)]
         struct State {
-            head: usize,         // hops crossed by the head
-            entered: Vec<u64>,   // step at which the head crossed hop i
+            head: usize,       // hops crossed by the head
+            entered: Vec<u64>, // step at which the head crossed hop i
             done: Option<u64>,
         }
         let mut st: Vec<State> = self
             .worms
             .iter()
-            .map(|w| State { head: 0, entered: vec![0; w.path.len().saturating_sub(1)], done: None })
+            .map(|w| State {
+                head: 0,
+                entered: vec![0; w.path.len().saturating_sub(1)],
+                done: None,
+            })
             .collect();
         let link_of = |w: &Worm, hop: usize| -> usize {
             let from = w.path[hop];
@@ -189,5 +283,18 @@ mod tests {
         sim.add_worm(Worm { path: vec![2], flits: 4 });
         let r = sim.run(10);
         assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn engines_agree_under_contention() {
+        // Smoke-level old-vs-new equivalence (the randomized version lives
+        // in tests/props.rs).
+        let host = Hypercube::new(4);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3, 7], flits: 6 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 3 });
+        sim.add_worm(Worm { path: vec![2, 3, 7, 15], flits: 9 });
+        sim.add_worm(Worm { path: vec![8], flits: 2 });
+        assert_eq!(sim.run(10_000), sim.run_reference(10_000));
     }
 }

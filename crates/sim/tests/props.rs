@@ -1,0 +1,107 @@
+//! Property tests for the simulators.
+//!
+//! The load-bearing ones are the old-vs-new engine equivalences: the
+//! reworked [`PacketSim::run`] / [`WormholeSim::run`] engines must produce
+//! bit-identical reports to the original straightforward implementations
+//! (kept as `run_reference`) on arbitrary workloads.
+
+use hyperpath_core::cycles::theorem1;
+use hyperpath_sim::faults::{random_fault_set, surviving_paths};
+use hyperpath_sim::routing::ecube_path;
+use hyperpath_sim::{Flow, PacketSim, Worm, WormholeSim};
+use hyperpath_topology::{DirEdge, Hypercube, Node};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a random-walk flow from one 64-bit seed: start node, then up to
+/// six hops along seed-chosen dimensions (repeats allowed — walks may
+/// backtrack), carrying 1..=4 packets.
+fn flow_from_seed(host: Hypercube, seed: u64) -> Flow {
+    let n = host.dims() as u64;
+    let mut path = vec![seed % host.num_nodes()];
+    let hops = (seed >> 8) % 7;
+    for h in 0..hops {
+        let dim = ((seed >> (12 + 5 * h)) % n) as u32;
+        path.push(path.last().unwrap() ^ (1u64 << dim));
+    }
+    Flow { path, packets: 1 + (seed >> 56) % 4 }
+}
+
+/// An e-cube worm from one seed: seed-chosen endpoints, dimension-ordered
+/// path (deadlock-free for any worm set), 1..=8 flits.
+fn worm_from_seed(host: Hypercube, seed: u64) -> Worm {
+    let src: Node = seed % host.num_nodes();
+    let dst: Node = (seed >> 20) % host.num_nodes();
+    Worm { path: ecube_path(src, dst), flits: 1 + (seed >> 56) % 8 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole invariant: the reworked packet engine is observationally
+    /// identical to the original one on arbitrary flow sets.
+    #[test]
+    fn packet_engines_agree(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = PacketSim::new(host);
+        for &s in &seeds {
+            sim.add_flow(flow_from_seed(host, s));
+        }
+        prop_assert_eq!(sim.run(1_000_000), sim.run_reference(1_000_000));
+    }
+
+    /// Same for the wormhole engine, on deadlock-free e-cube worm sets.
+    #[test]
+    fn wormhole_engines_agree(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = WormholeSim::new(host);
+        for &s in &seeds {
+            sim.add_worm(worm_from_seed(host, s));
+        }
+        prop_assert_eq!(sim.run(1_000_000), sim.run_reference(1_000_000));
+    }
+
+    /// The traced run reports the same `SimReport` as the untraced one, and
+    /// its trace is consistent with the report.
+    #[test]
+    fn traced_run_matches_untraced(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..8)) {
+        let host = Hypercube::new(n);
+        let mut sim = PacketSim::new(host);
+        for &s in &seeds {
+            sim.add_flow(flow_from_seed(host, s));
+        }
+        let plain = sim.run(1_000_000);
+        let traced = sim.run_traced(1_000_000);
+        prop_assert_eq!(&traced.report, &plain);
+        prop_assert_eq!(traced.trace.steps, plain.makespan);
+        prop_assert_eq!(traced.trace.latency.count, plain.delivered);
+    }
+
+    /// `surviving_paths` is monotone under fault-set inclusion: failing
+    /// additional links can only reduce each bundle's survivor count.
+    #[test]
+    fn surviving_paths_monotone_under_inclusion(
+        n in 4u32..7,
+        seed in 0u64..u64::MAX,
+        extra in proptest::collection::vec(0u64..u64::MAX, 0..8),
+    ) {
+        let e = theorem1(n).unwrap().embedding;
+        let host = e.host;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let smaller = random_fault_set(&host, 0.02, &mut rng);
+        let mut larger = smaller.clone();
+        for &s in &extra {
+            let node: Node = s % host.num_nodes();
+            let dim = ((s >> 40) % u64::from(host.dims())) as u32;
+            larger.fail_link(&host, DirEdge::new(node, dim));
+        }
+        prop_assert!(larger.count() >= smaller.count());
+        let before = surviving_paths(&e, &smaller);
+        let after = surviving_paths(&e, &larger);
+        prop_assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a <= b, "survivors grew from {} to {} under more faults", b, a);
+        }
+    }
+}

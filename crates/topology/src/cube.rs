@@ -130,8 +130,7 @@ impl Hypercube {
     /// Iterates over all directed edges.
     pub fn directed_edges(&self) -> impl Iterator<Item = DirEdge> + '_ {
         let dims = self.dims;
-        self.nodes()
-            .flat_map(move |v| (0..dims).map(move |d| DirEdge::new(v, d)))
+        self.nodes().flat_map(move |v| (0..dims).map(move |d| DirEdge::new(v, d)))
     }
 
     /// Iterates over canonical representatives of all undirected links
@@ -284,10 +283,7 @@ mod tests {
         for e in q.directed_edges() {
             let c = e.undirected();
             assert_eq!(c.from & (1 << c.dim), 0);
-            assert_eq!(
-                q.undirected_edge_index(e),
-                q.undirected_edge_index(e.reversed()),
-            );
+            assert_eq!(q.undirected_edge_index(e), q.undirected_edge_index(e.reversed()),);
         }
     }
 

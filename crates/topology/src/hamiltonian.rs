@@ -96,9 +96,8 @@ impl HamCycle {
         for i in 0..nodes.len() {
             let u = nodes[i];
             let v = nodes[(i + 1) % nodes.len()];
-            let d = cube
-                .edge_dim(u, v)
-                .ok_or_else(|| format!("{u:#x} -> {v:#x} is not an edge"))?;
+            let d =
+                cube.edge_dim(u, v).ok_or_else(|| format!("{u:#x} -> {v:#x} is not an edge"))?;
             transitions.push(d);
         }
         HamCycle::from_transitions(cube, nodes[0], transitions)
@@ -264,10 +263,50 @@ mod frozen {
     /// search + square-swap repair (the rotation-orbit ansatz found no
     /// witness for `Q_8` within our budgets).
     pub const Q8_CYCLES: &[&[u8]] = &[
-        &[1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 2, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 0, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 6, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 0, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 2, 1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 7, 1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 2, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 0, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 6, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 0, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 2, 1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 7],
-        &[3, 7, 3, 6, 3, 7, 3, 4, 3, 7, 3, 6, 3, 7, 3, 5, 7, 6, 7, 3, 7, 6, 7, 4, 3, 7, 3, 6, 3, 7, 3, 2, 7, 3, 7, 6, 7, 3, 7, 4, 7, 3, 7, 6, 7, 3, 7, 0, 6, 4, 6, 3, 6, 4, 6, 7, 6, 4, 6, 3, 6, 4, 6, 5, 0, 7, 0, 6, 0, 7, 0, 4, 7, 0, 7, 3, 7, 6, 7, 3, 7, 0, 7, 3, 6, 7, 6, 4, 0, 7, 0, 6, 0, 7, 0, 1, 0, 7, 0, 6, 0, 7, 0, 3, 6, 7, 6, 0, 7, 6, 7, 4, 7, 0, 7, 6, 0, 7, 0, 3, 6, 7, 6, 0, 7, 6, 7, 2, 6, 4, 6, 7, 6, 4, 6, 5, 6, 4, 6, 7, 6, 4, 6, 0, 6, 1, 6, 4, 6, 7, 4, 6, 4, 3, 4, 7, 4, 6, 4, 7, 4, 1, 3, 6, 7, 6, 3, 6, 7, 2, 6, 3, 6, 0, 6, 7, 0, 6, 0, 4, 7, 6, 7, 0, 6, 7, 2, 6, 2, 3, 2, 6, 2, 0, 4, 6, 4, 7, 4, 0, 6, 0, 4, 0, 6, 2, 6, 0, 6, 4, 6, 7, 6, 4, 6, 5, 6, 4, 6, 7, 6, 4, 6, 0, 6, 4, 6, 1, 4, 6, 4, 7, 4, 6, 4, 1, 6, 4, 6, 3, 6, 4, 6, 1, 6, 4, 7, 4, 6, 1, 6, 4, 6, 1, 7, 0],
-        &[4, 0, 7, 0, 4, 0, 3, 1, 4, 3, 4, 7, 4, 3, 4, 1, 3, 6, 0, 2, 4, 3, 2, 0, 6, 0, 4, 6, 0, 1, 3, 7, 3, 1, 3, 0, 4, 7, 0, 7, 1, 7, 3, 7, 1, 6, 0, 4, 6, 4, 2, 6, 3, 4, 6, 4, 1, 6, 2, 4, 7, 4, 2, 6, 2, 7, 5, 7, 2, 4, 2, 5, 2, 0, 7, 3, 7, 6, 1, 4, 1, 3, 6, 7, 1, 4, 7, 5, 0, 4, 3, 6, 3, 4, 3, 6, 0, 5, 4, 5, 3, 5, 6, 5, 3, 7, 5, 6, 1, 7, 0, 2, 7, 5, 7, 0, 7, 2, 7, 0, 7, 6, 7, 3, 2, 4, 2, 3, 7, 6, 0, 7, 0, 2, 7, 0, 7, 3, 7, 2, 4, 2, 7, 2, 4, 6, 3, 7, 3, 0, 2, 4, 2, 6, 4, 2, 5, 2, 6, 0, 4, 3, 4, 1, 5, 7, 3, 5, 1, 0, 1, 4, 3, 1, 2, 4, 2, 1, 6, 1, 2, 7, 2, 4, 6, 2, 4, 2, 1, 6, 0, 5, 4, 3, 4, 0, 4, 2, 0, 3, 0, 2, 4, 2, 0, 3, 0, 6, 2, 0, 5, 4, 5, 0, 2, 0, 1, 2, 7, 3, 7, 2, 0, 4, 7, 4, 0, 3, 1, 0, 6, 0, 3, 0, 6, 0, 7, 0, 2, 4, 2, 0, 1, 3, 1, 7, 1, 3, 1, 0, 6, 0, 3, 0, 6, 5],
-        &[2, 3, 2, 0, 7, 0, 2, 0, 3, 1, 3, 0, 6, 1, 2, 0, 7, 3, 1, 0, 7, 0, 1, 6, 4, 3, 7, 3, 4, 1, 0, 2, 4, 1, 6, 1, 4, 1, 3, 2, 4, 6, 2, 6, 1, 4, 6, 4, 0, 4, 3, 4, 7, 1, 7, 4, 3, 5, 0, 2, 7, 4, 3, 5, 7, 6, 5, 2, 0, 4, 7, 5, 1, 4, 3, 4, 1, 4, 7, 1, 4, 1, 3, 1, 4, 1, 7, 5, 0, 6, 4, 6, 2, 5, 2, 1, 4, 2, 0, 3, 0, 2, 1, 3, 6, 1, 4, 1, 2, 5, 0, 3, 6, 1, 3, 0, 7, 0, 1, 7, 4, 1, 0, 2, 3, 2, 0, 1, 7, 6, 1, 6, 2, 4, 6, 4, 0, 2, 5, 0, 7, 0, 5, 2, 3, 7, 4, 0, 4, 2, 0, 5, 0, 7, 0, 5, 0, 3, 1, 3, 7, 6, 1, 0, 5, 0, 1, 3, 1, 0, 5, 2, 3, 0, 7, 3, 4, 3, 7, 0, 3, 6, 2, 0, 7, 2, 4, 3, 4, 2, 7, 0, 7, 5, 0, 3, 7, 0, 7, 5, 2, 3, 6, 3, 2, 5, 0, 7, 0, 5, 0, 1, 6, 3, 0, 2, 0, 7, 3, 0, 6, 0, 7, 4, 7, 0, 6, 0, 3, 7, 0, 2, 3, 2, 0, 5, 7, 1, 0, 1, 2, 6, 0, 3, 0, 5, 3, 4, 7, 4, 2, 4, 3, 2, 5, 6],
+        &[
+            1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 2, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5,
+            1, 5, 0, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2,
+            5, 1, 2, 5, 2, 6, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5,
+            4, 5, 2, 5, 1, 2, 5, 2, 0, 5, 1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 2, 1, 3, 1, 5,
+            1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 7, 1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 2, 5,
+            1, 5, 3, 5, 1, 5, 4, 5, 1, 5, 3, 5, 1, 5, 0, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5,
+            2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 6, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5,
+            1, 2, 5, 2, 3, 2, 5, 2, 1, 5, 2, 5, 4, 5, 2, 5, 1, 2, 5, 2, 0, 5, 1, 5, 3, 5, 1, 5, 4,
+            5, 1, 5, 3, 5, 1, 5, 2, 1, 3, 1, 5, 1, 3, 1, 4, 1, 3, 1, 5, 1, 3, 1, 7,
+        ],
+        &[
+            3, 7, 3, 6, 3, 7, 3, 4, 3, 7, 3, 6, 3, 7, 3, 5, 7, 6, 7, 3, 7, 6, 7, 4, 3, 7, 3, 6, 3,
+            7, 3, 2, 7, 3, 7, 6, 7, 3, 7, 4, 7, 3, 7, 6, 7, 3, 7, 0, 6, 4, 6, 3, 6, 4, 6, 7, 6, 4,
+            6, 3, 6, 4, 6, 5, 0, 7, 0, 6, 0, 7, 0, 4, 7, 0, 7, 3, 7, 6, 7, 3, 7, 0, 7, 3, 6, 7, 6,
+            4, 0, 7, 0, 6, 0, 7, 0, 1, 0, 7, 0, 6, 0, 7, 0, 3, 6, 7, 6, 0, 7, 6, 7, 4, 7, 0, 7, 6,
+            0, 7, 0, 3, 6, 7, 6, 0, 7, 6, 7, 2, 6, 4, 6, 7, 6, 4, 6, 5, 6, 4, 6, 7, 6, 4, 6, 0, 6,
+            1, 6, 4, 6, 7, 4, 6, 4, 3, 4, 7, 4, 6, 4, 7, 4, 1, 3, 6, 7, 6, 3, 6, 7, 2, 6, 3, 6, 0,
+            6, 7, 0, 6, 0, 4, 7, 6, 7, 0, 6, 7, 2, 6, 2, 3, 2, 6, 2, 0, 4, 6, 4, 7, 4, 0, 6, 0, 4,
+            0, 6, 2, 6, 0, 6, 4, 6, 7, 6, 4, 6, 5, 6, 4, 6, 7, 6, 4, 6, 0, 6, 4, 6, 1, 4, 6, 4, 7,
+            4, 6, 4, 1, 6, 4, 6, 3, 6, 4, 6, 1, 6, 4, 7, 4, 6, 1, 6, 4, 6, 1, 7, 0,
+        ],
+        &[
+            4, 0, 7, 0, 4, 0, 3, 1, 4, 3, 4, 7, 4, 3, 4, 1, 3, 6, 0, 2, 4, 3, 2, 0, 6, 0, 4, 6, 0,
+            1, 3, 7, 3, 1, 3, 0, 4, 7, 0, 7, 1, 7, 3, 7, 1, 6, 0, 4, 6, 4, 2, 6, 3, 4, 6, 4, 1, 6,
+            2, 4, 7, 4, 2, 6, 2, 7, 5, 7, 2, 4, 2, 5, 2, 0, 7, 3, 7, 6, 1, 4, 1, 3, 6, 7, 1, 4, 7,
+            5, 0, 4, 3, 6, 3, 4, 3, 6, 0, 5, 4, 5, 3, 5, 6, 5, 3, 7, 5, 6, 1, 7, 0, 2, 7, 5, 7, 0,
+            7, 2, 7, 0, 7, 6, 7, 3, 2, 4, 2, 3, 7, 6, 0, 7, 0, 2, 7, 0, 7, 3, 7, 2, 4, 2, 7, 2, 4,
+            6, 3, 7, 3, 0, 2, 4, 2, 6, 4, 2, 5, 2, 6, 0, 4, 3, 4, 1, 5, 7, 3, 5, 1, 0, 1, 4, 3, 1,
+            2, 4, 2, 1, 6, 1, 2, 7, 2, 4, 6, 2, 4, 2, 1, 6, 0, 5, 4, 3, 4, 0, 4, 2, 0, 3, 0, 2, 4,
+            2, 0, 3, 0, 6, 2, 0, 5, 4, 5, 0, 2, 0, 1, 2, 7, 3, 7, 2, 0, 4, 7, 4, 0, 3, 1, 0, 6, 0,
+            3, 0, 6, 0, 7, 0, 2, 4, 2, 0, 1, 3, 1, 7, 1, 3, 1, 0, 6, 0, 3, 0, 6, 5,
+        ],
+        &[
+            2, 3, 2, 0, 7, 0, 2, 0, 3, 1, 3, 0, 6, 1, 2, 0, 7, 3, 1, 0, 7, 0, 1, 6, 4, 3, 7, 3, 4,
+            1, 0, 2, 4, 1, 6, 1, 4, 1, 3, 2, 4, 6, 2, 6, 1, 4, 6, 4, 0, 4, 3, 4, 7, 1, 7, 4, 3, 5,
+            0, 2, 7, 4, 3, 5, 7, 6, 5, 2, 0, 4, 7, 5, 1, 4, 3, 4, 1, 4, 7, 1, 4, 1, 3, 1, 4, 1, 7,
+            5, 0, 6, 4, 6, 2, 5, 2, 1, 4, 2, 0, 3, 0, 2, 1, 3, 6, 1, 4, 1, 2, 5, 0, 3, 6, 1, 3, 0,
+            7, 0, 1, 7, 4, 1, 0, 2, 3, 2, 0, 1, 7, 6, 1, 6, 2, 4, 6, 4, 0, 2, 5, 0, 7, 0, 5, 2, 3,
+            7, 4, 0, 4, 2, 0, 5, 0, 7, 0, 5, 0, 3, 1, 3, 7, 6, 1, 0, 5, 0, 1, 3, 1, 0, 5, 2, 3, 0,
+            7, 3, 4, 3, 7, 0, 3, 6, 2, 0, 7, 2, 4, 3, 4, 2, 7, 0, 7, 5, 0, 3, 7, 0, 7, 5, 2, 3, 6,
+            3, 2, 5, 0, 7, 0, 5, 0, 1, 6, 3, 0, 2, 0, 7, 3, 0, 6, 0, 7, 4, 7, 0, 6, 0, 3, 7, 0, 2,
+            3, 2, 0, 5, 7, 1, 0, 1, 2, 6, 0, 3, 0, 5, 3, 4, 7, 4, 2, 4, 3, 2, 5, 6,
+        ],
     ];
 }
 
@@ -291,10 +330,7 @@ pub fn search_symmetric_base(n: u32, seed: u64, max_steps: u64) -> Option<Vec<Di
     // Count of unused incident undirected edges per node (cheap degree prune).
     let mut avail = vec![n; size];
 
-    let mark = |e: DirEdge,
-                val: bool,
-                used: &mut [bool],
-                avail: &mut [u32]| {
+    let mark = |e: DirEdge, val: bool, used: &mut [bool], avail: &mut [u32]| {
         let mut cur = e;
         for _ in 0..k {
             let idx = cube.undirected_edge_index(cur);
@@ -425,9 +461,8 @@ fn search_cycle_round(
     let mut visited = vec![false; size];
     let mut avail: Vec<u32> = (0..size as u64)
         .map(|v| {
-            (0..n)
-                .filter(|&d| !forbidden[cube.undirected_edge_index(DirEdge::new(v, d))])
-                .count() as u32
+            (0..n).filter(|&d| !forbidden[cube.undirected_edge_index(DirEdge::new(v, d))]).count()
+                as u32
         })
         .collect();
     if avail.iter().any(|&a| a < 2) {
@@ -446,7 +481,7 @@ fn search_cycle_round(
     let mut steps = 0u64;
 
     loop {
-        let Some(&(v, next_i)) = stack.last() else { return None };
+        let &(v, next_i) = stack.last()?;
         steps += 1;
         if steps > max_steps {
             return None;
@@ -580,7 +615,8 @@ fn two_factor_components(adj: &Adj2) -> (Vec<u32>, u32) {
         let mut prev = u64::MAX;
         loop {
             label[v as usize] = count;
-            let next = if adj[v as usize][0] != prev { adj[v as usize][0] } else { adj[v as usize][1] };
+            let next =
+                if adj[v as usize][0] != prev { adj[v as usize][0] } else { adj[v as usize][1] };
             prev = v;
             v = next;
             if v == start {
@@ -725,11 +761,7 @@ fn decomposition_from_base(cube: Hypercube, base: Vec<Dim>) -> Result<Decomposit
     let base_cycle = HamCycle::from_transitions(cube, 0, base)?;
     let mut cycles = Vec::with_capacity(k as usize);
     for j in 0..k {
-        let trans: Vec<Dim> = base_cycle
-            .transitions()
-            .iter()
-            .map(|&d| (d + 2 * j) % n)
-            .collect();
+        let trans: Vec<Dim> = base_cycle.transitions().iter().map(|&d| (d + 2 * j) % n).collect();
         cycles.push(HamCycle::from_transitions(cube, 0, trans)?);
     }
     let dec = Decomposition { cube, cycles, matching: Vec::new() };
@@ -806,11 +838,7 @@ fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
 pub fn decompose(n: u32) -> Result<Decomposition, String> {
     let cube = Hypercube::new(n);
     if n == 1 {
-        return Ok(Decomposition {
-            cube,
-            cycles: Vec::new(),
-            matching: vec![DirEdge::new(0, 0)],
-        });
+        return Ok(Decomposition { cube, cycles: Vec::new(), matching: vec![DirEdge::new(0, 0)] });
     }
     if n % 2 == 1 {
         return merge_odd(&decompose(n - 1)?);
@@ -819,7 +847,7 @@ pub fn decompose(n: u32) -> Result<Decomposition, String> {
         2 => Some(frozen::Q2),
         4 => Some(frozen::Q4),
         6 => Some(frozen::Q6),
-        
+
         _ => None,
     };
     if let Some(f) = frozen {
@@ -990,10 +1018,8 @@ mod tests {
         let cycles = search_sequential(4, 20, 500_000).expect("Q4 sequential search");
         assert_eq!(cycles.len(), 2);
         let cube = Hypercube::new(4);
-        let hams: Vec<HamCycle> = cycles
-            .into_iter()
-            .map(|t| HamCycle::from_transitions(cube, 0, t).unwrap())
-            .collect();
+        let hams: Vec<HamCycle> =
+            cycles.into_iter().map(|t| HamCycle::from_transitions(cube, 0, t).unwrap()).collect();
         let dec = Decomposition { cube, cycles: hams, matching: Vec::new() };
         verify_decomposition(&dec).unwrap();
     }
@@ -1048,10 +1074,7 @@ mod tests {
         for v in cube.nodes() {
             for d in cube.dimensions() {
                 let u = cube.neighbor(v, d);
-                assert_eq!(
-                    cube.edge_dim(rotate2(v, n), rotate2(u, n)),
-                    Some((d + 2) % n)
-                );
+                assert_eq!(cube.edge_dim(rotate2(v, n), rotate2(u, n)), Some((d + 2) % n));
             }
         }
     }

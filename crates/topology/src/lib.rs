@@ -32,7 +32,7 @@ pub mod hamiltonian;
 pub mod moment;
 pub mod window;
 
-pub use cube::{DirEdge, Dim, Hypercube, Node};
+pub use cube::{Dim, DirEdge, Hypercube, Node};
 pub use gray::{gray_code, gray_rank, transition, transition_sequence};
 pub use hamiltonian::{
     decompose, directed_cycles, verify_decomposition, Decomposition, DirectedHamCycle, HamCycle,

@@ -12,10 +12,16 @@ fn main() {
     let n = 8u32;
     let fleet = ccc_multi_copy(n).expect("Theorem 3");
     let m = multi_copy_metrics(&fleet.multi_copy);
-    println!("== {} CCC_{} copies in Q_{} ==", fleet.multi_copy.num_copies(), n,
-        fleet.multi_copy.host.dims());
-    println!("dilation {}, edge congestion {} (the theorem's bound, exactly)\n", m.dilation,
-        m.edge_congestion);
+    println!(
+        "== {} CCC_{} copies in Q_{} ==",
+        fleet.multi_copy.num_copies(),
+        n,
+        fleet.multi_copy.host.dims()
+    );
+    println!(
+        "dilation {}, edge congestion {} (the theorem's bound, exactly)\n",
+        m.dilation, m.edge_congestion
+    );
 
     // One phase: every CCC vertex sends a packet along its straight and
     // cross edges, in every copy at once.
@@ -28,6 +34,9 @@ fn main() {
     let r = sim.run(1_000_000);
     println!("one full phase of ALL {} copies simultaneously:", fleet.multi_copy.num_copies());
     println!("  makespan {} steps (congestion-2 bound: 2)", r.makespan);
-    println!("  {} packets delivered, mean link utilization {:.1}%", r.delivered,
-        100.0 * r.mean_utilization);
+    println!(
+        "  {} packets delivered, mean link utilization {:.1}%",
+        r.delivered,
+        100.0 * r.mean_utilization
+    );
 }

@@ -36,15 +36,10 @@ fn main() {
         let ok_shares: Vec<_> = t1.embedding.edge_paths[0]
             .iter()
             .enumerate()
-            .filter(|(_, path)| {
-                path.edges().all(|e| !faults.is_failed(&t1.embedding.host, e))
-            })
+            .filter(|(_, path)| path.edges().all(|e| !faults.is_failed(&t1.embedding.host, e)))
             .map(|(i, _)| shares[i].clone())
             .collect();
-        print!(
-            "p = {p:<5} | {} dead links | {alive}/{w} paths alive | ",
-            faults.count() / 2
-        );
+        print!("p = {p:<5} | {} dead links | {alive}/{w} paths alive | ", faults.count() / 2);
         if ok_shares.len() >= usize::from(k) {
             let rec = ida.reconstruct(&ok_shares).expect("enough shares");
             println!("reconstructed: {}", rec == message);

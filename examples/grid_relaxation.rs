@@ -23,9 +23,8 @@ fn main() {
         g.width, g.cost
     );
 
-    let classical = PacketSim::phase_workload_with_width(&g.embedding, ratio, 1)
-        .run(10_000_000)
-        .makespan;
+    let classical =
+        PacketSim::phase_workload_with_width(&g.embedding, ratio, 1).run(10_000_000).makespan;
     let free = PacketSim::phase_workload(&g.embedding, ratio).run(10_000_000).makespan;
     // The certified schedule ships width+1 packets every `cost` steps.
     let wide = free.min(g.cost * ratio.div_ceil(g.width as u64 + 1));
@@ -55,5 +54,7 @@ fn main() {
     let total: f64 = field.iter().sum();
     let peak = field.iter().cloned().fold(0.0f64, f64::max);
     println!("\nafter 50 Jacobi sweeps: heat conserved = {total:.1}, peak = {peak:.3}");
-    println!("each sweep's halo exchange is one embedded phase: {wide} steps instead of {classical}.");
+    println!(
+        "each sweep's halo exchange is one embedded phase: {wide} steps instead of {classical}."
+    );
 }

@@ -30,7 +30,12 @@ fn main() {
     let mt = multi_path_metrics(&t1.embedding);
     println!(
         "Theorem 1: width {} (claimed {}), load {}, certified {}-packet cost {}, {:.1}% links used",
-        mt.width, t1.claimed_width, mt.load, t1.packets, t1.cost, 100.0 * mt.utilization
+        mt.width,
+        t1.claimed_width,
+        mt.load,
+        t1.packets,
+        t1.cost,
+        100.0 * mt.utilization
     );
 
     // Race them: one phase with m packets per cycle edge.

@@ -35,8 +35,11 @@ fn main() {
     let r1 = single.run(100_000_000);
     let r2 = split.run(100_000_000);
     println!("single worm per message : makespan {}", r1.makespan);
-    println!("split across {n} CCC copies: makespan {} ({:.2}x)", r2.makespan,
-        r1.makespan as f64 / r2.makespan as f64);
+    println!(
+        "split across {n} CCC copies: makespan {} ({:.2}x)",
+        r2.makespan,
+        r1.makespan as f64 / r2.makespan as f64
+    );
     println!("\nSplitting bounds each worm's length by M/n flits, so blocked links clear");
     println!("n times faster — the O(M) completion the paper argues for.");
 }

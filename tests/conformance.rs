@@ -1,0 +1,87 @@
+//! Conformance suite: every theorem's certified schedule, compiled into
+//! the simulator, achieves exactly its certified cost.
+//!
+//! `sim::run_schedule` replays a [`PhaseSchedule`] transmission by
+//! transmission under the simulator's link-conflict semantics, so a passing
+//! row is an end-to-end check that the constructive proof (the schedule)
+//! and the machine model (the simulator) agree on the claimed `p`-packet
+//! cost — Theorem 1's cost 3, Theorem 2's per-residue costs, and
+//! Theorem 4's `c + 2δ`.
+
+use hyperpath_suite::core::baseline::multi_copy_cycles;
+use hyperpath_suite::core::cycles::{theorem1, theorem2, CycleEmbedding, Theorem2Variant};
+use hyperpath_suite::core::induced::theorem4;
+use hyperpath_suite::embedding::MultiPathEmbedding;
+use hyperpath_suite::embedding::PhaseSchedule;
+use hyperpath_suite::sim::run_schedule;
+
+/// Replays `schedule` in the simulator and checks the measured makespan
+/// equals the certified cost (with the right packet count per guest edge).
+fn assert_schedule_achieves(
+    label: &str,
+    e: &MultiPathEmbedding,
+    schedule: &PhaseSchedule,
+    packets: u64,
+    cost: u64,
+) {
+    let (p, c) = schedule.certified_cost(e).unwrap_or_else(|err| panic!("{label}: {err}"));
+    assert_eq!(p, packets, "{label}: packets per edge");
+    assert_eq!(c, cost, "{label}: certified cost");
+    let r = run_schedule(e, schedule).unwrap_or_else(|err| panic!("{label}: simulator: {err}"));
+    assert_eq!(r.makespan, cost, "{label}: measured makespan != certified cost");
+    assert_eq!(r.delivered, schedule.transmissions.len() as u64, "{label}: deliveries");
+}
+
+fn check_cycle_theorem(label: &str, t: &CycleEmbedding, want_width: usize, want_cost: u64) {
+    assert_eq!(t.claimed_width, want_width, "{label}: claimed width");
+    assert_eq!(t.cost, want_cost, "{label}: certified cost");
+    assert_schedule_achieves(label, &t.embedding, &t.schedule, t.packets, t.cost);
+}
+
+/// Theorem 1 over `n = 4..=10`: width `⌊n/2⌋`, cost 3 (every such `n` has
+/// `2⌊n/4⌋` a power of two, the paper's implicit assumption).
+#[test]
+fn theorem1_schedules_achieve_cost_3() {
+    for n in 4..=10u32 {
+        let t1 = theorem1(n).unwrap();
+        check_cycle_theorem(&format!("theorem1(n={n})"), &t1, (n / 2) as usize, 3);
+    }
+}
+
+/// Theorem 2 over `n = 4..=10`, both variants, per-residue widths/costs
+/// (the table in the `theorem2` docs):
+/// residues 0, 1 → width `⌊n/2⌋` cost 3 for both variants; residues 2, 3 →
+/// `Cost3` gives width `⌊n/2⌋ - 1` cost 3, `FullWidth` width `⌊n/2⌋` cost 4.
+#[test]
+fn theorem2_schedules_achieve_per_residue_costs() {
+    for n in 4..=10u32 {
+        let half = (n / 2) as usize;
+        let (w3, c3, wf, cf) = match n % 4 {
+            0 | 1 => (half, 3, half, 3),
+            _ => (half - 1, 3, half, 4),
+        };
+        let t = theorem2(n, Theorem2Variant::Cost3).unwrap();
+        check_cycle_theorem(&format!("theorem2(n={n}, Cost3)"), &t, w3, c3);
+        let t = theorem2(n, Theorem2Variant::FullWidth).unwrap();
+        check_cycle_theorem(&format!("theorem2(n={n}, FullWidth)"), &t, wf, cf);
+    }
+}
+
+/// Theorem 4 on the Lemma 1 cycle copies: the induced cross product's
+/// schedule executes at its certified cost. At `n = 4` that cost equals the
+/// paper's claimed `c + 2δ = 3` exactly; at `n = 6` the natural schedule
+/// collides and the phase-aligned fallback certifies 4 (the same
+/// power-of-two regime gap as Theorem 1 at `n = 12` — see DESIGN.md).
+#[test]
+fn theorem4_schedules_achieve_certified_cost() {
+    for (n, want_cost, want_natural) in [(4u32, 3u64, true), (6, 4, false)] {
+        let copies = multi_copy_cycles(n).unwrap();
+        let (x, claimed) = theorem4(&copies).unwrap();
+        let label = format!("theorem4(n={n})");
+        assert_eq!(claimed, 3, "{label}: claimed c + 2δ");
+        assert_eq!(x.cost, want_cost, "{label}: certified cost");
+        assert_eq!(x.natural_schedule_ok, want_natural, "{label}: schedule kind");
+        assert_eq!(x.packets, u64::from(n), "{label}: width-n bundles ship n packets");
+        assert_schedule_achieves(&label, &x.embedding, &x.schedule, x.packets, x.cost);
+    }
+}
