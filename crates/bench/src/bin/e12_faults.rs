@@ -5,6 +5,11 @@
 //! (`BENCH_E12_FAULTS.json` by default). Every grid point draws its faults
 //! from its own ChaCha stream, so the artifact is byte-stable across
 //! thread counts.
+//!
+//! The `struct` columns count surviving paths combinatorially; the `sim`
+//! columns actually disperse a message per guest edge, push the shares as
+//! packets through the faulty simulated machine, and reconstruct at the
+//! destination — both evaluated against the *same* fault draw per trial.
 
 use hyperpath_bench::experiments::{e12_faults, ida_sanity_line, maybe_write_json, parse_cli};
 
@@ -19,7 +24,8 @@ fn main() {
 
     let (table, out) = e12_faults(&[8, 10], trials, 99);
     println!("{}", table.render());
-    println!("'all-paths' = at least one of the w disjoint paths survives per edge (k=1);");
-    println!("'IDA' = at least ⌈w/2⌉ survive (bandwidth overhead 2x).");
+    println!("'struct k' = trials where every bundle keeps >= k fault-free paths;");
+    println!("'sim' = shares routed through the faulty machine and IDA-reconstructed");
+    println!("(k = \u{2308}w/2\u{2309}), without / with retries over the surviving paths.");
     maybe_write_json(&out, &opts);
 }

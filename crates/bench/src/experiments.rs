@@ -16,9 +16,10 @@ use hyperpath_core::cycles::theorem1;
 use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
 use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
 use hyperpath_ida::Ida;
-use hyperpath_sim::faults::delivery_probability;
+use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
+use hyperpath_sim::faults::{random_fault_set, surviving_paths};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
-use hyperpath_sim::{PacketSim, Worm, WormholeSim};
+use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
 
 const SIM_CAP: u64 = 10_000_000;
 
@@ -203,22 +204,45 @@ pub fn e12_grid(ns: &[u32]) -> Vec<FaultPoint> {
     ns.iter().flat_map(|&n| [0.0005f64, 0.002, 0.01, 0.05].map(|p| FaultPoint { n, p })).collect()
 }
 
-/// E12: Monte-Carlo phase delivery probability for the Gray-code single
-/// path, the width-w multipath bundle with `k = 1`, and the IDA threshold
-/// `k = ⌈w/2⌉`. Each grid point runs `trials` fault draws from its own
-/// ChaCha stream.
+/// E12: Monte-Carlo phase delivery probability under random link faults,
+/// measured **on the simulated machine** and cross-checked against the
+/// structural estimate.
+///
+/// Each trial draws ONE fault set on the shared host `Q_n` and evaluates
+/// every estimator against that same world:
+///
+/// * `gray_w1` / `struct_k1` / `struct_k_half` — structural: count the
+///   fault-free paths per bundle ([`surviving_paths`]) and require 1 / 1 /
+///   `⌈w/2⌉` survivors for the Gray single-path and Theorem 1 embeddings.
+/// * `sim_no_retry` / `sim_retry` — measured: actually disperse a message
+///   per guest edge, route the shares through [`PacketSim::run_faulty`],
+///   and reconstruct ([`deliver_phase`]) with the `k = ⌈w/2⌉` threshold,
+///   without and with two retry rounds over the surviving paths.
+///
+/// Because structural and measured columns share fault draws,
+/// `sim_no_retry` must equal `struct_k_half` *exactly* (a share arrives
+/// iff its path is fault-free), and `sim_retry` must equal `struct_k1`
+/// (one surviving path carries every re-sent share) — both pinned by
+/// `tests/delivery_conformance.rs`. Each grid point runs `trials` draws
+/// from its own ChaCha stream.
 pub fn e12_faults(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
     e12_faults_with_threads(ns, trials, master_seed, None)
 }
 
 /// [`e12_faults`] with a pinned worker count (the determinism tests run
 /// the same sweep on 1 and 4 workers and require byte-identical JSON).
+///
+/// [`PacketSim::run_faulty`]: hyperpath_sim::PacketSim::run_faulty
 pub fn e12_faults_with_threads(
     ns: &[u32],
     trials: u32,
     master_seed: u64,
     threads: Option<usize>,
 ) -> (Table, SweepOutput) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use rayon::prelude::*;
+
     let mut sweep = Sweep::new("e12_faults", master_seed);
     if let Some(t) = threads {
         sweep = sweep.threads(t);
@@ -227,26 +251,69 @@ pub fn e12_faults_with_threads(
         let gray = gray_cycle_embedding(p.n);
         let t1 = theorem1(p.n).expect("theorem 1");
         let w = t1.claimed_width;
-        let d_gray = delivery_probability(&gray, p.p, 1, trials, rng);
-        let d_any = delivery_probability(&t1.embedding, p.p, 1, trials, rng);
-        let d_ida = delivery_probability(&t1.embedding, p.p, w.div_ceil(2), trials, rng);
+        let k_half = w.div_ceil(2);
+        let host = t1.embedding.host;
+        let no_retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 0, message_len: 32 };
+        let retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 32 };
+        // One seed per trial drawn *serially* from the point's stream: the
+        // sweep's byte-stability across worker counts rests on this.
+        let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
+        let per_trial: Vec<[u32; 5]> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut trial_rng = StdRng::seed_from_u64(seed);
+                // One fault draw per trial, shared by every estimator: the
+                // structural and measured columns see the same world.
+                let faults = random_fault_set(&host, p.p, &mut trial_rng);
+                let s_gray = surviving_paths(&gray, &faults);
+                let s_t1 = surviving_paths(&t1.embedding, &faults);
+                let tl = FaultTimeline::from_set(faults);
+                let no_retry = deliver_phase(&t1.embedding, &tl, &no_retry_cfg);
+                let retry = deliver_phase(&t1.embedding, &tl, &retry_cfg);
+                [
+                    u32::from(s_gray.iter().all(|&s| s >= 1)),
+                    u32::from(s_t1.iter().all(|&s| s >= 1)),
+                    u32::from(s_t1.iter().all(|&s| s >= k_half)),
+                    u32::from(no_retry.all_delivered()),
+                    u32::from(retry.all_delivered()),
+                ]
+            })
+            .collect();
+        let counts = per_trial.iter().fold([0u32; 5], |mut acc, t| {
+            for (a, &v) in acc.iter_mut().zip(t) {
+                *a += v;
+            }
+            acc
+        });
+        let frac = |ok: u32| f64::from(ok) / f64::from(trials);
         Json::object([
             ("width", w.to_json()),
             ("trials", trials.to_json()),
-            ("gray_w1", d_gray.to_json()),
-            ("multipath_k1", d_any.to_json()),
-            ("ida_k_half", d_ida.to_json()),
+            ("gray_w1", frac(counts[0]).to_json()),
+            ("struct_k1", frac(counts[1]).to_json()),
+            ("struct_k_half", frac(counts[2]).to_json()),
+            ("sim_no_retry", frac(counts[3]).to_json()),
+            ("sim_retry", frac(counts[4]).to_json()),
         ])
     });
-    let mut t =
-        Table::new(&["n", "p(link fail)", "gray (w=1)", "multipath all-paths", "IDA k=⌈w/2⌉"]);
+    let mut t = Table::new(&[
+        "n",
+        "p(link fail)",
+        "gray (w=1)",
+        "struct k=1",
+        "struct k=⌈w/2⌉",
+        "sim no-retry",
+        "sim retry",
+    ]);
     for rec in &out.records {
         t.row(vec![
             fetch(&rec.params, "n").to_string(),
             format!("{}", fetch_f(&rec.params, "p")),
             format!("{:.3}", fetch_f(&rec.result, "gray_w1")),
-            format!("{:.3}", fetch_f(&rec.result, "multipath_k1")),
-            format!("{:.3}", fetch_f(&rec.result, "ida_k_half")),
+            format!("{:.3}", fetch_f(&rec.result, "struct_k1")),
+            format!("{:.3}", fetch_f(&rec.result, "struct_k_half")),
+            format!("{:.3}", fetch_f(&rec.result, "sim_no_retry")),
+            format!("{:.3}", fetch_f(&rec.result, "sim_retry")),
         ]);
     }
     (t, out)
@@ -437,12 +504,19 @@ mod tests {
 
     #[test]
     fn e12_probabilities_are_probabilities_and_ordered_by_construction() {
-        let (_, out) = e12_faults(&[8], 20, 99);
+        let (_, out) = e12_faults(&[6], 20, 99);
         for rec in &out.records {
-            for key in ["gray_w1", "multipath_k1", "ida_k_half"] {
+            for key in ["gray_w1", "struct_k1", "struct_k_half", "sim_no_retry", "sim_retry"] {
                 let v = rec.result.get(key).and_then(Json::as_f64).unwrap();
                 assert!((0.0..=1.0).contains(&v), "{key} = {v}");
             }
+            // Shared fault draws make these identities exact, not just
+            // statistical: a share arrives iff its path survives, and one
+            // surviving path carries every retried share.
+            let f = |key| rec.result.get(key).and_then(Json::as_f64).unwrap();
+            assert_eq!(f("sim_no_retry"), f("struct_k_half"));
+            assert_eq!(f("sim_retry"), f("struct_k1"));
+            assert!(f("sim_retry") >= f("sim_no_retry"));
         }
     }
 }

@@ -1,0 +1,67 @@
+//! Conformance: the *measured* delivery probability (shares actually
+//! routed as packets through the faulty simulated machine and
+//! IDA-reconstructed at the destination) against the *structural* estimate
+//! (counting fault-free paths per bundle).
+//!
+//! E12 evaluates both on the same fault draw per trial, which turns the
+//! usual "agree within Monte-Carlo noise" into exact identities:
+//!
+//! * retries off — a share arrives iff its own path is fault-free, so the
+//!   measured rate equals the structural `k = ⌈w/2⌉` rate trial by trial;
+//! * retries on — re-sent shares reuse any surviving path, so one
+//!   survivor recovers the whole message and the measured rate equals the
+//!   structural `k = 1` rate, strictly beating the no-retry rate wherever
+//!   faults bite between "some path survives" and "⌈w/2⌉ paths survive".
+
+use hyperpath_bench::experiments::e12_faults;
+use hyperpath_bench::Json;
+
+fn field(rec: &Json, key: &str) -> f64 {
+    rec.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("field {key}"))
+}
+
+#[test]
+fn measured_no_retry_delivery_equals_structural_on_small_cubes() {
+    // n = 4 (w = 2, k = 1) and n = 6 (w = 3, k = 2), whole default p grid.
+    let (_, out) = e12_faults(&[4, 6], 60, 7);
+    assert_eq!(out.records.len(), 8);
+    for rec in &out.records {
+        let r = &rec.result;
+        assert_eq!(
+            field(r, "sim_no_retry"),
+            field(r, "struct_k_half"),
+            "machine-measured delivery must match the structural estimate at {}",
+            rec.params.render()
+        );
+        assert_eq!(
+            field(r, "sim_retry"),
+            field(r, "struct_k1"),
+            "retries collapse the threshold to one surviving path at {}",
+            rec.params.render()
+        );
+    }
+}
+
+#[test]
+fn retries_dominate_and_strictly_win_at_some_fault_rate() {
+    let (_, out) = e12_faults(&[6], 120, 11);
+    let mut strict_win = false;
+    for rec in &out.records {
+        let r = &rec.result;
+        let no_retry = field(r, "sim_no_retry");
+        let retry = field(r, "sim_retry");
+        assert!(
+            retry >= no_retry,
+            "retries can only help: {retry} < {no_retry} at {}",
+            rec.params.render()
+        );
+        if retry > no_retry {
+            strict_win = true;
+        }
+    }
+    assert!(
+        strict_win,
+        "at some swept fault rate the retry pass must rescue phases the \
+         threshold-only scheme loses"
+    );
+}

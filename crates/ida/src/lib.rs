@@ -20,6 +20,72 @@ pub use gf256::Gf256;
 
 use bytes::Bytes;
 
+/// Why [`Ida::reconstruct`] could not rebuild the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdaError {
+    /// Fewer than `k` *distinct* shares were provided (duplicates of one
+    /// index count once).
+    NotEnoughShares {
+        /// The scheme's threshold `k`.
+        needed: usize,
+        /// Distinct in-range shares actually seen.
+        got: usize,
+    },
+    /// A share's index is outside the scheme's `0..w` range.
+    IndexOutOfRange {
+        /// The offending share index.
+        index: u8,
+        /// The scheme's share count `w`.
+        width: u8,
+    },
+    /// Two shares carry the same index but different payloads, so at least
+    /// one of them is corrupt and neither can be trusted.
+    ConflictingDuplicate {
+        /// The index the disagreeing shares claim.
+        index: u8,
+    },
+    /// A share is too short to hold the 8-byte message-length header.
+    ShareTooShort {
+        /// The offending share index.
+        index: u8,
+    },
+    /// The selected shares disagree on payload length.
+    InconsistentLengths,
+    /// The shares' payloads cannot hold the message length their header
+    /// declares.
+    DeclaredLengthTooLong {
+        /// Message length (bytes) the header claims.
+        declared: usize,
+        /// Bytes the payloads can actually reconstruct.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for IdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            IdaError::NotEnoughShares { needed, got } => {
+                write!(f, "need {needed} distinct shares, got {got}")
+            }
+            IdaError::IndexOutOfRange { index, width } => {
+                write!(f, "share index {index} out of range for a {width}-share scheme")
+            }
+            IdaError::ConflictingDuplicate { index } => {
+                write!(f, "shares with index {index} carry conflicting payloads")
+            }
+            IdaError::ShareTooShort { index } => {
+                write!(f, "share {index} too short for the length header")
+            }
+            IdaError::InconsistentLengths => write!(f, "shares have inconsistent payload lengths"),
+            IdaError::DeclaredLengthTooLong { declared, capacity } => {
+                write!(f, "header declares {declared} bytes but shares only hold {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdaError {}
+
 /// A `(w, k)` dispersal scheme: `w` shares, any `k` reconstruct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ida {
@@ -86,30 +152,48 @@ impl Ida {
     }
 
     /// Reconstructs the message from any `k` (or more) distinct shares.
-    pub fn reconstruct(&self, shares: &[Share]) -> Result<Vec<u8>, String> {
+    ///
+    /// The slice may contain extras and exact duplicates in any order: the
+    /// first `k` *distinct* in-range shares are selected. Duplicated
+    /// indices are tolerated only while their payloads agree — a
+    /// disagreement means corruption and is reported as
+    /// [`IdaError::ConflictingDuplicate`].
+    pub fn reconstruct(&self, shares: &[Share]) -> Result<Vec<u8>, IdaError> {
         let k = usize::from(self.k);
-        if shares.len() < k {
-            return Err(format!("need {k} shares, got {}", shares.len()));
-        }
-        let picked = &shares[..k];
+        let mut picked: Vec<&Share> = Vec::with_capacity(k);
         let mut seen = [false; 256];
-        for s in picked {
+        for s in shares {
             if s.index >= self.w {
-                return Err(format!("share index {} out of range", s.index));
+                return Err(IdaError::IndexOutOfRange { index: s.index, width: self.w });
             }
             if seen[usize::from(s.index)] {
-                return Err(format!("duplicate share index {}", s.index));
+                if let Some(prev) = picked.iter().find(|p| p.index == s.index) {
+                    if prev.data != s.data {
+                        return Err(IdaError::ConflictingDuplicate { index: s.index });
+                    }
+                }
+                continue;
             }
             seen[usize::from(s.index)] = true;
+            if picked.len() < k {
+                picked.push(s);
+            }
         }
-        let header = picked[0].data.get(..8).ok_or("share too short")?;
+        if picked.len() < k {
+            return Err(IdaError::NotEnoughShares { needed: k, got: picked.len() });
+        }
+        let header =
+            picked[0].data.get(..8).ok_or(IdaError::ShareTooShort { index: picked[0].index })?;
         let msg_len = u64::from_le_bytes(header.try_into().unwrap()) as usize;
         let payload_len = picked[0].data.len() - 8;
         if picked.iter().any(|s| s.data.len() != payload_len + 8) {
-            return Err("inconsistent share lengths".into());
+            return Err(IdaError::InconsistentLengths);
         }
         if payload_len * k < msg_len {
-            return Err("shares too short for declared message length".into());
+            return Err(IdaError::DeclaredLengthTooLong {
+                declared: msg_len,
+                capacity: payload_len * k,
+            });
         }
 
         // Invert the k×k Vandermonde system once (Gauss-Jordan), reuse per
@@ -131,9 +215,11 @@ impl Ida {
             .map(|i| (0..k).map(|j| if i == j { Gf256::ONE } else { Gf256::ZERO }).collect())
             .collect();
         for col in 0..k {
+            // Distinct evaluation points make the Vandermonde system
+            // nonsingular, and distinctness was enforced above.
             let pivot = (col..k)
                 .find(|&r| a[r][col] != Gf256::ZERO)
-                .ok_or("singular system (duplicate evaluation points?)")?;
+                .expect("Vandermonde system with distinct points is nonsingular");
             a.swap(col, pivot);
             inv.swap(col, pivot);
             let inv_p = a[col][col].inverse();
@@ -205,15 +291,69 @@ mod tests {
     fn fewer_than_k_fails() {
         let ida = Ida::new(4, 3);
         let shares = ida.disperse(b"hello");
-        assert!(ida.reconstruct(&shares[..2]).is_err());
+        assert_eq!(
+            ida.reconstruct(&shares[..2]),
+            Err(IdaError::NotEnoughShares { needed: 3, got: 2 })
+        );
     }
 
     #[test]
-    fn duplicate_shares_rejected() {
+    fn duplicates_count_once() {
+        // Two copies of one share are one share: still short of k = 2.
         let ida = Ida::new(4, 2);
         let shares = ida.disperse(b"hello");
         let dup = vec![shares[1].clone(), shares[1].clone()];
-        assert!(ida.reconstruct(&dup).is_err());
+        assert_eq!(ida.reconstruct(&dup), Err(IdaError::NotEnoughShares { needed: 2, got: 1 }));
+    }
+
+    #[test]
+    fn duplicates_plus_enough_distinct_shares_recover() {
+        // Harmless duplicates are skipped; the k distinct shares win.
+        let ida = Ida::new(4, 2);
+        let msg = b"hello";
+        let shares = ida.disperse(msg);
+        let noisy =
+            vec![shares[1].clone(), shares[1].clone(), shares[3].clone(), shares[3].clone()];
+        assert_eq!(ida.reconstruct(&noisy).unwrap(), msg);
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected() {
+        let ida = Ida::new(4, 2);
+        let shares = ida.disperse(b"hello");
+        let mut forged = shares[1].clone();
+        let mut bytes = forged.data.to_vec();
+        bytes[8] ^= 0xff;
+        forged.data = Bytes::from(bytes);
+        let conflicted = vec![shares[1].clone(), forged, shares[2].clone()];
+        assert_eq!(ida.reconstruct(&conflicted), Err(IdaError::ConflictingDuplicate { index: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let ida = Ida::new(3, 2);
+        let mut shares = ida.disperse(b"hello");
+        shares[0].index = 7;
+        assert_eq!(ida.reconstruct(&shares), Err(IdaError::IndexOutOfRange { index: 7, width: 3 }));
+    }
+
+    #[test]
+    fn truncated_share_rejected() {
+        let ida = Ida::new(3, 2);
+        let mut shares = ida.disperse(b"hello world");
+        shares[0].data = Bytes::from(shares[0].data[..4].to_vec());
+        assert_eq!(ida.reconstruct(&shares[..2]), Err(IdaError::ShareTooShort { index: 0 }));
+        let mut uneven = ida.disperse(b"hello world");
+        uneven[1].data = Bytes::from(uneven[1].data[..9].to_vec());
+        assert_eq!(ida.reconstruct(&uneven[..2]), Err(IdaError::InconsistentLengths));
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = IdaError::NotEnoughShares { needed: 3, got: 1 };
+        assert_eq!(e.to_string(), "need 3 distinct shares, got 1");
+        let e: Box<dyn std::error::Error> = Box::new(IdaError::ConflictingDuplicate { index: 9 });
+        assert!(e.to_string().contains("index 9"));
     }
 
     #[test]

@@ -1,38 +1,74 @@
 //! Property-based tests for the IDA codec.
 
-use hyperpath_ida::Ida;
+use hyperpath_ida::{Ida, IdaError};
 use proptest::prelude::*;
+
+/// A uniform `k`-subset of `0..w` by seeded partial Fisher–Yates: no
+/// collisions, no fallback — every subset is a *true* k-subset.
+fn k_subset(w: usize, k: usize, mut seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..w).collect();
+    for i in 0..k {
+        // xorshift64 step per draw.
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let j = i + (seed as usize) % (w - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Any k-subset of shares reconstructs any message for any (w, k).
+    /// Any k-subset of shares reconstructs any message for any (w, k):
+    /// the subset is drawn uniformly by Fisher–Yates from a seed, and the
+    /// message length sweeps every group-boundary case `0..=4k+3`.
     #[test]
-    fn reconstruct_from_any_subset(
-        msg in proptest::collection::vec(any::<u8>(), 0..512),
-        w in 1u8..12,
-        k_off in 0u8..12,
-        skip in 0usize..12,
+    fn reconstruct_from_any_k_subset(
+        w in 1u8..=16,
+        k_off in 0u8..16,
+        len_off in 0usize..256,
+        subset_seed in any::<u64>(),
+        byte_seed in any::<u64>(),
     ) {
         let k = 1 + k_off % w;
+        let len = len_off % (4 * usize::from(k) + 4); // 0..=4k+3
+        let msg: Vec<u8> = (0..len)
+            .map(|i| (byte_seed.rotate_left((i % 64) as u32) >> (i % 8)) as u8)
+            .collect();
         let ida = Ida::new(w, k);
         let shares = ida.disperse(&msg);
         prop_assert_eq!(shares.len(), usize::from(w));
-        // Rotate the share list and take the first k.
-        let start = skip % shares.len();
-        let subset: Vec<_> = (0..usize::from(k))
-            .map(|i| shares[(start + i * 7 % shares.len() + i) % shares.len()].clone())
+        let subset: Vec<_> = k_subset(usize::from(w), usize::from(k), subset_seed)
+            .into_iter()
+            .map(|i| shares[i].clone())
             .collect();
-        // Dedup-protect: if index collision happened, fall back to first k.
-        let mut idxs: Vec<u8> = subset.iter().map(|s| s.index).collect();
-        idxs.sort_unstable();
-        idxs.dedup();
-        let subset = if idxs.len() == usize::from(k) {
-            subset
-        } else {
-            shares[..usize::from(k)].to_vec()
-        };
         prop_assert_eq!(ida.reconstruct(&subset).unwrap(), msg);
+    }
+
+    /// Dropping any one share from a k-subset makes reconstruction fail
+    /// with the typed shortage error — never a panic, never a wrong
+    /// message.
+    #[test]
+    fn k_minus_one_shares_report_shortage(
+        w in 2u8..=16,
+        k_off in 0u8..16,
+        subset_seed in any::<u64>(),
+    ) {
+        let k = 2 + k_off % (w - 1); // k >= 2 so k-1 >= 1
+        let ida = Ida::new(w, k);
+        let shares = ida.disperse(b"boundary");
+        let mut subset: Vec<_> = k_subset(usize::from(w), usize::from(k), subset_seed)
+            .into_iter()
+            .map(|i| shares[i].clone())
+            .collect();
+        subset.pop();
+        prop_assert_eq!(
+            ida.reconstruct(&subset),
+            Err(IdaError::NotEnoughShares { needed: usize::from(k), got: usize::from(k) - 1 })
+        );
     }
 
     /// Corrupting one byte of one used share changes the reconstruction

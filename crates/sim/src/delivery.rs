@@ -1,0 +1,401 @@
+//! End-to-end fault-tolerant message delivery: IDA dispersal over the
+//! disjoint paths of a multiple-path embedding, measured on the simulated
+//! machine.
+//!
+//! This is the layer the paper's Sections 1–2 promise but never spell out:
+//! each guest edge's message is split by Rabin's IDA ([`Ida::disperse`])
+//! into `w` shares, share `i` rides path `i` of the edge's width-`w`
+//! bundle through the store-and-forward machine under a [`FaultTimeline`],
+//! and the destination reconstructs ([`Ida::reconstruct`]) once any `k`
+//! shares arrive. A bounded retry pass re-sends the shares that died on
+//! severed links over the bundle's *surviving* paths (several shares may
+//! share one surviving path — edge-disjointness is a bandwidth guarantee,
+//! not a routing restriction), so a single surviving path suffices to
+//! recover the whole message, at the cost of extra rounds.
+//!
+//! Every claim is checked end to end: a message counts as delivered only
+//! if the reconstructed bytes equal the original. The per-flow outcome is
+//! graded — [`EdgeOutcome::Delivered`] (threshold met in the first round),
+//! [`EdgeOutcome::Degraded`] (met only after retries), or
+//! [`EdgeOutcome::Lost`] — and `tests/delivery_conformance.rs` (bench
+//! crate) pins the retry-free delivery rate to the structural
+//! [`surviving_paths`](crate::faults::surviving_paths) bound.
+
+use crate::faults::{FaultSet, FaultTimeline};
+use crate::packet::{FaultReport, Flow, PacketSim};
+use hyperpath_embedding::MultiPathEmbedding;
+use hyperpath_ida::{Ida, Share};
+
+/// Step cap for each simulated round (a stuck round is a workload bug).
+const MAX_STEPS: u64 = 10_000_000;
+
+/// Parameters of one dispersal phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryConfig {
+    /// Reconstruction threshold `k`: any `k` of a bundle's `w` shares
+    /// rebuild the message (clamped per edge into `1..=w`).
+    pub threshold: usize,
+    /// Retry rounds allowed after the initial round (0 disables retries).
+    pub max_retries: u32,
+    /// Message length in bytes per guest edge.
+    pub message_len: usize,
+}
+
+impl DeliveryConfig {
+    /// Threshold `k` with one retry round and 64-byte messages.
+    pub fn with_threshold(threshold: usize) -> Self {
+        DeliveryConfig { threshold, max_retries: 1, message_len: 64 }
+    }
+}
+
+/// What happened to one guest edge's message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOutcome {
+    /// ≥ `k` shares arrived in the initial round; reconstruction verified.
+    Delivered,
+    /// The threshold was met only after `rounds` retry rounds;
+    /// reconstruction verified.
+    Degraded {
+        /// Retry rounds needed (1-based).
+        rounds: u32,
+    },
+    /// Fewer than `k` shares ever arrived (or reconstruction failed).
+    Lost {
+        /// Distinct shares that did arrive.
+        arrived: usize,
+    },
+}
+
+/// Per-guest-edge delivery record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDelivery {
+    /// Guest edge id.
+    pub guest_edge: usize,
+    /// Bundle width `w` (shares dispersed).
+    pub width: usize,
+    /// Effective threshold `k` for this edge.
+    pub threshold: usize,
+    /// Distinct shares that arrived in the initial round.
+    pub first_round_arrivals: usize,
+    /// Final graded outcome.
+    pub outcome: EdgeOutcome,
+}
+
+/// Outcome of one dispersal phase over the whole embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryReport {
+    /// One record per guest edge.
+    pub edges: Vec<EdgeDelivery>,
+    /// Edges whose threshold was met in the initial round.
+    pub delivered: usize,
+    /// Edges recovered only by retries.
+    pub degraded: usize,
+    /// Edges whose message was lost.
+    pub lost: usize,
+    /// Retry rounds actually executed.
+    pub rounds_run: u32,
+    /// Shares re-sent across all retry rounds.
+    pub shares_resent: u64,
+    /// The initial round's machine report (per-flow share outcomes).
+    pub initial: FaultReport,
+}
+
+impl DeliveryReport {
+    /// Whether every guest edge's message was recovered (possibly
+    /// degraded).
+    pub fn all_delivered(&self) -> bool {
+        self.lost == 0
+    }
+
+    /// Messages recovered, degraded or not.
+    pub fn recovered(&self) -> usize {
+        self.delivered + self.degraded
+    }
+}
+
+/// The deterministic per-edge test message (delivery is verified by
+/// comparing reconstructed bytes against this).
+fn message_for_edge(edge: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| (edge.wrapping_mul(131).wrapping_add(j.wrapping_mul(29)) ^ 0x5c) as u8)
+        .collect()
+}
+
+/// Runs one dispersal phase of `e` under `faults` and grades every guest
+/// edge's delivery. Fully deterministic: flows are injected in (guest
+/// edge, share) order and retries are planned in the same order.
+///
+/// # Panics
+/// Panics if any bundle is empty or wider than 255 paths (the IDA share
+/// index is a byte), or if a simulation round exceeds its step cap.
+pub fn deliver_phase(
+    e: &MultiPathEmbedding,
+    faults: &FaultTimeline,
+    cfg: &DeliveryConfig,
+) -> DeliveryReport {
+    let host = e.host;
+    let n_edges = e.edge_paths.len();
+
+    struct EdgeState {
+        threshold: usize,
+        ida: Ida,
+        message: Vec<u8>,
+        shares: Vec<Share>,
+        arrived: Vec<bool>,
+        first_round_arrivals: usize,
+        recovered_in_round: Option<u32>, // 0 = initial round
+    }
+
+    let mut states: Vec<EdgeState> = e
+        .edge_paths
+        .iter()
+        .enumerate()
+        .map(|(eid, bundle)| {
+            let w = bundle.len();
+            assert!(
+                (1..=255).contains(&w),
+                "guest edge {eid}: bundle width {w} outside the IDA share range"
+            );
+            let threshold = cfg.threshold.clamp(1, w);
+            let ida = Ida::new(w as u8, threshold as u8);
+            let message = message_for_edge(eid, cfg.message_len);
+            let shares = ida.disperse(&message);
+            // A zero-length path means source and destination share a host
+            // node: its share "arrives" without touching a link.
+            let arrived: Vec<bool> = bundle.iter().map(|p| p.is_empty()).collect();
+            EdgeState {
+                threshold,
+                ida,
+                message,
+                shares,
+                arrived,
+                first_round_arrivals: 0,
+                recovered_in_round: None,
+            }
+        })
+        .collect();
+
+    // Initial round: share `i` of edge `eid` rides bundle path `i`.
+    let mut sim = PacketSim::new(host);
+    let mut flow_map: Vec<(usize, usize)> = Vec::new();
+    for (eid, bundle) in e.edge_paths.iter().enumerate() {
+        for (i, path) in bundle.iter().enumerate() {
+            if !path.is_empty() {
+                sim.add_flow(Flow { path: path.nodes().to_vec(), packets: 1 });
+                flow_map.push((eid, i));
+            }
+        }
+    }
+    let initial = sim.run_faulty(MAX_STEPS, faults);
+    for (fid, &(eid, i)) in flow_map.iter().enumerate() {
+        if initial.flow_delivered[fid] == 1 {
+            states[eid].arrived[i] = true;
+        }
+    }
+    for st in &mut states {
+        st.first_round_arrivals = st.arrived.iter().filter(|&&a| a).count();
+        if st.first_round_arrivals >= st.threshold {
+            st.recovered_in_round = Some(0);
+        }
+    }
+
+    // Retry rounds run under the post-event fault set: the sender learns
+    // which shares died and re-sends them over the bundle's surviving
+    // paths (round-robin; reusing one surviving path for several shares is
+    // legal — disjointness bounds bandwidth, not reuse).
+    let final_set: FaultSet = faults.final_set(&host);
+    let static_faults = FaultTimeline::from_set(final_set.clone());
+    let mut shares_resent = 0u64;
+    let mut rounds_run = 0u32;
+    for round in 1..=cfg.max_retries {
+        let mut retry = PacketSim::new(host);
+        let mut retry_map: Vec<(usize, usize)> = Vec::new();
+        for (eid, st) in states.iter().enumerate() {
+            if st.recovered_in_round.is_some() {
+                continue;
+            }
+            let bundle = &e.edge_paths[eid];
+            let survivors: Vec<usize> = bundle
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    !p.is_empty() && p.edges().all(|edge| !final_set.is_failed(&host, edge))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if survivors.is_empty() {
+                continue; // nothing left to carry a retry
+            }
+            let missing: Vec<usize> = (0..bundle.len()).filter(|&i| !st.arrived[i]).collect();
+            for (j, &share_i) in missing.iter().enumerate() {
+                let via = survivors[j % survivors.len()];
+                retry.add_flow(Flow { path: bundle[via].nodes().to_vec(), packets: 1 });
+                retry_map.push((eid, share_i));
+            }
+        }
+        if retry_map.is_empty() {
+            break;
+        }
+        rounds_run = round;
+        shares_resent += retry_map.len() as u64;
+        let rr = retry.run_faulty(MAX_STEPS, &static_faults);
+        for (fid, &(eid, i)) in retry_map.iter().enumerate() {
+            if rr.flow_delivered[fid] == 1 {
+                states[eid].arrived[i] = true;
+            }
+        }
+        for st in &mut states {
+            if st.recovered_in_round.is_none()
+                && st.arrived.iter().filter(|&&a| a).count() >= st.threshold
+            {
+                st.recovered_in_round = Some(round);
+            }
+        }
+    }
+
+    // Grade every edge, verifying actual byte-for-byte reconstruction.
+    let mut edges = Vec::with_capacity(n_edges);
+    let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
+    for (eid, st) in states.iter().enumerate() {
+        let arrived_total = st.arrived.iter().filter(|&&a| a).count();
+        let outcome = match st.recovered_in_round {
+            Some(round) => {
+                let subset: Vec<Share> = st
+                    .shares
+                    .iter()
+                    .zip(&st.arrived)
+                    .filter(|(_, &a)| a)
+                    .map(|(s, _)| s.clone())
+                    .take(st.threshold)
+                    .collect();
+                match st.ida.reconstruct(&subset) {
+                    Ok(bytes) if bytes == st.message => {
+                        if round == 0 {
+                            delivered += 1;
+                            EdgeOutcome::Delivered
+                        } else {
+                            degraded += 1;
+                            EdgeOutcome::Degraded { rounds: round }
+                        }
+                    }
+                    // Unreachable with a correct codec; grade honestly
+                    // rather than trusting the share count.
+                    _ => {
+                        lost += 1;
+                        EdgeOutcome::Lost { arrived: arrived_total }
+                    }
+                }
+            }
+            None => {
+                lost += 1;
+                EdgeOutcome::Lost { arrived: arrived_total }
+            }
+        };
+        edges.push(EdgeDelivery {
+            guest_edge: eid,
+            width: e.edge_paths[eid].len(),
+            threshold: st.threshold,
+            first_round_arrivals: st.first_round_arrivals,
+            outcome,
+        });
+    }
+
+    DeliveryReport { edges, delivered, degraded, lost, rounds_run, shares_resent, initial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpath_core::baseline::gray_cycle_embedding;
+    use hyperpath_core::cycles::theorem1;
+
+    fn kill_paths(e: &MultiPathEmbedding, edge: usize, how_many: usize) -> FaultTimeline {
+        let host = e.host;
+        let mut fs = FaultSet::none(&host);
+        for path in e.edge_paths[edge].iter().take(how_many) {
+            let mid = path.edges().next().expect("non-empty path");
+            fs.fail_link(&host, mid);
+        }
+        FaultTimeline::from_set(fs)
+    }
+
+    #[test]
+    fn fault_free_phase_delivers_everything_first_try() {
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 1, message_len: 96 };
+        let r = deliver_phase(&t1.embedding, &FaultTimeline::none(&t1.embedding.host), &cfg);
+        assert!(r.all_delivered());
+        assert_eq!(r.delivered, t1.embedding.edge_paths.len());
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.rounds_run, 0);
+        assert_eq!(r.shares_resent, 0);
+        assert_eq!(r.initial.lost, 0);
+        assert!(r.edges.iter().all(|ed| ed.outcome == EdgeOutcome::Delivered));
+    }
+
+    #[test]
+    fn retry_recovers_a_degraded_edge_over_the_surviving_path() {
+        // Kill 2 of the 3 paths of bundle 0 (n=6 ⇒ w=3, k=2): the first
+        // round delivers only 1 share, the retry round re-sends the two
+        // dead shares over the one surviving path.
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 1, message_len: 64 };
+        let tl = kill_paths(&t1.embedding, 0, 2);
+        let r = deliver_phase(&t1.embedding, &tl, &cfg);
+        let ed = &r.edges[0];
+        assert!(ed.first_round_arrivals < 2, "first round must miss the threshold");
+        assert_eq!(ed.outcome, EdgeOutcome::Degraded { rounds: 1 });
+        assert!(r.degraded >= 1);
+        assert!(r.all_delivered(), "one surviving path recovers the bundle");
+        assert!(r.shares_resent >= 2);
+    }
+
+    #[test]
+    fn without_retries_the_same_fault_loses_the_message() {
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 0, message_len: 64 };
+        let tl = kill_paths(&t1.embedding, 0, 2);
+        let r = deliver_phase(&t1.embedding, &tl, &cfg);
+        assert!(matches!(r.edges[0].outcome, EdgeOutcome::Lost { arrived: 1 }));
+        assert!(!r.all_delivered());
+        assert_eq!(r.rounds_run, 0);
+    }
+
+    #[test]
+    fn severing_every_path_loses_the_edge_even_with_retries() {
+        let t1 = theorem1(6).unwrap();
+        let w = t1.embedding.edge_paths[0].len();
+        let cfg = DeliveryConfig { threshold: 1, max_retries: 3, message_len: 32 };
+        let tl = kill_paths(&t1.embedding, 0, w);
+        let r = deliver_phase(&t1.embedding, &tl, &cfg);
+        assert!(matches!(r.edges[0].outcome, EdgeOutcome::Lost { arrived: 0 }));
+        assert_eq!(r.lost, 1, "only the sabotaged edge is lost");
+    }
+
+    #[test]
+    fn mid_run_cut_can_strand_shares_after_the_phase_started() {
+        // Fail a first-hop link a step into the run: the affected share
+        // is dropped mid-flight, then recovered by the retry pass over a
+        // surviving path of the same bundle.
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let victim = t1.embedding.edge_paths[0][0].edges().next().unwrap();
+        let mut tl = FaultTimeline::none(&host);
+        tl.fail_link_at(0, victim);
+        let cfg = DeliveryConfig { threshold: t1.claimed_width, max_retries: 1, message_len: 64 };
+        let r = deliver_phase(&t1.embedding, &tl, &cfg);
+        assert!(r.all_delivered());
+        // At least the victim's bundle needed the retry round.
+        assert!(r.degraded >= 1);
+    }
+
+    #[test]
+    fn gray_cycle_has_no_redundancy_to_retry_over() {
+        // Width-1 bundles: killing the only path makes retries useless.
+        let gray = gray_cycle_embedding(5);
+        let cfg = DeliveryConfig { threshold: 1, max_retries: 5, message_len: 16 };
+        let tl = kill_paths(&gray, 0, 1);
+        let r = deliver_phase(&gray, &tl, &cfg);
+        assert!(matches!(r.edges[0].outcome, EdgeOutcome::Lost { .. }));
+    }
+}

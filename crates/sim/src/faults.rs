@@ -3,17 +3,32 @@
 //! Multiple-path embeddings tolerate link faults: a width-`w` bundle still
 //! delivers if enough of its `w` edge-disjoint paths avoid the faulty
 //! links; with Rabin's IDA (the `hyperpath-ida` crate) any `k` surviving
-//! paths reconstruct the message. This module provides fault sets, path
-//! survival tests, and Monte-Carlo delivery estimation.
+//! paths reconstruct the message. This module provides:
+//!
+//! * [`FaultSet`] — a static set of severed links (both orientations);
+//! * [`FaultTimeline`] — a fault *schedule*: an initial fault set plus
+//!   links that fail mid-run at given step numbers, consumed by the
+//!   fault-aware simulator engines ([`PacketSim::run_faulty`],
+//!   [`WormholeSim::run_with_faults`]) and the delivery layer
+//!   ([`crate::delivery`]);
+//! * structural analysis — [`surviving_paths`] and the Monte-Carlo
+//!   [`delivery_probability`] estimate, which count fault-free paths
+//!   without routing a packet. The measured counterpart (packets actually
+//!   simulated, shares actually reconstructed) lives in
+//!   [`crate::delivery`]; `tests/delivery_conformance.rs` in the bench
+//!   crate pins the two views against each other.
+//!
+//! [`PacketSim::run_faulty`]: crate::packet::PacketSim::run_faulty
+//! [`WormholeSim::run_with_faults`]: crate::wormhole::WormholeSim::run_with_faults
 
 use hyperpath_embedding::MultiPathEmbedding;
-use hyperpath_topology::Hypercube;
+use hyperpath_topology::{DirEdge, Hypercube};
 use rand::{Rng, RngExt};
 
 /// A set of failed directed links (bitset over directed edge indices).
 /// Faults here are direction-symmetric: killing a link kills both
 /// orientations, modeling a severed physical channel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSet {
     failed: Vec<bool>,
 }
@@ -26,24 +41,105 @@ impl FaultSet {
 
     /// Marks the undirected link carrying `edge` as failed (both
     /// directions).
-    pub fn fail_link(&mut self, host: &Hypercube, edge: hyperpath_topology::DirEdge) {
+    pub fn fail_link(&mut self, host: &Hypercube, edge: DirEdge) {
         self.failed[host.dir_edge_index(edge)] = true;
         self.failed[host.dir_edge_index(edge.reversed())] = true;
     }
 
     /// Whether the directed edge is failed.
-    pub fn is_failed(&self, host: &Hypercube, edge: hyperpath_topology::DirEdge) -> bool {
+    pub fn is_failed(&self, host: &Hypercube, edge: DirEdge) -> bool {
         self.failed[host.dir_edge_index(edge)]
+    }
+
+    /// Whether the directed edge with the given
+    /// [`dir_edge_index`](Hypercube::dir_edge_index) is failed (the form
+    /// the simulator engines use — they work in link indices).
+    #[inline]
+    pub fn is_failed_index(&self, index: usize) -> bool {
+        self.failed[index]
     }
 
     /// Number of failed directed edges.
     pub fn count(&self) -> usize {
         self.failed.iter().filter(|&&b| b).count()
     }
+
+    /// Whether no link is failed.
+    pub fn is_empty(&self) -> bool {
+        !self.failed.iter().any(|&b| b)
+    }
+
+    /// The raw per-directed-edge failure bits, indexed by
+    /// [`dir_edge_index`](Hypercube::dir_edge_index).
+    pub fn bits(&self) -> &[bool] {
+        &self.failed
+    }
+}
+
+/// A fault *schedule*: which links are down from the start, and which fail
+/// mid-run. The fault-aware engines apply the event for step `s` at the
+/// **start** of step `s`, before any packet or flit moves in that step, so
+/// a link failing at step `s` transmits nothing at step `s` or later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTimeline {
+    initial: FaultSet,
+    /// `(step, edge)` failure events, sorted by step.
+    events: Vec<(u64, DirEdge)>,
+}
+
+impl FaultTimeline {
+    /// No faults, ever.
+    pub fn none(host: &Hypercube) -> Self {
+        FaultTimeline { initial: FaultSet::none(host), events: Vec::new() }
+    }
+
+    /// Static faults: `set` is down from before step 0 and nothing else
+    /// ever fails.
+    pub fn from_set(set: FaultSet) -> Self {
+        FaultTimeline { initial: set, events: Vec::new() }
+    }
+
+    /// Schedules the undirected link carrying `edge` to fail at the start
+    /// of `step` (step 0 events are equivalent to initial faults).
+    pub fn fail_link_at(&mut self, step: u64, edge: DirEdge) {
+        let at = self.events.partition_point(|&(s, _)| s <= step);
+        self.events.insert(at, (step, edge));
+    }
+
+    /// The faults present before step 0.
+    pub fn initial(&self) -> &FaultSet {
+        &self.initial
+    }
+
+    /// The scheduled mid-run failures, sorted by step.
+    pub fn events(&self) -> &[(u64, DirEdge)] {
+        &self.events
+    }
+
+    /// Whether the timeline contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty() && self.events.is_empty()
+    }
+
+    /// Whether all faults are present from step 0 (no mid-run events).
+    pub fn is_static(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fault set after every scheduled event has fired — what a retry
+    /// pass launched after the run sees.
+    pub fn final_set(&self, host: &Hypercube) -> FaultSet {
+        let mut set = self.initial.clone();
+        for &(_, edge) in &self.events {
+            set.fail_link(host, edge);
+        }
+        set
+    }
 }
 
 /// Each undirected link fails independently with probability `p`.
 pub fn random_fault_set(host: &Hypercube, p: f64, rng: &mut impl Rng) -> FaultSet {
+    let p = p.clamp(0.0, 1.0);
     let mut fs = FaultSet::none(host);
     for e in host.undirected_edges() {
         if rng.random_bool(p) {
@@ -68,6 +164,14 @@ pub fn surviving_paths(e: &MultiPathEmbedding, faults: &FaultSet) -> Vec<usize> 
 /// sets (per-link failure probability `p`) under which **every** guest edge
 /// keeps at least `k` surviving paths — i.e. a `(w, k)` dispersal scheme
 /// delivers every message of the phase.
+///
+/// This is the *structural* estimate (no packet is routed); the measured
+/// counterpart is [`crate::delivery::deliver_phase`]. `p` is clamped into
+/// `[0, 1]` (out-of-range inputs used to reach the RNG unvalidated).
+///
+/// # Panics
+/// Panics if `trials == 0` — a probability estimated from zero samples is
+/// not a number, and silently returning `NaN` poisoned downstream sweeps.
 pub fn delivery_probability(
     e: &MultiPathEmbedding,
     p: f64,
@@ -77,6 +181,8 @@ pub fn delivery_probability(
 ) -> f64 {
     use rand::SeedableRng;
     use rayon::prelude::*;
+    assert!(trials > 0, "delivery_probability needs at least one trial");
+    let p = p.clamp(0.0, 1.0);
     // One independent seed per trial so the parallel sweep stays
     // deterministic for a given caller RNG state.
     let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
@@ -99,6 +205,7 @@ mod tests {
     use hyperpath_topology::DirEdge;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     #[test]
     fn no_faults_all_survive() {
@@ -109,19 +216,42 @@ mod tests {
     }
 
     #[test]
-    fn single_fault_kills_at_most_one_path_per_bundle() {
+    fn single_link_fault_kills_at_most_one_path_per_undirected_disjoint_bundle() {
+        // Theorem 1 bundles are disjoint on *undirected* links, not merely
+        // on directed edges (verified below) — so although failing a link
+        // kills both orientations, the two orientations can never belong to
+        // two different paths of one bundle, and a single link fault costs
+        // each bundle at most ONE path. (A bundle that were only
+        // direction-disjoint could lose two.)
         let t1 = theorem1(6).unwrap();
         let host = t1.embedding.host;
-        let mut fs = FaultSet::none(&host);
-        fs.fail_link(&host, DirEdge::new(0, 0));
-        let s = surviving_paths(&t1.embedding, &fs);
-        // Edge-disjointness per bundle: one dead link costs each bundle at
-        // most ... both orientations, so at most 2 paths.
-        for (i, &c) in s.iter().enumerate() {
-            assert!(
-                c + 2 >= t1.embedding.edge_paths[i].len(),
-                "bundle {i} lost more than two paths to one link"
-            );
+        let mut used: HashSet<usize> = HashSet::new();
+        for bundle in &t1.embedding.edge_paths {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for path in bundle {
+                for e in path.edges() {
+                    let link = host.dir_edge_index(e.undirected());
+                    assert!(seen.insert(link), "bundle reuses undirected link {e:?}");
+                    used.insert(link);
+                }
+            }
+        }
+        let full: Vec<usize> = t1.embedding.edge_paths.iter().map(|b| b.len()).collect();
+        // Exhaustively fail each used link alone.
+        for &link_idx in &used {
+            let mut fs = FaultSet::none(&host);
+            let edge = host
+                .undirected_edges()
+                .find(|&e| host.dir_edge_index(e) == link_idx)
+                .expect("canonical undirected edge");
+            fs.fail_link(&host, edge);
+            let s = surviving_paths(&t1.embedding, &fs);
+            for (i, (&survivors, &width)) in s.iter().zip(&full).enumerate() {
+                assert!(
+                    survivors + 1 >= width,
+                    "bundle {i} lost more than one path to the single link {edge:?}"
+                );
+            }
         }
     }
 
@@ -151,10 +281,13 @@ mod tests {
         let host = Hypercube::new(4);
         let mut fs = FaultSet::none(&host);
         assert_eq!(fs.count(), 0);
+        assert!(fs.is_empty());
         fs.fail_link(&host, DirEdge::new(3, 1));
         assert_eq!(fs.count(), 2, "both orientations fail");
+        assert!(!fs.is_empty());
         assert!(fs.is_failed(&host, DirEdge::new(3, 1)));
         assert!(fs.is_failed(&host, DirEdge::new(3 ^ 2, 1)));
+        assert!(fs.is_failed_index(host.dir_edge_index(DirEdge::new(3, 1))));
     }
 
     #[test]
@@ -164,5 +297,47 @@ mod tests {
         let lo = random_fault_set(&host, 0.01, &mut rng).count();
         let hi = random_fault_set(&host, 0.2, &mut rng).count();
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn delivery_probability_clamps_p() {
+        let t1 = theorem1(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // p > 1 behaves like p = 1: every link fails, nothing survives.
+        assert_eq!(delivery_probability(&t1.embedding, 7.5, 1, 8, &mut rng), 0.0);
+        // p < 0 behaves like p = 0: nothing fails, everything survives.
+        assert_eq!(delivery_probability(&t1.embedding, -0.25, 1, 8, &mut rng), 1.0);
+        // And random_fault_set itself tolerates out-of-range p.
+        assert_eq!(random_fault_set(&t1.embedding.host, -3.0, &mut rng).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn delivery_probability_rejects_zero_trials() {
+        let t1 = theorem1(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = delivery_probability(&t1.embedding, 0.01, 1, 0, &mut rng);
+    }
+
+    #[test]
+    fn timeline_events_sorted_and_final_set() {
+        let host = Hypercube::new(4);
+        let mut tl = FaultTimeline::none(&host);
+        assert!(tl.is_empty() && tl.is_static());
+        tl.fail_link_at(5, DirEdge::new(0, 1));
+        tl.fail_link_at(2, DirEdge::new(3, 0));
+        tl.fail_link_at(5, DirEdge::new(7, 2));
+        assert!(!tl.is_empty() && !tl.is_static());
+        let steps: Vec<u64> = tl.events().iter().map(|&(s, _)| s).collect();
+        assert_eq!(steps, vec![2, 5, 5], "events stay sorted by step");
+        let fin = tl.final_set(&host);
+        assert_eq!(fin.count(), 6, "three links, both orientations each");
+        assert!(fin.is_failed(&host, DirEdge::new(0, 1)));
+        // Initial faults are carried into the final set too.
+        let mut set = FaultSet::none(&host);
+        set.fail_link(&host, DirEdge::new(1, 3));
+        let tl2 = FaultTimeline::from_set(set.clone());
+        assert!(tl2.is_static() && !tl2.is_empty());
+        assert_eq!(tl2.final_set(&host), set);
     }
 }

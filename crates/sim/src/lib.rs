@@ -15,9 +15,14 @@
 //!   does; blocked heads stall the whole worm.
 //! * [`routing`] — path generators: greedy e-cube, Valiant two-phase
 //!   random-intermediate, and Section 7's CCC-copy split routes.
-//! * [`faults`] — link-fault injection: which bundle paths survive a fault
-//!   set, and Monte-Carlo delivery probabilities for width-`w` embeddings
-//!   with a `(w, k)` dispersal scheme.
+//! * [`faults`] — link-fault injection: static [`FaultSet`]s plus
+//!   [`FaultTimeline`]s of mid-run link failures, which bundle paths
+//!   survive a fault set, and Monte-Carlo delivery probabilities for
+//!   width-`w` embeddings with a `(w, k)` dispersal scheme.
+//! * [`delivery`] — the end-to-end message layer: IDA-disperse each guest
+//!   edge's message over its bundle, run the shares through the faulty
+//!   machine, reconstruct at the destination, retry lost shares over
+//!   surviving paths, and grade every edge delivered/degraded/lost.
 //! * [`trace`] — zero-cost-when-off instrumentation: a [`Recorder`] event
 //!   sink the packet engine reports to, plus percentile summaries of busy
 //!   links, latencies and queue depths ([`PacketSim::run_traced`]).
@@ -25,6 +30,7 @@
 //!   machine model, so a theorem's certified cost can be checked against a
 //!   measured makespan.
 
+pub mod delivery;
 pub mod faults;
 pub mod packet;
 pub mod routing;
@@ -32,9 +38,10 @@ pub mod schedule_exec;
 pub mod trace;
 pub mod wormhole;
 
-pub use faults::{random_fault_set, surviving_paths, FaultSet};
-pub use packet::{Flow, PacketSim, SimReport};
+pub use delivery::{deliver_phase, DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome};
+pub use faults::{random_fault_set, surviving_paths, FaultSet, FaultTimeline};
+pub use packet::{FaultReport, Flow, PacketSim, SimReport};
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
-pub use schedule_exec::run_schedule;
+pub use schedule_exec::{run_schedule, run_schedule_with_faults};
 pub use trace::{NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport};
-pub use wormhole::{Worm, WormReport, WormholeSim};
+pub use wormhole::{FaultWormReport, Worm, WormReport, WormholeSim};

@@ -23,7 +23,15 @@
 //! The production engine additionally reports to a [`Recorder`]
 //! (`sim::trace`); the default [`NopRecorder`] monomorphizes every hook to
 //! nothing, so tracing costs nothing when off.
+//!
+//! The same engine also runs *fault-aware* ([`PacketSim::run_faulty`]): a
+//! [`FaultTimeline`] marks links as severed — from the start or mid-run —
+//! and packets queued at a severed link are dropped instead of
+//! transmitted, reported per flow in a [`FaultReport`]. The fault logic is
+//! a `const`-generic switch on the one engine, so the fault-free path
+//! compiles to exactly the code the equivalence tests pin.
 
+use crate::faults::FaultTimeline;
 use crate::trace::{NopRecorder, Recorder};
 use hyperpath_embedding::MultiPathEmbedding;
 use hyperpath_topology::{DirEdge, Hypercube, Node};
@@ -43,7 +51,8 @@ pub struct Flow {
 /// Simulation outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
-    /// Step after which every packet had arrived.
+    /// Step after which every packet had arrived (or, in a fault-aware
+    /// run, been dropped).
     pub makespan: u64,
     /// Total packets delivered.
     pub delivered: u64,
@@ -53,6 +62,21 @@ pub struct SimReport {
     pub mean_utilization: f64,
     /// Largest per-link queue length observed.
     pub max_queue: usize,
+}
+
+/// Outcome of a fault-aware run ([`PacketSim::run_faulty`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The machine report. `delivered` counts only packets that actually
+    /// arrived; with an empty [`FaultTimeline`] this is bit-identical to
+    /// what [`PacketSim::run`] returns (pinned by `tests/props.rs`).
+    pub report: SimReport,
+    /// Packets dropped on failed links.
+    pub lost: u64,
+    /// Packets of each flow that arrived, indexed by flow id.
+    pub flow_delivered: Vec<u64>,
+    /// Packets of each flow dropped on failed links, indexed by flow id.
+    pub flow_lost: Vec<u64>,
 }
 
 /// The simulator: a hypercube plus a set of flows.
@@ -157,8 +181,66 @@ impl PacketSim {
     /// # Panics
     /// Panics if packets remain undelivered after `max_steps`.
     pub fn run_recorded<R: Recorder>(&self, max_steps: u64, rec: &mut R) -> SimReport {
+        self.engine::<R, false>(max_steps, None, rec).report
+    }
+
+    /// Runs under the given fault timeline: a packet queued at a failed
+    /// link is dropped (the whole queue of a failed link drains as drops
+    /// in one step), reported per flow and via the
+    /// [`Recorder::record_drop`] hook. With an empty timeline the report
+    /// is bit-identical to [`run`](Self::run)'s.
+    ///
+    /// # Panics
+    /// Panics if packets remain in flight after `max_steps`.
+    pub fn run_faulty(&self, max_steps: u64, faults: &FaultTimeline) -> FaultReport {
+        self.run_faulty_recorded(max_steps, faults, &mut NopRecorder)
+    }
+
+    /// [`run_faulty`](Self::run_faulty) with a recorder.
+    ///
+    /// # Panics
+    /// Panics if packets remain in flight after `max_steps`.
+    pub fn run_faulty_recorded<R: Recorder>(
+        &self,
+        max_steps: u64,
+        faults: &FaultTimeline,
+        rec: &mut R,
+    ) -> FaultReport {
+        self.engine::<R, true>(max_steps, Some(faults), rec)
+    }
+
+    /// The one engine behind [`run_recorded`](Self::run_recorded) and
+    /// [`run_faulty_recorded`](Self::run_faulty_recorded). `FAULTY` is a
+    /// compile-time switch: the fault branches below monomorphize away
+    /// entirely on the fault-free path, so the hot loop is exactly the one
+    /// the engine-equivalence property tests pin against `run_reference`.
+    ///
+    /// Fault semantics: the timeline's event for step `s` fires at the
+    /// start of step `s`; during the pop phase a failed link transmits
+    /// nothing and instead drops its entire queue (each drop recorded at
+    /// the current step). Dropped packets count toward neither `busy` nor
+    /// `packet_hops`; `max_queue` still observes the doomed queue's depth.
+    fn engine<R: Recorder, const FAULTY: bool>(
+        &self,
+        max_steps: u64,
+        faults: Option<&FaultTimeline>,
+        rec: &mut R,
+    ) -> FaultReport {
         let num_links = self.host.num_directed_edges() as usize;
         let dims = self.host.dims() as usize;
+
+        // Fault state (compiled out when `FAULTY` is false).
+        let mut failed: Vec<bool> = if FAULTY {
+            faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
+        } else {
+            Vec::new()
+        };
+        let events: &[(u64, DirEdge)] = if FAULTY { faults.unwrap().events() } else { &[] };
+        let mut next_event = 0usize;
+        let mut flow_delivered: Vec<u64> =
+            if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
+        let mut flow_lost: Vec<u64> = if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
+        let mut lost = 0u64;
 
         // Per-flow directed-link sequences, precomputed once into a flat
         // arena (the old engine recomputed XOR + edge index on every hop).
@@ -214,6 +296,9 @@ impl PacketSim {
                 pkt_flow.push(fid as u32);
                 if hops == 0 {
                     rec.record_delivery(fid as u32, 0); // delivered instantly
+                    if FAULTY {
+                        flow_delivered[fid] += 1;
+                    }
                     continue;
                 }
                 let link = hop_links[flow_off[fid] as usize] as usize;
@@ -244,6 +329,15 @@ impl PacketSim {
             if step >= max_steps {
                 panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
             }
+            // Fault events for this step fire before anything moves.
+            if FAULTY {
+                while next_event < events.len() && events[next_event].0 <= step {
+                    let edge = events[next_event].1;
+                    failed[self.host.dir_edge_index(edge)] = true;
+                    failed[self.host.dir_edge_index(edge.reversed())] = true;
+                    next_event += 1;
+                }
+            }
             // Pop phase: one packet per active link; the active list is
             // compacted in place (a link stays active iff still non-empty).
             moved.clear();
@@ -256,6 +350,26 @@ impl PacketSim {
                     max_queue = depth;
                 }
                 rec.record_queue_depth(idx as u32, depth);
+                if FAULTY && failed[idx] {
+                    // A severed link transmits nothing: its whole queue is
+                    // lost this step and the link goes quiet.
+                    let mut pid = q_head[idx];
+                    while pid != NONE {
+                        let f = pkt_flow[pid as usize] as usize;
+                        rec.record_drop(f as u32, step);
+                        flow_lost[f] += 1;
+                        lost += 1;
+                        pending -= 1;
+                        let nx = pkt_next[pid as usize];
+                        pkt_next[pid as usize] = NONE;
+                        pid = nx;
+                    }
+                    q_head[idx] = NONE;
+                    q_tail[idx] = NONE;
+                    q_len[idx] = 0;
+                    in_active[idx] = false;
+                    continue;
+                }
                 let pid = q_head[idx]; // active ⇒ non-empty
                 let next = pkt_next[pid as usize];
                 q_head[idx] = next;
@@ -289,6 +403,9 @@ impl PacketSim {
                 if flow_off[f] + pos >= flow_off[f + 1] {
                     pending -= 1;
                     rec.record_delivery(f as u32, step + 1);
+                    if FAULTY {
+                        flow_delivered[f] += 1;
+                    }
                     continue;
                 }
                 let dest = hop_links[(flow_off[f] + pos) as usize] as usize;
@@ -329,16 +446,21 @@ impl PacketSim {
             touched.clear();
             step += 1;
         }
-        SimReport {
-            makespan: step,
-            delivered: total_injected,
-            packet_hops,
-            mean_utilization: if step == 0 {
-                0.0
-            } else {
-                busy_accum as f64 / (step as f64 * num_links as f64)
+        FaultReport {
+            report: SimReport {
+                makespan: step,
+                delivered: total_injected - lost,
+                packet_hops,
+                mean_utilization: if step == 0 {
+                    0.0
+                } else {
+                    busy_accum as f64 / (step as f64 * num_links as f64)
+                },
+                max_queue,
             },
-            max_queue,
+            lost,
+            flow_delivered,
+            flow_lost,
         }
     }
 
@@ -561,6 +683,66 @@ mod tests {
             let sim = PacketSim::phase_workload(&e, m);
             assert_eq!(sim.run(100_000), sim.run_reference(100_000), "m={m}");
         }
+    }
+
+    #[test]
+    fn initial_fault_drops_every_packet_of_the_flow() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 4 });
+        let mut fs = crate::faults::FaultSet::none(&host);
+        fs.fail_link(&host, hyperpath_topology::DirEdge::new(0, 0));
+        let r = sim.run_faulty(100, &crate::faults::FaultTimeline::from_set(fs));
+        assert_eq!(r.lost, 4);
+        assert_eq!(r.report.delivered, 0);
+        assert_eq!(r.flow_lost, vec![4]);
+        assert_eq!(r.flow_delivered, vec![0]);
+        assert_eq!(r.report.packet_hops, 0, "a severed link transmits nothing");
+        assert_eq!(r.report.makespan, 1, "the whole queue drains as drops in one step");
+    }
+
+    #[test]
+    fn mid_run_fault_splits_a_flow() {
+        // Link (0,1) fails at the start of step 2: exactly two packets of
+        // the five cross before the cut; the remaining three are dropped.
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 5 });
+        let mut tl = crate::faults::FaultTimeline::none(&host);
+        tl.fail_link_at(2, hyperpath_topology::DirEdge::new(0, 0));
+        let r = sim.run_faulty(100, &tl);
+        assert_eq!(r.flow_delivered, vec![2]);
+        assert_eq!(r.flow_lost, vec![3]);
+        assert_eq!(r.report.delivered, 2);
+        assert_eq!(r.lost, 3);
+    }
+
+    #[test]
+    fn fault_downstream_of_first_hop_drops_in_flight_packets() {
+        // The second link of the path is dead from the start: packets
+        // cross hop one, then die queued at the severed second link.
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 3 });
+        let mut fs = crate::faults::FaultSet::none(&host);
+        fs.fail_link(&host, hyperpath_topology::DirEdge::new(1, 1));
+        let r = sim.run_faulty(100, &crate::faults::FaultTimeline::from_set(fs));
+        assert_eq!(r.report.delivered, 0);
+        assert_eq!(r.lost, 3);
+        assert!(r.report.packet_hops > 0, "packets crossed the healthy first hop");
+    }
+
+    #[test]
+    fn empty_timeline_matches_plain_run_exactly() {
+        let e = theorem1(6).unwrap().embedding;
+        let sim = PacketSim::phase_workload(&e, 16);
+        let tl = crate::faults::FaultTimeline::none(&e.host);
+        let fr = sim.run_faulty(100_000, &tl);
+        assert_eq!(fr.report, sim.run(100_000));
+        assert_eq!(fr.lost, 0);
+        assert!(fr.flow_lost.iter().all(|&l| l == 0));
+        let per_flow: u64 = fr.flow_delivered.iter().sum();
+        assert_eq!(per_flow, fr.report.delivered);
     }
 
     #[test]

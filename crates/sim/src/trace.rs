@@ -34,6 +34,11 @@ pub trait Recorder {
     /// One packet of `flow` reached its destination at `step`.
     #[inline]
     fn record_delivery(&mut self, _flow: u32, _step: u64) {}
+
+    /// One packet of `flow` was dropped on a failed link at `step` (only
+    /// the fault-aware engines emit this).
+    #[inline]
+    fn record_drop(&mut self, _flow: u32, _step: u64) {}
 }
 
 /// The do-nothing recorder behind [`PacketSim::run`].
@@ -68,6 +73,8 @@ pub struct FlowTrace {
     pub latency_sum: u64,
     /// Latest delivery latency observed.
     pub max_latency: u64,
+    /// Packets dropped on failed links (0 unless a fault-aware run).
+    pub lost: u64,
 }
 
 impl TraceRecorder {
@@ -103,6 +110,7 @@ impl TraceRecorder {
                     flow: id as u32,
                     injected: f.injected,
                     delivered: f.delivered,
+                    lost: f.lost,
                     mean_latency: if f.delivered == 0 {
                         0.0
                     } else {
@@ -145,6 +153,10 @@ impl Recorder for TraceRecorder {
         f.latency_sum += latency;
         f.max_latency = f.max_latency.max(latency);
         self.delivery_steps.push(latency);
+    }
+
+    fn record_drop(&mut self, flow: u32, _step: u64) {
+        self.flow_mut(flow).lost += 1;
     }
 }
 
@@ -225,6 +237,8 @@ pub struct FlowSummary {
     pub injected: u64,
     /// Packets delivered.
     pub delivered: u64,
+    /// Packets dropped on failed links (0 unless a fault-aware run).
+    pub lost: u64,
     /// Mean delivery latency.
     pub mean_latency: f64,
     /// Worst delivery latency.

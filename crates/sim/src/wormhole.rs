@@ -10,6 +10,7 @@
 //! under contention; wormhole pipelining charges `hops + M` when the path
 //! is clear — the contrast experiment E10 measures.
 
+use crate::faults::FaultTimeline;
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 
 /// One wormhole message.
@@ -28,6 +29,25 @@ pub struct WormReport {
     pub makespan: u64,
     /// Per-worm completion times (tail arrival).
     pub completion: Vec<u64>,
+}
+
+/// Outcome of a fault-aware run ([`WormholeSim::run_with_faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultWormReport {
+    /// The machine report. A killed worm's `completion` entry is the step
+    /// it died; with an empty [`FaultTimeline`] the report is
+    /// bit-identical to [`WormholeSim::run`]'s (pinned by
+    /// `tests/props.rs`).
+    pub report: WormReport,
+    /// Whether each worm was killed by a link fault, indexed by worm id.
+    pub lost: Vec<bool>,
+}
+
+impl FaultWormReport {
+    /// Number of worms killed by faults.
+    pub fn lost_count(&self) -> usize {
+        self.lost.iter().filter(|&&l| l).count()
+    }
 }
 
 /// The wormhole simulator.
@@ -61,9 +81,44 @@ impl WormholeSim {
     /// arbitration. Property tests assert both engines produce identical
     /// [`WormReport`]s.
     pub fn run(&self, max_steps: u64) -> WormReport {
+        self.engine::<false>(max_steps, None).report
+    }
+
+    /// Runs under the given fault timeline. A worm dies the moment a fault
+    /// touches it: either its head tries to enter a severed link, or a
+    /// link it currently holds is severed mid-stream (the cut corrupts the
+    /// flit stream, so the whole message is lost). A killed worm releases
+    /// every link it held — worms blocked behind it may then proceed — and
+    /// its `completion` entry records the step it died. With an empty
+    /// timeline the report is bit-identical to [`run`](Self::run)'s.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_with_faults(&self, max_steps: u64, faults: &FaultTimeline) -> FaultWormReport {
+        self.engine::<true>(max_steps, Some(faults))
+    }
+
+    /// The one engine behind [`run`](Self::run) and
+    /// [`run_with_faults`](Self::run_with_faults); `FAULTY` compiles the
+    /// fault branches out of the plain path entirely.
+    fn engine<const FAULTY: bool>(
+        &self,
+        max_steps: u64,
+        faults: Option<&FaultTimeline>,
+    ) -> FaultWormReport {
         let num_links = self.host.num_directed_edges() as usize;
         // Which worm holds each link (u32::MAX = free).
         let mut holder: Vec<u32> = vec![u32::MAX; num_links];
+
+        // Fault state (compiled out when `FAULTY` is false).
+        let mut failed: Vec<bool> = if FAULTY {
+            faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
+        } else {
+            Vec::new()
+        };
+        let events: &[(u64, DirEdge)] = if FAULTY { faults.unwrap().events() } else { &[] };
+        let mut next_event = 0usize;
+        let mut lost = vec![false; if FAULTY { self.worms.len() } else { 0 }];
 
         // Flat per-worm arenas: link index and head-entry step per hop.
         let mut worm_off: Vec<u32> = Vec::with_capacity(self.worms.len() + 1);
@@ -88,6 +143,37 @@ impl WormholeSim {
 
         let mut step = 0u64;
         while !active.is_empty() {
+            // Fault events for this step fire before anything moves; a
+            // worm holding a newly severed link dies on the spot.
+            if FAULTY {
+                let mut any_killed = false;
+                while next_event < events.len() && events[next_event].0 <= step {
+                    let edge = events[next_event].1;
+                    for idx in
+                        [self.host.dir_edge_index(edge), self.host.dir_edge_index(edge.reversed())]
+                    {
+                        failed[idx] = true;
+                        let wid = holder[idx];
+                        if wid != u32::MAX {
+                            let w = wid as usize;
+                            let off = worm_off[w] as usize;
+                            for h in 0..(worm_off[w + 1] as usize - off) {
+                                let l = worm_links[off + h] as usize;
+                                if holder[l] == wid {
+                                    holder[l] = u32::MAX;
+                                }
+                            }
+                            completion[w] = step;
+                            lost[w] = true;
+                            any_killed = true;
+                        }
+                    }
+                    next_event += 1;
+                }
+                if any_killed {
+                    active.retain(|&wid| !lost[wid as usize]);
+                }
+            }
             // Advance heads / complete worms, lowest id first (arbitration).
             active.retain(|&wid| {
                 let w = wid as usize;
@@ -97,6 +183,19 @@ impl WormholeSim {
                     // Try to advance the head across the next link; heads
                     // that cannot move stall (held links stay held).
                     let idx = worm_links[off + head[w]] as usize;
+                    if FAULTY && failed[idx] {
+                        // The head ran into a severed link: the worm dies,
+                        // releasing everything it held.
+                        for h in 0..head[w] {
+                            let l = worm_links[off + h] as usize;
+                            if holder[l] == wid {
+                                holder[l] = u32::MAX;
+                            }
+                        }
+                        completion[w] = step;
+                        lost[w] = true;
+                        return false;
+                    }
                     if holder[idx] == u32::MAX {
                         holder[idx] = wid;
                         entered[off + head[w]] = step;
@@ -134,7 +233,13 @@ impl WormholeSim {
                 panic!("wormhole simulation did not finish within {max_steps} steps");
             }
         }
-        WormReport { makespan: completion.iter().copied().max().unwrap_or(0), completion }
+        FaultWormReport {
+            report: WormReport {
+                makespan: completion.iter().copied().max().unwrap_or(0),
+                completion,
+            },
+            lost,
+        }
     }
 
     /// The original engine, kept as the executable specification for the
@@ -283,6 +388,51 @@ mod tests {
         sim.add_worm(Worm { path: vec![2], flits: 4 });
         let r = sim.run(10);
         assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn worm_dies_on_severed_link() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 4 });
+        let mut fs = crate::faults::FaultSet::none(&host);
+        fs.fail_link(&host, DirEdge::new(1, 1)); // second hop severed
+        let r = sim.run_with_faults(100, &crate::faults::FaultTimeline::from_set(fs));
+        assert_eq!(r.lost, vec![true]);
+        assert_eq!(r.lost_count(), 1);
+        // The head crosses hop one at step 0, dies entering hop two at
+        // step 1.
+        assert_eq!(r.report.completion[0], 1);
+    }
+
+    #[test]
+    fn mid_stream_cut_kills_holder_and_frees_blocked_worm() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        // Worm 0 holds (0,1) for 50 flits; worm 1 needs that link.
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 50 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 2 });
+        let mut tl = crate::faults::FaultTimeline::none(&host);
+        tl.fail_link_at(3, DirEdge::new(1, 1)); // a link worm 0 holds by step 3
+        let r = sim.run_with_faults(1000, &tl);
+        assert_eq!(r.lost, vec![true, false]);
+        assert_eq!(r.report.completion[0], 3, "killed the step its held link was cut");
+        // Worm 1 then acquires (0,1) and finishes far sooner than worm 0's
+        // 50-flit stream would have allowed.
+        assert!(r.report.completion[1] < 10, "blocked worm freed by the kill");
+    }
+
+    #[test]
+    fn empty_timeline_matches_plain_run_exactly() {
+        let host = Hypercube::new(4);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3, 7], flits: 6 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 3 });
+        sim.add_worm(Worm { path: vec![8], flits: 2 });
+        let tl = crate::faults::FaultTimeline::none(&host);
+        let fr = sim.run_with_faults(10_000, &tl);
+        assert_eq!(fr.report, sim.run(10_000));
+        assert_eq!(fr.lost_count(), 0);
     }
 
     #[test]

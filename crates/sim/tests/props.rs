@@ -8,7 +8,7 @@
 use hyperpath_core::cycles::theorem1;
 use hyperpath_sim::faults::{random_fault_set, surviving_paths};
 use hyperpath_sim::routing::ecube_path;
-use hyperpath_sim::{Flow, PacketSim, Worm, WormholeSim};
+use hyperpath_sim::{FaultTimeline, Flow, PacketSim, Worm, WormholeSim};
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -76,6 +76,39 @@ proptest! {
         prop_assert_eq!(&traced.report, &plain);
         prop_assert_eq!(traced.trace.steps, plain.makespan);
         prop_assert_eq!(traced.trace.latency.count, plain.delivered);
+    }
+
+    /// Fault plumbing is free when unused: running the packet engine with
+    /// an *empty* fault timeline yields a bit-identical `SimReport`, zero
+    /// losses, and one delivery per injected packet.
+    #[test]
+    fn faultless_packet_run_is_bit_identical(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = PacketSim::new(host);
+        for &s in &seeds {
+            sim.add_flow(flow_from_seed(host, s));
+        }
+        let plain = sim.run(1_000_000);
+        let faulty = sim.run_faulty(1_000_000, &FaultTimeline::none(&host));
+        prop_assert_eq!(&faulty.report, &plain);
+        prop_assert_eq!(faulty.lost, 0);
+        prop_assert_eq!(faulty.flow_lost.iter().sum::<u64>(), 0);
+        prop_assert_eq!(faulty.flow_delivered.iter().sum::<u64>(), plain.delivered);
+    }
+
+    /// Same for the wormhole engine: an empty timeline changes nothing and
+    /// marks no worm lost.
+    #[test]
+    fn faultless_wormhole_run_is_bit_identical(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = WormholeSim::new(host);
+        for &s in &seeds {
+            sim.add_worm(worm_from_seed(host, s));
+        }
+        let plain = sim.run(1_000_000);
+        let faulty = sim.run_with_faults(1_000_000, &FaultTimeline::none(&host));
+        prop_assert_eq!(&faulty.report, &plain);
+        prop_assert_eq!(faulty.lost_count(), 0);
     }
 
     /// `surviving_paths` is monotone under fault-set inclusion: failing
