@@ -2,10 +2,26 @@
 //! the one-command regeneration of the paper's entire evaluation.
 //!
 //! `cargo run -p hyperpath-bench --release --bin all_experiments`
+//!
+//! `--json` is forwarded to every child, so one invocation regenerates
+//! every `BENCH_E*.json` artifact (each child writes its own default
+//! path; a `--json PATH` argument is rejected here because fifteen
+//! children cannot share one file).
 
 use std::process::Command;
 
 fn main() {
+    let mut forward: Vec<&str> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => forward.push("--json"),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: all_experiments [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
     let exps = [
         "e1_cycle_speedup",
         "e2_theorem1",
@@ -28,6 +44,7 @@ fn main() {
     for e in exps {
         println!("\n{}\n== {e} ==\n", "=".repeat(78));
         let out = Command::new(dir.join(e))
+            .args(&forward)
             .output()
             .unwrap_or_else(|err| panic!("failed to run {e}: {err}"));
         print!("{}", String::from_utf8_lossy(&out.stdout));

@@ -1,0 +1,154 @@
+//! Perf-regression gate: reruns the perf suite and compares it against a
+//! committed baseline.
+//!
+//! ```text
+//! bench_gate [--baseline <path>] [--time-tolerance <x>] [--out <path>]
+//!            [--tiny] [--bless]
+//! ```
+//!
+//! * `--baseline <path>` — baseline artifact (default
+//!   `crates/bench/baselines/perf_baseline.json`).
+//! * `--time-tolerance <x>` — wall-clock slowdown band (default 25.0;
+//!   `0` disables wall-clock checks). Deterministic counters are always
+//!   compared exactly.
+//! * `--out <path>` — also write the fresh artifact (for CI upload).
+//! * `--tiny` — seconds-scale suite (for smoke runs against a tiny
+//!   baseline; the committed baseline is full-size).
+//! * `--bless` — overwrite the baseline with the fresh run instead of
+//!   comparing.
+//!
+//! Exit codes: `0` pass/blessed, `1` regression found, `2` usage error or
+//! unusable baseline.
+
+use hyperpath_bench::gate::{compare, GateConfig};
+use hyperpath_bench::perf::{run_perf_suite, PerfConfig};
+use hyperpath_bench::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+// Live allocation counters for this binary; see perf_suite.rs for why
+// this is guarded against the library-level feature.
+#[cfg(not(feature = "counting-alloc"))]
+#[global_allocator]
+static COUNTING_ALLOC: hyperpath_bench::CountingAlloc = hyperpath_bench::CountingAlloc;
+
+const USAGE: &str =
+    "usage: bench_gate [--baseline <path>] [--time-tolerance <x>] [--out <path>] [--tiny] [--bless]";
+
+fn default_baseline() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/perf_baseline.json"))
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = default_baseline();
+    let mut cfg = GateConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut perf_cfg = PerfConfig::full();
+    let mut bless = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| -> Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("bench_gate: {flag} needs a value\n{USAGE}");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => match take("--baseline") {
+                Ok(p) => baseline_path = PathBuf::from(p),
+                Err(c) => return c,
+            },
+            "--time-tolerance" => match take("--time-tolerance") {
+                Ok(v) => match v.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => cfg.time_tolerance = t,
+                    _ => {
+                        eprintln!(
+                            "bench_gate: --time-tolerance needs a finite ratio >= 0\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(c) => return c,
+            },
+            "--out" => match take("--out") {
+                Ok(p) => out = Some(PathBuf::from(p)),
+                Err(c) => return c,
+            },
+            "--tiny" => perf_cfg = PerfConfig::tiny(),
+            "--bless" => bless = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    assert!(
+        hyperpath_bench::counting_allocator_installed(),
+        "counting allocator must be live in the gate binary"
+    );
+    eprintln!("bench_gate: running perf suite...");
+    let suite = run_perf_suite(&perf_cfg);
+    let fresh = suite.to_json();
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, fresh.render_pretty()) {
+            eprintln!("bench_gate: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("bench_gate: wrote fresh artifact to {}", path.display());
+    }
+
+    if bless {
+        if let Some(dir) = baseline_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("bench_gate: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, fresh.render_pretty()) {
+            eprintln!("bench_gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("blessed baseline: {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {e}\n(run `bench_gate --bless` to create one)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_gate: baseline {} is not valid JSON: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match compare(&baseline, &fresh, &cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

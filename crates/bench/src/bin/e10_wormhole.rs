@@ -9,7 +9,7 @@
 use hyperpath_bench::experiments::{e10_wormhole, maybe_write_json, parse_cli};
 
 fn main() {
-    let opts = parse_cli(std::env::args().skip(1));
+    let opts = parse_cli(false);
     println!("E10: M-flit permutation routing, wormhole mode (Section 7)");
     println!("Claim: single-path completion grows ~ n·M under contention; splitting each");
     println!("message across the n CCC copies completes in O(M).\n");

@@ -1,11 +1,16 @@
 //! E11 — Section 8.3: three ways to map a large grid relaxation.
+//!
+//! `--json [PATH]` additionally writes the table as a sweep artifact
+//! (`BENCH_E11_GRID_MAPPING.json` by default).
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::grids::grid_embedding;
 use hyperpath_core::large_copy::large_copy_cycle;
 use hyperpath_sim::PacketSim;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E11: Section 8.3 — mapping an M×M grid onto N²=2^(2a) processors");
     println!("Approach 1: point-per-process large-copy; Approach 2: blocked multiple-path;");
     println!("Approach 3: blocked large-copy with log N × more processes.\n");
@@ -45,4 +50,5 @@ fn main() {
     println!("{}", t.render());
     println!("Traffic ratios follow the paper: O(M²) vs O(MN) vs O(MN log N) — the blocked");
     println!("multiple-path mapping minimizes total communication.");
+    maybe_write_json(&tables_output("e11_grid_mapping", &[("mappings", &t)]), &opts);
 }

@@ -14,7 +14,7 @@
 use hyperpath_bench::experiments::{e12_faults, ida_sanity_line, maybe_write_json, parse_cli};
 
 fn main() {
-    let opts = parse_cli(std::env::args().skip(1));
+    let opts = parse_cli(true);
     let trials = opts.trials.unwrap_or(200);
     println!("E12: phase delivery probability under link faults (Monte-Carlo, {trials} trials)");
     println!("Claim (Sections 1-2): w edge-disjoint paths + Rabin IDA tolerate link faults.\n");

@@ -6,11 +6,13 @@
 //! and the speedup grows as w/3 = ⌊a/2⌋/3 = Θ(log N) beyond it — exactly
 //! the paper's Θ(M/N) vs Θ(M/(N log N)) claim, constants included.
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::grids::grid_embedding;
 use hyperpath_sim::PacketSim;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E13: 2-D torus relaxation phase (directed), M/N packets per edge\n");
     let mut t = Table::new(&[
         "a (side 2^a)",
@@ -49,4 +51,5 @@ fn main() {
     println!("{}", t.render());
     println!("Crossover at width 3 (a = 6): below it the classical blocked mapping is");
     println!("competitive — as the paper itself concedes in Section 8.3 for small N.");
+    maybe_write_json(&tables_output("e13_relaxation", &[("relaxation", &t)]), &opts);
 }

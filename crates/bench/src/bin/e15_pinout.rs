@@ -2,12 +2,14 @@
 //! simulating a wide-channel grid with O(1) slowdown, while crushing the
 //! grid on low-diameter (tree) patterns.
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::grids::grid_embedding;
 use hyperpath_core::trees::theorem5;
 use hyperpath_sim::PacketSim;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E15: constant-pinout model — W = 64 pins per node, B = 512 bytes per neighbor.");
     println!("Grid: 4 channels of width W/4 → B/(W/4) steps per phase.");
     println!("Hypercube: 2a channels of width W/(2a) → more packets, but the width-⌊a/2⌋");
@@ -49,4 +51,5 @@ fn main() {
     println!("{}", t.render());
     println!("Grid-phase slowdown stays a small constant as the machine grows (the paper's");
     println!("O(1)-slowdown claim); tree phases beat the grid's Ω(N)-diameter floor badly.");
+    maybe_write_json(&tables_output("e15_pinout", &[("pinout", &t)]), &opts);
 }

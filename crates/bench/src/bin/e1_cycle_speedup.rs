@@ -10,7 +10,7 @@
 use hyperpath_bench::experiments::{e1_cycle_speedup, maybe_write_json, parse_cli};
 
 fn main() {
-    let opts = parse_cli(std::env::args().skip(1));
+    let opts = parse_cli(false);
     println!("E1: m-packet cycle phase, Gray code vs Theorem 1 (Section 2)\n");
     let (table, out) = e1_cycle_speedup(&[6, 8, 10, 12, 14]);
     println!("{}", table.render());

@@ -1,10 +1,15 @@
 //! E3 — Theorem 2: load-2 embeddings and full link utilization.
+//!
+//! `--json [PATH]` additionally writes the table as a sweep artifact
+//! (`BENCH_E3_THEOREM2.json` by default).
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::cycles::{theorem2, Theorem2Variant};
 use hyperpath_embedding::metrics::multi_path_metrics;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E3: Theorem 2 across n and variants (claim table of Section 4.3)\n");
     let mut t = Table::new(&[
         "n",
@@ -42,4 +47,5 @@ fn main() {
     println!("{}", t.render());
     println!("n ≡ 0 (mod 4): utilization 1.0 and exactly 3·|directed links| path-hops —");
     println!("every link busy in every one of the 3 steps, as the paper claims.");
+    maybe_write_json(&tables_output("e3_theorem2", &[("theorem2", &t)]), &opts);
 }

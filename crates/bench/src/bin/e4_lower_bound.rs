@@ -1,10 +1,15 @@
 //! E4 — Lemma 3: the width/cost counting bound, and Theorem 2's optimality.
+//!
+//! `--json [PATH]` additionally writes the table as a sweep artifact
+//! (`BENCH_E4_LOWER_BOUND.json` by default).
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::bounds::{max_width_for_cost3, verify_lemma3_counting};
 use hyperpath_core::cycles::{theorem2, Theorem2Variant};
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E4: Lemma 3 counting bound vs achieved widths (load-2 cycles, cost 3)\n");
     let mut t = Table::new(&["n", "bound ⌊n/2⌋", "counting bound", "achieved (cost-3)", "tight?"]);
     for n in 4..=13u32 {
@@ -22,4 +27,5 @@ fn main() {
     println!("{}", t.render());
     println!("n ≡ 0 (mod 4): achieved = counting bound (optimal). Odd n: the printed counting");
     println!("argument leaves one unit of slack above ⌊n/2⌋ (see bounds.rs docs).");
+    maybe_write_json(&tables_output("e4_lower_bound", &[("lemma3", &t)]), &opts);
 }

@@ -1,10 +1,15 @@
 //! E5 — Corollary 1: multi-dimensional grid/torus embeddings.
+//!
+//! `--json [PATH]` additionally writes the table as a sweep artifact
+//! (`BENCH_E5_GRIDS.json` by default).
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::grids::grid_embedding;
 use hyperpath_embedding::metrics::multi_path_metrics;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E5: Corollary 1 — k-axis tori with sides 2^a (claim: width ⌊a/2⌋, cost 3, expansion ≤ k+1)\n");
     let mut t = Table::new(&[
         "axes (log2 sides)",
@@ -40,4 +45,5 @@ fn main() {
     println!("{}", t.render());
     println!("Directed tori certify cost 3 (the paper's claim); bidirectional phases double it");
     println!("(both directions' first edges contend — measured, see grids.rs docs).");
+    maybe_write_json(&tables_output("e5_grids", &[("grids", &t)]), &opts);
 }

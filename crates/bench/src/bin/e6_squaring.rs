@@ -1,10 +1,15 @@
 //! E6 — Corollary 2: unequal-sided grids via squaring.
+//!
+//! `--json [PATH]` additionally writes the table as a sweep artifact
+//! (`BENCH_E6_SQUARING.json` by default).
 
+use hyperpath_bench::experiments::{maybe_write_json, parse_cli, tables_output};
 use hyperpath_bench::Table;
 use hyperpath_core::grids::squared_grid_embedding;
 use hyperpath_embedding::metrics::multi_path_metrics;
 
 fn main() {
+    let opts = parse_cli(false);
     println!("E6: Corollary 2 — arbitrary-sided grids squared then embedded (claim: O(1) expansion & cost)\n");
     let mut t = Table::new(&[
         "sides",
@@ -35,4 +40,5 @@ fn main() {
         "Squaring dilation 2^folds (O(1) for bounded aspect ratio; the cited Kosaraju–Atallah"
     );
     println!("construction achieves O(1) unconditionally — substitution documented in DESIGN.md).");
+    maybe_write_json(&tables_output("e6_squaring", &[("squaring", &t)]), &opts);
 }

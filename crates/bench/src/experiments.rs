@@ -430,9 +430,22 @@ pub struct CliOpts {
     pub trials: Option<u32>,
 }
 
-/// Parses the experiment-binary command line. Unknown flags abort with a
-/// usage message.
-pub fn parse_cli(args: impl IntoIterator<Item = String>) -> CliOpts {
+/// The usage line for an experiment binary.
+pub fn cli_usage(accepts_trials: bool) -> &'static str {
+    if accepts_trials {
+        "usage: <experiment> [--json [PATH]] [--trials N]"
+    } else {
+        "usage: <experiment> [--json [PATH]]"
+    }
+}
+
+/// Parses an experiment-binary command line. `accepts_trials` is true only
+/// for the Monte-Carlo binaries (E12); everywhere else `--trials` would
+/// silently do nothing, so it is rejected.
+pub fn try_parse_cli(
+    args: impl IntoIterator<Item = String>,
+    accepts_trials: bool,
+) -> Result<CliOpts, String> {
     let mut opts = CliOpts::default();
     let mut it = args.into_iter().peekable();
     while let Some(arg) = it.next() {
@@ -446,18 +459,63 @@ pub fn parse_cli(args: impl IntoIterator<Item = String>) -> CliOpts {
                 };
                 opts.json = Some(path);
             }
-            "--trials" => {
+            "--trials" if accepts_trials => {
                 let n = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .filter(|&n: &u32| n > 0)
-                    .unwrap_or_else(|| panic!("--trials requires a positive integer"));
+                    .ok_or_else(|| "--trials requires a positive integer".to_string())?;
                 opts.trials = Some(n);
             }
-            other => panic!("unknown flag {other:?} (supported: --json [PATH], --trials N)"),
+            "--trials" => {
+                return Err(
+                    "--trials is only meaningful for the Monte-Carlo experiments (e12)".to_string()
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    opts
+    Ok(opts)
+}
+
+/// Parses `std::env::args()` for an experiment binary; on bad usage prints
+/// the error plus a usage line to stderr and exits with status 2.
+pub fn parse_cli(accepts_trials: bool) -> CliOpts {
+    match try_parse_cli(std::env::args().skip(1), accepts_trials) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", cli_usage(accepts_trials));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Re-shapes rendered [`Table`]s into a [`SweepOutput`] so the table-only
+/// experiment binaries (E2-E9, E11, E13-E15) emit `BENCH_*.json` artifacts
+/// through the same [`maybe_write_json`] path as the sweep-shaped ones.
+/// Each table row becomes one record: params identify `{table, row}`, the
+/// result maps column header → rendered cell.
+pub fn tables_output(experiment: &str, tables: &[(&str, &Table)]) -> SweepOutput {
+    let mut records = Vec::new();
+    for (name, table) in tables {
+        for (row_idx, row) in table.rows().iter().enumerate() {
+            let index = records.len();
+            records.push(crate::sweep::SweepRecord {
+                index,
+                params: Json::object([("table", (*name).to_json()), ("row", row_idx.to_json())]),
+                result: Json::Object(
+                    table
+                        .header()
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), c.as_str().to_json()))
+                        .collect(),
+                ),
+            });
+        }
+    }
+    SweepOutput { experiment: experiment.to_string(), master_seed: 0, records }
 }
 
 /// Writes the sweep artifact if `--json` was given; prints where it went.
@@ -480,14 +538,43 @@ mod tests {
 
     #[test]
     fn cli_parses_json_and_trials() {
-        assert_eq!(parse_cli(Vec::new()), CliOpts::default());
-        let o = parse_cli(["--json".to_string()]);
+        assert_eq!(try_parse_cli(Vec::new(), false), Ok(CliOpts::default()));
+        let o = try_parse_cli(["--json".to_string()], false).unwrap();
         assert_eq!(o.json, Some(None));
-        let o = parse_cli(["--json".to_string(), "out.json".to_string()]);
+        let o = try_parse_cli(["--json".to_string(), "out.json".to_string()], false).unwrap();
         assert_eq!(o.json, Some(Some("out.json".into())));
-        let o = parse_cli(["--trials".to_string(), "50".to_string(), "--json".to_string()]);
+        let o =
+            try_parse_cli(["--trials".to_string(), "50".to_string(), "--json".to_string()], true)
+                .unwrap();
         assert_eq!(o.trials, Some(50));
         assert_eq!(o.json, Some(None));
+    }
+
+    #[test]
+    fn cli_rejects_bad_usage_without_panicking() {
+        assert!(try_parse_cli(["--frobnicate".to_string()], false).is_err());
+        assert!(try_parse_cli(["--trials".to_string(), "0".to_string()], true).is_err());
+        assert!(try_parse_cli(["--trials".to_string()], true).is_err());
+        // --trials is meaningless outside the Monte-Carlo binaries.
+        let e = try_parse_cli(["--trials".to_string(), "50".to_string()], false).unwrap_err();
+        assert!(e.contains("only meaningful"), "{e}");
+    }
+
+    #[test]
+    fn tables_flatten_to_sweep_records() {
+        let mut a = Table::new(&["n", "cost"]);
+        a.row(vec!["4".into(), "3".into()]);
+        a.row(vec!["8".into(), "3".into()]);
+        let mut b = Table::new(&["k"]);
+        b.row(vec!["1".into()]);
+        let out = tables_output("e2_theorem1", &[("main", &a), ("extra", &b)]);
+        assert_eq!(out.experiment, "e2_theorem1");
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0].params.get("table"), Some(&Json::Str("main".into())));
+        assert_eq!(out.records[0].result.get("cost"), Some(&Json::Str("3".into())));
+        assert_eq!(out.records[2].params.get("table"), Some(&Json::Str("extra".into())));
+        assert_eq!(out.records[2].params.get("row").and_then(Json::as_u64), Some(0));
+        assert_eq!(out.default_path().to_str(), Some("BENCH_E2_THEOREM1.json"));
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! The bench gate: compares a fresh [`crate::perf`] run against a
+//! committed baseline artifact.
+//!
+//! The measurement model splits every record's metrics in two:
+//!
+//! * **Deterministic counters** must match the baseline **exactly** — any
+//!   drift means the engines now do different work (or a workload seed
+//!   changed), which is precisely what the gate exists to catch.
+//! * **Wall-clock** is compared within a multiplicative tolerance band.
+//!   The default band is deliberately wide (CI machines are noisy); it is
+//!   a catastrophic-slowdown tripwire, not a micro-benchmark. Getting
+//!   *faster* never fails the gate.
+//!
+//! Structural drift — a benchmark missing from the fresh run, a benchmark
+//! the baseline has never seen, a counter key appearing or vanishing — is
+//! also a failure: it means the suite and the baseline no longer describe
+//! the same experiment, and the fix is a deliberate `--bless`.
+
+use crate::json::Json;
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Tunables for a gate run.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Maximum allowed `current.wall_ns / baseline.wall_ns` ratio.
+    /// `<= 0` disables wall-clock checks entirely (counters-only mode).
+    pub time_tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        // Wide on purpose: catches "accidentally quadratic", not jitter.
+        GateConfig { time_tolerance: 25.0 }
+    }
+}
+
+/// One divergence between baseline and current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateIssue {
+    /// Benchmark name (`packet/run/n8`), or `<suite>` for structural issues.
+    pub record: String,
+    /// Metric the issue is about (`queue_pushes`, `wall_ns`, `<record>`…).
+    pub metric: String,
+    /// Baseline-side value, rendered (`-` when absent).
+    pub baseline: String,
+    /// Current-side value, rendered (`-` when absent).
+    pub current: String,
+    /// Human explanation of what went wrong.
+    pub detail: String,
+}
+
+/// Outcome of comparing a fresh run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every divergence found (empty ⇒ gate passes).
+    pub issues: Vec<GateIssue>,
+    /// Benchmarks present in both documents and compared.
+    pub records_checked: usize,
+    /// Counter keys compared exactly.
+    pub counters_checked: usize,
+    /// Wall-clock bands checked.
+    pub time_checks: usize,
+}
+
+impl GateReport {
+    /// True when no divergence was found.
+    pub fn passed(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Readable diff table (or a one-line pass summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            let _ = writeln!(
+                out,
+                "bench gate OK: {} benchmarks, {} exact counters, {} wall-clock bands",
+                self.records_checked, self.counters_checked, self.time_checks
+            );
+            return out;
+        }
+        let mut t = Table::new(&["benchmark", "metric", "baseline", "current", "problem"]);
+        for i in &self.issues {
+            t.row(vec![
+                i.record.clone(),
+                i.metric.clone(),
+                i.baseline.clone(),
+                i.current.clone(),
+                i.detail.clone(),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "bench gate FAILED: {} issue(s) across {} compared benchmark(s)",
+            self.issues.len(),
+            self.records_checked
+        );
+        out.push_str(&t.render());
+        out.push_str("(deterministic counters must match exactly; re-bless with `bench_gate --bless` only for intended changes)\n");
+        out
+    }
+}
+
+/// One decoded benchmark record: (name, counters as (key, value), wall_ns).
+type DecodedRecord = (String, Vec<(String, u64)>, u64);
+
+/// A perf artifact decoded into comparable form.
+struct Doc {
+    /// Decoded records, in document order.
+    records: Vec<DecodedRecord>,
+}
+
+/// Validates a `BENCH_PERF.json` document and extracts its records.
+/// `Err` means the document is unusable (malformed / wrong schema), as
+/// opposed to a usable document that merely diverges.
+fn decode(which: &str, doc: &Json) -> Result<Doc, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{which}: missing integer `schema_version`"))?;
+    if version != crate::perf::SCHEMA_VERSION {
+        return Err(format!(
+            "{which}: schema_version {version} != supported {} (re-bless the baseline)",
+            crate::perf::SCHEMA_VERSION
+        ));
+    }
+    let records = match doc.get("records") {
+        Some(Json::Array(items)) => items,
+        _ => return Err(format!("{which}: missing `records` array")),
+    };
+    let mut out = Vec::with_capacity(records.len());
+    for (i, rec) in records.iter().enumerate() {
+        let name = rec
+            .get("name")
+            .and_then(|j| match j {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{which}: records[{i}] has no string `name`"))?;
+        let counters = match rec.get("counters") {
+            Some(Json::Object(members)) => {
+                let mut cs = Vec::with_capacity(members.len());
+                for (k, v) in members {
+                    let v = v.as_u64().ok_or_else(|| {
+                        format!("{which}: {name}: counter `{k}` is not an unsigned integer")
+                    })?;
+                    cs.push((k.clone(), v));
+                }
+                cs
+            }
+            _ => return Err(format!("{which}: {name}: missing `counters` object")),
+        };
+        let wall_ns = rec
+            .get("wall_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{which}: {name}: missing integer `wall_ns`"))?;
+        if out.iter().any(|(n, _, _)| *n == name) {
+            return Err(format!("{which}: duplicate benchmark `{name}`"));
+        }
+        out.push((name, counters, wall_ns));
+    }
+    Ok(Doc { records: out })
+}
+
+/// Compares `current` against `baseline` under `cfg`.
+///
+/// `Err` = one of the documents is malformed or schema-incompatible
+/// (callers should exit with a distinct code); `Ok` = comparison ran, and
+/// [`GateReport::passed`] says whether it was clean.
+pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<GateReport, String> {
+    let base = decode("baseline", baseline)?;
+    let cur = decode("current", current)?;
+    let mut report = GateReport::default();
+
+    for (name, _, _) in &base.records {
+        if !cur.records.iter().any(|(n, _, _)| n == name) {
+            report.issues.push(GateIssue {
+                record: name.clone(),
+                metric: "<record>".into(),
+                baseline: "present".into(),
+                current: "-".into(),
+                detail: "benchmark missing from fresh run".into(),
+            });
+        }
+    }
+    for (name, counters, wall_ns) in &cur.records {
+        let Some((_, base_counters, base_wall)) = base.records.iter().find(|(n, _, _)| n == name)
+        else {
+            report.issues.push(GateIssue {
+                record: name.clone(),
+                metric: "<record>".into(),
+                baseline: "-".into(),
+                current: "present".into(),
+                detail: "benchmark not in baseline (bless to accept)".into(),
+            });
+            continue;
+        };
+        report.records_checked += 1;
+
+        for (k, bv) in base_counters {
+            match counters.iter().find(|(ck, _)| ck == k) {
+                None => report.issues.push(GateIssue {
+                    record: name.clone(),
+                    metric: k.clone(),
+                    baseline: bv.to_string(),
+                    current: "-".into(),
+                    detail: "counter key missing from fresh run".into(),
+                }),
+                Some((_, cv)) => {
+                    report.counters_checked += 1;
+                    if cv != bv {
+                        let delta = *cv as i128 - *bv as i128;
+                        report.issues.push(GateIssue {
+                            record: name.clone(),
+                            metric: k.clone(),
+                            baseline: bv.to_string(),
+                            current: cv.to_string(),
+                            detail: format!("deterministic counter drifted ({delta:+})"),
+                        });
+                    }
+                }
+            }
+        }
+        for (k, cv) in counters {
+            if !base_counters.iter().any(|(bk, _)| bk == k) {
+                report.issues.push(GateIssue {
+                    record: name.clone(),
+                    metric: k.clone(),
+                    baseline: "-".into(),
+                    current: cv.to_string(),
+                    detail: "counter key not in baseline (bless to accept)".into(),
+                });
+            }
+        }
+
+        if cfg.time_tolerance > 0.0 {
+            report.time_checks += 1;
+            // max(1) so a sub-nanosecond-rounding baseline can't divide by 0.
+            let ratio = *wall_ns as f64 / (*base_wall).max(1) as f64;
+            if ratio > cfg.time_tolerance {
+                report.issues.push(GateIssue {
+                    record: name.clone(),
+                    metric: "wall_ns".into(),
+                    baseline: base_wall.to_string(),
+                    current: wall_ns.to_string(),
+                    detail: format!(
+                        "{ratio:.1}x slower than baseline (tolerance {:.1}x)",
+                        cfg.time_tolerance
+                    ),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+
+    /// Test record literal: (name, counters as (key, value), wall_ns).
+    type RecordSpec<'a> = (&'a str, &'a [(&'a str, u64)], u64);
+
+    fn doc(records: &[RecordSpec<'_>]) -> Json {
+        Json::object([
+            ("schema_version", crate::perf::SCHEMA_VERSION.to_json()),
+            ("suite", "perf_suite".to_json()),
+            (
+                "records",
+                Json::Array(
+                    records
+                        .iter()
+                        .map(|(name, counters, wall)| {
+                            Json::object([
+                                ("name", (*name).to_json()),
+                                (
+                                    "counters",
+                                    Json::Object(
+                                        counters
+                                            .iter()
+                                            .map(|(k, v)| ((*k).to_string(), v.to_json()))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("wall_ns", wall.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(&[("a/b", &[("steps", 7), ("hops", 9)], 1000)]);
+        let r = compare(&d, &d, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.records_checked, 1);
+        assert_eq!(r.counters_checked, 2);
+        assert_eq!(r.time_checks, 1);
+        assert!(r.render().contains("bench gate OK"));
+    }
+
+    #[test]
+    fn counter_drift_fails_exactly() {
+        let base = doc(&[("a/b", &[("steps", 7)], 1000)]);
+        let cur = doc(&[("a/b", &[("steps", 8)], 1000)]);
+        let r = compare(&base, &cur, &GateConfig::default()).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].metric, "steps");
+        assert!(r.issues[0].detail.contains("+1"));
+        assert!(r.render().contains("bench gate FAILED"));
+    }
+
+    #[test]
+    fn wall_clock_band_is_one_sided() {
+        let base = doc(&[("a/b", &[], 1000)]);
+        let fast = doc(&[("a/b", &[], 10)]); // 100x faster: fine
+        let slow = doc(&[("a/b", &[], 3001)]); // 3.001x slower
+        let cfg = GateConfig { time_tolerance: 3.0 };
+        assert!(compare(&base, &fast, &cfg).unwrap().passed());
+        let r = compare(&base, &slow, &cfg).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].metric, "wall_ns");
+        let disabled = GateConfig { time_tolerance: 0.0 };
+        assert!(compare(&base, &slow, &disabled).unwrap().passed());
+    }
+
+    #[test]
+    fn structural_drift_fails() {
+        let base = doc(&[("gone", &[("k", 1)], 10), ("both", &[("k", 1), ("old", 2)], 10)]);
+        let cur = doc(&[("both", &[("k", 1), ("new", 3)], 10), ("added", &[], 10)]);
+        let r = compare(&base, &cur, &GateConfig::default()).unwrap();
+        let metrics: Vec<(&str, &str)> =
+            r.issues.iter().map(|i| (i.record.as_str(), i.metric.as_str())).collect();
+        assert!(metrics.contains(&("gone", "<record>")));
+        assert!(metrics.contains(&("added", "<record>")));
+        assert!(metrics.contains(&("both", "old")), "missing counter key");
+        assert!(metrics.contains(&("both", "new")), "extra counter key");
+        assert_eq!(r.issues.len(), 4);
+    }
+
+    #[test]
+    fn malformed_documents_are_errors_not_failures() {
+        let good = doc(&[("a", &[], 1)]);
+        let no_version = Json::object([("records", Json::Array(vec![]))]);
+        assert!(compare(&no_version, &good, &GateConfig::default()).is_err());
+        let wrong_version =
+            Json::object([("schema_version", 999u64.to_json()), ("records", Json::Array(vec![]))]);
+        assert!(compare(&good, &wrong_version, &GateConfig::default()).is_err());
+        let bad_counter = Json::object([
+            ("schema_version", crate::perf::SCHEMA_VERSION.to_json()),
+            (
+                "records",
+                Json::Array(vec![Json::object([
+                    ("name", "x".to_json()),
+                    ("counters", Json::Object(vec![("k".into(), "oops".to_json())])),
+                    ("wall_ns", 1u64.to_json()),
+                ])]),
+            ),
+        ]);
+        assert!(compare(&good, &bad_counter, &GateConfig::default()).is_err());
+    }
+}

@@ -5,10 +5,14 @@
 //! run).
 
 pub mod experiments;
+pub mod gate;
 pub mod json;
+pub mod measure;
+pub mod perf;
 pub mod sweep;
 pub mod table;
 
 pub use json::{Json, ToJson};
+pub use measure::{counting_allocator_installed, measure_allocs, AllocStats, CountingAlloc};
 pub use sweep::{Sweep, SweepOutput, SweepRecord};
 pub use table::Table;

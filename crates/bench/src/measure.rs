@@ -1,0 +1,173 @@
+//! Measurement core for the perf-regression harness: a counting global
+//! allocator and warmup/median-of-k wall-clock timing.
+//!
+//! The harness separates two kinds of measurement:
+//!
+//! * **Deterministic counters** — allocation calls/bytes and the
+//!   [`CountingRecorder`](hyperpath_sim::CountingRecorder) work counters
+//!   (steps, packet-hops, queue pushes, flit moves). For a fixed workload
+//!   these are pure functions of the code's behavior: identical on every
+//!   machine, every thread count, every run. The bench gate compares them
+//!   **exactly** — any drift is a semantic or allocation-profile change.
+//! * **Wall-clock** — [`median_wall_ns`] medians over `k` timed reps after
+//!   warmup. Machine-dependent by nature, so the gate only applies a
+//!   tolerance band as a catastrophic-regression tripwire.
+//!
+//! [`CountingAlloc`] wraps the system allocator with two relaxed atomic
+//! counters. It is installed as the `#[global_allocator]` by the
+//! `perf_suite` / `bench_gate` binaries and the `alloc_zero` regression
+//! test (each binary/test is its own program, so each installs its own),
+//! or library-wide via the `counting-alloc` feature. Code that reads the
+//! counters must first check [`counting_allocator_installed`] — without
+//! the installation the counters simply never move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `GlobalAlloc` that counts every allocation call and requested byte
+/// before delegating to the system allocator. Deallocation is free (the
+/// harness pins allocation work, not peak memory).
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter
+// updates have no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(feature = "counting-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation counters at one instant, or the difference of two instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Allocation calls (`alloc` + `alloc_zeroed` + `realloc`).
+    pub calls: u64,
+    /// Bytes requested across those calls.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// The process-lifetime counters right now.
+    pub fn now() -> AllocStats {
+        AllocStats {
+            calls: ALLOC_CALLS.load(Ordering::Relaxed),
+            bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter movement since `earlier`.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            calls: self.calls.wrapping_sub(earlier.calls),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Whether [`CountingAlloc`] is this program's global allocator (probes
+/// with a real allocation and checks the counter moved).
+pub fn counting_allocator_installed() -> bool {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let probe: Vec<u8> = std::hint::black_box(Vec::with_capacity(1));
+    drop(probe);
+    ALLOC_CALLS.load(Ordering::Relaxed) != before
+}
+
+/// Runs `f` and returns its result plus the allocations it performed.
+/// Meaningful only when [`counting_allocator_installed`] — otherwise the
+/// stats are zero.
+pub fn measure_allocs<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
+    let before = AllocStats::now();
+    let out = f();
+    let after = AllocStats::now();
+    (out, after.since(&before))
+}
+
+/// Times `f`: `warmup` unmeasured calls, then `reps` measured calls, and
+/// returns the median elapsed nanoseconds (odd `reps` give a true median;
+/// even give the lower of the two central reps).
+///
+/// # Panics
+/// Panics if `reps` is zero.
+pub fn median_wall_ns<R>(warmup: u32, reps: u32, mut f: impl FnMut() -> R) -> u64 {
+    assert!(reps > 0, "median of zero reps");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[(samples.len() - 1) / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_stats_subtract() {
+        let a = AllocStats { calls: 10, bytes: 100 };
+        let b = AllocStats { calls: 4, bytes: 40 };
+        assert_eq!(a.since(&b), AllocStats { calls: 6, bytes: 60 });
+    }
+
+    #[test]
+    fn measure_allocs_returns_closure_result() {
+        let (v, stats) = measure_allocs(|| vec![1u8, 2, 3]);
+        assert_eq!(v, vec![1, 2, 3]);
+        // Without the global allocator installed the stats stay zero; with
+        // it they count at least the Vec. Both are valid here — the strict
+        // assertions live in tests/alloc_zero.rs where the allocator IS
+        // installed.
+        if counting_allocator_installed() {
+            assert!(stats.calls >= 1);
+            assert!(stats.bytes >= 3);
+        } else {
+            assert_eq!(stats, AllocStats::default());
+        }
+    }
+
+    #[test]
+    fn median_wall_ns_returns_a_sane_sample() {
+        let ns = median_wall_ns(1, 5, || std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(ns > 0, "a real computation takes nonzero time");
+        assert!(ns < 1_000_000_000, "and far less than a second");
+    }
+
+    #[test]
+    #[should_panic]
+    fn median_of_zero_reps_panics() {
+        median_wall_ns(0, 0, || ());
+    }
+}

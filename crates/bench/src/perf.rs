@@ -1,0 +1,441 @@
+//! The perf-regression suite: measured workloads over the hot engines.
+//!
+//! Every benchmark produces one [`PerfRecord`] with two kinds of metrics:
+//!
+//! * `counters` — deterministic work measures (sim steps, packet-hops,
+//!   queue pushes, flit moves, allocation calls/bytes, delivery grades).
+//!   All workloads are fixed-seed and single-threaded, so these are
+//!   machine- and thread-count-independent; the bench gate
+//!   ([`crate::gate`]) compares them **exactly**.
+//! * `wall_ns` — warmup/median-of-k wall-clock, compared only within a
+//!   tolerance band.
+//!
+//! Allocation counters are live only when the program's global allocator
+//! is [`CountingAlloc`](crate::measure::CountingAlloc) (the `perf_suite`
+//! and `bench_gate` binaries install it); otherwise they read 0. Each
+//! workload is warmed up once *before* the allocation measurement so lazy
+//! one-time initialization never pollutes the counts.
+//!
+//! The suite is the repo's defense of PR 1's zero-allocation and speedup
+//! claims: `packet/run` vs `packet/run_reference`, `wormhole/run` vs
+//! `wormhole/run_reference`, the fault-aware variants on empty and
+//! non-empty timelines, IDA disperse/reconstruct, `PhaseSchedule::verify`,
+//! and a full `deliver_phase`.
+
+use crate::json::{Json, ToJson};
+use crate::measure::{measure_allocs, median_wall_ns};
+use crate::table::Table;
+use hyperpath_core::ccc_copies::ccc_multi_copy;
+use hyperpath_core::cycles::theorem1;
+use hyperpath_ida::Ida;
+use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
+use hyperpath_sim::faults::random_fault_set;
+use hyperpath_sim::routing::{ecube_path, random_permutation};
+use hyperpath_sim::trace::CountingRecorder;
+use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Version of the `BENCH_PERF.json` schema; bump on layout changes so the
+/// gate refuses to compare incompatible artifacts.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Step cap for every simulated workload (a stuck workload is a bug).
+const SIM_CAP: u64 = 10_000_000;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfRecord {
+    /// Benchmark id, e.g. `packet/run/n8`.
+    pub name: String,
+    /// Deterministic counters in insertion order (compared exactly).
+    pub counters: Vec<(String, u64)>,
+    /// Median wall-clock nanoseconds (compared within tolerance).
+    pub wall_ns: u64,
+}
+
+/// A completed suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfOutput {
+    /// One record per benchmark, in suite order.
+    pub records: Vec<PerfRecord>,
+}
+
+impl PerfOutput {
+    /// The schema-versioned JSON artifact.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", SCHEMA_VERSION.to_json()),
+            ("suite", "perf_suite".to_json()),
+            (
+                "records",
+                Json::Array(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            Json::object([
+                                ("name", r.name.as_str().to_json()),
+                                (
+                                    "counters",
+                                    Json::Object(
+                                        r.counters
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), v.to_json()))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("wall_ns", r.wall_ns.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The artifact with every `wall_ns` dropped — the byte-stable part
+    /// (what the determinism tests compare across runs and thread counts).
+    pub fn deterministic_json(&self) -> Json {
+        let mut j = self.to_json();
+        if let Json::Object(members) = &mut j {
+            if let Some((_, Json::Array(records))) =
+                members.iter_mut().find(|(k, _)| k == "records")
+            {
+                for r in records {
+                    if let Json::Object(fields) = r {
+                        fields.retain(|(k, _)| k != "wall_ns");
+                    }
+                }
+            }
+        }
+        j
+    }
+
+    /// Human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(&["benchmark", "wall (µs)", "key counters"]);
+        for r in &self.records {
+            let head: Vec<String> =
+                r.counters.iter().take(3).map(|(k, v)| format!("{k}={v}")).collect();
+            t.row(vec![
+                r.name.clone(),
+                format!("{:.1}", r.wall_ns as f64 / 1_000.0),
+                head.join("  "),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Suite sizing knobs (the committed baseline uses [`PerfConfig::full`]).
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Hypercube dimensions for the packet-engine workloads.
+    pub packet_ns: Vec<u32>,
+    /// Packets per guest edge in the packet phase workloads.
+    pub packets_per_edge: u64,
+    /// CCC parameters for the wormhole permutation workloads (host is
+    /// `Q_{n + log n}`).
+    pub wormhole_ccc_ns: Vec<u32>,
+    /// Flits per worm.
+    pub worm_flits: u64,
+    /// IDA message length in bytes.
+    pub ida_message_len: usize,
+    /// Unmeasured warmup calls per timing.
+    pub warmup: u32,
+    /// Measured calls per timing (median taken).
+    pub reps: u32,
+}
+
+impl PerfConfig {
+    /// The committed-baseline configuration.
+    pub fn full() -> Self {
+        PerfConfig {
+            packet_ns: vec![6, 8, 10],
+            packets_per_edge: 16,
+            wormhole_ccc_ns: vec![4, 8],
+            worm_flits: 64,
+            ida_message_len: 4096,
+            warmup: 1,
+            reps: 5,
+        }
+    }
+
+    /// A seconds-scale configuration for tests.
+    pub fn tiny() -> Self {
+        PerfConfig {
+            packet_ns: vec![6],
+            packets_per_edge: 4,
+            wormhole_ccc_ns: vec![4],
+            worm_flits: 8,
+            ida_message_len: 256,
+            warmup: 1,
+            reps: 3,
+        }
+    }
+}
+
+/// Per-link fault probability of the non-empty-timeline workloads.
+const FAULT_P: f64 = 0.02;
+/// Master seed for every randomized workload (ChaCha — identical on every
+/// platform and rustc version).
+const PERF_SEED: u64 = 0x9e3779b97f4a7c15;
+
+fn fault_timeline_for(host: &hyperpath_topology::Hypercube, salt: u64) -> FaultTimeline {
+    let mut rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ salt);
+    FaultTimeline::from_set(random_fault_set(host, FAULT_P, &mut rng))
+}
+
+/// Runs the whole suite under `cfg`.
+pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
+    let mut records = Vec::new();
+
+    // --- Packet engine: production vs reference, plain vs fault-aware. ---
+    for &n in &cfg.packet_ns {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let sim = PacketSim::phase_workload(e, cfg.packets_per_edge);
+
+        // Production engine: full counter set + allocation profile.
+        let mut c = CountingRecorder::new();
+        let report = sim.run_recorded(SIM_CAP, &mut c);
+        let (_, allocs) = measure_allocs(|| sim.run(SIM_CAP)); // post-warmup
+        records.push(PerfRecord {
+            name: format!("packet/run/n{n}"),
+            counters: vec![
+                ("steps".into(), c.steps),
+                ("packet_hops".into(), c.busy_total),
+                ("queue_pushes".into(), c.queue_pushes),
+                ("delivered".into(), c.delivered),
+                ("max_queue".into(), report.max_queue as u64),
+                ("alloc_calls".into(), allocs.calls),
+                ("alloc_bytes".into(), allocs.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run(SIM_CAP)),
+        });
+
+        // Reference engine: the specification the production engine must
+        // keep matching — and keep beating on wall-clock.
+        let ref_report = sim.run_reference(SIM_CAP);
+        assert_eq!(ref_report, report, "engines diverged on n={n}");
+        records.push(PerfRecord {
+            name: format!("packet/run_reference/n{n}"),
+            counters: vec![
+                ("steps".into(), ref_report.makespan),
+                ("packet_hops".into(), ref_report.packet_hops),
+                ("delivered".into(), ref_report.delivered),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_reference(SIM_CAP)),
+        });
+
+        // Fault-aware engine, empty timeline: must cost like the plain run.
+        let empty = FaultTimeline::none(&e.host);
+        let fr = sim.run_faulty(SIM_CAP, &empty);
+        let (_, fa) = measure_allocs(|| sim.run_faulty(SIM_CAP, &empty));
+        records.push(PerfRecord {
+            name: format!("packet/run_faulty/empty/n{n}"),
+            counters: vec![
+                ("steps".into(), fr.report.makespan),
+                ("packet_hops".into(), fr.report.packet_hops),
+                ("delivered".into(), fr.report.delivered),
+                ("lost".into(), fr.lost),
+                ("alloc_calls".into(), fa.calls),
+                ("alloc_bytes".into(), fa.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_faulty(SIM_CAP, &empty)),
+        });
+
+        // Fault-aware engine, seeded non-empty timeline.
+        let tl = fault_timeline_for(&e.host, u64::from(n));
+        let fr = sim.run_faulty(SIM_CAP, &tl);
+        records.push(PerfRecord {
+            name: format!("packet/run_faulty/faults/n{n}"),
+            counters: vec![
+                ("steps".into(), fr.report.makespan),
+                ("packet_hops".into(), fr.report.packet_hops),
+                ("delivered".into(), fr.report.delivered),
+                ("lost".into(), fr.lost),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_faulty(SIM_CAP, &tl)),
+        });
+    }
+
+    // --- Wormhole engine: e-cube permutation routing. ---
+    for &n in &cfg.wormhole_ccc_ns {
+        let copies = ccc_multi_copy(n).expect("Theorem 3");
+        let host = copies.multi_copy.host;
+        let mut rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 32));
+        let perm = random_permutation(&host, &mut rng);
+        let mut sim = WormholeSim::new(host);
+        for (src, &dst) in perm.iter().enumerate() {
+            let src = src as u64;
+            if src != dst {
+                sim.add_worm(Worm { path: ecube_path(src, dst), flits: cfg.worm_flits });
+            }
+        }
+
+        let mut c = CountingRecorder::new();
+        let report = sim.run_recorded(SIM_CAP, &mut c);
+        let (_, allocs) = measure_allocs(|| sim.run(SIM_CAP));
+        records.push(PerfRecord {
+            name: format!("wormhole/run/ccc{n}"),
+            counters: vec![
+                ("steps".into(), c.steps),
+                ("head_advances".into(), c.busy_total),
+                ("flit_moves".into(), c.flit_moves),
+                ("delivered".into(), c.delivered),
+                ("makespan".into(), report.makespan),
+                ("alloc_calls".into(), allocs.calls),
+                ("alloc_bytes".into(), allocs.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run(SIM_CAP)),
+        });
+
+        let ref_report = sim.run_reference(SIM_CAP);
+        assert_eq!(ref_report, report, "wormhole engines diverged on ccc{n}");
+        records.push(PerfRecord {
+            name: format!("wormhole/run_reference/ccc{n}"),
+            counters: vec![("makespan".into(), ref_report.makespan)],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_reference(SIM_CAP)),
+        });
+
+        let empty = FaultTimeline::none(&host);
+        let fr = sim.run_with_faults(SIM_CAP, &empty);
+        records.push(PerfRecord {
+            name: format!("wormhole/run_with_faults/empty/ccc{n}"),
+            counters: vec![
+                ("makespan".into(), fr.report.makespan),
+                ("lost".into(), fr.lost_count() as u64),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_with_faults(SIM_CAP, &empty)),
+        });
+
+        let tl = fault_timeline_for(&host, u64::from(n) << 8);
+        let fr = sim.run_with_faults(SIM_CAP, &tl);
+        records.push(PerfRecord {
+            name: format!("wormhole/run_with_faults/faults/ccc{n}"),
+            counters: vec![
+                ("makespan".into(), fr.report.makespan),
+                ("lost".into(), fr.lost_count() as u64),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_with_faults(SIM_CAP, &tl)),
+        });
+    }
+
+    // --- IDA: disperse + reconstruct. ---
+    {
+        let ida = Ida::new(8, 4);
+        let msg: Vec<u8> = (0..cfg.ida_message_len).map(|i| (i * 131 % 251) as u8).collect();
+        let shares = ida.disperse(&msg);
+        let (_, da) = measure_allocs(|| ida.disperse(&msg));
+        records.push(PerfRecord {
+            name: "ida/disperse/w8k4".into(),
+            counters: vec![
+                ("message_bytes".into(), msg.len() as u64),
+                ("shares".into(), shares.len() as u64),
+                ("share_bytes".into(), shares[0].data.len() as u64),
+                ("alloc_calls".into(), da.calls),
+                ("alloc_bytes".into(), da.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || ida.disperse(&msg)),
+        });
+        let subset = &shares[4..];
+        let rec = ida.reconstruct(subset).expect("any 4 shares reconstruct");
+        assert_eq!(rec, msg, "IDA round-trip corrupted the message");
+        records.push(PerfRecord {
+            name: "ida/reconstruct/w8k4".into(),
+            counters: vec![
+                ("message_bytes".into(), rec.len() as u64),
+                ("shares_used".into(), subset.len() as u64),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || ida.reconstruct(subset).unwrap()),
+        });
+    }
+
+    // --- Schedule verification (the certificate checker itself). ---
+    for &n in &cfg.packet_ns {
+        let t1 = theorem1(n).expect("theorem 1");
+        t1.schedule.verify(&t1.embedding).expect("certified schedule verifies");
+        let hops: u64 = t1.schedule.transmissions.iter().map(|t| t.hop_starts.len() as u64).sum();
+        records.push(PerfRecord {
+            name: format!("schedule/verify/n{n}"),
+            counters: vec![
+                ("transmissions".into(), t1.schedule.transmissions.len() as u64),
+                ("hops".into(), hops),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || {
+                t1.schedule.verify(&t1.embedding).unwrap()
+            }),
+        });
+    }
+
+    // --- Full delivery pipeline: IDA + faulty machine + retries. ---
+    {
+        let n = *cfg.packet_ns.last().expect("non-empty packet grid");
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let tl = fault_timeline_for(&e.host, 0xde11);
+        let k_half = t1.claimed_width.div_ceil(2);
+        let dcfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 64 };
+        let r = deliver_phase(e, &tl, &dcfg);
+        records.push(PerfRecord {
+            name: format!("delivery/deliver_phase/n{n}"),
+            counters: vec![
+                ("edges".into(), r.edges.len() as u64),
+                ("delivered".into(), r.delivered as u64),
+                ("degraded".into(), r.degraded as u64),
+                ("lost".into(), r.lost as u64),
+                ("rounds_run".into(), u64::from(r.rounds_run)),
+                ("shares_resent".into(), r.shares_resent),
+                ("initial_makespan".into(), r.initial.report.makespan),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || deliver_phase(e, &tl, &dcfg)),
+        });
+    }
+
+    PerfOutput { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_covers_every_engine_and_is_deterministic() {
+        let cfg = PerfConfig::tiny();
+        let a = run_perf_suite(&cfg);
+        let b = run_perf_suite(&cfg);
+        assert_eq!(
+            a.deterministic_json().render_pretty(),
+            b.deterministic_json().render_pretty(),
+            "counters must be run-to-run identical"
+        );
+        let names: Vec<&str> = a.records.iter().map(|r| r.name.as_str()).collect();
+        for prefix in [
+            "packet/run/",
+            "packet/run_reference/",
+            "packet/run_faulty/empty/",
+            "packet/run_faulty/faults/",
+            "wormhole/run/",
+            "wormhole/run_reference/",
+            "wormhole/run_with_faults/empty/",
+            "wormhole/run_with_faults/faults/",
+            "ida/disperse/",
+            "ida/reconstruct/",
+            "schedule/verify/",
+            "delivery/deliver_phase/",
+        ] {
+            assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
+        }
+    }
+
+    #[test]
+    fn artifact_is_schema_versioned_and_parses_back() {
+        let out = run_perf_suite(&PerfConfig::tiny());
+        let j = out.to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        let reparsed = Json::parse(&j.render_pretty()).unwrap();
+        assert_eq!(reparsed, j);
+        assert!(out.render_table().contains("wall (µs)"));
+    }
+}

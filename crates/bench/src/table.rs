@@ -19,6 +19,16 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();

@@ -1,0 +1,100 @@
+//! Regression proof of the zero-allocation claim: once the engines'
+//! preallocated state is built, the step loops of `PacketSim::run` and
+//! `WormholeSim::run` perform **no** heap allocation.
+//!
+//! Integration tests are their own binaries, so installing the counting
+//! global allocator here affects only this test program. The guard
+//! recorder snapshots the allocation counters at every `record_step`
+//! (end of each simulated step) into a preallocated buffer — pushing
+//! within capacity does not itself allocate — and the test asserts every
+//! step-to-step delta is exactly zero, in calls and in bytes.
+
+use hyperpath_bench::{counting_allocator_installed, AllocStats};
+use hyperpath_core::ccc_copies::ccc_multi_copy;
+use hyperpath_core::cycles::theorem1;
+use hyperpath_sim::routing::{ecube_path, random_permutation};
+use hyperpath_sim::trace::Recorder;
+use hyperpath_sim::{PacketSim, Worm, WormholeSim};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[global_allocator]
+static COUNTING_ALLOC: hyperpath_bench::CountingAlloc = hyperpath_bench::CountingAlloc;
+
+/// Records an allocation-counter snapshot at the end of every step.
+struct StepAllocGuard {
+    snaps: Vec<AllocStats>,
+}
+
+impl StepAllocGuard {
+    fn with_capacity(cap: usize) -> Self {
+        StepAllocGuard { snaps: Vec::with_capacity(cap) }
+    }
+
+    /// Asserts ≥ `min_steps` steps ran and that no step allocated.
+    fn assert_alloc_free(&self, engine: &str, min_steps: usize) {
+        assert!(
+            self.snaps.len() < self.snaps.capacity(),
+            "{engine}: snapshot buffer overflowed — it would have allocated"
+        );
+        assert!(
+            self.snaps.len() >= min_steps,
+            "{engine}: only {} steps recorded, wanted >= {min_steps}",
+            self.snaps.len()
+        );
+        for (i, w) in self.snaps.windows(2).enumerate() {
+            let d = w[1].since(&w[0]);
+            assert_eq!(
+                (d.calls, d.bytes),
+                (0, 0),
+                "{engine}: step {} allocated {} time(s) / {} byte(s)",
+                i + 1,
+                d.calls,
+                d.bytes
+            );
+        }
+    }
+}
+
+impl Recorder for StepAllocGuard {
+    fn record_step(&mut self, _step: u64, _busy_links: u64) {
+        if self.snaps.len() < self.snaps.capacity() {
+            self.snaps.push(AllocStats::now());
+        }
+    }
+}
+
+#[test]
+fn counting_allocator_is_live_in_this_test_binary() {
+    assert!(counting_allocator_installed());
+}
+
+#[test]
+fn packet_step_loop_is_allocation_free() {
+    let t1 = theorem1(8).expect("theorem 1");
+    let sim = PacketSim::phase_workload(&t1.embedding, 8);
+    sim.run(100_000); // warmup: one-time lazy setup out of the way
+    let mut guard = StepAllocGuard::with_capacity(100_000);
+    let report = sim.run_recorded(100_000, &mut guard);
+    assert!(report.delivered > 0, "workload must actually route packets");
+    guard.assert_alloc_free("PacketSim::run", 5);
+}
+
+#[test]
+fn wormhole_step_loop_is_allocation_free() {
+    let copies = ccc_multi_copy(4).expect("Theorem 3");
+    let host = copies.multi_copy.host;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut sim = WormholeSim::new(host);
+    for (src, &dst) in random_permutation(&host, &mut rng).iter().enumerate() {
+        let src = src as u64;
+        if src != dst {
+            sim.add_worm(Worm { path: ecube_path(src, dst), flits: 16 });
+        }
+    }
+    sim.run(100_000); // warmup
+    let mut guard = StepAllocGuard::with_capacity(100_000);
+    let report = sim.run_recorded(100_000, &mut guard);
+    assert!(report.makespan > 0, "workload must actually route worms");
+    guard.assert_alloc_free("WormholeSim::run", 20);
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `bench_gate` binary: bless → re-gate round
+//! trip on a temp dir, counter-tamper detection, wall-clock tolerance
+//! bands, and the exit-code contract (0 pass, 1 regression, 2 unusable
+//! baseline/usage). Comparison-level cases (missing/extra records and
+//! keys, malformed documents) are unit-tested in `src/gate.rs`.
+
+use hyperpath_bench::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Fresh scratch directory under the target-adjacent temp root.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hyperpath_gate_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_gate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate")).args(args).output().expect("spawn bench_gate")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("bench_gate terminated by signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn bless_tiny(baseline: &Path) {
+    let out = run_gate(&["--tiny", "--bless", "--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "bless failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(baseline.exists(), "bless must write the baseline file");
+}
+
+#[test]
+fn bless_then_regate_round_trip_passes() {
+    let dir = scratch("round_trip");
+    let baseline = dir.join("base.json");
+    bless_tiny(&baseline);
+
+    // Counters are deterministic and the default 25x band absorbs wall
+    // jitter, so a fresh run against the just-blessed baseline is clean.
+    let fresh = dir.join("fresh.json");
+    let out = run_gate(&[
+        "--tiny",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--out",
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "gate: {}{}", stdout(&out), String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("bench gate OK"));
+    // The --out artifact is uploadable, parseable, and schema-tagged.
+    let artifact = Json::parse(&std::fs::read_to_string(&fresh).unwrap()).unwrap();
+    assert_eq!(
+        artifact.get("schema_version").and_then(Json::as_u64),
+        Some(hyperpath_bench::perf::SCHEMA_VERSION)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_counter_fails_with_diff_table() {
+    let dir = scratch("tamper");
+    let baseline = dir.join("base.json");
+    bless_tiny(&baseline);
+
+    // Bump one deterministic counter by 1 — must be caught exactly.
+    let mut doc = Json::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+    let tampered_key = {
+        let Json::Object(top) = &mut doc else { panic!("document is an object") };
+        let (_, records) = top.iter_mut().find(|(k, _)| k == "records").unwrap();
+        let Json::Array(records) = records else { panic!("records is an array") };
+        let Json::Object(fields) = &mut records[0] else { panic!("record is an object") };
+        let (_, counters) = fields.iter_mut().find(|(k, _)| k == "counters").unwrap();
+        let Json::Object(cs) = counters else { panic!("counters is an object") };
+        let (key, v) = &mut cs[0];
+        let Json::UInt(u) = v else { panic!("counter is a uint") };
+        *u += 1;
+        key.clone()
+    };
+    std::fs::write(&baseline, doc.render_pretty()).unwrap();
+
+    let out = run_gate(&["--tiny", "--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "tampered counter must fail the gate");
+    let text = stdout(&out);
+    assert!(text.contains("bench gate FAILED"), "no failure banner:\n{text}");
+    assert!(text.contains(&tampered_key), "diff table must name the counter:\n{text}");
+    assert!(text.contains("drifted"), "diff table must explain the drift:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wall_clock_tolerance_band_is_enforced_and_configurable() {
+    let dir = scratch("wall");
+    let baseline = dir.join("base.json");
+    bless_tiny(&baseline);
+
+    // An absurdly tight band trips on any rerun (ratio ~1 > 1e-6)...
+    let out = run_gate(&[
+        "--tiny",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--time-tolerance",
+        "0.000001",
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(stdout(&out).contains("wall_ns"));
+
+    // ...while `0` disables wall-clock checks entirely (counters-only).
+    let out =
+        run_gate(&["--tiny", "--baseline", baseline.to_str().unwrap(), "--time-tolerance", "0"]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_baselines_and_bad_usage_exit_2() {
+    let dir = scratch("unusable");
+
+    let missing = dir.join("nope.json");
+    let out = run_gate(&["--tiny", "--baseline", missing.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "missing baseline is exit 2");
+
+    let malformed = dir.join("broken.json");
+    std::fs::write(&malformed, "{\"schema_version\": 1, \"records\": [").unwrap();
+    let out = run_gate(&["--tiny", "--baseline", malformed.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "malformed baseline is exit 2");
+
+    let wrong_schema = dir.join("schema.json");
+    std::fs::write(&wrong_schema, "{\"schema_version\": 999, \"records\": []}").unwrap();
+    let out = run_gate(&["--tiny", "--baseline", wrong_schema.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "incompatible schema is exit 2");
+
+    let out = run_gate(&["--frobnicate"]);
+    assert_eq!(code(&out), 2, "unknown flag is exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,5 +43,7 @@ pub use faults::{random_fault_set, surviving_paths, FaultSet, FaultTimeline};
 pub use packet::{FaultReport, Flow, PacketSim, SimReport};
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
 pub use schedule_exec::{run_schedule, run_schedule_with_faults};
-pub use trace::{NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport};
+pub use trace::{
+    CountingRecorder, NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport,
+};
 pub use wormhole::{FaultWormReport, Worm, WormReport, WormholeSim};

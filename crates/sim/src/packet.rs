@@ -270,7 +270,10 @@ impl PacketSim {
         let mut q_head: Vec<u32> = vec![NONE; num_links];
         let mut q_tail: Vec<u32> = vec![NONE; num_links];
         let mut q_len: Vec<u32> = vec![0; num_links];
-        let mut active: Vec<u32> = Vec::new(); // link indices with waiters
+        // `in_active` guards duplicates, so `active` can never hold more
+        // than one entry per link: full capacity up front keeps the step
+        // loop allocation-free (pinned by `bench/tests/alloc_zero.rs`).
+        let mut active: Vec<u32> = Vec::with_capacity(num_links);
         let mut in_active = vec![false; num_links];
 
         let push_back = |link: usize,
@@ -303,6 +306,7 @@ impl PacketSim {
                 }
                 let link = hop_links[flow_off[fid] as usize] as usize;
                 push_back(link, pid, &mut q_head, &mut q_tail, &mut pkt_next);
+                rec.record_queue_push(link as u32, 1);
                 q_len[link] += 1;
                 if !in_active[link] {
                     in_active[link] = true;
@@ -313,8 +317,11 @@ impl PacketSim {
         }
 
         // Reusable step buffers — nothing below allocates inside the loop.
-        let mut moved: Vec<u32> = Vec::with_capacity(active.len());
-        let mut touched: Vec<u32> = Vec::new();
+        // `moved` holds at most one packet per link per step and `touched`
+        // at most one entry per destination link, so `num_links` capacity
+        // is the hard ceiling for both: the loop never grows a Vec.
+        let mut moved: Vec<u32> = Vec::with_capacity(num_links);
+        let mut touched: Vec<u32> = Vec::with_capacity(num_links);
         // Per-destination-link staging buckets: at most one packet arrives
         // per incoming link of the destination's tail node, so `dims` slots
         // per link suffice.
@@ -436,6 +443,7 @@ impl PacketSim {
                         &mut pkt_next,
                     );
                 }
+                rec.record_queue_push(dest as u32, len as u64);
                 q_len[dest] += len as u32;
                 stage_len[dest] = 0;
                 if !in_active[dest] {

@@ -39,12 +39,89 @@ pub trait Recorder {
     /// the fault-aware engines emit this).
     #[inline]
     fn record_drop(&mut self, _flow: u32, _step: u64) {}
+
+    /// `count` packets entered the FIFO of `link` (injection and every
+    /// re-queue after a hop both count — this is the engine's total queue
+    /// work, one of the deterministic counters the perf gate pins).
+    #[inline]
+    fn record_queue_push(&mut self, _link: u32, _count: u64) {}
+
+    /// `count` flits crossed links (the wormhole engine reports a worm's
+    /// `hops x flits` total when its tail arrives; worms killed by faults
+    /// report nothing).
+    #[inline]
+    fn record_flit_moves(&mut self, _count: u64) {}
 }
 
 /// The do-nothing recorder behind [`PacketSim::run`].
 pub struct NopRecorder;
 
 impl Recorder for NopRecorder {}
+
+/// Accumulates the deterministic work counters of one run and nothing
+/// else: no per-event storage, no allocation, just eight integers. These
+/// are the machine-independent quantities the perf-regression gate
+/// compares exactly (`crates/bench`): for a fixed workload every counter
+/// is a pure function of the simulated machine's semantics, so any change
+/// is a behavioral change, not noise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingRecorder {
+    /// Steps simulated (`record_step` calls).
+    pub steps: u64,
+    /// Total busy-link observations — for the packet engine this equals
+    /// `SimReport::packet_hops`.
+    pub busy_total: u64,
+    /// Packets pushed into link FIFOs (injections + re-queues).
+    pub queue_pushes: u64,
+    /// Sum of queue depths observed at service time.
+    pub queue_depth_sum: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets (or worms) delivered.
+    pub delivered: u64,
+    /// Packets (or worms) dropped on failed links.
+    pub dropped: u64,
+    /// Flits moved across links (wormhole runs only).
+    pub flit_moves: u64,
+}
+
+impl CountingRecorder {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        CountingRecorder::default()
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn record_step(&mut self, _step: u64, busy_links: u64) {
+        self.steps += 1;
+        self.busy_total += busy_links;
+    }
+
+    fn record_queue_depth(&mut self, _link: u32, depth: usize) {
+        self.queue_depth_sum += depth as u64;
+    }
+
+    fn record_injection(&mut self, _flow: u32, packets: u64, _step: u64) {
+        self.injected += packets;
+    }
+
+    fn record_delivery(&mut self, _flow: u32, _step: u64) {
+        self.delivered += 1;
+    }
+
+    fn record_drop(&mut self, _flow: u32, _step: u64) {
+        self.dropped += 1;
+    }
+
+    fn record_queue_push(&mut self, _link: u32, count: u64) {
+        self.queue_pushes += count;
+    }
+
+    fn record_flit_moves(&mut self, count: u64) {
+        self.flit_moves += count;
+    }
+}
 
 /// Collects the full event stream of one run.
 #[derive(Debug, Default)]
@@ -315,6 +392,41 @@ mod tests {
         let report = sim.run_recorded(1_000, &mut rec);
         assert_eq!(rec.busy_per_step.iter().sum::<u64>(), report.packet_hops);
         assert_eq!(rec.busy_per_step.len() as u64, report.makespan);
+    }
+
+    #[test]
+    fn counting_recorder_ties_out_with_the_report() {
+        let e = theorem1(6).unwrap().embedding;
+        let sim = crate::packet::PacketSim::phase_workload(&e, 16);
+        let mut c = CountingRecorder::new();
+        let report = sim.run_recorded(100_000, &mut c);
+        assert_eq!(c.steps, report.makespan);
+        assert_eq!(c.busy_total, report.packet_hops);
+        assert_eq!(c.delivered, report.delivered);
+        assert_eq!(c.injected, report.delivered);
+        assert_eq!(c.dropped, 0);
+        assert_eq!(c.flit_moves, 0, "packet runs move no flits");
+        // Every packet is pushed once per hop it crosses: the first push at
+        // injection, then one re-queue per intermediate arrival.
+        assert_eq!(c.queue_pushes, report.packet_hops);
+    }
+
+    #[test]
+    fn counting_recorder_counts_wormhole_work() {
+        use crate::wormhole::{Worm, WormholeSim};
+        let host = Hypercube::new(4);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3, 7], flits: 6 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 3 });
+        sim.add_worm(Worm { path: vec![8], flits: 2 });
+        let mut c = CountingRecorder::new();
+        let report = sim.run_recorded(10_000, &mut c);
+        assert_eq!(report, sim.run(10_000), "recording must not change the run");
+        assert_eq!(c.steps, report.makespan);
+        assert_eq!(c.injected, 3);
+        assert_eq!(c.delivered, 3);
+        assert_eq!(c.flit_moves, 3 * 6 + 2 * 3, "hops x flits per delivered worm");
+        assert_eq!(c.busy_total, 3 + 2, "every hop advances a head exactly once");
     }
 
     #[test]

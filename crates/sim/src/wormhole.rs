@@ -11,6 +11,7 @@
 //! is clear — the contrast experiment E10 measures.
 
 use crate::faults::FaultTimeline;
+use crate::trace::{NopRecorder, Recorder};
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 
 /// One wormhole message.
@@ -81,7 +82,20 @@ impl WormholeSim {
     /// arbitration. Property tests assert both engines produce identical
     /// [`WormReport`]s.
     pub fn run(&self, max_steps: u64) -> WormReport {
-        self.engine::<false>(max_steps, None).report
+        self.run_recorded(max_steps, &mut NopRecorder)
+    }
+
+    /// [`run`](Self::run) reporting events to `rec`: one
+    /// [`Recorder::record_step`] per step with the number of head advances,
+    /// a [`Recorder::record_delivery`] plus `hops x flits`
+    /// [`Recorder::record_flit_moves`] when a worm's tail arrives. The
+    /// report is bit-identical to the unrecorded run's; the default
+    /// [`NopRecorder`] monomorphizes every hook away.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_recorded<R: Recorder>(&self, max_steps: u64, rec: &mut R) -> WormReport {
+        self.engine::<R, false>(max_steps, None, rec).report
     }
 
     /// Runs under the given fault timeline. A worm dies the moment a fault
@@ -95,16 +109,31 @@ impl WormholeSim {
     /// # Panics
     /// Panics if worms remain in flight after `max_steps`.
     pub fn run_with_faults(&self, max_steps: u64, faults: &FaultTimeline) -> FaultWormReport {
-        self.engine::<true>(max_steps, Some(faults))
+        self.run_with_faults_recorded(max_steps, faults, &mut NopRecorder)
+    }
+
+    /// [`run_with_faults`](Self::run_with_faults) with a recorder; killed
+    /// worms emit [`Recorder::record_drop`] instead of a delivery.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_with_faults_recorded<R: Recorder>(
+        &self,
+        max_steps: u64,
+        faults: &FaultTimeline,
+        rec: &mut R,
+    ) -> FaultWormReport {
+        self.engine::<R, true>(max_steps, Some(faults), rec)
     }
 
     /// The one engine behind [`run`](Self::run) and
     /// [`run_with_faults`](Self::run_with_faults); `FAULTY` compiles the
     /// fault branches out of the plain path entirely.
-    fn engine<const FAULTY: bool>(
+    fn engine<R: Recorder, const FAULTY: bool>(
         &self,
         max_steps: u64,
         faults: Option<&FaultTimeline>,
+        rec: &mut R,
     ) -> FaultWormReport {
         let num_links = self.host.num_directed_edges() as usize;
         // Which worm holds each link (u32::MAX = free).
@@ -137,9 +166,15 @@ impl WormholeSim {
 
         // Zero-hop worms complete instantly; the rest start active, in id
         // order (the list only ever compacts, so it stays id-sorted).
-        let mut active: Vec<u32> = (0..self.worms.len() as u32)
-            .filter(|&wid| worm_off[wid as usize + 1] > worm_off[wid as usize])
-            .collect();
+        let mut active: Vec<u32> = Vec::with_capacity(self.worms.len());
+        for wid in 0..self.worms.len() as u32 {
+            rec.record_injection(wid, 1, 0);
+            if worm_off[wid as usize + 1] > worm_off[wid as usize] {
+                active.push(wid);
+            } else {
+                rec.record_delivery(wid, 0);
+            }
+        }
 
         let mut step = 0u64;
         while !active.is_empty() {
@@ -166,6 +201,7 @@ impl WormholeSim {
                             completion[w] = step;
                             lost[w] = true;
                             any_killed = true;
+                            rec.record_drop(wid, step);
                         }
                     }
                     next_event += 1;
@@ -175,6 +211,7 @@ impl WormholeSim {
                 }
             }
             // Advance heads / complete worms, lowest id first (arbitration).
+            let mut advanced = 0u64;
             active.retain(|&wid| {
                 let w = wid as usize;
                 let off = worm_off[w] as usize;
@@ -194,12 +231,14 @@ impl WormholeSim {
                         }
                         completion[w] = step;
                         lost[w] = true;
+                        rec.record_drop(wid, step);
                         return false;
                     }
                     if holder[idx] == u32::MAX {
                         holder[idx] = wid;
                         entered[off + head[w]] = step;
                         head[w] += 1;
+                        advanced += 1;
                     }
                     true
                 } else {
@@ -211,6 +250,8 @@ impl WormholeSim {
                             holder[worm_links[off + h] as usize] = u32::MAX;
                         }
                         completion[w] = release;
+                        rec.record_delivery(wid, release);
+                        rec.record_flit_moves(hops as u64 * self.worms[w].flits);
                         false
                     } else {
                         true
@@ -228,6 +269,7 @@ impl WormholeSim {
                     }
                 }
             }
+            rec.record_step(step, advanced);
             step += 1;
             if step > max_steps && !active.is_empty() {
                 panic!("wormhole simulation did not finish within {max_steps} steps");
