@@ -92,6 +92,21 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Tuples of strategies are strategies over tuples (as upstream).
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
 /// Full-domain strategy returned by [`any`].
 pub struct Any<T>(core::marker::PhantomData<T>);
 
@@ -278,6 +293,15 @@ mod tests {
         fn collections_sized(v in collection::vec(any::<u8>(), 0..17), s in collection::btree_set(0u32..100, 1..9)) {
             prop_assert!(v.len() < 17);
             prop_assert!(!s.is_empty() && s.len() < 9);
+        }
+
+        /// Tuple strategies compose with collections.
+        #[test]
+        fn tuples_sample_componentwise(pairs in collection::vec((0u64..8, 10u32..20), 1..6)) {
+            for (a, b) in pairs {
+                prop_assert!(a < 8);
+                prop_assert!((10..20).contains(&b));
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 //!
 //! `--json` is forwarded to every child, so one invocation regenerates
 //! every `BENCH_E*.json` artifact (each child writes its own default
-//! path; a `--json PATH` argument is rejected here because fifteen
+//! path; a `--json PATH` argument is rejected here because sixteen
 //! children cannot share one file).
 
 use std::process::Command;
@@ -38,6 +38,7 @@ fn main() {
         "e13_relaxation",
         "e14_large_copy",
         "e15_pinout",
+        "e16_adaptive",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

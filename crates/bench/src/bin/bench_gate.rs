@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench_gate [--baseline <path>] [--time-tolerance <x>] [--out <path>]
-//!            [--tiny] [--bless]
+//!            [--tiny] [--bless] [--bless-append]
 //! ```
 //!
 //! * `--baseline <path>` — baseline artifact (default
@@ -16,11 +16,14 @@
 //!   baseline; the committed baseline is full-size).
 //! * `--bless` — overwrite the baseline with the fresh run instead of
 //!   comparing.
+//! * `--bless-append` — append only the benchmarks the baseline has never
+//!   seen; existing records keep their blessed values byte-for-byte, so
+//!   the baseline diff shows additions only. Use when the suite grows.
 //!
 //! Exit codes: `0` pass/blessed, `1` regression found, `2` usage error or
 //! unusable baseline.
 
-use hyperpath_bench::gate::{compare, GateConfig};
+use hyperpath_bench::gate::{append_new_records, compare, GateConfig};
 use hyperpath_bench::perf::{run_perf_suite, PerfConfig};
 use hyperpath_bench::Json;
 use std::path::PathBuf;
@@ -32,8 +35,7 @@ use std::process::ExitCode;
 #[global_allocator]
 static COUNTING_ALLOC: hyperpath_bench::CountingAlloc = hyperpath_bench::CountingAlloc;
 
-const USAGE: &str =
-    "usage: bench_gate [--baseline <path>] [--time-tolerance <x>] [--out <path>] [--tiny] [--bless]";
+const USAGE: &str = "usage: bench_gate [--baseline <path>] [--time-tolerance <x>] [--out <path>] [--tiny] [--bless] [--bless-append]";
 
 fn default_baseline() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/perf_baseline.json"))
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut perf_cfg = PerfConfig::full();
     let mut bless = false;
+    let mut bless_append = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +80,7 @@ fn main() -> ExitCode {
             },
             "--tiny" => perf_cfg = PerfConfig::tiny(),
             "--bless" => bless = true,
+            "--bless-append" => bless_append = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -129,13 +133,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let baseline = match Json::parse(&text) {
+    let mut baseline = match Json::parse(&text) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("bench_gate: baseline {} is not valid JSON: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
     };
+
+    if bless_append {
+        let added = match append_new_records(&mut baseline, &fresh) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render_pretty()) {
+            eprintln!("bench_gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        if added.is_empty() {
+            println!("blessed baseline unchanged: no new benchmarks");
+        } else {
+            println!("appended {} new benchmark(s) to {}:", added.len(), baseline_path.display());
+            for name in added {
+                println!("  + {name}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     match compare(&baseline, &fresh, &cfg) {
         Ok(report) => {

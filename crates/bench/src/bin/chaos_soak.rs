@@ -1,0 +1,150 @@
+//! Chaos/soak harness binary: seed-pinned randomized fault plans through
+//! both engines and both delivery protocols, under invariant checks.
+//!
+//! ```text
+//! chaos_soak [--seed S] [--trials N] [--dims N] [--json [PATH]]
+//! ```
+//!
+//! Defaults: the CI smoke preset (`--seed 42 --trials 16 --dims 6`).
+//! `--json` writes the full report (`CHAOS_SOAK.json` by default). The
+//! report is a pure function of the flags — identical bytes across runs
+//! and thread counts — so CI can diff two runs to prove it. Exits 1 if
+//! any invariant was violated, so the smoke job fails loudly.
+
+use hyperpath_bench::json::{Json, ToJson};
+use hyperpath_sim::chaos::{run_chaos, ChaosConfig, ChaosReport};
+
+fn report_to_json(r: &ChaosReport) -> Json {
+    Json::object([
+        ("suite", "chaos_soak".to_json()),
+        (
+            "config",
+            Json::object([
+                ("seed", r.config.seed.to_json()),
+                ("trials", r.config.trials.to_json()),
+                ("dims", r.config.dims.to_json()),
+                ("message_len", r.config.message_len.to_json()),
+                ("max_retries", r.config.max_retries.to_json()),
+            ]),
+        ),
+        ("violations", r.violations.to_json()),
+        ("dominance_violations", r.dominance_violations.to_json()),
+        ("ok", r.ok().to_json()),
+        (
+            "trials",
+            Json::Array(
+                r.trials
+                    .iter()
+                    .map(|t| {
+                        Json::object([
+                            ("trial", t.trial.to_json()),
+                            ("static_fail_stop", t.static_fail_stop.to_json()),
+                            ("initial_faults", t.initial_faults.to_json()),
+                            ("events", t.events.to_json()),
+                            ("corrupting_links", t.corrupting_links.to_json()),
+                            ("packet_delivered", t.packet_delivered.to_json()),
+                            ("packet_lost", t.packet_lost.to_json()),
+                            ("packet_corrupted", t.packet_corrupted.to_json()),
+                            ("worm_lost", t.worm_lost.to_json()),
+                            ("worm_corrupted", t.worm_corrupted.to_json()),
+                            ("oracle_recovered", t.oracle_recovered.to_json()),
+                            ("oracle_lost", t.oracle_lost.to_json()),
+                            ("adaptive_recovered", t.adaptive_recovered.to_json()),
+                            ("adaptive_lost", t.adaptive_lost.to_json()),
+                            ("adaptive_rejected", t.adaptive_rejected.to_json()),
+                            ("dominance_violation", t.dominance_violation.to_json()),
+                            (
+                                "violations",
+                                Json::Array(
+                                    t.violations.iter().map(|v| v.as_str().to_json()).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_soak [--seed S] [--trials N] [--dims N] [--json [PATH]]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ChaosConfig::smoke(42);
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let parse_num = |it: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
+        it.next().and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse_num(&mut args),
+            "--trials" => cfg.trials = parse_num(&mut args) as usize,
+            "--dims" => cfg.dims = parse_num(&mut args) as u32,
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(p) if !p.starts_with("--") => {
+                        std::path::PathBuf::from(args.next().unwrap())
+                    }
+                    _ => std::path::PathBuf::from("CHAOS_SOAK.json"),
+                });
+            }
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "chaos_soak: {} trials on Q_{}, seed {} (even trials static fail-stop, odd dynamic)",
+        cfg.trials, cfg.dims, cfg.seed
+    );
+    let report = run_chaos(&cfg);
+    for t in &report.trials {
+        println!(
+            "  trial {:3} [{}]: faults={} events={} corrupting={} | packets {}d/{}l/{}c | \
+             worms {}l/{}c | oracle {}r/{}l | adaptive {}r/{}l ({} rejected){}{}",
+            t.trial,
+            if t.static_fail_stop { "static " } else { "dynamic" },
+            t.initial_faults,
+            t.events,
+            t.corrupting_links,
+            t.packet_delivered,
+            t.packet_lost,
+            t.packet_corrupted,
+            t.worm_lost,
+            t.worm_corrupted,
+            t.oracle_recovered,
+            t.oracle_lost,
+            t.adaptive_recovered,
+            t.adaptive_lost,
+            t.adaptive_rejected,
+            if t.dominance_violation { " [adaptive beat oracle]" } else { "" },
+            if t.violations.is_empty() { "" } else { " VIOLATIONS" },
+        );
+        for v in &t.violations {
+            println!("    !! {v}");
+        }
+    }
+    println!(
+        "\n{} trials, {} invariant violations, {} informational dominance inversions",
+        report.trials.len(),
+        report.violations,
+        report.dominance_violations
+    );
+
+    if let Some(path) = json_path {
+        let rendered = report_to_json(&report).render_pretty();
+        std::fs::write(&path, rendered).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!("report written to {}", path.display());
+    }
+
+    if !report.ok() {
+        eprintln!("chaos_soak: invariant violations detected");
+        std::process::exit(1);
+    }
+}

@@ -16,8 +16,10 @@ use hyperpath_core::cycles::theorem1;
 use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
 use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
 use hyperpath_ida::Ida;
-use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
+use hyperpath_sim::chaos::random_plan;
+use hyperpath_sim::delivery::{deliver_phase, deliver_phase_plan, DeliveryConfig};
 use hyperpath_sim::faults::{random_fault_set, surviving_paths};
+use hyperpath_sim::protocol::{deliver_adaptive, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
 
@@ -332,6 +334,134 @@ pub fn ida_sanity_line() -> String {
         msg.len(),
         shares[0].data.len()
     )
+}
+
+// ---------------------------------------------------------------------------
+// E16 — oracle-free adaptive delivery vs the omniscient oracle.
+// ---------------------------------------------------------------------------
+
+/// One E16 grid point: host dimension and adversary regime.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePoint {
+    /// Hypercube dimension.
+    pub n: u32,
+    /// `true` → static fail-stop plans (cuts only); `false` → the full
+    /// dynamic adversary (outages, bursts, node storms, corruption).
+    pub static_plans: bool,
+}
+
+impl ToJson for AdaptivePoint {
+    fn to_json(&self) -> Json {
+        Json::object([("n", self.n.to_json()), ("static_plans", self.static_plans.to_json())])
+    }
+}
+
+/// The default E16 grid: both adversary regimes per dimension.
+pub fn e16_grid(ns: &[u32]) -> Vec<AdaptivePoint> {
+    ns.iter().flat_map(|&n| [true, false].map(|s| AdaptivePoint { n, static_plans: s })).collect()
+}
+
+/// E16: the oracle-free adaptive protocol ([`deliver_adaptive`]) against
+/// the omniscient oracle pipeline ([`deliver_phase_plan`]), both run
+/// against the *same* randomized [`FaultPlan`](hyperpath_sim::FaultPlan)
+/// draw per trial.
+///
+/// The oracle's retry planner reads the fault plan's hazard set directly;
+/// the adaptive sender sees only per-round ACK/NACK feedback on keyed
+/// tagged shares. Against a **static fail-stop** adversary the oracle's
+/// knowledge buys nothing — `equal_outcomes` must be 1.0, pinned by
+/// `tests/adaptive_conformance.rs`. Against the **dynamic** adversary the
+/// two legitimately diverge (the oracle writes off briefly-down links
+/// permanently; the adaptive sender re-probes them).
+pub fn e16_adaptive(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
+    e16_adaptive_with_threads(ns, trials, master_seed, None)
+}
+
+/// [`e16_adaptive`] with a pinned worker count (the determinism tests run
+/// the same sweep on 1 and 4 workers and require byte-identical JSON).
+pub fn e16_adaptive_with_threads(
+    ns: &[u32],
+    trials: u32,
+    master_seed: u64,
+    threads: Option<usize>,
+) -> (Table, SweepOutput) {
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use rayon::prelude::*;
+
+    let mut sweep = Sweep::new("e16_adaptive", master_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let out = sweep.run(e16_grid(ns), move |p, rng| {
+        let t1 = theorem1(p.n).expect("theorem 1");
+        let e = &t1.embedding;
+        let k_half = t1.claimed_width.div_ceil(2);
+        let dcfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 32 };
+        // One seed per trial drawn serially from the point's stream (the
+        // byte-stability across worker counts rests on this).
+        let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
+        let per_trial: Vec<[u64; 6]> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut trial_rng = ChaCha8Rng::seed_from_u64(seed);
+                let plan = random_plan(&e.host, p.static_plans, &mut trial_rng);
+                let key: u64 = trial_rng.random();
+                let oracle = deliver_phase_plan(e, &plan, &dcfg);
+                let adaptive = deliver_adaptive(e, &dcfg, key, &mut PlanNetwork::new(e, &plan));
+                [
+                    u64::from(oracle.all_delivered()),
+                    u64::from(adaptive.all_delivered()),
+                    u64::from(
+                        (adaptive.delivered, adaptive.degraded, adaptive.lost)
+                            == (oracle.delivered, oracle.degraded, oracle.lost),
+                    ),
+                    adaptive.rejected_shares,
+                    adaptive.shares_resent,
+                    adaptive.wrong_reconstructions,
+                ]
+            })
+            .collect();
+        let totals = per_trial.iter().fold([0u64; 6], |mut acc, t| {
+            for (a, &v) in acc.iter_mut().zip(t) {
+                *a += v;
+            }
+            acc
+        });
+        let frac = |ok: u64| ok as f64 / f64::from(trials);
+        Json::object([
+            ("trials", trials.to_json()),
+            ("oracle_ok", frac(totals[0]).to_json()),
+            ("adaptive_ok", frac(totals[1]).to_json()),
+            ("equal_outcomes", frac(totals[2]).to_json()),
+            ("rejected_shares", totals[3].to_json()),
+            ("shares_resent", totals[4].to_json()),
+            ("wrong_reconstructions", totals[5].to_json()),
+        ])
+    });
+    let mut t = Table::new(&[
+        "n",
+        "adversary",
+        "oracle ok",
+        "adaptive ok",
+        "equal outcomes",
+        "rejected",
+        "wrong bytes",
+    ]);
+    for rec in &out.records {
+        let is_static =
+            rec.params.get("static_plans").and_then(Json::as_bool).expect("record field");
+        t.row(vec![
+            fetch(&rec.params, "n").to_string(),
+            if is_static { "static fail-stop" } else { "dynamic" }.to_string(),
+            format!("{:.3}", fetch_f(&rec.result, "oracle_ok")),
+            format!("{:.3}", fetch_f(&rec.result, "adaptive_ok")),
+            format!("{:.3}", fetch_f(&rec.result, "equal_outcomes")),
+            fetch(&rec.result, "rejected_shares").to_string(),
+            fetch(&rec.result, "wrong_reconstructions").to_string(),
+        ]);
+    }
+    (t, out)
 }
 
 // ---------------------------------------------------------------------------

@@ -255,6 +255,39 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
     Ok(report)
 }
 
+/// Merges a fresh run into a baseline for `bench_gate --bless-append`:
+/// every fresh record whose name the baseline has never seen is appended
+/// (in fresh-run order); records already present are left **untouched** —
+/// their counters and wall-clock are not refreshed, so re-rendering the
+/// document reproduces the old records byte-for-byte and a diff of the
+/// blessed file shows additions only.
+///
+/// Returns the names appended. `Err` means one of the documents is
+/// malformed or schema-incompatible (same contract as [`compare`]).
+pub fn append_new_records(baseline: &mut Json, fresh: &Json) -> Result<Vec<String>, String> {
+    let base = decode("baseline", baseline)?;
+    decode("current", fresh)?;
+    let fresh_records = match fresh.get("records") {
+        Some(Json::Array(items)) => items,
+        _ => unreachable!("decode validated the records array"),
+    };
+    let mut appended = Vec::new();
+    let mut to_add = Vec::new();
+    for rec in fresh_records {
+        let name = rec.get("name").and_then(Json::as_str).expect("decode validated names");
+        if !base.records.iter().any(|(n, _, _)| n == name) {
+            appended.push(name.to_string());
+            to_add.push(rec.clone());
+        }
+    }
+    if let Json::Object(members) = baseline {
+        if let Some((_, Json::Array(records))) = members.iter_mut().find(|(k, _)| k == "records") {
+            records.extend(to_add);
+        }
+    }
+    Ok(appended)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +374,59 @@ mod tests {
         assert!(metrics.contains(&("both", "old")), "missing counter key");
         assert!(metrics.contains(&("both", "new")), "extra counter key");
         assert_eq!(r.issues.len(), 4);
+    }
+
+    #[test]
+    fn bless_append_adds_only_new_records_and_preserves_old_bytes() {
+        let mut baseline = doc(&[("old/a", &[("steps", 7)], 1000), ("old/b", &[], 50)]);
+        let original_bytes = baseline.render_pretty();
+        // The fresh run re-measures old records (different wall, drifted
+        // counter) and adds two new ones.
+        let fresh = doc(&[
+            ("old/a", &[("steps", 999)], 1),
+            ("new/x", &[("k", 3)], 20),
+            ("old/b", &[], 2),
+            ("new/y", &[], 30),
+        ]);
+        let added = append_new_records(&mut baseline, &fresh).unwrap();
+        assert_eq!(added, vec!["new/x".to_string(), "new/y".to_string()]);
+        let merged = baseline.render_pretty();
+        // Additions only: the old document is a literal prefix-preserving
+        // subset — every original line survives verbatim.
+        for line in original_bytes.lines() {
+            if !line.trim_start().starts_with(['}', ']']) {
+                assert!(merged.contains(line), "lost baseline line {line:?}");
+            }
+        }
+        // Old records keep their blessed values, not the fresh ones.
+        let steps = baseline
+            .get("records")
+            .and_then(|r| match r {
+                Json::Array(items) => items.first().cloned(),
+                _ => None,
+            })
+            .and_then(|r| r.get("counters").and_then(|c| c.get("steps").and_then(Json::as_u64)));
+        assert_eq!(steps, Some(7));
+        // Idempotent: a second append adds nothing.
+        assert_eq!(append_new_records(&mut baseline, &fresh).unwrap(), Vec::<String>::new());
+        // And the merged doc now gates cleanly against a matching run.
+        let matching = doc(&[
+            ("old/a", &[("steps", 7)], 1000),
+            ("old/b", &[], 50),
+            ("new/x", &[("k", 3)], 20),
+            ("new/y", &[], 30),
+        ]);
+        assert!(compare(&baseline, &matching, &GateConfig::default()).unwrap().passed());
+    }
+
+    #[test]
+    fn bless_append_rejects_malformed_documents() {
+        let good = doc(&[("a", &[], 1)]);
+        let mut bad = Json::object([("records", Json::Array(vec![]))]);
+        assert!(append_new_records(&mut bad, &good).is_err());
+        let mut base = good.clone();
+        let no_version = Json::object([("records", Json::Array(vec![]))]);
+        assert!(append_new_records(&mut base, &no_version).is_err());
     }
 
     #[test]

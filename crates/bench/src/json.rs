@@ -50,6 +50,14 @@ impl Json {
         }
     }
 
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (floats and integers both qualify).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -20,7 +20,9 @@
 //! claims: `packet/run` vs `packet/run_reference`, `wormhole/run` vs
 //! `wormhole/run_reference`, the fault-aware variants on empty and
 //! non-empty timelines, IDA disperse/reconstruct, `PhaseSchedule::verify`,
-//! and a full `deliver_phase`.
+//! and a full `deliver_phase` — plus, appended after the original suite,
+//! the plan-aware engines under a mixed adversary, tagged dispersal, and
+//! the oracle-free adaptive delivery protocol.
 
 use crate::json::{Json, ToJson};
 use crate::measure::{measure_allocs, median_wall_ns};
@@ -28,8 +30,10 @@ use crate::table::Table;
 use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
 use hyperpath_ida::Ida;
+use hyperpath_sim::chaos::random_plan;
 use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
 use hyperpath_sim::faults::random_fault_set;
+use hyperpath_sim::protocol::{deliver_adaptive, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation};
 use hyperpath_sim::trace::CountingRecorder;
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
@@ -393,6 +397,105 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
         });
     }
 
+    // --- Plan-aware engines under a mixed adversary (cuts + outages +
+    // corruption). Appended after the original suite so blessed baselines
+    // extend without disturbing earlier records. ---
+    for &n in &cfg.packet_ns {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let sim = PacketSim::phase_workload(e, cfg.packets_per_edge);
+        let mut rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 16));
+        let plan = random_plan(&e.host, false, &mut rng);
+        let mut c = CountingRecorder::new();
+        let pr = sim.run_planned_recorded(SIM_CAP, &plan, &mut c);
+        records.push(PerfRecord {
+            name: format!("packet/run_planned/mixed/n{n}"),
+            counters: vec![
+                ("steps".into(), c.steps),
+                ("packet_hops".into(), c.busy_total),
+                ("delivered".into(), pr.report.delivered),
+                ("lost".into(), pr.lost),
+                ("corrupted".into(), pr.corrupted),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_planned(SIM_CAP, &plan)),
+        });
+    }
+
+    for &n in &cfg.wormhole_ccc_ns {
+        let copies = ccc_multi_copy(n).expect("Theorem 3");
+        let host = copies.multi_copy.host;
+        let mut rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 40));
+        let perm = random_permutation(&host, &mut rng);
+        let mut sim = WormholeSim::new(host);
+        for (src, &dst) in perm.iter().enumerate() {
+            let src = src as u64;
+            if src != dst {
+                sim.add_worm(Worm { path: ecube_path(src, dst), flits: cfg.worm_flits });
+            }
+        }
+        let plan = random_plan(&host, false, &mut rng);
+        let wr = sim.run_planned(SIM_CAP, &plan);
+        records.push(PerfRecord {
+            name: format!("wormhole/run_planned/mixed/ccc{n}"),
+            counters: vec![
+                ("makespan".into(), wr.report.makespan),
+                ("lost".into(), wr.lost_count() as u64),
+                ("corrupted".into(), wr.corrupted_count() as u64),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || sim.run_planned(SIM_CAP, &plan)),
+        });
+    }
+
+    // --- Tagged IDA: keyed fingerprints over the dispersal. ---
+    {
+        let ida = Ida::new(8, 4);
+        let msg: Vec<u8> = (0..cfg.ida_message_len).map(|i| (i * 137 % 251) as u8).collect();
+        let key = PERF_SEED ^ 0x7a66;
+        let tagged = ida.disperse_tagged(&msg, key);
+        let verified = tagged.iter().filter(|ts| ida.verify_share(key, ts)).count();
+        let (_, ta) = measure_allocs(|| ida.disperse_tagged(&msg, key));
+        records.push(PerfRecord {
+            name: "ida/disperse_tagged/w8k4".into(),
+            counters: vec![
+                ("message_bytes".into(), msg.len() as u64),
+                ("shares".into(), tagged.len() as u64),
+                ("verified".into(), verified as u64),
+                ("alloc_calls".into(), ta.calls),
+                ("alloc_bytes".into(), ta.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || ida.disperse_tagged(&msg, key)),
+        });
+    }
+
+    // --- Oracle-free adaptive delivery under the mixed adversary. ---
+    {
+        let n = *cfg.packet_ns.last().expect("non-empty packet grid");
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let mut rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ 0xada7);
+        let plan = random_plan(&e.host, false, &mut rng);
+        let k_half = t1.claimed_width.div_ceil(2);
+        let dcfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 64 };
+        let key = PERF_SEED ^ 0xfeed;
+        let r = deliver_adaptive(e, &dcfg, key, &mut PlanNetwork::new(e, &plan));
+        records.push(PerfRecord {
+            name: format!("delivery/deliver_adaptive/n{n}"),
+            counters: vec![
+                ("edges".into(), r.edges.len() as u64),
+                ("delivered".into(), r.delivered as u64),
+                ("degraded".into(), r.degraded as u64),
+                ("lost".into(), r.lost as u64),
+                ("rounds_run".into(), u64::from(r.rounds_run)),
+                ("shares_resent".into(), r.shares_resent),
+                ("rejected_shares".into(), r.rejected_shares),
+                ("wrong_reconstructions".into(), r.wrong_reconstructions),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || {
+                deliver_adaptive(e, &dcfg, key, &mut PlanNetwork::new(e, &plan))
+            }),
+        });
+    }
+
     PerfOutput { records }
 }
 
@@ -424,6 +527,10 @@ mod tests {
             "ida/reconstruct/",
             "schedule/verify/",
             "delivery/deliver_phase/",
+            "packet/run_planned/mixed/",
+            "wormhole/run_planned/mixed/",
+            "ida/disperse_tagged/",
+            "delivery/deliver_adaptive/",
         ] {
             assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
         }

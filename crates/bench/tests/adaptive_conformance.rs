@@ -1,0 +1,133 @@
+//! Conformance: the oracle-free adaptive protocol against the omniscient
+//! oracle pipeline, both run against the *same* fault draw per trial.
+//!
+//! `deliver_adaptive` is oracle-free **by construction** — its signature
+//! admits no fault type; everything it learns comes through the
+//! [`RoundNetwork`](hyperpath_sim::RoundNetwork) ACK/NACK channel. These
+//! tests pin what that costs:
+//!
+//! * against a **static fail-stop** adversary: nothing. Feedback tells
+//!   the sender exactly which paths are dead, so adaptive and oracle
+//!   grade every guest edge *identically* — full outcome equality, not
+//!   just a rate bound (and equality trivially implies the `adaptive ≤
+//!   oracle` pointwise dominance on every shared draw).
+//! * against a **dynamic** adversary: correctness still holds — the
+//!   outcome buckets partition the guest edges and no reconstruction
+//!   ever silently yields wrong bytes — but the two reports may
+//!   legitimately diverge in *either* direction: the oracle's hazard set
+//!   permanently writes off links that were only briefly down, while the
+//!   adaptive sender re-probes them.
+//!
+//! The round-count and resend counters are deliberately NOT compared:
+//! the oracle skips retries for bundles with no survivor, while the
+//!   adaptive sender (not knowing there is no survivor) retries futilely.
+//! Only the graded outcomes are conformance surface.
+
+use hyperpath_bench::experiments::e16_adaptive;
+use hyperpath_bench::Json;
+use hyperpath_core::cycles::theorem1;
+use hyperpath_sim::chaos::random_plan;
+use hyperpath_sim::delivery::{deliver_phase, deliver_phase_plan, DeliveryConfig};
+use hyperpath_sim::faults::{random_fault_set, FaultPlan, FaultTimeline};
+use hyperpath_sim::protocol::{deliver_adaptive, PlanNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const KEY: u64 = 0xc0f0_0d5e_ed15_dead;
+
+#[test]
+fn adaptive_equals_oracle_on_random_static_fail_stop_plans() {
+    // 24 shared draws across two hosts and three thresholds: the adaptive
+    // protocol must grade every guest edge exactly as the plan oracle does.
+    for n in [4u32, 6] {
+        let t1 = theorem1(n).unwrap();
+        let e = &t1.embedding;
+        let w = t1.claimed_width;
+        for trial in 0..12u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xface ^ (u64::from(n) << 32) ^ trial);
+            let plan = random_plan(&e.host, true, &mut rng);
+            assert!(plan.is_static_fail_stop());
+            for threshold in [1, w.div_ceil(2), w] {
+                let cfg = DeliveryConfig { threshold, max_retries: 2, message_len: 40 };
+                let oracle = deliver_phase_plan(e, &plan, &cfg);
+                let adaptive =
+                    deliver_adaptive(e, &cfg, KEY ^ trial, &mut PlanNetwork::new(e, &plan));
+                assert_eq!(
+                    (adaptive.delivered, adaptive.degraded, adaptive.lost),
+                    (oracle.delivered, oracle.degraded, oracle.lost),
+                    "totals diverged: n={n} trial={trial} threshold={threshold}"
+                );
+                assert_eq!(
+                    adaptive.edges, oracle.edges,
+                    "per-edge outcomes diverged: n={n} trial={trial} threshold={threshold}"
+                );
+                assert_eq!(adaptive.wrong_reconstructions, 0);
+                assert_eq!(adaptive.rejected_shares, 0, "fail-stop plans never corrupt");
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_equals_the_timeline_oracle_too() {
+    // The PR-3 oracle (`deliver_phase` over a `FaultTimeline`) and the
+    // adaptive protocol under the equivalent `FaultPlan` agree on outcome
+    // fields — three oracles, one answer.
+    let t1 = theorem1(6).unwrap();
+    let e = &t1.embedding;
+    let k = t1.claimed_width.div_ceil(2);
+    let cfg = DeliveryConfig { threshold: k, max_retries: 2, message_len: 64 };
+    for trial in 0..10u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xbead ^ trial);
+        let tl = FaultTimeline::from_set(random_fault_set(&e.host, 0.04, &mut rng));
+        let plan = FaultPlan::from_timeline(&tl);
+        let timeline_oracle = deliver_phase(e, &tl, &cfg);
+        let adaptive = deliver_adaptive(e, &cfg, KEY ^ trial, &mut PlanNetwork::new(e, &plan));
+        assert_eq!(
+            (adaptive.delivered, adaptive.degraded, adaptive.lost),
+            (timeline_oracle.delivered, timeline_oracle.degraded, timeline_oracle.lost),
+            "trial {trial}"
+        );
+        assert_eq!(adaptive.edges, timeline_oracle.edges, "trial {trial}");
+    }
+}
+
+#[test]
+fn dynamic_adversaries_never_produce_silent_wrong_bytes() {
+    // The one invariant that must survive EVERY adversary: a message is
+    // recovered correctly or graded lost — never silently wrong. Dynamic
+    // draws include outages, bursts, node storms and corrupting links.
+    let t1 = theorem1(6).unwrap();
+    let e = &t1.embedding;
+    let n_edges = e.edge_paths.len();
+    let cfg = DeliveryConfig { threshold: t1.claimed_width, max_retries: 3, message_len: 56 };
+    let mut corruption_seen = false;
+    for trial in 0..16u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xdead ^ trial);
+        let plan = random_plan(&e.host, false, &mut rng);
+        corruption_seen |= plan.has_corruption();
+        let oracle = deliver_phase_plan(e, &plan, &cfg);
+        let adaptive = deliver_adaptive(e, &cfg, KEY ^ trial, &mut PlanNetwork::new(e, &plan));
+        assert_eq!(adaptive.wrong_reconstructions, 0, "trial {trial}");
+        assert_eq!(adaptive.delivered + adaptive.degraded + adaptive.lost, n_edges);
+        assert_eq!(oracle.delivered + oracle.degraded + oracle.lost, n_edges);
+    }
+    assert!(corruption_seen, "the dynamic draws must exercise corrupting links");
+}
+
+#[test]
+fn e16_reports_full_equality_on_its_static_grid_points() {
+    let (_, out) = e16_adaptive(&[6], 20, 1616);
+    let mut static_points = 0;
+    for rec in &out.records {
+        let is_static = rec.params.get("static_plans").and_then(Json::as_bool).unwrap();
+        let equal = rec.result.get("equal_outcomes").and_then(Json::as_f64).unwrap();
+        let wrong = rec.result.get("wrong_reconstructions").and_then(Json::as_u64).unwrap();
+        assert_eq!(wrong, 0, "at {}", rec.params.render());
+        if is_static {
+            static_points += 1;
+            assert_eq!(equal, 1.0, "static grid point must show full equality");
+        }
+    }
+    assert_eq!(static_points, 1);
+}

@@ -4,7 +4,7 @@
 //! the `BENCH_*.json` artifacts (per-point ChaCha streams + grid-order
 //! collection make worker scheduling unobservable).
 
-use hyperpath_bench::experiments::e12_faults_with_threads;
+use hyperpath_bench::experiments::{e12_faults_with_threads, e16_adaptive_with_threads};
 use hyperpath_bench::{Json, Sweep};
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
@@ -20,6 +20,15 @@ fn e12_sweep_is_identical_on_1_and_4_threads() {
     let json = out1.to_json();
     assert_eq!(json.get("points").and_then(Json::as_u64), Some(4));
     assert_eq!(json.get("master_seed").and_then(Json::as_u64), Some(99));
+}
+
+#[test]
+fn e16_sweep_is_identical_on_1_and_4_threads() {
+    let (t1, out1) = e16_adaptive_with_threads(&[6], 8, 1616, Some(1));
+    let (t4, out4) = e16_adaptive_with_threads(&[6], 8, 1616, Some(4));
+    assert_eq!(out1, out4, "sweep records must not depend on the worker count");
+    assert_eq!(out1.render(), out4.render(), "JSON artifact must be byte-identical");
+    assert_eq!(t1.render(), t4.render(), "printed table must be identical");
 }
 
 #[test]

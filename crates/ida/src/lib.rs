@@ -102,6 +102,52 @@ pub struct Share {
     pub data: Bytes,
 }
 
+/// A [`Share`] carrying a keyed fingerprint, so a receiver who knows the
+/// key can reject a corrupted share without the original message
+/// ([`Ida::verify_share`]) — the classical IDA pairing: corruption
+/// degrades to erasure, and any `k` *verified* shares reconstruct.
+///
+/// The fingerprint is a 64-bit keyed mixing hash
+/// ([`share_fingerprint`]), **not** a cryptographic MAC: it detects the
+/// simulator's fault model (random byte flips on corrupting links, index
+/// mangling) with miss probability `2^-64` per share, but offers no
+/// security against an adversary who knows the key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedShare {
+    /// The underlying share.
+    pub share: Share,
+    /// Keyed fingerprint over `(key, index, data)`.
+    pub tag: u64,
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche permutation.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The keyed fingerprint of one share: absorbs the key, the share index,
+/// the payload length, and every 8-byte little-endian lane of the payload
+/// through the SplitMix64 permutation. Deterministic across platforms.
+pub fn share_fingerprint(key: u64, index: u8, data: &[u8]) -> u64 {
+    let mut acc = mix64(key ^ 0x9e37_79b9_7f4a_7c15);
+    acc = mix64(acc ^ u64::from(index));
+    acc = mix64(acc ^ data.len() as u64);
+    let mut chunks = data.chunks_exact(8);
+    for lane in &mut chunks {
+        acc = mix64(acc ^ u64::from_le_bytes(lane.try_into().unwrap()));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut lane = [0u8; 8];
+        lane[..rest.len()].copy_from_slice(rest);
+        acc = mix64(acc ^ u64::from_le_bytes(lane));
+    }
+    acc
+}
+
 impl Ida {
     /// Creates a `(w, k)` scheme.
     ///
@@ -255,6 +301,27 @@ impl Ida {
         Ok(out)
     }
 
+    /// [`disperse`](Self::disperse), with each share fingerprinted under
+    /// `key` so the receiving side can [`verify_share`](Self::verify_share)
+    /// it — the oracle-free delivery protocol's ACK/NACK signal.
+    pub fn disperse_tagged(&self, message: &[u8], key: u64) -> Vec<TaggedShare> {
+        self.disperse(message)
+            .into_iter()
+            .map(|share| {
+                let tag = share_fingerprint(key, share.index, &share.data);
+                TaggedShare { share, tag }
+            })
+            .collect()
+    }
+
+    /// Whether `ts` is a plausible share of this scheme under `key`: its
+    /// index is in range and its fingerprint matches its payload. A share
+    /// whose bytes were flipped in transit (or whose index was mangled)
+    /// fails and must be treated as an erasure.
+    pub fn verify_share(&self, key: u64, ts: &TaggedShare) -> bool {
+        ts.share.index < self.w && share_fingerprint(key, ts.share.index, &ts.share.data) == ts.tag
+    }
+
     /// The bandwidth overhead factor `w / k` (total bytes sent over message
     /// bytes, ignoring the fixed header).
     pub fn overhead(&self) -> f64 {
@@ -374,6 +441,74 @@ mod tests {
             let shares = ida.disperse(msg);
             assert_eq!(ida.reconstruct(&shares[1..]).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn tagged_shares_verify_and_reconstruct() {
+        let ida = Ida::new(6, 3);
+        let msg: Vec<u8> = (0..200u8).collect();
+        let key = 0xfeed_beef_cafe_f00d;
+        let tagged = ida.disperse_tagged(&msg, key);
+        assert_eq!(tagged.len(), 6);
+        assert!(tagged.iter().all(|t| ida.verify_share(key, t)));
+        let shares: Vec<Share> = tagged.iter().map(|t| t.share.clone()).collect();
+        assert_eq!(ida.reconstruct(&shares).unwrap(), msg);
+        // Tagging never changes the underlying share bytes.
+        assert_eq!(shares, ida.disperse(&msg));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_verification() {
+        let ida = Ida::new(5, 2);
+        let key = 42;
+        let tagged = ida.disperse_tagged(b"authenticated", key);
+        for (pos, flip) in [(0usize, 0x01u8), (8, 0x80), (12, 0xff)] {
+            let mut bad = tagged[2].clone();
+            let mut bytes = bad.share.data.to_vec();
+            bytes[pos] ^= flip;
+            bad.share.data = Bytes::from(bytes);
+            assert!(!ida.verify_share(key, &bad), "flip at byte {pos} must be caught");
+        }
+    }
+
+    #[test]
+    fn mangled_index_fails_verification() {
+        let ida = Ida::new(5, 2);
+        let key = 7;
+        let tagged = ida.disperse_tagged(b"hello", key);
+        // Swapping a share's claimed index (payload intact) is caught.
+        let mut bad = tagged[1].clone();
+        bad.share.index = 3;
+        assert!(!ida.verify_share(key, &bad));
+        // As is an out-of-range index even with a forged matching tag.
+        let mut oob = tagged[1].clone();
+        oob.share.index = 9;
+        oob.tag = share_fingerprint(key, 9, &oob.share.data);
+        assert!(!ida.verify_share(key, &oob));
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let ida = Ida::new(4, 2);
+        let tagged = ida.disperse_tagged(b"keyed", 1111);
+        assert!(tagged.iter().all(|t| ida.verify_share(1111, t)));
+        assert!(tagged.iter().all(|t| !ida.verify_share(2222, t)));
+    }
+
+    #[test]
+    fn fingerprint_is_a_pure_function_of_key_index_and_bytes() {
+        let a = share_fingerprint(5, 2, b"payload bytes");
+        assert_eq!(a, share_fingerprint(5, 2, b"payload bytes"));
+        assert_ne!(a, share_fingerprint(6, 2, b"payload bytes"));
+        assert_ne!(a, share_fingerprint(5, 3, b"payload bytes"));
+        assert_ne!(a, share_fingerprint(5, 2, b"payload byteX"));
+        // Length is absorbed: a zero-padded extension does not collide.
+        assert_ne!(share_fingerprint(5, 2, b"ab"), share_fingerprint(5, 2, b"ab\0"));
+        // Lanes past the first also matter (tail handling).
+        assert_ne!(
+            share_fingerprint(5, 2, b"0123456789abcdef"),
+            share_fingerprint(5, 2, b"0123456789abcdeX"),
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! crate) pins the retry-free delivery rate to the structural
 //! [`surviving_paths`](crate::faults::surviving_paths) bound.
 
-use crate::faults::{FaultSet, FaultTimeline};
+use crate::faults::{FaultPlan, FaultSet, FaultTimeline};
 use crate::packet::{FaultReport, Flow, PacketSim};
 use hyperpath_embedding::MultiPathEmbedding;
 use hyperpath_ida::{Ida, Share};
@@ -114,8 +114,9 @@ impl DeliveryReport {
 }
 
 /// The deterministic per-edge test message (delivery is verified by
-/// comparing reconstructed bytes against this).
-fn message_for_edge(edge: usize, len: usize) -> Vec<u8> {
+/// comparing reconstructed bytes against this; `crate::protocol` uses the
+/// same generator so oracle and adaptive runs carry identical payloads).
+pub(crate) fn message_for_edge(edge: usize, len: usize) -> Vec<u8> {
     (0..len)
         .map(|j| (edge.wrapping_mul(131).wrapping_add(j.wrapping_mul(29)) ^ 0x5c) as u8)
         .collect()
@@ -303,6 +304,205 @@ pub fn deliver_phase(
     DeliveryReport { edges, delivered, degraded, lost, rounds_run, shares_resent, initial }
 }
 
+/// The *omniscient* counterpart of
+/// [`deliver_adaptive`](crate::protocol::deliver_adaptive) under the
+/// generalized fault model: one dispersal phase of `e` under `plan`, with
+/// retry planning that reads the plan directly — the sender knows the
+/// exact [`hazard_set`](FaultPlan::hazard_set) (every link that is down,
+/// will go down, or corrupts) and re-sends dead shares only over
+/// hazard-free paths.
+///
+/// A share that arrives *corrupted* (its packet crossed a corrupting link)
+/// counts as an erasure, exactly as the fingerprint check on the receiving
+/// side would grade it: corruption degrades to loss, never to wrong bytes.
+/// Retry rounds run under the hazard set as static faults, so retried
+/// shares can neither be dropped by a later event nor corrupted.
+///
+/// For a fail-stop `plan` (no mid-run events, no corruption) this is
+/// exactly [`deliver_phase`] with [`FaultTimeline::from_set`] of the
+/// initial faults; the differential conformance suite in the bench crate
+/// pins the oracle-free adaptive protocol against this function.
+///
+/// # Panics
+/// Panics if any bundle is empty or wider than 255 paths, or if a
+/// simulation round exceeds its step cap.
+pub fn deliver_phase_plan(
+    e: &MultiPathEmbedding,
+    plan: &FaultPlan,
+    cfg: &DeliveryConfig,
+) -> DeliveryReport {
+    let host = e.host;
+    let n_edges = e.edge_paths.len();
+
+    struct EdgeState {
+        threshold: usize,
+        ida: Ida,
+        message: Vec<u8>,
+        shares: Vec<Share>,
+        arrived: Vec<bool>,
+        first_round_arrivals: usize,
+        recovered_in_round: Option<u32>, // 0 = initial round
+    }
+
+    let mut states: Vec<EdgeState> = e
+        .edge_paths
+        .iter()
+        .enumerate()
+        .map(|(eid, bundle)| {
+            let w = bundle.len();
+            assert!(
+                (1..=255).contains(&w),
+                "guest edge {eid}: bundle width {w} outside the IDA share range"
+            );
+            let threshold = cfg.threshold.clamp(1, w);
+            let ida = Ida::new(w as u8, threshold as u8);
+            let message = message_for_edge(eid, cfg.message_len);
+            let shares = ida.disperse(&message);
+            let arrived: Vec<bool> = bundle.iter().map(|p| p.is_empty()).collect();
+            EdgeState {
+                threshold,
+                ida,
+                message,
+                shares,
+                arrived,
+                first_round_arrivals: 0,
+                recovered_in_round: None,
+            }
+        })
+        .collect();
+
+    // Initial round: share `i` of edge `eid` rides bundle path `i`. A
+    // share only counts as arrived if it was delivered *untainted*.
+    let mut sim = PacketSim::new(host);
+    let mut flow_map: Vec<(usize, usize)> = Vec::new();
+    for (eid, bundle) in e.edge_paths.iter().enumerate() {
+        for (i, path) in bundle.iter().enumerate() {
+            if !path.is_empty() {
+                sim.add_flow(Flow { path: path.nodes().to_vec(), packets: 1 });
+                flow_map.push((eid, i));
+            }
+        }
+    }
+    let pr = sim.run_planned(MAX_STEPS, plan);
+    for (fid, &(eid, i)) in flow_map.iter().enumerate() {
+        if pr.flow_delivered[fid] == 1 && pr.flow_corrupted[fid] == 0 {
+            states[eid].arrived[i] = true;
+        }
+    }
+    for st in &mut states {
+        st.first_round_arrivals = st.arrived.iter().filter(|&&a| a).count();
+        if st.first_round_arrivals >= st.threshold {
+            st.recovered_in_round = Some(0);
+        }
+    }
+    let initial = FaultReport {
+        report: pr.report,
+        lost: pr.lost,
+        flow_delivered: pr.flow_delivered,
+        flow_lost: pr.flow_lost,
+    };
+
+    // Retry rounds avoid every *hazardous* link — the oracle knows the
+    // whole plan, so it never routes a retry over a link that is down,
+    // will go down, or corrupts payloads.
+    let hazard: FaultSet = plan.hazard_set(&host);
+    let static_faults = FaultTimeline::from_set(hazard.clone());
+    let mut shares_resent = 0u64;
+    let mut rounds_run = 0u32;
+    for round in 1..=cfg.max_retries {
+        let mut retry = PacketSim::new(host);
+        let mut retry_map: Vec<(usize, usize)> = Vec::new();
+        for (eid, st) in states.iter().enumerate() {
+            if st.recovered_in_round.is_some() {
+                continue;
+            }
+            let bundle = &e.edge_paths[eid];
+            let survivors: Vec<usize> = bundle
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    !p.is_empty() && p.edges().all(|edge| !hazard.is_failed(&host, edge))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if survivors.is_empty() {
+                continue; // nothing left to carry a retry
+            }
+            let missing: Vec<usize> = (0..bundle.len()).filter(|&i| !st.arrived[i]).collect();
+            for (j, &share_i) in missing.iter().enumerate() {
+                let via = survivors[j % survivors.len()];
+                retry.add_flow(Flow { path: bundle[via].nodes().to_vec(), packets: 1 });
+                retry_map.push((eid, share_i));
+            }
+        }
+        if retry_map.is_empty() {
+            break;
+        }
+        rounds_run = round;
+        shares_resent += retry_map.len() as u64;
+        let rr = retry.run_faulty(MAX_STEPS, &static_faults);
+        for (fid, &(eid, i)) in retry_map.iter().enumerate() {
+            if rr.flow_delivered[fid] == 1 {
+                states[eid].arrived[i] = true;
+            }
+        }
+        for st in &mut states {
+            if st.recovered_in_round.is_none()
+                && st.arrived.iter().filter(|&&a| a).count() >= st.threshold
+            {
+                st.recovered_in_round = Some(round);
+            }
+        }
+    }
+
+    // Grade every edge, verifying actual byte-for-byte reconstruction.
+    let mut edges = Vec::with_capacity(n_edges);
+    let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
+    for (eid, st) in states.iter().enumerate() {
+        let arrived_total = st.arrived.iter().filter(|&&a| a).count();
+        let outcome = match st.recovered_in_round {
+            Some(round) => {
+                let subset: Vec<Share> = st
+                    .shares
+                    .iter()
+                    .zip(&st.arrived)
+                    .filter(|(_, &a)| a)
+                    .map(|(s, _)| s.clone())
+                    .take(st.threshold)
+                    .collect();
+                match st.ida.reconstruct(&subset) {
+                    Ok(bytes) if bytes == st.message => {
+                        if round == 0 {
+                            delivered += 1;
+                            EdgeOutcome::Delivered
+                        } else {
+                            degraded += 1;
+                            EdgeOutcome::Degraded { rounds: round }
+                        }
+                    }
+                    _ => {
+                        lost += 1;
+                        EdgeOutcome::Lost { arrived: arrived_total }
+                    }
+                }
+            }
+            None => {
+                lost += 1;
+                EdgeOutcome::Lost { arrived: arrived_total }
+            }
+        };
+        edges.push(EdgeDelivery {
+            guest_edge: eid,
+            width: e.edge_paths[eid].len(),
+            threshold: st.threshold,
+            first_round_arrivals: st.first_round_arrivals,
+            outcome,
+        });
+    }
+
+    DeliveryReport { edges, delivered, degraded, lost, rounds_run, shares_resent, initial }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +587,90 @@ mod tests {
         assert!(r.all_delivered());
         // At least the victim's bundle needed the retry round.
         assert!(r.degraded >= 1);
+    }
+
+    #[test]
+    fn plan_oracle_matches_timeline_oracle_on_fail_stop_faults() {
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 2, message_len: 64 };
+        for kills in [0usize, 1, 2, 3] {
+            let tl = kill_paths(&t1.embedding, 0, kills);
+            let a = deliver_phase(&t1.embedding, &tl, &cfg);
+            let b = deliver_phase_plan(&t1.embedding, &FaultPlan::from_timeline(&tl), &cfg);
+            assert_eq!(a, b, "kills={kills}");
+        }
+    }
+
+    #[test]
+    fn corrupted_share_counts_as_erasure_and_is_retried_cleanly() {
+        // Corrupt the first link of path 0 of bundle 0: its share arrives
+        // tainted, so the oracle treats it as missing; the retry pass
+        // re-sends it over a hazard-free path and the edge recovers.
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let victim = t1.embedding.edge_paths[0][0].edges().next().unwrap();
+        let mut plan = FaultPlan::none(&host);
+        plan.corrupt_link(&host, victim);
+        let w = t1.embedding.edge_paths[0].len();
+        let cfg = DeliveryConfig { threshold: w, max_retries: 1, message_len: 64 };
+        let r = deliver_phase_plan(&t1.embedding, &plan, &cfg);
+        assert!(r.all_delivered(), "corruption must degrade, not poison");
+        assert!(r.degraded >= 1, "the tainted share forced a retry round");
+        assert!(r.edges.iter().all(|ed| !matches!(ed.outcome, EdgeOutcome::Lost { .. })));
+        // Without retries the tainted share is simply lost — never
+        // reconstructed into wrong bytes.
+        let cfg0 = DeliveryConfig { threshold: w, max_retries: 0, message_len: 64 };
+        let r0 = deliver_phase_plan(&t1.embedding, &plan, &cfg0);
+        assert!(r0.lost >= 1);
+    }
+
+    #[test]
+    fn transient_outage_is_avoided_by_oracle_retries() {
+        // An outage on the first link of path 0 of bundle 0, open only
+        // briefly: the initial share dies in the window; the oracle knows
+        // the link is hazardous and retries over a different path.
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let victim = t1.embedding.edge_paths[0][0].edges().next().unwrap();
+        let mut plan = FaultPlan::none(&host);
+        plan.outage(victim, 0, 3);
+        let w = t1.embedding.edge_paths[0].len();
+        let cfg = DeliveryConfig { threshold: w, max_retries: 1, message_len: 64 };
+        let r = deliver_phase_plan(&t1.embedding, &plan, &cfg);
+        assert!(r.all_delivered());
+    }
+
+    #[test]
+    fn report_accounting_is_consistent_across_a_fault_grid() {
+        // Satellite: `recovered()` counts exactly the Delivered + Degraded
+        // edges, `all_delivered()` is false iff any edge graded Lost, and
+        // the three buckets partition the edge set — across a grid of
+        // fault intensities, thresholds, and retry budgets.
+        let t1 = theorem1(6).unwrap();
+        let n_edges = t1.embedding.edge_paths.len();
+        for kills in [0usize, 1, 2, 3] {
+            for threshold in [1usize, 2, 3] {
+                for max_retries in [0u32, 2] {
+                    let cfg = DeliveryConfig { threshold, max_retries, message_len: 32 };
+                    let tl = kill_paths(&t1.embedding, 0, kills);
+                    let r = deliver_phase(&t1.embedding, &tl, &cfg);
+                    let ctx = format!("kills={kills} k={threshold} retries={max_retries}");
+                    let by_outcome = |pred: &dyn Fn(&EdgeOutcome) -> bool| {
+                        r.edges.iter().filter(|ed| pred(&ed.outcome)).count()
+                    };
+                    let delivered = by_outcome(&|o| matches!(o, EdgeOutcome::Delivered));
+                    let degraded = by_outcome(&|o| matches!(o, EdgeOutcome::Degraded { .. }));
+                    let lost = by_outcome(&|o| matches!(o, EdgeOutcome::Lost { .. }));
+                    assert_eq!(r.delivered, delivered, "{ctx}");
+                    assert_eq!(r.degraded, degraded, "{ctx}");
+                    assert_eq!(r.lost, lost, "{ctx}");
+                    assert_eq!(r.recovered(), delivered + degraded, "{ctx}");
+                    assert_eq!(r.all_delivered(), lost == 0, "{ctx}");
+                    assert_eq!(delivered + degraded + lost, n_edges, "{ctx}: buckets partition");
+                    assert_eq!(r.edges.len(), n_edges, "{ctx}");
+                }
+            }
+        }
     }
 
     #[test]

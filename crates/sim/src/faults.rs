@@ -137,9 +137,199 @@ impl FaultTimeline {
     }
 }
 
+/// Direction of one scheduled link-state change in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The link goes down (both orientations) at the start of the step.
+    Down,
+    /// The link comes back up (both orientations) at the start of the step.
+    Up,
+}
+
+/// The generalized adversarial fault model: everything a [`FaultTimeline`]
+/// can express, plus three further fault *kinds*:
+///
+/// * **transient outage** — a link is down over a step interval `[a, b)`
+///   and healthy again afterwards ([`FaultPlan::outage`]);
+/// * **byte corruption** — a link delivers every packet that crosses it,
+///   but flips its payload bytes (per an RNG seeded from
+///   [`FaultPlan::corrupt_seed`]); the plan-aware engines flag the packet
+///   and fire [`Recorder::record_corrupt`](crate::trace::Recorder::record_corrupt)
+///   the first time it crosses such a link ([`FaultPlan::corrupt_link`]);
+/// * **node fault** — all `2n` directed links incident to a node are cut
+///   atomically, from step 0 ([`FaultPlan::cut_node`]) or mid-run
+///   ([`FaultPlan::cut_node_at`]), the "faulty vertices" regime of the
+///   many-to-many disjoint-path literature.
+///
+/// Events apply at the **start** of their step, before any packet or flit
+/// moves, in insertion order within a step (same as [`FaultTimeline`]).
+/// An empty plan is a no-op: the plan-aware engine runs are bit-identical
+/// to the plain engines (pinned by `tests/props.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    initial: FaultSet,
+    /// `(step, edge, event)` link-state changes, sorted by step (FIFO
+    /// within a step).
+    events: Vec<(u64, DirEdge, LinkEvent)>,
+    /// Per-directed-edge corruption bits, indexed like [`FaultSet::bits`].
+    corrupting: Vec<bool>,
+    /// Seed of the byte-flipping RNG (consumed by the channel layer, e.g.
+    /// [`crate::protocol::PlanNetwork`]; the engines only flag packets).
+    corrupt_seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults of any kind, ever.
+    pub fn none(host: &Hypercube) -> Self {
+        FaultPlan {
+            initial: FaultSet::none(host),
+            events: Vec::new(),
+            corrupting: vec![false; host.num_directed_edges() as usize],
+            corrupt_seed: 0,
+        }
+    }
+
+    /// Lifts a fail-stop [`FaultTimeline`] into the generalized model:
+    /// same initial set, every timeline event becomes a permanent
+    /// [`LinkEvent::Down`], no corruption.
+    pub fn from_timeline(tl: &FaultTimeline) -> Self {
+        FaultPlan {
+            initial: tl.initial().clone(),
+            events: tl.events().iter().map(|&(s, e)| (s, e, LinkEvent::Down)).collect(),
+            corrupting: vec![false; tl.initial().bits().len()],
+            corrupt_seed: 0,
+        }
+    }
+
+    /// Cuts the undirected link carrying `edge` from before step 0.
+    pub fn cut_link(&mut self, host: &Hypercube, edge: DirEdge) {
+        self.initial.fail_link(host, edge);
+    }
+
+    /// Schedules the link carrying `edge` to go down at the start of
+    /// `step`, permanently (unless a later [`Self::restore_link_at`]).
+    pub fn cut_link_at(&mut self, step: u64, edge: DirEdge) {
+        self.push_event(step, edge, LinkEvent::Down);
+    }
+
+    /// Schedules the link carrying `edge` to come back up at the start of
+    /// `step`.
+    pub fn restore_link_at(&mut self, step: u64, edge: DirEdge) {
+        self.push_event(step, edge, LinkEvent::Up);
+    }
+
+    /// Transient outage: the link carrying `edge` is down over `[from,
+    /// until)` — it transmits nothing at steps `from..until` and is
+    /// healthy again from step `until` on.
+    ///
+    /// # Panics
+    /// Panics unless `from < until` (an empty outage is a call-site bug).
+    pub fn outage(&mut self, edge: DirEdge, from: u64, until: u64) {
+        assert!(from < until, "outage window [{from}, {until}) is empty");
+        self.cut_link_at(from, edge);
+        self.restore_link_at(until, edge);
+    }
+
+    /// Marks the undirected link carrying `edge` as byte-corrupting (both
+    /// orientations): packets crossing it are still delivered, but their
+    /// payloads are flipped by the channel layer and the engines flag
+    /// them.
+    pub fn corrupt_link(&mut self, host: &Hypercube, edge: DirEdge) {
+        self.corrupting[host.dir_edge_index(edge)] = true;
+        self.corrupting[host.dir_edge_index(edge.reversed())] = true;
+    }
+
+    /// Node fault from before step 0: atomically cuts all `2n` directed
+    /// links incident to `node`.
+    pub fn cut_node(&mut self, host: &Hypercube, node: u64) {
+        for d in 0..host.dims() {
+            self.initial.fail_link(host, DirEdge::new(node, d));
+        }
+    }
+
+    /// Node fault at the start of `step`: all `2n` incident directed links
+    /// go down in the same step (events fire before anything moves, so
+    /// the cut is atomic).
+    pub fn cut_node_at(&mut self, step: u64, host: &Hypercube, node: u64) {
+        for d in 0..host.dims() {
+            self.cut_link_at(step, DirEdge::new(node, d));
+        }
+    }
+
+    /// Sets the seed of the byte-flipping RNG.
+    pub fn set_corrupt_seed(&mut self, seed: u64) {
+        self.corrupt_seed = seed;
+    }
+
+    /// The seed of the byte-flipping RNG.
+    pub fn corrupt_seed(&self) -> u64 {
+        self.corrupt_seed
+    }
+
+    /// The faults present before step 0.
+    pub fn initial(&self) -> &FaultSet {
+        &self.initial
+    }
+
+    /// The scheduled link-state changes, sorted by step.
+    pub fn events(&self) -> &[(u64, DirEdge, LinkEvent)] {
+        &self.events
+    }
+
+    /// The raw per-directed-edge corruption bits, indexed by
+    /// [`dir_edge_index`](Hypercube::dir_edge_index).
+    pub fn corrupting_bits(&self) -> &[bool] {
+        &self.corrupting
+    }
+
+    /// Whether any link corrupts payloads.
+    pub fn has_corruption(&self) -> bool {
+        self.corrupting.iter().any(|&b| b)
+    }
+
+    /// Whether the plan contains no faults of any kind.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty() && self.events.is_empty() && !self.has_corruption()
+    }
+
+    /// Whether every fault is a static fail-stop cut: no mid-run events
+    /// (so no transient outages either) and no corrupting links. Under
+    /// such plans the oracle-free adaptive protocol provably matches the
+    /// omniscient one (`tests/adaptive_conformance.rs`, bench crate).
+    pub fn is_static_fail_stop(&self) -> bool {
+        self.events.is_empty() && !self.has_corruption()
+    }
+
+    /// Every link that is ever hazardous: down initially, scheduled to go
+    /// down at any step (even if later restored), or byte-corrupting.
+    /// This is what the omniscient retry pass avoids.
+    pub fn hazard_set(&self, host: &Hypercube) -> FaultSet {
+        let mut set = self.initial.clone();
+        for &(_, edge, ev) in &self.events {
+            if ev == LinkEvent::Down {
+                set.fail_link(host, edge);
+            }
+        }
+        for (i, &c) in self.corrupting.iter().enumerate() {
+            if c {
+                set.failed[i] = true;
+            }
+        }
+        set
+    }
+
+    fn push_event(&mut self, step: u64, edge: DirEdge, ev: LinkEvent) {
+        let at = self.events.partition_point(|&(s, _, _)| s <= step);
+        self.events.insert(at, (step, edge, ev));
+    }
+}
+
 /// Each undirected link fails independently with probability `p`.
 pub fn random_fault_set(host: &Hypercube, p: f64, rng: &mut impl Rng) -> FaultSet {
-    let p = p.clamp(0.0, 1.0);
+    // NaN passes straight through `clamp` and only explodes later inside
+    // the RNG's `(0.0..=1.0).contains(&p)` assert; a probability that is
+    // not a number means "no faults", explicitly.
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
     let mut fs = FaultSet::none(host);
     for e in host.undirected_edges() {
         if rng.random_bool(p) {
@@ -317,6 +507,119 @@ mod tests {
         let t1 = theorem1(4).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let _ = delivery_probability(&t1.embedding, 0.01, 1, 0, &mut rng);
+    }
+
+    #[test]
+    fn random_fault_set_treats_nan_p_as_zero() {
+        // Regression: NaN passed through `clamp` and tripped the RNG's
+        // `(0.0..=1.0).contains(&p)` assert deep inside `random_bool`.
+        let host = Hypercube::new(5);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(random_fault_set(&host, f64::NAN, &mut rng).count(), 0);
+        // Infinities clamp like ordinary out-of-range values.
+        assert_eq!(random_fault_set(&host, f64::NEG_INFINITY, &mut rng).count(), 0);
+        let all = random_fault_set(&host, f64::INFINITY, &mut rng);
+        assert_eq!(all.count(), host.num_directed_edges() as usize);
+        // And the Monte-Carlo estimator no longer panics on NaN either.
+        let t1 = theorem1(4).unwrap();
+        assert_eq!(delivery_probability(&t1.embedding, f64::NAN, 1, 4, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn plan_builders_and_queries() {
+        let host = Hypercube::new(4);
+        let mut plan = FaultPlan::none(&host);
+        assert!(plan.is_empty() && plan.is_static_fail_stop());
+        assert!(!plan.has_corruption());
+        assert!(plan.hazard_set(&host).is_empty());
+
+        plan.cut_link(&host, DirEdge::new(0, 1));
+        assert!(!plan.is_empty() && plan.is_static_fail_stop());
+        assert_eq!(plan.initial().count(), 2);
+
+        plan.outage(DirEdge::new(3, 0), 4, 9);
+        assert!(!plan.is_static_fail_stop());
+        assert_eq!(
+            plan.events(),
+            &[(4, DirEdge::new(3, 0), LinkEvent::Down), (9, DirEdge::new(3, 0), LinkEvent::Up)]
+        );
+
+        plan.corrupt_link(&host, DirEdge::new(5, 2));
+        assert!(plan.has_corruption());
+        let idx = host.dir_edge_index(DirEdge::new(5, 2));
+        let rev = host.dir_edge_index(DirEdge::new(5, 2).reversed());
+        assert!(plan.corrupting_bits()[idx] && plan.corrupting_bits()[rev]);
+
+        plan.set_corrupt_seed(0xfeed);
+        assert_eq!(plan.corrupt_seed(), 0xfeed);
+
+        // The hazard set covers initial cuts, every Down event (restored or
+        // not), and corrupting links: 3 undirected links = 6 directed edges.
+        let hz = plan.hazard_set(&host);
+        assert_eq!(hz.count(), 6);
+        assert!(hz.is_failed(&host, DirEdge::new(0, 1)));
+        assert!(hz.is_failed(&host, DirEdge::new(3, 0)));
+        assert!(hz.is_failed(&host, DirEdge::new(5, 2)));
+    }
+
+    #[test]
+    fn plan_events_stay_sorted_fifo_within_step() {
+        let mut plan = FaultPlan::none(&Hypercube::new(4));
+        plan.cut_link_at(7, DirEdge::new(0, 0));
+        plan.cut_link_at(2, DirEdge::new(1, 1));
+        plan.cut_link_at(7, DirEdge::new(2, 2));
+        plan.restore_link_at(7, DirEdge::new(0, 0));
+        let got: Vec<(u64, u32, LinkEvent)> =
+            plan.events().iter().map(|&(s, e, ev)| (s, e.dim, ev)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, 1, LinkEvent::Down),
+                (7, 0, LinkEvent::Down),
+                (7, 2, LinkEvent::Down),
+                (7, 0, LinkEvent::Up),
+            ],
+            "sorted by step; same-step events keep insertion order"
+        );
+    }
+
+    #[test]
+    fn node_fault_cuts_all_incident_directed_links() {
+        let host = Hypercube::new(5);
+        let mut plan = FaultPlan::none(&host);
+        plan.cut_node(&host, 13);
+        // 2n directed edges: n undirected incident links, both orientations.
+        assert_eq!(plan.initial().count(), 2 * host.dims() as usize);
+        for d in 0..host.dims() {
+            assert!(plan.initial().is_failed(&host, DirEdge::new(13, d)));
+            assert!(plan.initial().is_failed(&host, DirEdge::new(13 ^ (1 << d), d)));
+        }
+        // The mid-run variant lands every incident cut on the same step.
+        let mut plan2 = FaultPlan::none(&host);
+        plan2.cut_node_at(6, &host, 13);
+        assert_eq!(plan2.events().len(), host.dims() as usize);
+        assert!(plan2.events().iter().all(|&(s, _, ev)| s == 6 && ev == LinkEvent::Down));
+        assert_eq!(plan2.hazard_set(&host).count(), 2 * host.dims() as usize);
+    }
+
+    #[test]
+    fn plan_from_timeline_matches_fail_stop_semantics() {
+        let host = Hypercube::new(4);
+        let mut tl = FaultTimeline::none(&host);
+        tl.fail_link_at(5, DirEdge::new(0, 1));
+        tl.fail_link_at(2, DirEdge::new(3, 0));
+        let plan = FaultPlan::from_timeline(&tl);
+        assert_eq!(plan.initial(), tl.initial());
+        assert!(plan.events().iter().all(|&(_, _, ev)| ev == LinkEvent::Down));
+        assert_eq!(plan.hazard_set(&host), tl.final_set(&host));
+        assert!(!plan.has_corruption() && !plan.is_static_fail_stop());
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn outage_rejects_empty_window() {
+        let mut plan = FaultPlan::none(&Hypercube::new(4));
+        plan.outage(DirEdge::new(0, 0), 5, 5);
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!   edge's message over its bundle, run the shares through the faulty
 //!   machine, reconstruct at the destination, retry lost shares over
 //!   surviving paths, and grade every edge delivered/degraded/lost.
+//! * [`chaos`] — seed-pinned chaos harness: randomized adversarial
+//!   [`FaultPlan`]s through both engines and both delivery protocols,
+//!   under packet-conservation, no-wrong-bytes, oracle-equality and
+//!   monotone-degradation invariants.
+//! * [`protocol`] — oracle-free adaptive delivery: the sender infers path
+//!   health purely from per-round ACK/NACK feedback on keyed tagged
+//!   shares, rerouting retries with an exponential copy budget — no fault
+//!   oracle anywhere in its signature.
 //! * [`trace`] — zero-cost-when-off instrumentation: a [`Recorder`] event
 //!   sink the packet engine reports to, plus percentile summaries of busy
 //!   links, latencies and queue depths ([`PacketSim::run_traced`]).
@@ -30,20 +38,28 @@
 //!   machine model, so a theorem's certified cost can be checked against a
 //!   measured makespan.
 
+pub mod chaos;
 pub mod delivery;
 pub mod faults;
 pub mod packet;
+pub mod protocol;
 pub mod routing;
 pub mod schedule_exec;
 pub mod trace;
 pub mod wormhole;
 
-pub use delivery::{deliver_phase, DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome};
-pub use faults::{random_fault_set, surviving_paths, FaultSet, FaultTimeline};
-pub use packet::{FaultReport, Flow, PacketSim, SimReport};
+pub use chaos::{random_plan, run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
+pub use delivery::{
+    deliver_phase, deliver_phase_plan, DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome,
+};
+pub use faults::{
+    random_fault_set, surviving_paths, FaultPlan, FaultSet, FaultTimeline, LinkEvent,
+};
+pub use packet::{FaultReport, Flow, PacketSim, PlanReport, SimReport};
+pub use protocol::{deliver_adaptive, AdaptiveReport, PlanNetwork, RoundNetwork, Submission};
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
 pub use schedule_exec::{run_schedule, run_schedule_with_faults};
 pub use trace::{
     CountingRecorder, NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport,
 };
-pub use wormhole::{FaultWormReport, Worm, WormReport, WormholeSim};
+pub use wormhole::{FaultWormReport, PlanWormReport, Worm, WormReport, WormholeSim};

@@ -31,7 +31,7 @@
 //! a `const`-generic switch on the one engine, so the fault-free path
 //! compiles to exactly the code the equivalence tests pin.
 
-use crate::faults::FaultTimeline;
+use crate::faults::{FaultPlan, FaultTimeline, LinkEvent};
 use crate::trace::{NopRecorder, Recorder};
 use hyperpath_embedding::MultiPathEmbedding;
 use hyperpath_topology::{DirEdge, Hypercube, Node};
@@ -77,6 +77,31 @@ pub struct FaultReport {
     pub flow_delivered: Vec<u64>,
     /// Packets of each flow dropped on failed links, indexed by flow id.
     pub flow_lost: Vec<u64>,
+}
+
+/// Outcome of a plan-aware run ([`PacketSim::run_planned`]): the
+/// [`FaultReport`] fields plus corruption accounting. Corrupting links
+/// never affect delivery — a corrupted packet still arrives — so
+/// `flow_corrupted[f] ≤ flow_delivered[f]`, while `corrupted` counts every
+/// packet flagged (including ones later dropped on a failed link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// The machine report. With an empty [`FaultPlan`] this is
+    /// bit-identical to what [`PacketSim::run`] returns (pinned by
+    /// `tests/props.rs`).
+    pub report: SimReport,
+    /// Packets dropped on failed links.
+    pub lost: u64,
+    /// Packets that crossed at least one byte-corrupting link (counted
+    /// once per packet, whether or not they were later dropped).
+    pub corrupted: u64,
+    /// Packets of each flow that arrived, indexed by flow id.
+    pub flow_delivered: Vec<u64>,
+    /// Packets of each flow dropped on failed links, indexed by flow id.
+    pub flow_lost: Vec<u64>,
+    /// Packets of each flow that arrived with a corrupted payload,
+    /// indexed by flow id.
+    pub flow_corrupted: Vec<u64>,
 }
 
 /// The simulator: a hypercube plus a set of flows.
@@ -181,7 +206,7 @@ impl PacketSim {
     /// # Panics
     /// Panics if packets remain undelivered after `max_steps`.
     pub fn run_recorded<R: Recorder>(&self, max_steps: u64, rec: &mut R) -> SimReport {
-        self.engine::<R, false>(max_steps, None, rec).report
+        self.engine::<R, false, false>(max_steps, None, None, rec).report
     }
 
     /// Runs under the given fault timeline: a packet queued at a failed
@@ -206,41 +231,92 @@ impl PacketSim {
         faults: &FaultTimeline,
         rec: &mut R,
     ) -> FaultReport {
-        self.engine::<R, true>(max_steps, Some(faults), rec)
+        let pr = self.engine::<R, true, false>(max_steps, Some(faults), None, rec);
+        FaultReport {
+            report: pr.report,
+            lost: pr.lost,
+            flow_delivered: pr.flow_delivered,
+            flow_lost: pr.flow_lost,
+        }
     }
 
-    /// The one engine behind [`run_recorded`](Self::run_recorded) and
-    /// [`run_faulty_recorded`](Self::run_faulty_recorded). `FAULTY` is a
-    /// compile-time switch: the fault branches below monomorphize away
-    /// entirely on the fault-free path, so the hot loop is exactly the one
-    /// the engine-equivalence property tests pin against `run_reference`.
+    /// Runs under a generalized [`FaultPlan`]: permanent cuts and node
+    /// faults behave exactly like [`run_faulty`](Self::run_faulty)'s
+    /// fail-stop semantics, transient outages additionally restore links
+    /// ([`LinkEvent::Up`]), and byte-corrupting links flag every packet
+    /// that crosses them ([`Recorder::record_corrupt`]) without affecting
+    /// delivery. With an empty plan the report is bit-identical to
+    /// [`run`](Self::run)'s.
     ///
-    /// Fault semantics: the timeline's event for step `s` fires at the
-    /// start of step `s`; during the pop phase a failed link transmits
+    /// # Panics
+    /// Panics if packets remain in flight after `max_steps`.
+    pub fn run_planned(&self, max_steps: u64, plan: &FaultPlan) -> PlanReport {
+        self.run_planned_recorded(max_steps, plan, &mut NopRecorder)
+    }
+
+    /// [`run_planned`](Self::run_planned) with a recorder.
+    ///
+    /// # Panics
+    /// Panics if packets remain in flight after `max_steps`.
+    pub fn run_planned_recorded<R: Recorder>(
+        &self,
+        max_steps: u64,
+        plan: &FaultPlan,
+        rec: &mut R,
+    ) -> PlanReport {
+        self.engine::<R, true, true>(max_steps, None, Some(plan), rec)
+    }
+
+    /// The one engine behind [`run_recorded`](Self::run_recorded),
+    /// [`run_faulty_recorded`](Self::run_faulty_recorded) and
+    /// [`run_planned_recorded`](Self::run_planned_recorded). `FAULTY` and
+    /// `PLAN` are compile-time switches: the fault branches below
+    /// monomorphize away entirely on the fault-free path, so the hot loop
+    /// is exactly the one the engine-equivalence property tests pin
+    /// against `run_reference`; `PLAN` additionally enables
+    /// [`LinkEvent::Up`] restores and corruption flagging without touching
+    /// the timeline path (its allocation counts are pinned by
+    /// `bench/tests/alloc_zero.rs` and the committed perf baseline).
+    ///
+    /// Fault semantics: the timeline's/plan's events for step `s` fire at
+    /// the start of step `s`; during the pop phase a failed link transmits
     /// nothing and instead drops its entire queue (each drop recorded at
     /// the current step). Dropped packets count toward neither `busy` nor
     /// `packet_hops`; `max_queue` still observes the doomed queue's depth.
-    fn engine<R: Recorder, const FAULTY: bool>(
+    fn engine<R: Recorder, const FAULTY: bool, const PLAN: bool>(
         &self,
         max_steps: u64,
         faults: Option<&FaultTimeline>,
+        plan: Option<&FaultPlan>,
         rec: &mut R,
-    ) -> FaultReport {
+    ) -> PlanReport {
+        const {
+            assert!(FAULTY || !PLAN, "a plan-aware run is a fault-aware run");
+        }
         let num_links = self.host.num_directed_edges() as usize;
         let dims = self.host.dims() as usize;
 
         // Fault state (compiled out when `FAULTY` is false).
-        let mut failed: Vec<bool> = if FAULTY {
+        let mut failed: Vec<bool> = if PLAN {
+            plan.expect("plan-aware run needs a plan").initial().bits().to_vec()
+        } else if FAULTY {
             faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
         } else {
             Vec::new()
         };
-        let events: &[(u64, DirEdge)] = if FAULTY { faults.unwrap().events() } else { &[] };
+        let events: &[(u64, DirEdge)] =
+            if FAULTY && !PLAN { faults.unwrap().events() } else { &[] };
+        let plan_events: &[(u64, DirEdge, LinkEvent)] =
+            if PLAN { plan.unwrap().events() } else { &[] };
+        let corrupting: &[bool] = if PLAN { plan.unwrap().corrupting_bits() } else { &[] };
         let mut next_event = 0usize;
         let mut flow_delivered: Vec<u64> =
             if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
         let mut flow_lost: Vec<u64> = if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
+        let mut flow_corrupted: Vec<u64> =
+            if PLAN { vec![0; self.flows.len()] } else { Vec::new() };
         let mut lost = 0u64;
+        let mut corrupted = 0u64;
 
         // Per-flow directed-link sequences, precomputed once into a flat
         // arena (the old engine recomputed XOR + edge index on every hop).
@@ -265,6 +341,8 @@ impl PacketSim {
         let mut pkt_flow: Vec<u32> = Vec::with_capacity(total);
         let mut pkt_pos: Vec<u32> = vec![0; total];
         let mut pkt_next: Vec<u32> = vec![NONE; total];
+        // Sticky per-packet corruption flags (plan-aware runs only).
+        let mut pkt_corrupt: Vec<bool> = if PLAN { vec![false; total] } else { Vec::new() };
 
         // Per-link FIFO queues: intrusive singly-linked lists over the slab.
         let mut q_head: Vec<u32> = vec![NONE; num_links];
@@ -336,8 +414,18 @@ impl PacketSim {
             if step >= max_steps {
                 panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
             }
-            // Fault events for this step fire before anything moves.
-            if FAULTY {
+            // Fault events for this step fire before anything moves. Plan
+            // events within a step apply in insertion order, so a same-step
+            // Down-then-Up pair nets out to Up.
+            if PLAN {
+                while next_event < plan_events.len() && plan_events[next_event].0 <= step {
+                    let (_, edge, ev) = plan_events[next_event];
+                    let down = matches!(ev, LinkEvent::Down);
+                    failed[self.host.dir_edge_index(edge)] = down;
+                    failed[self.host.dir_edge_index(edge.reversed())] = down;
+                    next_event += 1;
+                }
+            } else if FAULTY {
                 while next_event < events.len() && events[next_event].0 <= step {
                     let edge = events[next_event].1;
                     failed[self.host.dir_edge_index(edge)] = true;
@@ -383,6 +471,13 @@ impl PacketSim {
                 pkt_next[pid as usize] = NONE;
                 q_len[idx] -= 1;
                 pkt_pos[pid as usize] += 1;
+                // Crossing a byte-corrupting link taints the packet (once);
+                // it still travels and delivers normally.
+                if PLAN && corrupting[idx] && !pkt_corrupt[pid as usize] {
+                    pkt_corrupt[pid as usize] = true;
+                    corrupted += 1;
+                    rec.record_corrupt(pkt_flow[pid as usize], step);
+                }
                 moved.push(pid);
                 busy += 1;
                 if next == NONE {
@@ -412,6 +507,9 @@ impl PacketSim {
                     rec.record_delivery(f as u32, step + 1);
                     if FAULTY {
                         flow_delivered[f] += 1;
+                    }
+                    if PLAN && pkt_corrupt[pid as usize] {
+                        flow_corrupted[f] += 1;
                     }
                     continue;
                 }
@@ -454,7 +552,7 @@ impl PacketSim {
             touched.clear();
             step += 1;
         }
-        FaultReport {
+        PlanReport {
             report: SimReport {
                 makespan: step,
                 delivered: total_injected - lost,
@@ -467,8 +565,10 @@ impl PacketSim {
                 max_queue,
             },
             lost,
+            corrupted,
             flow_delivered,
             flow_lost,
+            flow_corrupted,
         }
     }
 
@@ -751,6 +851,87 @@ mod tests {
         assert!(fr.flow_lost.iter().all(|&l| l == 0));
         let per_flow: u64 = fr.flow_delivered.iter().sum();
         assert_eq!(per_flow, fr.report.delivered);
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run_exactly() {
+        let e = theorem1(6).unwrap().embedding;
+        let sim = PacketSim::phase_workload(&e, 16);
+        let plan = crate::faults::FaultPlan::none(&e.host);
+        let pr = sim.run_planned(100_000, &plan);
+        assert_eq!(pr.report, sim.run(100_000));
+        assert_eq!((pr.lost, pr.corrupted), (0, 0));
+        assert!(pr.flow_corrupted.iter().all(|&c| c == 0));
+        let per_flow: u64 = pr.flow_delivered.iter().sum();
+        assert_eq!(per_flow, pr.report.delivered);
+    }
+
+    #[test]
+    fn plan_with_static_cuts_matches_run_faulty() {
+        let e = theorem1(6).unwrap().embedding;
+        let sim = PacketSim::phase_workload(&e, 8);
+        let mut fs = crate::faults::FaultSet::none(&e.host);
+        fs.fail_link(&e.host, hyperpath_topology::DirEdge::new(0, 1));
+        fs.fail_link(&e.host, hyperpath_topology::DirEdge::new(5, 2));
+        let tl = crate::faults::FaultTimeline::from_set(fs);
+        let fr = sim.run_faulty(100_000, &tl);
+        let pr = sim.run_planned(100_000, &crate::faults::FaultPlan::from_timeline(&tl));
+        assert_eq!(pr.report, fr.report);
+        assert_eq!(pr.lost, fr.lost);
+        assert_eq!(pr.flow_delivered, fr.flow_delivered);
+        assert_eq!(pr.flow_lost, fr.flow_lost);
+        assert_eq!(pr.corrupted, 0);
+    }
+
+    #[test]
+    fn transient_outage_drops_only_packets_caught_in_the_window() {
+        // Second link of the path is down over [0, 2): the first packet
+        // reaches it at step 1 and is dropped with the usual fail-stop
+        // queue drain; the link is healthy again from step 2, so every
+        // later packet crosses it.
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 5 });
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        plan.outage(hyperpath_topology::DirEdge::new(1, 1), 0, 2);
+        let r = sim.run_planned(100, &plan);
+        assert_eq!(r.lost, 1, "only the packet queued during the outage dies");
+        assert_eq!(r.flow_delivered, vec![4]);
+        assert_eq!(r.flow_lost, vec![1]);
+    }
+
+    #[test]
+    fn corrupting_link_taints_without_touching_delivery() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 4 });
+        sim.add_flow(Flow { path: vec![4, 5], packets: 2 });
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        // Two corrupting links on flow 0's path: packets are still flagged
+        // only once each.
+        plan.corrupt_link(&host, hyperpath_topology::DirEdge::new(0, 0));
+        plan.corrupt_link(&host, hyperpath_topology::DirEdge::new(1, 1));
+        let mut c = crate::trace::CountingRecorder::new();
+        let r = sim.run_planned_recorded(100, &plan, &mut c);
+        assert_eq!(r.report, sim.run(100), "corruption must not change the machine run");
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.corrupted, 4);
+        assert_eq!(c.corrupted, 4, "record_corrupt fires once per packet");
+        assert_eq!(r.flow_corrupted, vec![4, 0]);
+        assert_eq!(r.flow_delivered, vec![4, 2]);
+    }
+
+    #[test]
+    fn node_fault_plan_kills_flows_through_the_node() {
+        let host = Hypercube::new(3);
+        let mut sim = PacketSim::new(host);
+        sim.add_flow(Flow { path: vec![0, 1, 3], packets: 3 }); // via node 1
+        sim.add_flow(Flow { path: vec![4, 6], packets: 2 }); // avoids node 1
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        plan.cut_node(&host, 1);
+        let r = sim.run_planned(100, &plan);
+        assert_eq!(r.flow_lost, vec![3, 0], "every link into node 1 is severed");
+        assert_eq!(r.flow_delivered, vec![0, 2]);
     }
 
     #[test]

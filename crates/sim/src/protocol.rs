@@ -1,0 +1,553 @@
+//! Oracle-free adaptive delivery: the sender learns path health **only**
+//! from per-round ACK/NACK feedback.
+//!
+//! [`crate::delivery::deliver_phase`] (and its generalized sibling
+//! [`deliver_phase_plan`](crate::delivery::deliver_phase_plan)) models an
+//! *omniscient* sender: retry planning reads the fault set directly. A
+//! real machine has no such oracle — it knows only which share indices
+//! came back verified. [`deliver_adaptive`] is that protocol:
+//!
+//! 1. **Round 0**: disperse each guest edge's message into `w` keyed
+//!    tagged shares ([`Ida::disperse_tagged`]) and send share `i` down
+//!    bundle path `i`.
+//! 2. **Feedback**: the destination ACKs each share that arrived *and*
+//!    verified ([`Ida::verify_share`]); a missing or corrupt share is a
+//!    NACK. The sender marks the submitting path observed-dead on NACK —
+//!    the only fault information it ever receives.
+//! 3. **Retry rounds**: missing shares are re-sent over paths not yet
+//!    observed-dead, round-robin, with an exponentially growing per-share
+//!    copy budget (round `r` sends up to `2^(r-1)` copies of each missing
+//!    share over distinct live paths — redundancy substitutes for the
+//!    knowledge the oracle has). If every path of a bundle has been
+//!    observed dead, the observations are reset: transient outages heal,
+//!    so written-off paths deserve a second look.
+//!
+//! The function is oracle-free *by construction*: its signature admits no
+//! fault type — all fault state lives behind the [`RoundNetwork`] trait,
+//! whose production implementation [`PlanNetwork`] runs each round through
+//! the plan-aware packet engine ([`PacketSim::run_planned`]) and flips the
+//! payload bytes of corrupted deliveries with the plan's seeded RNG.
+//! `tests/adaptive_conformance.rs` (bench crate) pins this protocol
+//! against the omniscient pipeline: equal delivery on every static
+//! fail-stop draw, and never a silently wrong reconstruction anywhere.
+
+use crate::delivery::{message_for_edge, DeliveryConfig, EdgeDelivery, EdgeOutcome};
+use crate::faults::FaultPlan;
+use crate::packet::{Flow, PacketSim};
+use hyperpath_embedding::MultiPathEmbedding;
+use hyperpath_ida::{Ida, Share, TaggedShare};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Step cap per simulated round (a stuck round is a workload bug).
+const MAX_STEPS: u64 = 10_000_000;
+
+/// One share handed to the network: which guest edge it serves, which
+/// bundle path it rides, and the tagged payload.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Guest edge the share belongs to.
+    pub guest_edge: usize,
+    /// Bundle path index it is sent down.
+    pub via: usize,
+    /// The keyed tagged share.
+    pub payload: TaggedShare,
+}
+
+/// The channel [`deliver_adaptive`] speaks through — the *only* interface
+/// between the protocol and the (possibly faulty) machine. Entry `i` of
+/// the result corresponds to submission `i`: `None` is a drop, `Some` is
+/// whatever arrived, bytes possibly mangled in transit.
+pub trait RoundNetwork {
+    /// Ships one round of submissions and reports what the destinations
+    /// received.
+    fn ship(&mut self, round: u32, subs: &[Submission]) -> Vec<Option<TaggedShare>>;
+}
+
+/// The production [`RoundNetwork`]: each round becomes one plan-aware
+/// packet simulation (one single-packet flow per submission, injected in
+/// submission order), re-running the [`FaultPlan`] from step 0 — each
+/// protocol round experiences the same adversarial schedule, the modeling
+/// analogue of a phase-synchronous machine. A dropped packet returns
+/// `None`; a delivery that crossed a corrupting link returns the payload
+/// with its bytes flipped by an RNG seeded from the plan's
+/// [`corrupt_seed`](FaultPlan::corrupt_seed), the round, and the
+/// submission index (deterministic, so every run replays identically).
+#[derive(Debug, Clone)]
+pub struct PlanNetwork<'a> {
+    e: &'a MultiPathEmbedding,
+    plan: &'a FaultPlan,
+}
+
+impl<'a> PlanNetwork<'a> {
+    /// A network routing over `e`'s bundles under `plan`.
+    pub fn new(e: &'a MultiPathEmbedding, plan: &'a FaultPlan) -> Self {
+        PlanNetwork { e, plan }
+    }
+}
+
+/// SplitMix64 finalizer (the seed-derivation permutation).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Flips the payload of a share that crossed a corrupting link. Every
+/// byte is XORed with a seeded stream; if the stream happens to be all
+/// zeros the first byte is flipped anyway, so a "corrupted" delivery is
+/// never byte-identical to the original.
+fn corrupt_payload(ts: &TaggedShare, seed: u64, round: u32, index: usize) -> TaggedShare {
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(mix64(seed ^ mix64(u64::from(round) << 32 | index as u64)));
+    let mut bytes = ts.share.data.to_vec();
+    let mut mask = vec![0u8; bytes.len()];
+    rng.fill_bytes(&mut mask);
+    let mut changed = false;
+    for (b, m) in bytes.iter_mut().zip(&mask) {
+        *b ^= m;
+        changed |= *m != 0;
+    }
+    if !changed && !bytes.is_empty() {
+        bytes[0] ^= 0x5a;
+    }
+    TaggedShare { share: Share { index: ts.share.index, data: bytes.into() }, tag: ts.tag }
+}
+
+impl RoundNetwork for PlanNetwork<'_> {
+    fn ship(&mut self, round: u32, subs: &[Submission]) -> Vec<Option<TaggedShare>> {
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        let mut sim = PacketSim::new(self.e.host);
+        for sub in subs {
+            let path = &self.e.edge_paths[sub.guest_edge][sub.via];
+            // Zero-hop paths are legal: the engine delivers them instantly
+            // and they can never cross a (corrupting) link.
+            sim.add_flow(Flow { path: path.nodes().to_vec(), packets: 1 });
+        }
+        let pr = sim.run_planned(MAX_STEPS, self.plan);
+        subs.iter()
+            .enumerate()
+            .map(|(i, sub)| {
+                if pr.flow_delivered[i] != 1 {
+                    return None;
+                }
+                if pr.flow_corrupted[i] == 1 {
+                    Some(corrupt_payload(&sub.payload, self.plan.corrupt_seed(), round, i))
+                } else {
+                    Some(sub.payload.clone())
+                }
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one adaptive dispersal phase: the
+/// [`DeliveryReport`](crate::delivery::DeliveryReport) accounting fields
+/// plus the protocol's own counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// One record per guest edge (same grading as the oracle pipeline).
+    pub edges: Vec<EdgeDelivery>,
+    /// Edges whose threshold was met in round 0.
+    pub delivered: usize,
+    /// Edges recovered only by retries.
+    pub degraded: usize,
+    /// Edges whose message was lost.
+    pub lost: usize,
+    /// Retry rounds actually executed.
+    pub rounds_run: u32,
+    /// Shares re-sent across all retry rounds (copies count).
+    pub shares_resent: u64,
+    /// Shares that arrived but failed fingerprint verification (the
+    /// corruption-to-erasure conversions).
+    pub rejected_shares: u64,
+    /// Reconstructions that produced bytes differing from the original
+    /// message. With verified shares this must be 0 — the chaos harness
+    /// asserts it.
+    pub wrong_reconstructions: u64,
+}
+
+impl AdaptiveReport {
+    /// Whether every guest edge's message was recovered.
+    pub fn all_delivered(&self) -> bool {
+        self.lost == 0
+    }
+
+    /// Messages recovered, degraded or not.
+    pub fn recovered(&self) -> usize {
+        self.delivered + self.degraded
+    }
+}
+
+/// Runs one oracle-free adaptive dispersal phase of `e` through `net`.
+///
+/// `key` keys the share fingerprints; sender and receiver share it (the
+/// adversary model is the fault plan's random corruption, not a
+/// key-knowing forger). The function never sees a fault set, timeline, or
+/// plan — path health is inferred exclusively from which submissions come
+/// back verified. Fully deterministic for a deterministic network.
+///
+/// # Panics
+/// Panics if any bundle is empty or wider than 255 paths (the IDA share
+/// index is a byte).
+pub fn deliver_adaptive<N: RoundNetwork>(
+    e: &MultiPathEmbedding,
+    cfg: &DeliveryConfig,
+    key: u64,
+    net: &mut N,
+) -> AdaptiveReport {
+    let n_edges = e.edge_paths.len();
+
+    struct EdgeState {
+        threshold: usize,
+        ida: Ida,
+        message: Vec<u8>,
+        tagged: Vec<TaggedShare>,
+        /// Verified arrivals, by share index.
+        verified: Vec<Option<TaggedShare>>,
+        /// Paths observed dead (NACKed) so far.
+        path_dead: Vec<bool>,
+        first_round_arrivals: usize,
+        recovered_in_round: Option<u32>, // 0 = initial round
+    }
+
+    impl EdgeState {
+        fn verified_count(&self) -> usize {
+            self.verified.iter().filter(|v| v.is_some()).count()
+        }
+    }
+
+    let mut states: Vec<EdgeState> = e
+        .edge_paths
+        .iter()
+        .enumerate()
+        .map(|(eid, bundle)| {
+            let w = bundle.len();
+            assert!(
+                (1..=255).contains(&w),
+                "guest edge {eid}: bundle width {w} outside the IDA share range"
+            );
+            let threshold = cfg.threshold.clamp(1, w);
+            let ida = Ida::new(w as u8, threshold as u8);
+            let message = message_for_edge(eid, cfg.message_len);
+            let tagged = ida.disperse_tagged(&message, key);
+            EdgeState {
+                threshold,
+                ida,
+                message,
+                tagged,
+                verified: vec![None; w],
+                path_dead: vec![false; w],
+                first_round_arrivals: 0,
+                recovered_in_round: None,
+            }
+        })
+        .collect();
+
+    let mut rejected_shares = 0u64;
+
+    // One round through the network: submissions out, verified shares in.
+    // Returns via `states`: verified slots filled, NACKed paths marked.
+    let mut run_round = |round: u32, subs: Vec<Submission>, states: &mut Vec<EdgeState>| {
+        let results = net.ship(round, &subs);
+        assert_eq!(results.len(), subs.len(), "network must answer every submission");
+        for (sub, res) in subs.iter().zip(results) {
+            let st = &mut states[sub.guest_edge];
+            match res {
+                Some(ts) if st.ida.verify_share(key, &ts) => {
+                    let idx = usize::from(ts.share.index);
+                    st.verified[idx] = Some(ts);
+                    // An ACK via this path: it worked this round.
+                    st.path_dead[sub.via] = false;
+                }
+                Some(_) => {
+                    // Arrived but mangled: corruption observed as erasure.
+                    rejected_shares += 1;
+                    st.path_dead[sub.via] = true;
+                }
+                None => {
+                    st.path_dead[sub.via] = true;
+                }
+            }
+        }
+    };
+
+    // Round 0: share `i` rides path `i` of its bundle.
+    let mut subs: Vec<Submission> = Vec::new();
+    for (eid, st) in states.iter().enumerate() {
+        for (i, ts) in st.tagged.iter().enumerate() {
+            subs.push(Submission { guest_edge: eid, via: i, payload: ts.clone() });
+        }
+    }
+    run_round(0, subs, &mut states);
+    for st in &mut states {
+        st.first_round_arrivals = st.verified_count();
+        if st.first_round_arrivals >= st.threshold {
+            st.recovered_in_round = Some(0);
+        }
+    }
+
+    // Retry rounds: re-send the missing shares over paths not yet
+    // observed-dead, with an exponentially growing copy budget.
+    let mut shares_resent = 0u64;
+    let mut rounds_run = 0u32;
+    for round in 1..=cfg.max_retries {
+        let mut subs: Vec<Submission> = Vec::new();
+        for (eid, st) in states.iter_mut().enumerate() {
+            if st.recovered_in_round.is_some() {
+                continue;
+            }
+            let w = st.path_dead.len();
+            if st.path_dead.iter().all(|&d| d) {
+                // Every path written off: reset the observations and try
+                // them all again — a transient outage may have healed.
+                st.path_dead.iter_mut().for_each(|d| *d = false);
+            }
+            let alive: Vec<usize> = (0..w).filter(|&i| !st.path_dead[i]).collect();
+            // Up to 2^(round-1) copies of each missing share, capped by
+            // the number of live paths (shifted add avoids overflow for
+            // large round budgets).
+            let copies =
+                1usize.checked_shl(round - 1).unwrap_or(usize::MAX).min(alive.len()).max(1);
+            let missing: Vec<usize> = (0..w).filter(|&i| st.verified[i].is_none()).collect();
+            for (j, &share_i) in missing.iter().enumerate() {
+                for c in 0..copies {
+                    let via = alive[(j + c) % alive.len()];
+                    subs.push(Submission {
+                        guest_edge: eid,
+                        via,
+                        payload: st.tagged[share_i].clone(),
+                    });
+                }
+            }
+        }
+        if subs.is_empty() {
+            break;
+        }
+        rounds_run = round;
+        shares_resent += subs.len() as u64;
+        run_round(round, subs, &mut states);
+        for st in &mut states {
+            if st.recovered_in_round.is_none() && st.verified_count() >= st.threshold {
+                st.recovered_in_round = Some(round);
+            }
+        }
+    }
+
+    // Grade every edge, verifying actual byte-for-byte reconstruction
+    // from the verified shares.
+    let mut edges = Vec::with_capacity(n_edges);
+    let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
+    let mut wrong_reconstructions = 0u64;
+    for (eid, st) in states.iter().enumerate() {
+        let arrived_total = st.verified_count();
+        let outcome = match st.recovered_in_round {
+            Some(round) => {
+                let subset: Vec<Share> = st
+                    .verified
+                    .iter()
+                    .flatten()
+                    .map(|ts| ts.share.clone())
+                    .take(st.threshold)
+                    .collect();
+                match st.ida.reconstruct(&subset) {
+                    Ok(bytes) if bytes == st.message => {
+                        if round == 0 {
+                            delivered += 1;
+                            EdgeOutcome::Delivered
+                        } else {
+                            degraded += 1;
+                            EdgeOutcome::Degraded { rounds: round }
+                        }
+                    }
+                    Ok(_) => {
+                        // A verified share set reconstructing to wrong
+                        // bytes would be a fingerprint miss; grade Lost
+                        // and surface it loudly.
+                        wrong_reconstructions += 1;
+                        lost += 1;
+                        EdgeOutcome::Lost { arrived: arrived_total }
+                    }
+                    Err(_) => {
+                        lost += 1;
+                        EdgeOutcome::Lost { arrived: arrived_total }
+                    }
+                }
+            }
+            None => {
+                lost += 1;
+                EdgeOutcome::Lost { arrived: arrived_total }
+            }
+        };
+        edges.push(EdgeDelivery {
+            guest_edge: eid,
+            width: e.edge_paths[eid].len(),
+            threshold: st.threshold,
+            first_round_arrivals: st.first_round_arrivals,
+            outcome,
+        });
+    }
+
+    AdaptiveReport {
+        edges,
+        delivered,
+        degraded,
+        lost,
+        rounds_run,
+        shares_resent,
+        rejected_shares,
+        wrong_reconstructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSet;
+    use hyperpath_core::cycles::theorem1;
+    use hyperpath_topology::DirEdge;
+
+    const KEY: u64 = 0x0dd5_ba11_c0de_cafe;
+
+    #[test]
+    fn fault_free_network_delivers_everything_in_round_zero() {
+        let t1 = theorem1(6).unwrap();
+        let plan = FaultPlan::none(&t1.embedding.host);
+        let mut net = PlanNetwork::new(&t1.embedding, &plan);
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 2, message_len: 96 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut net);
+        assert!(r.all_delivered());
+        assert_eq!(r.delivered, t1.embedding.edge_paths.len());
+        assert_eq!((r.degraded, r.rounds_run, r.shares_resent), (0, 0, 0));
+        assert_eq!((r.rejected_shares, r.wrong_reconstructions), (0, 0));
+    }
+
+    #[test]
+    fn adaptive_recovers_from_cut_paths_without_reading_the_plan() {
+        // Cut the first link of two of bundle 0's three paths: round 0
+        // NACKs those shares, and the retry round reroutes them over the
+        // path observed alive.
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let mut fs = FaultSet::none(&host);
+        for path in t1.embedding.edge_paths[0].iter().take(2) {
+            fs.fail_link(&host, path.edges().next().unwrap());
+        }
+        let mut plan = FaultPlan::none(&host);
+        for path in t1.embedding.edge_paths[0].iter().take(2) {
+            plan.cut_link(&host, path.edges().next().unwrap());
+        }
+        let mut net = PlanNetwork::new(&t1.embedding, &plan);
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 1, message_len: 64 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut net);
+        assert!(r.all_delivered());
+        assert!(r.degraded >= 1);
+        assert_eq!(r.edges[0].outcome, EdgeOutcome::Degraded { rounds: 1 });
+        assert_eq!(r.wrong_reconstructions, 0);
+    }
+
+    #[test]
+    fn corrupted_shares_are_rejected_then_recovered_over_clean_paths() {
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let victim = t1.embedding.edge_paths[0][0].edges().next().unwrap();
+        let mut plan = FaultPlan::none(&host);
+        plan.corrupt_link(&host, victim);
+        plan.set_corrupt_seed(77);
+        let mut net = PlanNetwork::new(&t1.embedding, &plan);
+        let w = t1.embedding.edge_paths[0].len();
+        let cfg = DeliveryConfig { threshold: w, max_retries: 2, message_len: 64 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut net);
+        assert!(r.rejected_shares >= 1, "the tainted share must be NACKed, not accepted");
+        assert_eq!(r.wrong_reconstructions, 0, "corruption degrades to erasure, never to lies");
+        assert!(r.all_delivered(), "clean paths carry the retries");
+        assert!(r.degraded >= 1);
+    }
+
+    #[test]
+    fn observed_dead_paths_are_reset_when_all_are_written_off() {
+        // A scripted network that fails EVERY submission in rounds 0-1 and
+        // delivers everything from round 2 on: the protocol must write all
+        // paths off, reset, and still recover — no fault type in sight.
+        struct FlakyNetwork {
+            heal_at: u32,
+        }
+        impl RoundNetwork for FlakyNetwork {
+            fn ship(&mut self, round: u32, subs: &[Submission]) -> Vec<Option<TaggedShare>> {
+                subs.iter()
+                    .map(|s| if round >= self.heal_at { Some(s.payload.clone()) } else { None })
+                    .collect()
+            }
+        }
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 3, message_len: 48 };
+        let mut net = FlakyNetwork { heal_at: 2 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut net);
+        assert!(r.all_delivered(), "reset-and-retry must ride out the outage");
+        assert_eq!(r.delivered, 0, "nothing arrived in round 0");
+        assert!(r.edges.iter().all(|ed| ed.outcome == EdgeOutcome::Degraded { rounds: 2 }));
+    }
+
+    #[test]
+    fn mangled_payloads_from_a_hostile_network_never_reconstruct_wrong() {
+        // A network that delivers every share with flipped bytes: all
+        // shares are rejected, every edge is Lost, and no reconstruction
+        // ever fabricates wrong bytes.
+        struct LiarNetwork;
+        impl RoundNetwork for LiarNetwork {
+            fn ship(&mut self, _round: u32, subs: &[Submission]) -> Vec<Option<TaggedShare>> {
+                subs.iter()
+                    .map(|s| {
+                        let mut bytes = s.payload.share.data.to_vec();
+                        for b in &mut bytes {
+                            *b ^= 0xa5;
+                        }
+                        Some(TaggedShare {
+                            share: Share { index: s.payload.share.index, data: bytes.into() },
+                            tag: s.payload.tag,
+                        })
+                    })
+                    .collect()
+            }
+        }
+        let t1 = theorem1(4).unwrap();
+        let cfg = DeliveryConfig { threshold: 1, max_retries: 2, message_len: 32 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut LiarNetwork);
+        assert_eq!(r.recovered(), 0);
+        assert_eq!(r.wrong_reconstructions, 0);
+        assert!(r.rejected_shares > 0);
+        assert!(r.edges.iter().all(|ed| matches!(ed.outcome, EdgeOutcome::Lost { arrived: 0 })));
+    }
+
+    #[test]
+    fn corrupt_payload_is_deterministic_and_always_differs() {
+        let ida = Ida::new(4, 2);
+        let tagged = ida.disperse_tagged(b"some message bytes", 9);
+        let a = corrupt_payload(&tagged[1], 123, 2, 7);
+        let b = corrupt_payload(&tagged[1], 123, 2, 7);
+        assert_eq!(a, b, "same (seed, round, index) must corrupt identically");
+        assert_ne!(a.share.data, tagged[1].share.data);
+        let c = corrupt_payload(&tagged[1], 123, 3, 7);
+        assert_ne!(a.share.data, c.share.data, "round is part of the stream seed");
+        assert!(!ida.verify_share(9, &a), "corrupted payload must fail verification");
+    }
+
+    #[test]
+    fn plan_network_replays_identically() {
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let mut plan = FaultPlan::none(&host);
+        plan.corrupt_link(&host, DirEdge::new(0, 1));
+        plan.cut_link(&host, DirEdge::new(3, 0));
+        plan.set_corrupt_seed(4242);
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 2, message_len: 64 };
+        let r1 =
+            deliver_adaptive(&t1.embedding, &cfg, KEY, &mut PlanNetwork::new(&t1.embedding, &plan));
+        let r2 =
+            deliver_adaptive(&t1.embedding, &cfg, KEY, &mut PlanNetwork::new(&t1.embedding, &plan));
+        assert_eq!(r1, r2);
+    }
+}

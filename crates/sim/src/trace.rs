@@ -40,6 +40,18 @@ pub trait Recorder {
     #[inline]
     fn record_drop(&mut self, _flow: u32, _step: u64) {}
 
+    /// One packet (or worm) of `flow` crossed a byte-corrupting link at
+    /// `step` for the first time — it will still be delivered, but its
+    /// payload is no longer trustworthy. Only the plan-aware engines
+    /// ([`PacketSim::run_planned`], [`WormholeSim::run_planned`]) emit
+    /// this, and at most once per packet however many corrupting links it
+    /// crosses.
+    ///
+    /// [`PacketSim::run_planned`]: crate::packet::PacketSim::run_planned
+    /// [`WormholeSim::run_planned`]: crate::wormhole::WormholeSim::run_planned
+    #[inline]
+    fn record_corrupt(&mut self, _flow: u32, _step: u64) {}
+
     /// `count` packets entered the FIFO of `link` (injection and every
     /// re-queue after a hop both count — this is the engine's total queue
     /// work, one of the deterministic counters the perf gate pins).
@@ -59,7 +71,7 @@ pub struct NopRecorder;
 impl Recorder for NopRecorder {}
 
 /// Accumulates the deterministic work counters of one run and nothing
-/// else: no per-event storage, no allocation, just eight integers. These
+/// else: no per-event storage, no allocation, just nine integers. These
 /// are the machine-independent quantities the perf-regression gate
 /// compares exactly (`crates/bench`): for a fixed workload every counter
 /// is a pure function of the simulated machine's semantics, so any change
@@ -83,6 +95,9 @@ pub struct CountingRecorder {
     pub dropped: u64,
     /// Flits moved across links (wormhole runs only).
     pub flit_moves: u64,
+    /// Packets (or worms) that crossed at least one byte-corrupting link
+    /// (plan-aware runs only; counted once per packet).
+    pub corrupted: u64,
 }
 
 impl CountingRecorder {
@@ -112,6 +127,10 @@ impl Recorder for CountingRecorder {
 
     fn record_drop(&mut self, _flow: u32, _step: u64) {
         self.dropped += 1;
+    }
+
+    fn record_corrupt(&mut self, _flow: u32, _step: u64) {
+        self.corrupted += 1;
     }
 
     fn record_queue_push(&mut self, _link: u32, count: u64) {

@@ -10,7 +10,7 @@
 //! under contention; wormhole pipelining charges `hops + M` when the path
 //! is clear — the contrast experiment E10 measures.
 
-use crate::faults::FaultTimeline;
+use crate::faults::{FaultPlan, FaultTimeline, LinkEvent};
 use crate::trace::{NopRecorder, Recorder};
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 
@@ -48,6 +48,33 @@ impl FaultWormReport {
     /// Number of worms killed by faults.
     pub fn lost_count(&self) -> usize {
         self.lost.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Outcome of a plan-aware run ([`WormholeSim::run_planned`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanWormReport {
+    /// The machine report. With an empty [`FaultPlan`] this is
+    /// bit-identical to [`WormholeSim::run`]'s (pinned by
+    /// `tests/props.rs`).
+    pub report: WormReport,
+    /// Whether each worm was killed by a link fault, indexed by worm id.
+    pub lost: Vec<bool>,
+    /// Whether each worm's head crossed a byte-corrupting link, indexed by
+    /// worm id (a corrupted worm still completes — only its payload is
+    /// untrustworthy).
+    pub corrupted: Vec<bool>,
+}
+
+impl PlanWormReport {
+    /// Number of worms killed by faults.
+    pub fn lost_count(&self) -> usize {
+        self.lost.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of worms that crossed a corrupting link.
+    pub fn corrupted_count(&self) -> usize {
+        self.corrupted.iter().filter(|&&c| c).count()
     }
 }
 
@@ -95,7 +122,7 @@ impl WormholeSim {
     /// # Panics
     /// Panics if worms remain in flight after `max_steps`.
     pub fn run_recorded<R: Recorder>(&self, max_steps: u64, rec: &mut R) -> WormReport {
-        self.engine::<R, false>(max_steps, None, rec).report
+        self.engine::<R, false, false>(max_steps, None, None, rec).report
     }
 
     /// Runs under the given fault timeline. A worm dies the moment a fault
@@ -123,31 +150,75 @@ impl WormholeSim {
         faults: &FaultTimeline,
         rec: &mut R,
     ) -> FaultWormReport {
-        self.engine::<R, true>(max_steps, Some(faults), rec)
+        let pr = self.engine::<R, true, false>(max_steps, Some(faults), None, rec);
+        FaultWormReport { report: pr.report, lost: pr.lost }
     }
 
-    /// The one engine behind [`run`](Self::run) and
-    /// [`run_with_faults`](Self::run_with_faults); `FAULTY` compiles the
-    /// fault branches out of the plain path entirely.
-    fn engine<R: Recorder, const FAULTY: bool>(
+    /// Runs under a generalized [`FaultPlan`]: fail-stop cuts and node
+    /// faults kill worms exactly as in
+    /// [`run_with_faults`](Self::run_with_faults), transient outages
+    /// additionally restore links ([`LinkEvent::Up`] — a restored link is
+    /// usable again, but worms already killed stay dead), and a worm whose
+    /// head crosses a byte-corrupting link is flagged
+    /// ([`Recorder::record_corrupt`], once per worm) while still streaming
+    /// to completion. With an empty plan the report is bit-identical to
+    /// [`run`](Self::run)'s.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_planned(&self, max_steps: u64, plan: &FaultPlan) -> PlanWormReport {
+        self.run_planned_recorded(max_steps, plan, &mut NopRecorder)
+    }
+
+    /// [`run_planned`](Self::run_planned) with a recorder.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_planned_recorded<R: Recorder>(
+        &self,
+        max_steps: u64,
+        plan: &FaultPlan,
+        rec: &mut R,
+    ) -> PlanWormReport {
+        self.engine::<R, true, true>(max_steps, None, Some(plan), rec)
+    }
+
+    /// The one engine behind [`run`](Self::run),
+    /// [`run_with_faults`](Self::run_with_faults) and
+    /// [`run_planned`](Self::run_planned); `FAULTY` compiles the fault
+    /// branches out of the plain path entirely, and `PLAN` additionally
+    /// enables link restores and corruption flagging without touching the
+    /// timeline path.
+    fn engine<R: Recorder, const FAULTY: bool, const PLAN: bool>(
         &self,
         max_steps: u64,
         faults: Option<&FaultTimeline>,
+        plan: Option<&FaultPlan>,
         rec: &mut R,
-    ) -> FaultWormReport {
+    ) -> PlanWormReport {
+        const {
+            assert!(FAULTY || !PLAN, "a plan-aware run is a fault-aware run");
+        }
         let num_links = self.host.num_directed_edges() as usize;
         // Which worm holds each link (u32::MAX = free).
         let mut holder: Vec<u32> = vec![u32::MAX; num_links];
 
         // Fault state (compiled out when `FAULTY` is false).
-        let mut failed: Vec<bool> = if FAULTY {
+        let mut failed: Vec<bool> = if PLAN {
+            plan.expect("plan-aware run needs a plan").initial().bits().to_vec()
+        } else if FAULTY {
             faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
         } else {
             Vec::new()
         };
-        let events: &[(u64, DirEdge)] = if FAULTY { faults.unwrap().events() } else { &[] };
+        let events: &[(u64, DirEdge)] =
+            if FAULTY && !PLAN { faults.unwrap().events() } else { &[] };
+        let plan_events: &[(u64, DirEdge, LinkEvent)] =
+            if PLAN { plan.unwrap().events() } else { &[] };
+        let corrupting: &[bool] = if PLAN { plan.unwrap().corrupting_bits() } else { &[] };
         let mut next_event = 0usize;
         let mut lost = vec![false; if FAULTY { self.worms.len() } else { 0 }];
+        let mut corrupted = vec![false; if PLAN { self.worms.len() } else { 0 }];
 
         // Flat per-worm arenas: link index and head-entry step per hop.
         let mut worm_off: Vec<u32> = Vec::with_capacity(self.worms.len() + 1);
@@ -179,32 +250,66 @@ impl WormholeSim {
         let mut step = 0u64;
         while !active.is_empty() {
             // Fault events for this step fire before anything moves; a
-            // worm holding a newly severed link dies on the spot.
+            // worm holding a newly severed link dies on the spot. A plan's
+            // [`LinkEvent::Up`] merely reopens the link — dead worms stay
+            // dead, but stalled heads may now enter it.
             if FAULTY {
                 let mut any_killed = false;
-                while next_event < events.len() && events[next_event].0 <= step {
-                    let edge = events[next_event].1;
-                    for idx in
-                        [self.host.dir_edge_index(edge), self.host.dir_edge_index(edge.reversed())]
-                    {
-                        failed[idx] = true;
-                        let wid = holder[idx];
-                        if wid != u32::MAX {
-                            let w = wid as usize;
-                            let off = worm_off[w] as usize;
-                            for h in 0..(worm_off[w + 1] as usize - off) {
-                                let l = worm_links[off + h] as usize;
-                                if holder[l] == wid {
-                                    holder[l] = u32::MAX;
-                                }
+                let mut sever = |idx: usize,
+                                 failed: &mut [bool],
+                                 holder: &mut [u32],
+                                 completion: &mut [u64],
+                                 lost: &mut [bool],
+                                 rec: &mut R| {
+                    failed[idx] = true;
+                    let wid = holder[idx];
+                    if wid != u32::MAX {
+                        let w = wid as usize;
+                        let off = worm_off[w] as usize;
+                        for h in 0..(worm_off[w + 1] as usize - off) {
+                            let l = worm_links[off + h] as usize;
+                            if holder[l] == wid {
+                                holder[l] = u32::MAX;
                             }
-                            completion[w] = step;
-                            lost[w] = true;
-                            any_killed = true;
-                            rec.record_drop(wid, step);
                         }
+                        completion[w] = step;
+                        lost[w] = true;
+                        any_killed = true;
+                        rec.record_drop(wid, step);
                     }
-                    next_event += 1;
+                };
+                if PLAN {
+                    while next_event < plan_events.len() && plan_events[next_event].0 <= step {
+                        let (_, edge, ev) = plan_events[next_event];
+                        for idx in [
+                            self.host.dir_edge_index(edge),
+                            self.host.dir_edge_index(edge.reversed()),
+                        ] {
+                            match ev {
+                                LinkEvent::Down => sever(
+                                    idx,
+                                    &mut failed,
+                                    &mut holder,
+                                    &mut completion,
+                                    &mut lost,
+                                    rec,
+                                ),
+                                LinkEvent::Up => failed[idx] = false,
+                            }
+                        }
+                        next_event += 1;
+                    }
+                } else {
+                    while next_event < events.len() && events[next_event].0 <= step {
+                        let edge = events[next_event].1;
+                        for idx in [
+                            self.host.dir_edge_index(edge),
+                            self.host.dir_edge_index(edge.reversed()),
+                        ] {
+                            sever(idx, &mut failed, &mut holder, &mut completion, &mut lost, rec);
+                        }
+                        next_event += 1;
+                    }
                 }
                 if any_killed {
                     active.retain(|&wid| !lost[wid as usize]);
@@ -236,6 +341,13 @@ impl WormholeSim {
                     }
                     if holder[idx] == u32::MAX {
                         holder[idx] = wid;
+                        // The head entering a byte-corrupting link taints
+                        // the whole flit stream (once); the worm still
+                        // completes normally.
+                        if PLAN && corrupting[idx] && !corrupted[w] {
+                            corrupted[w] = true;
+                            rec.record_corrupt(wid, step);
+                        }
                         entered[off + head[w]] = step;
                         head[w] += 1;
                         advanced += 1;
@@ -275,12 +387,13 @@ impl WormholeSim {
                 panic!("wormhole simulation did not finish within {max_steps} steps");
             }
         }
-        FaultWormReport {
+        PlanWormReport {
             report: WormReport {
                 makespan: completion.iter().copied().max().unwrap_or(0),
                 completion,
             },
             lost,
+            corrupted,
         }
     }
 
@@ -475,6 +588,70 @@ mod tests {
         let fr = sim.run_with_faults(10_000, &tl);
         assert_eq!(fr.report, sim.run(10_000));
         assert_eq!(fr.lost_count(), 0);
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run_exactly() {
+        let host = Hypercube::new(4);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3, 7], flits: 6 });
+        sim.add_worm(Worm { path: vec![0, 1, 5], flits: 3 });
+        sim.add_worm(Worm { path: vec![8], flits: 2 });
+        let plan = crate::faults::FaultPlan::none(&host);
+        let pr = sim.run_planned(10_000, &plan);
+        assert_eq!(pr.report, sim.run(10_000));
+        assert_eq!(pr.lost_count(), 0);
+        assert_eq!(pr.corrupted_count(), 0);
+    }
+
+    #[test]
+    fn plan_outage_restores_the_link_for_later_worms() {
+        let host = Hypercube::new(3);
+        // Worm 0 streams 12 flits through (0,0), delaying worm 1's head
+        // past the outage window on worm 1's second link.
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1], flits: 12 });
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 2 });
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        plan.outage(DirEdge::new(1, 1), 2, 10);
+        let r = sim.run_planned(1000, &plan);
+        assert_eq!(r.lost, vec![false, false], "nobody touches the link while it is down");
+        assert_eq!(r.corrupted, vec![false, false]);
+        // Under a permanent cut at the same step, worm 1 dies instead —
+        // the restore is what saved it above.
+        let mut cut = crate::faults::FaultPlan::none(&host);
+        cut.cut_link_at(2, DirEdge::new(1, 1));
+        let r2 = sim.run_planned(1000, &cut);
+        assert_eq!(r2.lost, vec![false, true]);
+    }
+
+    #[test]
+    fn corrupting_link_flags_worms_without_killing_them() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 4 });
+        sim.add_worm(Worm { path: vec![4, 6], flits: 2 });
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        plan.corrupt_link(&host, DirEdge::new(0, 0));
+        let mut c = crate::trace::CountingRecorder::new();
+        let r = sim.run_planned_recorded(1000, &plan, &mut c);
+        assert_eq!(r.report, sim.run(1000), "corruption must not change the machine run");
+        assert_eq!(r.lost, vec![false, false]);
+        assert_eq!(r.corrupted, vec![true, false]);
+        assert_eq!(c.corrupted, 1);
+    }
+
+    #[test]
+    fn plan_node_fault_kills_worms_through_the_node() {
+        let host = Hypercube::new(3);
+        let mut sim = WormholeSim::new(host);
+        sim.add_worm(Worm { path: vec![0, 1, 3], flits: 4 }); // via node 1
+        sim.add_worm(Worm { path: vec![4, 6], flits: 2 }); // avoids node 1
+        let mut plan = crate::faults::FaultPlan::none(&host);
+        plan.cut_node(&host, 1);
+        let r = sim.run_planned(1000, &plan);
+        assert_eq!(r.lost, vec![true, false]);
+        assert_eq!(r.corrupted_count(), 0);
     }
 
     #[test]

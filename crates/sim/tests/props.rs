@@ -8,7 +8,7 @@
 use hyperpath_core::cycles::theorem1;
 use hyperpath_sim::faults::{random_fault_set, surviving_paths};
 use hyperpath_sim::routing::ecube_path;
-use hyperpath_sim::{FaultTimeline, Flow, PacketSim, Worm, WormholeSim};
+use hyperpath_sim::{FaultPlan, FaultTimeline, Flow, PacketSim, Worm, WormholeSim};
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -109,6 +109,106 @@ proptest! {
         let faulty = sim.run_with_faults(1_000_000, &FaultTimeline::none(&host));
         prop_assert_eq!(&faulty.report, &plain);
         prop_assert_eq!(faulty.lost_count(), 0);
+    }
+
+    /// An *empty* `FaultPlan` is also free: the plan-aware packet engine
+    /// reproduces the plain run bit-for-bit, with nothing lost or tainted.
+    #[test]
+    fn planless_packet_run_is_bit_identical(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = PacketSim::new(host);
+        for &s in &seeds {
+            sim.add_flow(flow_from_seed(host, s));
+        }
+        let plain = sim.run(1_000_000);
+        let planned = sim.run_planned(1_000_000, &FaultPlan::none(&host));
+        prop_assert_eq!(&planned.report, &plain);
+        prop_assert_eq!(planned.lost, 0);
+        prop_assert_eq!(planned.corrupted, 0);
+        prop_assert_eq!(planned.flow_corrupted.iter().sum::<u64>(), 0);
+        prop_assert_eq!(planned.flow_delivered.iter().sum::<u64>(), plain.delivered);
+    }
+
+    /// Same for the wormhole engine under an empty plan.
+    #[test]
+    fn planless_wormhole_run_is_bit_identical(n in 2u32..6, seeds in proptest::collection::vec(0u64..u64::MAX, 1..12)) {
+        let host = Hypercube::new(n);
+        let mut sim = WormholeSim::new(host);
+        for &s in &seeds {
+            sim.add_worm(worm_from_seed(host, s));
+        }
+        let plain = sim.run(1_000_000);
+        let planned = sim.run_planned(1_000_000, &FaultPlan::none(&host));
+        prop_assert_eq!(&planned.report, &plain);
+        prop_assert_eq!(planned.lost_count(), 0);
+        prop_assert_eq!(planned.corrupted_count(), 0);
+    }
+
+    /// A `FaultPlan` built from a `FaultTimeline` (static cuts plus timed
+    /// cuts, no outages or corruption) drives both engines to the same
+    /// observable outcome as the timeline path.
+    #[test]
+    fn plan_from_timeline_agrees_with_faulty_engines(
+        n in 2u32..6,
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..10),
+        cut_seed in 0u64..u64::MAX,
+        cuts in proptest::collection::vec((0u64..64, 0u64..u64::MAX), 0..6),
+    ) {
+        let host = Hypercube::new(n);
+        let mut rng = StdRng::seed_from_u64(cut_seed);
+        let mut tl = FaultTimeline::from_set(random_fault_set(&host, 0.03, &mut rng));
+        for &(step, s) in &cuts {
+            let node: Node = s % host.num_nodes();
+            let dim = ((s >> 40) % u64::from(host.dims())) as u32;
+            tl.fail_link_at(step, DirEdge::new(node, dim));
+        }
+        let plan = FaultPlan::from_timeline(&tl);
+
+        let mut psim = PacketSim::new(host);
+        for &s in &seeds {
+            psim.add_flow(flow_from_seed(host, s));
+        }
+        let faulty = psim.run_faulty(1_000_000, &tl);
+        let planned = psim.run_planned(1_000_000, &plan);
+        prop_assert_eq!(&planned.report, &faulty.report);
+        prop_assert_eq!(planned.lost, faulty.lost);
+        prop_assert_eq!(&planned.flow_delivered, &faulty.flow_delivered);
+        prop_assert_eq!(&planned.flow_lost, &faulty.flow_lost);
+        prop_assert_eq!(planned.corrupted, 0);
+
+        let mut wsim = WormholeSim::new(host);
+        for &s in &seeds {
+            wsim.add_worm(worm_from_seed(host, s));
+        }
+        let wfaulty = wsim.run_with_faults(1_000_000, &tl);
+        let wplanned = wsim.run_planned(1_000_000, &plan);
+        prop_assert_eq!(&wplanned.report, &wfaulty.report);
+        prop_assert_eq!(&wplanned.lost, &wfaulty.lost);
+        prop_assert_eq!(wplanned.corrupted_count(), 0);
+    }
+
+    /// `FaultTimeline::fail_link_at` keeps the event list sorted by step
+    /// with FIFO order inside each step, no matter the insertion order.
+    #[test]
+    fn timeline_events_sorted_fifo_within_step(
+        n in 2u32..6,
+        cuts in proptest::collection::vec((0u64..16, 0u64..u64::MAX), 0..24),
+    ) {
+        let host = Hypercube::new(n);
+        let mut tl = FaultTimeline::none(&host);
+        let mut expected: Vec<(u64, DirEdge)> = Vec::new();
+        for &(step, s) in &cuts {
+            let node: Node = s % host.num_nodes();
+            let dim = ((s >> 40) % u64::from(host.dims())) as u32;
+            let edge = DirEdge::new(node, dim);
+            tl.fail_link_at(step, edge);
+            // Stable insert: after every earlier-or-equal step (FIFO).
+            let pos = expected.partition_point(|&(t, _)| t <= step);
+            expected.insert(pos, (step, edge));
+        }
+        let got: Vec<(u64, DirEdge)> = tl.events().to_vec();
+        prop_assert_eq!(&got, &expected);
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0), "events must be sorted by step");
     }
 
     /// `surviving_paths` is monotone under fault-set inclusion: failing
