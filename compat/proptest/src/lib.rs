@@ -133,7 +133,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         len: core::ops::Range<usize>,

@@ -9,8 +9,8 @@
 //! * `--baseline <path>` — baseline artifact (default
 //!   `crates/bench/baselines/perf_baseline.json`).
 //! * `--time-tolerance <x>` — wall-clock slowdown band (default 25.0;
-//!   `0` disables wall-clock checks). Deterministic counters are always
-//!   compared exactly.
+//!   `0` disables every wall-clock check, including the kernel speedup
+//!   floors below). Deterministic counters are always compared exactly.
 //! * `--out <path>` — also write the fresh artifact (for CI upload).
 //! * `--tiny` — seconds-scale suite (for smoke runs against a tiny
 //!   baseline; the committed baseline is full-size).
@@ -20,10 +20,15 @@
 //!   seen; existing records keep their blessed values byte-for-byte, so
 //!   the baseline diff shows additions only. Use when the suite grows.
 //!
+//! Besides the baseline comparison, a compare run also enforces the
+//! cross-record **speedup floors** ([`check_speedups`]): the bit-sliced
+//! Monte-Carlo kernel and the word-level IDA codec must keep beating
+//! their scalar references inside the same fresh run.
+//!
 //! Exit codes: `0` pass/blessed, `1` regression found, `2` usage error or
 //! unusable baseline.
 
-use hyperpath_bench::gate::{append_new_records, compare, GateConfig};
+use hyperpath_bench::gate::{append_new_records, check_speedups, compare, GateConfig};
 use hyperpath_bench::perf::{run_perf_suite, PerfConfig};
 use hyperpath_bench::Json;
 use std::path::PathBuf;
@@ -164,18 +169,46 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let mut failed = false;
     match compare(&baseline, &fresh, &cfg) {
         Ok(report) => {
             print!("{}", report.render());
-            if report.passed() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
+            failed |= !report.passed();
         }
         Err(e) => {
             eprintln!("bench_gate: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    }
+
+    // Cross-record speedup floors (kernel vs scalar-reference pairs inside
+    // the fresh run). Wall-clock based, so they obey the same switch that
+    // disables the slowdown band: `--time-tolerance 0` = counters only.
+    if cfg.time_tolerance > 0.0 {
+        match check_speedups(&fresh) {
+            Ok(report) => {
+                if report.time_checks > 0 || !report.passed() {
+                    if report.passed() {
+                        println!(
+                            "speedup floors OK: {} kernel/reference pair(s)",
+                            report.time_checks
+                        );
+                    } else {
+                        print!("{}", report.render());
+                    }
+                }
+                failed |= !report.passed();
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -16,10 +16,13 @@ use hyperpath_core::cycles::theorem1;
 use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
 use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
 use hyperpath_ida::Ida;
+use hyperpath_sim::bitslice::{BitTrialBlock, SlicedPaths};
 use hyperpath_sim::chaos::random_plan;
-use hyperpath_sim::delivery::{deliver_phase, deliver_phase_plan, DeliveryConfig};
-use hyperpath_sim::faults::{random_fault_set, surviving_paths};
-use hyperpath_sim::protocol::{deliver_adaptive, PlanNetwork};
+use hyperpath_sim::delivery::{
+    deliver_phase_plan_prepared, deliver_phase_prepared, DeliveryConfig, PhaseSetup,
+};
+use hyperpath_sim::faults::random_fault_set;
+use hyperpath_sim::protocol::{deliver_adaptive_prepared, AdaptiveSetup, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
 
@@ -213,13 +216,18 @@ pub fn e12_grid(ns: &[u32]) -> Vec<FaultPoint> {
 /// Each trial draws ONE fault set on the shared host `Q_n` and evaluates
 /// every estimator against that same world:
 ///
-/// * `gray_w1` / `struct_k1` / `struct_k_half` — structural: count the
-///   fault-free paths per bundle ([`surviving_paths`]) and require 1 / 1 /
-///   `⌈w/2⌉` survivors for the Gray single-path and Theorem 1 embeddings.
+/// * `gray_w1` / `struct_k1` / `struct_k_half` — structural: survival of
+///   1 / 1 / `⌈w/2⌉` paths per bundle for the Gray single-path and
+///   Theorem 1 embeddings, evaluated 64 trials per word operation through
+///   the bit-sliced kernel ([`SlicedPaths`] over [`BitTrialBlock`]); each
+///   kernel lane replays the scalar
+///   [`surviving_paths`](hyperpath_sim::faults::surviving_paths) draw bit
+///   for bit.
 /// * `sim_no_retry` / `sim_retry` — measured: actually disperse a message
-///   per guest edge, route the shares through [`PacketSim::run_faulty`],
-///   and reconstruct ([`deliver_phase`]) with the `k = ⌈w/2⌉` threshold,
-///   without and with two retry rounds over the surviving paths.
+///   per guest edge (hoisted once per point into a [`PhaseSetup`]), route
+///   the shares through [`PacketSim::run_faulty`], and reconstruct
+///   ([`deliver_phase_prepared`]) with the `k = ⌈w/2⌉` threshold, without
+///   and with two retry rounds over the surviving paths.
 ///
 /// Because structural and measured columns share fault draws,
 /// `sim_no_retry` must equal `struct_k_half` *exactly* (a share arrives
@@ -257,36 +265,58 @@ pub fn e12_faults_with_threads(
         let host = t1.embedding.host;
         let no_retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 0, message_len: 32 };
         let retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 32 };
+        // Hoisted out of the trial loops: dispersal setups and bit-sliced
+        // path tables are fault-independent, so no trial rebuilds them.
+        let no_retry_setup = PhaseSetup::new(&t1.embedding, &no_retry_cfg);
+        let retry_setup = PhaseSetup::new(&t1.embedding, &retry_cfg);
+        let gray_paths = SlicedPaths::new(&gray);
+        let t1_paths = SlicedPaths::new(&t1.embedding);
         // One seed per trial drawn *serially* from the point's stream: the
         // sweep's byte-stability across worker counts rests on this.
         let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
-        let per_trial: Vec<[u32; 5]> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let mut trial_rng = StdRng::seed_from_u64(seed);
-                // One fault draw per trial, shared by every estimator: the
-                // structural and measured columns see the same world.
-                let faults = random_fault_set(&host, p.p, &mut trial_rng);
-                let s_gray = surviving_paths(&gray, &faults);
-                let s_t1 = surviving_paths(&t1.embedding, &faults);
-                let tl = FaultTimeline::from_set(faults);
-                let no_retry = deliver_phase(&t1.embedding, &tl, &no_retry_cfg);
-                let retry = deliver_phase(&t1.embedding, &tl, &retry_cfg);
+        // Structural estimators go through the bit-sliced kernel: each
+        // 64-seed chunk becomes one BitTrialBlock whose lane `t` replays
+        // trial `chunk_start + t`'s fault draw bit for bit, so the popcount
+        // tallies match the scalar per-trial booleans exactly (and u32
+        // addition commutes, so worker count cannot change the totals).
+        let chunks: Vec<&[u64]> = seeds.chunks(64).collect();
+        let per_chunk: Vec<[u32; 3]> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut lane_rngs: Vec<StdRng> =
+                    chunk.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+                let block = BitTrialBlock::draw_compat(&host, p.p, &mut lane_rngs);
                 [
-                    u32::from(s_gray.iter().all(|&s| s >= 1)),
-                    u32::from(s_t1.iter().all(|&s| s >= 1)),
-                    u32::from(s_t1.iter().all(|&s| s >= k_half)),
-                    u32::from(no_retry.all_delivered()),
-                    u32::from(retry.all_delivered()),
+                    gray_paths.all_bundles_ge(&block, 1).count_ones(),
+                    t1_paths.all_bundles_ge(&block, 1).count_ones(),
+                    t1_paths.all_bundles_ge(&block, k_half).count_ones(),
                 ]
             })
             .collect();
-        let counts = per_trial.iter().fold([0u32; 5], |mut acc, t| {
-            for (a, &v) in acc.iter_mut().zip(t) {
+        // The measured columns still run the packet engine per trial (a
+        // simulation cannot be bit-sliced), but against the hoisted setups.
+        let per_trial: Vec<[u32; 2]> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut trial_rng = StdRng::seed_from_u64(seed);
+                let faults = random_fault_set(&host, p.p, &mut trial_rng);
+                let tl = FaultTimeline::from_set(faults);
+                let no_retry = deliver_phase_prepared(&no_retry_setup, &tl);
+                let retry = deliver_phase_prepared(&retry_setup, &tl);
+                [u32::from(no_retry.all_delivered()), u32::from(retry.all_delivered())]
+            })
+            .collect();
+        let mut counts = [0u32; 5];
+        for c in &per_chunk {
+            for (a, &v) in counts.iter_mut().zip(c) {
                 *a += v;
             }
-            acc
-        });
+        }
+        for t in &per_trial {
+            for (a, &v) in counts[3..].iter_mut().zip(t) {
+                *a += v;
+            }
+        }
         let frac = |ok: u32| f64::from(ok) / f64::from(trials);
         Json::object([
             ("width", w.to_json()),
@@ -361,8 +391,12 @@ pub fn e16_grid(ns: &[u32]) -> Vec<AdaptivePoint> {
     ns.iter().flat_map(|&n| [true, false].map(|s| AdaptivePoint { n, static_plans: s })).collect()
 }
 
-/// E16: the oracle-free adaptive protocol ([`deliver_adaptive`]) against
-/// the omniscient oracle pipeline ([`deliver_phase_plan`]), both run
+/// E16: the oracle-free adaptive protocol
+/// ([`deliver_adaptive`](hyperpath_sim::protocol::deliver_adaptive),
+/// dispersal hoisted into an [`AdaptiveSetup`]) against the omniscient
+/// oracle pipeline
+/// ([`deliver_phase_plan`](hyperpath_sim::delivery::deliver_phase_plan),
+/// hoisted likewise into a [`PhaseSetup`]), both run
 /// against the *same* randomized [`FaultPlan`](hyperpath_sim::FaultPlan)
 /// draw per trial.
 ///
@@ -398,6 +432,10 @@ pub fn e16_adaptive_with_threads(
         let e = &t1.embedding;
         let k_half = t1.claimed_width.div_ceil(2);
         let dcfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 32 };
+        // Hoisted out of the trial loop: both pipelines' dispersal work is
+        // fault- and key-independent.
+        let oracle_setup = PhaseSetup::new(e, &dcfg);
+        let adaptive_setup = AdaptiveSetup::new(e, &dcfg);
         // One seed per trial drawn serially from the point's stream (the
         // byte-stability across worker counts rests on this).
         let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
@@ -407,8 +445,12 @@ pub fn e16_adaptive_with_threads(
                 let mut trial_rng = ChaCha8Rng::seed_from_u64(seed);
                 let plan = random_plan(&e.host, p.static_plans, &mut trial_rng);
                 let key: u64 = trial_rng.random();
-                let oracle = deliver_phase_plan(e, &plan, &dcfg);
-                let adaptive = deliver_adaptive(e, &dcfg, key, &mut PlanNetwork::new(e, &plan));
+                let oracle = deliver_phase_plan_prepared(&oracle_setup, &plan);
+                let adaptive = deliver_adaptive_prepared(
+                    &adaptive_setup,
+                    key,
+                    &mut PlanNetwork::new(e, &plan),
+                );
                 [
                     u64::from(oracle.all_delivered()),
                     u64::from(adaptive.all_delivered()),

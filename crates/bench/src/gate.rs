@@ -255,6 +255,74 @@ pub fn compare(baseline: &Json, current: &Json, cfg: &GateConfig) -> Result<Gate
     Ok(report)
 }
 
+/// Minimum `scalar / bitsliced_fast` wall-clock ratio the fresh run must
+/// demonstrate for every `mc/structural` workload size (the bit-sliced
+/// Monte-Carlo kernel's headline claim).
+pub const MC_SPEEDUP_MIN: f64 = 10.0;
+
+/// Minimum `reference / kernel` wall-clock ratio for the word-level IDA
+/// codec (disperse and reconstruct vs their schoolbook references).
+pub const IDA_SPEEDUP_MIN: f64 = 2.0;
+
+/// Enforces the cross-record speedup floors on a *fresh* run (no baseline
+/// involved: both sides of each ratio come from the same process, so
+/// machine speed cancels out). Pairs:
+///
+/// * every `mc/structural/scalar/<size>` must be at least
+///   [`MC_SPEEDUP_MIN`]× slower than
+///   `mc/structural/bitsliced_fast/<size>`;
+/// * `ida/disperse_reference/…` / `ida/reconstruct_reference/…` must be at
+///   least [`IDA_SPEEDUP_MIN`]× slower than their kernel counterparts.
+///
+/// A pair whose kernel side is missing while its reference side exists is
+/// an issue — the suite must measure what the gate enforces. `Err` means
+/// the document is malformed (same contract as [`compare`]).
+pub fn check_speedups(current: &Json) -> Result<GateReport, String> {
+    let cur = decode("current", current)?;
+    let wall = |name: &str| cur.records.iter().find(|(n, _, _)| n == name).map(|(_, _, w)| *w);
+    let mut report = GateReport { records_checked: cur.records.len(), ..Default::default() };
+
+    let require = |slow: &str, fast: &str, min: f64, report: &mut GateReport| {
+        let Some(slow_w) = wall(slow) else { return };
+        report.time_checks += 1;
+        let Some(fast_w) = wall(fast) else {
+            report.issues.push(GateIssue {
+                record: fast.into(),
+                metric: "wall_ns".into(),
+                baseline: "-".into(),
+                current: "-".into(),
+                detail: format!("kernel record missing while `{slow}` is measured"),
+            });
+            return;
+        };
+        let ratio = slow_w as f64 / (fast_w.max(1)) as f64;
+        if ratio < min {
+            report.issues.push(GateIssue {
+                record: fast.into(),
+                metric: "wall_ns".into(),
+                baseline: slow_w.to_string(),
+                current: fast_w.to_string(),
+                detail: format!("only {ratio:.1}x faster than `{slow}` (floor {min:.1}x)"),
+            });
+        }
+    };
+
+    let scalar_names: Vec<String> = cur
+        .records
+        .iter()
+        .filter(|(n, _, _)| n.starts_with("mc/structural/scalar/"))
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    for slow in &scalar_names {
+        let suffix = slow.strip_prefix("mc/structural/scalar/").expect("filtered on prefix");
+        let fast = format!("mc/structural/bitsliced_fast/{suffix}");
+        require(slow, &fast, MC_SPEEDUP_MIN, &mut report);
+    }
+    require("ida/disperse_reference/w8k4", "ida/disperse/w8k4", IDA_SPEEDUP_MIN, &mut report);
+    require("ida/reconstruct_reference/w8k4", "ida/reconstruct/w8k4", IDA_SPEEDUP_MIN, &mut report);
+    Ok(report)
+}
+
 /// Merges a fresh run into a baseline for `bench_gate --bless-append`:
 /// every fresh record whose name the baseline has never seen is appended
 /// (in fresh-run order); records already present are left **untouched** —
@@ -417,6 +485,45 @@ mod tests {
             ("new/y", &[], 30),
         ]);
         assert!(compare(&baseline, &matching, &GateConfig::default()).unwrap().passed());
+    }
+
+    #[test]
+    fn speedup_floors_pass_fail_and_flag_missing_kernels() {
+        // Healthy run: every kernel clears its floor.
+        let healthy = doc(&[
+            ("mc/structural/scalar/n6", &[], 12_000),
+            ("mc/structural/bitsliced_fast/n6", &[], 1_000),
+            ("ida/disperse_reference/w8k4", &[], 500),
+            ("ida/disperse/w8k4", &[], 100),
+            ("ida/reconstruct_reference/w8k4", &[], 400),
+            ("ida/reconstruct/w8k4", &[], 100),
+        ]);
+        let r = check_speedups(&healthy).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.time_checks, 3);
+
+        // The MC kernel slipped below 10x: one issue, naming both records.
+        let slipped = doc(&[
+            ("mc/structural/scalar/n6", &[], 9_999),
+            ("mc/structural/bitsliced_fast/n6", &[], 1_000),
+        ]);
+        let r = check_speedups(&slipped).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "mc/structural/bitsliced_fast/n6");
+        assert!(r.issues[0].detail.contains("floor 10.0x"), "{}", r.issues[0].detail);
+
+        // A measured reference with no kernel counterpart is an issue.
+        let orphaned = doc(&[("mc/structural/scalar/n8", &[], 9_999)]);
+        let r = check_speedups(&orphaned).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].detail.contains("missing"), "{}", r.issues[0].detail);
+
+        // No reference records at all (e.g. a pre-kernel artifact): nothing
+        // to enforce, nothing to fail.
+        let unrelated = doc(&[("packet/run/n6", &[], 1_000)]);
+        let r = check_speedups(&unrelated).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.time_checks, 0);
     }
 
     #[test]

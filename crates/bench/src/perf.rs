@@ -30,14 +30,16 @@ use crate::table::Table;
 use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
 use hyperpath_ida::Ida;
+use hyperpath_sim::bitslice::{BitTrialBlock, SlicedPaths};
 use hyperpath_sim::chaos::random_plan;
 use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
-use hyperpath_sim::faults::random_fault_set;
+use hyperpath_sim::faults::{random_fault_set, surviving_paths};
 use hyperpath_sim::protocol::{deliver_adaptive, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation};
 use hyperpath_sim::trace::CountingRecorder;
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
-use rand::SeedableRng;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Version of the `BENCH_PERF.json` schema; bump on layout changes so the
@@ -145,6 +147,8 @@ pub struct PerfConfig {
     pub worm_flits: u64,
     /// IDA message length in bytes.
     pub ida_message_len: usize,
+    /// Monte-Carlo trials per structural fault-survival workload.
+    pub mc_trials: u32,
     /// Unmeasured warmup calls per timing.
     pub warmup: u32,
     /// Measured calls per timing (median taken).
@@ -160,6 +164,7 @@ impl PerfConfig {
             wormhole_ccc_ns: vec![4, 8],
             worm_flits: 64,
             ida_message_len: 4096,
+            mc_trials: 2048,
             warmup: 1,
             reps: 5,
         }
@@ -173,6 +178,7 @@ impl PerfConfig {
             wormhole_ccc_ns: vec![4],
             worm_flits: 8,
             ida_message_len: 256,
+            mc_trials: 128,
             warmup: 1,
             reps: 3,
         }
@@ -496,6 +502,112 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
         });
     }
 
+    // --- Bit-sliced Monte-Carlo fault kernels vs the scalar path. The
+    // scalar and `bitsliced` workloads replay identical per-trial RNG
+    // streams (64 of them per kernel word), so their `ok` counters must
+    // agree exactly; `bitsliced_fast` draws one threshold-compared stream
+    // for the whole block (same marginal distribution, different layout)
+    // and is the throughput champion the gate's speedup check targets. ---
+    for &n in &cfg.packet_ns {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let host = e.host;
+        let k_half = t1.claimed_width.div_ceil(2);
+        let sliced = SlicedPaths::new(e);
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 24));
+        let seeds: Vec<u64> = (0..cfg.mc_trials).map(|_| seed_rng.random()).collect();
+
+        let scalar_ok = || -> u64 {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let mut trial_rng = StdRng::seed_from_u64(seed);
+                    let faults = random_fault_set(&host, FAULT_P, &mut trial_rng);
+                    let s = surviving_paths(e, &faults);
+                    u64::from(s.iter().all(|&x| x >= k_half))
+                })
+                .sum()
+        };
+        let bitsliced_ok = || -> u64 {
+            seeds
+                .chunks(64)
+                .map(|chunk| {
+                    let mut lane_rngs: Vec<StdRng> =
+                        chunk.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+                    let block = BitTrialBlock::draw_compat(&host, FAULT_P, &mut lane_rngs);
+                    u64::from(sliced.all_bundles_ge(&block, k_half).count_ones())
+                })
+                .sum()
+        };
+        let fast_ok = || -> u64 {
+            let mut rng = StdRng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 25));
+            let mut rem = cfg.mc_trials;
+            let mut ok = 0u64;
+            while rem > 0 {
+                let lanes = rem.min(64);
+                let block = BitTrialBlock::draw_fast(&host, FAULT_P, lanes, &mut rng);
+                ok += u64::from(sliced.all_bundles_ge(&block, k_half).count_ones());
+                rem -= lanes;
+            }
+            ok
+        };
+
+        let s_ok = scalar_ok();
+        let b_ok = bitsliced_ok();
+        assert_eq!(s_ok, b_ok, "bit-sliced structural MC diverged from scalar on n={n}");
+        let f_ok = fast_ok();
+        records.push(PerfRecord {
+            name: format!("mc/structural/scalar/n{n}"),
+            counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), s_ok)],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, scalar_ok),
+        });
+        records.push(PerfRecord {
+            name: format!("mc/structural/bitsliced/n{n}"),
+            counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), b_ok)],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, bitsliced_ok),
+        });
+        records.push(PerfRecord {
+            name: format!("mc/structural/bitsliced_fast/n{n}"),
+            counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), f_ok)],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, fast_ok),
+        });
+    }
+
+    // --- Schoolbook IDA codec: the conformance references the kernel
+    // paths must keep matching — and keep beating on wall-clock and
+    // allocation profile. ---
+    {
+        let ida = Ida::new(8, 4);
+        let msg: Vec<u8> = (0..cfg.ida_message_len).map(|i| (i * 131 % 251) as u8).collect();
+        let shares = ida.disperse_reference(&msg);
+        assert_eq!(shares, ida.disperse(&msg), "kernel and reference dispersal diverged");
+        let (_, da) = measure_allocs(|| ida.disperse_reference(&msg));
+        records.push(PerfRecord {
+            name: "ida/disperse_reference/w8k4".into(),
+            counters: vec![
+                ("message_bytes".into(), msg.len() as u64),
+                ("shares".into(), shares.len() as u64),
+                ("share_bytes".into(), shares[0].data.len() as u64),
+                ("alloc_calls".into(), da.calls),
+                ("alloc_bytes".into(), da.bytes),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || ida.disperse_reference(&msg)),
+        });
+        let subset = &shares[4..];
+        let rec = ida.reconstruct_reference(subset).expect("any 4 shares reconstruct");
+        assert_eq!(rec, msg, "reference IDA round-trip corrupted the message");
+        records.push(PerfRecord {
+            name: "ida/reconstruct_reference/w8k4".into(),
+            counters: vec![
+                ("message_bytes".into(), rec.len() as u64),
+                ("shares_used".into(), subset.len() as u64),
+            ],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || {
+                ida.reconstruct_reference(subset).unwrap()
+            }),
+        });
+    }
+
     PerfOutput { records }
 }
 
@@ -531,6 +643,11 @@ mod tests {
             "wormhole/run_planned/mixed/",
             "ida/disperse_tagged/",
             "delivery/deliver_adaptive/",
+            "mc/structural/scalar/",
+            "mc/structural/bitsliced/",
+            "mc/structural/bitsliced_fast/",
+            "ida/disperse_reference/",
+            "ida/reconstruct_reference/",
         ] {
             assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
         }

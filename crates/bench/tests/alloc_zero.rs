@@ -9,9 +9,10 @@
 //! within capacity does not itself allocate — and the test asserts every
 //! step-to-step delta is exactly zero, in calls and in bytes.
 
-use hyperpath_bench::{counting_allocator_installed, AllocStats};
+use hyperpath_bench::{counting_allocator_installed, measure_allocs, AllocStats};
 use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
+use hyperpath_ida::Ida;
 use hyperpath_sim::routing::{ecube_path, random_permutation};
 use hyperpath_sim::trace::Recorder;
 use hyperpath_sim::{PacketSim, Worm, WormholeSim};
@@ -97,4 +98,50 @@ fn wormhole_step_loop_is_allocation_free() {
     let report = sim.run_recorded(100_000, &mut guard);
     assert!(report.makespan > 0, "workload must actually route worms");
     guard.assert_alloc_free("WormholeSim::run", 20);
+}
+
+/// The word-level `Ida::disperse` preallocates every buffer at exact size,
+/// so its allocation-call count is a closed formula — not "small", exact:
+/// the share vector, the `k` byte planes plus their spine, and two per
+/// share (the exact-size data buffer and its `Bytes` promotion). Growth
+/// reallocation anywhere breaks this pin.
+#[test]
+fn kernel_disperse_allocation_count_is_exact() {
+    let message: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    for (w, k) in [(8usize, 4usize), (5, 2), (3, 3)] {
+        let ida = Ida::new(w as u8, k as u8);
+        let (shares, d) = measure_allocs(|| ida.disperse(&message));
+        assert_eq!(shares.len(), w);
+        let expected = (2 + k + 2 * w) as u64;
+        assert_eq!(
+            d.calls, expected,
+            "disperse(w={w}, k={k}) made {} allocation calls, expected exactly {expected}",
+            d.calls
+        );
+    }
+    // k = 1 replication fast path: the share vector plus two per share.
+    let ida = Ida::new(4, 1);
+    let (_, d) = measure_allocs(|| ida.disperse(&message));
+    assert_eq!(d.calls, 1 + 2 * 4, "k=1 fast path must stay growth-free");
+}
+
+/// The kernel codec must beat the schoolbook reference on both allocation
+/// calls and bytes while producing identical shares — the reference grows
+/// its share buffers byte by byte; the kernel never grows anything.
+#[test]
+fn kernel_disperse_outallocates_the_schoolbook_reference() {
+    let message: Vec<u8> = (0..4096u32).map(|i| (i * 17 % 253) as u8).collect();
+    let ida = Ida::new(8, 4);
+    let (kernel_shares, dk) = measure_allocs(|| ida.disperse(&message));
+    let (reference_shares, dr) = measure_allocs(|| ida.disperse_reference(&message));
+    assert_eq!(kernel_shares, reference_shares, "codecs must agree byte-for-byte");
+    assert!(
+        dk.calls < dr.calls && dk.bytes < dr.bytes,
+        "kernel disperse ({} calls / {} bytes) must allocate strictly less than the \
+         reference ({} calls / {} bytes)",
+        dk.calls,
+        dk.bytes,
+        dr.calls,
+        dr.bytes
+    );
 }

@@ -1,0 +1,153 @@
+//! Scalar-vs-bit-sliced equivalence suite: the SWAR fault kernel
+//! (`hyperpath_sim::bitslice`) must agree with the scalar fault machinery
+//! **bit for bit**, not merely in distribution. Every test here is a
+//! hand-rolled property loop (randomized inputs from seeded RNGs) pinning
+//! one leg of that contract:
+//!
+//! * `draw_compat` lane `t` extracts to exactly the [`FaultSet`] that
+//!   [`random_fault_set`] produces from lane `t`'s RNG — same stream, same
+//!   consumption order;
+//! * per-trial bundle survival bits from [`SlicedPaths`] equal the scalar
+//!   [`surviving_paths`] counts at every threshold `k`;
+//! * [`delivery_probability_bitsliced`] returns the same number as the
+//!   scalar [`delivery_probability`] on an identically seeded caller RNG;
+//! * `from_fault_sets` / `lane_fault_set` round-trip losslessly.
+//!
+//! The whole file is thread-count independent (pure per-trial evaluation,
+//! order-free popcount sums), so CI also runs it under
+//! `RAYON_NUM_THREADS=1` to pin byte-stability of the parallel wrappers.
+
+use hyperpath_core::baseline::gray_cycle_embedding;
+use hyperpath_core::cycles::theorem1;
+use hyperpath_sim::bitslice::{delivery_probability_bitsliced, BitTrialBlock, SlicedPaths};
+use hyperpath_sim::faults::{delivery_probability, random_fault_set, surviving_paths, FaultSet};
+use hyperpath_topology::Hypercube;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fault probabilities covering the degenerate ends and the paper's
+/// operating range.
+const PS: [f64; 4] = [0.0, 0.02, 0.35, 1.0];
+
+/// Per-lane trial seeds derived from one master seed, mirroring how the
+/// sweeps derive them (serial draw from a seeded RNG).
+fn trial_seeds(master: u64, count: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(master);
+    (0..count).map(|_| rng.random()).collect()
+}
+
+#[test]
+fn compat_lanes_extract_to_scalar_fault_sets_on_every_cube() {
+    for n in 4..=10 {
+        let host = Hypercube::new(n);
+        for (pi, &p) in PS.iter().enumerate() {
+            let seeds = trial_seeds(0xb17511ce ^ (u64::from(n) << 8) ^ pi as u64, 64);
+            let mut lane_rngs: Vec<StdRng> =
+                seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+            let block = BitTrialBlock::draw_compat(&host, p, &mut lane_rngs);
+            assert_eq!(block.lanes(), 64);
+            for (t, &seed) in seeds.iter().enumerate() {
+                let scalar = random_fault_set(&host, p, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(
+                    block.lane_fault_set(t as u32),
+                    scalar,
+                    "lane {t} of n={n}, p={p} diverged from the scalar draw"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sliced_survival_bits_match_scalar_surviving_paths_at_every_threshold() {
+    for n in 4..=10u32 {
+        let t1 = theorem1(n).expect("theorem 1");
+        let embeddings = [t1.embedding, gray_cycle_embedding(n)];
+        for (ei, e) in embeddings.iter().enumerate() {
+            let host = e.host;
+            let sliced = SlicedPaths::new(e);
+            // Partial last chunk (37 lanes) exercises the live-mask edge.
+            let lanes = if n % 2 == 0 { 64 } else { 37 };
+            let seeds = trial_seeds(0x511ced ^ (u64::from(n) << 16) ^ (ei as u64) << 1, lanes);
+            let mut lane_rngs: Vec<StdRng> =
+                seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+            let block = BitTrialBlock::draw_compat(&host, 0.05, &mut lane_rngs);
+            let w = e.edge_paths.iter().map(Vec::len).max().unwrap_or(0);
+            for (t, &seed) in seeds.iter().enumerate() {
+                let faults = random_fault_set(&host, 0.05, &mut StdRng::seed_from_u64(seed));
+                let surv = surviving_paths(e, &faults);
+                for k in 1..=w + 1 {
+                    for (eid, &s) in surv.iter().enumerate() {
+                        let bit = (sliced.bundle_ge(&block, eid, k) >> t) & 1;
+                        assert_eq!(
+                            bit == 1,
+                            s >= k,
+                            "bundle {eid} of n={n} embedding {ei}: lane {t} at k={k} \
+                             disagrees with scalar count {s}"
+                        );
+                    }
+                    let all_bit = (sliced.all_bundles_ge(&block, k) >> t) & 1;
+                    assert_eq!(
+                        all_bit == 1,
+                        surv.iter().all(|&s| s >= k),
+                        "all_bundles_ge(k={k}) lane {t} of n={n} embedding {ei} \
+                         disagrees with the scalar conjunction"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bitsliced_delivery_probability_equals_scalar_estimator() {
+    // Trial counts straddling the 64-lane chunk boundary, k across the
+    // bundle width; both estimators get identically seeded caller RNGs.
+    for n in [4u32, 6, 7, 9, 10] {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let k_half = t1.claimed_width.div_ceil(2).max(1);
+        for trials in [1u32, 63, 64, 65, 200] {
+            for p in [0.0, 0.02, 0.5] {
+                for k in [1usize, k_half] {
+                    let seed = 0xde1143a ^ u64::from(n) << 32 ^ u64::from(trials);
+                    let scalar =
+                        delivery_probability(e, p, k, trials, &mut StdRng::seed_from_u64(seed));
+                    let sliced = delivery_probability_bitsliced(
+                        e,
+                        p,
+                        k,
+                        trials,
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    assert_eq!(
+                        scalar.to_bits(),
+                        sliced.to_bits(),
+                        "estimators diverged at n={n}, p={p}, k={k}, trials={trials}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_set_block_round_trips_losslessly() {
+    for n in 4..=8u32 {
+        let host = Hypercube::new(n);
+        let mut rng = StdRng::seed_from_u64(0x707 + u64::from(n));
+        for lanes in [1usize, 2, 63, 64] {
+            let sets: Vec<FaultSet> =
+                (0..lanes).map(|_| random_fault_set(&host, 0.3, &mut rng)).collect();
+            let block = BitTrialBlock::from_fault_sets(&host, &sets);
+            assert_eq!(block.lanes() as usize, lanes);
+            for (t, set) in sets.iter().enumerate() {
+                assert_eq!(
+                    &block.lane_fault_set(t as u32),
+                    set,
+                    "lane {t}/{lanes} of n={n} did not round-trip"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Word-level `GF(2^8)` kernels backing [`Ida::disperse`] and
+//! [`Ida::reconstruct`].
+//!
+//! The schoolbook codec multiplies field bytes one at a time through the
+//! log/exp tables ([`crate::Gf256`]). Dispersal and reconstruction are
+//! really *row* operations though — every payload byte of a share is the
+//! same linear combination of message planes — so this module provides
+//! the two primitives they reduce to:
+//!
+//! * [`mul_row_acc`]: `dst ^= c · src` over whole byte rows, driven by a
+//!   fully `const`-evaluated 256×256 product table ([`MUL_TABLE`]) — no
+//!   `OnceLock`, no runtime initialization, no drift from the log/exp
+//!   path (the exhaustive equality test below checks all 65 536 pairs
+//!   against an independent shift-and-reduce implementation);
+//! * [`xor_row_acc`]: the `c == 1` fast path, eight bytes per `u64` XOR.
+//!
+//! The scalar codec stays available as [`Ida::disperse_reference`] /
+//! [`Ida::reconstruct_reference`]; `crates/ida` unit tests pin the kernel
+//! paths against them byte for byte.
+//!
+//! [`Ida::disperse`]: crate::Ida::disperse
+//! [`Ida::reconstruct`]: crate::Ida::reconstruct
+//! [`Ida::disperse_reference`]: crate::Ida::disperse_reference
+//! [`Ida::reconstruct_reference`]: crate::Ida::reconstruct_reference
+
+/// Carry-less "Russian peasant" product in `GF(2^8)` modulo the AES
+/// polynomial `x^8 + x^4 + x^3 + x + 1` — the `const` generator for
+/// [`MUL_TABLE`], independent of the log/exp tables.
+const fn gf_mul_const(a: u8, b: u8) -> u8 {
+    let mut a = a as u16;
+    let mut b = b;
+    let mut acc: u16 = 0;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= 0x11b;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let mut t = [[0u8; 256]; 256];
+    let mut a = 0;
+    while a < 256 {
+        let mut b = 0;
+        while b < 256 {
+            t[a][b] = gf_mul_const(a as u8, b as u8);
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
+/// The full 64 KiB `GF(2^8)` product table, `MUL_TABLE[a][b] = a·b`.
+/// Built entirely at compile time, so there is nothing to initialize (and
+/// nothing that can drift) at runtime.
+pub static MUL_TABLE: [[u8; 256]; 256] = build_mul_table();
+
+/// Table-driven field product of two bytes.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    MUL_TABLE[a as usize][b as usize]
+}
+
+/// `dst ^= src`, eight bytes at a time.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_row_acc(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let v =
+            u64::from_le_bytes(dw.try_into().unwrap()) ^ u64::from_le_bytes(sw.try_into().unwrap());
+        dw.copy_from_slice(&v.to_le_bytes());
+    }
+    for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= sb;
+    }
+}
+
+/// `dst ^= c · src` over `GF(2^8)`: skipped for `c == 0`, word-level XOR
+/// for `c == 1`, and a single hoisted [`MUL_TABLE`] row otherwise.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mul_row_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => {}
+        1 => xor_row_acc(dst, src),
+        _ => {
+            assert_eq!(dst.len(), src.len(), "row length mismatch");
+            let row = &MUL_TABLE[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+
+    /// Yet another independent multiply — shift-and-reduce with the
+    /// operands swapped relative to [`gf_mul_const`] — so the exhaustive
+    /// test is not comparing an implementation against itself.
+    fn gf_mul_shift(a: u8, b: u8) -> u8 {
+        let mut acc: u16 = 0;
+        let b = b as u16;
+        for bit in (0..8).rev() {
+            acc <<= 1;
+            if acc & 0x100 != 0 {
+                acc ^= 0x11b;
+            }
+            if (a >> bit) & 1 == 1 {
+                acc ^= b;
+            }
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn table_matches_schoolbook_on_all_65536_pairs() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let t = mul(a, b);
+                assert_eq!(t, gf_mul_shift(a, b), "table vs shift-reduce at {a}·{b}");
+                assert_eq!(
+                    t,
+                    (Gf256::new(a) * Gf256::new(b)).value(),
+                    "table vs log/exp at {a}·{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_field_structure() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a), "commutativity at {a}·{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_ops_match_bytewise_math() {
+        // Lengths straddling the 8-byte word boundary exercise both the
+        // u64 body and the remainder tail.
+        for len in [0usize, 1, 7, 8, 9, 16, 37] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for c in [0u8, 1, 2, 0x53, 0xff] {
+                let mut dst: Vec<u8> = (0..len).map(|i| (i * 5 + 3) as u8).collect();
+                let expect: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ mul(c, s)).collect();
+                mul_row_acc(&mut dst, &src, c);
+                assert_eq!(dst, expect, "len={len} c={c:#x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_ops_reject_length_mismatch() {
+        let mut dst = [0u8; 4];
+        xor_row_acc(&mut dst, &[0u8; 5]);
+    }
+}

@@ -15,6 +15,7 @@
 //! cleverness).
 
 mod gf256;
+pub mod kernel;
 
 pub use gf256::Gf256;
 
@@ -169,7 +170,61 @@ impl Ida {
     }
 
     /// Disperses `message` into `w` shares.
+    ///
+    /// Share `i`'s byte for group `g` is the degree-`k-1` polynomial of
+    /// that group evaluated at `x = i`. The evaluation runs on the
+    /// word-level kernel ([`kernel`]): the message is de-interleaved into
+    /// `k` stride planes and each share accumulates `x^j · plane_j` a
+    /// whole row at a time (table-driven multiply; plain `u64` XOR when
+    /// the coefficient is 1, so share 1 is XOR-only and `k = 1` is pure
+    /// replication). Byte-identical to [`Self::disperse_reference`], the
+    /// schoolbook implementation kept as the conformance reference.
     pub fn disperse(&self, message: &[u8]) -> Vec<Share> {
+        let k = usize::from(self.k);
+        let w = usize::from(self.w);
+        let groups = message.len().div_ceil(k);
+        let header = (message.len() as u64).to_le_bytes();
+        let mut out = Vec::with_capacity(w);
+        if k == 1 {
+            // Replication: every share is header + message verbatim.
+            for i in 0..w {
+                let mut data = Vec::with_capacity(8 + message.len());
+                data.extend_from_slice(&header);
+                data.extend_from_slice(message);
+                out.push(Share { index: i as u8, data: Bytes::from(data) });
+            }
+            return out;
+        }
+        // Plane j holds the j-th byte of every k-byte group (zero-padded
+        // tail), so "coefficient j of every group at once" is one slice.
+        let mut planes = vec![vec![0u8; groups]; k];
+        for (g, group) in message.chunks(k).enumerate() {
+            for (j, &b) in group.iter().enumerate() {
+                planes[j][g] = b;
+            }
+        }
+        for i in 0..w {
+            // Exact-size buffer: header + one payload byte per group.
+            let mut data = vec![0u8; 8 + groups];
+            data[..8].copy_from_slice(&header);
+            let payload = &mut data[8..];
+            let x = Gf256::new(i as u8);
+            let mut coeff = Gf256::ONE;
+            for plane in &planes {
+                kernel::mul_row_acc(payload, plane, coeff.value());
+                coeff = coeff * x;
+            }
+            out.push(Share { index: i as u8, data: Bytes::from(data) });
+        }
+        out
+    }
+
+    /// The schoolbook dispersal: per-byte Horner evaluation through the
+    /// log/exp field tables, exactly as originally shipped. Kept (and
+    /// benchmarked, `ida/disperse_reference` in the perf suite) as the
+    /// conformance reference for [`Self::disperse`]; unit tests pin the
+    /// two byte-for-byte.
+    pub fn disperse_reference(&self, message: &[u8]) -> Vec<Share> {
         let k = usize::from(self.k);
         let groups = message.len().div_ceil(k);
         let mut shares: Vec<Vec<u8>> = vec![Vec::with_capacity(groups + 8); usize::from(self.w)];
@@ -205,6 +260,45 @@ impl Ida {
     /// disagreement means corruption and is reported as
     /// [`IdaError::ConflictingDuplicate`].
     pub fn reconstruct(&self, shares: &[Share]) -> Result<Vec<u8>, IdaError> {
+        let k = usize::from(self.k);
+        let (picked, msg_len, payload_len) = self.select_shares(shares)?;
+        let mut out = vec![0u8; msg_len];
+        if k == 1 {
+            // inv is the 1×1 identity: the selected payload *is* the
+            // message.
+            out.copy_from_slice(&picked[0].data[8..8 + msg_len]);
+            return Ok(out);
+        }
+        let inv = vandermonde_inverse(&picked, k);
+        // plane_j = Σ_r inv[j][r] · payload_r — one kernel row op per
+        // (j, r) pair — then re-interleaved into the output at stride k.
+        let mut plane = vec![0u8; payload_len];
+        for (j, inv_row) in inv.iter().enumerate() {
+            if j >= msg_len {
+                break; // whole plane lands past the declared length
+            }
+            plane.fill(0);
+            for (r, s) in picked.iter().enumerate() {
+                kernel::mul_row_acc(&mut plane, &s.data[8..], inv_row[r].value());
+            }
+            let mut idx = j;
+            for &b in &plane {
+                if idx >= msg_len {
+                    break;
+                }
+                out[idx] = b;
+                idx += k;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The schoolbook reconstruction: per-byte share combination through
+    /// the log/exp field tables, exactly as originally shipped (its own
+    /// selection and validation included, so its error behavior is frozen
+    /// too). Kept as the conformance reference for [`Self::reconstruct`];
+    /// unit tests pin the two byte-for-byte, errors included.
+    pub fn reconstruct_reference(&self, shares: &[Share]) -> Result<Vec<u8>, IdaError> {
         let k = usize::from(self.k);
         let mut picked: Vec<&Share> = Vec::with_capacity(k);
         let mut seen = [false; 256];
@@ -242,48 +336,7 @@ impl Ida {
             });
         }
 
-        // Invert the k×k Vandermonde system once (Gauss-Jordan), reuse per
-        // group.
-        let mut a: Vec<Vec<Gf256>> = picked
-            .iter()
-            .map(|s| {
-                let x = Gf256::new(s.index);
-                let mut row = Vec::with_capacity(k);
-                let mut p = Gf256::ONE;
-                for _ in 0..k {
-                    row.push(p);
-                    p = p * x;
-                }
-                row
-            })
-            .collect();
-        let mut inv: Vec<Vec<Gf256>> = (0..k)
-            .map(|i| (0..k).map(|j| if i == j { Gf256::ONE } else { Gf256::ZERO }).collect())
-            .collect();
-        for col in 0..k {
-            // Distinct evaluation points make the Vandermonde system
-            // nonsingular, and distinctness was enforced above.
-            let pivot = (col..k)
-                .find(|&r| a[r][col] != Gf256::ZERO)
-                .expect("Vandermonde system with distinct points is nonsingular");
-            a.swap(col, pivot);
-            inv.swap(col, pivot);
-            let inv_p = a[col][col].inverse();
-            for j in 0..k {
-                a[col][j] = a[col][j] * inv_p;
-                inv[col][j] = inv[col][j] * inv_p;
-            }
-            for r in 0..k {
-                if r != col && a[r][col] != Gf256::ZERO {
-                    let f = a[r][col];
-                    for j in 0..k {
-                        a[r][j] = a[r][j] + f * a[col][j];
-                        inv[r][j] = inv[r][j] + f * inv[col][j];
-                    }
-                }
-            }
-        }
-
+        let inv = vandermonde_inverse(&picked, k);
         let mut out = vec![0u8; msg_len];
         for g in 0..payload_len {
             for (j, inv_row) in inv.iter().enumerate() {
@@ -299,6 +352,53 @@ impl Ida {
             }
         }
         Ok(out)
+    }
+
+    /// Selects the first `k` distinct in-range shares and validates their
+    /// headers; shared by [`Self::reconstruct`] and mirrored verbatim in
+    /// [`Self::reconstruct_reference`]. Returns `(picked, msg_len,
+    /// payload_len)`.
+    fn select_shares<'s>(
+        &self,
+        shares: &'s [Share],
+    ) -> Result<(Vec<&'s Share>, usize, usize), IdaError> {
+        let k = usize::from(self.k);
+        let mut picked: Vec<&Share> = Vec::with_capacity(k);
+        let mut seen = [false; 256];
+        for s in shares {
+            if s.index >= self.w {
+                return Err(IdaError::IndexOutOfRange { index: s.index, width: self.w });
+            }
+            if seen[usize::from(s.index)] {
+                if let Some(prev) = picked.iter().find(|p| p.index == s.index) {
+                    if prev.data != s.data {
+                        return Err(IdaError::ConflictingDuplicate { index: s.index });
+                    }
+                }
+                continue;
+            }
+            seen[usize::from(s.index)] = true;
+            if picked.len() < k {
+                picked.push(s);
+            }
+        }
+        if picked.len() < k {
+            return Err(IdaError::NotEnoughShares { needed: k, got: picked.len() });
+        }
+        let header =
+            picked[0].data.get(..8).ok_or(IdaError::ShareTooShort { index: picked[0].index })?;
+        let msg_len = u64::from_le_bytes(header.try_into().unwrap()) as usize;
+        let payload_len = picked[0].data.len() - 8;
+        if picked.iter().any(|s| s.data.len() != payload_len + 8) {
+            return Err(IdaError::InconsistentLengths);
+        }
+        if payload_len * k < msg_len {
+            return Err(IdaError::DeclaredLengthTooLong {
+                declared: msg_len,
+                capacity: payload_len * k,
+            });
+        }
+        Ok((picked, msg_len, payload_len))
     }
 
     /// [`disperse`](Self::disperse), with each share fingerprinted under
@@ -327,6 +427,51 @@ impl Ida {
     pub fn overhead(&self) -> f64 {
         f64::from(self.w) / f64::from(self.k)
     }
+}
+
+/// Inverts the `k×k` Vandermonde system of the picked shares' evaluation
+/// points by Gauss-Jordan elimination (fields this small need no
+/// cleverness). Distinct points — enforced during selection — make the
+/// system nonsingular.
+fn vandermonde_inverse(picked: &[&Share], k: usize) -> Vec<Vec<Gf256>> {
+    let mut a: Vec<Vec<Gf256>> = picked
+        .iter()
+        .map(|s| {
+            let x = Gf256::new(s.index);
+            let mut row = Vec::with_capacity(k);
+            let mut p = Gf256::ONE;
+            for _ in 0..k {
+                row.push(p);
+                p = p * x;
+            }
+            row
+        })
+        .collect();
+    let mut inv: Vec<Vec<Gf256>> = (0..k)
+        .map(|i| (0..k).map(|j| if i == j { Gf256::ONE } else { Gf256::ZERO }).collect())
+        .collect();
+    for col in 0..k {
+        let pivot = (col..k)
+            .find(|&r| a[r][col] != Gf256::ZERO)
+            .expect("Vandermonde system with distinct points is nonsingular");
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let inv_p = a[col][col].inverse();
+        for j in 0..k {
+            a[col][j] = a[col][j] * inv_p;
+            inv[col][j] = inv[col][j] * inv_p;
+        }
+        for r in 0..k {
+            if r != col && a[r][col] != Gf256::ZERO {
+                let f = a[r][col];
+                for j in 0..k {
+                    a[r][j] = a[r][j] + f * a[col][j];
+                    inv[r][j] = inv[r][j] + f * inv[col][j];
+                }
+            }
+        }
+    }
+    inv
 }
 
 #[cfg(test)]
@@ -509,6 +654,62 @@ mod tests {
             share_fingerprint(5, 2, b"0123456789abcdef"),
             share_fingerprint(5, 2, b"0123456789abcdeX"),
         );
+    }
+
+    #[test]
+    fn kernel_codec_matches_schoolbook_reference() {
+        let msgs: Vec<Vec<u8>> = vec![
+            vec![],
+            b"a".to_vec(),
+            b"ab".to_vec(),
+            (0..=255u8).collect(),
+            (0..1000).map(|i| (i * 31 + 7) as u8).collect(),
+        ];
+        for (w, k) in [(1u8, 1u8), (3, 1), (4, 2), (5, 3), (8, 4), (16, 11), (255, 254)] {
+            let ida = Ida::new(w, k);
+            for msg in &msgs {
+                let fast = ida.disperse(msg);
+                let slow = ida.disperse_reference(msg);
+                assert_eq!(fast, slow, "disperse w={w} k={k} len={}", msg.len());
+                // The last k shares exercise the general (non-systematic)
+                // combine on both paths.
+                let tail: Vec<Share> = fast[fast.len() - usize::from(k)..].to_vec();
+                assert_eq!(
+                    ida.reconstruct(&tail),
+                    ida.reconstruct_reference(&tail),
+                    "reconstruct w={w} k={k} len={}",
+                    msg.len()
+                );
+                assert_eq!(ida.reconstruct(&tail).unwrap(), *msg);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_and_reference_agree_on_errors() {
+        let ida = Ida::new(4, 3);
+        let shares = ida.disperse(b"hello world");
+        // Too few shares.
+        assert_eq!(ida.reconstruct(&shares[..2]), ida.reconstruct_reference(&shares[..2]));
+        assert!(ida.reconstruct(&shares[..2]).is_err());
+        // Out-of-range index.
+        let mut oob = shares.clone();
+        oob[0].index = 9;
+        assert_eq!(ida.reconstruct(&oob), ida.reconstruct_reference(&oob));
+        // Conflicting duplicate.
+        let mut forged = shares[1].clone();
+        let mut bytes = forged.data.to_vec();
+        bytes[8] ^= 0xff;
+        forged.data = Bytes::from(bytes);
+        let conflicted = vec![shares[1].clone(), forged, shares[2].clone(), shares[3].clone()];
+        assert_eq!(ida.reconstruct(&conflicted), ida.reconstruct_reference(&conflicted));
+        // Truncated header and inconsistent lengths.
+        let mut short = shares.clone();
+        short[0].data = Bytes::from(short[0].data[..4].to_vec());
+        assert_eq!(ida.reconstruct(&short[..3]), ida.reconstruct_reference(&short[..3]));
+        let mut uneven = shares.clone();
+        uneven[1].data = Bytes::from(uneven[1].data[..9].to_vec());
+        assert_eq!(ida.reconstruct(&uneven[..3]), ida.reconstruct_reference(&uneven[..3]));
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! SIMD-within-a-register fault Monte Carlo: 64 trials per machine word.
+//!
+//! The structural estimators ([`crate::faults::surviving_paths`],
+//! [`crate::faults::delivery_probability`], the e12 structural columns)
+//! ask one question per trial: *which paths avoid the failed links?* A
+//! scalar trial materializes a [`FaultSet`] (one `bool` per directed
+//! edge) and walks every path link by link. This module transposes the
+//! layout: a [`BitTrialBlock`] stores **one `u64` per undirected link**,
+//! where bit `t` means "the link is alive in trial `t`" — so a path's
+//! survival across all 64 trials is an AND-reduction over its link words,
+//! "≥ k of w paths alive" is a bit-parallel ripple-carry count, and a
+//! whole sweep point's success tally is a popcount.
+//!
+//! # RNG-to-lane mapping
+//!
+//! Two draw modes with different stream conventions:
+//!
+//! * [`BitTrialBlock::draw_compat`] takes **one RNG per lane** and makes
+//!   lane `t` consume its RNG exactly as [`random_fault_set`](crate::faults::random_fault_set) would —
+//!   same NaN/clamp normalization, one `random_bool` per canonical link
+//!   in [`Hypercube::undirected_edges`] order. Extracting lane `t` with
+//!   [`BitTrialBlock::lane_fault_set`] therefore reproduces the scalar
+//!   trial **bit for bit**, which is what lets e12 and the chaos harness
+//!   keep byte-identical outputs after the kernel swap (pinned by the
+//!   equality suite in `crates/bench/tests/bitslice_equiv.rs`).
+//! * [`BitTrialBlock::draw_fast`] drives all 64 lanes from a **single**
+//!   stream: lane `t`'s 53-bit uniform variate is assembled from bit `t`
+//!   of successive RNG words, and `v < p` is decided by a bit-sliced
+//!   most-significant-bit-first comparison against the exact integer
+//!   threshold `ceil(p·2^53)`. Each lane's marginal fail probability is
+//!   *identical* to `random_bool(p)` (the threshold count is exact:
+//!   `p·2^53` is a power-of-two scaling and never rounds), but the
+//!   comparison usually resolves every lane after ~`log2(lanes) + 2`
+//!   words instead of one word per lane, which is where the order of
+//!   magnitude comes from.
+//!
+//! Results are byte-stable across thread counts for the same reason the
+//! scalar sweeps are: blocks are seeded per 64-trial chunk from a serial
+//! seed list, lane tallies are popcounts, and the final fold is an
+//! integer sum, which commutes.
+
+use crate::faults::FaultSet;
+use hyperpath_embedding::{HostPath, MultiPathEmbedding};
+use hyperpath_topology::Hypercube;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Up to 64 independent fail-stop fault trials, bit-packed per link.
+///
+/// Word `i` (indexed by [`Hypercube::dir_edge_index`] of the canonical
+/// orientation; non-canonical slots stay zero) holds the alive bits of
+/// the link across all lanes: bit `t` set ⇔ the link is up in trial `t`.
+/// Bits at and above [`Self::lanes`] are zero everywhere.
+#[derive(Debug, Clone)]
+pub struct BitTrialBlock {
+    host: Hypercube,
+    /// Per-directed-edge-index alive words (canonical slots only).
+    words: Vec<u64>,
+    lanes: u32,
+}
+
+impl BitTrialBlock {
+    /// Number of packed trials (1..=64).
+    #[inline]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Mask with one bit set per live lane.
+    #[inline]
+    pub fn live_mask(&self) -> u64 {
+        lane_mask(self.lanes)
+    }
+
+    /// The host cube the block was drawn over.
+    #[inline]
+    pub fn host(&self) -> &Hypercube {
+        &self.host
+    }
+
+    /// Alive word of the undirected link carrying the directed edge with
+    /// the given [`Hypercube::dir_edge_index`].
+    #[inline]
+    pub fn link_alive_word(&self, dir_edge_index: usize) -> u64 {
+        let e = self.host.dir_edge_from_index(dir_edge_index);
+        self.words[self.host.undirected_edge_index(e)]
+    }
+
+    /// Draws one block with **per-lane RNG streams**, consuming each
+    /// lane's RNG exactly as [`random_fault_set`](crate::faults::random_fault_set) would: lane `t` of the
+    /// block equals `random_fault_set(host, p, &mut lane_rngs[t])` bit
+    /// for bit (see [`Self::lane_fault_set`]).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lane_rngs.len() <= 64`.
+    pub fn draw_compat<R: Rng>(host: &Hypercube, p: f64, lane_rngs: &mut [R]) -> Self {
+        let lanes = u32::try_from(lane_rngs.len()).expect("lane count fits u32");
+        assert!((1..=64).contains(&lanes), "need 1..=64 lanes, got {lanes}");
+        // Same normalization as `random_fault_set`: NaN means "no faults".
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let mut words = vec![0u64; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let mut alive = 0u64;
+            for (t, rng) in lane_rngs.iter_mut().enumerate() {
+                // Failure draw first so every lane consumes one word per
+                // link, exactly like the scalar loop.
+                if !rng.random_bool(p) {
+                    alive |= 1u64 << t;
+                }
+            }
+            words[host.dir_edge_index(e)] = alive;
+        }
+        BitTrialBlock { host: *host, words, lanes }
+    }
+
+    /// Draws one block from a **single RNG stream** with the same
+    /// per-link marginal fail probability as `random_bool(p)` but a
+    /// different (much cheaper) stream layout; see the module docs.
+    /// Deterministic for a given RNG state, but *not* lane-extractable
+    /// into scalar `random_fault_set` draws.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lanes <= 64`.
+    pub fn draw_fast<R: Rng>(host: &Hypercube, p: f64, lanes: u32, rng: &mut R) -> Self {
+        assert!((1..=64).contains(&lanes), "need 1..=64 lanes, got {lanes}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let full = lane_mask(lanes);
+        let mut words = vec![0u64; host.num_directed_edges() as usize];
+        // `random_bool(p)` fails a link iff `v < p·2^53` for a 53-bit
+        // uniform `v`. `p` scales to `p·2^53` exactly (power-of-two
+        // multiply), so `t = ceil(p·2^53)` counts the failing variates
+        // exactly and `v < t` is the same event.
+        let threshold = (p * (1u64 << 53) as f64).ceil() as u64;
+        if threshold == 0 {
+            // p == 0: every lane alive on every link.
+            for e in host.undirected_edges() {
+                let i = host.dir_edge_index(e);
+                words[i] = full;
+            }
+            return BitTrialBlock { host: *host, words, lanes };
+        }
+        if threshold >= 1u64 << 53 {
+            // p == 1: every lane dead; the zeroed words already say so.
+            return BitTrialBlock { host: *host, words, lanes };
+        }
+        for e in host.undirected_edges() {
+            // Bit-sliced lexicographic `v < threshold`, MSB first: RNG
+            // word `b` supplies bit `52-b` of every lane's variate at
+            // once. `undecided` tracks lanes whose prefix still ties the
+            // threshold; once it empties (after ~log2(lanes)+2 words in
+            // expectation) the remaining bits cannot matter.
+            let mut less = 0u64;
+            let mut undecided = full;
+            for b in (0..53).rev() {
+                let v_bits = rng.next_u64();
+                if (threshold >> b) & 1 == 1 {
+                    less |= undecided & !v_bits;
+                    undecided &= v_bits;
+                } else {
+                    undecided &= !v_bits;
+                }
+                if undecided == 0 {
+                    break;
+                }
+            }
+            // Lanes still undecided have v == threshold: not less ⇒ alive.
+            words[host.dir_edge_index(e)] = full & !less;
+        }
+        BitTrialBlock { host: *host, words, lanes }
+    }
+
+    /// Packs existing scalar fault sets into a block (lane `t` ← set `t`).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= sets.len() <= 64`.
+    pub fn from_fault_sets(host: &Hypercube, sets: &[FaultSet]) -> Self {
+        let lanes = u32::try_from(sets.len()).expect("lane count fits u32");
+        assert!((1..=64).contains(&lanes), "need 1..=64 lanes, got {lanes}");
+        let mut words = vec![0u64; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            let mut alive = 0u64;
+            for (t, set) in sets.iter().enumerate() {
+                if !set.is_failed_index(i) {
+                    alive |= 1u64 << t;
+                }
+            }
+            words[i] = alive;
+        }
+        BitTrialBlock { host: *host, words, lanes }
+    }
+
+    /// Extracts lane `t` as a scalar [`FaultSet`]. For a
+    /// [`Self::draw_compat`] block this is byte-identical to what
+    /// [`random_fault_set`](crate::faults::random_fault_set) would have produced from lane `t`'s RNG.
+    ///
+    /// # Panics
+    /// Panics if `lane >= self.lanes()`.
+    pub fn lane_fault_set(&self, lane: u32) -> FaultSet {
+        assert!(lane < self.lanes, "lane {lane} out of range ({} lanes)", self.lanes);
+        let mut fs = FaultSet::none(&self.host);
+        for e in self.host.undirected_edges() {
+            if self.words[self.host.dir_edge_index(e)] & (1u64 << lane) == 0 {
+                fs.fail_link(&self.host, e);
+            }
+        }
+        fs
+    }
+
+    /// Lanes (as a bitmask) in which every link of `path` is alive. An
+    /// empty path is alive in every live lane, matching the scalar
+    /// convention (`edges().all(..)` over nothing is `true`).
+    pub fn path_alive(&self, path: &HostPath) -> u64 {
+        let mut alive = self.live_mask();
+        for e in path.edges() {
+            alive &= self.words[self.host.undirected_edge_index(e)];
+            if alive == 0 {
+                break;
+            }
+        }
+        alive
+    }
+}
+
+/// Mask with the low `lanes` bits set.
+#[inline]
+fn lane_mask(lanes: u32) -> u64 {
+    if lanes >= 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// An embedding's path bundles pre-resolved to link-word indices, so the
+/// per-block structural evaluation never touches nodes or edges again.
+/// Build once per sweep point, reuse across every trial block.
+#[derive(Debug, Clone)]
+pub struct SlicedPaths {
+    /// `bundles[guest_edge][path]` = canonical link-word indices.
+    bundles: Vec<Vec<Vec<u32>>>,
+}
+
+impl SlicedPaths {
+    /// Resolves every path of `e` to link-word indices.
+    ///
+    /// # Panics
+    /// Panics if a bundle has ≥ 256 paths (the ripple-carry survivor
+    /// counter is 8 bits wide; paper bundles are single digits).
+    pub fn new(e: &MultiPathEmbedding) -> Self {
+        assert!(
+            u32::try_from(e.host.num_directed_edges()).is_ok(),
+            "edge index must fit u32 for the sliced layout"
+        );
+        let bundles = e
+            .edge_paths
+            .iter()
+            .map(|bundle| {
+                assert!(bundle.len() < 256, "bundle too wide for 8-bit survivor counters");
+                bundle
+                    .iter()
+                    .map(|p| {
+                        p.edges().map(|edge| e.host.undirected_edge_index(edge) as u32).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        SlicedPaths { bundles }
+    }
+
+    /// Number of guest-edge bundles.
+    pub fn num_bundles(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Lanes in which at least `k` paths of bundle `bundle` are alive.
+    pub fn bundle_ge(&self, block: &BitTrialBlock, bundle: usize, k: usize) -> u64 {
+        let full = block.live_mask();
+        let paths = &self.bundles[bundle];
+        if k == 0 {
+            return full;
+        }
+        if k > paths.len() {
+            return 0;
+        }
+        if k == 1 {
+            // "Any path alive" is a plain OR over the path words.
+            let mut any = 0u64;
+            for links in paths {
+                any |= path_word(block, links, full);
+                if any == full {
+                    break;
+                }
+            }
+            return any;
+        }
+        // Bit-sliced survivor count: 8 counter planes, each path's alive
+        // word rippled in as a carry. Then `count >= k` is the carry-out
+        // of adding the constant `256 - k`.
+        let mut cnt = [0u64; 8];
+        for links in paths {
+            let mut carry = path_word(block, links, full);
+            for plane in cnt.iter_mut() {
+                if carry == 0 {
+                    break;
+                }
+                let overflow = *plane & carry;
+                *plane ^= carry;
+                carry = overflow;
+            }
+        }
+        let m = 256 - k as u64;
+        let mut carry = 0u64;
+        for (b, plane) in cnt.iter().enumerate() {
+            let m_bit = if (m >> b) & 1 == 1 { !0u64 } else { 0 };
+            carry = (plane & m_bit) | (carry & (plane ^ m_bit));
+        }
+        carry & full
+    }
+
+    /// Lanes in which **every** bundle keeps at least `k` alive paths —
+    /// the `(w, k)`-dispersal success event of
+    /// [`crate::faults::delivery_probability`], 64 trials at a time.
+    pub fn all_bundles_ge(&self, block: &BitTrialBlock, k: usize) -> u64 {
+        let mut acc = block.live_mask();
+        for bundle in 0..self.bundles.len() {
+            if acc == 0 {
+                break;
+            }
+            acc &= self.bundle_ge(block, bundle, k);
+        }
+        acc
+    }
+}
+
+/// AND-reduction of a path's link words (alive lanes), with early exit.
+#[inline]
+fn path_word(block: &BitTrialBlock, links: &[u32], full: u64) -> u64 {
+    let mut alive = full;
+    for &i in links {
+        alive &= block.words[i as usize];
+        if alive == 0 {
+            break;
+        }
+    }
+    alive
+}
+
+/// Bit-sliced drop-in for [`crate::faults::delivery_probability`]: same
+/// seed consumption from the caller's RNG, same per-trial draws (via
+/// [`BitTrialBlock::draw_compat`] over the per-trial `StdRng`s), same
+/// result to the last bit — evaluated 64 trials per word op. The scalar
+/// version stays as the conformance reference; the equality is pinned in
+/// `crates/bench/tests/bitslice_equiv.rs`.
+///
+/// # Panics
+/// Panics if `trials == 0`, like the scalar estimator.
+pub fn delivery_probability_bitsliced(
+    e: &MultiPathEmbedding,
+    p: f64,
+    k: usize,
+    trials: u32,
+    rng: &mut impl Rng,
+) -> f64 {
+    use rayon::prelude::*;
+    assert!(trials > 0, "delivery_probability needs at least one trial");
+    let p = p.clamp(0.0, 1.0);
+    // Identical serial seed draw to the scalar estimator, so both consume
+    // the caller's RNG the same way.
+    let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
+    let sliced = SlicedPaths::new(e);
+    let host = e.host;
+    let chunks: Vec<&[u64]> = seeds.chunks(64).collect();
+    let per_chunk: Vec<u32> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let mut lane_rngs: Vec<rand::rngs::StdRng> =
+                chunk.iter().map(|&s| rand::rngs::StdRng::seed_from_u64(s)).collect();
+            let block = BitTrialBlock::draw_compat(&host, p, &mut lane_rngs);
+            sliced.all_bundles_ge(&block, k).count_ones()
+        })
+        .collect();
+    let ok: u32 = per_chunk.iter().sum();
+    f64::from(ok) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{delivery_probability, random_fault_set, surviving_paths};
+    use hyperpath_core::baseline::gray_cycle_embedding;
+    use hyperpath_core::cycles::theorem1;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn compat_lanes_extract_to_scalar_fault_sets() {
+        let host = Hypercube::new(6);
+        for (p, seed_base) in [(0.0, 10u64), (0.02, 20), (0.35, 30), (1.0, 40), (f64::NAN, 50)] {
+            let seeds: Vec<u64> = (0..64).map(|t| seed_base + t).collect();
+            let mut lane_rngs: Vec<StdRng> =
+                seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+            let block = BitTrialBlock::draw_compat(&host, p, &mut lane_rngs);
+            for (t, &s) in seeds.iter().enumerate() {
+                let mut scalar_rng = StdRng::seed_from_u64(s);
+                let scalar = random_fault_set(&host, p, &mut scalar_rng);
+                assert_eq!(
+                    block.lane_fault_set(t as u32),
+                    scalar,
+                    "lane {t} diverges from the scalar draw at p={p}"
+                );
+            }
+            // Both consumed the same number of RNG words per lane.
+            let mut a = lane_rngs.remove(0);
+            let mut b = StdRng::seed_from_u64(seeds[0]);
+            let _ = random_fault_set(&host, p, &mut b);
+            assert_eq!(a.next_u64(), b.next_u64(), "lane 0 RNG state diverged");
+        }
+    }
+
+    #[test]
+    fn sliced_survival_matches_scalar_surviving_paths() {
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let sliced = SlicedPaths::new(&t1.embedding);
+        let mut lane_rngs: Vec<StdRng> = (0..64).map(StdRng::seed_from_u64).collect();
+        let block = BitTrialBlock::draw_compat(&host, 0.08, &mut lane_rngs);
+        for t in 0..block.lanes() {
+            let faults = block.lane_fault_set(t);
+            let scalar = surviving_paths(&t1.embedding, &faults);
+            for k in 0..=4 {
+                for (b, &s) in scalar.iter().enumerate() {
+                    let bit = (sliced.bundle_ge(&block, b, k) >> t) & 1;
+                    assert_eq!(bit == 1, s >= k, "bundle {b} lane {t} k={k}");
+                }
+                let all_bit = (sliced.all_bundles_ge(&block, k) >> t) & 1;
+                assert_eq!(all_bit == 1, scalar.iter().all(|&s| s >= k), "all-bundles lane {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_blocks_mask_dead_lanes() {
+        let host = Hypercube::new(4);
+        let mut lane_rngs: Vec<StdRng> = (0..5).map(StdRng::seed_from_u64).collect();
+        let block = BitTrialBlock::draw_compat(&host, 0.3, &mut lane_rngs);
+        assert_eq!(block.lanes(), 5);
+        assert_eq!(block.live_mask(), 0b11111);
+        let gray = gray_cycle_embedding(4);
+        let sliced = SlicedPaths::new(&gray);
+        assert_eq!(sliced.all_bundles_ge(&block, 1) & !block.live_mask(), 0);
+        // Empty-ish check: a 64-lane mask is all ones.
+        assert_eq!(lane_mask(64), !0);
+    }
+
+    #[test]
+    fn from_fault_sets_roundtrips_through_lane_extraction() {
+        let host = Hypercube::new(5);
+        let sets: Vec<FaultSet> = (0..17)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(1000 + t);
+                random_fault_set(&host, 0.2, &mut rng)
+            })
+            .collect();
+        let block = BitTrialBlock::from_fault_sets(&host, &sets);
+        for (t, set) in sets.iter().enumerate() {
+            assert_eq!(&block.lane_fault_set(t as u32), set);
+        }
+    }
+
+    #[test]
+    fn fast_draw_extremes_and_determinism() {
+        let host = Hypercube::new(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let all_alive = BitTrialBlock::draw_fast(&host, 0.0, 64, &mut rng);
+        let all_dead = BitTrialBlock::draw_fast(&host, 1.0, 64, &mut rng);
+        let nan = BitTrialBlock::draw_fast(&host, f64::NAN, 64, &mut rng);
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(all_alive.link_alive_word(i), !0);
+            assert_eq!(all_dead.link_alive_word(i), 0);
+            assert_eq!(nan.link_alive_word(i), !0);
+        }
+        // Same seed, same block; and the empirical fail rate is sane.
+        let a = BitTrialBlock::draw_fast(&host, 0.25, 64, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = BitTrialBlock::draw_fast(&host, 0.25, 64, &mut ChaCha8Rng::seed_from_u64(9));
+        let mut dead = 0u32;
+        let mut total = 0u32;
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(a.link_alive_word(i), b.link_alive_word(i));
+            dead += (!a.link_alive_word(i) & a.live_mask()).count_ones();
+            total += 64;
+        }
+        let rate = f64::from(dead) / f64::from(total);
+        assert!((0.2..0.3).contains(&rate), "fail rate {rate} far from p=0.25");
+    }
+
+    #[test]
+    fn bitsliced_delivery_probability_matches_scalar_exactly() {
+        for n in [4u32, 6] {
+            let t1 = theorem1(n).unwrap();
+            let k_half = t1.claimed_width.div_ceil(2);
+            for k in [1usize, k_half] {
+                for trials in [1u32, 63, 64, 130] {
+                    let mut rng_a = StdRng::seed_from_u64(42);
+                    let mut rng_b = StdRng::seed_from_u64(42);
+                    let scalar = delivery_probability(&t1.embedding, 0.04, k, trials, &mut rng_a);
+                    let sliced =
+                        delivery_probability_bitsliced(&t1.embedding, 0.04, k, trials, &mut rng_b);
+                    assert_eq!(scalar, sliced, "n={n} k={k} trials={trials}");
+                    // Caller RNGs advanced identically.
+                    assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+                }
+            }
+        }
+    }
+}

@@ -11,9 +11,9 @@
 //! * the plan-aware **wormhole engine**, checking its loss/corruption
 //!   vectors stay consistent;
 //! * the **omniscient oracle** pipeline
-//!   ([`deliver_phase_plan`](crate::delivery::deliver_phase_plan)) and the
+//!   ([`deliver_phase_plan`]) and the
 //!   **oracle-free adaptive protocol**
-//!   ([`deliver_adaptive`](crate::protocol::deliver_adaptive)), checking
+//!   ([`deliver_adaptive`]), checking
 //!   that no reconstruction ever silently yields wrong bytes, that the
 //!   outcome buckets partition the guest edges, that the two protocols
 //!   agree *exactly* on static fail-stop plans, and that the oracle
@@ -32,6 +32,7 @@
 //! report; CI runs a short smoke budget and fails on any invariant
 //! violation.
 
+use crate::bitslice::{BitTrialBlock, SlicedPaths};
 use crate::delivery::{deliver_phase_plan, DeliveryConfig, DeliveryReport};
 use crate::faults::FaultPlan;
 use crate::packet::{Flow, PacketSim};
@@ -283,6 +284,19 @@ fn run_trial(e: &MultiPathEmbedding, cfg: &ChaosConfig, t: usize) -> ChaosTrial 
             adaptive.edges == oracle.edges,
             "adaptive != oracle per-edge outcomes on a static fail-stop plan",
         );
+        // Kernel cross-check: a single-lane bit-sliced block over the
+        // plan's (static) fault set must grade round-0 survival exactly
+        // like the packet engine did — on fail-stop faults a share
+        // arrives iff its path is fault-free.
+        let block = BitTrialBlock::from_fault_sets(&host, &[plan.hazard_set(&host)]);
+        let sliced = SlicedPaths::new(e);
+        for (eid, ed) in oracle.edges.iter().enumerate() {
+            let structural = sliced.bundle_ge(&block, eid, ed.threshold) & 1 == 1;
+            check(
+                structural == (ed.first_round_arrivals >= ed.threshold),
+                "bit-sliced survival disagrees with the packet engine on a static plan",
+            );
+        }
         // Monotone degradation: two more cuts can only hurt the oracle.
         let mut worse = plan.clone();
         for _ in 0..2 {

@@ -122,9 +122,98 @@ pub(crate) fn message_for_edge(edge: usize, len: usize) -> Vec<u8> {
         .collect()
 }
 
+/// The fault-independent half of a dispersal phase, built once and reused
+/// across trial draws: per-edge IDA schemes, test messages, dispersed
+/// shares, the "arrives for free" flags of zero-length paths, and the
+/// (guest edge, path) order flows are injected in. A Monte-Carlo sweep
+/// that used to re-disperse every edge's message on every trial builds
+/// one `PhaseSetup` per sweep point instead and runs
+/// [`deliver_phase_prepared`] / [`deliver_phase_plan_prepared`] per draw.
+///
+/// # Panics
+/// [`PhaseSetup::new`] panics if any bundle is empty or wider than 255
+/// paths (the IDA share index is a byte).
+pub struct PhaseSetup<'a> {
+    e: &'a MultiPathEmbedding,
+    cfg: DeliveryConfig,
+    edges: Vec<EdgeSetup>,
+    /// `(guest_edge, path_index)` of every non-empty path, in injection
+    /// order.
+    flow_map: Vec<(usize, usize)>,
+}
+
+/// Per-edge precomputed state of a [`PhaseSetup`].
+struct EdgeSetup {
+    threshold: usize,
+    ida: Ida,
+    message: Vec<u8>,
+    shares: Vec<Share>,
+    /// Arrival flags seeded with the zero-length paths: source and
+    /// destination share a host node, so the share "arrives" without
+    /// touching a link.
+    empty_arrived: Vec<bool>,
+}
+
+impl<'a> PhaseSetup<'a> {
+    /// Disperses every edge's message once and records the flow order.
+    pub fn new(e: &'a MultiPathEmbedding, cfg: &DeliveryConfig) -> Self {
+        let edges: Vec<EdgeSetup> = e
+            .edge_paths
+            .iter()
+            .enumerate()
+            .map(|(eid, bundle)| {
+                let w = bundle.len();
+                assert!(
+                    (1..=255).contains(&w),
+                    "guest edge {eid}: bundle width {w} outside the IDA share range"
+                );
+                let threshold = cfg.threshold.clamp(1, w);
+                let ida = Ida::new(w as u8, threshold as u8);
+                let message = message_for_edge(eid, cfg.message_len);
+                let shares = ida.disperse(&message);
+                let empty_arrived: Vec<bool> = bundle.iter().map(|p| p.is_empty()).collect();
+                EdgeSetup { threshold, ida, message, shares, empty_arrived }
+            })
+            .collect();
+        let mut flow_map: Vec<(usize, usize)> = Vec::new();
+        for (eid, bundle) in e.edge_paths.iter().enumerate() {
+            for (i, path) in bundle.iter().enumerate() {
+                if !path.is_empty() {
+                    flow_map.push((eid, i));
+                }
+            }
+        }
+        PhaseSetup { e, cfg: *cfg, edges, flow_map }
+    }
+
+    /// The embedding this setup was built for.
+    pub fn embedding(&self) -> &MultiPathEmbedding {
+        self.e
+    }
+
+    /// The delivery configuration this setup was built with.
+    pub fn config(&self) -> &DeliveryConfig {
+        &self.cfg
+    }
+}
+
+/// Which fault model drives one phase run; decides the engine entry point
+/// for the initial round and the link set retries must avoid.
+enum PhaseFaults<'f> {
+    /// Fail-stop timeline: retries avoid [`FaultTimeline::final_set`].
+    Timeline(&'f FaultTimeline),
+    /// Generalized plan: a share arriving *corrupted* counts as an
+    /// erasure, and retries avoid the whole [`FaultPlan::hazard_set`].
+    Plan(&'f FaultPlan),
+}
+
 /// Runs one dispersal phase of `e` under `faults` and grades every guest
 /// edge's delivery. Fully deterministic: flows are injected in (guest
 /// edge, share) order and retries are planned in the same order.
+///
+/// Convenience form of [`deliver_phase_prepared`] that builds the
+/// [`PhaseSetup`] on the spot; sweeps that draw many fault sets against
+/// one configuration should build the setup once instead.
 ///
 /// # Panics
 /// Panics if any bundle is empty or wider than 255 paths (the IDA share
@@ -134,84 +223,96 @@ pub fn deliver_phase(
     faults: &FaultTimeline,
     cfg: &DeliveryConfig,
 ) -> DeliveryReport {
+    deliver_phase_prepared(&PhaseSetup::new(e, cfg), faults)
+}
+
+/// [`deliver_phase`] against a prebuilt [`PhaseSetup`]: only the
+/// fault-dependent work (simulation rounds, retry planning, grading) runs
+/// per call; dispersal is reused from the setup.
+pub fn deliver_phase_prepared(setup: &PhaseSetup<'_>, faults: &FaultTimeline) -> DeliveryReport {
+    run_phase(setup, PhaseFaults::Timeline(faults))
+}
+
+/// The shared phase engine. Both public entry points funnel here, so the
+/// timeline and plan flavors cannot drift apart; the `match` arms are the
+/// complete behavioral difference between them.
+fn run_phase(setup: &PhaseSetup<'_>, faults: PhaseFaults<'_>) -> DeliveryReport {
+    let e = setup.e;
     let host = e.host;
     let n_edges = e.edge_paths.len();
+    let cfg = &setup.cfg;
 
-    struct EdgeState {
-        threshold: usize,
-        ida: Ida,
-        message: Vec<u8>,
-        shares: Vec<Share>,
+    /// Per-call mutable trial state (the setup stays read-only).
+    struct EdgeTrial {
         arrived: Vec<bool>,
         first_round_arrivals: usize,
         recovered_in_round: Option<u32>, // 0 = initial round
     }
 
-    let mut states: Vec<EdgeState> = e
-        .edge_paths
+    let mut trials: Vec<EdgeTrial> = setup
+        .edges
         .iter()
-        .enumerate()
-        .map(|(eid, bundle)| {
-            let w = bundle.len();
-            assert!(
-                (1..=255).contains(&w),
-                "guest edge {eid}: bundle width {w} outside the IDA share range"
-            );
-            let threshold = cfg.threshold.clamp(1, w);
-            let ida = Ida::new(w as u8, threshold as u8);
-            let message = message_for_edge(eid, cfg.message_len);
-            let shares = ida.disperse(&message);
-            // A zero-length path means source and destination share a host
-            // node: its share "arrives" without touching a link.
-            let arrived: Vec<bool> = bundle.iter().map(|p| p.is_empty()).collect();
-            EdgeState {
-                threshold,
-                ida,
-                message,
-                shares,
-                arrived,
-                first_round_arrivals: 0,
-                recovered_in_round: None,
-            }
+        .map(|es| EdgeTrial {
+            arrived: es.empty_arrived.clone(),
+            first_round_arrivals: 0,
+            recovered_in_round: None,
         })
         .collect();
 
     // Initial round: share `i` of edge `eid` rides bundle path `i`.
     let mut sim = PacketSim::new(host);
-    let mut flow_map: Vec<(usize, usize)> = Vec::new();
-    for (eid, bundle) in e.edge_paths.iter().enumerate() {
-        for (i, path) in bundle.iter().enumerate() {
-            if !path.is_empty() {
-                sim.add_flow(Flow { path: path.nodes().to_vec(), packets: 1 });
-                flow_map.push((eid, i));
+    for &(eid, i) in &setup.flow_map {
+        sim.add_flow(Flow { path: e.edge_paths[eid][i].nodes().to_vec(), packets: 1 });
+    }
+    let initial: FaultReport = match faults {
+        PhaseFaults::Timeline(tl) => {
+            let fr = sim.run_faulty(MAX_STEPS, tl);
+            for (fid, &(eid, i)) in setup.flow_map.iter().enumerate() {
+                if fr.flow_delivered[fid] == 1 {
+                    trials[eid].arrived[i] = true;
+                }
+            }
+            fr
+        }
+        PhaseFaults::Plan(plan) => {
+            // A share only counts as arrived if delivered *untainted*.
+            let pr = sim.run_planned(MAX_STEPS, plan);
+            for (fid, &(eid, i)) in setup.flow_map.iter().enumerate() {
+                if pr.flow_delivered[fid] == 1 && pr.flow_corrupted[fid] == 0 {
+                    trials[eid].arrived[i] = true;
+                }
+            }
+            FaultReport {
+                report: pr.report,
+                lost: pr.lost,
+                flow_delivered: pr.flow_delivered,
+                flow_lost: pr.flow_lost,
             }
         }
-    }
-    let initial = sim.run_faulty(MAX_STEPS, faults);
-    for (fid, &(eid, i)) in flow_map.iter().enumerate() {
-        if initial.flow_delivered[fid] == 1 {
-            states[eid].arrived[i] = true;
-        }
-    }
-    for st in &mut states {
+    };
+    for (st, es) in trials.iter_mut().zip(&setup.edges) {
         st.first_round_arrivals = st.arrived.iter().filter(|&&a| a).count();
-        if st.first_round_arrivals >= st.threshold {
+        if st.first_round_arrivals >= es.threshold {
             st.recovered_in_round = Some(0);
         }
     }
 
-    // Retry rounds run under the post-event fault set: the sender learns
-    // which shares died and re-sends them over the bundle's surviving
-    // paths (round-robin; reusing one surviving path for several shares is
-    // legal — disjointness bounds bandwidth, not reuse).
-    let final_set: FaultSet = faults.final_set(&host);
-    let static_faults = FaultTimeline::from_set(final_set.clone());
+    // Retry rounds re-send dead shares over the bundle's surviving paths
+    // (round-robin; reusing one surviving path for several shares is
+    // legal — disjointness bounds bandwidth, not reuse). The timeline
+    // sender avoids the post-event fault set; the plan oracle avoids
+    // every hazardous link (down, going down, or corrupting).
+    let avoid: FaultSet = match faults {
+        PhaseFaults::Timeline(tl) => tl.final_set(&host),
+        PhaseFaults::Plan(plan) => plan.hazard_set(&host),
+    };
+    let static_faults = FaultTimeline::from_set(avoid.clone());
     let mut shares_resent = 0u64;
     let mut rounds_run = 0u32;
     for round in 1..=cfg.max_retries {
         let mut retry = PacketSim::new(host);
         let mut retry_map: Vec<(usize, usize)> = Vec::new();
-        for (eid, st) in states.iter().enumerate() {
+        for (eid, st) in trials.iter().enumerate() {
             if st.recovered_in_round.is_some() {
                 continue;
             }
@@ -220,7 +321,7 @@ pub fn deliver_phase(
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| {
-                    !p.is_empty() && p.edges().all(|edge| !final_set.is_failed(&host, edge))
+                    !p.is_empty() && p.edges().all(|edge| !avoid.is_failed(&host, edge))
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -242,12 +343,12 @@ pub fn deliver_phase(
         let rr = retry.run_faulty(MAX_STEPS, &static_faults);
         for (fid, &(eid, i)) in retry_map.iter().enumerate() {
             if rr.flow_delivered[fid] == 1 {
-                states[eid].arrived[i] = true;
+                trials[eid].arrived[i] = true;
             }
         }
-        for st in &mut states {
+        for (st, es) in trials.iter_mut().zip(&setup.edges) {
             if st.recovered_in_round.is_none()
-                && st.arrived.iter().filter(|&&a| a).count() >= st.threshold
+                && st.arrived.iter().filter(|&&a| a).count() >= es.threshold
             {
                 st.recovered_in_round = Some(round);
             }
@@ -257,20 +358,20 @@ pub fn deliver_phase(
     // Grade every edge, verifying actual byte-for-byte reconstruction.
     let mut edges = Vec::with_capacity(n_edges);
     let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
-    for (eid, st) in states.iter().enumerate() {
+    for (eid, (st, es)) in trials.iter().zip(&setup.edges).enumerate() {
         let arrived_total = st.arrived.iter().filter(|&&a| a).count();
         let outcome = match st.recovered_in_round {
             Some(round) => {
-                let subset: Vec<Share> = st
+                let subset: Vec<Share> = es
                     .shares
                     .iter()
                     .zip(&st.arrived)
                     .filter(|(_, &a)| a)
                     .map(|(s, _)| s.clone())
-                    .take(st.threshold)
+                    .take(es.threshold)
                     .collect();
-                match st.ida.reconstruct(&subset) {
-                    Ok(bytes) if bytes == st.message => {
+                match es.ida.reconstruct(&subset) {
+                    Ok(bytes) if bytes == es.message => {
                         if round == 0 {
                             delivered += 1;
                             EdgeOutcome::Delivered
@@ -295,7 +396,7 @@ pub fn deliver_phase(
         edges.push(EdgeDelivery {
             guest_edge: eid,
             width: e.edge_paths[eid].len(),
-            threshold: st.threshold,
+            threshold: es.threshold,
             first_round_arrivals: st.first_round_arrivals,
             outcome,
         });
@@ -331,176 +432,14 @@ pub fn deliver_phase_plan(
     plan: &FaultPlan,
     cfg: &DeliveryConfig,
 ) -> DeliveryReport {
-    let host = e.host;
-    let n_edges = e.edge_paths.len();
+    deliver_phase_plan_prepared(&PhaseSetup::new(e, cfg), plan)
+}
 
-    struct EdgeState {
-        threshold: usize,
-        ida: Ida,
-        message: Vec<u8>,
-        shares: Vec<Share>,
-        arrived: Vec<bool>,
-        first_round_arrivals: usize,
-        recovered_in_round: Option<u32>, // 0 = initial round
-    }
-
-    let mut states: Vec<EdgeState> = e
-        .edge_paths
-        .iter()
-        .enumerate()
-        .map(|(eid, bundle)| {
-            let w = bundle.len();
-            assert!(
-                (1..=255).contains(&w),
-                "guest edge {eid}: bundle width {w} outside the IDA share range"
-            );
-            let threshold = cfg.threshold.clamp(1, w);
-            let ida = Ida::new(w as u8, threshold as u8);
-            let message = message_for_edge(eid, cfg.message_len);
-            let shares = ida.disperse(&message);
-            let arrived: Vec<bool> = bundle.iter().map(|p| p.is_empty()).collect();
-            EdgeState {
-                threshold,
-                ida,
-                message,
-                shares,
-                arrived,
-                first_round_arrivals: 0,
-                recovered_in_round: None,
-            }
-        })
-        .collect();
-
-    // Initial round: share `i` of edge `eid` rides bundle path `i`. A
-    // share only counts as arrived if it was delivered *untainted*.
-    let mut sim = PacketSim::new(host);
-    let mut flow_map: Vec<(usize, usize)> = Vec::new();
-    for (eid, bundle) in e.edge_paths.iter().enumerate() {
-        for (i, path) in bundle.iter().enumerate() {
-            if !path.is_empty() {
-                sim.add_flow(Flow { path: path.nodes().to_vec(), packets: 1 });
-                flow_map.push((eid, i));
-            }
-        }
-    }
-    let pr = sim.run_planned(MAX_STEPS, plan);
-    for (fid, &(eid, i)) in flow_map.iter().enumerate() {
-        if pr.flow_delivered[fid] == 1 && pr.flow_corrupted[fid] == 0 {
-            states[eid].arrived[i] = true;
-        }
-    }
-    for st in &mut states {
-        st.first_round_arrivals = st.arrived.iter().filter(|&&a| a).count();
-        if st.first_round_arrivals >= st.threshold {
-            st.recovered_in_round = Some(0);
-        }
-    }
-    let initial = FaultReport {
-        report: pr.report,
-        lost: pr.lost,
-        flow_delivered: pr.flow_delivered,
-        flow_lost: pr.flow_lost,
-    };
-
-    // Retry rounds avoid every *hazardous* link — the oracle knows the
-    // whole plan, so it never routes a retry over a link that is down,
-    // will go down, or corrupts payloads.
-    let hazard: FaultSet = plan.hazard_set(&host);
-    let static_faults = FaultTimeline::from_set(hazard.clone());
-    let mut shares_resent = 0u64;
-    let mut rounds_run = 0u32;
-    for round in 1..=cfg.max_retries {
-        let mut retry = PacketSim::new(host);
-        let mut retry_map: Vec<(usize, usize)> = Vec::new();
-        for (eid, st) in states.iter().enumerate() {
-            if st.recovered_in_round.is_some() {
-                continue;
-            }
-            let bundle = &e.edge_paths[eid];
-            let survivors: Vec<usize> = bundle
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| {
-                    !p.is_empty() && p.edges().all(|edge| !hazard.is_failed(&host, edge))
-                })
-                .map(|(i, _)| i)
-                .collect();
-            if survivors.is_empty() {
-                continue; // nothing left to carry a retry
-            }
-            let missing: Vec<usize> = (0..bundle.len()).filter(|&i| !st.arrived[i]).collect();
-            for (j, &share_i) in missing.iter().enumerate() {
-                let via = survivors[j % survivors.len()];
-                retry.add_flow(Flow { path: bundle[via].nodes().to_vec(), packets: 1 });
-                retry_map.push((eid, share_i));
-            }
-        }
-        if retry_map.is_empty() {
-            break;
-        }
-        rounds_run = round;
-        shares_resent += retry_map.len() as u64;
-        let rr = retry.run_faulty(MAX_STEPS, &static_faults);
-        for (fid, &(eid, i)) in retry_map.iter().enumerate() {
-            if rr.flow_delivered[fid] == 1 {
-                states[eid].arrived[i] = true;
-            }
-        }
-        for st in &mut states {
-            if st.recovered_in_round.is_none()
-                && st.arrived.iter().filter(|&&a| a).count() >= st.threshold
-            {
-                st.recovered_in_round = Some(round);
-            }
-        }
-    }
-
-    // Grade every edge, verifying actual byte-for-byte reconstruction.
-    let mut edges = Vec::with_capacity(n_edges);
-    let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
-    for (eid, st) in states.iter().enumerate() {
-        let arrived_total = st.arrived.iter().filter(|&&a| a).count();
-        let outcome = match st.recovered_in_round {
-            Some(round) => {
-                let subset: Vec<Share> = st
-                    .shares
-                    .iter()
-                    .zip(&st.arrived)
-                    .filter(|(_, &a)| a)
-                    .map(|(s, _)| s.clone())
-                    .take(st.threshold)
-                    .collect();
-                match st.ida.reconstruct(&subset) {
-                    Ok(bytes) if bytes == st.message => {
-                        if round == 0 {
-                            delivered += 1;
-                            EdgeOutcome::Delivered
-                        } else {
-                            degraded += 1;
-                            EdgeOutcome::Degraded { rounds: round }
-                        }
-                    }
-                    _ => {
-                        lost += 1;
-                        EdgeOutcome::Lost { arrived: arrived_total }
-                    }
-                }
-            }
-            None => {
-                lost += 1;
-                EdgeOutcome::Lost { arrived: arrived_total }
-            }
-        };
-        edges.push(EdgeDelivery {
-            guest_edge: eid,
-            width: e.edge_paths[eid].len(),
-            threshold: st.threshold,
-            first_round_arrivals: st.first_round_arrivals,
-            outcome,
-        });
-    }
-
-    DeliveryReport { edges, delivered, degraded, lost, rounds_run, shares_resent, initial }
+/// [`deliver_phase_plan`] against a prebuilt [`PhaseSetup`]: only the
+/// fault-dependent work (simulation rounds, retry planning, grading) runs
+/// per call; dispersal is reused from the setup.
+pub fn deliver_phase_plan_prepared(setup: &PhaseSetup<'_>, plan: &FaultPlan) -> DeliveryReport {
+    run_phase(setup, PhaseFaults::Plan(plan))
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //!   [`FaultTimeline`]s of mid-run link failures, which bundle paths
 //!   survive a fault set, and Monte-Carlo delivery probabilities for
 //!   width-`w` embeddings with a `(w, k)` dispersal scheme.
+//! * [`bitslice`] — SIMD-within-a-register fault kernels: 64 Monte-Carlo
+//!   trials packed per `u64` ([`BitTrialBlock`]), path survival as word
+//!   AND-reductions ([`SlicedPaths`]), with a lane-extraction API that
+//!   reproduces the scalar draws bit for bit.
 //! * [`delivery`] — the end-to-end message layer: IDA-disperse each guest
 //!   edge's message over its bundle, run the shares through the faulty
 //!   machine, reconstruct at the destination, retry lost shares over
@@ -38,6 +42,7 @@
 //!   machine model, so a theorem's certified cost can be checked against a
 //!   measured makespan.
 
+pub mod bitslice;
 pub mod chaos;
 pub mod delivery;
 pub mod faults;
@@ -48,15 +53,20 @@ pub mod schedule_exec;
 pub mod trace;
 pub mod wormhole;
 
+pub use bitslice::{delivery_probability_bitsliced, BitTrialBlock, SlicedPaths};
 pub use chaos::{random_plan, run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
 pub use delivery::{
-    deliver_phase, deliver_phase_plan, DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome,
+    deliver_phase, deliver_phase_plan, deliver_phase_plan_prepared, deliver_phase_prepared,
+    DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome, PhaseSetup,
 };
 pub use faults::{
     random_fault_set, surviving_paths, FaultPlan, FaultSet, FaultTimeline, LinkEvent,
 };
 pub use packet::{FaultReport, Flow, PacketSim, PlanReport, SimReport};
-pub use protocol::{deliver_adaptive, AdaptiveReport, PlanNetwork, RoundNetwork, Submission};
+pub use protocol::{
+    deliver_adaptive, deliver_adaptive_prepared, AdaptiveReport, AdaptiveSetup, PlanNetwork,
+    RoundNetwork, Submission,
+};
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
 pub use schedule_exec::{run_schedule, run_schedule_with_faults};
 pub use trace::{

@@ -35,7 +35,7 @@ use crate::delivery::{message_for_edge, DeliveryConfig, EdgeDelivery, EdgeOutcom
 use crate::faults::FaultPlan;
 use crate::packet::{Flow, PacketSim};
 use hyperpath_embedding::MultiPathEmbedding;
-use hyperpath_ida::{Ida, Share, TaggedShare};
+use hyperpath_ida::{share_fingerprint, Ida, Share, TaggedShare};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -182,6 +182,54 @@ impl AdaptiveReport {
     }
 }
 
+/// The fault- and key-independent half of an adaptive phase: per-edge IDA
+/// schemes, messages, and *untagged* dispersed shares, built once and
+/// reused across trials. Tags are keyed per call, so one setup serves any
+/// number of `(key, network)` draws; the per-call tagging reproduces
+/// [`Ida::disperse_tagged`] byte for byte (it is the same
+/// [`share_fingerprint`] over the same share bytes).
+///
+/// # Panics
+/// [`AdaptiveSetup::new`] panics if any bundle is empty or wider than 255
+/// paths (the IDA share index is a byte).
+pub struct AdaptiveSetup<'a> {
+    e: &'a MultiPathEmbedding,
+    cfg: DeliveryConfig,
+    edges: Vec<AdaptiveEdgeSetup>,
+}
+
+/// Per-edge precomputed state of an [`AdaptiveSetup`].
+struct AdaptiveEdgeSetup {
+    threshold: usize,
+    ida: Ida,
+    message: Vec<u8>,
+    shares: Vec<Share>,
+}
+
+impl<'a> AdaptiveSetup<'a> {
+    /// Disperses every edge's message once (untagged).
+    pub fn new(e: &'a MultiPathEmbedding, cfg: &DeliveryConfig) -> Self {
+        let edges: Vec<AdaptiveEdgeSetup> = e
+            .edge_paths
+            .iter()
+            .enumerate()
+            .map(|(eid, bundle)| {
+                let w = bundle.len();
+                assert!(
+                    (1..=255).contains(&w),
+                    "guest edge {eid}: bundle width {w} outside the IDA share range"
+                );
+                let threshold = cfg.threshold.clamp(1, w);
+                let ida = Ida::new(w as u8, threshold as u8);
+                let message = message_for_edge(eid, cfg.message_len);
+                let shares = ida.disperse(&message);
+                AdaptiveEdgeSetup { threshold, ida, message, shares }
+            })
+            .collect();
+        AdaptiveSetup { e, cfg: *cfg, edges }
+    }
+}
+
 /// Runs one oracle-free adaptive dispersal phase of `e` through `net`.
 ///
 /// `key` keys the share fingerprints; sender and receiver share it (the
@@ -189,6 +237,10 @@ impl AdaptiveReport {
 /// key-knowing forger). The function never sees a fault set, timeline, or
 /// plan — path health is inferred exclusively from which submissions come
 /// back verified. Fully deterministic for a deterministic network.
+///
+/// Convenience form of [`deliver_adaptive_prepared`] that builds the
+/// [`AdaptiveSetup`] on the spot; sweeps that run many trials against one
+/// configuration should build the setup once instead.
 ///
 /// # Panics
 /// Panics if any bundle is empty or wider than 255 paths (the IDA share
@@ -199,6 +251,19 @@ pub fn deliver_adaptive<N: RoundNetwork>(
     key: u64,
     net: &mut N,
 ) -> AdaptiveReport {
+    deliver_adaptive_prepared(&AdaptiveSetup::new(e, cfg), key, net)
+}
+
+/// [`deliver_adaptive`] against a prebuilt [`AdaptiveSetup`]: dispersal is
+/// reused from the setup and only tagging, simulation rounds, and grading
+/// run per call.
+pub fn deliver_adaptive_prepared<N: RoundNetwork>(
+    setup: &AdaptiveSetup<'_>,
+    key: u64,
+    net: &mut N,
+) -> AdaptiveReport {
+    let e = setup.e;
+    let cfg = &setup.cfg;
     let n_edges = e.edge_paths.len();
 
     struct EdgeState {
@@ -220,24 +285,23 @@ pub fn deliver_adaptive<N: RoundNetwork>(
         }
     }
 
-    let mut states: Vec<EdgeState> = e
-        .edge_paths
+    let mut states: Vec<EdgeState> = setup
+        .edges
         .iter()
-        .enumerate()
-        .map(|(eid, bundle)| {
-            let w = bundle.len();
-            assert!(
-                (1..=255).contains(&w),
-                "guest edge {eid}: bundle width {w} outside the IDA share range"
-            );
-            let threshold = cfg.threshold.clamp(1, w);
-            let ida = Ida::new(w as u8, threshold as u8);
-            let message = message_for_edge(eid, cfg.message_len);
-            let tagged = ida.disperse_tagged(&message, key);
+        .map(|es| {
+            let w = es.shares.len();
+            let tagged: Vec<TaggedShare> = es
+                .shares
+                .iter()
+                .map(|share| {
+                    let tag = share_fingerprint(key, share.index, &share.data);
+                    TaggedShare { share: share.clone(), tag }
+                })
+                .collect();
             EdgeState {
-                threshold,
-                ida,
-                message,
+                threshold: es.threshold,
+                ida: es.ida,
+                message: es.message.clone(),
                 tagged,
                 verified: vec![None; w],
                 path_dead: vec![false; w],

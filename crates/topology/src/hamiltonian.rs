@@ -704,7 +704,7 @@ fn merge_two_factor(cube: Hypercube, h: &mut Adj2, l: &mut Adj2) -> bool {
 /// Assembles a decomposition of even `Q_n` cycle-by-cycle: finds `k-1`
 /// pairwise edge-disjoint Hamiltonian cycles with randomized backtracking,
 /// then repairs the leftover 2-factor into the `k`-th Hamiltonian cycle with
-/// [`merge_two_factor`] square swaps against the last found cycle.
+/// `merge_two_factor` square swaps against the last found cycle.
 pub fn search_sequential(n: u32, attempts: u64, max_steps: u64) -> Option<Vec<Vec<Dim>>> {
     assert!(n >= 4 && n.is_multiple_of(2));
     let cube = Hypercube::new(n);

@@ -9,7 +9,7 @@
 //!   views used throughout the paper's Section 4 proofs.
 //! * [`gray`] — binary reflected Gray codes: the transition sequences
 //!   `G'_k`/`G_k` and the Hamiltonian node sequence `H_k` of Section 3.
-//! * [`moment`] — the *moment* `M(v)` of a node (Definition 1): a
+//! * [`mod@moment`] — the *moment* `M(v)` of a node (Definition 1): a
 //!   `⌈log n⌉`-bit label such that all hypercube neighbors of any node have
 //!   distinct moments (Lemma 2). Moments drive every multiple-path
 //!   construction in the paper.
