@@ -23,12 +23,21 @@
 //! Besides the baseline comparison, a compare run also enforces the
 //! cross-record **speedup floors** ([`check_speedups`]): the bit-sliced
 //! Monte-Carlo kernel and the word-level IDA codec must keep beating
-//! their scalar references inside the same fresh run.
+//! their scalar references inside the same fresh run (skipped under
+//! `--tiny`, whose microsecond workloads sit below the floors'
+//! calibration size and measure scheduler noise) — and the
+//! **memory-scaling pins** ([`check_memory`]): every implicit-host scale
+//! workload must stay under the 1 GiB peak-allocation ceiling with
+//! bytes-per-node non-increasing in `n`. The memory pins are
+//! deterministic-counter checks, so they run even under
+//! `--time-tolerance 0`.
 //!
 //! Exit codes: `0` pass/blessed, `1` regression found, `2` usage error or
 //! unusable baseline.
 
-use hyperpath_bench::gate::{append_new_records, check_speedups, compare, GateConfig};
+use hyperpath_bench::gate::{
+    append_new_records, check_memory, check_speedups, compare, GateConfig,
+};
 use hyperpath_bench::perf::{run_perf_suite, PerfConfig};
 use hyperpath_bench::Json;
 use std::path::PathBuf;
@@ -51,6 +60,7 @@ fn main() -> ExitCode {
     let mut cfg = GateConfig::default();
     let mut out: Option<PathBuf> = None;
     let mut perf_cfg = PerfConfig::full();
+    let mut tiny = false;
     let mut bless = false;
     let mut bless_append = false;
 
@@ -83,7 +93,10 @@ fn main() -> ExitCode {
                 Ok(p) => out = Some(PathBuf::from(p)),
                 Err(c) => return c,
             },
-            "--tiny" => perf_cfg = PerfConfig::tiny(),
+            "--tiny" => {
+                perf_cfg = PerfConfig::tiny();
+                tiny = true;
+            }
             "--bless" => bless = true,
             "--bless-append" => bless_append = true,
             "--help" | "-h" => {
@@ -184,7 +197,12 @@ fn main() -> ExitCode {
     // Cross-record speedup floors (kernel vs scalar-reference pairs inside
     // the fresh run). Wall-clock based, so they obey the same switch that
     // disables the slowdown band: `--time-tolerance 0` = counters only.
-    if cfg.time_tolerance > 0.0 {
+    // The floors are calibrated against the full-size workloads; `--tiny`
+    // runs sit an order of magnitude below that, where the measured ratio
+    // is scheduler noise, so the tiny smoke skips them.
+    if tiny && cfg.time_tolerance > 0.0 {
+        println!("speedup floors skipped: --tiny workloads are below calibration size");
+    } else if cfg.time_tolerance > 0.0 {
         match check_speedups(&fresh) {
             Ok(report) => {
                 if report.time_checks > 0 || !report.passed() {
@@ -203,6 +221,28 @@ fn main() -> ExitCode {
                 eprintln!("bench_gate: {e}");
                 return ExitCode::from(2);
             }
+        }
+    }
+
+    // Memory-scaling pins on the fresh run: peak bytes are deterministic
+    // counters, so these run unconditionally.
+    match check_memory(&fresh) {
+        Ok(report) => {
+            if report.records_checked > 0 || !report.passed() {
+                if report.passed() {
+                    println!(
+                        "memory pins OK: {} scale record(s), {} ceiling/trend check(s)",
+                        report.records_checked, report.counters_checked
+                    );
+                } else {
+                    print!("{}", report.render());
+                }
+            }
+            failed |= !report.passed();
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
         }
     }
 

@@ -1,28 +1,31 @@
 //! E12 — fault tolerance: width-w bundles + (w,k) IDA vs a single path.
 //!
 //! `--trials N` sets the Monte-Carlo trial count per grid point (default
-//! 200); `--json [PATH]` additionally writes the sweep artifact
-//! (`BENCH_E12_FAULTS.json` by default). Every grid point draws its faults
-//! from its own ChaCha stream, so the artifact is byte-stable across
-//! thread counts.
+//! 200); `--dims N[,N...]` picks the dimensions to sweep (default `8,10`;
+//! this binary materializes embeddings, so it is for `n <= 12` — use
+//! `e18_scale` beyond that); `--json [PATH]` additionally writes the sweep
+//! artifact (`BENCH_E12_FAULTS.json` by default). Every grid point draws
+//! its faults from its own ChaCha stream, so the artifact is byte-stable
+//! across thread counts.
 //!
 //! The `struct` columns count surviving paths combinatorially; the `sim`
 //! columns actually disperse a message per guest edge, push the shares as
 //! packets through the faulty simulated machine, and reconstruct at the
 //! destination — both evaluated against the *same* fault draw per trial.
 
-use hyperpath_bench::experiments::{e12_faults, ida_sanity_line, maybe_write_json, parse_cli};
+use hyperpath_bench::experiments::{e12_faults, ida_sanity_line, maybe_write_json, parse_cli_with};
 
 fn main() {
-    let opts = parse_cli(true);
+    let opts = parse_cli_with(true, true);
     let trials = opts.trials.unwrap_or(200);
+    let dims = opts.dims.clone().unwrap_or_else(|| vec![8, 10]);
     println!("E12: phase delivery probability under link faults (Monte-Carlo, {trials} trials)");
     println!("Claim (Sections 1-2): w edge-disjoint paths + Rabin IDA tolerate link faults.\n");
 
     // Demonstrate the IDA machinery end to end once.
     println!("{}\n", ida_sanity_line());
 
-    let (table, out) = e12_faults(&[8, 10], trials, 99);
+    let (table, out) = e12_faults(&dims, trials, 99);
     println!("{}", table.render());
     println!("'struct k' = trials where every bundle keeps >= k fault-free paths;");
     println!("'sim' = shares routed through the faulty machine and IDA-reconstructed");

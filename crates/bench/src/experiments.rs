@@ -16,7 +16,9 @@ use hyperpath_core::cycles::theorem1;
 use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
 use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
 use hyperpath_ida::Ida;
-use hyperpath_sim::bitslice::{BitTrialBlock, SlicedPaths};
+use hyperpath_sim::bitslice::{
+    streamed_all_bundles_ge, BitTrialBlock, GrayCycleBundles, IndexedTrials, SlicedPaths,
+};
 use hyperpath_sim::chaos::random_plan;
 use hyperpath_sim::delivery::{
     deliver_phase_plan_prepared, deliver_phase_prepared, DeliveryConfig, PhaseSetup,
@@ -25,6 +27,7 @@ use hyperpath_sim::faults::random_fault_set;
 use hyperpath_sim::protocol::{deliver_adaptive_prepared, AdaptiveSetup, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
+use hyperpath_topology::host::Theorem1Plan;
 
 const SIM_CAP: u64 = 10_000_000;
 
@@ -351,6 +354,116 @@ pub fn e12_faults_with_threads(
     (t, out)
 }
 
+// ---------------------------------------------------------------------------
+// E18 — structural fault estimators at scale on the implicit host.
+// ---------------------------------------------------------------------------
+
+/// One E18 grid point: dimension and per-link fault probability (same axes
+/// as E12, but reached through the implicit topology layer).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Hypercube dimension (1M nodes at `n = 20`, 16M at `n = 24`).
+    pub n: u32,
+    /// Independent per-link failure probability.
+    pub p: f64,
+}
+
+impl ToJson for ScalePoint {
+    fn to_json(&self) -> Json {
+        Json::object([("n", self.n.to_json()), ("p", self.p.to_json())])
+    }
+}
+
+/// The default E18 grid: the E12 fault probabilities per dimension.
+pub fn e18_grid(ns: &[u32]) -> Vec<ScalePoint> {
+    ns.iter().flat_map(|&n| [0.0005f64, 0.002, 0.01, 0.05].map(|p| ScalePoint { n, p })).collect()
+}
+
+/// E18: the E12 structural columns (`gray_w1` / `struct_k1` /
+/// `struct_k_half`) at dimensions the materialized pipeline cannot reach.
+///
+/// Nothing per-link or per-bundle is ever allocated: the Theorem 1
+/// embedding is an implicit [`Theorem1Plan`] (`O(2^{n/2})` words), the
+/// Gray baseline is [`GrayCycleBundles`] (three words), fault trials are
+/// [`IndexedTrials`] (per-link alive words recomputed from the seed), and
+/// each 64-trial block is folded by [`streamed_all_bundles_ge`] — so
+/// `n = 20..=24` runs in megabytes. Per point, both estimators share the
+/// block's fault world, preserving E12's "same draws" discipline; block
+/// seeds are drawn serially from the point's ChaCha stream and all folds
+/// commute, so the artifact is byte-identical at any worker count (CI's
+/// `scale-smoke` job pins this).
+///
+/// There is no measured-simulation column here: packet simulation remains
+/// a materialized-scale (`n ≤ 12`) concern, which is exactly the split the
+/// implicit layer is for.
+pub fn e18_scale(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
+    e18_scale_with_threads(ns, trials, master_seed, None)
+}
+
+/// [`e18_scale`] with a pinned worker count (for the byte-identity tests).
+pub fn e18_scale_with_threads(
+    ns: &[u32],
+    trials: u32,
+    master_seed: u64,
+    threads: Option<usize>,
+) -> (Table, SweepOutput) {
+    use rand::RngExt;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    // Plans are deterministic and (row-subcube decomposition) not free to
+    // build, so build one per distinct dimension up front, serially.
+    let mut plans: HashMap<u32, Arc<Theorem1Plan>> = HashMap::new();
+    for &n in ns {
+        plans.entry(n).or_insert_with(|| Arc::new(Theorem1Plan::new(n).expect("theorem 1 plan")));
+    }
+
+    let mut sweep = Sweep::new("e18_scale", master_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let out = sweep.run(e18_grid(ns), move |pt, rng| {
+        let plan = &plans[&pt.n];
+        let gray = GrayCycleBundles::new(pt.n);
+        let w = plan.claimed_width();
+        let k_half = (w as usize).div_ceil(2);
+        // One seed per 64-trial block, drawn serially from the point's
+        // stream; block tallies are popcounts folded by u32 addition,
+        // which commutes, so worker count cannot change the totals.
+        let mut counts = [0u32; 3];
+        let mut remaining = trials;
+        while remaining > 0 {
+            let lanes = remaining.min(64);
+            remaining -= lanes;
+            let block = IndexedTrials::new(rng.random(), pt.p, lanes);
+            let g = streamed_all_bundles_ge(&gray, &block, &[1]);
+            let s = streamed_all_bundles_ge(plan.as_ref(), &block, &[1, k_half]);
+            counts[0] += g[0].count_ones();
+            counts[1] += s[0].count_ones();
+            counts[2] += s[1].count_ones();
+        }
+        let frac = |ok: u32| f64::from(ok) / f64::from(trials);
+        Json::object([
+            ("width", w.to_json()),
+            ("trials", trials.to_json()),
+            ("gray_w1", frac(counts[0]).to_json()),
+            ("struct_k1", frac(counts[1]).to_json()),
+            ("struct_k_half", frac(counts[2]).to_json()),
+        ])
+    });
+    let mut t = Table::new(&["n", "p(link fail)", "gray (w=1)", "struct k=1", "struct k=⌈w/2⌉"]);
+    for rec in &out.records {
+        t.row(vec![
+            fetch(&rec.params, "n").to_string(),
+            format!("{}", fetch_f(&rec.params, "p")),
+            format!("{:.3}", fetch_f(&rec.result, "gray_w1")),
+            format!("{:.3}", fetch_f(&rec.result, "struct_k1")),
+            format!("{:.3}", fetch_f(&rec.result, "struct_k_half")),
+        ]);
+    }
+    (t, out)
+}
+
 /// The E12 preamble demo: runs (5,3)-IDA end to end and returns the line
 /// the binary prints. Panics if reconstruction fails.
 pub fn ida_sanity_line() -> String {
@@ -598,25 +711,44 @@ pub struct CliOpts {
     /// `--json [PATH]`: write the sweep artifact (to PATH, or the default
     /// `BENCH_<EXPERIMENT>.json` when no path follows the flag).
     pub json: Option<Option<std::path::PathBuf>>,
-    /// `--trials N` (E12 only): Monte-Carlo trials per grid point.
+    /// `--trials N` (E12/E18 only): Monte-Carlo trials per grid point.
     pub trials: Option<u32>,
+    /// `--dims N[,N...]` (E12/E18 only): hypercube dimensions to sweep.
+    pub dims: Option<Vec<u32>>,
 }
 
 /// The usage line for an experiment binary.
 pub fn cli_usage(accepts_trials: bool) -> &'static str {
-    if accepts_trials {
-        "usage: <experiment> [--json [PATH]] [--trials N]"
-    } else {
-        "usage: <experiment> [--json [PATH]]"
+    cli_usage_with(accepts_trials, false)
+}
+
+/// The usage line for an experiment binary, including `--dims` when the
+/// binary sweeps a selectable dimension list.
+pub fn cli_usage_with(accepts_trials: bool, accepts_dims: bool) -> &'static str {
+    match (accepts_trials, accepts_dims) {
+        (true, true) => "usage: <experiment> [--json [PATH]] [--trials N] [--dims N[,N...]]",
+        (true, false) => "usage: <experiment> [--json [PATH]] [--trials N]",
+        (false, true) => "usage: <experiment> [--json [PATH]] [--dims N[,N...]]",
+        (false, false) => "usage: <experiment> [--json [PATH]]",
     }
 }
 
 /// Parses an experiment-binary command line. `accepts_trials` is true only
-/// for the Monte-Carlo binaries (E12); everywhere else `--trials` would
-/// silently do nothing, so it is rejected.
+/// for the Monte-Carlo binaries (E12/E18); everywhere else `--trials`
+/// would silently do nothing, so it is rejected.
 pub fn try_parse_cli(
     args: impl IntoIterator<Item = String>,
     accepts_trials: bool,
+) -> Result<CliOpts, String> {
+    try_parse_cli_with(args, accepts_trials, false)
+}
+
+/// [`try_parse_cli`] plus (when `accepts_dims`) the `--dims N[,N...]`
+/// dimension-list flag used by the fault-sweep binaries.
+pub fn try_parse_cli_with(
+    args: impl IntoIterator<Item = String>,
+    accepts_trials: bool,
+    accepts_dims: bool,
 ) -> Result<CliOpts, String> {
     let mut opts = CliOpts::default();
     let mut it = args.into_iter().peekable();
@@ -644,6 +776,25 @@ pub fn try_parse_cli(
                     "--trials is only meaningful for the Monte-Carlo experiments (e12)".to_string()
                 )
             }
+            "--dims" if accepts_dims => {
+                let dims = it
+                    .next()
+                    .ok_or_else(|| "--dims requires a comma-separated list".to_string())?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad dimension {s:?} in --dims"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                opts.dims = Some(dims);
+            }
+            "--dims" => {
+                return Err("--dims is only meaningful for the fault-sweep experiments (e12, e18)"
+                    .to_string())
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -653,11 +804,16 @@ pub fn try_parse_cli(
 /// Parses `std::env::args()` for an experiment binary; on bad usage prints
 /// the error plus a usage line to stderr and exits with status 2.
 pub fn parse_cli(accepts_trials: bool) -> CliOpts {
-    match try_parse_cli(std::env::args().skip(1), accepts_trials) {
+    parse_cli_with(accepts_trials, false)
+}
+
+/// [`parse_cli`] for binaries that also sweep a selectable dimension list.
+pub fn parse_cli_with(accepts_trials: bool, accepts_dims: bool) -> CliOpts {
+    match try_parse_cli_with(std::env::args().skip(1), accepts_trials, accepts_dims) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("{}", cli_usage(accepts_trials));
+            eprintln!("{}", cli_usage_with(accepts_trials, accepts_dims));
             std::process::exit(2);
         }
     }
@@ -723,6 +879,24 @@ mod tests {
     }
 
     #[test]
+    fn cli_parses_dims_lists() {
+        let o =
+            try_parse_cli_with(["--dims".to_string(), "8,10,12".to_string()], true, true).unwrap();
+        assert_eq!(o.dims, Some(vec![8, 10, 12]));
+        let o = try_parse_cli_with(["--dims".to_string(), "20".to_string()], false, true).unwrap();
+        assert_eq!(o.dims, Some(vec![20]));
+        // Whitespace around commas is tolerated.
+        let o =
+            try_parse_cli_with(["--dims".to_string(), "4, 6".to_string()], false, true).unwrap();
+        assert_eq!(o.dims, Some(vec![4, 6]));
+        // The legacy entry points never accept --dims.
+        assert_eq!(
+            try_parse_cli(["--dims".to_string(), "8".to_string()], true).unwrap_err(),
+            try_parse_cli_with(["--dims".to_string(), "8".to_string()], true, false).unwrap_err()
+        );
+    }
+
+    #[test]
     fn cli_rejects_bad_usage_without_panicking() {
         assert!(try_parse_cli(["--frobnicate".to_string()], false).is_err());
         assert!(try_parse_cli(["--trials".to_string(), "0".to_string()], true).is_err());
@@ -730,6 +904,15 @@ mod tests {
         // --trials is meaningless outside the Monte-Carlo binaries.
         let e = try_parse_cli(["--trials".to_string(), "50".to_string()], false).unwrap_err();
         assert!(e.contains("only meaningful"), "{e}");
+        // --dims is likewise rejected where it would silently do nothing.
+        let e =
+            try_parse_cli_with(["--dims".to_string(), "8".to_string()], true, false).unwrap_err();
+        assert!(e.contains("only meaningful"), "{e}");
+        // Malformed dimension lists.
+        assert!(try_parse_cli_with(["--dims".to_string()], true, true).is_err());
+        assert!(try_parse_cli_with(["--dims".to_string(), "".to_string()], true, true).is_err());
+        assert!(try_parse_cli_with(["--dims".to_string(), "8,0".to_string()], true, true).is_err());
+        assert!(try_parse_cli_with(["--dims".to_string(), "8,x".to_string()], true, true).is_err());
     }
 
     #[test]

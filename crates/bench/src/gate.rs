@@ -323,6 +323,91 @@ pub fn check_speedups(current: &Json) -> Result<GateReport, String> {
     Ok(report)
 }
 
+/// Hard ceiling on `peak_alloc_bytes` for every implicit-host
+/// memory-scaling workload (the `n = 20` acceptance bar: 1M nodes must
+/// run the streamed structural estimator in well under a GiB).
+pub const SCALE_PEAK_CEILING_BYTES: u64 = 1 << 30;
+
+/// Name prefix of the memory-scaling records [`check_memory`] enforces.
+pub const SCALE_RECORD_PREFIX: &str = "scale/structural/implicit/";
+
+/// Enforces the implicit-host memory model on a *fresh* run (no baseline
+/// involved — `peak_alloc_bytes` is a deterministic counter, so both
+/// checks are exact):
+///
+/// * every [`SCALE_RECORD_PREFIX`] record's `peak_alloc_bytes` must stay
+///   under [`SCALE_PEAK_CEILING_BYTES`];
+/// * every record's bytes-per-node must not exceed that of the
+///   *smallest* recorded size — the implicit layer's `O(2^{n/2})`
+///   footprint shrinks *relative to the topology* as `n` grows, so any
+///   `O(n·2^n)` table sneaking back in breaks this immediately. (The
+///   anchor is the smallest size, not the previous one, because the
+///   Theorem-1 row subcube width jumps with `n mod 4` and makes
+///   consecutive ratios non-monotone.)
+///
+/// A run with no scale records passes vacuously (pre-implicit-layer
+/// artifacts remain gateable). `Err` means the document is malformed
+/// (same contract as [`compare`]).
+pub fn check_memory(current: &Json) -> Result<GateReport, String> {
+    let cur = decode("current", current)?;
+    let mut report = GateReport::default();
+    let counter =
+        |cs: &[(String, u64)], key: &str| cs.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+
+    // (nodes, peak, name) for every scale record that carries both counters.
+    let mut scale: Vec<(u64, u64, String)> = Vec::new();
+    for (name, counters, _) in &cur.records {
+        if !name.starts_with(SCALE_RECORD_PREFIX) {
+            continue;
+        }
+        report.records_checked += 1;
+        let (Some(nodes), Some(peak)) =
+            (counter(counters, "nodes"), counter(counters, "peak_alloc_bytes"))
+        else {
+            report.issues.push(GateIssue {
+                record: name.clone(),
+                metric: "nodes/peak_alloc_bytes".into(),
+                baseline: "-".into(),
+                current: "-".into(),
+                detail: "scale record lacks the memory counters".into(),
+            });
+            continue;
+        };
+        report.counters_checked += 1;
+        if peak > SCALE_PEAK_CEILING_BYTES {
+            report.issues.push(GateIssue {
+                record: name.clone(),
+                metric: "peak_alloc_bytes".into(),
+                baseline: SCALE_PEAK_CEILING_BYTES.to_string(),
+                current: peak.to_string(),
+                detail: "peak allocation exceeds the scale ceiling".into(),
+            });
+        }
+        scale.push((nodes, peak, name.clone()));
+    }
+
+    scale.sort_by_key(|&(nodes, _, _)| nodes);
+    if let Some((nodes_a, peak_a, _)) = scale.first().cloned() {
+        for (nodes_b, peak_b, name_b) in &scale[1..] {
+            report.counters_checked += 1;
+            // bytes/node at every larger size must not exceed it at the
+            // smallest (cross-multiplied in u128 to avoid both overflow
+            // and float fuzz).
+            if u128::from(*peak_b) * u128::from(nodes_a) > u128::from(peak_a) * u128::from(*nodes_b)
+            {
+                report.issues.push(GateIssue {
+                    record: name_b.clone(),
+                    metric: "peak_alloc_bytes/node".into(),
+                    baseline: format!("{peak_a}B @ {nodes_a} nodes"),
+                    current: format!("{peak_b}B @ {nodes_b} nodes"),
+                    detail: "bytes per node grew with n (implicit layer regressed)".into(),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
 /// Merges a fresh run into a baseline for `bench_gate --bless-append`:
 /// every fresh record whose name the baseline has never seen is appended
 /// (in fresh-run order); records already present are left **untouched** —
@@ -524,6 +609,67 @@ mod tests {
         let r = check_speedups(&unrelated).unwrap();
         assert!(r.passed());
         assert_eq!(r.time_checks, 0);
+    }
+
+    #[test]
+    fn memory_gate_pins_ceiling_and_per_node_trend() {
+        // Healthy: under the ceiling, bytes/node strictly shrinking.
+        let healthy = doc(&[
+            ("scale/structural/implicit/n10", &[("nodes", 1 << 10), ("peak_alloc_bytes", 4096)], 1),
+            (
+                "scale/structural/implicit/n14",
+                &[("nodes", 1 << 14), ("peak_alloc_bytes", 16384)],
+                1,
+            ),
+            ("packet/run/n6", &[("steps", 9)], 1), // ignored: not a scale record
+        ]);
+        let r = check_memory(&healthy).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.records_checked, 2);
+        assert_eq!(r.counters_checked, 3); // two ceilings + one pair
+
+        // Ceiling breach.
+        let huge = doc(&[(
+            "scale/structural/implicit/n20",
+            &[("nodes", 1 << 20), ("peak_alloc_bytes", SCALE_PEAK_CEILING_BYTES + 1)],
+            1,
+        )]);
+        let r = check_memory(&huge).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].detail.contains("ceiling"), "{}", r.issues[0].detail);
+
+        // Bytes/node growing with n: an O(n·2^n) table crept back in.
+        let regressed = doc(&[
+            ("scale/structural/implicit/n10", &[("nodes", 1 << 10), ("peak_alloc_bytes", 1024)], 1),
+            (
+                "scale/structural/implicit/n14",
+                &[("nodes", 1 << 14), ("peak_alloc_bytes", 32768)], // 2 B/node vs 1 B/node
+                1,
+            ),
+        ]);
+        let r = check_memory(&regressed).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "scale/structural/implicit/n14");
+        assert!(r.issues[0].detail.contains("per node"), "{}", r.issues[0].detail);
+
+        // Equal bytes/node is allowed (non-increasing, not strictly less).
+        let flat = doc(&[
+            ("scale/structural/implicit/n10", &[("nodes", 1 << 10), ("peak_alloc_bytes", 2048)], 1),
+            ("scale/structural/implicit/n11", &[("nodes", 1 << 11), ("peak_alloc_bytes", 4096)], 1),
+        ]);
+        assert!(check_memory(&flat).unwrap().passed());
+
+        // A scale record without the counters is itself an issue.
+        let lacking = doc(&[("scale/structural/implicit/n10", &[("nodes", 1 << 10)], 1)]);
+        let r = check_memory(&lacking).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].detail.contains("lacks"), "{}", r.issues[0].detail);
+
+        // No scale records: vacuous pass.
+        let none = doc(&[("packet/run/n6", &[], 1)]);
+        let r = check_memory(&none).unwrap();
+        assert!(r.passed());
+        assert_eq!(r.records_checked, 0);
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub mod sweep;
 pub mod table;
 
 pub use json::{Json, ToJson};
-pub use measure::{counting_allocator_installed, measure_allocs, AllocStats, CountingAlloc};
+pub use measure::{
+    counting_allocator_installed, measure_allocs, measure_peak, AllocStats, CountingAlloc,
+};
 pub use sweep::{Sweep, SweepOutput, SweepRecord};
 pub use table::Table;

@@ -25,12 +25,12 @@
 //! the oracle-free adaptive delivery protocol.
 
 use crate::json::{Json, ToJson};
-use crate::measure::{measure_allocs, median_wall_ns};
+use crate::measure::{measure_allocs, measure_peak, median_wall_ns};
 use crate::table::Table;
 use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
 use hyperpath_ida::Ida;
-use hyperpath_sim::bitslice::{BitTrialBlock, SlicedPaths};
+use hyperpath_sim::bitslice::{stream_bundles_ge_into, BitTrialBlock, IndexedTrials, SlicedPaths};
 use hyperpath_sim::chaos::random_plan;
 use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
 use hyperpath_sim::faults::{random_fault_set, surviving_paths};
@@ -149,6 +149,9 @@ pub struct PerfConfig {
     pub ida_message_len: usize,
     /// Monte-Carlo trials per structural fault-survival workload.
     pub mc_trials: u32,
+    /// Hypercube dimensions for the implicit-host memory-scaling
+    /// workloads (`scale/structural/implicit/*`).
+    pub scale_ns: Vec<u32>,
     /// Unmeasured warmup calls per timing.
     pub warmup: u32,
     /// Measured calls per timing (median taken).
@@ -165,6 +168,7 @@ impl PerfConfig {
             worm_flits: 64,
             ida_message_len: 4096,
             mc_trials: 2048,
+            scale_ns: vec![10, 14, 18, 20],
             warmup: 1,
             reps: 5,
         }
@@ -179,6 +183,7 @@ impl PerfConfig {
             worm_flits: 8,
             ida_message_len: 256,
             mc_trials: 128,
+            scale_ns: vec![8],
             warmup: 1,
             reps: 3,
         }
@@ -608,6 +613,41 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
         });
     }
 
+    // --- Implicit-host memory scaling: the streamed structural estimator
+    // at growing n, with the live-byte high-water mark recorded per
+    // workload. `peak_alloc_bytes` covers the Theorem-1 plan build *plus*
+    // one full 64-lane streamed evaluation, so the gate can pin both the
+    // 1 GiB ceiling and the bytes-per-node trend (the whole point of the
+    // implicit layer is that this grows like 2^{n/2}, not n·2^n). All of
+    // it single-threaded and fixed-seed, hence machine-independent. ---
+    for &n in &cfg.scale_ns {
+        use hyperpath_topology::Theorem1Plan;
+        let seed = PERF_SEED ^ (u64::from(n) << 26);
+        let eval = |plan: &Theorem1Plan| -> (u64, u64) {
+            let trials = IndexedTrials::new(seed, FAULT_P, 64);
+            let k_half = (plan.claimed_width() as usize).div_ceil(2);
+            let mut acc = [trials.live_mask(); 2];
+            stream_bundles_ge_into(plan, &trials, &[1, k_half], 0..plan.num_bundles(), &mut acc);
+            (u64::from(acc[0].count_ones()), u64::from(acc[1].count_ones()))
+        };
+        let ((plan, ok_k1, ok_k_half), peak) = measure_peak(|| {
+            let plan = Theorem1Plan::new(n).expect("theorem 1 plan");
+            let (ok_k1, ok_k_half) = eval(&plan);
+            (plan, ok_k1, ok_k_half)
+        });
+        records.push(PerfRecord {
+            name: format!("scale/structural/implicit/n{n}"),
+            counters: vec![
+                ("nodes".into(), 1u64 << n),
+                ("trials".into(), 64),
+                ("ok_k1".into(), ok_k1),
+                ("ok_k_half".into(), ok_k_half),
+                ("peak_alloc_bytes".into(), peak),
+            ],
+            wall_ns: median_wall_ns(0, cfg.reps.min(3), || eval(&plan)),
+        });
+    }
+
     PerfOutput { records }
 }
 
@@ -648,6 +688,7 @@ mod tests {
             "mc/structural/bitsliced_fast/",
             "ida/disperse_reference/",
             "ida/reconstruct_reference/",
+            "scale/structural/implicit/",
         ] {
             assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
         }

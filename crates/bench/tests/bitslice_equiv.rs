@@ -19,9 +19,12 @@
 
 use hyperpath_core::baseline::gray_cycle_embedding;
 use hyperpath_core::cycles::theorem1;
-use hyperpath_sim::bitslice::{delivery_probability_bitsliced, BitTrialBlock, SlicedPaths};
+use hyperpath_sim::bitslice::{
+    delivery_probability_bitsliced, stream_bundles_ge_into, streamed_all_bundles_ge, BitTrialBlock,
+    BundleSource, IndexedTrials, SlicedPaths,
+};
 use hyperpath_sim::faults::{delivery_probability, random_fault_set, surviving_paths, FaultSet};
-use hyperpath_topology::Hypercube;
+use hyperpath_topology::{Hypercube, Theorem1Plan};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -129,6 +132,61 @@ fn bitsliced_delivery_probability_equals_scalar_estimator() {
             }
         }
     }
+}
+
+/// Streaming-vs-in-memory identity: evaluating the implicit Theorem-1
+/// plan against [`IndexedTrials`] directly (never materializing a block)
+/// must produce bit-identical survival words to materializing the same
+/// trials into a [`BitTrialBlock`] via `draw_indexed` and running the
+/// in-memory [`SlicedPaths`] evaluator over the materialized embedding.
+#[test]
+fn streamed_evaluation_matches_materialized_block_on_same_seeds() {
+    for n in [4u32, 6, 8, 9] {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let sliced = SlicedPaths::new(e);
+        let plan = Theorem1Plan::new(n).expect("theorem 1 plan");
+        let w = t1.claimed_width;
+        for (pi, &p) in PS.iter().enumerate() {
+            // Odd lane count exercises the live-mask edge on both sides.
+            let lanes = if n % 2 == 0 { 64 } else { 41 };
+            let seed = 0x57e4 ^ (u64::from(n) << 20) ^ (pi as u64) << 3;
+            let trials = IndexedTrials::new(seed, p, lanes);
+            let block = BitTrialBlock::draw_indexed(&e.host, &trials);
+            assert_eq!(block.lanes(), lanes);
+            for k in 1..=w + 1 {
+                let in_memory = sliced.all_bundles_ge(&block, k);
+                let streamed = streamed_all_bundles_ge(&plan, &trials, &[k])[0];
+                assert_eq!(
+                    streamed, in_memory,
+                    "streamed vs in-memory diverged at n={n}, p={p}, k={k}"
+                );
+            }
+        }
+    }
+}
+
+/// Serial subrange streaming composes to the parallel whole: splitting
+/// the bundle range into uneven pieces and AND-folding per-piece
+/// accumulators equals one [`streamed_all_bundles_ge`] call.
+#[test]
+fn streamed_subranges_fold_to_the_full_answer() {
+    let n = 7u32;
+    let plan = Theorem1Plan::new(n).expect("theorem 1 plan");
+    let total = BundleSource::num_bundles(&plan);
+    let trials = IndexedTrials::new(0xf01d, 0.05, 64);
+    let ks = [1usize, 2, 4];
+    let whole = streamed_all_bundles_ge(&plan, &trials, &ks);
+    let mut folded = vec![trials.live_mask(); ks.len()];
+    let cuts = [0u64, 1, 7, 100, total / 2, total];
+    for pair in cuts.windows(2) {
+        let mut acc = vec![trials.live_mask(); ks.len()];
+        stream_bundles_ge_into(&plan, &trials, &ks, pair[0]..pair[1], &mut acc);
+        for (f, a) in folded.iter_mut().zip(&acc) {
+            *f &= a;
+        }
+    }
+    assert_eq!(folded, whole, "subrange folds diverged from the one-shot evaluation");
 }
 
 #[test]

@@ -48,6 +48,7 @@
 use hyperpath_embedding::{HostPath, MultiPathEmbedding, PhaseSchedule, Transmission};
 use hyperpath_guests::directed_cycle;
 use hyperpath_topology::hamiltonian::{decompose, directed_cycles, DirectedHamCycle};
+use hyperpath_topology::host::gray_dim_permutation;
 use hyperpath_topology::{moment, transition, Dim, Hypercube, Node};
 
 /// A constructed cycle embedding together with its certified schedule.
@@ -76,17 +77,6 @@ pub enum Theorem2Variant {
     Cost3,
     /// Width `⌊n/2⌋` at cost 4 (one special cycle reused).
     FullWidth,
-}
-
-/// The Gray-dimension relabeling for Theorem 1's column ordering:
-/// Gray bit 0 ↦ position bit 0 (actual dimension `r`), Gray bit 1 ↦
-/// position bit 1 (dimension `r+1`), remaining Gray bits take the remaining
-/// column dimensions in increasing order.
-fn gray_dim_permutation(col_bits: u32, block_bits: u32) -> Vec<Dim> {
-    assert!(col_bits >= block_bits + 2, "need at least two position bits");
-    let mut pi = vec![block_bits, block_bits + 1];
-    pi.extend((0..block_bits).chain(block_bits + 2..col_bits));
-    pi
 }
 
 /// Builds the length-3 path bundle (optionally plus the direct path) for a

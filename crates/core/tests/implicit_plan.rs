@@ -1,0 +1,103 @@
+//! Table equivalence between the implicit Theorem 1/2 path-bundle plans
+//! (`hyperpath_topology::host`) and the materialized constructions in
+//! [`hyperpath_core::cycles`].
+//!
+//! The implicit plans exist so `n = 20+` never materializes an
+//! `O(n·2^n)` embedding; this suite is what entitles them to the name
+//! "the same construction": wherever the materialized (and certified)
+//! pipeline still runs, every implicit answer must match it exactly —
+//! vertex for vertex, bundle for bundle, link for link.
+
+use hyperpath_core::cycles::{theorem1, theorem2, Theorem2Variant};
+use hyperpath_topology::host::{Theorem1Plan, Theorem2Plan};
+use std::collections::HashMap;
+
+/// A bundle rendered as its paths' canonical (undirected) link indices,
+/// in emission order.
+type LinkBundle = Vec<Vec<u64>>;
+
+fn materialized_bundle(e: &hyperpath_embedding::MultiPathEmbedding, edge_id: usize) -> LinkBundle {
+    e.edge_paths[edge_id]
+        .iter()
+        .map(|p| p.edges().map(|de| e.host.undirected_edge_index(de) as u64).collect())
+        .collect()
+}
+
+fn plan1_bundle(plan: &Theorem1Plan, t: u64) -> LinkBundle {
+    let mut out = Vec::new();
+    plan.for_each_path(t, |links| out.push(links.to_vec()));
+    out
+}
+
+fn plan2_bundle(plan: &Theorem2Plan, t: u64) -> LinkBundle {
+    let mut out = Vec::new();
+    plan.for_each_path(t, |links| out.push(links.to_vec()));
+    out
+}
+
+/// Theorem 1: the implicit plan reproduces the materialized guest cycle
+/// and every path bundle — same vertices, same paths, same order.
+#[test]
+fn theorem1_plan_equals_materialized_construction() {
+    for n in 4..=10u32 {
+        let t1 = theorem1(n).expect("theorem 1");
+        let e = &t1.embedding;
+        let plan = Theorem1Plan::new(n).expect("theorem 1 plan");
+        assert_eq!(plan.claimed_width() as usize, t1.claimed_width, "claimed width at n={n}");
+        assert_eq!(plan.num_bundles(), e.vertex_map.len() as u64, "guest size at n={n}");
+        for t in 0..plan.num_bundles() {
+            assert_eq!(plan.vertex(t), e.vertex_map[t as usize], "vertex {t} at n={n}");
+        }
+        // The guest cycle's edge t runs t -> t+1, and `Digraph::from_edges`
+        // keeps that id order, so bundle t is edge_paths[t].
+        for t in 0..plan.num_bundles() {
+            let (gu, gv) = e.guest.edge(t as usize);
+            assert_eq!((u64::from(gu), u64::from(gv)), (t, (t + 1) % plan.num_bundles()));
+            assert_eq!(
+                plan1_bundle(&plan, t),
+                materialized_bundle(e, t as usize),
+                "bundle {t} at n={n}"
+            );
+        }
+    }
+}
+
+/// Theorem 2: the implicit plan enumerates guest edges as (vertex, which
+/// outgoing cycle) pairs while the materialized construction orders them
+/// along an Euler tour — so equality is per *host edge*: both sides must
+/// bundle the same set of directed host edges with identical paths.
+#[test]
+fn theorem2_plan_equals_materialized_union() {
+    for (n, variant) in [
+        (4u32, Theorem2Variant::Cost3),
+        (5, Theorem2Variant::Cost3),
+        (6, Theorem2Variant::Cost3),
+        (6, Theorem2Variant::FullWidth),
+        (7, Theorem2Variant::Cost3),
+        (7, Theorem2Variant::FullWidth),
+        (8, Theorem2Variant::Cost3),
+    ] {
+        let full_width = variant == Theorem2Variant::FullWidth;
+        let t2 = theorem2(n, variant).expect("theorem 2");
+        let e = &t2.embedding;
+        let plan = Theorem2Plan::new(n, full_width).expect("theorem 2 plan");
+        assert_eq!(plan.claimed_width() as usize, t2.claimed_width, "claimed width at n={n}");
+        assert_eq!(plan.num_bundles(), e.guest.num_edges() as u64, "guest edges at n={n}");
+
+        let mut materialized: HashMap<(u64, u64), LinkBundle> = HashMap::new();
+        for id in 0..e.guest.num_edges() {
+            let (gu, gv) = e.guest.edge(id);
+            let key = (e.vertex_map[gu as usize], e.vertex_map[gv as usize]);
+            let prev = materialized.insert(key, materialized_bundle(e, id));
+            assert!(prev.is_none(), "host edge {key:?} toured twice at n={n}");
+        }
+        for t in 0..plan.num_bundles() {
+            let key = plan.guest_edge(t);
+            let expected = materialized
+                .remove(&key)
+                .unwrap_or_else(|| panic!("plan edge {key:?} not in the tour at n={n}"));
+            assert_eq!(plan2_bundle(&plan, t), expected, "bundle for {key:?} at n={n}");
+        }
+        assert!(materialized.is_empty(), "tour edges the plan missed at n={n}");
+    }
+}

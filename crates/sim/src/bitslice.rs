@@ -38,10 +38,28 @@
 //! scalar sweeps are: blocks are seeded per 64-trial chunk from a serial
 //! seed list, lane tallies are popcounts, and the final fold is an
 //! integer sum, which commutes.
+//!
+//! # Streaming at `n = 20+`
+//!
+//! Even one word per link is `n·2^n` words — gigabytes by `n = 24`. The
+//! streaming layer drops the link array entirely: an [`IndexedTrials`]
+//! *recomputes* any link's 64-lane alive word as a pure hash of
+//! `(seed, link_index)` (same exact-threshold comparison as
+//! [`BitTrialBlock::draw_fast`], so the marginal per-link fail probability
+//! is still exactly `random_bool(p)`'s), and a [`BundleSource`] — e.g. the
+//! implicit [`Theorem1Plan`] — enumerates path bundles as link indices on
+//! the fly. [`stream_bundles_ge_into`] then folds "every bundle keeps ≥ k
+//! paths" over a bundle range with **zero allocation**, and
+//! [`streamed_all_bundles_ge`] fans ranges out over rayon with a
+//! commutative AND fold, keeping artifacts byte-identical at any thread
+//! count. [`BitTrialBlock::draw_indexed`] materializes the same trials
+//! into an ordinary block, which is what lets the equality suite pin
+//! streaming-vs-in-memory identity wherever the dense path still runs.
 
 use crate::faults::FaultSet;
 use hyperpath_embedding::{HostPath, MultiPathEmbedding};
-use hyperpath_topology::Hypercube;
+use hyperpath_topology::host::{Theorem1Plan, Theorem2Plan};
+use hyperpath_topology::{gray_code, transition, DirEdge, Hypercube};
 use rand::{Rng, RngExt, SeedableRng};
 
 /// Up to 64 independent fail-stop fault trials, bit-packed per link.
@@ -345,6 +363,282 @@ fn path_word(block: &BitTrialBlock, links: &[u32], full: u64) -> u64 {
     alive
 }
 
+// ---------------------------------------------------------------------------
+// Streaming trials: per-link alive words as a pure function of the index.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64's output finalizer: a cheap, well-mixed `u64 → u64`
+/// bijection. Used to derive per-`(link, bit)` variate words without any
+/// sequential RNG state, which is what makes [`IndexedTrials`] random
+/// access (and therefore allocation-free and order-independent).
+#[inline]
+fn sm_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 64-lane fault-trial block that is never materialized: the alive word
+/// of any link is recomputed on demand from `(seed, link_index)`.
+///
+/// The per-link decision is the same bit-sliced exact-threshold comparison
+/// as [`BitTrialBlock::draw_fast`] — lane `t`'s 53-bit uniform variate is
+/// compared MSB-first against `ceil(p·2^53)` — except that variate word
+/// `b` of link `i` comes from `sm_mix(sm_mix(seed ⊕ i·φ) ⊕ b)` instead of
+/// a sequential stream. Properties that follow:
+///
+/// * **Random access**: `link_word` is pure, so bundles can query links in
+///   any order, from any thread, with identical results.
+/// * **O(1) memory**: three words of state regardless of `n`.
+/// * **Exact marginals**: each link fails with probability exactly
+///   `random_bool(p)`'s (the threshold count never rounds).
+///
+/// [`BitTrialBlock::draw_indexed`] materializes the same trials into a
+/// dense block; `crates/bench/tests/bitslice_equiv.rs` pins the identity.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedTrials {
+    seed: u64,
+    threshold: u64,
+    lanes: u32,
+}
+
+impl IndexedTrials {
+    /// Defines a 64-lane trial block from a seed and a per-link fail
+    /// probability (same NaN/clamp normalization as the other draws).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lanes <= 64`.
+    pub fn new(seed: u64, p: f64, lanes: u32) -> Self {
+        assert!((1..=64).contains(&lanes), "need 1..=64 lanes, got {lanes}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let threshold = (p * (1u64 << 53) as f64).ceil() as u64;
+        IndexedTrials { seed, threshold, lanes }
+    }
+
+    /// Number of packed trials (1..=64).
+    #[inline]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Mask with one bit set per live lane.
+    #[inline]
+    pub fn live_mask(&self) -> u64 {
+        lane_mask(self.lanes)
+    }
+
+    /// Alive word of the link with the given dense undirected index
+    /// ([`Hypercube::undirected_edge_index`] /
+    /// [`HostTopology::link_index`](hyperpath_topology::host::HostTopology::link_index)
+    /// currency): bit `t` set ⇔ the link is up in trial `t`.
+    #[inline]
+    pub fn link_word(&self, link: u64) -> u64 {
+        let full = lane_mask(self.lanes);
+        if self.threshold == 0 {
+            return full;
+        }
+        if self.threshold >= 1u64 << 53 {
+            return 0;
+        }
+        let base = sm_mix(self.seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut less = 0u64;
+        let mut undecided = full;
+        for b in (0..53u64).rev() {
+            let v_bits = sm_mix(base ^ (53 - b));
+            if (self.threshold >> b) & 1 == 1 {
+                less |= undecided & !v_bits;
+                undecided &= v_bits;
+            } else {
+                undecided &= !v_bits;
+            }
+            if undecided == 0 {
+                break;
+            }
+        }
+        full & !less
+    }
+}
+
+impl BitTrialBlock {
+    /// Materializes an [`IndexedTrials`] block into a dense per-link
+    /// array: `link_alive_word(i) == trials.link_word(i)` for every
+    /// canonical link index. This is the in-memory half of the
+    /// streaming-vs-in-memory equality suite.
+    pub fn draw_indexed(host: &Hypercube, trials: &IndexedTrials) -> Self {
+        let mut words = vec![0u64; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            words[i] = trials.link_word(i as u64);
+        }
+        BitTrialBlock { host: *host, words, lanes: trials.lanes() }
+    }
+}
+
+/// A source of guest-edge path bundles, presented as dense undirected link
+/// indices — the implicit counterpart of [`SlicedPaths`]. Implementations
+/// must visit paths in a deterministic order and must not allocate (that
+/// is what keeps the streaming evaluator's memory bounded).
+pub trait BundleSource {
+    /// Number of guest-edge bundles.
+    fn num_bundles(&self) -> u64;
+
+    /// Visits every path of bundle `bundle` (at most 255 of them — the
+    /// ripple-carry survivor counter is 8 bits wide), each as its slice of
+    /// canonical link indices.
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64]));
+}
+
+impl BundleSource for Theorem1Plan {
+    fn num_bundles(&self) -> u64 {
+        Theorem1Plan::num_bundles(self)
+    }
+
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
+        Theorem1Plan::for_each_path(self, bundle, f);
+    }
+}
+
+impl BundleSource for Theorem2Plan {
+    fn num_bundles(&self) -> u64 {
+        Theorem2Plan::num_bundles(self)
+    }
+
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
+        Theorem2Plan::for_each_path(self, bundle, f);
+    }
+}
+
+/// The Gray-code Hamiltonian-cycle baseline as an implicit bundle source:
+/// bundle `t` is the single direct link between `gray(t)` and
+/// `gray(t+1)`, exactly the per-edge path of
+/// `hyperpath_core::baseline::gray_cycle_embedding`.
+#[derive(Debug, Clone, Copy)]
+pub struct GrayCycleBundles {
+    host: Hypercube,
+}
+
+impl GrayCycleBundles {
+    /// The baseline source over `Q_n`.
+    pub fn new(n: u32) -> Self {
+        GrayCycleBundles { host: Hypercube::new(n) }
+    }
+}
+
+impl BundleSource for GrayCycleBundles {
+    fn num_bundles(&self) -> u64 {
+        self.host.num_nodes()
+    }
+
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
+        let u = gray_code(bundle);
+        let d = transition(self.host.dims(), bundle);
+        f(&[self.host.undirected_edge_index(DirEdge::new(u, d)) as u64]);
+    }
+}
+
+/// Folds "every bundle in `bundles` keeps ≥ `ks[j]` alive paths" into
+/// `acc[j]` (lane-bitmask AND-accumulate), recomputing link words through
+/// `trials` — **zero allocation**, O(1) memory beyond the accumulator.
+///
+/// Callers seed `acc` with [`IndexedTrials::live_mask`]; disjoint bundle
+/// ranges can be evaluated in any order (or in parallel into separate
+/// accumulators) and AND-combined, which is exactly what
+/// [`streamed_all_bundles_ge`] does.
+pub fn stream_bundles_ge_into(
+    src: &(impl BundleSource + ?Sized),
+    trials: &IndexedTrials,
+    ks: &[usize],
+    bundles: std::ops::Range<u64>,
+    acc: &mut [u64],
+) {
+    assert_eq!(ks.len(), acc.len(), "one accumulator word per threshold");
+    let full = trials.live_mask();
+    for b in bundles {
+        if acc.iter().all(|&w| w == 0) {
+            return;
+        }
+        // Bit-sliced survivor count, shared across all thresholds.
+        let mut cnt = [0u64; 8];
+        let mut n_paths = 0usize;
+        src.for_each_path(b, &mut |links| {
+            n_paths += 1;
+            let mut alive = full;
+            for &l in links {
+                alive &= trials.link_word(l);
+                if alive == 0 {
+                    break;
+                }
+            }
+            let mut carry = alive;
+            for plane in cnt.iter_mut() {
+                if carry == 0 {
+                    break;
+                }
+                let overflow = *plane & carry;
+                *plane ^= carry;
+                carry = overflow;
+            }
+        });
+        debug_assert!(n_paths < 256, "bundle too wide for 8-bit survivor counters");
+        for (a, &k) in acc.iter_mut().zip(ks) {
+            *a &= streamed_count_ge(&cnt, k, n_paths, full);
+        }
+    }
+}
+
+/// `count >= k` from the 8 survivor-count planes (carry-out of adding the
+/// constant `256 - k`), mirroring [`SlicedPaths::bundle_ge`]'s edge cases.
+#[inline]
+fn streamed_count_ge(cnt: &[u64; 8], k: usize, n_paths: usize, full: u64) -> u64 {
+    if k == 0 {
+        return full;
+    }
+    if k > n_paths {
+        return 0;
+    }
+    let m = 256 - k as u64;
+    let mut carry = 0u64;
+    for (b, plane) in cnt.iter().enumerate() {
+        let m_bit = if (m >> b) & 1 == 1 { !0u64 } else { 0 };
+        carry = (plane & m_bit) | (carry & (plane ^ m_bit));
+    }
+    carry & full
+}
+
+/// Lanes in which **every** bundle of `src` keeps at least `ks[j]` alive
+/// paths, for each threshold `j` — the streaming, bounded-memory analog of
+/// [`SlicedPaths::all_bundles_ge`] (equality pinned in
+/// `crates/bench/tests/bitslice_equiv.rs`).
+///
+/// Bundle ranges are chunked over rayon; each chunk folds into its own
+/// accumulator and chunks combine by AND, which commutes — so the result
+/// is byte-identical at any thread count.
+pub fn streamed_all_bundles_ge(
+    src: &(impl BundleSource + Sync),
+    trials: &IndexedTrials,
+    ks: &[usize],
+) -> Vec<u64> {
+    use rayon::prelude::*;
+    const CHUNK: u64 = 1 << 13;
+    let total = src.num_bundles();
+    let per_chunk: Vec<Vec<u64>> = (0..total.div_ceil(CHUNK) as usize)
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci as u64 * CHUNK;
+            let mut acc = vec![trials.live_mask(); ks.len()];
+            stream_bundles_ge_into(src, trials, ks, lo..(lo + CHUNK).min(total), &mut acc);
+            acc
+        })
+        .collect();
+    let mut out = vec![trials.live_mask(); ks.len()];
+    for acc in per_chunk {
+        for (x, y) in out.iter_mut().zip(&acc) {
+            *x &= y;
+        }
+    }
+    out
+}
+
 /// Bit-sliced drop-in for [`crate::faults::delivery_probability`]: same
 /// seed consumption from the caller's RNG, same per-trial draws (via
 /// [`BitTrialBlock::draw_compat`] over the per-trial `StdRng`s), same
@@ -494,6 +788,115 @@ mod tests {
         }
         let rate = f64::from(dead) / f64::from(total);
         assert!((0.2..0.3).contains(&rate), "fail rate {rate} far from p=0.25");
+    }
+
+    #[test]
+    fn indexed_trials_extremes_purity_and_rate() {
+        let host = Hypercube::new(5);
+        let t0 = IndexedTrials::new(11, 0.0, 64);
+        let t1 = IndexedTrials::new(11, 1.0, 64);
+        let tn = IndexedTrials::new(11, f64::NAN, 37);
+        let a = IndexedTrials::new(9, 0.25, 64);
+        let mut dead = 0u32;
+        let mut total = 0u32;
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e) as u64;
+            assert_eq!(t0.link_word(i), !0);
+            assert_eq!(t1.link_word(i), 0);
+            assert_eq!(tn.link_word(i), lane_mask(37));
+            // Pure function: identical on re-query.
+            assert_eq!(a.link_word(i), a.link_word(i));
+            dead += (!a.link_word(i)).count_ones();
+            total += 64;
+        }
+        let rate = f64::from(dead) / f64::from(total);
+        assert!((0.2..0.3).contains(&rate), "fail rate {rate} far from p=0.25");
+    }
+
+    #[test]
+    fn draw_indexed_materializes_exactly_the_link_words() {
+        let host = Hypercube::new(6);
+        let trials = IndexedTrials::new(0xABCD, 0.07, 50);
+        let block = BitTrialBlock::draw_indexed(&host, &trials);
+        assert_eq!(block.lanes(), 50);
+        assert_eq!(block.live_mask(), trials.live_mask());
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(block.link_alive_word(i), trials.link_word(i as u64));
+        }
+    }
+
+    #[test]
+    fn streamed_theorem1_matches_materialized_sliced_paths() {
+        for n in [4u32, 6, 8] {
+            let t1 = theorem1(n).unwrap();
+            let sliced = SlicedPaths::new(&t1.embedding);
+            let plan = Theorem1Plan::new(n).unwrap();
+            let host = t1.embedding.host;
+            for (seed, p) in [(1u64, 0.02), (2, 0.2), (3, 0.0), (4, 1.0)] {
+                let trials = IndexedTrials::new(seed, p, 64);
+                let block = BitTrialBlock::draw_indexed(&host, &trials);
+                let ks: Vec<usize> = (0..=(n as usize / 2 + 2)).collect();
+                let streamed = streamed_all_bundles_ge(&plan, &trials, &ks);
+                for (&k, &got) in ks.iter().zip(&streamed) {
+                    assert_eq!(got, sliced.all_bundles_ge(&block, k), "n={n} p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_theorem2_matches_materialized_union() {
+        use hyperpath_core::cycles::{theorem2, Theorem2Variant};
+        for (n, full_width) in [(6u32, false), (6, true), (8, false)] {
+            let variant =
+                if full_width { Theorem2Variant::FullWidth } else { Theorem2Variant::Cost3 };
+            let t2 = theorem2(n, variant).unwrap();
+            let sliced = SlicedPaths::new(&t2.embedding);
+            let plan = hyperpath_topology::host::Theorem2Plan::new(n, full_width).unwrap();
+            let trials = IndexedTrials::new(5 + u64::from(n), 0.12, 64);
+            let block = BitTrialBlock::draw_indexed(&t2.embedding.host, &trials);
+            // Bundle *order* differs (Euler-tour vs direct enumeration) but
+            // the all-bundles conjunction is order-free.
+            for k in 0..=(n as usize / 2 + 1) {
+                assert_eq!(
+                    streamed_all_bundles_ge(&plan, &trials, &[k])[0],
+                    sliced.all_bundles_ge(&block, k),
+                    "n={n} full_width={full_width} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_gray_matches_materialized_baseline() {
+        let n = 7u32;
+        let gray = gray_cycle_embedding(n);
+        let sliced = SlicedPaths::new(&gray);
+        let src = GrayCycleBundles::new(n);
+        let trials = IndexedTrials::new(77, 0.1, 64);
+        let block = BitTrialBlock::draw_indexed(&gray.host, &trials);
+        for k in [0usize, 1, 2] {
+            let got = streamed_all_bundles_ge(&src, &trials, &[k])[0];
+            assert_eq!(got, sliced.all_bundles_ge(&block, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn stream_ranges_and_partial_lanes_compose() {
+        let plan = Theorem1Plan::new(6).unwrap();
+        let trials = IndexedTrials::new(404, 0.15, 23);
+        let ks = [1usize, 2];
+        let whole = streamed_all_bundles_ge(&plan, &trials, &ks);
+        // Manually split into uneven serial ranges: AND of the pieces must
+        // equal the parallel fold.
+        let mut acc = vec![trials.live_mask(); ks.len()];
+        let total = BundleSource::num_bundles(&plan);
+        for r in [0..5u64, 5..17, 17..total] {
+            stream_bundles_ge_into(&plan, &trials, &ks, r, &mut acc);
+        }
+        assert_eq!(acc, whole);
+        assert_eq!(whole[0] & !trials.live_mask(), 0, "dead lanes must stay clear");
     }
 
     #[test]

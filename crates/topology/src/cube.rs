@@ -15,9 +15,16 @@ pub type Node = u64;
 /// A hypercube dimension index (`0 ≤ d < n`).
 pub type Dim = u32;
 
-/// The largest supported dimension count. Addresses are `u64` and several
-/// index computations multiply `2^n` by `n`, so 48 leaves ample headroom
-/// while catching nonsense arguments early.
+/// The largest supported dimension count.
+///
+/// Addresses are `u64`, and the widest index computation is the dense
+/// directed-edge count `n · 2^n`, which stays exact in `u64` through
+/// `n = 58` — so 48 is *not* an overflow boundary. It is a deliberate
+/// sanity bound: dense edge indices are `usize` (so anything near the
+/// limit already assumes a 64-bit platform), every materialized table is
+/// hopeless long before `2^48` nodes, and the implicit
+/// [`crate::host`] layer targets `n ≤ ~27` for its `O(2^{n/2})` plans —
+/// anything above 48 is a bug in the caller, not a workload.
 pub const MAX_DIMS: u32 = 48;
 
 /// A directed hypercube edge, identified by its tail and dimension.
@@ -319,5 +326,37 @@ mod tests {
     #[should_panic]
     fn zero_dims_rejected() {
         let _ = Hypercube::new(0);
+    }
+
+    /// Counting and dense indexing stay exact at the `MAX_DIMS` boundary:
+    /// `n · 2^n` must not wrap or truncate, and the far-corner edge must
+    /// round-trip through the dense indexings.
+    #[test]
+    fn edge_counting_and_indexing_are_exact_at_max_dims() {
+        let cube = Hypercube::new(MAX_DIMS);
+        assert_eq!(cube.num_nodes(), 1u64 << 48);
+        assert_eq!(cube.num_directed_edges(), 48u64 << 48);
+        assert_eq!(cube.num_undirected_edges(), 24u64 << 48);
+        // The product is far below u64::MAX (it would stay exact through
+        // n = 58) and, on the 64-bit platforms dense indexing assumes,
+        // below usize::MAX too.
+        assert!(cube.num_directed_edges() < u64::MAX / 1024);
+
+        // Far corner: the very last dense directed-edge slot.
+        let corner = cube.num_nodes() - 1;
+        let e = DirEdge::new(corner, 47);
+        let idx = cube.dir_edge_index(e);
+        assert_eq!(idx as u64, cube.num_directed_edges() - 1);
+        assert_eq!(cube.dir_edge_from_index(idx), e);
+        // Its canonical undirected slot clears bit 47 of the tail.
+        let u = cube.undirected_edge_index(e);
+        assert_eq!(u as u64, (corner & !(1u64 << 47)) * 48 + 47);
+        assert_eq!(cube.undirected_edge_index(e.reversed()), u);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DIMS")]
+    fn dims_above_max_rejected() {
+        let _ = Hypercube::new(MAX_DIMS + 1);
     }
 }

@@ -769,21 +769,22 @@ fn decomposition_from_base(cube: Hypercube, base: Vec<Dim>) -> Result<Decomposit
     Ok(dec)
 }
 
-/// Splices a decomposition of even `Q_m` into one of odd `Q_{m+1}`
-/// (see module docs for the construction).
-fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
-    let m = even.cube.dims();
-    let cube = Hypercube::new(m + 1);
-    let layer = 1u64 << m;
-    let size = even.cube.num_nodes() as usize;
+/// The splice pairs `(a_i, b_i)` the layer-doubling constructions delete
+/// from cycle `i`: walking each cycle from its start with the positions
+/// shifted by `offset`, the first edge whose endpoints are both still
+/// unused. Deterministic for a given `offset`.
+fn splice_pairs_with_offset(
+    dec: &Decomposition,
+    offset: usize,
+) -> Result<Vec<(Node, Node)>, String> {
+    let size = dec.cube.num_nodes() as usize;
     let mut endpoint_used = vec![false; size];
-    let mut cycles = Vec::with_capacity(even.cycles.len());
-    let mut merge_pairs: Vec<(Node, Node)> = Vec::new();
-
-    for cyc in &even.cycles {
+    let mut pairs = Vec::with_capacity(dec.cycles.len());
+    for cyc in &dec.cycles {
         let nodes = cyc.nodes();
         let len = nodes.len();
         let p = (0..len)
+            .map(|i| (i + offset) % len)
             .find(|&i| {
                 !endpoint_used[nodes[i] as usize] && !endpoint_used[nodes[(i + 1) % len] as usize]
             })
@@ -792,8 +793,36 @@ fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
         let b = nodes[(p + 1) % len];
         endpoint_used[a as usize] = true;
         endpoint_used[b as usize] = true;
-        merge_pairs.push((a, b));
+        pairs.push((a, b));
+    }
+    Ok(pairs)
+}
 
+/// The splice pairs `merge_odd` commits to when doubling `even` into the
+/// next odd cube: for each cycle `i`, the deleted edge `(a_i, b_i)`. The
+/// vertical edges at `a_i` and `b_i` join the spliced copy of cycle `i`;
+/// every other leftover edge lands in the perfect matching. Exposed so the
+/// implicit edge coloring ([`crate::host`]) can replay the exact choice
+/// instead of storing per-cycle tables.
+pub fn splice_pairs(even: &Decomposition) -> Result<Vec<(Node, Node)>, String> {
+    splice_pairs_with_offset(even, 0)
+}
+
+/// Splices the two layer copies of each cycle of `dec` into single cycles
+/// of `Q_{m+1}` using the vertical edges at the given splice-pair
+/// endpoints (the shared first half of [`merge_odd`] and [`extend_even`]).
+fn spliced_layer_cycles(
+    dec: &Decomposition,
+    pairs: &[(Node, Node)],
+) -> Result<Vec<HamCycle>, String> {
+    let m = dec.cube.dims();
+    let cube = Hypercube::new(m + 1);
+    let layer = 1u64 << m;
+    let mut cycles = Vec::with_capacity(dec.cycles.len());
+    for (cyc, &(a, _)) in dec.cycles.iter().zip(pairs) {
+        let nodes = cyc.nodes();
+        let len = nodes.len();
+        let p = nodes.iter().position(|&v| v == a).expect("splice endpoint lies on its cycle");
         // Layer 0 forward from b around to a, then layer 1 reversed from a
         // back to b.
         let mut seq: Vec<Node> = Vec::with_capacity(2 * len);
@@ -805,7 +834,24 @@ fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
         }
         cycles.push(HamCycle::from_nodes(cube, &seq)?);
     }
+    Ok(cycles)
+}
 
+/// Splices a decomposition of even `Q_m` into one of odd `Q_{m+1}`
+/// (see module docs for the construction).
+fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
+    let m = even.cube.dims();
+    let cube = Hypercube::new(m + 1);
+    let layer = 1u64 << m;
+    let size = even.cube.num_nodes() as usize;
+    let merge_pairs = splice_pairs(even)?;
+    let cycles = spliced_layer_cycles(even, &merge_pairs)?;
+
+    let mut endpoint_used = vec![false; size];
+    for &(a, b) in &merge_pairs {
+        endpoint_used[a as usize] = true;
+        endpoint_used[b as usize] = true;
+    }
     // Leftover perfect matching: vertical edges at non-endpoints, both layer
     // copies of each spliced-out edge.
     let mut matching: Vec<DirEdge> = Vec::new();
@@ -825,16 +871,203 @@ fn merge_odd(even: &Decomposition) -> Result<Decomposition, String> {
     Ok(dec)
 }
 
+/// Doubles a decomposition of odd `Q_m` into one of even `Q_{m+1}` —
+/// the deterministic counterpart of [`merge_odd`], which together make
+/// [`decompose`] search-free for **every** `n` (by induction from the
+/// frozen `Q_8`).
+///
+/// Each of the `(m-1)/2` cycles is spliced across the two layers exactly
+/// as in [`merge_odd`]. The leftover edges — both layer copies of the
+/// perfect matching, the vertical edge at every non-endpoint vertex, and
+/// both layer copies of each spliced-out edge `e_i` — give every vertex
+/// degree exactly 2 (non-endpoints keep their matching edge plus their
+/// vertical; splice endpoints keep their matching edge plus the freed
+/// copy of `e_i`), i.e. a 2-factor. [`merge_two_factor`] square swaps
+/// against the last spliced cycle repair it into the final Hamiltonian
+/// cycle, for `(m+1)/2` cycles total. If the repair stalls, the splice
+/// edges are re-chosen at a shifted offset and the construction retried.
+fn extend_even(odd: &Decomposition) -> Result<Decomposition, String> {
+    let m = odd.cube.dims();
+    if m.is_multiple_of(2) || m < 3 {
+        return Err("extend_even takes an odd-dimensional decomposition of Q_3 or larger".into());
+    }
+    let mut last_err = String::new();
+    // The offset stride is coprime to every cycle length (a power of two),
+    // so successive retries genuinely reshuffle the splice choices.
+    for attempt in 0..16usize {
+        match extend_even_attempt(odd, attempt.wrapping_mul(7919)) {
+            Ok(dec) => return Ok(dec),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(format!("extend_even failed for Q_{} -> Q_{}: {last_err}", m, m + 1))
+}
+
+fn extend_even_attempt(odd: &Decomposition, offset: usize) -> Result<Decomposition, String> {
+    let m = odd.cube.dims();
+    let cube = Hypercube::new(m + 1);
+    let layer = 1u64 << m;
+    let size = odd.cube.num_nodes() as usize;
+    let pairs = splice_pairs_with_offset(odd, offset)?;
+    let mut cycles = spliced_layer_cycles(odd, &pairs)?;
+
+    let mut endpoint_used = vec![false; size];
+    for &(a, b) in &pairs {
+        endpoint_used[a as usize] = true;
+        endpoint_used[b as usize] = true;
+    }
+    // Assemble the leftover 2-factor.
+    let mut leftover: Adj2 = vec![[u64::MAX; 2]; cube.num_nodes() as usize];
+    let add = |leftover: &mut Adj2, u: Node, v: Node| {
+        let slot_u = usize::from(leftover[u as usize][0] != u64::MAX);
+        leftover[u as usize][slot_u] = v;
+        let slot_v = usize::from(leftover[v as usize][0] != u64::MAX);
+        leftover[v as usize][slot_v] = u;
+    };
+    for &e in &odd.matching {
+        add(&mut leftover, e.from, e.to());
+        add(&mut leftover, e.from | layer, e.to() | layer);
+    }
+    for v in 0..size as u64 {
+        if !endpoint_used[v as usize] {
+            add(&mut leftover, v, v | layer);
+        }
+    }
+    for &(a, b) in &pairs {
+        add(&mut leftover, a, b);
+        add(&mut leftover, a | layer, b | layer);
+    }
+    debug_assert!(leftover.iter().all(|nb| nb[0] != u64::MAX && nb[1] != u64::MAX));
+
+    // Both the spliced cycles and the leftover are invariant under the layer
+    // involution `v -> v ^ layer`, and square swaps between two exactly
+    // layer-symmetric 2-factors never keep the partner a single cycle (the
+    // reconnection closes the mirrored arc onto itself). So the repair
+    // rotates through *all* spliced cycles as swap partners and, whenever
+    // every partner stalls, seeds fresh asymmetry by exchanging a square
+    // between two spliced cycles — no such obstruction there.
+    // NB: `adj_from_transitions` walks from node 0, but spliced cycles start
+    // at their splice endpoint — build adjacency from the node sequence.
+    let mut adjs: Vec<Adj2> = cycles
+        .iter()
+        .map(|c| {
+            let nodes = c.nodes();
+            let mut adj: Adj2 = vec![[u64::MAX; 2]; cube.num_nodes() as usize];
+            for i in 0..nodes.len() {
+                let (u, w) = (nodes[i], nodes[(i + 1) % nodes.len()]);
+                let slot_u = usize::from(adj[u as usize][0] != u64::MAX);
+                adj[u as usize][slot_u] = w;
+                let slot_w = usize::from(adj[w as usize][0] != u64::MAX);
+                adj[w as usize][slot_w] = u;
+            }
+            adj
+        })
+        .collect();
+    if !repair_leftover(cube, &mut adjs, &mut leftover) {
+        return Err("square-swap repair of the leftover 2-factor stalled".into());
+    }
+    for (cyc, adj) in cycles.iter_mut().zip(&adjs) {
+        *cyc = HamCycle::from_transitions(cube, 0, transitions_from_adj(cube, adj))?;
+    }
+    cycles.push(HamCycle::from_transitions(cube, 0, transitions_from_adj(cube, &leftover))?);
+
+    let dec = Decomposition { cube, cycles, matching: Vec::new() };
+    verify_decomposition(&dec)?;
+    Ok(dec)
+}
+
+/// Drives [`merge_two_factor`] with every cycle in `adjs` as the swap
+/// partner in turn, breaking stalls with [`cross_cycle_swap`] seeds between
+/// a rotating pair of cycles. Deterministic; `true` once `l` is a single
+/// Hamiltonian cycle.
+fn repair_leftover(cube: Hypercube, adjs: &mut [Adj2], l: &mut Adj2) -> bool {
+    let k = adjs.len();
+    let mut salt = 0u64;
+    loop {
+        for adj in adjs.iter_mut() {
+            if merge_two_factor(cube, adj, l) {
+                return true;
+            }
+        }
+        if k < 2 || salt >= 4096 {
+            return false;
+        }
+        let num_pairs = k * (k - 1) / 2;
+        let mut seeded = false;
+        for pair in 0..num_pairs {
+            // Rotate which unordered pair of cycles gets the seed swap.
+            let (lo, hi) = pair_from_index((pair + salt as usize) % num_pairs);
+            let (head, tail) = adjs.split_at_mut(hi);
+            seeded = cross_cycle_swap(cube, &mut head[lo], &mut tail[0], salt);
+            if seeded {
+                break;
+            }
+        }
+        if !seeded {
+            return false;
+        }
+        salt += 1;
+    }
+}
+
+/// The `idx`-th unordered pair `(lo, hi)`, `lo < hi`, in colexicographic
+/// order: (0,1), (0,2), (1,2), (0,3), ...
+fn pair_from_index(idx: usize) -> (usize, usize) {
+    let mut hi = 1usize;
+    let mut base = 0usize;
+    while base + hi <= idx {
+        base += hi;
+        hi += 1;
+    }
+    (idx - base, hi)
+}
+
+/// Exchanges one alternating square between the Hamiltonian cycles `g` and
+/// `h` such that both stay single cycles, scanning from a `salt`-dependent
+/// start so successive calls pick fresh squares. Returns `false` if no such
+/// square exists.
+fn cross_cycle_swap(cube: Hypercube, g: &mut Adj2, h: &mut Adj2, salt: u64) -> bool {
+    let n = cube.dims();
+    let size = cube.num_nodes();
+    let start = salt.wrapping_mul(0x9E3779B97F4A7C15) % size;
+    for step in 0..size {
+        let v = (start + step) % size;
+        for a in 0..n {
+            let va = cube.neighbor(v, a);
+            if !adj_contains(h, v, va) {
+                continue;
+            }
+            for b in 0..n {
+                if b == a {
+                    continue;
+                }
+                let vb = cube.neighbor(v, b);
+                let vab = cube.neighbor(va, b);
+                if adj_contains(h, vb, vab) && adj_contains(g, va, vab) && adj_contains(g, v, vb) {
+                    square_swap(g, h, v, va, vb, vab);
+                    if is_single_cycle(g) && is_single_cycle(h) {
+                        return true;
+                    }
+                    square_swap(h, g, v, va, vb, vab);
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Constructs a Hamiltonian decomposition of `Q_n` (Lemma 1).
 ///
 /// Even `n` yields `n/2` Hamiltonian cycles covering all edges; odd `n`
 /// yields `(n-1)/2` cycles plus a perfect matching. `Q_1`'s decomposition is
 /// the single matching edge.
 ///
-/// `n ∈ {1, 2, 3, 4, 5, 6, 7, 8, 9}` are construct-time verified and fast
-/// (frozen bases); larger even `n` falls back to a backtracking search with
-/// escalating seeds, which may be slow and (like any bounded search) may
-/// fail with an error even though a decomposition always exists.
+/// Every `n` is construct-time verified and deterministic: `n ≤ 8` comes
+/// from frozen bases, odd `n` splices the even decomposition below it
+/// (`merge_odd`), and even `n ≥ 10` doubles the odd decomposition below
+/// it (`extend_even`), so e.g. `Q_12` is built by the chain
+/// `Q_8 → Q_9 → Q_10 → Q_11 → Q_12` with no search. The backtracking
+/// searches remain as fallbacks should the doubling ever stall.
 pub fn decompose(n: u32) -> Result<Decomposition, String> {
     let cube = Hypercube::new(n);
     if n == 1 {
@@ -865,6 +1098,12 @@ pub fn decompose(n: u32) -> Result<Decomposition, String> {
         let dec = Decomposition { cube, cycles, matching: Vec::new() };
         verify_decomposition(&dec)?;
         return Ok(dec);
+    }
+    if n >= 10 {
+        // Deterministic doubling; the searches below are only a fallback.
+        if let Ok(dec) = decompose(n - 1).and_then(|odd| extend_even(&odd)) {
+            return Ok(dec);
+        }
     }
     for seed in 0..16u64 {
         let budget = 200_000u64 << seed.min(6);
@@ -1009,6 +1248,32 @@ mod tests {
             assert_eq!(dec.matching.len() as u64, 1u64 << (n - 1), "n={n}");
             verify_decomposition(&dec).unwrap();
         }
+    }
+
+    #[test]
+    fn q10_decomposition_by_doubling() {
+        // Even n ≥ 10 must come out of the deterministic extend_even chain
+        // (Q_8 → Q_9 → Q_10), not the searches: all cycles, no matching.
+        let dec = decompose(10).unwrap();
+        assert_eq!(dec.cycles.len(), 5);
+        assert!(dec.matching.is_empty());
+        verify_decomposition(&dec).unwrap();
+    }
+
+    #[test]
+    fn extend_even_is_deterministic() {
+        let odd = decompose(9).unwrap();
+        let a = extend_even(&odd).unwrap();
+        let b = extend_even(&odd).unwrap();
+        for (ca, cb) in a.cycles.iter().zip(&b.cycles) {
+            assert_eq!(ca.transitions(), cb.transitions());
+        }
+    }
+
+    #[test]
+    fn extend_even_rejects_even_input() {
+        let even = decompose(4).unwrap();
+        assert!(extend_even(&even).is_err());
     }
 
     #[test]

@@ -1,0 +1,667 @@
+//! Implicit host topologies: million-node `Q_n` without `O(n·2^n)` tables.
+//!
+//! Everything the paper's constructions need from the host — neighbors,
+//! Hamiltonian-decomposition edge colors, and the Theorem 1/2 disjoint-path
+//! bundles — is a closed-form function of the `u64` node label. This module
+//! exposes that directly:
+//!
+//! * [`HostTopology`] — the trait: neighbor/link-index arithmetic plus an
+//!   edge-color oracle, all `O(1)` per query and allocation-free.
+//! * [`ImplicitQn`] — `Q_n` with an [`ImplicitColoring`]: Lemma 1 colors
+//!   answered from the *orbit* structure of the decomposition (the base
+//!   cycle's rotation orbit for `n ∈ {2, 4, 6}`, the [`splice_pairs`]
+//!   replay for odd `n`) instead of stored [`crate::hamiltonian::HamCycle`]
+//!   tables.
+//! * [`Theorem1Plan`] / [`Theorem2Plan`] — the multiple-path cycle
+//!   embeddings of Theorems 1 and 2 as *plans*: `vertex(t)` and the
+//!   per-guest-edge path bundles are computed on demand from `O(2^{n/2})`
+//!   words of row-subcube state, so the structural fault estimators run at
+//!   `n = 20..=24` (1M–16M nodes) in bounded memory.
+//!
+//! Memory model. A materialized `MultiPathEmbedding` stores
+//! `Θ(n·2^n)` words (vertex map plus widened path bundles); the plans here
+//! store only the `⌊row_bits/2⌋` directed Hamiltonian cycles of the *row*
+//! subcube (`2^{n/2}`-node tables) and a `2^{col_bits}`-entry column-walk
+//! index — about 48 bytes per *row-subcube* node, i.e. kilobytes–megabytes
+//! where the dense path previously needed gigabytes. The one genuinely
+//! table-bound piece is the full edge coloring for large even `n`: a Lemma 1
+//! decomposition of `Q_n` itself is only constructively cheap for `n ≤ 11`
+//! (the `Q_12` doubling takes ~35 s), so [`ImplicitColoring::new`] is capped
+//! at `n ≤ 13` while the plans — which only ever decompose the *row* subcube
+//! — reach `n = 27`.
+//!
+//! `MultiPathEmbedding` lives downstream (the `embedding` crate); the plans
+//! therefore speak plain node labels and dense link indices
+//! ([`HostTopology::link_index`]), which is exactly the currency of the
+//! bit-sliced fault kernels in `sim::bitslice`.
+
+use crate::cube::{Dim, Hypercube, Node};
+use crate::gray::{gray_code, transition};
+use crate::hamiltonian::{decompose, directed_cycles, splice_pairs, DirectedHamCycle};
+use crate::moment::moment;
+
+/// The Lemma 1 color of a hypercube edge: one of the `⌊n/2⌋` Hamiltonian
+/// cycles, or (odd `n` only) the leftover perfect matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeColor {
+    /// The edge lies on Hamiltonian cycle `i` of the decomposition
+    /// (`0 ≤ i < ⌊n/2⌋`, same indexing as [`decompose`]'s `cycles`).
+    Cycle(u32),
+    /// The edge lies in the odd-`n` perfect matching.
+    Matching,
+}
+
+/// An implicit host graph: all structure is computed from node labels.
+///
+/// Default methods give the `Q_n` bit arithmetic; implementors supply the
+/// dimension count and the edge-color oracle. No method allocates.
+pub trait HostTopology {
+    /// Number of dimensions `n`.
+    fn dims(&self) -> u32;
+
+    /// Number of nodes, `2^n`.
+    #[inline]
+    fn num_nodes(&self) -> u64 {
+        1u64 << self.dims()
+    }
+
+    /// Size of the dense link-index space, `n·2^n` (canonical undirected
+    /// links occupy half the slots; see [`Hypercube::undirected_edge_index`]).
+    #[inline]
+    fn num_link_slots(&self) -> u64 {
+        u64::from(self.dims()) << self.dims()
+    }
+
+    /// The neighbor of `v` across dimension `d`.
+    #[inline]
+    fn neighbor(&self, v: Node, d: Dim) -> Node {
+        debug_assert!(d < self.dims());
+        v ^ (1u64 << d)
+    }
+
+    /// Dense index of the undirected link `{v, v ⊕ 2^d}`: the canonical
+    /// orientation's [`Hypercube::dir_edge_index`], as a `u64` so it stays
+    /// exact for every supported `n` on any platform.
+    #[inline]
+    fn link_index(&self, v: Node, d: Dim) -> u64 {
+        debug_assert!(d < self.dims());
+        (v & !(1u64 << d)) * u64::from(self.dims()) + u64::from(d)
+    }
+
+    /// The Lemma 1 color of the edge leaving `v` across `d` (orientation
+    /// independent).
+    fn edge_color(&self, v: Node, d: Dim) -> EdgeColor;
+}
+
+/// Rotates the low `n` bits of `v` right by `s` positions (`0 ≤ s < n`).
+#[inline]
+fn rotr_bits(v: Node, s: u32, n: u32) -> Node {
+    if s == 0 {
+        v
+    } else {
+        ((v >> s) | (v << (n - s))) & ((1u64 << n) - 1)
+    }
+}
+
+/// How [`ImplicitColoring`] answers queries for a given `n`.
+#[derive(Debug, Clone)]
+enum Scheme {
+    /// Even `n ∈ {2, 4, 6}`: cycle `j` is the base cycle's image under
+    /// rotate-left-by-`2j`, so membership is one bitmask probe on the
+    /// rotated-back label. `base_mask[v]` has bit `d` set iff the base
+    /// cycle uses edge `(v, d)`. 2 bytes per node.
+    Orbit { base_mask: Vec<u16> },
+    /// Odd `n`: replay [`splice_pairs`] over the even coloring one layer
+    /// down ([`merge_odd`](crate::hamiltonian)'s exact choice). Costs only
+    /// the inner coloring plus `⌊n/2⌋` pairs.
+    Spliced { inner: Box<ImplicitColoring>, pairs: Vec<(Node, Node)> },
+    /// Fallback dense table (even `8 ≤ n ≤ 12`, and `n = 1`): a nibble per
+    /// dimension per node, `0xF` = matching. 8 bytes per node.
+    Dense { table: Vec<u64> },
+}
+
+/// Closed-form Lemma 1 edge colors for `Q_n`, bit-for-bit equal to the
+/// [`decompose`] tables (the equivalence suite in
+/// `tests/implicit_equiv.rs` checks every edge for all `n ≤ 10`).
+#[derive(Debug, Clone)]
+pub struct ImplicitColoring {
+    dims: u32,
+    scheme: Scheme,
+}
+
+impl ImplicitColoring {
+    /// Builds the coloring for `Q_n`.
+    ///
+    /// Supported for `1 ≤ n ≤ 13`: beyond that a full Lemma 1 decomposition
+    /// of `Q_n` itself is out of cheap constructive range (see the module
+    /// docs); neighbor arithmetic and the path-bundle plans have no such
+    /// limit.
+    pub fn new(n: u32) -> Result<Self, String> {
+        let scheme = match n {
+            0 => return Err("Q_0 has no edges to color".into()),
+            2 | 4 | 6 => {
+                let dec = decompose(n)?;
+                let mut base_mask = vec![0u16; dec.cube.num_nodes() as usize];
+                for e in dec.cycles[0].edges() {
+                    base_mask[e.from as usize] |= 1 << e.dim;
+                    base_mask[e.to() as usize] |= 1 << e.dim;
+                }
+                Scheme::Orbit { base_mask }
+            }
+            n if n % 2 == 1 && n >= 3 => {
+                let inner = ImplicitColoring::new(n - 1)?;
+                let pairs = splice_pairs(&decompose(n - 1)?)?;
+                Scheme::Spliced { inner: Box::new(inner), pairs }
+            }
+            n if n <= 12 => {
+                let dec = decompose(n)?;
+                let mut table = vec![u64::MAX; dec.cube.num_nodes() as usize];
+                for (c, cyc) in dec.cycles.iter().enumerate() {
+                    for e in cyc.edges() {
+                        for v in [e.from, e.to()] {
+                            let shift = 4 * e.dim;
+                            table[v as usize] =
+                                (table[v as usize] & !(0xFu64 << shift)) | ((c as u64) << shift);
+                        }
+                    }
+                }
+                Scheme::Dense { table }
+            }
+            _ => {
+                return Err(format!(
+                    "implicit edge coloring needs a Lemma 1 decomposition of Q_{n} itself, \
+                     which is out of constructive range for n > 13; neighbor and path-bundle \
+                     queries are unaffected"
+                ))
+            }
+        };
+        Ok(ImplicitColoring { dims: n, scheme })
+    }
+
+    /// Number of dimensions `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Number of cycle colors, `⌊n/2⌋`.
+    pub fn num_cycles(&self) -> u32 {
+        self.dims / 2
+    }
+
+    /// The color of the edge leaving `v` across `d`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `v` or `d` is out of range.
+    pub fn edge_color(&self, v: Node, d: Dim) -> EdgeColor {
+        debug_assert!(d < self.dims && v < (1u64 << self.dims));
+        let n = self.dims;
+        match &self.scheme {
+            Scheme::Orbit { base_mask } => {
+                for j in 0..n / 2 {
+                    let s = (2 * j) % n;
+                    let u = rotr_bits(v, s, n);
+                    let d0 = (d + n - s) % n;
+                    if base_mask[u as usize] & (1 << d0) != 0 {
+                        return EdgeColor::Cycle(j);
+                    }
+                }
+                unreachable!("rotation orbit covers every edge of even Q_{n}")
+            }
+            Scheme::Spliced { inner, pairs } => {
+                let m = n - 1;
+                if d == m {
+                    // Vertical edge: joins spliced cycle `i` exactly at the
+                    // deleted-edge endpoints `a_i`, `b_i`.
+                    let u = v & !(1u64 << m);
+                    match pairs.iter().position(|&(a, b)| u == a || u == b) {
+                        Some(i) => EdgeColor::Cycle(i as u32),
+                        None => EdgeColor::Matching,
+                    }
+                } else {
+                    // Horizontal edge: keeps its layer-`m` color unless it is
+                    // (either layer copy of) the spliced-out edge.
+                    let u = v & ((1u64 << m) - 1);
+                    let w = u ^ (1u64 << d);
+                    match inner.edge_color(u, d) {
+                        EdgeColor::Cycle(c) => {
+                            let (a, b) = pairs[c as usize];
+                            if (u, w) == (a, b) || (u, w) == (b, a) {
+                                EdgeColor::Matching
+                            } else {
+                                EdgeColor::Cycle(c)
+                            }
+                        }
+                        EdgeColor::Matching => {
+                            unreachable!("even coloring of Q_{m} has no matching")
+                        }
+                    }
+                }
+            }
+            Scheme::Dense { table } => match (table[v as usize] >> (4 * d)) & 0xF {
+                0xF => EdgeColor::Matching,
+                c => EdgeColor::Cycle(c as u32),
+            },
+        }
+    }
+}
+
+/// `Q_n` as an implicit host: bit-trick neighbors/links from the trait
+/// defaults plus an [`ImplicitColoring`] oracle.
+#[derive(Debug, Clone)]
+pub struct ImplicitQn {
+    cube: Hypercube,
+    coloring: ImplicitColoring,
+}
+
+impl ImplicitQn {
+    /// Builds implicit `Q_n` (see [`ImplicitColoring::new`] for the
+    /// supported range).
+    pub fn new(n: u32) -> Result<Self, String> {
+        Ok(ImplicitQn { cube: Hypercube::new(n), coloring: ImplicitColoring::new(n)? })
+    }
+
+    /// The underlying cube value.
+    pub fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    /// The edge-color oracle.
+    pub fn coloring(&self) -> &ImplicitColoring {
+        &self.coloring
+    }
+}
+
+impl HostTopology for ImplicitQn {
+    fn dims(&self) -> u32 {
+        self.cube.dims()
+    }
+
+    fn edge_color(&self, v: Node, d: Dim) -> EdgeColor {
+        self.coloring.edge_color(v, d)
+    }
+}
+
+/// The Gray-dimension relabeling for the theorems' column ordering:
+/// Gray bit 0 ↦ position bit 0 (actual dimension `block_bits`), Gray bit 1 ↦
+/// position bit 1 (dimension `block_bits + 1`), remaining Gray bits take the
+/// remaining column dimensions in increasing order. Shared by
+/// `hyperpath_core::cycles::theorem1` and [`Theorem1Plan`] so the two can
+/// never drift apart.
+pub fn gray_dim_permutation(col_bits: u32, block_bits: u32) -> Vec<Dim> {
+    assert!(col_bits >= block_bits + 2, "need at least two position bits");
+    let mut pi = vec![block_bits, block_bits + 1];
+    pi.extend((0..block_bits).chain(block_bits + 2..col_bits));
+    pi
+}
+
+/// The dense link index of the undirected link `{x, x ⊕ 2^d}` in `Q_n`.
+#[inline]
+fn link_of(n: u32, x: Node, d: Dim) -> u64 {
+    (x & !(1u64 << d)) * u64::from(n) + u64::from(d)
+}
+
+/// Theorem 1's width-`⌊n/2⌋` cycle embedding as an implicit *plan*:
+/// `vertex(t)` and the per-edge path bundles are recomputed from
+/// `O(2^{n/2})` words of state, never materialized.
+///
+/// Construction identical to `hyperpath_core::cycles::theorem1` (the
+/// equivalence suite in `crates/core/tests/implicit_plan.rs` pins bundle-
+/// for-bundle equality): `Q_n` factors into `2^row_bits` rows ×
+/// `2^col_bits` columns, each column carries the directed row-subcube
+/// Hamiltonian cycle selected by the moment of its position field, and the
+/// guest cycle threads every column in permuted Gray order.
+#[derive(Debug, Clone)]
+pub struct Theorem1Plan {
+    k: u32,
+    r: u32,
+    row_bits: u32,
+    col_bits: u32,
+    dims: u32,
+    pi: Vec<Dim>,
+    /// `cycle_at[c][p]`: the row at position `p` of directed row cycle `c`.
+    cycle_at: Vec<Vec<u32>>,
+    /// `start_pos[j]`: position on its special cycle of the row where the
+    /// guest cycle enters column segment `j`.
+    start_pos: Vec<u32>,
+}
+
+impl Theorem1Plan {
+    /// Builds the plan for `Q_n` (`n ≥ 4`; the row subcube `Q_{2⌊n/4⌋}`
+    /// must be within Hamiltonian-decomposition range, which covers every
+    /// `n ≤ 27`).
+    pub fn new(n: u32) -> Result<Self, String> {
+        if n < 4 {
+            return Err("Theorem 1 requires n >= 4 (k >= 1)".into());
+        }
+        let k = n / 4;
+        let r = n % 4;
+        let row_bits = 2 * k;
+        let col_bits = 2 * k + r;
+
+        let dec = decompose(row_bits)?;
+        let dirs = directed_cycles(&dec);
+        let a = dirs.len() as u32; // 2k directed cycles, orientation-paired
+        debug_assert_eq!(a, 2 * k);
+
+        let rows = 1u64 << row_bits;
+        let mut cycle_at = Vec::with_capacity(dirs.len());
+        let mut cycle_pos = Vec::with_capacity(dirs.len());
+        for d in &dirs {
+            let seq = d.nodes_from(0);
+            let mut at = vec![0u32; rows as usize];
+            let mut pos = vec![0u32; rows as usize];
+            for (i, &v) in seq.iter().enumerate() {
+                at[i] = v as u32;
+                pos[v as usize] = i as u32;
+            }
+            cycle_at.push(at);
+            cycle_pos.push(pos);
+        }
+
+        // Walk the permuted-Gray column sequence once, recording where the
+        // guest cycle enters each column's special cycle. Each segment
+        // advances `rows - 1` steps, so it exits one position *behind* its
+        // entry.
+        let pi = gray_dim_permutation(col_bits, r);
+        let col_count = 1u64 << col_bits;
+        let mut start_pos = Vec::with_capacity(col_count as usize);
+        let mut row: Node = 0;
+        let mut col: Node = 0;
+        for j in 0..col_count {
+            let c = (moment(col >> r) % a) as usize;
+            let p = cycle_pos[c][row as usize];
+            start_pos.push(p);
+            row = u64::from(cycle_at[c][((u64::from(p) + rows - 1) % rows) as usize]);
+            col ^= 1u64 << pi[transition(col_bits, j) as usize];
+        }
+        if col != 0 || row != 0 {
+            return Err(format!(
+                "cycle C failed to close: ended at row {row:#x}, col {col:#x} \
+                 (moment/orientation pairing broken)"
+            ));
+        }
+
+        Ok(Theorem1Plan { k, r, row_bits, col_bits, dims: n, pi, cycle_at, start_pos })
+    }
+
+    /// Host dimension count `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Guest cycle length = bundle count, `2^n`.
+    pub fn num_bundles(&self) -> u64 {
+        1u64 << self.dims
+    }
+
+    /// The width the theorem claims, `⌊n/2⌋`.
+    pub fn claimed_width(&self) -> u32 {
+        self.dims / 2
+    }
+
+    /// Paths per bundle: the direct path plus `2k` length-3 detours.
+    pub fn paths_per_bundle(&self) -> u32 {
+        2 * self.k + 1
+    }
+
+    /// The column value of Gray rank `j`, scattered through the dimension
+    /// permutation.
+    #[inline]
+    fn column(&self, j: u64) -> Node {
+        let mut col = 0u64;
+        let mut g = gray_code(j);
+        while g != 0 {
+            col |= 1u64 << self.pi[g.trailing_zeros() as usize];
+            g &= g - 1;
+        }
+        col
+    }
+
+    /// The `t`-th node of the guest cycle `C` (`0 ≤ t < 2^n`), identical to
+    /// `theorem1(n)`'s `vertex_map[t]`.
+    #[inline]
+    pub fn vertex(&self, t: u64) -> Node {
+        debug_assert!(t < self.num_bundles());
+        let rows = 1u64 << self.row_bits;
+        let j = t >> self.row_bits;
+        let s = t & (rows - 1);
+        let col = self.column(j);
+        let c = (moment(col >> self.r) % (2 * self.k)) as usize;
+        let pos = (u64::from(self.start_pos[j as usize]) + s) % rows;
+        (u64::from(self.cycle_at[c][pos as usize]) << self.col_bits) | col
+    }
+
+    /// Visits the path bundle of guest edge `t` in the exact order
+    /// `theorem1` materializes it: the direct path first, then the `2k`
+    /// length-3 detours. Each path is presented as its sequence of dense
+    /// undirected link indices ([`HostTopology::link_index`] currency).
+    /// Allocation-free.
+    pub fn for_each_path(&self, t: u64, mut f: impl FnMut(&[u64])) {
+        let u = self.vertex(t);
+        let v = self.vertex((t + 1) & (self.num_bundles() - 1));
+        let i = (u ^ v).trailing_zeros();
+        let base = if i >= self.col_bits { self.r } else { self.col_bits };
+        let n = self.dims;
+        f(&[link_of(n, u, i)]);
+        for j in 0..2 * self.k {
+            let b = base + j;
+            debug_assert_ne!(b, i);
+            let x = u ^ (1u64 << b);
+            f(&[link_of(n, u, b), link_of(n, x, i), link_of(n, x ^ (1u64 << i), b)]);
+        }
+    }
+}
+
+/// Theorem 2's load-2 cycle embedding as an implicit plan.
+///
+/// The guest is the Eulerian tour of the row+column special-cycle union;
+/// the *tour order* is a global object, but the multiset of guest edges is
+/// not — it is exactly `{(v, out(v, which)) : v ∈ Q_n, which ∈ {0, 1}}` —
+/// and the structural fault estimators are conjunctions over bundles, so
+/// bundle `t` here simply enumerates that multiset by `v = t >> 1`,
+/// `which = t & 1`. Bundle contents match `theorem2`'s `widen_edge` output
+/// path-for-path (pinned by `crates/core/tests/implicit_plan.rs`).
+#[derive(Debug, Clone)]
+pub struct Theorem2Plan {
+    dims: u32,
+    row_bits: u32,
+    col_bits: u32,
+    block_bits: u32,
+    claimed: u32,
+    col_dirs: Vec<DirectedHamCycle>,
+    row_dirs: Vec<DirectedHamCycle>,
+}
+
+impl Theorem2Plan {
+    /// Builds the plan for `Q_n` (`n ≥ 4`). `full_width` selects the
+    /// width-`⌊n/2⌋` variant for `n ≡ 2, 3 (mod 4)`
+    /// (`Theorem2Variant::FullWidth`); `false` is the cost-3 variant.
+    pub fn new(n: u32, full_width: bool) -> Result<Self, String> {
+        if n < 4 {
+            return Err("Theorem 2 requires n >= 4 (k >= 1)".into());
+        }
+        let k = n / 4;
+        let r = n % 4;
+        let (row_bits, col_bits) = match (full_width, r) {
+            (_, 0) => (2 * k, 2 * k),
+            (_, 1) => (2 * k, 2 * k + 1),
+            (false, 2) => (2 * k, 2 * k + 2),
+            (true, 2) => (2 * k + 1, 2 * k + 1),
+            (false, 3) => (2 * k, 2 * k + 3),
+            (true, 3) => (2 * k + 1, 2 * k + 2),
+            _ => unreachable!(),
+        };
+        let col_dirs = directed_cycles(&decompose(row_bits)?);
+        let row_dirs = directed_cycles(&decompose(col_bits)?);
+        let claimed = match (full_width, r) {
+            (false, 2 | 3) => n / 2 - 1,
+            _ => n / 2,
+        };
+        Ok(Theorem2Plan {
+            dims: n,
+            row_bits,
+            col_bits,
+            block_bits: col_bits - row_bits,
+            claimed,
+            col_dirs,
+            row_dirs,
+        })
+    }
+
+    /// Host dimension count `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Guest cycle length = bundle count, `2^{n+1}`.
+    pub fn num_bundles(&self) -> u64 {
+        1u64 << (self.dims + 1)
+    }
+
+    /// The width the theorem claims for the selected variant.
+    pub fn claimed_width(&self) -> u32 {
+        self.claimed
+    }
+
+    /// Paths per bundle (`row_bits` length-3 detours; no direct path).
+    pub fn paths_per_bundle(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// The union-graph guest edge enumerated by `t`: tail and head.
+    #[inline]
+    pub fn guest_edge(&self, t: u64) -> (Node, Node) {
+        debug_assert!(t < self.num_bundles());
+        let v = t >> 1;
+        let (y, c) = (v >> self.col_bits, v & ((1u64 << self.col_bits) - 1));
+        let target = if t & 1 == 0 {
+            let dir = &self.row_dirs[(moment(y) % self.row_dirs.len() as u32) as usize];
+            (y << self.col_bits) | dir.successor(c)
+        } else {
+            let m = moment(c >> self.block_bits) % self.col_dirs.len() as u32;
+            (self.col_dirs[m as usize].successor(y) << self.col_bits) | c
+        };
+        (v, target)
+    }
+
+    /// Visits the path bundle of guest edge `t` in `theorem2`'s
+    /// `widen_edge` order (no direct path; `row_bits` length-3 detours).
+    /// Allocation-free.
+    pub fn for_each_path(&self, t: u64, mut f: impl FnMut(&[u64])) {
+        let (u, v) = self.guest_edge(t);
+        let i = (u ^ v).trailing_zeros();
+        let base = if i >= self.col_bits { self.block_bits } else { self.col_bits };
+        let n = self.dims;
+        for j in 0..self.row_bits {
+            let b = base + j;
+            debug_assert_ne!(b, i);
+            let x = u ^ (1u64 << b);
+            f(&[link_of(n, u, b), link_of(n, x, i), link_of(n, x ^ (1u64 << i), b)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::DirEdge;
+
+    #[test]
+    fn trait_defaults_match_cube_arithmetic() {
+        let q = ImplicitQn::new(5).unwrap();
+        let cube = q.cube();
+        for v in cube.nodes() {
+            for d in cube.dimensions() {
+                assert_eq!(q.neighbor(v, d), cube.neighbor(v, d));
+                assert_eq!(
+                    q.link_index(v, d),
+                    cube.undirected_edge_index(DirEdge::new(v, d)) as u64
+                );
+            }
+        }
+        assert_eq!(q.num_nodes(), cube.num_nodes());
+        assert_eq!(q.num_link_slots(), cube.num_directed_edges());
+    }
+
+    #[test]
+    fn coloring_is_orientation_independent_and_total() {
+        for n in [2u32, 3, 4, 5] {
+            let col = ImplicitColoring::new(n).unwrap();
+            let cube = Hypercube::new(n);
+            for v in cube.nodes() {
+                for d in cube.dimensions() {
+                    assert_eq!(
+                        col.edge_color(v, d),
+                        col.edge_color(v ^ (1 << d), d),
+                        "n={n} v={v:#x} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_coloring_has_no_matching() {
+        for n in [2u32, 4, 6, 8] {
+            let col = ImplicitColoring::new(n).unwrap();
+            let cube = Hypercube::new(n);
+            for e in cube.undirected_edges() {
+                assert_ne!(col.edge_color(e.from, e.dim), EdgeColor::Matching, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_rejects_out_of_range() {
+        assert!(ImplicitColoring::new(0).is_err());
+        assert!(ImplicitColoring::new(14).is_err());
+        assert!(ImplicitColoring::new(15).is_err());
+    }
+
+    #[test]
+    fn theorem1_plan_vertices_form_the_guest_cycle() {
+        for n in [4u32, 5, 6, 7, 8, 9] {
+            let plan = Theorem1Plan::new(n).unwrap();
+            let size = plan.num_bundles();
+            let mut seen = vec![false; size as usize];
+            for t in 0..size {
+                let u = plan.vertex(t);
+                assert!(!seen[u as usize], "n={n}: vertex {u:#x} repeated");
+                seen[u as usize] = true;
+                let v = plan.vertex((t + 1) & (size - 1));
+                assert_eq!((u ^ v).count_ones(), 1, "n={n} t={t}: not a cube edge");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_plan_bundle_links_are_distinct() {
+        let plan = Theorem1Plan::new(8).unwrap();
+        for t in [0u64, 1, 37, 200, 255] {
+            let mut links = Vec::new();
+            plan.for_each_path(t, |p| links.extend_from_slice(p));
+            let mut sorted = links.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), links.len(), "t={t}: bundle reuses a link");
+            assert_eq!(links.len() as u32, 1 + 3 * 2 * 2, "t={t}");
+        }
+    }
+
+    #[test]
+    fn theorem2_plan_guest_edges_cover_the_union() {
+        for n in [4u32, 5, 6] {
+            let plan = Theorem2Plan::new(n, false).unwrap();
+            let mut out_degree = vec![0u32; 1usize << n];
+            let mut in_degree = vec![0u32; 1usize << n];
+            for t in 0..plan.num_bundles() {
+                let (u, v) = plan.guest_edge(t);
+                assert_eq!((u ^ v).count_ones(), 1, "n={n} t={t}");
+                out_degree[u as usize] += 1;
+                in_degree[v as usize] += 1;
+            }
+            assert!(out_degree.iter().all(|&d| d == 2), "n={n}: union must be 2-out-regular");
+            assert!(in_degree.iter().all(|&d| d == 2), "n={n}: union must be 2-in-regular");
+        }
+    }
+}

@@ -20,6 +20,9 @@
 //!   (Lemma 1 / Alspach–Bermond–Sotteau): `⌊n/2⌋` edge-disjoint Hamiltonian
 //!   cycles (plus a perfect matching when `n` is odd), and the derived
 //!   edge-disjoint *directed* Hamiltonian cycles.
+//! * [`host`] — implicit host topologies: the [`host::HostTopology`] trait
+//!   and closed-form edge colors / Theorem 1-2 path-bundle plans that reach
+//!   `n = 20+` (millions of nodes) without `O(n·2^n)` tables.
 //!
 //! Addresses are plain `u64` values; dimension `d` of node `v` is bit `d`
 //! (i.e. `(v >> d) & 1`). All edge bookkeeping is *directed*, matching the
@@ -29,6 +32,7 @@
 pub mod cube;
 pub mod gray;
 pub mod hamiltonian;
+pub mod host;
 pub mod moment;
 pub mod window;
 
@@ -36,6 +40,10 @@ pub use cube::{Dim, DirEdge, Hypercube, Node};
 pub use gray::{gray_code, gray_rank, transition, transition_sequence};
 pub use hamiltonian::{
     decompose, directed_cycles, verify_decomposition, Decomposition, DirectedHamCycle, HamCycle,
+};
+pub use host::{
+    gray_dim_permutation, EdgeColor, HostTopology, ImplicitColoring, ImplicitQn, Theorem1Plan,
+    Theorem2Plan,
 };
 pub use moment::moment;
 pub use window::{common_prefix_len, prefix, Window};

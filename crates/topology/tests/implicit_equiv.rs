@@ -1,0 +1,182 @@
+//! Table-equivalence suite for the implicit host layer.
+//!
+//! The implicit answers ([`ImplicitQn`]'s closed-form neighbors, link
+//! indices, and Hamiltonian-decomposition edge colors) must agree
+//! *exactly* with the materialized `O(n·2^n)` tables wherever both exist
+//! — every node, every dimension, every `n ≤ 10` — including the odd-`n`
+//! perfect-matching color. The materialized side is independently
+//! certified by [`verify_decomposition`] first, so a bug in `decompose`
+//! cannot silently validate a matching bug in the implicit layer.
+
+use hyperpath_topology::hamiltonian::{decompose, verify_decomposition};
+use hyperpath_topology::host::{EdgeColor, HostTopology, ImplicitColoring, ImplicitQn};
+use hyperpath_topology::{DirEdge, Hypercube};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The materialized truth: undirected edge index -> color, straight from
+/// the (verified) decomposition tables.
+fn materialized_colors(n: u32) -> (Hypercube, Vec<EdgeColor>) {
+    let dec = decompose(n).expect("supported n");
+    verify_decomposition(&dec).expect("decomposition certifies");
+    let cube = dec.cube;
+    let mut table: Vec<Option<EdgeColor>> = vec![None; cube.num_directed_edges() as usize];
+    let mut set = |e: DirEdge, c: EdgeColor| {
+        let slot = &mut table[cube.undirected_edge_index(e)];
+        assert!(slot.is_none() || *slot == Some(c), "edge colored twice");
+        *slot = Some(c);
+    };
+    for (j, cycle) in dec.cycles.iter().enumerate() {
+        for e in cycle.edges() {
+            set(e, EdgeColor::Cycle(j as u32));
+        }
+    }
+    for &e in &dec.matching {
+        set(e, EdgeColor::Matching);
+    }
+    let colors = table
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // Every undirected edge of Q_n has exactly one canonical slot;
+            // the non-canonical directed slots stay `None` and are never
+            // read (undirected_edge_index always lands on the canonical
+            // one).
+            c.unwrap_or_else(|| {
+                let e = cube.dir_edge_from_index(i);
+                assert_ne!(cube.undirected_edge_index(e), i, "canonical edge left uncolored");
+                EdgeColor::Matching
+            })
+        })
+        .collect();
+    (cube, colors)
+}
+
+fn cached_implicit(n: u32) -> &'static ImplicitQn {
+    static CACHE: OnceLock<std::sync::Mutex<HashMap<u32, &'static ImplicitQn>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(n).or_insert_with(|| Box::leak(Box::new(ImplicitQn::new(n).expect("supported n"))))
+}
+
+/// Every implicit edge color equals the materialized table, for every
+/// node and dimension of every `n ≤ 10` — the tentpole equivalence.
+#[test]
+fn implicit_colors_equal_materialized_tables_everywhere() {
+    for n in 1..=10u32 {
+        let (cube, colors) = materialized_colors(n);
+        let qn = cached_implicit(n);
+        for v in 0..cube.num_nodes() {
+            for d in 0..n {
+                let e = DirEdge::new(v, d);
+                assert_eq!(
+                    qn.edge_color(v, d),
+                    colors[cube.undirected_edge_index(e)],
+                    "color mismatch at n={n}, v={v:#b}, d={d}"
+                );
+            }
+        }
+    }
+}
+
+/// The odd-`n` matching is exactly the implicit `Matching` color: the
+/// materialized perfect matching and the implicit answers pick out the
+/// same `2^{n-1}` edges, no more, no fewer.
+#[test]
+fn odd_n_matching_color_is_exact() {
+    for n in [3u32, 5, 7, 9] {
+        let dec = decompose(n).unwrap();
+        let cube = dec.cube;
+        let matched: std::collections::HashSet<usize> =
+            dec.matching.iter().map(|&e| cube.undirected_edge_index(e)).collect();
+        assert_eq!(matched.len() as u64, cube.num_nodes() / 2, "perfect matching size");
+        let qn = cached_implicit(n);
+        let mut implicit_matched = 0u64;
+        for v in 0..cube.num_nodes() {
+            for d in 0..n {
+                let is_matching = qn.edge_color(v, d) == EdgeColor::Matching;
+                let idx = cube.undirected_edge_index(DirEdge::new(v, d));
+                assert_eq!(is_matching, matched.contains(&idx), "n={n}, v={v:#b}, d={d}");
+                implicit_matched += u64::from(is_matching);
+            }
+        }
+        // Each matching edge seen from both endpoints.
+        assert_eq!(implicit_matched, cube.num_nodes());
+    }
+}
+
+/// The trait's closed-form neighbor/link answers equal the cube's table
+/// arithmetic everywhere (`n ≤ 10` exhaustively).
+#[test]
+fn implicit_neighbors_and_links_equal_cube_arithmetic() {
+    for n in 1..=10u32 {
+        let cube = Hypercube::new(n);
+        let qn = cached_implicit(n);
+        assert_eq!(qn.num_nodes(), cube.num_nodes());
+        assert_eq!(qn.num_link_slots(), cube.num_directed_edges());
+        for v in 0..cube.num_nodes() {
+            for d in 0..n {
+                assert_eq!(qn.neighbor(v, d), cube.neighbor(v, d));
+                assert_eq!(
+                    qn.link_index(v, d),
+                    cube.undirected_edge_index(DirEdge::new(v, d)) as u64,
+                    "link index mismatch at n={n}, v={v:#b}, d={d}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Orientation independence at sampled edges, including `n = 11`
+    /// (where no materialized table is ever built in this test binary):
+    /// both endpoints of an edge report the same color.
+    #[test]
+    fn sampled_colors_are_orientation_independent(n in 2u32..=11, seed in any::<u64>()) {
+        let qn = cached_implicit(n);
+        let cube = qn.cube();
+        let v = seed % cube.num_nodes();
+        for d in 0..n {
+            let w = cube.neighbor(v, d);
+            prop_assert_eq!(qn.edge_color(v, d), qn.edge_color(w, d));
+        }
+    }
+
+    /// Sampled nodes see each cycle color exactly twice (a Hamiltonian
+    /// cycle passes through every node once, using two incident edges)
+    /// and, for odd n, the matching exactly once.
+    #[test]
+    fn sampled_color_degrees_match_decomposition_shape(n in 2u32..=11, seed in any::<u64>()) {
+        let qn = cached_implicit(n);
+        let cube = qn.cube();
+        let v = seed % cube.num_nodes();
+        let mut cycle_deg = vec![0u32; (n / 2) as usize];
+        let mut matching_deg = 0u32;
+        for d in 0..n {
+            match qn.edge_color(v, d) {
+                EdgeColor::Cycle(j) => cycle_deg[j as usize] += 1,
+                EdgeColor::Matching => matching_deg += 1,
+            }
+        }
+        for (j, &deg) in cycle_deg.iter().enumerate() {
+            prop_assert_eq!(deg, 2, "cycle {} degree at v={:#b}, n={}", j, v, n);
+        }
+        prop_assert_eq!(matching_deg, n % 2, "matching degree at v={:#b}, n={}", v, n);
+    }
+}
+
+/// The standalone coloring agrees with the full `ImplicitQn` wrapper and
+/// reports the documented shape.
+#[test]
+fn coloring_reports_its_shape() {
+    for n in 1..=11u32 {
+        let c = ImplicitColoring::new(n).unwrap();
+        assert_eq!(c.dims(), n);
+        assert_eq!(c.num_cycles(), n / 2);
+    }
+    assert!(ImplicitColoring::new(0).is_err());
+    assert!(ImplicitColoring::new(14).is_err());
+}
