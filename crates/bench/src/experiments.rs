@@ -26,8 +26,12 @@ use hyperpath_sim::delivery::{
 use hyperpath_sim::faults::random_fault_set;
 use hyperpath_sim::protocol::{deliver_adaptive_prepared, AdaptiveSetup, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
+use hyperpath_sim::tenants::{
+    run_tenants, ExecMode, FlowStats, TenantPlan, TenantSpec, TenantsConfig,
+};
 use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
-use hyperpath_topology::host::Theorem1Plan;
+use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem2Plan};
+use std::sync::Arc;
 
 const SIM_CAP: u64 = 10_000_000;
 
@@ -464,6 +468,148 @@ pub fn e18_scale_with_threads(
     (t, out)
 }
 
+// ---------------------------------------------------------------------------
+// E19 — multi-tenant saturation on the shared implicit host.
+// ---------------------------------------------------------------------------
+
+/// One E19 grid point: how many tenants share the host.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantPoint {
+    /// Concurrent tenants.
+    pub tenants: u32,
+}
+
+impl ToJson for TenantPoint {
+    fn to_json(&self) -> Json {
+        Json::object([("tenants", self.tenants.to_json())])
+    }
+}
+
+/// The default E19 grid.
+pub fn e19_grid(counts: &[u32]) -> Vec<TenantPoint> {
+    counts.iter().map(|&tenants| TenantPoint { tenants }).collect()
+}
+
+/// E19 host dimension: `Q_20` (1M nodes), shared implicitly.
+pub const E19_HOST_DIMS: u32 = 20;
+/// E19 tenant subcube dimension: every guest plan lives in a `Q_8` window.
+pub const E19_TENANT_DIMS: u32 = 8;
+/// E19 per-link width capacity.
+pub const E19_CAPACITY: u32 = 2;
+
+/// The E19 tenant roster for a given count: tenant `i` gets window
+/// `i % 4` (so counts above 4 deliberately pile tenants into shared
+/// windows and drive the ledger toward saturation) and a guest kind
+/// cycling through all four implicit plans — Theorem 1 cycle, Theorem 2
+/// load-2 cycle, Gray-coded grid, binomial spanning tree.
+pub fn e19_specs(count: u32) -> Vec<TenantSpec> {
+    let m = E19_TENANT_DIMS;
+    let t1: Arc<dyn TenantPlan> = Arc::new(Theorem1Plan::new(m).expect("theorem 1 plan"));
+    let t2: Arc<dyn TenantPlan> = Arc::new(Theorem2Plan::new(m, false).expect("theorem 2 plan"));
+    let grid: Arc<dyn TenantPlan> =
+        Arc::new(GridPlan::new(m, m / 2, m / 2, m / 2).expect("grid plan"));
+    let tree: Arc<dyn TenantPlan> = Arc::new(BinomialTreePlan::new(m, m / 2).expect("tree plan"));
+    (0..count)
+        .map(|i| {
+            let (kind, plan) = match i % 4 {
+                0 => ("t1cycle", Arc::clone(&t1)),
+                1 => ("t2cycle", Arc::clone(&t2)),
+                2 => ("grid", Arc::clone(&grid)),
+                _ => ("tree", Arc::clone(&tree)),
+            };
+            TenantSpec { id: i, name: format!("{kind}-{i}"), window: u64::from(i % 4), plan }
+        })
+        .collect()
+}
+
+/// E19: sweeps the tenant count to saturation on a shared implicit `Q_20`
+/// host. Each point runs the full multi-tenant engine — ledger admission
+/// at capacity [`E19_CAPACITY`], congestion-aware path-subset selection
+/// down to the IDA threshold, batched phases executed exactly on the
+/// packet engine per `Q_8` window group — and reports aggregate
+/// throughput, Jain's fairness index, and the measured max cumulative
+/// link congestion against the averaging lower bound of
+/// `hyperpath_core::bounds::congestion_lower_bound`, with the gap as its
+/// own column.
+///
+/// Each point's engine seed is drawn from the point's own ChaCha stream
+/// and the engine itself is sequential and keyed by tenant id, so the
+/// artifact is byte-identical at any worker count (CI's `tenants-smoke`
+/// job compares two runs).
+pub fn e19_saturation(counts: &[u32], master_seed: u64) -> (Table, SweepOutput) {
+    e19_saturation_with_threads(counts, master_seed, None)
+}
+
+/// [`e19_saturation`] with a pinned worker count (for the byte-identity
+/// tests).
+pub fn e19_saturation_with_threads(
+    counts: &[u32],
+    master_seed: u64,
+    threads: Option<usize>,
+) -> (Table, SweepOutput) {
+    use rand::RngExt;
+
+    let mut sweep = Sweep::new("e19_saturation", master_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let out = sweep.run(e19_grid(counts), |pt, rng| {
+        let cfg = TenantsConfig {
+            host_dims: E19_HOST_DIMS,
+            capacity: E19_CAPACITY,
+            rounds: 4,
+            requests_per_round: 12,
+            max_requeues: 2,
+            seed: rng.random(),
+            exec: ExecMode::Packet,
+        };
+        let report = run_tenants(&cfg, &e19_specs(pt.tenants)).expect("e19 config is valid");
+        let sum =
+            |f: fn(&FlowStats) -> u64| -> u64 { report.tenants.iter().map(|t| f(&t.stats)).sum() };
+        Json::object([
+            ("requested", sum(|s| s.requested).to_json()),
+            ("full", sum(|s| s.full).to_json()),
+            ("degraded", sum(|s| s.degraded).to_json()),
+            ("lost", sum(|s| s.lost).to_json()),
+            ("delivered", report.delivered_messages().to_json()),
+            ("steps", report.total_steps.to_json()),
+            ("throughput", report.aggregate_throughput().to_json()),
+            ("jain", report.jain_fairness().to_json()),
+            ("congestion", report.measured_congestion().to_json()),
+            ("bound", report.congestion_bound().to_json()),
+            ("gap", report.congestion_gap().to_json()),
+            ("links_touched", (report.ledger.links_touched as u64).to_json()),
+        ])
+    });
+    let mut t = Table::new(&[
+        "tenants",
+        "requested",
+        "full",
+        "degraded",
+        "lost",
+        "tput",
+        "jain",
+        "cong",
+        "bound",
+        "gap",
+    ]);
+    for rec in &out.records {
+        t.row(vec![
+            fetch(&rec.params, "tenants").to_string(),
+            fetch(&rec.result, "requested").to_string(),
+            fetch(&rec.result, "full").to_string(),
+            fetch(&rec.result, "degraded").to_string(),
+            fetch(&rec.result, "lost").to_string(),
+            format!("{:.4}", fetch_f(&rec.result, "throughput")),
+            format!("{:.4}", fetch_f(&rec.result, "jain")),
+            fetch(&rec.result, "congestion").to_string(),
+            fetch(&rec.result, "bound").to_string(),
+            fetch(&rec.result, "gap").to_string(),
+        ]);
+    }
+    (t, out)
+}
+
 /// The E12 preamble demo: runs (5,3)-IDA end to end and returns the line
 /// the binary prints. Panics if reconstruction fails.
 pub fn ida_sanity_line() -> String {
@@ -777,18 +923,32 @@ pub fn try_parse_cli_with(
                 )
             }
             "--dims" if accepts_dims => {
-                let dims = it
+                let list = it
                     .next()
-                    .ok_or_else(|| "--dims requires a comma-separated list".to_string())?
+                    .ok_or_else(|| "--dims requires a comma-separated list".to_string())?;
+                let dims = list
                     .split(',')
+                    .filter(|s| !s.trim().is_empty())
                     .map(|s| {
-                        s.trim()
+                        let n = s
+                            .trim()
                             .parse::<u32>()
-                            .ok()
-                            .filter(|&n| n > 0)
-                            .ok_or_else(|| format!("bad dimension {s:?} in --dims"))
+                            .map_err(|_| format!("bad dimension {s:?} in --dims"))?;
+                        if n == 0 {
+                            return Err(format!("bad dimension {s:?} in --dims (must be >= 1)"));
+                        }
+                        if n > hyperpath_topology::MAX_DIMS {
+                            return Err(format!(
+                                "dimension {n} in --dims exceeds MAX_DIMS={}",
+                                hyperpath_topology::MAX_DIMS
+                            ));
+                        }
+                        Ok(n)
                     })
                     .collect::<Result<Vec<u32>, String>>()?;
+                if dims.is_empty() {
+                    return Err(format!("--dims list {list:?} names no dimensions"));
+                }
                 opts.dims = Some(dims);
             }
             "--dims" => {
@@ -913,6 +1073,37 @@ mod tests {
         assert!(try_parse_cli_with(["--dims".to_string(), "".to_string()], true, true).is_err());
         assert!(try_parse_cli_with(["--dims".to_string(), "8,0".to_string()], true, true).is_err());
         assert!(try_parse_cli_with(["--dims".to_string(), "8,x".to_string()], true, true).is_err());
+    }
+
+    #[test]
+    fn cli_rejects_out_of_range_and_empty_dims_lists() {
+        // Regression: these used to parse and then panic (or OOM) deep in
+        // the sweep — `Hypercube::new` asserts dims <= MAX_DIMS and dims
+        // >= 1 long after the CLI handed the list over. They must be
+        // caught at parse time so the binaries exit 2 with usage instead.
+        let e =
+            try_parse_cli_with(["--dims".to_string(), "0".to_string()], true, true).unwrap_err();
+        assert!(e.contains("must be >= 1"), "{e}");
+        let over = (hyperpath_topology::MAX_DIMS + 1).to_string();
+        let e = try_parse_cli_with(["--dims".to_string(), over], true, true).unwrap_err();
+        assert!(e.contains("exceeds MAX_DIMS"), "{e}");
+        let e = try_parse_cli_with(["--dims".to_string(), "8,999".to_string()], true, true)
+            .unwrap_err();
+        assert!(e.contains("exceeds MAX_DIMS"), "{e}");
+        // A separators-only list names nothing to sweep.
+        let e =
+            try_parse_cli_with(["--dims".to_string(), ",".to_string()], true, true).unwrap_err();
+        assert!(e.contains("names no dimensions"), "{e}");
+        let e =
+            try_parse_cli_with(["--dims".to_string(), " , ,".to_string()], true, true).unwrap_err();
+        assert!(e.contains("names no dimensions"), "{e}");
+        // The boundary itself is fine, and stray separators are tolerated
+        // as long as at least one dimension survives.
+        let at = hyperpath_topology::MAX_DIMS.to_string();
+        let o = try_parse_cli_with(["--dims".to_string(), at.clone()], true, true).unwrap();
+        assert_eq!(o.dims, Some(vec![hyperpath_topology::MAX_DIMS]));
+        let o = try_parse_cli_with(["--dims".to_string(), "8,".to_string()], true, true).unwrap();
+        assert_eq!(o.dims, Some(vec![8]));
     }
 
     #[test]

@@ -328,17 +328,25 @@ pub fn check_speedups(current: &Json) -> Result<GateReport, String> {
 /// run the streamed structural estimator in well under a GiB).
 pub const SCALE_PEAK_CEILING_BYTES: u64 = 1 << 30;
 
-/// Name prefix of the memory-scaling records [`check_memory`] enforces.
+/// Name prefix of the original implicit-host memory-scaling records
+/// (kept as a named constant; [`check_memory`] enforces every family in
+/// [`SCALE_RECORD_PREFIXES`]).
 pub const SCALE_RECORD_PREFIX: &str = "scale/structural/implicit/";
+
+/// The memory-scaling record families [`check_memory`] enforces. Each
+/// family is anchored independently — the streamed structural estimator
+/// and the multi-tenant ledger have different absolute footprints, but
+/// both must stay sub-linear in host size.
+pub const SCALE_RECORD_PREFIXES: [&str; 2] = [SCALE_RECORD_PREFIX, "scale/tenants/"];
 
 /// Enforces the implicit-host memory model on a *fresh* run (no baseline
 /// involved — `peak_alloc_bytes` is a deterministic counter, so both
 /// checks are exact):
 ///
-/// * every [`SCALE_RECORD_PREFIX`] record's `peak_alloc_bytes` must stay
-///   under [`SCALE_PEAK_CEILING_BYTES`];
-/// * every record's bytes-per-node must not exceed that of the
-///   *smallest* recorded size — the implicit layer's `O(2^{n/2})`
+/// * every record in a [`SCALE_RECORD_PREFIXES`] family must keep
+///   `peak_alloc_bytes` under [`SCALE_PEAK_CEILING_BYTES`];
+/// * within each family, every record's bytes-per-node must not exceed
+///   that of the family's *smallest* recorded size — the implicit layer's
 ///   footprint shrinks *relative to the topology* as `n` grows, so any
 ///   `O(n·2^n)` table sneaking back in breaks this immediately. (The
 ///   anchor is the smallest size, not the previous one, because the
@@ -354,54 +362,57 @@ pub fn check_memory(current: &Json) -> Result<GateReport, String> {
     let counter =
         |cs: &[(String, u64)], key: &str| cs.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
 
-    // (nodes, peak, name) for every scale record that carries both counters.
-    let mut scale: Vec<(u64, u64, String)> = Vec::new();
-    for (name, counters, _) in &cur.records {
-        if !name.starts_with(SCALE_RECORD_PREFIX) {
-            continue;
-        }
-        report.records_checked += 1;
-        let (Some(nodes), Some(peak)) =
-            (counter(counters, "nodes"), counter(counters, "peak_alloc_bytes"))
-        else {
-            report.issues.push(GateIssue {
-                record: name.clone(),
-                metric: "nodes/peak_alloc_bytes".into(),
-                baseline: "-".into(),
-                current: "-".into(),
-                detail: "scale record lacks the memory counters".into(),
-            });
-            continue;
-        };
-        report.counters_checked += 1;
-        if peak > SCALE_PEAK_CEILING_BYTES {
-            report.issues.push(GateIssue {
-                record: name.clone(),
-                metric: "peak_alloc_bytes".into(),
-                baseline: SCALE_PEAK_CEILING_BYTES.to_string(),
-                current: peak.to_string(),
-                detail: "peak allocation exceeds the scale ceiling".into(),
-            });
-        }
-        scale.push((nodes, peak, name.clone()));
-    }
-
-    scale.sort_by_key(|&(nodes, _, _)| nodes);
-    if let Some((nodes_a, peak_a, _)) = scale.first().cloned() {
-        for (nodes_b, peak_b, name_b) in &scale[1..] {
-            report.counters_checked += 1;
-            // bytes/node at every larger size must not exceed it at the
-            // smallest (cross-multiplied in u128 to avoid both overflow
-            // and float fuzz).
-            if u128::from(*peak_b) * u128::from(nodes_a) > u128::from(peak_a) * u128::from(*nodes_b)
-            {
+    for prefix in SCALE_RECORD_PREFIXES {
+        // (nodes, peak, name) for every family record carrying both counters.
+        let mut scale: Vec<(u64, u64, String)> = Vec::new();
+        for (name, counters, _) in &cur.records {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            report.records_checked += 1;
+            let (Some(nodes), Some(peak)) =
+                (counter(counters, "nodes"), counter(counters, "peak_alloc_bytes"))
+            else {
                 report.issues.push(GateIssue {
-                    record: name_b.clone(),
-                    metric: "peak_alloc_bytes/node".into(),
-                    baseline: format!("{peak_a}B @ {nodes_a} nodes"),
-                    current: format!("{peak_b}B @ {nodes_b} nodes"),
-                    detail: "bytes per node grew with n (implicit layer regressed)".into(),
+                    record: name.clone(),
+                    metric: "nodes/peak_alloc_bytes".into(),
+                    baseline: "-".into(),
+                    current: "-".into(),
+                    detail: "scale record lacks the memory counters".into(),
                 });
+                continue;
+            };
+            report.counters_checked += 1;
+            if peak > SCALE_PEAK_CEILING_BYTES {
+                report.issues.push(GateIssue {
+                    record: name.clone(),
+                    metric: "peak_alloc_bytes".into(),
+                    baseline: SCALE_PEAK_CEILING_BYTES.to_string(),
+                    current: peak.to_string(),
+                    detail: "peak allocation exceeds the scale ceiling".into(),
+                });
+            }
+            scale.push((nodes, peak, name.clone()));
+        }
+
+        scale.sort_by_key(|&(nodes, _, _)| nodes);
+        if let Some((nodes_a, peak_a, _)) = scale.first().cloned() {
+            for (nodes_b, peak_b, name_b) in &scale[1..] {
+                report.counters_checked += 1;
+                // bytes/node at every larger size must not exceed it at
+                // the family's smallest (cross-multiplied in u128 to
+                // avoid both overflow and float fuzz).
+                if u128::from(*peak_b) * u128::from(nodes_a)
+                    > u128::from(peak_a) * u128::from(*nodes_b)
+                {
+                    report.issues.push(GateIssue {
+                        record: name_b.clone(),
+                        metric: "peak_alloc_bytes/node".into(),
+                        baseline: format!("{peak_a}B @ {nodes_a} nodes"),
+                        current: format!("{peak_b}B @ {nodes_b} nodes"),
+                        detail: "bytes per node grew with n (implicit layer regressed)".into(),
+                    });
+                }
             }
         }
     }
@@ -670,6 +681,30 @@ mod tests {
         let r = check_memory(&none).unwrap();
         assert!(r.passed());
         assert_eq!(r.records_checked, 0);
+    }
+
+    #[test]
+    fn memory_gate_anchors_each_family_independently() {
+        // The tenants ledger family has a different absolute footprint
+        // than the structural family; a heavier tenants record must not
+        // be judged against the structural anchor.
+        let mixed = doc(&[
+            ("scale/structural/implicit/n10", &[("nodes", 1 << 10), ("peak_alloc_bytes", 1024)], 1),
+            ("scale/tenants/ledger/n12", &[("nodes", 1 << 12), ("peak_alloc_bytes", 1 << 20)], 1),
+            ("scale/tenants/ledger/n16", &[("nodes", 1 << 16), ("peak_alloc_bytes", 1 << 20)], 1),
+        ]);
+        let r = check_memory(&mixed).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.records_checked, 3);
+
+        // But a regression inside the tenants family is still caught.
+        let regressed = doc(&[
+            ("scale/tenants/ledger/n12", &[("nodes", 1 << 12), ("peak_alloc_bytes", 4096)], 1),
+            ("scale/tenants/ledger/n16", &[("nodes", 1 << 16), ("peak_alloc_bytes", 1 << 20)], 1),
+        ]);
+        let r = check_memory(&regressed).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "scale/tenants/ledger/n16");
     }
 
     #[test]

@@ -152,6 +152,11 @@ pub struct PerfConfig {
     /// Hypercube dimensions for the implicit-host memory-scaling
     /// workloads (`scale/structural/implicit/*`).
     pub scale_ns: Vec<u32>,
+    /// Host dimensions for the multi-tenant engine workloads
+    /// (`tenants/engine/*` timings and the `scale/tenants/ledger/*`
+    /// memory pins; every roster tenant lives in a `Q_8` window, so
+    /// each entry must be ≥ 10).
+    pub tenant_ns: Vec<u32>,
     /// Unmeasured warmup calls per timing.
     pub warmup: u32,
     /// Measured calls per timing (median taken).
@@ -169,6 +174,7 @@ impl PerfConfig {
             ida_message_len: 4096,
             mc_trials: 2048,
             scale_ns: vec![10, 14, 18, 20],
+            tenant_ns: vec![16, 20],
             warmup: 1,
             reps: 5,
         }
@@ -184,6 +190,7 @@ impl PerfConfig {
             ida_message_len: 256,
             mc_trials: 128,
             scale_ns: vec![8],
+            tenant_ns: vec![10],
             warmup: 1,
             reps: 3,
         }
@@ -648,6 +655,53 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
         });
     }
 
+    // --- Multi-tenant engine: ledger admission + batched packet phases
+    // for the 8-tenant E19 roster on a shared implicit host. The timing
+    // record pins the engine's deterministic traffic counters; the
+    // `scale/tenants/ledger/*` record pins the peak footprint of a full
+    // run (plans + ledger + per-window Q_8 simulators) so the gate's
+    // memory family catches any host-sized table sneaking into admission
+    // (the ledger must stay sparse: bytes/node shrinking as n grows). ---
+    for &n in &cfg.tenant_ns {
+        use crate::experiments::e19_specs;
+        use hyperpath_sim::tenants::{ExecMode, TenantEngine, TenantsConfig};
+        let tenant_cfg = TenantsConfig {
+            host_dims: n,
+            capacity: 2,
+            rounds: 2,
+            requests_per_round: 8,
+            max_requeues: 1,
+            seed: PERF_SEED ^ (u64::from(n) << 26),
+            exec: ExecMode::Packet,
+        };
+        let ((engine, report), peak) = measure_peak(|| {
+            let engine =
+                TenantEngine::new(tenant_cfg.clone(), &e19_specs(8)).expect("perf tenant roster");
+            let report = engine.run();
+            (engine, report)
+        });
+        records.push(PerfRecord {
+            name: format!("tenants/engine/n{n}"),
+            counters: vec![
+                ("tenants".into(), 8),
+                ("delivered".into(), report.delivered_messages()),
+                ("steps".into(), report.total_steps),
+                ("total_slots".into(), report.ledger.total_slots),
+                ("max_cumulative".into(), report.ledger.max_cumulative),
+            ],
+            wall_ns: median_wall_ns(0, cfg.reps.min(3), || engine.run()),
+        });
+        records.push(PerfRecord {
+            name: format!("scale/tenants/ledger/n{n}"),
+            counters: vec![
+                ("nodes".into(), 1u64 << n),
+                ("links_touched".into(), report.ledger.links_touched as u64),
+                ("peak_alloc_bytes".into(), peak),
+            ],
+            wall_ns: 0,
+        });
+    }
+
     PerfOutput { records }
 }
 
@@ -689,6 +743,8 @@ mod tests {
             "ida/disperse_reference/",
             "ida/reconstruct_reference/",
             "scale/structural/implicit/",
+            "tenants/engine/",
+            "scale/tenants/ledger/",
         ] {
             assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
         }

@@ -25,6 +25,27 @@ pub fn max_width_for_cost3(n: u32) -> u32 {
     (3 * n + 4) / 6
 }
 
+/// Undirected links of `Q_n`: `n · 2^{n-1}`.
+///
+/// # Panics
+/// Panics if `n == 0` or the count overflows `u64` (`n > 57`).
+pub fn undirected_links(n: u32) -> u64 {
+    assert!(n >= 1, "Q_0 has no links");
+    assert!(n <= 57, "n·2^(n-1) overflows u64 beyond n = 57");
+    u64::from(n) << (n - 1)
+}
+
+/// Counting lower bound on the **maximum per-link congestion** of any
+/// routing that places `total_link_slots` path-link incidences on the
+/// undirected links of `Q_n`: some link carries at least
+/// `⌈total / (n · 2^{n-1})⌉` of them. This is the averaging half of the
+/// congestion bounds of Rajan et al. (arXiv:1807.06787) — a yardstick a
+/// shared-cube scheduler reports its measured congestion against, not a
+/// claim of achievability.
+pub fn congestion_lower_bound(total_link_slots: u64, n: u32) -> u64 {
+    total_link_slots.div_ceil(undirected_links(n))
+}
+
 /// Checks a `(width, cost)` pair for the load-2 cycle against Lemma 3:
 /// `Ok(())` when consistent with both the dilation and counting bounds,
 /// `Err` describing the violated bound otherwise.
@@ -84,6 +105,45 @@ mod tests {
                 let t2 = theorem2(n, v).unwrap();
                 verify_lemma3_counting(n, t2.claimed_width as u32, t2.cost).unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn undirected_link_count_matches_the_cube() {
+        use hyperpath_topology::Hypercube;
+        for n in [1u32, 4, 6, 10] {
+            assert_eq!(undirected_links(n), Hypercube::new(n).num_directed_edges() / 2, "n={n}");
+        }
+        assert_eq!(undirected_links(20), 20 << 19);
+    }
+
+    #[test]
+    fn congestion_bound_is_the_demand_average_rounded_up() {
+        // 32 undirected links in Q_4 (includes the exact-division and
+        // round-up cases plus zero demand).
+        assert_eq!(congestion_lower_bound(0, 4), 0);
+        assert_eq!(congestion_lower_bound(32, 4), 1);
+        assert_eq!(congestion_lower_bound(33, 4), 2);
+        assert_eq!(congestion_lower_bound(64, 4), 2);
+        // Never above demand itself, never below demand / links.
+        for total in [1u64, 100, 12345] {
+            let b = congestion_lower_bound(total, 6);
+            assert!(b >= 1 && b <= total);
+        }
+    }
+
+    #[test]
+    fn measured_congestion_dominates_the_counting_bound() {
+        // The averaging bound must sit at or below the *measured* max
+        // per-link congestion of every real embedding — the invariant the
+        // tenant engine's gap column reports against.
+        use crate::cycles::theorem1;
+        use hyperpath_embedding::{link_slot_demand, max_undirected_congestion};
+        for n in [4u32, 6] {
+            let e = theorem1(n).unwrap().embedding;
+            let measured = max_undirected_congestion(&e);
+            let bound = congestion_lower_bound(link_slot_demand(&e), n);
+            assert!(measured >= bound && bound >= 1, "n={n}: measured {measured} vs bound {bound}");
         }
     }
 

@@ -31,7 +31,9 @@ pub mod validate;
 
 pub use cross::{cross_product_embedding, cross_product_graph};
 pub use map::{CopyEmbedding, MultiCopyEmbedding, MultiPathEmbedding};
-pub use metrics::{EmbeddingMetrics, MultiCopyMetrics};
+pub use metrics::{
+    link_slot_demand, max_undirected_congestion, EmbeddingMetrics, MultiCopyMetrics,
+};
 pub use path::HostPath;
 pub use schedule::{PhaseSchedule, Transmission};
 pub use squaring::{pow2_square, GridMap};

@@ -117,6 +117,33 @@ fn per_dim_max(host: &Hypercube, cong: &[usize]) -> Vec<usize> {
     by_dim
 }
 
+/// Total path-link incidences of the embedding — every traversal of an
+/// undirected host link by any bundle path counts one slot. This is the
+/// demand numerator of the averaging congestion lower bound
+/// (`core::bounds::congestion_lower_bound`): whatever schedule routes
+/// these paths, some link carries at least `⌈demand / links⌉` of them.
+pub fn link_slot_demand(e: &MultiPathEmbedding) -> u64 {
+    e.all_paths().map(|(_, _, p)| p.len() as u64).sum()
+}
+
+/// Max number of bundle paths crossing any single *undirected* host link
+/// (both orientations pooled — the currency the tenant engine's
+/// `LinkLedger` accounts in, as opposed to [`EmbeddingMetrics::congestion`]'s
+/// directed count).
+pub fn max_undirected_congestion(e: &MultiPathEmbedding) -> u64 {
+    let host = e.host;
+    // `undirected_edge_index` canonicalizes into the *dense directed* index
+    // space (only the cleared-bit orientation occurs), so the arena spans all
+    // directed slots and leaves half of them untouched.
+    let mut cong = vec![0u64; host.num_directed_edges() as usize];
+    for (_, _, p) in e.all_paths() {
+        for edge in p.edges() {
+            cong[host.undirected_edge_index(edge)] += 1;
+        }
+    }
+    cong.into_iter().max().unwrap_or(0)
+}
+
 /// The paper's *expansion*: host size over the smallest hypercube at least
 /// as large as the guest.
 pub fn expansion(host: &Hypercube, guest_vertices: u32) -> f64 {

@@ -58,7 +58,7 @@
 
 use crate::faults::FaultSet;
 use hyperpath_embedding::{HostPath, MultiPathEmbedding};
-use hyperpath_topology::host::{Theorem1Plan, Theorem2Plan};
+use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem2Plan};
 use hyperpath_topology::{gray_code, transition, DirEdge, Hypercube};
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -505,6 +505,26 @@ impl BundleSource for Theorem2Plan {
 
     fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
         Theorem2Plan::for_each_path(self, bundle, f);
+    }
+}
+
+impl BundleSource for GridPlan {
+    fn num_bundles(&self) -> u64 {
+        GridPlan::num_bundles(self)
+    }
+
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
+        GridPlan::for_each_path(self, bundle, f);
+    }
+}
+
+impl BundleSource for BinomialTreePlan {
+    fn num_bundles(&self) -> u64 {
+        BinomialTreePlan::num_bundles(self)
+    }
+
+    fn for_each_path(&self, bundle: u64, f: &mut dyn FnMut(&[u64])) {
+        BinomialTreePlan::for_each_path(self, bundle, f);
     }
 }
 

@@ -220,12 +220,18 @@ impl FaultPlan {
 
     /// Transient outage: the link carrying `edge` is down over `[from,
     /// until)` — it transmits nothing at steps `from..until` and is
-    /// healthy again from step `until` on.
+    /// healthy again from step `until` on. A zero-width window
+    /// (`from == until`) covers no steps and is a no-op: no events are
+    /// scheduled, so the plan stays identical to one without the call
+    /// (adversary generators may legitimately draw empty windows).
     ///
     /// # Panics
-    /// Panics unless `from < until` (an empty outage is a call-site bug).
+    /// Panics if `from > until` (an inverted window is a call-site bug).
     pub fn outage(&mut self, edge: DirEdge, from: u64, until: u64) {
-        assert!(from < until, "outage window [{from}, {until}) is empty");
+        assert!(from <= until, "outage window [{from}, {until}) is inverted");
+        if from == until {
+            return;
+        }
         self.cut_link_at(from, edge);
         self.restore_link_at(until, edge);
     }
@@ -616,10 +622,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "is empty")]
-    fn outage_rejects_empty_window() {
-        let mut plan = FaultPlan::none(&Hypercube::new(4));
+    fn outage_zero_width_window_is_noop() {
+        let host = Hypercube::new(4);
+        let mut plan = FaultPlan::none(&host);
         plan.outage(DirEdge::new(0, 0), 5, 5);
+        assert!(plan.events().is_empty(), "zero-width outage must schedule nothing");
+        assert_eq!(plan.hazard_set(&host).count(), 0);
+        // And it composes: a real outage before/after is unaffected.
+        plan.outage(DirEdge::new(3, 1), 2, 7);
+        plan.outage(DirEdge::new(0, 0), 9, 9);
+        let mut expect = FaultPlan::none(&host);
+        expect.outage(DirEdge::new(3, 1), 2, 7);
+        assert_eq!(plan.events(), expect.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "is inverted")]
+    fn outage_rejects_inverted_window() {
+        let mut plan = FaultPlan::none(&Hypercube::new(4));
+        plan.outage(DirEdge::new(0, 0), 6, 5);
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!   health purely from per-round ACK/NACK feedback on keyed tagged
 //!   shares, rerouting retries with an exponential copy budget — no fault
 //!   oracle anywhere in its signature.
+//! * [`tenants`] — multi-tenant traffic engine: several embedded guests
+//!   (cycles, grids, trees) sharing one host cube through a sparse
+//!   [`LinkLedger`], with admission control, congestion-aware path-subset
+//!   selection down to the IDA threshold, and batched phases executed
+//!   exactly on the packet/wormhole engines per window group.
 //! * [`trace`] — zero-cost-when-off instrumentation: a [`Recorder`] event
 //!   sink the packet engine reports to, plus percentile summaries of busy
 //!   links, latencies and queue depths ([`PacketSim::run_traced`]).
@@ -50,6 +55,7 @@ pub mod packet;
 pub mod protocol;
 pub mod routing;
 pub mod schedule_exec;
+pub mod tenants;
 pub mod trace;
 pub mod wormhole;
 
@@ -65,10 +71,14 @@ pub use faults::{
 pub use packet::{FaultReport, Flow, PacketSim, PlanReport, SimReport};
 pub use protocol::{
     deliver_adaptive, deliver_adaptive_prepared, AdaptiveReport, AdaptiveSetup, PlanNetwork,
-    RoundNetwork, Submission,
+    RoundNetwork, Submission, MAX_ADAPTIVE_ROUNDS, MAX_FRUITLESS_PROBES,
 };
 pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
 pub use schedule_exec::{run_schedule, run_schedule_with_faults};
+pub use tenants::{
+    run_tenants, run_tenants_recorded, EdgeGrade, EngineReport, ExecMode, FlowStats, LedgerSummary,
+    LinkLedger, TenantEngine, TenantPlan, TenantReport, TenantSpec, TenantsConfig, ENGINE_MAX_DIMS,
+};
 pub use trace::{
     CountingRecorder, NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport,
 };

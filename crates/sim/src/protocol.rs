@@ -20,7 +20,11 @@
 //!    share over distinct live paths — redundancy substitutes for the
 //!    knowledge the oracle has). If every path of a bundle has been
 //!    observed dead, the observations are reset: transient outages heal,
-//!    so written-off paths deserve a second look.
+//!    so written-off paths deserve a second look. The budget saturates at
+//!    the live-path count, an edge whose full re-probes verify nothing
+//!    [`MAX_FRUITLESS_PROBES`] times in a row is written off, and the
+//!    round loop is capped at [`MAX_ADAPTIVE_ROUNDS`] — so an all-dead
+//!    plan terminates promptly even under an absurd retry budget.
 //!
 //! The function is oracle-free *by construction*: its signature admits no
 //! fault type — all fault state lives behind the [`RoundNetwork`] trait,
@@ -41,6 +45,20 @@ use rand_chacha::ChaCha8Rng;
 
 /// Step cap per simulated round (a stuck round is a workload bug).
 const MAX_STEPS: u64 = 10_000_000;
+
+/// Hard ceiling on retry rounds, regardless of
+/// [`DeliveryConfig::max_retries`]. An all-dead bundle re-probes every
+/// path each round, so without an explicit cap a pathological retry
+/// budget (`u32::MAX`) would spin on identical fruitless rounds more or
+/// less forever; any legitimate configuration sits far below this.
+pub const MAX_ADAPTIVE_ROUNDS: u32 = 4096;
+
+/// Consecutive full-bundle probes (all-dead resets) allowed to verify
+/// nothing before an edge is written off. Two probes distinguish "every
+/// path happened to be down this round" from "this bundle is gone": a
+/// transient outage that heals mid-phase flips at least one NACK to an
+/// ACK across two full sweeps of the bundle.
+pub const MAX_FRUITLESS_PROBES: u32 = 2;
 
 /// One share handed to the network: which guest edge it serves, which
 /// bundle path it rides, and the tagged payload.
@@ -277,6 +295,15 @@ pub fn deliver_adaptive_prepared<N: RoundNetwork>(
         path_dead: Vec<bool>,
         first_round_arrivals: usize,
         recovered_in_round: Option<u32>, // 0 = initial round
+        /// Consecutive full-bundle probes (all-dead resets) that verified
+        /// nothing new; at [`MAX_FRUITLESS_PROBES`] the edge is written off.
+        fruitless_probes: u32,
+        /// `verified_count()` snapshot taken when this round is a full
+        /// probe, compared after the round to detect fruitlessness.
+        probe_baseline: Option<usize>,
+        /// Written off: every path probed [`MAX_FRUITLESS_PROBES`] times
+        /// over with zero arrivals — stop spending budget on it.
+        given_up: bool,
     }
 
     impl EdgeState {
@@ -307,6 +334,9 @@ pub fn deliver_adaptive_prepared<N: RoundNetwork>(
                 path_dead: vec![false; w],
                 first_round_arrivals: 0,
                 recovered_in_round: None,
+                fruitless_probes: 0,
+                probe_baseline: None,
+                given_up: false,
             }
         })
         .collect();
@@ -355,27 +385,41 @@ pub fn deliver_adaptive_prepared<N: RoundNetwork>(
     }
 
     // Retry rounds: re-send the missing shares over paths not yet
-    // observed-dead, with an exponentially growing copy budget.
+    // observed-dead, with an exponentially growing copy budget. The budget
+    // saturates at the live-path count well before the shift could wrap,
+    // and the round loop is explicitly capped at [`MAX_ADAPTIVE_ROUNDS`]:
+    // an all-dead bundle resets and re-probes every path each round, so a
+    // pathological `max_retries` (e.g. `u32::MAX`) would otherwise spin on
+    // identical fruitless rounds essentially forever.
     let mut shares_resent = 0u64;
     let mut rounds_run = 0u32;
-    for round in 1..=cfg.max_retries {
+    for round in 1..=cfg.max_retries.min(MAX_ADAPTIVE_ROUNDS) {
         let mut subs: Vec<Submission> = Vec::new();
         for (eid, st) in states.iter_mut().enumerate() {
-            if st.recovered_in_round.is_some() {
+            if st.recovered_in_round.is_some() || st.given_up {
                 continue;
             }
             let w = st.path_dead.len();
             if st.path_dead.iter().all(|&d| d) {
-                // Every path written off: reset the observations and try
-                // them all again — a transient outage may have healed.
+                // Every path written off. After MAX_FRUITLESS_PROBES full
+                // re-probes that verified nothing, further identical
+                // probes are pure waste: write the edge off for good.
+                if st.fruitless_probes >= MAX_FRUITLESS_PROBES {
+                    st.given_up = true;
+                    continue;
+                }
+                // Otherwise reset the observations and try every path
+                // again — a transient outage may have healed.
                 st.path_dead.iter_mut().for_each(|d| *d = false);
+                st.probe_baseline = Some(st.verified_count());
             }
             let alive: Vec<usize> = (0..w).filter(|&i| !st.path_dead[i]).collect();
-            // Up to 2^(round-1) copies of each missing share, capped by
-            // the number of live paths (shifted add avoids overflow for
-            // large round budgets).
+            // Up to 2^(round-1) copies of each missing share, saturated at
+            // the live-path count (the cap binds from round 9 on, since a
+            // bundle holds at most 255 paths — no shift ever overflows).
             let copies =
-                1usize.checked_shl(round - 1).unwrap_or(usize::MAX).min(alive.len()).max(1);
+                if round >= 9 { alive.len() } else { (1usize << (round - 1)).min(alive.len()) }
+                    .max(1);
             let missing: Vec<usize> = (0..w).filter(|&i| st.verified[i].is_none()).collect();
             for (j, &share_i) in missing.iter().enumerate() {
                 for c in 0..copies {
@@ -395,6 +439,13 @@ pub fn deliver_adaptive_prepared<N: RoundNetwork>(
         shares_resent += subs.len() as u64;
         run_round(round, subs, &mut states);
         for st in &mut states {
+            if let Some(base) = st.probe_baseline.take() {
+                if st.verified_count() == base {
+                    st.fruitless_probes += 1;
+                } else {
+                    st.fruitless_probes = 0;
+                }
+            }
             if st.recovered_in_round.is_none() && st.verified_count() >= st.threshold {
                 st.recovered_in_round = Some(round);
             }
@@ -553,6 +604,57 @@ mod tests {
         assert!(r.all_delivered(), "reset-and-retry must ride out the outage");
         assert_eq!(r.delivered, 0, "nothing arrived in round 0");
         assert!(r.edges.iter().all(|ed| ed.outcome == EdgeOutcome::Degraded { rounds: 2 }));
+    }
+
+    #[test]
+    fn all_links_cut_terminates_under_an_absurd_retry_budget() {
+        // Regression: an all-dead streak used to spend the entire retry
+        // budget on identical fruitless probe rounds — with
+        // `max_retries = u32::MAX` the protocol effectively never
+        // returned. Two fruitless full probes now write each edge off and
+        // the loop is capped at MAX_ADAPTIVE_ROUNDS, so this terminates
+        // in a handful of rounds with everything graded Lost.
+        let t1 = theorem1(4).unwrap();
+        let host = t1.embedding.host;
+        let mut plan = FaultPlan::none(&host);
+        for e in host.undirected_edges() {
+            plan.cut_link(&host, e);
+        }
+        let cfg = DeliveryConfig { threshold: 2, max_retries: u32::MAX, message_len: 48 };
+        let mut net = PlanNetwork::new(&t1.embedding, &plan);
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut net);
+        assert_eq!(r.recovered(), 0);
+        assert_eq!(r.lost, t1.embedding.edge_paths.len());
+        assert!(
+            r.rounds_run <= MAX_FRUITLESS_PROBES + 1,
+            "write-off must bound the rounds, ran {}",
+            r.rounds_run
+        );
+        // Each retry round re-sent at most the saturated budget: every
+        // missing share over every live path.
+        let w = t1.embedding.edge_paths[0].len() as u64;
+        let edges = t1.embedding.edge_paths.len() as u64;
+        assert!(r.shares_resent <= u64::from(r.rounds_run) * edges * w * w);
+        assert!(r.edges.iter().all(|ed| matches!(ed.outcome, EdgeOutcome::Lost { arrived: 0 })));
+    }
+
+    #[test]
+    fn round_loop_is_capped_for_never_healing_networks() {
+        // A network that drops everything, behind a budget that would
+        // otherwise allow 4 billion rounds. The per-edge write-off ends
+        // the loop long before MAX_ADAPTIVE_ROUNDS; the cap is the
+        // backstop for custom networks that keep an edge half-alive.
+        struct BlackholeNetwork;
+        impl RoundNetwork for BlackholeNetwork {
+            fn ship(&mut self, _round: u32, subs: &[Submission]) -> Vec<Option<TaggedShare>> {
+                vec![None; subs.len()]
+            }
+        }
+        let t1 = theorem1(4).unwrap();
+        let cfg = DeliveryConfig { threshold: 1, max_retries: u32::MAX, message_len: 16 };
+        let r = deliver_adaptive(&t1.embedding, &cfg, KEY, &mut BlackholeNetwork);
+        assert_eq!(r.recovered(), 0);
+        assert!(r.rounds_run <= MAX_ADAPTIVE_ROUNDS.min(MAX_FRUITLESS_PROBES + 1));
     }
 
     #[test]

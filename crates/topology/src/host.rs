@@ -561,6 +561,174 @@ impl Theorem2Plan {
     }
 }
 
+/// Emits the widened path bundle of a *dilation-1* guest edge
+/// `{u, u ⊕ 2^i}`: the direct link first, then length-3 detours
+/// `u → u⊕2^b → u⊕2^b⊕2^i → u⊕2^i` through the `width - 1` smallest
+/// dimensions `b ≠ i` — the Theorem 1 detour shape, which makes the bundle
+/// edge-disjoint by construction (each detour owns its dimension-`b`
+/// links, and its middle link `{u⊕2^b, u⊕2^b⊕2^i}` differs from the
+/// direct link and from every other detour's middle). Allocation-free.
+fn emit_dilation1_bundle(n: u32, u: Node, i: Dim, width: u32, f: &mut dyn FnMut(&[u64])) {
+    debug_assert!(i < n && width >= 1 && width <= n);
+    f(&[link_of(n, u, i)]);
+    let mut emitted = 1;
+    let mut b = 0;
+    while emitted < width && b < n {
+        if b != i {
+            let x = u ^ (1u64 << b);
+            f(&[link_of(n, u, b), link_of(n, x, i), link_of(n, x ^ (1u64 << i), b)]);
+            emitted += 1;
+        }
+        b += 1;
+    }
+}
+
+/// A `2^a × 2^b` grid guest embedded in `Q_{a+b}` with Gray-coded axes
+/// (dilation 1) as an implicit plan, each guest edge widened to a
+/// `width`-path bundle by the Theorem 1 detour shape. Nothing is
+/// materialized: the guest edge enumerated by `t` and its bundle are
+/// closed-form functions of `t`, so a grid tenant over a million-node
+/// host costs `O(1)` state.
+///
+/// Grid node `(x, y)` maps to host node `gray(x) | gray(y) << a`; the
+/// axis-0 edge `(x, y)–(x+1, y)` crosses host dimension
+/// `trailing_zeros(x+1)` and the axis-1 edge `(x, y)–(x, y+1)` crosses
+/// `a + trailing_zeros(y+1)` — single host links, by the Gray adjacency.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPlan {
+    dims: u32,
+    a: u32,
+    b: u32,
+    width: u32,
+}
+
+impl GridPlan {
+    /// Builds the plan for a `2^a × 2^b` grid in `Q_n` (`a, b ≥ 1`,
+    /// `a + b ≤ n`, `1 ≤ width ≤ n`: one direct link plus up to `n - 1`
+    /// detours).
+    pub fn new(n: u32, a: u32, b: u32, width: u32) -> Result<Self, String> {
+        if a == 0 || b == 0 {
+            return Err("grid axes need at least one bit each".into());
+        }
+        if a + b > n {
+            return Err(format!("a 2^{a} x 2^{b} grid does not fit in Q_{n}"));
+        }
+        if width == 0 || width > n {
+            return Err(format!("width {width} outside 1..={n} (direct link + n-1 detours)"));
+        }
+        Ok(GridPlan { dims: n, a, b, width })
+    }
+
+    /// Host dimension count `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Paths per bundle.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Guest edges: `(2^a - 1)·2^b` along axis 0 plus `2^a·(2^b - 1)`
+    /// along axis 1.
+    pub fn num_bundles(&self) -> u64 {
+        let (ra, rb) = (1u64 << self.a, 1u64 << self.b);
+        (ra - 1) * rb + ra * (rb - 1)
+    }
+
+    /// The host images of guest edge `t`'s endpoints (tail has the lower
+    /// grid coordinate along the edge's axis).
+    #[inline]
+    pub fn guest_edge(&self, t: u64) -> (Node, Node) {
+        let (u, i) = self.edge_anchor(t);
+        (u, u ^ (1u64 << i))
+    }
+
+    /// Guest edge `t` as (host tail, crossed dimension).
+    #[inline]
+    fn edge_anchor(&self, t: u64) -> (Node, Dim) {
+        debug_assert!(t < self.num_bundles());
+        let (ra, rb) = (1u64 << self.a, 1u64 << self.b);
+        let axis0 = (ra - 1) * rb;
+        let (x, y, d) = if t < axis0 {
+            let (x, y) = (t % (ra - 1), t / (ra - 1));
+            (x, y, (x + 1).trailing_zeros())
+        } else {
+            let s = t - axis0;
+            let (x, y) = (s % ra, s / ra);
+            (x, y, self.a + (y + 1).trailing_zeros())
+        };
+        (gray_code(x) | (gray_code(y) << self.a), d)
+    }
+
+    /// Visits the bundle of guest edge `t`: the direct host link, then
+    /// `width - 1` length-3 detours. Allocation-free; link indices in
+    /// [`HostTopology::link_index`] currency.
+    pub fn for_each_path(&self, t: u64, mut f: impl FnMut(&[u64])) {
+        let (u, i) = self.edge_anchor(t);
+        emit_dilation1_bundle(self.dims, u, i, self.width, &mut f);
+    }
+}
+
+/// The spanning binomial tree of `Q_n` as an implicit plan: every nonzero
+/// node's parent clears its highest set bit, so each of the `2^n - 1`
+/// guest (tree) edges is a single host link (dilation 1), widened to a
+/// `width`-path bundle by the Theorem 1 detour shape. The natural "tree
+/// tenant": broadcast/reduction traffic shapes over a shared cube with
+/// `O(1)` plan state.
+#[derive(Debug, Clone, Copy)]
+pub struct BinomialTreePlan {
+    dims: u32,
+    width: u32,
+}
+
+impl BinomialTreePlan {
+    /// Builds the plan for `Q_n` (`n ≥ 1`, `1 ≤ width ≤ n`).
+    pub fn new(n: u32, width: u32) -> Result<Self, String> {
+        if n == 0 {
+            return Err("Q_0 has no tree edges".into());
+        }
+        if width == 0 || width > n {
+            return Err(format!("width {width} outside 1..={n} (direct link + n-1 detours)"));
+        }
+        Ok(BinomialTreePlan { dims: n, width })
+    }
+
+    /// Host dimension count `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Paths per bundle.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Guest edges: one per nonzero node, `2^n - 1`.
+    pub fn num_bundles(&self) -> u64 {
+        (1u64 << self.dims) - 1
+    }
+
+    /// The host images of guest edge `t`'s endpoints (parent first):
+    /// child `t + 1`, parent with the child's highest bit cleared.
+    #[inline]
+    pub fn guest_edge(&self, t: u64) -> (Node, Node) {
+        debug_assert!(t < self.num_bundles());
+        let child = t + 1;
+        let d = 63 - child.leading_zeros();
+        (child ^ (1u64 << d), child)
+    }
+
+    /// Visits the bundle of guest edge `t`: the direct host link, then
+    /// `width - 1` length-3 detours. Allocation-free; link indices in
+    /// [`HostTopology::link_index`] currency.
+    pub fn for_each_path(&self, t: u64, mut f: impl FnMut(&[u64])) {
+        let (parent, child) = self.guest_edge(t);
+        let d = (parent ^ child).trailing_zeros();
+        emit_dilation1_bundle(self.dims, parent, d, self.width, &mut f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,5 +831,127 @@ mod tests {
             assert!(out_degree.iter().all(|&d| d == 2), "n={n}: union must be 2-out-regular");
             assert!(in_degree.iter().all(|&d| d == 2), "n={n}: union must be 2-in-regular");
         }
+    }
+
+    /// Decodes a dense undirected link index back to `(base node, dim)` —
+    /// inverse of `link_of` for checking emitted paths.
+    fn link_endpoints(n: u32, link: u64) -> (Node, Node) {
+        let d = (link % u64::from(n)) as u32;
+        let base = link / u64::from(n);
+        debug_assert_eq!(base & (1u64 << d), 0);
+        (base, base | (1u64 << d))
+    }
+
+    /// Checks a dilation-1 plan's bundle for guest edge `t`: the claimed
+    /// number of link-disjoint walks from `u` to `v`, the first of length 1.
+    fn check_bundle(
+        n: u32,
+        (u, v): (Node, Node),
+        width: u32,
+        paths: &[Vec<u64>],
+    ) -> Result<(), String> {
+        if paths.len() != width as usize {
+            return Err(format!("expected {width} paths, got {}", paths.len()));
+        }
+        if paths[0].len() != 1 {
+            return Err("first path must be the direct link".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in paths {
+            // Walk the undirected link slice from u, as the sim layer does.
+            let mut at = u;
+            for &l in p {
+                if !seen.insert(l) {
+                    return Err(format!("link {l} repeated in bundle"));
+                }
+                let (a, b) = link_endpoints(n, l);
+                at = if at == a {
+                    b
+                } else if at == b {
+                    a
+                } else {
+                    return Err(format!("path {p:?} is not a walk from {u}"));
+                };
+            }
+            if at != v {
+                return Err(format!("path {p:?} ends at {at}, not {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn grid_plan_edges_are_gray_adjacent_and_counted() {
+        for (n, a, b) in [(4u32, 2u32, 2u32), (5, 2, 3), (6, 3, 2)] {
+            let plan = GridPlan::new(n, a, b, n.min(4)).unwrap();
+            let (ra, rb) = (1u64 << a, 1u64 << b);
+            assert_eq!(plan.num_bundles(), (ra - 1) * rb + ra * (rb - 1));
+            let mut hosts = std::collections::HashSet::new();
+            for t in 0..plan.num_bundles() {
+                let (u, v) = plan.guest_edge(t);
+                assert_eq!((u ^ v).count_ones(), 1, "guest edge {t} must be a cube edge");
+                assert!(u < (1u64 << n) && v < (1u64 << n));
+                assert!(hosts.insert((u.min(v), u.max(v))), "edge {t} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_plan_bundles_are_link_disjoint_walks() {
+        let plan = GridPlan::new(6, 3, 2, 5).unwrap();
+        for t in 0..plan.num_bundles() {
+            let mut paths = Vec::new();
+            plan.for_each_path(t, |p| paths.push(p.to_vec()));
+            check_bundle(6, plan.guest_edge(t), plan.width(), &paths)
+                .unwrap_or_else(|e| panic!("edge {t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn grid_plan_rejects_bad_shapes() {
+        assert!(GridPlan::new(4, 0, 2, 1).is_err(), "degenerate axis");
+        assert!(GridPlan::new(4, 3, 2, 1).is_err(), "grid larger than host");
+        assert!(GridPlan::new(4, 2, 2, 0).is_err(), "zero width");
+        assert!(GridPlan::new(4, 2, 2, 5).is_err(), "width beyond n");
+        assert!(GridPlan::new(4, 2, 2, 4).is_ok());
+    }
+
+    #[test]
+    fn binomial_tree_plan_spans_the_cube() {
+        for n in [3u32, 5, 8] {
+            let plan = BinomialTreePlan::new(n, n.min(3)).unwrap();
+            assert_eq!(plan.num_bundles(), (1u64 << n) - 1);
+            // parent(child) clears the highest set bit ⇒ every nonzero node
+            // appears exactly once as a child and the edges form a tree
+            // rooted at 0.
+            let mut children = std::collections::HashSet::new();
+            for t in 0..plan.num_bundles() {
+                let (parent, child) = plan.guest_edge(t);
+                assert_eq!((parent ^ child).count_ones(), 1);
+                assert_eq!(child, t + 1);
+                assert!(parent < child, "parent clears the top bit");
+                assert!(children.insert(child));
+            }
+            assert_eq!(children.len(), (1usize << n) - 1);
+        }
+    }
+
+    #[test]
+    fn binomial_tree_bundles_are_link_disjoint_walks() {
+        let plan = BinomialTreePlan::new(5, 4).unwrap();
+        for t in 0..plan.num_bundles() {
+            let mut paths = Vec::new();
+            plan.for_each_path(t, |p| paths.push(p.to_vec()));
+            check_bundle(5, plan.guest_edge(t), plan.width(), &paths)
+                .unwrap_or_else(|e| panic!("edge {t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn binomial_tree_plan_rejects_bad_shapes() {
+        assert!(BinomialTreePlan::new(0, 1).is_err());
+        assert!(BinomialTreePlan::new(4, 0).is_err());
+        assert!(BinomialTreePlan::new(4, 5).is_err());
+        assert!(BinomialTreePlan::new(4, 4).is_ok());
     }
 }

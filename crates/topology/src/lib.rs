@@ -36,14 +36,14 @@ pub mod host;
 pub mod moment;
 pub mod window;
 
-pub use cube::{Dim, DirEdge, Hypercube, Node};
+pub use cube::{Dim, DirEdge, Hypercube, Node, MAX_DIMS};
 pub use gray::{gray_code, gray_rank, transition, transition_sequence};
 pub use hamiltonian::{
     decompose, directed_cycles, verify_decomposition, Decomposition, DirectedHamCycle, HamCycle,
 };
 pub use host::{
-    gray_dim_permutation, EdgeColor, HostTopology, ImplicitColoring, ImplicitQn, Theorem1Plan,
-    Theorem2Plan,
+    gray_dim_permutation, BinomialTreePlan, EdgeColor, GridPlan, HostTopology, ImplicitColoring,
+    ImplicitQn, Theorem1Plan, Theorem2Plan,
 };
 pub use moment::moment;
 pub use window::{common_prefix_len, prefix, Window};
