@@ -17,6 +17,9 @@ use hyperpath_sim::chaos::{run_chaos, ChaosConfig, ChaosReport};
 fn report_to_json(r: &ChaosReport) -> Json {
     Json::object([
         ("suite", "chaos_soak".to_json()),
+        // Which bit-sliced kernel feature path produced this artifact
+        // ("portable" or "simd") — the payload must not depend on it.
+        ("kernel", hyperpath_sim::kernel_feature_path().to_json()),
         (
             "config",
             Json::object([

@@ -17,19 +17,17 @@ use hyperpath_embedding::metrics::{multi_copy_metrics, multi_path_metrics};
 use hyperpath_embedding::validate::{validate_multi_copy, validate_multi_path};
 use hyperpath_ida::Ida;
 use hyperpath_sim::bitslice::{
-    streamed_all_bundles_ge, BitTrialBlock, GrayCycleBundles, IndexedTrials, SlicedPaths,
+    count_lanes_256, streamed_all_bundles_ge, BitTrialBlock256, GrayCycleBundles, IndexedTrials,
+    SlicedPaths,
 };
 use hyperpath_sim::chaos::random_plan;
-use hyperpath_sim::delivery::{
-    deliver_phase_plan_prepared, deliver_phase_prepared, DeliveryConfig, PhaseSetup,
-};
-use hyperpath_sim::faults::random_fault_set;
+use hyperpath_sim::delivery::{deliver_phase_plan_outcome, DeliveryConfig, PhaseSetup};
 use hyperpath_sim::protocol::{deliver_adaptive_prepared, AdaptiveSetup, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
 use hyperpath_sim::tenants::{
     run_tenants, ExecMode, FlowStats, TenantPlan, TenantSpec, TenantsConfig,
 };
-use hyperpath_sim::{FaultTimeline, PacketSim, Worm, WormholeSim};
+use hyperpath_sim::{PacketSim, Worm, WormholeSim};
 use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem2Plan};
 use std::sync::Arc;
 
@@ -217,39 +215,39 @@ pub fn e12_grid(ns: &[u32]) -> Vec<FaultPoint> {
 }
 
 /// E12: Monte-Carlo phase delivery probability under random link faults,
-/// measured **on the simulated machine** and cross-checked against the
-/// structural estimate.
+/// with the delivery semantics cross-checked against the structural
+/// estimate.
 ///
 /// Each trial draws ONE fault set on the shared host `Q_n` and evaluates
 /// every estimator against that same world:
 ///
 /// * `gray_w1` / `struct_k1` / `struct_k_half` — structural: survival of
 ///   1 / 1 / `⌈w/2⌉` paths per bundle for the Gray single-path and
-///   Theorem 1 embeddings, evaluated 64 trials per word operation through
-///   the bit-sliced kernel ([`SlicedPaths`] over [`BitTrialBlock`]); each
-///   kernel lane replays the scalar
-///   [`surviving_paths`](hyperpath_sim::faults::surviving_paths) draw bit
-///   for bit.
-/// * `sim_no_retry` / `sim_retry` — measured: actually disperse a message
-///   per guest edge (hoisted once per point into a [`PhaseSetup`]), route
-///   the shares through [`PacketSim::run_faulty`], and reconstruct
-///   ([`deliver_phase_prepared`]) with the `k = ⌈w/2⌉` threshold, without
-///   and with two retry rounds over the surviving paths.
+///   Theorem 1 embeddings;
+/// * `sim_no_retry` / `sim_retry` — delivery: the outcome of one
+///   dispersal phase with the `k = ⌈w/2⌉` threshold, without and with
+///   retry rounds over the surviving paths.
 ///
-/// Because structural and measured columns share fault draws,
-/// `sim_no_retry` must equal `struct_k_half` *exactly* (a share arrives
-/// iff its path is fault-free), and `sim_retry` must equal `struct_k1`
-/// (one surviving path carries every re-sent share) — both pinned by
-/// `tests/delivery_conformance.rs`. Each grid point runs `trials` draws
-/// from its own ChaCha stream.
+/// All five columns now ride the 256-lane bit-sliced kernel
+/// ([`SlicedPaths`] over [`BitTrialBlock256`], 256 trials per word
+/// operation): the fault draws are static fail-stop and no trace is
+/// requested, so the delivery columns take the fail-stop fast path —
+/// [`SlicedPaths::all_bundles_recovered_256`] evaluates the per-lane
+/// [`deliver_phase_prepared`](hyperpath_sim::delivery::deliver_phase_prepared)
+/// grades straight from bundle survival words, skipping the packet engine
+/// entirely. Each kernel lane replays the
+/// scalar [`surviving_paths`](hyperpath_sim::faults::surviving_paths)
+/// draw bit for bit, so the popcounts equal the engine-backed per-trial
+/// booleans this sweep used to compute — pinned three ways by
+/// `tests/delivery_conformance.rs` and `tests/fastpath_conformance.rs`
+/// (kernel vs fast path vs engine), and `sim_no_retry == struct_k_half`,
+/// `sim_retry == struct_k1` still hold exactly as before.
 pub fn e12_faults(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
     e12_faults_with_threads(ns, trials, master_seed, None)
 }
 
 /// [`e12_faults`] with a pinned worker count (the determinism tests run
 /// the same sweep on 1 and 4 workers and require byte-identical JSON).
-///
-/// [`PacketSim::run_faulty`]: hyperpath_sim::PacketSim::run_faulty
 pub fn e12_faults_with_threads(
     ns: &[u32],
     trials: u32,
@@ -270,57 +268,38 @@ pub fn e12_faults_with_threads(
         let w = t1.claimed_width;
         let k_half = w.div_ceil(2);
         let host = t1.embedding.host;
-        let no_retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 0, message_len: 32 };
-        let retry_cfg = DeliveryConfig { threshold: k_half, max_retries: 2, message_len: 32 };
-        // Hoisted out of the trial loops: dispersal setups and bit-sliced
-        // path tables are fault-independent, so no trial rebuilds them.
-        let no_retry_setup = PhaseSetup::new(&t1.embedding, &no_retry_cfg);
-        let retry_setup = PhaseSetup::new(&t1.embedding, &retry_cfg);
+        // Hoisted out of the trial loops: the bit-sliced path tables are
+        // fault-independent, so no trial rebuilds them.
         let gray_paths = SlicedPaths::new(&gray);
         let t1_paths = SlicedPaths::new(&t1.embedding);
         // One seed per trial drawn *serially* from the point's stream: the
         // sweep's byte-stability across worker counts rests on this.
         let seeds: Vec<u64> = (0..trials).map(|_| rng.random()).collect();
-        // Structural estimators go through the bit-sliced kernel: each
-        // 64-seed chunk becomes one BitTrialBlock whose lane `t` replays
-        // trial `chunk_start + t`'s fault draw bit for bit, so the popcount
-        // tallies match the scalar per-trial booleans exactly (and u32
-        // addition commutes, so worker count cannot change the totals).
-        let chunks: Vec<&[u64]> = seeds.chunks(64).collect();
-        let per_chunk: Vec<[u32; 3]> = chunks
+        // Each 256-seed chunk becomes one BitTrialBlock256 whose lane `t`
+        // replays trial `chunk_start + t`'s fault draw bit for bit (the
+        // lane streams are independent, so the chunk width cannot change
+        // the drawn bits), and the popcount tallies match the scalar
+        // per-trial booleans exactly (u32 addition commutes, so worker
+        // count cannot change the totals either).
+        let chunks: Vec<&[u64]> = seeds.chunks(256).collect();
+        let per_chunk: Vec<[u32; 5]> = chunks
             .into_par_iter()
             .map(|chunk| {
                 let mut lane_rngs: Vec<StdRng> =
                     chunk.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
-                let block = BitTrialBlock::draw_compat(&host, p.p, &mut lane_rngs);
+                let block = BitTrialBlock256::draw_compat(&host, p.p, &mut lane_rngs);
                 [
-                    gray_paths.all_bundles_ge(&block, 1).count_ones(),
-                    t1_paths.all_bundles_ge(&block, 1).count_ones(),
-                    t1_paths.all_bundles_ge(&block, k_half).count_ones(),
+                    count_lanes_256(gray_paths.all_bundles_ge_256(&block, 1)),
+                    count_lanes_256(t1_paths.all_bundles_ge_256(&block, 1)),
+                    count_lanes_256(t1_paths.all_bundles_ge_256(&block, k_half)),
+                    count_lanes_256(t1_paths.all_bundles_recovered_256(&block, k_half, false)),
+                    count_lanes_256(t1_paths.all_bundles_recovered_256(&block, k_half, true)),
                 ]
-            })
-            .collect();
-        // The measured columns still run the packet engine per trial (a
-        // simulation cannot be bit-sliced), but against the hoisted setups.
-        let per_trial: Vec<[u32; 2]> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let mut trial_rng = StdRng::seed_from_u64(seed);
-                let faults = random_fault_set(&host, p.p, &mut trial_rng);
-                let tl = FaultTimeline::from_set(faults);
-                let no_retry = deliver_phase_prepared(&no_retry_setup, &tl);
-                let retry = deliver_phase_prepared(&retry_setup, &tl);
-                [u32::from(no_retry.all_delivered()), u32::from(retry.all_delivered())]
             })
             .collect();
         let mut counts = [0u32; 5];
         for c in &per_chunk {
             for (a, &v) in counts.iter_mut().zip(c) {
-                *a += v;
-            }
-        }
-        for t in &per_trial {
-            for (a, &v) in counts[3..].iter_mut().zip(t) {
                 *a += v;
             }
         }
@@ -536,6 +515,12 @@ pub fn e19_specs(count: u32) -> Vec<TenantSpec> {
 /// and the engine itself is sequential and keyed by tenant id, so the
 /// artifact is byte-identical at any worker count (CI's `tenants-smoke`
 /// job compares two runs).
+///
+/// The fail-stop fast path deliberately does **not** apply here: E19's
+/// load-bearing columns (steps, throughput, congestion) are machine
+/// telemetry — exactly what the outcome projection drops — so every
+/// admitted phase genuinely runs on the engine (see DESIGN.md §6.15 on
+/// fast-path eligibility).
 pub fn e19_saturation(counts: &[u32], master_seed: u64) -> (Table, SweepOutput) {
     e19_saturation_with_threads(counts, master_seed, None)
 }
@@ -666,6 +651,13 @@ pub fn e16_grid(ns: &[u32]) -> Vec<AdaptivePoint> {
 /// `tests/adaptive_conformance.rs`. Against the **dynamic** adversary the
 /// two legitimately diverge (the oracle writes off briefly-down links
 /// permanently; the adaptive sender re-probes them).
+///
+/// The oracle side goes through
+/// [`deliver_phase_plan_outcome`]: on the static fail-stop regime (half
+/// the grid) every plan is detected as static and the oracle grade is
+/// evaluated in closed form from path survival, skipping the packet
+/// engine; the dynamic regime falls back to the engine. The adaptive
+/// sender always runs the machine — it is the thing being measured.
 pub fn e16_adaptive(ns: &[u32], trials: u32, master_seed: u64) -> (Table, SweepOutput) {
     e16_adaptive_with_threads(ns, trials, master_seed, None)
 }
@@ -704,7 +696,7 @@ pub fn e16_adaptive_with_threads(
                 let mut trial_rng = ChaCha8Rng::seed_from_u64(seed);
                 let plan = random_plan(&e.host, p.static_plans, &mut trial_rng);
                 let key: u64 = trial_rng.random();
-                let oracle = deliver_phase_plan_prepared(&oracle_setup, &plan);
+                let oracle = deliver_phase_plan_outcome(&oracle_setup, &plan);
                 let adaptive = deliver_adaptive_prepared(
                     &adaptive_setup,
                     key,

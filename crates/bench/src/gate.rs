@@ -264,6 +264,19 @@ pub const MC_SPEEDUP_MIN: f64 = 10.0;
 /// codec (disperse and reconstruct vs their schoolbook references).
 pub const IDA_SPEEDUP_MIN: f64 = 2.0;
 
+/// Minimum 64-lane / 256-lane wall-clock ratio for the compat-draw
+/// Monte-Carlo kernel at `n ≥ 10` (the 256-lane widening's claim; both
+/// sides replay identical per-lane RNG streams, so the ratio isolates the
+/// word width). Measured ≈ 6.5x in-container at `n = 10`; the floor
+/// leaves a 2x machine margin.
+pub const MC256_SPEEDUP_MIN: f64 = 3.0;
+
+/// Minimum table / plane-parallel wall-clock ratio for the `GF(2^8)` row
+/// ops on ≥ 64 KiB rows (`ida/rowops/*`): the bit-sliced polynomial
+/// ladder must keep beating the hoisted-row product table on payloads
+/// large enough to stream. Measured ≈ 3.3x in-container.
+pub const IDA_ROWOPS_SPEEDUP_MIN: f64 = 2.0;
+
 /// Enforces the cross-record speedup floors on a *fresh* run (no baseline
 /// involved: both sides of each ratio come from the same process, so
 /// machine speed cancels out). Pairs:
@@ -271,8 +284,14 @@ pub const IDA_SPEEDUP_MIN: f64 = 2.0;
 /// * every `mc/structural/scalar/<size>` must be at least
 ///   [`MC_SPEEDUP_MIN`]× slower than
 ///   `mc/structural/bitsliced_fast/<size>`;
+/// * every `mc/structural/bitsliced/n<N>` with `N ≥ 10` must be at least
+///   [`MC256_SPEEDUP_MIN`]× slower than
+///   `mc/structural/bitsliced256/n<N>` (the 256-lane widening);
 /// * `ida/disperse_reference/…` / `ida/reconstruct_reference/…` must be at
-///   least [`IDA_SPEEDUP_MIN`]× slower than their kernel counterparts.
+///   least [`IDA_SPEEDUP_MIN`]× slower than their kernel counterparts;
+/// * every `ida/rowops/table/len<L>` with `L ≥ 65536` must be at least
+///   [`IDA_ROWOPS_SPEEDUP_MIN`]× slower than `ida/rowops/plane/len<L>`
+///   (the plane-parallel row multiply).
 ///
 /// A pair whose kernel side is missing while its reference side exists is
 /// an issue — the suite must measure what the gate enforces. `Err` means
@@ -318,8 +337,44 @@ pub fn check_speedups(current: &Json) -> Result<GateReport, String> {
         let fast = format!("mc/structural/bitsliced_fast/{suffix}");
         require(slow, &fast, MC_SPEEDUP_MIN, &mut report);
     }
+    // 256-lane widening floor: only at n ≥ 10, where the workload is big
+    // enough that the ratio measures the kernel, not fixed setup costs.
+    let lane64_names: Vec<String> = cur
+        .records
+        .iter()
+        .filter(|(n, _, _)| {
+            n.strip_prefix("mc/structural/bitsliced/")
+                .and_then(|s| s.strip_prefix('n'))
+                .and_then(|d| d.parse::<u32>().ok())
+                .is_some_and(|n| n >= 10)
+        })
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    for slow in &lane64_names {
+        let suffix = slow.strip_prefix("mc/structural/bitsliced/").expect("filtered on prefix");
+        let fast = format!("mc/structural/bitsliced256/{suffix}");
+        require(slow, &fast, MC256_SPEEDUP_MIN, &mut report);
+    }
     require("ida/disperse_reference/w8k4", "ida/disperse/w8k4", IDA_SPEEDUP_MIN, &mut report);
     require("ida/reconstruct_reference/w8k4", "ida/reconstruct/w8k4", IDA_SPEEDUP_MIN, &mut report);
+    // Plane-parallel row-op floor: only rows ≥ 64 KiB stream long enough
+    // for the ladder's word-level advantage to dominate.
+    let table_names: Vec<String> = cur
+        .records
+        .iter()
+        .filter(|(n, _, _)| {
+            n.strip_prefix("ida/rowops/table/")
+                .and_then(|s| s.strip_prefix("len"))
+                .and_then(|d| d.parse::<u64>().ok())
+                .is_some_and(|len| len >= 65536)
+        })
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    for slow in &table_names {
+        let suffix = slow.strip_prefix("ida/rowops/table/").expect("filtered on prefix");
+        let fast = format!("ida/rowops/plane/{suffix}");
+        require(slow, &fast, IDA_ROWOPS_SPEEDUP_MIN, &mut report);
+    }
     Ok(report)
 }
 
@@ -620,6 +675,62 @@ mod tests {
         let r = check_speedups(&unrelated).unwrap();
         assert!(r.passed());
         assert_eq!(r.time_checks, 0);
+    }
+
+    #[test]
+    fn lane256_floor_applies_only_from_n10_up() {
+        // n6 is below the floor's size cutoff — a poor small-size ratio is
+        // not an issue; n10 is enforced and this one clears 3x.
+        let healthy = doc(&[
+            ("mc/structural/bitsliced/n6", &[], 1_100),
+            ("mc/structural/bitsliced256/n6", &[], 1_000),
+            ("mc/structural/bitsliced/n10", &[], 6_500),
+            ("mc/structural/bitsliced256/n10", &[], 1_000),
+        ]);
+        let r = check_speedups(&healthy).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.time_checks, 1);
+
+        // The widening slipped below 3x at n10: one issue.
+        let slipped = doc(&[
+            ("mc/structural/bitsliced/n10", &[], 2_999),
+            ("mc/structural/bitsliced256/n10", &[], 1_000),
+        ]);
+        let r = check_speedups(&slipped).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "mc/structural/bitsliced256/n10");
+        assert!(r.issues[0].detail.contains("floor 3.0x"), "{}", r.issues[0].detail);
+
+        // A measured 64-lane record at n ≥ 10 with no 256-lane counterpart
+        // is an issue — the suite must measure what the gate enforces.
+        let orphaned = doc(&[("mc/structural/bitsliced/n12", &[], 9_999)]);
+        let r = check_speedups(&orphaned).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].detail.contains("missing"), "{}", r.issues[0].detail);
+    }
+
+    #[test]
+    fn rowops_floor_applies_only_from_64kib_up() {
+        // Small rows are exempt; the 64 KiB row is enforced and clears 2x.
+        let healthy = doc(&[
+            ("ida/rowops/table/len4096", &[], 1_100),
+            ("ida/rowops/plane/len4096", &[], 1_000),
+            ("ida/rowops/table/len65536", &[], 2_500),
+            ("ida/rowops/plane/len65536", &[], 1_000),
+        ]);
+        let r = check_speedups(&healthy).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.time_checks, 1);
+
+        // The ladder slipped below 2x on the streaming row: one issue.
+        let slipped = doc(&[
+            ("ida/rowops/table/len65536", &[], 1_999),
+            ("ida/rowops/plane/len65536", &[], 1_000),
+        ]);
+        let r = check_speedups(&slipped).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "ida/rowops/plane/len65536");
+        assert!(r.issues[0].detail.contains("floor 2.0x"), "{}", r.issues[0].detail);
     }
 
     #[test]

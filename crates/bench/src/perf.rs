@@ -29,8 +29,11 @@ use crate::measure::{measure_allocs, measure_peak, median_wall_ns};
 use crate::table::Table;
 use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
-use hyperpath_ida::Ida;
-use hyperpath_sim::bitslice::{stream_bundles_ge_into, BitTrialBlock, IndexedTrials, SlicedPaths};
+use hyperpath_ida::{kernel, Ida};
+use hyperpath_sim::bitslice::{
+    count_lanes_256, stream_bundles_ge_into, BitTrialBlock, BitTrialBlock256, IndexedTrials,
+    SlicedPaths,
+};
 use hyperpath_sim::chaos::random_plan;
 use hyperpath_sim::delivery::{deliver_phase, DeliveryConfig};
 use hyperpath_sim::faults::{random_fault_set, surviving_paths};
@@ -564,10 +567,27 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
             ok
         };
 
+        // The 256-lane kernel on the same fast-draw discipline: four
+        // trial planes per word op instead of one. Same marginal
+        // distribution as `bitsliced_fast`, its own stream layout.
+        let fast256_ok = || -> u64 {
+            let mut rng = StdRng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 26));
+            let mut rem = cfg.mc_trials;
+            let mut ok = 0u64;
+            while rem > 0 {
+                let lanes = rem.min(256);
+                let block = BitTrialBlock256::draw_fast(&host, FAULT_P, lanes, &mut rng);
+                ok += u64::from(count_lanes_256(sliced.all_bundles_ge_256(&block, k_half)));
+                rem -= lanes;
+            }
+            ok
+        };
+
         let s_ok = scalar_ok();
         let b_ok = bitsliced_ok();
         assert_eq!(s_ok, b_ok, "bit-sliced structural MC diverged from scalar on n={n}");
         let f_ok = fast_ok();
+        let f256_ok = fast256_ok();
         records.push(PerfRecord {
             name: format!("mc/structural/scalar/n{n}"),
             counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), s_ok)],
@@ -582,6 +602,11 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
             name: format!("mc/structural/bitsliced_fast/n{n}"),
             counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), f_ok)],
             wall_ns: median_wall_ns(cfg.warmup, cfg.reps, fast_ok),
+        });
+        records.push(PerfRecord {
+            name: format!("mc/structural/bitsliced256/n{n}"),
+            counters: vec![("trials".into(), u64::from(cfg.mc_trials)), ("ok".into(), f256_ok)],
+            wall_ns: median_wall_ns(cfg.warmup, cfg.reps, fast256_ok),
         });
     }
 
@@ -617,6 +642,47 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
             wall_ns: median_wall_ns(cfg.warmup, cfg.reps, || {
                 ida.reconstruct_reference(subset).unwrap()
             }),
+        });
+    }
+
+    // --- GF(2^8) row primitives head to head: the plane-parallel xtime
+    // ladder (what `disperse`/`reconstruct` now run on) vs the hoisted
+    // product-table row op it replaced. Both closures accumulate into a
+    // persistent buffer — identical traffic, no per-rep allocation — and
+    // the checksum counters prove they computed the same bytes. The gate
+    // holds the ladder to ≥ 2x on the 64 KiB rows of the full preset. ---
+    {
+        let len = cfg.ida_message_len * 16;
+        let src: Vec<u8> = (0..len).map(|i| (i * 151 % 253) as u8).collect();
+        // Constants with mixed ladder depths (top set bit 2..=7).
+        let coeffs: [u8; 4] = [0x05, 0x1d, 0x53, 0xf3];
+        let mut plane_buf: Vec<u8> = (0..len).map(|i| (i * 97 % 251) as u8).collect();
+        let mut table_buf = plane_buf.clone();
+        let mut plane_run = || {
+            for &c in &coeffs {
+                kernel::mul_row_acc(&mut plane_buf, &src, c);
+            }
+        };
+        let mut table_run = || {
+            for &c in &coeffs {
+                kernel::mul_row_acc_table(&mut table_buf, &src, c);
+            }
+        };
+        let plane_ns = median_wall_ns(cfg.warmup, cfg.reps, &mut plane_run);
+        let table_ns = median_wall_ns(cfg.warmup, cfg.reps, &mut table_run);
+        // Equal rep counts on both sides, so the buffers went through the
+        // same XOR-accumulation history and must agree byte for byte.
+        assert_eq!(plane_buf, table_buf, "plane-parallel row op diverged from the table path");
+        let checksum: u64 = plane_buf.iter().map(|&b| u64::from(b)).sum();
+        records.push(PerfRecord {
+            name: format!("ida/rowops/plane/len{len}"),
+            counters: vec![("row_bytes".into(), len as u64), ("checksum".into(), checksum)],
+            wall_ns: plane_ns,
+        });
+        records.push(PerfRecord {
+            name: format!("ida/rowops/table/len{len}"),
+            counters: vec![("row_bytes".into(), len as u64), ("checksum".into(), checksum)],
+            wall_ns: table_ns,
         });
     }
 
@@ -740,8 +806,11 @@ mod tests {
             "mc/structural/scalar/",
             "mc/structural/bitsliced/",
             "mc/structural/bitsliced_fast/",
+            "mc/structural/bitsliced256/",
             "ida/disperse_reference/",
             "ida/reconstruct_reference/",
+            "ida/rowops/plane/",
+            "ida/rowops/table/",
             "scale/structural/implicit/",
             "tenants/engine/",
             "scale/tenants/ledger/",

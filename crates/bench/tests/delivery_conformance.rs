@@ -1,7 +1,8 @@
-//! Conformance: the *measured* delivery probability (shares actually
-//! routed as packets through the faulty simulated machine and
-//! IDA-reconstructed at the destination) against the *structural* estimate
-//! (counting fault-free paths per bundle).
+//! Conformance: the *delivery* probability (share-level outcomes graded
+//! per trial — since PR 8 by the 256-lane fail-stop recovery words, which
+//! `tests/fastpath_conformance.rs` pins lane-by-lane to the packet
+//! engine) against the *structural* estimate (counting fault-free paths
+//! per bundle).
 //!
 //! E12 evaluates both on the same fault draw per trial, which turns the
 //! usual "agree within Monte-Carlo noise" into exact identities:

@@ -1,0 +1,144 @@
+//! Conformance: the fail-stop fast path against the packet engine.
+//!
+//! [`deliver_phase_outcome`] / [`deliver_phase_plan_outcome`] grade static
+//! fail-stop phases in closed form from path survival, never constructing
+//! a `PacketSim`. These tests pin that shortcut to the engine three ways:
+//!
+//! * **property**: on random static fail-stop plans — every dimension
+//!   `6..=10`, both guest cycle theorems (Theorem 1 and both Theorem 2
+//!   variants), thresholds across the bundle width, retries on and off —
+//!   the fast-path [`DeliveryOutcome`] equals the engine-backed report's
+//!   [`outcome()`](hyperpath_sim::DeliveryReport::outcome) field for
+//!   field, in both the timeline and plan flavors;
+//! * **lane-by-lane**: the 256-lane recovery words
+//!   ([`SlicedPaths::all_bundles_recovered_256`]) that the E12 sweep
+//!   popcounts agree with a per-lane engine run on every one of 256
+//!   shared fault draws — the kernel, the closed form, and the machine
+//!   are one predicate;
+//! * **fallback**: non-static inputs route through the engine, so the
+//!   outcome entry points are total, not partial.
+//!
+//! [`deliver_phase_outcome`]: hyperpath_sim::delivery::deliver_phase_outcome
+//! [`deliver_phase_plan_outcome`]: hyperpath_sim::delivery::deliver_phase_plan_outcome
+//! [`DeliveryOutcome`]: hyperpath_sim::DeliveryOutcome
+//! [`SlicedPaths::all_bundles_recovered_256`]: hyperpath_sim::SlicedPaths::all_bundles_recovered_256
+
+use hyperpath_core::cycles::{theorem1, theorem2, Theorem2Variant};
+use hyperpath_embedding::MultiPathEmbedding;
+use hyperpath_sim::bitslice::{BitTrialBlock256, SlicedPaths};
+use hyperpath_sim::chaos::random_plan;
+use hyperpath_sim::delivery::{
+    deliver_phase_outcome, deliver_phase_plan_outcome, deliver_phase_plan_prepared,
+    deliver_phase_prepared, DeliveryConfig, PhaseSetup,
+};
+use hyperpath_sim::faults::{random_fault_set, FaultTimeline};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The guest roster the property sweeps: Theorem 1 always exists for
+/// `n ≥ 3`; the Theorem 2 variants exist only on their own dimension
+/// classes, so `None` simply skips the draw.
+fn embedding_for(n: u32, pick: usize) -> Option<MultiPathEmbedding> {
+    match pick {
+        0 => theorem1(n).ok().map(|r| r.embedding),
+        1 => theorem2(n, Theorem2Variant::Cost3).ok().map(|r| r.embedding),
+        _ => theorem2(n, Theorem2Variant::FullWidth).ok().map(|r| r.embedding),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_path_equals_engine_on_random_static_fail_stop_plans(
+        seed in any::<u64>(),
+        n in 6u32..=10,
+        pick in 0usize..3,
+        threshold in 1usize..=4,
+        retries in 0u32..=2,
+    ) {
+        let Some(e) = embedding_for(n, pick) else {
+            // This (n, theorem) pair does not exist; nothing to check.
+            return Ok(());
+        };
+        let cfg = DeliveryConfig { threshold, max_retries: retries, message_len: 24 };
+        let setup = PhaseSetup::new(&e, &cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plan = random_plan(&e.host, true, &mut rng);
+        prop_assert!(plan.is_static_fail_stop());
+
+        let fast = deliver_phase_plan_outcome(&setup, &plan);
+        let engine = deliver_phase_plan_prepared(&setup, &plan).outcome();
+        prop_assert_eq!(&fast, &engine, "plan flavor: n={} pick={}", n, pick);
+
+        // Same fault world through the timeline flavor.
+        let tl = FaultTimeline::from_set(plan.initial().clone());
+        let fast_tl = deliver_phase_outcome(&setup, &tl);
+        let engine_tl = deliver_phase_prepared(&setup, &tl).outcome();
+        prop_assert_eq!(&fast_tl, &engine_tl, "timeline flavor: n={} pick={}", n, pick);
+        // Fail-stop timelines and fail-stop plans are the same adversary.
+        prop_assert_eq!(&fast, &fast_tl);
+    }
+}
+
+#[test]
+fn recovered_words_match_engine_grades_lane_by_lane() {
+    // One 256-lane compat block = 256 shared fault draws. For every lane,
+    // threshold, and retry setting, the recovery word's bit must equal
+    // the packet engine's `all_delivered()` on that lane's scalar draw —
+    // the identity the E12 delivery columns rest on.
+    let t1 = theorem1(6).unwrap();
+    let host = t1.embedding.host;
+    let paths = SlicedPaths::new(&t1.embedding);
+    let w = t1.claimed_width;
+    let p = 0.06;
+    let seeds: Vec<u64> = (0..256u64).map(|i| 0xfa57_c0de ^ (i * 7919)).collect();
+    let mut lane_rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let block = BitTrialBlock256::draw_compat(&host, p, &mut lane_rngs);
+    for k in [1usize, w.div_ceil(2), w] {
+        for retries in [false, true] {
+            let word = paths.all_bundles_recovered_256(&block, k, retries);
+            let cfg = DeliveryConfig {
+                threshold: k,
+                max_retries: if retries { 2 } else { 0 },
+                message_len: 16,
+            };
+            let setup = PhaseSetup::new(&t1.embedding, &cfg);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tl = FaultTimeline::from_set(random_fault_set(&host, p, &mut rng));
+                let engine = deliver_phase_prepared(&setup, &tl);
+                let bit = (word[lane / 64] >> (lane % 64)) & 1 == 1;
+                assert_eq!(bit, engine.all_delivered(), "lane {lane} k={k} retries={retries}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_and_kernel_agree_with_engine_outcome_totals() {
+    // The three representations of one predicate, on one draw: scalar
+    // fast path, 256-lane kernel word, engine report.
+    let t1 = theorem1(8).unwrap();
+    let host = t1.embedding.host;
+    let paths = SlicedPaths::new(&t1.embedding);
+    let k = t1.claimed_width.div_ceil(2);
+    let cfg = DeliveryConfig { threshold: k, max_retries: 2, message_len: 16 };
+    let setup = PhaseSetup::new(&t1.embedding, &cfg);
+    let seeds: Vec<u64> = (0..64u64).map(|i| 0xbeef ^ (i << 40) ^ i).collect();
+    let mut lane_rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let block = BitTrialBlock256::draw_compat(&host, 0.08, &mut lane_rngs);
+    let word = paths.all_bundles_recovered_256(&block, k, true);
+    for (lane, &seed) in seeds.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tl = FaultTimeline::from_set(random_fault_set(&host, 0.08, &mut rng));
+        let fast = deliver_phase_outcome(&setup, &tl);
+        let engine = deliver_phase_prepared(&setup, &tl);
+        assert_eq!(fast, engine.outcome(), "lane {lane}");
+        let bit = (word[lane / 64] >> (lane % 64)) & 1 == 1;
+        assert_eq!(bit, fast.all_delivered(), "lane {lane}");
+        assert_eq!(fast.all_delivered(), engine.all_delivered(), "lane {lane}");
+    }
+}

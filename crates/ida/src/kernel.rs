@@ -7,11 +7,24 @@
 //! same linear combination of message planes — so this module provides
 //! the two primitives they reduce to:
 //!
-//! * [`mul_row_acc`]: `dst ^= c · src` over whole byte rows, driven by a
-//!   fully `const`-evaluated 256×256 product table ([`MUL_TABLE`]) — no
-//!   `OnceLock`, no runtime initialization, no drift from the log/exp
-//!   path (the exhaustive equality test below checks all 65 536 pairs
-//!   against an independent shift-and-reduce implementation);
+//! * [`mul_row_acc`]: `dst ^= c · src` over whole byte rows. The body is
+//!   **plane-parallel**: the product is built by the bit-sliced polynomial
+//!   ladder `c·v = Σ_{j: bit j of c} v·x^j`, selecting each `v·x^j` by a
+//!   broadcast mask of the coefficient bit and stopping at `c`'s top set
+//!   bit — so the trip count depends only on the (per-call constant)
+//!   coefficient, never on the row data. On x86-64 with AVX2 (detected at
+//!   runtime) the ladder runs 64 bytes per step across two interleaved
+//!   register chains; everywhere else a portable `[u64; 8]` SWAR body
+//!   with [`xtime8`] multiplying eight byte lanes by `x` per word op.
+//!   Either way large rows stream at word rates instead of one table
+//!   lookup per byte. Tails shorter than a chunk fall back to a hoisted
+//!   row of the fully `const`-evaluated 256×256 product table
+//!   ([`MUL_TABLE`] — no `OnceLock`, no runtime initialization, no drift
+//!   from the log/exp path; the exhaustive equality test below checks all
+//!   65 536 pairs against an independent shift-and-reduce
+//!   implementation);
+//! * [`mul_row_acc_table`]: the pre-ladder table-driven row op, kept as
+//!   the perf gate's speedup-floor comparator (`ida/rowops/*` records);
 //! * [`xor_row_acc`]: the `c == 1` fast path, eight bytes per `u64` XOR.
 //!
 //! The scalar codec stays available as [`Ida::disperse_reference`] /
@@ -86,12 +99,194 @@ pub fn xor_row_acc(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// Low-seven-bits mask of every byte lane of a word.
+const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+/// High-bit mask of every byte lane of a word.
+const HI1: u64 = 0x8080_8080_8080_8080;
+
+/// Eight parallel `GF(2^8)` multiplications by `x`, one per byte lane:
+/// shift each lane left and reduce the lanes that overflowed by the AES
+/// polynomial's low byte `0x1b`. Extracting the high bits before the
+/// shift keeps the lanes independent — no carry ever crosses a byte
+/// boundary (`(hi >> 7) * 0x1b` scatters `0x1b` into exactly the
+/// overflowing lanes, and `0x1b < 0x80` cannot collide with a neighbor).
+#[inline(always)]
+fn xtime8(w: u64) -> u64 {
+    ((w & LO7) << 1) ^ ((w & HI1) >> 7).wrapping_mul(0x1b)
+}
+
+/// The 256-bit lane of the plane-parallel ladder: AVX2 intrinsics with
+/// runtime feature detection, so the default (SSE2-baseline) build still
+/// streams 32 bytes per ladder step on any post-2013 x86-64. The portable
+/// SWAR body in [`mul_row_acc`] is the fallback and the semantic
+/// reference — both compute `c·v = Σ_j select[j] & v·x^j` with the same
+/// branch-free select-and-accumulate rounds.
+#[cfg(target_arch = "x86_64")]
+mod ladder_avx2 {
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// `dst ^= c·src` over whole 32-byte blocks, with the coefficient
+    /// pre-expanded into broadcast bit masks (`select[j]` = all-ones iff
+    /// bit `j` of `c`) and the ladder depth `rounds` (index of `c`'s top
+    /// set bit, plus one) precomputed — the trip count depends only on
+    /// the coefficient, never on the data.
+    ///
+    /// # Safety
+    /// Requires AVX2 (callers gate on `is_x86_feature_detected!`), and
+    /// `dst.len() == src.len()` with the length a multiple of 32.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_row_acc_blocks(dst: &mut [u8], src: &[u8], select: &[u64; 8], rounds: usize) {
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len() % 32, 0);
+        debug_assert!((1..=8).contains(&rounds));
+        let lo7 = _mm256_set1_epi8(0x7f);
+        let hi1 = _mm256_set1_epi8(0x80u8 as i8);
+        let red = _mm256_set1_epi8(0x1b);
+        let masks: [__m256i; 8] = core::array::from_fn(|j| _mm256_set1_epi64x(select[j] as i64));
+        // xtime on 32 byte lanes: shift the low seven bits, scatter the
+        // AES reduction byte into the lanes whose high bit overflowed
+        // (byte-compare, no multiply).
+        let xtime = |pow: __m256i| -> __m256i {
+            // SAFETY: same AVX2 requirement as the enclosing function.
+            // (Newer toolchains let the closure inherit the target
+            // feature and deem the block redundant; older ones need it.)
+            #[allow(unused_unsafe)]
+            unsafe {
+                let over = _mm256_cmpeq_epi8(_mm256_and_si256(pow, hi1), hi1);
+                _mm256_xor_si256(
+                    _mm256_slli_epi64(_mm256_and_si256(pow, lo7), 1),
+                    _mm256_and_si256(over, red),
+                )
+            }
+        };
+        // Two independent acc/pow chains per iteration: the seven-step
+        // xtime ladder is a serial dependency, so interleaving a second
+        // chain roughly doubles throughput.
+        let pairs = dst.len() / 64;
+        for i in 0..pairs {
+            let dp = dst.as_mut_ptr().add(i * 64) as *mut __m256i;
+            let sp = src.as_ptr().add(i * 64) as *const __m256i;
+            let mut acc0 = _mm256_loadu_si256(dp);
+            let mut acc1 = _mm256_loadu_si256(dp.add(1));
+            let mut pow0 = _mm256_loadu_si256(sp);
+            let mut pow1 = _mm256_loadu_si256(sp.add(1));
+            for (j, mask) in masks.iter().enumerate().take(rounds) {
+                acc0 = _mm256_xor_si256(acc0, _mm256_and_si256(pow0, *mask));
+                acc1 = _mm256_xor_si256(acc1, _mm256_and_si256(pow1, *mask));
+                if j + 1 < rounds {
+                    pow0 = xtime(pow0);
+                    pow1 = xtime(pow1);
+                }
+            }
+            _mm256_storeu_si256(dp, acc0);
+            _mm256_storeu_si256(dp.add(1), acc1);
+        }
+        for i in pairs * 2..dst.len() / 32 {
+            let dp = dst.as_mut_ptr().add(i * 32) as *mut __m256i;
+            let sp = src.as_ptr().add(i * 32) as *const __m256i;
+            let mut acc = _mm256_loadu_si256(dp);
+            let mut pow = _mm256_loadu_si256(sp);
+            for (j, mask) in masks.iter().enumerate().take(rounds) {
+                acc = _mm256_xor_si256(acc, _mm256_and_si256(pow, *mask));
+                if j + 1 < rounds {
+                    pow = xtime(pow);
+                }
+            }
+            _mm256_storeu_si256(dp, acc);
+        }
+    }
+}
+
 /// `dst ^= c · src` over `GF(2^8)`: skipped for `c == 0`, word-level XOR
-/// for `c == 1`, and a single hoisted [`MUL_TABLE`] row otherwise.
+/// for `c == 1`, and the plane-parallel polynomial ladder otherwise —
+/// select-and-accumulate rounds up to the coefficient's top set bit over
+/// wide chunks (AVX2 when the CPU has it, detected at runtime; portable
+/// `[u64; 8]` SWAR with [`xtime8`] everywhere else), with sub-chunk tails
+/// falling back to a hoisted [`MUL_TABLE`] row. Byte-identical to
+/// [`mul_row_acc_table`] — GF(2^8) has one product — only faster; the
+/// perf gate's `ida/rowops/*` floor holds the ladder to ≥ 2x the table
+/// path on 64 KiB rows.
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn mul_row_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => {}
+        1 => xor_row_acc(dst, src),
+        _ => {
+            assert_eq!(dst.len(), src.len(), "row length mismatch");
+            // Broadcast masks of the coefficient bits, hoisted out of the
+            // chunk loop: `select[j]` keeps `src·x^j` iff bit `j` of `c`
+            // is set. Selecting by mask instead of branching keeps the
+            // ladder's inner structure branch-free; the trip count stops
+            // at the coefficient's top set bit, which depends only on `c`
+            // (a per-call constant), never on the row data.
+            let mut select = [0u64; 8];
+            for (j, m) in select.iter_mut().enumerate() {
+                *m = 0u64.wrapping_sub(u64::from((c >> j) & 1));
+            }
+            let rounds = 8 - c.leading_zeros() as usize;
+            let row = &MUL_TABLE[c as usize];
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx2") {
+                let split = dst.len() - dst.len() % 32;
+                // SAFETY: AVX2 just detected; the slices are equal-length
+                // multiples of 32 by construction of `split`.
+                unsafe {
+                    ladder_avx2::mul_row_acc_blocks(
+                        &mut dst[..split],
+                        &src[..split],
+                        &select,
+                        rounds,
+                    );
+                }
+                for (db, &sb) in dst[split..].iter_mut().zip(&src[split..]) {
+                    *db ^= row[sb as usize];
+                }
+                return;
+            }
+            let mut d = dst.chunks_exact_mut(64);
+            let mut s = src.chunks_exact(64);
+            for (dw, sw) in (&mut d).zip(&mut s) {
+                let mut acc = [0u64; 8];
+                let mut pow = [0u64; 8];
+                for l in 0..8 {
+                    acc[l] = u64::from_le_bytes(dw[l * 8..l * 8 + 8].try_into().unwrap());
+                    pow[l] = u64::from_le_bytes(sw[l * 8..l * 8 + 8].try_into().unwrap());
+                }
+                // `c·v = Σ_j select[j] & v·x^j` — one round per ladder
+                // step up to the coefficient's top bit (the final round
+                // needs no further xtime).
+                for (j, &sel) in select.iter().enumerate().take(rounds) {
+                    for l in 0..8 {
+                        acc[l] ^= pow[l] & sel;
+                    }
+                    if j + 1 < rounds {
+                        for p in &mut pow {
+                            *p = xtime8(*p);
+                        }
+                    }
+                }
+                for l in 0..8 {
+                    dw[l * 8..l * 8 + 8].copy_from_slice(&acc[l].to_le_bytes());
+                }
+            }
+            for (db, &sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+                *db ^= row[sb as usize];
+            }
+        }
+    }
+}
+
+/// The table-driven `dst ^= c · src` the plane-parallel ladder replaced:
+/// one hoisted [`MUL_TABLE`] row, one lookup-XOR per byte. Kept public as
+/// the speedup-floor comparator (`ida/rowops/table/*` perf records) and
+/// as the sub-chunk tail of [`mul_row_acc`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mul_row_acc_table(dst: &mut [u8], src: &[u8], c: u8) {
     match c {
         0 => {}
         1 => xor_row_acc(dst, src),
@@ -158,9 +353,9 @@ mod tests {
 
     #[test]
     fn row_ops_match_bytewise_math() {
-        // Lengths straddling the 8-byte word boundary exercise both the
-        // u64 body and the remainder tail.
-        for len in [0usize, 1, 7, 8, 9, 16, 37] {
+        // Lengths straddling the chunk boundaries exercise the wide
+        // ladder body, the word XOR, and the remainder tail.
+        for len in [0usize, 1, 7, 8, 9, 16, 31, 32, 33, 37, 64, 95] {
             let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
             for c in [0u8, 1, 2, 0x53, 0xff] {
                 let mut dst: Vec<u8> = (0..len).map(|i| (i * 5 + 3) as u8).collect();
@@ -168,6 +363,32 @@ mod tests {
                 mul_row_acc(&mut dst, &src, c);
                 assert_eq!(dst, expect, "len={len} c={c:#x}");
             }
+        }
+    }
+
+    #[test]
+    fn xtime8_multiplies_every_lane_by_x() {
+        for b in 0..=255u8 {
+            let w = u64::from_le_bytes([b, b ^ 0x5a, 0, 1, 0x80, 0x7f, b.wrapping_add(1), 0xff]);
+            let got = xtime8(w).to_le_bytes();
+            for (lane, &x) in w.to_le_bytes().iter().enumerate() {
+                assert_eq!(got[lane], mul(x, 2), "lane {lane} of xtime8({x:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_matches_table_row_op_for_every_constant() {
+        // 100 bytes = three 32-byte blocks plus a 4-byte tail; every
+        // constant exercises a different ladder depth/bit pattern.
+        let src: Vec<u8> = (0..100).map(|i| (i * 73 + 29) as u8).collect();
+        let base: Vec<u8> = (0..100).map(|i| (i * 17 + 5) as u8).collect();
+        for c in 0..=255u8 {
+            let mut plane = base.clone();
+            let mut table = base.clone();
+            mul_row_acc(&mut plane, &src, c);
+            mul_row_acc_table(&mut table, &src, c);
+            assert_eq!(plane, table, "ladder vs table at c={c:#x}");
         }
     }
 

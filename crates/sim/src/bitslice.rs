@@ -55,6 +55,25 @@
 //! count. [`BitTrialBlock::draw_indexed`] materializes the same trials
 //! into an ordinary block, which is what lets the equality suite pin
 //! streaming-vs-in-memory identity wherever the dense path still runs.
+//!
+//! # 256 lanes
+//!
+//! Every layer above also comes in a four-group [`W256`] width:
+//! [`BitTrialBlock256`] packs 256 trials per link (group `g` of each
+//! word is bit-for-bit a 64-lane block over lanes `64g..64g+64`),
+//! [`IndexedTrials256`] streams four seeded groups side by side,
+//! [`SlicedPaths::bundle_ge_256`] ripples all four groups through the
+//! survivor counters per pass, and [`stream_bundles_ge_into_256`] /
+//! [`streamed_all_bundles_ge_256`] widen the zero-allocation fold. The
+//! wider words amortize per-path loop control over 4x the trials and
+//! vectorize cleanly; the `wide-simd` cargo feature (nightly) issues the
+//! lane ops through `std::simd::u64x4` with byte-identical results —
+//! [`kernel_feature_path`] names the active path so artifacts can record
+//! which kernel produced them. The fail-stop delivery fast path
+//! ([`SlicedPaths::all_bundles_recovered_256`]) grades "message
+//! recovered" for 256 static-fault trials per pass without touching the
+//! packet engine; `crates/bench/tests/fastpath_conformance.rs` pins it
+//! against engine-backed reports.
 
 use crate::faults::FaultSet;
 use hyperpath_embedding::{HostPath, MultiPathEmbedding};
@@ -697,6 +716,584 @@ pub fn delivery_probability_bitsliced(
     f64::from(ok) / f64::from(trials)
 }
 
+// ---------------------------------------------------------------------------
+// 256-lane blocks: four 64-lane groups per link word.
+// ---------------------------------------------------------------------------
+
+/// A 256-lane kernel word: group `g` holds lanes `64g .. 64g + 64`, so
+/// `w[lane / 64] >> (lane % 64) & 1` is lane `lane`'s bit. Always
+/// available as a plain `[u64; 4]`; the `wide-simd` cargo feature routes
+/// the lane arithmetic through `std::simd::u64x4` instead (nightly only,
+/// byte-identical — see [`kernel_feature_path`]).
+pub type W256 = [u64; 4];
+
+/// Which implementation computes the [`W256`] lane ops in this build:
+/// `"simd"` when the `wide-simd` feature routes them through
+/// `std::simd::u64x4`, `"portable"` otherwise. The two paths compute the
+/// same function word for word, so artifacts must not differ — sweep and
+/// chaos JSON headers embed this tag precisely so that a cross-machine
+/// `cmp` failure can name the kernel paths involved.
+pub fn kernel_feature_path() -> &'static str {
+    if cfg!(feature = "wide-simd") {
+        "simd"
+    } else {
+        "portable"
+    }
+}
+
+/// The [`W256`] lane ops, each written twice: a portable scalar form and
+/// a `std::simd::u64x4` form selected by the `wide-simd` feature. Both
+/// compute identical words; the feature only changes instruction issue.
+mod w256 {
+    use super::W256;
+
+    /// All-zero word.
+    pub const ZERO: W256 = [0; 4];
+
+    #[inline(always)]
+    pub fn splat(x: u64) -> W256 {
+        [x; 4]
+    }
+
+    #[inline(always)]
+    pub fn is_zero(a: W256) -> bool {
+        a == ZERO
+    }
+
+    #[inline(always)]
+    pub fn count_ones(a: W256) -> u32 {
+        a.iter().map(|w| w.count_ones()).sum()
+    }
+
+    #[cfg(feature = "wide-simd")]
+    mod ops {
+        use super::W256;
+        use std::simd::u64x4;
+
+        #[inline(always)]
+        pub fn and(a: W256, b: W256) -> W256 {
+            (u64x4::from_array(a) & u64x4::from_array(b)).to_array()
+        }
+
+        #[inline(always)]
+        pub fn or(a: W256, b: W256) -> W256 {
+            (u64x4::from_array(a) | u64x4::from_array(b)).to_array()
+        }
+
+        #[inline(always)]
+        pub fn xor(a: W256, b: W256) -> W256 {
+            (u64x4::from_array(a) ^ u64x4::from_array(b)).to_array()
+        }
+
+        /// `a & !b`.
+        #[inline(always)]
+        pub fn andnot(a: W256, b: W256) -> W256 {
+            (u64x4::from_array(a) & !u64x4::from_array(b)).to_array()
+        }
+    }
+
+    #[cfg(not(feature = "wide-simd"))]
+    mod ops {
+        use super::W256;
+
+        #[inline(always)]
+        pub fn and(a: W256, b: W256) -> W256 {
+            [a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]]
+        }
+
+        #[inline(always)]
+        pub fn or(a: W256, b: W256) -> W256 {
+            [a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]]
+        }
+
+        #[inline(always)]
+        pub fn xor(a: W256, b: W256) -> W256 {
+            [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]
+        }
+
+        /// `a & !b`.
+        #[inline(always)]
+        pub fn andnot(a: W256, b: W256) -> W256 {
+            [a[0] & !b[0], a[1] & !b[1], a[2] & !b[2], a[3] & !b[3]]
+        }
+    }
+
+    pub use ops::{and, andnot, or, xor};
+}
+
+/// Mask with the low `lanes` bits set across the four lane groups.
+#[inline]
+fn lane_mask256(lanes: u32) -> W256 {
+    let mut m = [0u64; 4];
+    for (g, w) in m.iter_mut().enumerate() {
+        let lo = g as u32 * 64;
+        *w = if lanes >= lo + 64 {
+            !0
+        } else if lanes > lo {
+            (1u64 << (lanes - lo)) - 1
+        } else {
+            0
+        };
+    }
+    m
+}
+
+/// Up to 256 independent fail-stop fault trials, bit-packed per link —
+/// the four-group widening of [`BitTrialBlock`]. Same canonical-slot
+/// layout, same lane conventions (bits at and above [`Self::lanes`] are
+/// zero everywhere); group `g` of every word behaves exactly like a
+/// 64-lane block over lanes `64g..64g+64`, which is what the equality
+/// suite pins.
+#[derive(Debug, Clone)]
+pub struct BitTrialBlock256 {
+    host: Hypercube,
+    /// Per-directed-edge-index alive words (canonical slots only).
+    words: Vec<W256>,
+    lanes: u32,
+}
+
+impl BitTrialBlock256 {
+    /// Number of packed trials (1..=256).
+    #[inline]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Mask with one bit set per live lane.
+    #[inline]
+    pub fn live_mask(&self) -> W256 {
+        lane_mask256(self.lanes)
+    }
+
+    /// The host cube the block was drawn over.
+    #[inline]
+    pub fn host(&self) -> &Hypercube {
+        &self.host
+    }
+
+    /// Alive word of the undirected link carrying the directed edge with
+    /// the given [`Hypercube::dir_edge_index`].
+    #[inline]
+    pub fn link_alive_word(&self, dir_edge_index: usize) -> W256 {
+        let e = self.host.dir_edge_from_index(dir_edge_index);
+        self.words[self.host.undirected_edge_index(e)]
+    }
+
+    /// Draws one block with **per-lane RNG streams**, consuming each
+    /// lane's RNG exactly as [`random_fault_set`](crate::faults::random_fault_set) would — lane `t` of
+    /// the block equals `random_fault_set(host, p, &mut lane_rngs[t])`
+    /// bit for bit, and group `g` equals a 64-lane
+    /// [`BitTrialBlock::draw_compat`] over `lane_rngs[64g..]`'s chunk.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lane_rngs.len() <= 256`.
+    pub fn draw_compat<R: Rng>(host: &Hypercube, p: f64, lane_rngs: &mut [R]) -> Self {
+        let lanes = u32::try_from(lane_rngs.len()).expect("lane count fits u32");
+        assert!((1..=256).contains(&lanes), "need 1..=256 lanes, got {lanes}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let mut words = vec![w256::ZERO; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let mut alive = w256::ZERO;
+            for (t, rng) in lane_rngs.iter_mut().enumerate() {
+                // Failure draw first so every lane consumes one word per
+                // link, exactly like the scalar loop.
+                if !rng.random_bool(p) {
+                    alive[t / 64] |= 1u64 << (t % 64);
+                }
+            }
+            words[host.dir_edge_index(e)] = alive;
+        }
+        BitTrialBlock256 { host: *host, words, lanes }
+    }
+
+    /// Draws one block from a **single RNG stream** with the same
+    /// per-link marginal fail probability as `random_bool(p)`; the
+    /// 256-lane analog of [`BitTrialBlock::draw_fast`] (four stream words
+    /// per comparison plane, groups in ascending order). Deterministic
+    /// for a given RNG state, but *not* lane-extractable into scalar
+    /// draws, and a *different* stream layout than four 64-lane fast
+    /// draws would consume.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lanes <= 256`.
+    pub fn draw_fast<R: Rng>(host: &Hypercube, p: f64, lanes: u32, rng: &mut R) -> Self {
+        assert!((1..=256).contains(&lanes), "need 1..=256 lanes, got {lanes}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let full = lane_mask256(lanes);
+        let mut words = vec![w256::ZERO; host.num_directed_edges() as usize];
+        let threshold = (p * (1u64 << 53) as f64).ceil() as u64;
+        if threshold == 0 {
+            for e in host.undirected_edges() {
+                words[host.dir_edge_index(e)] = full;
+            }
+            return BitTrialBlock256 { host: *host, words, lanes };
+        }
+        if threshold >= 1u64 << 53 {
+            return BitTrialBlock256 { host: *host, words, lanes };
+        }
+        for e in host.undirected_edges() {
+            // Bit-sliced lexicographic `v < threshold`, MSB first, over
+            // all four lane groups at once; see the 64-lane draw for the
+            // per-plane bookkeeping.
+            let mut less = w256::ZERO;
+            let mut undecided = full;
+            for b in (0..53).rev() {
+                let v_bits = [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()];
+                if (threshold >> b) & 1 == 1 {
+                    less = w256::or(less, w256::andnot(undecided, v_bits));
+                    undecided = w256::and(undecided, v_bits);
+                } else {
+                    undecided = w256::andnot(undecided, v_bits);
+                }
+                if w256::is_zero(undecided) {
+                    break;
+                }
+            }
+            words[host.dir_edge_index(e)] = w256::andnot(full, less);
+        }
+        BitTrialBlock256 { host: *host, words, lanes }
+    }
+
+    /// Packs existing scalar fault sets into a block (lane `t` ← set `t`).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= sets.len() <= 256`.
+    pub fn from_fault_sets(host: &Hypercube, sets: &[FaultSet]) -> Self {
+        let lanes = u32::try_from(sets.len()).expect("lane count fits u32");
+        assert!((1..=256).contains(&lanes), "need 1..=256 lanes, got {lanes}");
+        let mut words = vec![w256::ZERO; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            let mut alive = w256::ZERO;
+            for (t, set) in sets.iter().enumerate() {
+                if !set.is_failed_index(i) {
+                    alive[t / 64] |= 1u64 << (t % 64);
+                }
+            }
+            words[i] = alive;
+        }
+        BitTrialBlock256 { host: *host, words, lanes }
+    }
+
+    /// Extracts lane `t` as a scalar [`FaultSet`]; byte-identical to the
+    /// scalar draw for a [`Self::draw_compat`] block.
+    ///
+    /// # Panics
+    /// Panics if `lane >= self.lanes()`.
+    pub fn lane_fault_set(&self, lane: u32) -> FaultSet {
+        assert!(lane < self.lanes, "lane {lane} out of range ({} lanes)", self.lanes);
+        let mut fs = FaultSet::none(&self.host);
+        for e in self.host.undirected_edges() {
+            let w = self.words[self.host.dir_edge_index(e)];
+            if w[(lane / 64) as usize] & (1u64 << (lane % 64)) == 0 {
+                fs.fail_link(&self.host, e);
+            }
+        }
+        fs
+    }
+
+    /// Lanes (as a bitmask) in which every link of `path` is alive; an
+    /// empty path is alive in every live lane.
+    pub fn path_alive(&self, path: &HostPath) -> W256 {
+        let mut alive = self.live_mask();
+        for e in path.edges() {
+            alive = w256::and(alive, self.words[self.host.undirected_edge_index(e)]);
+            if w256::is_zero(alive) {
+                break;
+            }
+        }
+        alive
+    }
+
+    /// Materializes an [`IndexedTrials256`] block into a dense per-link
+    /// array: `link_alive_word(i) == trials.link_word(i)` for every
+    /// canonical link index.
+    pub fn draw_indexed(host: &Hypercube, trials: &IndexedTrials256) -> Self {
+        let mut words = vec![w256::ZERO; host.num_directed_edges() as usize];
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            words[i] = trials.link_word(i as u64);
+        }
+        BitTrialBlock256 { host: *host, words, lanes: trials.lanes() }
+    }
+}
+
+/// A 256-lane streaming trial block: four independent [`IndexedTrials`]
+/// groups queried side by side, so any link's [`W256`] alive word is a
+/// pure function of `(seeds, link_index)`. Group `g` reproduces
+/// `IndexedTrials::new(seeds[g], p, 64)` word for word (masked by the
+/// live lanes), which is what lets million-node sweeps chunk their serial
+/// seed lists by four without changing a single drawn bit.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedTrials256 {
+    groups: [IndexedTrials; 4],
+    lanes: u32,
+}
+
+impl IndexedTrials256 {
+    /// Defines a 256-lane trial block from four group seeds and a
+    /// per-link fail probability (same NaN/clamp normalization as the
+    /// other draws).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lanes <= 256`.
+    pub fn new(seeds: [u64; 4], p: f64, lanes: u32) -> Self {
+        assert!((1..=256).contains(&lanes), "need 1..=256 lanes, got {lanes}");
+        IndexedTrials256 { groups: seeds.map(|s| IndexedTrials::new(s, p, 64)), lanes }
+    }
+
+    /// Number of packed trials (1..=256).
+    #[inline]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Mask with one bit set per live lane.
+    #[inline]
+    pub fn live_mask(&self) -> W256 {
+        lane_mask256(self.lanes)
+    }
+
+    /// Alive word of the link with the given dense undirected index; bit
+    /// `t` of group `t / 64` set ⇔ the link is up in trial `t`.
+    #[inline]
+    pub fn link_word(&self, link: u64) -> W256 {
+        let m = lane_mask256(self.lanes);
+        let mut w = w256::ZERO;
+        for g in 0..4 {
+            if m[g] != 0 {
+                w[g] = self.groups[g].link_word(link) & m[g];
+            }
+        }
+        w
+    }
+}
+
+impl SlicedPaths {
+    /// Lanes in which at least `k` paths of bundle `bundle` are alive —
+    /// the [`W256`] widening of [`Self::bundle_ge`], four lane groups per
+    /// ripple-carry pass.
+    pub fn bundle_ge_256(&self, block: &BitTrialBlock256, bundle: usize, k: usize) -> W256 {
+        let full = block.live_mask();
+        let paths = &self.bundles[bundle];
+        if k == 0 {
+            return full;
+        }
+        if k > paths.len() {
+            return w256::ZERO;
+        }
+        if k == 1 {
+            let mut any = w256::ZERO;
+            for links in paths {
+                any = w256::or(any, path_word_256(block, links, full));
+                if any == full {
+                    break;
+                }
+            }
+            return any;
+        }
+        let mut cnt = [w256::ZERO; 8];
+        for links in paths {
+            let mut carry = path_word_256(block, links, full);
+            for plane in cnt.iter_mut() {
+                if w256::is_zero(carry) {
+                    break;
+                }
+                let overflow = w256::and(*plane, carry);
+                *plane = w256::xor(*plane, carry);
+                carry = overflow;
+            }
+        }
+        count_ge_256(&cnt, k, full)
+    }
+
+    /// Lanes in which **every** bundle keeps at least `k` alive paths —
+    /// the [`W256`] widening of [`Self::all_bundles_ge`].
+    pub fn all_bundles_ge_256(&self, block: &BitTrialBlock256, k: usize) -> W256 {
+        let mut acc = block.live_mask();
+        for bundle in 0..self.bundles.len() {
+            if w256::is_zero(acc) {
+                break;
+            }
+            acc = w256::and(acc, self.bundle_ge_256(block, bundle, k));
+        }
+        acc
+    }
+
+    /// Lanes in which at least one **non-empty** path of bundle `bundle`
+    /// is fully alive — the lanes where a retry round has a fault-free
+    /// path to re-send dead shares over. Empty paths are excluded
+    /// because a zero-length path delivers its own share for free but
+    /// cannot carry another share across the machine (the engine's
+    /// retry planner filters them identically).
+    pub fn bundle_survivors_256(&self, block: &BitTrialBlock256, bundle: usize) -> W256 {
+        let full = block.live_mask();
+        let mut any = w256::ZERO;
+        for links in &self.bundles[bundle] {
+            if links.is_empty() {
+                continue;
+            }
+            any = w256::or(any, path_word_256(block, links, full));
+            if any == full {
+                break;
+            }
+        }
+        any
+    }
+
+    /// Lanes in which every guest edge's message is **recovered** by the
+    /// fail-stop delivery fast path at reconstruction threshold `k`
+    /// (clamped per bundle into `1..=w`, exactly as
+    /// [`DeliveryConfig`](crate::delivery::DeliveryConfig) clamps it):
+    /// the threshold is met by first-round arrivals, or — when `retries`
+    /// — at least one non-empty path survives to carry the re-sent
+    /// shares, after which all `w` shares are present and `w >= k`. This
+    /// is [`deliver_phase_outcome`](crate::delivery::deliver_phase_outcome)'s
+    /// `all_delivered()` evaluated 256 trials per pass; the per-report
+    /// byte-conformance against the engine is pinned by the fast-path
+    /// conformance suite in the bench crate.
+    pub fn all_bundles_recovered_256(
+        &self,
+        block: &BitTrialBlock256,
+        k: usize,
+        retries: bool,
+    ) -> W256 {
+        let mut acc = block.live_mask();
+        for (bundle, paths) in self.bundles.iter().enumerate() {
+            if w256::is_zero(acc) {
+                break;
+            }
+            let k_eff = k.clamp(1, paths.len());
+            let mut ok = self.bundle_ge_256(block, bundle, k_eff);
+            if retries && ok != block.live_mask() {
+                ok = w256::or(ok, self.bundle_survivors_256(block, bundle));
+            }
+            acc = w256::and(acc, ok);
+        }
+        acc
+    }
+}
+
+/// AND-reduction of a path's link words (alive lanes), with early exit.
+#[inline]
+fn path_word_256(block: &BitTrialBlock256, links: &[u32], full: W256) -> W256 {
+    let mut alive = full;
+    for &i in links {
+        alive = w256::and(alive, block.words[i as usize]);
+        if w256::is_zero(alive) {
+            break;
+        }
+    }
+    alive
+}
+
+/// `count >= k` from 8 ripple-carry planes of [`W256`] survivor counts
+/// (carry-out of adding the constant `256 - k`).
+#[inline]
+fn count_ge_256(cnt: &[W256; 8], k: usize, full: W256) -> W256 {
+    let m = 256 - k as u64;
+    let mut carry = w256::ZERO;
+    for (b, plane) in cnt.iter().enumerate() {
+        let m_bit = if (m >> b) & 1 == 1 { w256::splat(!0) } else { w256::ZERO };
+        carry = w256::or(w256::and(*plane, m_bit), w256::and(carry, w256::xor(*plane, m_bit)));
+    }
+    w256::and(carry, full)
+}
+
+/// Folds "every bundle in `bundles` keeps ≥ `ks[j]` alive paths" into
+/// `acc[j]` — the [`W256`] widening of [`stream_bundles_ge_into`], still
+/// zero-allocation and order-independent over disjoint ranges.
+pub fn stream_bundles_ge_into_256(
+    src: &(impl BundleSource + ?Sized),
+    trials: &IndexedTrials256,
+    ks: &[usize],
+    bundles: std::ops::Range<u64>,
+    acc: &mut [W256],
+) {
+    assert_eq!(ks.len(), acc.len(), "one accumulator word per threshold");
+    let full = trials.live_mask();
+    for b in bundles {
+        if acc.iter().all(|&w| w256::is_zero(w)) {
+            return;
+        }
+        let mut cnt = [w256::ZERO; 8];
+        let mut n_paths = 0usize;
+        src.for_each_path(b, &mut |links| {
+            n_paths += 1;
+            let mut alive = full;
+            for &l in links {
+                alive = w256::and(alive, trials.link_word(l));
+                if w256::is_zero(alive) {
+                    break;
+                }
+            }
+            let mut carry = alive;
+            for plane in cnt.iter_mut() {
+                if w256::is_zero(carry) {
+                    break;
+                }
+                let overflow = w256::and(*plane, carry);
+                *plane = w256::xor(*plane, carry);
+                carry = overflow;
+            }
+        });
+        debug_assert!(n_paths < 256, "bundle too wide for 8-bit survivor counters");
+        for (a, &k) in acc.iter_mut().zip(ks) {
+            *a = w256::and(*a, streamed_count_ge_256(&cnt, k, n_paths, full));
+        }
+    }
+}
+
+/// `count >= k` from the shared survivor planes, mirroring
+/// [`streamed_count_ge`]'s edge cases at 256 lanes.
+#[inline]
+fn streamed_count_ge_256(cnt: &[W256; 8], k: usize, n_paths: usize, full: W256) -> W256 {
+    if k == 0 {
+        return full;
+    }
+    if k > n_paths {
+        return w256::ZERO;
+    }
+    count_ge_256(cnt, k, full)
+}
+
+/// Lanes in which **every** bundle of `src` keeps at least `ks[j]` alive
+/// paths, per threshold — the [`W256`] widening of
+/// [`streamed_all_bundles_ge`], same rayon chunking, same commutative
+/// AND fold, byte-identical at any thread count.
+pub fn streamed_all_bundles_ge_256(
+    src: &(impl BundleSource + Sync),
+    trials: &IndexedTrials256,
+    ks: &[usize],
+) -> Vec<W256> {
+    use rayon::prelude::*;
+    const CHUNK: u64 = 1 << 13;
+    let total = src.num_bundles();
+    let per_chunk: Vec<Vec<W256>> = (0..total.div_ceil(CHUNK) as usize)
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci as u64 * CHUNK;
+            let mut acc = vec![trials.live_mask(); ks.len()];
+            stream_bundles_ge_into_256(src, trials, ks, lo..(lo + CHUNK).min(total), &mut acc);
+            acc
+        })
+        .collect();
+    let mut out = vec![trials.live_mask(); ks.len()];
+    for acc in per_chunk {
+        for (x, y) in out.iter_mut().zip(&acc) {
+            *x = w256::and(*x, *y);
+        }
+    }
+    out
+}
+
+/// Total alive-lane count of a [`W256`] word — the 256-lane popcount
+/// sweeps fold into their success tallies.
+#[inline]
+pub fn count_lanes_256(w: W256) -> u32 {
+    w256::count_ones(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,5 +1534,203 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Draws a 256-lane compat block and the four 64-lane group blocks
+    /// from the same seed list (must have 1..=256 entries).
+    fn compat_block_and_groups(
+        host: &Hypercube,
+        p: f64,
+        seeds: &[u64],
+    ) -> (BitTrialBlock256, Vec<BitTrialBlock>) {
+        let mut wide_rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        let wide = BitTrialBlock256::draw_compat(host, p, &mut wide_rngs);
+        let groups = seeds
+            .chunks(64)
+            .map(|chunk| {
+                let mut rngs: Vec<StdRng> =
+                    chunk.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+                BitTrialBlock::draw_compat(host, p, &mut rngs)
+            })
+            .collect();
+        (wide, groups)
+    }
+
+    #[test]
+    fn compat_256_groups_match_64_lane_blocks_and_scalar_draws() {
+        let host = Hypercube::new(5);
+        for (p, seed_base) in [(0.02, 100u64), (0.3, 200), (0.0, 300)] {
+            let seeds: Vec<u64> = (0..256).map(|t| seed_base + t).collect();
+            let (wide, groups) = compat_block_and_groups(&host, p, &seeds);
+            assert_eq!(wide.lanes(), 256);
+            assert_eq!(wide.live_mask(), [!0u64; 4]);
+            for e in host.undirected_edges() {
+                let i = host.dir_edge_index(e);
+                let w = wide.link_alive_word(i);
+                for (g, gb) in groups.iter().enumerate() {
+                    assert_eq!(w[g], gb.link_alive_word(i), "p={p} link {i} group {g}");
+                }
+            }
+            // Spot-check lane extraction against the scalar draw across
+            // all four groups.
+            for lane in [0u32, 63, 64, 150, 255] {
+                let mut rng = StdRng::seed_from_u64(seeds[lane as usize]);
+                let scalar = random_fault_set(&host, p, &mut rng);
+                assert_eq!(wide.lane_fault_set(lane), scalar, "p={p} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_ops_256_match_groupwise_64_lane_ops() {
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let sliced = SlicedPaths::new(&t1.embedding);
+        let seeds: Vec<u64> = (0..256).map(|t| 5000 + t).collect();
+        let (wide, groups) = compat_block_and_groups(&host, 0.12, &seeds);
+        for k in 0..=5 {
+            for b in 0..sliced.num_bundles() {
+                let w = sliced.bundle_ge_256(&wide, b, k);
+                for (g, gb) in groups.iter().enumerate() {
+                    assert_eq!(w[g], sliced.bundle_ge(gb, b, k), "bundle {b} k={k} group {g}");
+                }
+            }
+            let all = sliced.all_bundles_ge_256(&wide, k);
+            for (g, gb) in groups.iter().enumerate() {
+                assert_eq!(all[g], sliced.all_bundles_ge(gb, k), "all-bundles k={k} group {g}");
+            }
+        }
+        // Recovery predicate: no-retries equals the clamped threshold
+        // count; retries only ever adds lanes; k beyond every width
+        // clamps to w (all shares needed) rather than to "impossible".
+        let w = t1.claimed_width;
+        for k in 1..=w + 2 {
+            let no_retry = sliced.all_bundles_recovered_256(&wide, k, false);
+            assert_eq!(no_retry, sliced.all_bundles_ge_256(&wide, k.min(w)), "k={k}");
+            let retry = sliced.all_bundles_recovered_256(&wide, k, true);
+            assert_eq!(w256::and(no_retry, retry), no_retry, "retries must not lose lanes, k={k}");
+        }
+    }
+
+    #[test]
+    fn partial_256_blocks_mask_dead_lanes() {
+        let host = Hypercube::new(4);
+        let seeds: Vec<u64> = (0..100).map(|t| 9000 + t).collect();
+        let (wide, groups) = compat_block_and_groups(&host, 0.25, &seeds);
+        assert_eq!(wide.lanes(), 100);
+        assert_eq!(wide.live_mask(), [!0u64, (1u64 << 36) - 1, 0, 0]);
+        assert_eq!(groups.len(), 2);
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            let w = wide.link_alive_word(i);
+            assert_eq!(w[0], groups[0].link_alive_word(i));
+            assert_eq!(w[1], groups[1].link_alive_word(i));
+            assert_eq!((w[2], w[3]), (0, 0));
+        }
+        let gray = gray_cycle_embedding(4);
+        let sliced = SlicedPaths::new(&gray);
+        let got = sliced.all_bundles_ge_256(&wide, 1);
+        for (g, &word) in got.iter().enumerate() {
+            assert_eq!(word & !wide.live_mask()[g], 0, "dead lanes must stay clear");
+        }
+    }
+
+    #[test]
+    fn fast_draw_256_extremes_and_determinism() {
+        let host = Hypercube::new(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let all_alive = BitTrialBlock256::draw_fast(&host, 0.0, 256, &mut rng);
+        let all_dead = BitTrialBlock256::draw_fast(&host, 1.0, 256, &mut rng);
+        let nan = BitTrialBlock256::draw_fast(&host, f64::NAN, 100, &mut rng);
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(all_alive.link_alive_word(i), [!0u64; 4]);
+            assert_eq!(all_dead.link_alive_word(i), [0u64; 4]);
+            assert_eq!(nan.link_alive_word(i), nan.live_mask());
+        }
+        let a = BitTrialBlock256::draw_fast(&host, 0.25, 256, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = BitTrialBlock256::draw_fast(&host, 0.25, 256, &mut ChaCha8Rng::seed_from_u64(9));
+        let mut dead = 0u32;
+        let mut total = 0u32;
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(a.link_alive_word(i), b.link_alive_word(i));
+            let w = a.link_alive_word(i);
+            dead += (0..4).map(|g| (!w[g] & a.live_mask()[g]).count_ones()).sum::<u32>();
+            total += 256;
+        }
+        let rate = f64::from(dead) / f64::from(total);
+        assert!((0.2..0.3).contains(&rate), "fail rate {rate} far from p=0.25");
+    }
+
+    #[test]
+    fn from_fault_sets_256_roundtrips_through_lane_extraction() {
+        let host = Hypercube::new(5);
+        let sets: Vec<FaultSet> = (0..130)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(3000 + t);
+                random_fault_set(&host, 0.2, &mut rng)
+            })
+            .collect();
+        let block = BitTrialBlock256::from_fault_sets(&host, &sets);
+        for (t, set) in sets.iter().enumerate() {
+            assert_eq!(&block.lane_fault_set(t as u32), set, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn indexed_trials_256_matches_its_64_lane_groups() {
+        let host = Hypercube::new(6);
+        let seeds = [11u64, 22, 33, 44];
+        let wide = IndexedTrials256::new(seeds, 0.07, 256);
+        let partial = IndexedTrials256::new(seeds, 0.07, 150);
+        let narrow: Vec<IndexedTrials> =
+            seeds.iter().map(|&s| IndexedTrials::new(s, 0.07, 64)).collect();
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e) as u64;
+            let w = wide.link_word(i);
+            let p = partial.link_word(i);
+            for g in 0..4 {
+                assert_eq!(w[g], narrow[g].link_word(i), "link {i} group {g}");
+                assert_eq!(p[g], narrow[g].link_word(i) & partial.live_mask()[g]);
+            }
+        }
+        let block = BitTrialBlock256::draw_indexed(&host, &wide);
+        assert_eq!(block.lanes(), 256);
+        for e in host.undirected_edges() {
+            let i = host.dir_edge_index(e);
+            assert_eq!(block.link_alive_word(i), wide.link_word(i as u64));
+        }
+    }
+
+    #[test]
+    fn streamed_256_matches_materialized_and_composes_over_ranges() {
+        for n in [4u32, 6] {
+            let t1 = theorem1(n).unwrap();
+            let sliced = SlicedPaths::new(&t1.embedding);
+            let plan = Theorem1Plan::new(n).unwrap();
+            let host = t1.embedding.host;
+            let trials = IndexedTrials256::new([1, 2, 3, 4], 0.15, 200);
+            let block = BitTrialBlock256::draw_indexed(&host, &trials);
+            let ks: Vec<usize> = (0..=(n as usize / 2 + 2)).collect();
+            let streamed = streamed_all_bundles_ge_256(&plan, &trials, &ks);
+            for (&k, &got) in ks.iter().zip(&streamed) {
+                assert_eq!(got, sliced.all_bundles_ge_256(&block, k), "n={n} k={k}");
+            }
+            // Uneven serial ranges AND-compose to the parallel fold.
+            let mut acc = vec![trials.live_mask(); ks.len()];
+            let total = BundleSource::num_bundles(&plan);
+            for r in [0..3u64, 3..11, 11..total] {
+                stream_bundles_ge_into_256(&plan, &trials, &ks, r, &mut acc);
+            }
+            assert_eq!(acc, streamed, "n={n}");
+        }
+    }
+
+    #[test]
+    fn kernel_feature_path_names_the_build() {
+        let path = kernel_feature_path();
+        assert!(path == "portable" || path == "simd");
+        assert_eq!(path == "simd", cfg!(feature = "wide-simd"));
     }
 }

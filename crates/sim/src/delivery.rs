@@ -111,6 +111,62 @@ impl DeliveryReport {
     pub fn recovered(&self) -> usize {
         self.delivered + self.degraded
     }
+
+    /// Projects the machine telemetry away: everything in the report
+    /// that is a pure function of the fault set and the setup, with the
+    /// initial [`FaultReport`] reduced to its per-flow arrival bits.
+    /// This is the currency of the Monte-Carlo sweeps — and exactly what
+    /// the fail-stop fast path ([`deliver_phase_outcome`]) can compute
+    /// without running the packet engine.
+    pub fn outcome(&self) -> DeliveryOutcome {
+        DeliveryOutcome {
+            edges: self.edges.clone(),
+            delivered: self.delivered,
+            degraded: self.degraded,
+            lost: self.lost,
+            rounds_run: self.rounds_run,
+            shares_resent: self.shares_resent,
+            initial_flow_delivered: self.initial.flow_delivered.iter().map(|&c| c == 1).collect(),
+        }
+    }
+}
+
+/// The fault-determined half of a [`DeliveryReport`]: per-edge grades,
+/// the delivered/degraded/lost partition, retry accounting, and the
+/// initial round's per-flow arrival bits — everything except the machine
+/// telemetry (makespan, utilization, queue depths), which by definition
+/// only the packet engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryOutcome {
+    /// One record per guest edge.
+    pub edges: Vec<EdgeDelivery>,
+    /// Edges whose threshold was met in the initial round.
+    pub delivered: usize,
+    /// Edges recovered only by retries.
+    pub degraded: usize,
+    /// Edges whose message was lost.
+    pub lost: usize,
+    /// Retry rounds actually executed.
+    pub rounds_run: u32,
+    /// Shares re-sent across all retry rounds.
+    pub shares_resent: u64,
+    /// Initial-round arrival bit of every simulated share flow, in
+    /// [`PhaseSetup`] flow order (non-empty paths only — the same order
+    /// as [`FaultReport::flow_delivered`]).
+    pub initial_flow_delivered: Vec<bool>,
+}
+
+impl DeliveryOutcome {
+    /// Whether every guest edge's message was recovered (possibly
+    /// degraded).
+    pub fn all_delivered(&self) -> bool {
+        self.lost == 0
+    }
+
+    /// Messages recovered, degraded or not.
+    pub fn recovered(&self) -> usize {
+        self.delivered + self.degraded
+    }
 }
 
 /// The deterministic per-edge test message (delivery is verified by
@@ -442,6 +498,104 @@ pub fn deliver_phase_plan_prepared(setup: &PhaseSetup<'_>, plan: &FaultPlan) -> 
     run_phase(setup, PhaseFaults::Plan(plan))
 }
 
+/// Grades a dispersal phase under **static fail-stop** faults without
+/// running the packet engine at all. With no mid-run events and no
+/// corruption, every grade in [`run_phase`] collapses to a closed form
+/// over path survival:
+///
+/// * a share arrives iff its path is empty or avoids every failed link
+///   (the engine delivers every unobstructed flow within the step cap);
+/// * `a ≥ k` first-round arrivals → [`EdgeOutcome::Delivered`];
+/// * otherwise, if retries are allowed and the bundle has a surviving
+///   non-empty path, *all* `w − a` missing shares are resent over
+///   surviving (fault-free) paths and arrive, so the edge grades
+///   [`EdgeOutcome::Degraded`]` { rounds: 1 }` — under static faults the
+///   retry round runs on exactly the links the planner checked;
+/// * otherwise [`EdgeOutcome::Lost`]. Reconstruction always byte-verifies
+///   for genuine fail-stop shares, so no codec run is needed.
+///
+/// `rounds_run` is 1 iff any edge retried (the second retry round's plan
+/// is provably empty, so the engine breaks before counting it).
+fn fail_stop_outcome(setup: &PhaseSetup<'_>, faults: &FaultSet) -> DeliveryOutcome {
+    let e = setup.e;
+    let host = e.host;
+    let cfg = &setup.cfg;
+    let mut edges = Vec::with_capacity(e.edge_paths.len());
+    let (mut delivered, mut degraded, mut lost) = (0usize, 0usize, 0usize);
+    let mut shares_resent = 0u64;
+    let mut rounds_run = 0u32;
+    let mut arrived_flags: Vec<Vec<bool>> = Vec::with_capacity(e.edge_paths.len());
+    for (eid, (bundle, es)) in e.edge_paths.iter().zip(&setup.edges).enumerate() {
+        let arrived: Vec<bool> = bundle
+            .iter()
+            .map(|p| p.is_empty() || p.edges().all(|edge| !faults.is_failed(&host, edge)))
+            .collect();
+        let a = arrived.iter().filter(|&&ok| ok).count();
+        let survivor = bundle.iter().zip(&arrived).any(|(p, &ok)| ok && !p.is_empty());
+        let outcome = if a >= es.threshold {
+            delivered += 1;
+            EdgeOutcome::Delivered
+        } else if cfg.max_retries >= 1 && survivor {
+            degraded += 1;
+            rounds_run = 1;
+            shares_resent += (bundle.len() - a) as u64;
+            EdgeOutcome::Degraded { rounds: 1 }
+        } else {
+            lost += 1;
+            EdgeOutcome::Lost { arrived: a }
+        };
+        edges.push(EdgeDelivery {
+            guest_edge: eid,
+            width: bundle.len(),
+            threshold: es.threshold,
+            first_round_arrivals: a,
+            outcome,
+        });
+        arrived_flags.push(arrived);
+    }
+    let initial_flow_delivered =
+        setup.flow_map.iter().map(|&(eid, i)| arrived_flags[eid][i]).collect();
+    DeliveryOutcome {
+        edges,
+        delivered,
+        degraded,
+        lost,
+        rounds_run,
+        shares_resent,
+        initial_flow_delivered,
+    }
+}
+
+/// Outcome-level [`deliver_phase_prepared`]: grades the phase and projects
+/// the machine telemetry away ([`DeliveryReport::outcome`]). When the
+/// timeline [is static](FaultTimeline::is_static) — no mid-run events, so
+/// retries avoid exactly the initial fault set — the grades are evaluated
+/// in closed form from path survival ([`fail_stop_outcome`]) and the
+/// packet engine (and any [`Recorder`](crate::trace::Recorder) hook) is
+/// skipped entirely; otherwise this falls back to the engine. Equality of
+/// the two paths on static timelines is pinned by the fast-path
+/// conformance suite in the bench crate.
+pub fn deliver_phase_outcome(setup: &PhaseSetup<'_>, faults: &FaultTimeline) -> DeliveryOutcome {
+    if faults.is_static() {
+        fail_stop_outcome(setup, faults.initial())
+    } else {
+        deliver_phase_prepared(setup, faults).outcome()
+    }
+}
+
+/// Outcome-level [`deliver_phase_plan_prepared`]: the fail-stop fast path
+/// applies when the plan [has no events and no
+/// corruption](FaultPlan::is_static_fail_stop) — then the hazard set the
+/// retry planner avoids is exactly the initial set; any corrupting bit or
+/// mid-run event falls back to the engine.
+pub fn deliver_phase_plan_outcome(setup: &PhaseSetup<'_>, plan: &FaultPlan) -> DeliveryOutcome {
+    if plan.is_static_fail_stop() {
+        fail_stop_outcome(setup, plan.initial())
+    } else {
+        deliver_phase_plan_prepared(setup, plan).outcome()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,5 +774,98 @@ mod tests {
         let tl = kill_paths(&gray, 0, 1);
         let r = deliver_phase(&gray, &tl, &cfg);
         assert!(matches!(r.edges[0].outcome, EdgeOutcome::Lost { .. }));
+    }
+
+    #[test]
+    fn fast_path_matches_engine_outcome_across_a_fault_grid() {
+        // The closed-form fail-stop grader must agree with the packet
+        // engine field for field — including the per-flow arrival bits,
+        // retry accounting, and every per-edge grade — across fault
+        // intensities, thresholds, and retry budgets.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let mut rng = StdRng::seed_from_u64(0x0dd5eed);
+        let mut timelines: Vec<FaultTimeline> =
+            (0..[0usize, 1, 2, 3].len()).map(|kills| kill_paths(&t1.embedding, 0, kills)).collect();
+        for p in [0.01, 0.05, 0.2] {
+            for _ in 0..4 {
+                timelines.push(FaultTimeline::from_set(crate::faults::random_fault_set(
+                    &host, p, &mut rng,
+                )));
+            }
+        }
+        for tl in &timelines {
+            for threshold in [1usize, 2, 3] {
+                for max_retries in [0u32, 1, 2] {
+                    let cfg = DeliveryConfig { threshold, max_retries, message_len: 32 };
+                    let setup = PhaseSetup::new(&t1.embedding, &cfg);
+                    let engine = deliver_phase_prepared(&setup, tl).outcome();
+                    let fast = deliver_phase_outcome(&setup, tl);
+                    assert_eq!(fast, engine, "k={threshold} retries={max_retries}");
+                    let plan = FaultPlan::from_timeline(tl);
+                    assert_eq!(
+                        deliver_phase_plan_outcome(&setup, &plan),
+                        deliver_phase_plan_prepared(&setup, &plan).outcome(),
+                        "plan flavor, k={threshold} retries={max_retries}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_width_one_bundles() {
+        let gray = gray_cycle_embedding(5);
+        let cfg = DeliveryConfig { threshold: 1, max_retries: 5, message_len: 16 };
+        let setup = PhaseSetup::new(&gray, &cfg);
+        let tl = kill_paths(&gray, 0, 1);
+        let fast = deliver_phase_outcome(&setup, &tl);
+        assert_eq!(fast, deliver_phase_prepared(&setup, &tl).outcome());
+        assert!(matches!(fast.edges[0].outcome, EdgeOutcome::Lost { arrived: 0 }));
+    }
+
+    #[test]
+    fn non_static_inputs_fall_back_to_the_engine() {
+        // A timeline with a mid-run event and a plan with corruption are
+        // outside the fast path's model; the outcome entry points must
+        // produce the engine's answer (trivially, by running it).
+        let t1 = theorem1(6).unwrap();
+        let host = t1.embedding.host;
+        let victim = t1.embedding.edge_paths[0][0].edges().next().unwrap();
+        let mut tl = FaultTimeline::none(&host);
+        tl.fail_link_at(0, victim);
+        assert!(!tl.is_static());
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 1, message_len: 32 };
+        let setup = PhaseSetup::new(&t1.embedding, &cfg);
+        assert_eq!(
+            deliver_phase_outcome(&setup, &tl),
+            deliver_phase_prepared(&setup, &tl).outcome()
+        );
+        let mut plan = FaultPlan::none(&host);
+        plan.corrupt_link(&host, victim);
+        assert!(!plan.is_static_fail_stop());
+        assert_eq!(
+            deliver_phase_plan_outcome(&setup, &plan),
+            deliver_phase_plan_prepared(&setup, &plan).outcome()
+        );
+    }
+
+    #[test]
+    fn outcome_projection_keeps_the_flow_order() {
+        // `initial_flow_delivered` is in `flow_map` (= injection) order:
+        // with no faults every bit is set, and the count equals the
+        // number of non-empty paths.
+        let t1 = theorem1(6).unwrap();
+        let cfg = DeliveryConfig { threshold: 2, max_retries: 0, message_len: 16 };
+        let setup = PhaseSetup::new(&t1.embedding, &cfg);
+        let out = deliver_phase_outcome(&setup, &FaultTimeline::none(&t1.embedding.host));
+        let n_flows: usize =
+            t1.embedding.edge_paths.iter().flatten().filter(|p| !p.is_empty()).count();
+        assert_eq!(out.initial_flow_delivered.len(), n_flows);
+        assert!(out.initial_flow_delivered.iter().all(|&b| b));
+        assert!(out.all_delivered());
+        assert_eq!(out.recovered(), out.edges.len());
     }
 }

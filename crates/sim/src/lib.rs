@@ -47,6 +47,11 @@
 //!   machine model, so a theorem's certified cost can be checked against a
 //!   measured makespan.
 
+// `std::simd` is still unstable: the byte-identical simd issue of the
+// 256-lane kernel words needs a nightly toolchain, which is why it hides
+// behind an off-by-default feature (see `bitslice::kernel_feature_path`).
+#![cfg_attr(feature = "wide-simd", feature(portable_simd))]
+
 pub mod bitslice;
 pub mod chaos;
 pub mod delivery;
@@ -59,11 +64,15 @@ pub mod tenants;
 pub mod trace;
 pub mod wormhole;
 
-pub use bitslice::{delivery_probability_bitsliced, BitTrialBlock, SlicedPaths};
+pub use bitslice::{
+    delivery_probability_bitsliced, kernel_feature_path, BitTrialBlock, BitTrialBlock256,
+    IndexedTrials256, SlicedPaths, W256,
+};
 pub use chaos::{random_plan, run_chaos, ChaosConfig, ChaosReport, ChaosTrial};
 pub use delivery::{
-    deliver_phase, deliver_phase_plan, deliver_phase_plan_prepared, deliver_phase_prepared,
-    DeliveryConfig, DeliveryReport, EdgeDelivery, EdgeOutcome, PhaseSetup,
+    deliver_phase, deliver_phase_outcome, deliver_phase_plan, deliver_phase_plan_outcome,
+    deliver_phase_plan_prepared, deliver_phase_prepared, DeliveryConfig, DeliveryOutcome,
+    DeliveryReport, EdgeDelivery, EdgeOutcome, PhaseSetup,
 };
 pub use faults::{
     random_fault_set, surviving_paths, FaultPlan, FaultSet, FaultTimeline, LinkEvent,
