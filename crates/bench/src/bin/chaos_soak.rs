@@ -2,17 +2,38 @@
 //! both engines and both delivery protocols, under invariant checks.
 //!
 //! ```text
-//! chaos_soak [--seed S] [--trials N] [--dims N] [--json [PATH]]
+//! chaos_soak [--seed S] [--trials N] [--dims N] [--tenants] [--json [PATH]]
 //! ```
 //!
 //! Defaults: the CI smoke preset (`--seed 42 --trials 16 --dims 6`).
-//! `--json` writes the full report (`CHAOS_SOAK.json` by default). The
-//! report is a pure function of the flags — identical bytes across runs
-//! and thread counts — so CI can diff two runs to prove it. Exits 1 if
-//! any invariant was violated, so the smoke job fails loudly.
+//! `--tenants` runs the multi-tenant chaos mode instead: randomized
+//! host-level [`TenantFaultPlan`]s against the fault-aware tenant engine,
+//! checking conservation, no-wrong-bytes, empty-plan bit-identity with
+//! the plan-free engine, learned-vs-omniscient grade equality on static
+//! plans, and monotone degradation in both fault rate and tenant count.
+//! `--json` writes the full report (`CHAOS_SOAK.json`, or
+//! `CHAOS_TENANTS.json` in tenants mode, by default). The report is a
+//! pure function of the flags — identical bytes across runs and thread
+//! counts — so CI can diff two runs to prove it. Exits 1 if any
+//! invariant was violated, so the smoke jobs fail loudly.
+//!
+//! [`TenantFaultPlan`]: hyperpath_sim::tenants::TenantFaultPlan
 
+use hyperpath_bench::experiments::{parse_cli_for, CliAccepts};
 use hyperpath_bench::json::{Json, ToJson};
-use hyperpath_sim::chaos::{run_chaos, ChaosConfig, ChaosReport};
+use hyperpath_sim::chaos::{
+    run_chaos, run_chaos_tenants, ChaosConfig, ChaosReport, ChaosTenantsReport,
+};
+
+fn config_to_json(c: &ChaosConfig) -> Json {
+    Json::object([
+        ("seed", c.seed.to_json()),
+        ("trials", c.trials.to_json()),
+        ("dims", c.dims.to_json()),
+        ("message_len", c.message_len.to_json()),
+        ("max_retries", c.max_retries.to_json()),
+    ])
+}
 
 fn report_to_json(r: &ChaosReport) -> Json {
     Json::object([
@@ -20,16 +41,8 @@ fn report_to_json(r: &ChaosReport) -> Json {
         // Which bit-sliced kernel feature path produced this artifact
         // ("portable" or "simd") — the payload must not depend on it.
         ("kernel", hyperpath_sim::kernel_feature_path().to_json()),
-        (
-            "config",
-            Json::object([
-                ("seed", r.config.seed.to_json()),
-                ("trials", r.config.trials.to_json()),
-                ("dims", r.config.dims.to_json()),
-                ("message_len", r.config.message_len.to_json()),
-                ("max_retries", r.config.max_retries.to_json()),
-            ]),
-        ),
+        ("mode", "engines".to_json()),
+        ("config", config_to_json(&r.config)),
         ("violations", r.violations.to_json()),
         ("dominance_violations", r.dominance_violations.to_json()),
         ("ok", r.ok().to_json()),
@@ -70,33 +83,123 @@ fn report_to_json(r: &ChaosReport) -> Json {
     ])
 }
 
-fn usage() -> ! {
-    eprintln!("usage: chaos_soak [--seed S] [--trials N] [--dims N] [--json [PATH]]");
-    std::process::exit(2);
+fn tenants_report_to_json(r: &ChaosTenantsReport) -> Json {
+    Json::object([
+        ("suite", "chaos_soak".to_json()),
+        ("kernel", hyperpath_sim::kernel_feature_path().to_json()),
+        ("mode", "tenants".to_json()),
+        ("config", config_to_json(&r.config)),
+        ("violations", r.violations.to_json()),
+        ("ok", r.ok().to_json()),
+        (
+            "trials",
+            Json::Array(
+                r.trials
+                    .iter()
+                    .map(|t| {
+                        Json::object([
+                            ("trial", t.trial.to_json()),
+                            ("static_fail_stop", t.static_fail_stop.to_json()),
+                            ("tenants", t.tenants.to_json()),
+                            ("cuts", t.cuts.to_json()),
+                            ("outages", t.outages.to_json()),
+                            ("corrupting_links", t.corrupting_links.to_json()),
+                            ("requested", t.requested.to_json()),
+                            ("delivered", t.delivered.to_json()),
+                            ("degraded", t.degraded.to_json()),
+                            ("recovered", t.recovered.to_json()),
+                            ("lost", t.lost.to_json()),
+                            ("requeues", t.requeues.to_json()),
+                            ("shares_lost", t.shares_lost.to_json()),
+                            ("shares_corrupted", t.shares_corrupted.to_json()),
+                            ("quarantined_links", t.quarantined_links.to_json()),
+                            (
+                                "violations",
+                                Json::Array(
+                                    t.violations.iter().map(|v| v.as_str().to_json()).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn write_report(json: Json, path: &std::path::Path) {
+    std::fs::write(path, json.render_pretty()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    println!("report written to {}", path.display());
 }
 
 fn main() {
+    let accepts = CliAccepts { trials: true, dims: true, seed: true, tenants: true };
+    let opts = parse_cli_for(accepts);
     let mut cfg = ChaosConfig::smoke(42);
-    let mut json_path: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1).peekable();
-    let parse_num = |it: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
-        it.next().and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| usage())
-    };
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--seed" => cfg.seed = parse_num(&mut args),
-            "--trials" => cfg.trials = parse_num(&mut args) as usize,
-            "--dims" => cfg.dims = parse_num(&mut args) as u32,
-            "--json" => {
-                json_path = Some(match args.peek() {
-                    Some(p) if !p.starts_with("--") => {
-                        std::path::PathBuf::from(args.next().unwrap())
-                    }
-                    _ => std::path::PathBuf::from("CHAOS_SOAK.json"),
-                });
-            }
-            _ => usage(),
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    if let Some(trials) = opts.trials {
+        cfg.trials = trials as usize;
+    }
+    if let Some(dims) = &opts.dims {
+        if dims.len() != 1 {
+            eprintln!("error: chaos_soak takes a single --dims value, got {dims:?}");
+            std::process::exit(2);
         }
+        cfg.dims = dims[0];
+    }
+    let json_path = opts.json.as_ref().map(|p| match p {
+        Some(path) => path.clone(),
+        None => std::path::PathBuf::from(if opts.tenants {
+            "CHAOS_TENANTS.json"
+        } else {
+            "CHAOS_SOAK.json"
+        }),
+    });
+
+    if opts.tenants {
+        println!(
+            "chaos_soak --tenants: {} trials on Q_{}, seed {} (even trials static fail-stop \
+             at ample capacity, odd dynamic under contention)",
+            cfg.trials, cfg.dims, cfg.seed
+        );
+        let report = run_chaos_tenants(&cfg);
+        for t in &report.trials {
+            println!(
+                "  trial {:3} [{}]: tenants={} cuts={} outages={} corrupting={} | \
+                 {}req {}del ({}rec) {}lost | {}sl/{}sc | quarantined={}{}",
+                t.trial,
+                if t.static_fail_stop { "static " } else { "dynamic" },
+                t.tenants,
+                t.cuts,
+                t.outages,
+                t.corrupting_links,
+                t.requested,
+                t.delivered,
+                t.recovered,
+                t.lost,
+                t.shares_lost,
+                t.shares_corrupted,
+                t.quarantined_links,
+                if t.violations.is_empty() { "" } else { " VIOLATIONS" },
+            );
+            for v in &t.violations {
+                println!("    !! {v}");
+            }
+        }
+        println!("\n{} trials, {} invariant violations", report.trials.len(), report.violations);
+        if let Some(path) = json_path {
+            write_report(tenants_report_to_json(&report), &path);
+        }
+        if !report.ok() {
+            eprintln!("chaos_soak: invariant violations detected");
+            std::process::exit(1);
+        }
+        return;
     }
 
     println!(
@@ -138,12 +241,7 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let rendered = report_to_json(&report).render_pretty();
-        std::fs::write(&path, rendered).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {}: {e}", path.display());
-            std::process::exit(2);
-        });
-        println!("report written to {}", path.display());
+        write_report(report_to_json(&report), &path);
     }
 
     if !report.ok() {

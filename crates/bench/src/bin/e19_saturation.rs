@@ -13,16 +13,17 @@
 //! default); the artifact is byte-identical at any `RAYON_NUM_THREADS`
 //! (CI's `tenants-smoke` job compares two runs).
 
-use hyperpath_bench::experiments::{e19_saturation, maybe_write_json, parse_cli_with};
+use hyperpath_bench::experiments::{e19_saturation, maybe_write_json, parse_cli_for, CliAccepts};
 
 fn main() {
-    let opts = parse_cli_with(false, false);
+    let opts = parse_cli_for(CliAccepts { seed: true, ..CliAccepts::default() });
+    let seed = opts.seed.unwrap_or(1990);
     let counts = [2u32, 4, 6, 8, 10, 12];
     println!("E19: multi-tenant saturation on a shared implicit Q_20 host");
     println!("Tenants (cycles, grids, trees) admit width-w bundles through a link ledger");
     println!("at capacity 2; contended requests degrade to the IDA threshold or requeue.\n");
 
-    let (table, out) = e19_saturation(&counts, 1990);
+    let (table, out) = e19_saturation(&counts, seed);
     println!("{}", table.render());
     println!("'tput' = delivered messages per machine step; 'jain' = Jain fairness index");
     println!("over per-tenant deliveries; 'cong' = measured max cumulative link load vs");

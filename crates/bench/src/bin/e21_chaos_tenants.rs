@@ -1,0 +1,37 @@
+//! E21 — chaos-hardened multi-tenant service under random fault plans.
+//!
+//! Sweeps a link-cut probability × tenant-count grid on a shared `Q_10`
+//! host: each point draws a seed-pinned static fail-stop
+//! `TenantFaultPlan`, then runs the fault-aware `sim::tenants` engine
+//! with ledger-learned quarantine — batched packet-engine phases, ACK/
+//! NACK health learning, congestion-aware re-routing down to the IDA
+//! threshold, and the retry-with-backoff queue. Columns report delivery,
+//! recoveries (with mean rounds-to-recover), losses, throughput, Jain
+//! fairness, and quarantined links.
+//!
+//! `--json [PATH]` additionally writes the sweep artifact
+//! (`BENCH_E21_CHAOS_TENANTS.json` by default); the artifact is
+//! byte-identical at any `RAYON_NUM_THREADS` (CI's `chaos-tenants` job
+//! compares two runs).
+
+use hyperpath_bench::experiments::{
+    e21_chaos_tenants, maybe_write_json, parse_cli_for, CliAccepts,
+};
+
+fn main() {
+    let opts = parse_cli_for(CliAccepts { seed: true, ..CliAccepts::default() });
+    let seed = opts.seed.unwrap_or(1990);
+    let rates = [0.0, 0.02, 0.05];
+    let counts = [2u32, 4, 8];
+    println!("E21: chaos-hardened multi-tenant service on a shared Q_10 host (seed {seed})");
+    println!("Random link cuts at rate p; the ledger learns link health from phase ACK/NACKs,");
+    println!("quarantines suspects with aged re-admission, and fault-failed tenants retry");
+    println!("with bounded backoff instead of being dropped.\n");
+
+    let (table, out) = e21_chaos_tenants(&rates, &counts, seed);
+    println!("{}", table.render());
+    println!("'recovered' = messages delivered only via the retry-with-backoff queue;");
+    println!("'recover' = mean rounds from first issue to eventual delivery; 'quar' =");
+    println!("links the ledger quarantined; 'tput'/'jain' as in E19.");
+    maybe_write_json(&out, &opts);
+}

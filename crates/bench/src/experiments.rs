@@ -25,7 +25,8 @@ use hyperpath_sim::delivery::{deliver_phase_plan_outcome, DeliveryConfig, PhaseS
 use hyperpath_sim::protocol::{deliver_adaptive_prepared, AdaptiveSetup, PlanNetwork};
 use hyperpath_sim::routing::{ecube_path, random_permutation, CccRouter};
 use hyperpath_sim::tenants::{
-    run_tenants, ExecMode, FlowStats, TenantPlan, TenantSpec, TenantsConfig,
+    run_tenants, run_tenants_planned, ExecMode, FaultRouting, FlowStats, TenantFaultPlan,
+    TenantPlan, TenantSpec, TenantsConfig,
 };
 use hyperpath_sim::{PacketSim, Worm, WormholeSim};
 use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem2Plan};
@@ -840,6 +841,179 @@ pub fn butterfly_copies_table(ns: &[u32]) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// E21 — chaos-hardened multi-tenant service under random fault plans.
+// ---------------------------------------------------------------------------
+
+/// One E21 grid point: link-cut probability × tenants sharing the host.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosTenantPoint {
+    /// Probability each undirected host link is permanently cut.
+    pub fault_rate: f64,
+    /// Concurrent tenants.
+    pub tenants: u32,
+}
+
+impl ToJson for ChaosTenantPoint {
+    fn to_json(&self) -> Json {
+        Json::object([("p", self.fault_rate.to_json()), ("tenants", self.tenants.to_json())])
+    }
+}
+
+/// The default E21 grid: fault rates × tenant counts, row-major.
+pub fn e21_grid(rates: &[f64], counts: &[u32]) -> Vec<ChaosTenantPoint> {
+    rates
+        .iter()
+        .flat_map(|&fault_rate| {
+            counts.iter().map(move |&tenants| ChaosTenantPoint { fault_rate, tenants })
+        })
+        .collect()
+}
+
+/// E21 host dimension: `Q_10` (1024 nodes, 5120 undirected links — big
+/// enough for meaningful fault rates, small enough that every grid point
+/// draws its plan by sweeping the links).
+pub const E21_HOST_DIMS: u32 = 10;
+/// E21 tenant subcube dimension: every guest lives in a `Q_4` window.
+pub const E21_TENANT_DIMS: u32 = 4;
+/// E21 per-link width capacity (same contention regime as E19).
+pub const E21_CAPACITY: u32 = 2;
+
+/// The E21 roster: grid and binomial-tree guests alternating, tenant `i`
+/// at window `i % 4` so counts above 4 contend inside shared windows.
+pub fn e21_specs(count: u32) -> Vec<TenantSpec> {
+    let m = E21_TENANT_DIMS;
+    let grid: Arc<dyn TenantPlan> =
+        Arc::new(GridPlan::new(m, m / 2, m / 2, m - 1).expect("e21 grid plan"));
+    let tree: Arc<dyn TenantPlan> =
+        Arc::new(BinomialTreePlan::new(m, m - 1).expect("e21 tree plan"));
+    (0..count)
+        .map(|i| {
+            let (kind, plan) = if i.is_multiple_of(2) {
+                ("grid", Arc::clone(&grid))
+            } else {
+                ("tree", Arc::clone(&tree))
+            };
+            TenantSpec { id: i, name: format!("{kind}-{i}"), window: u64::from(i % 4), plan }
+        })
+        .collect()
+}
+
+/// Draws a static fail-stop [`TenantFaultPlan`] cutting each undirected
+/// host link independently with probability `p`.
+fn e21_plan(host_dims: u32, p: f64, rng: &mut rand_chacha::ChaCha8Rng) -> TenantFaultPlan {
+    use rand::RngExt;
+    let n = u64::from(host_dims);
+    let mut plan = TenantFaultPlan::none();
+    for base in 0..(1u64 << host_dims) {
+        for d in 0..host_dims {
+            if (base >> d) & 1 == 0 && rng.random_bool(p) {
+                plan.cut_link(base * n + u64::from(d));
+            }
+        }
+    }
+    plan
+}
+
+/// E21: the robustness sweep — random link-cut plans at rate `p` against
+/// `tenants` concurrent guests, run through the fault-aware engine with
+/// ledger-learned quarantine ([`FaultRouting::Learned`]). Columns report
+/// delivery, the retry-with-backoff queue's recoveries (with mean
+/// rounds-to-recover), losses, throughput, Jain fairness, and how many
+/// links the ledger quarantined. Delivery degrades monotonically down
+/// the fault-rate axis while recovery and quarantine climb — the
+/// measured shape of the paper's fault-tolerance claim under multi-
+/// tenancy.
+///
+/// Deterministic: each grid point draws its plan and engine seed from
+/// its own ChaCha stream, so the artifact is byte-identical at any
+/// worker count (CI's `chaos-tenants` job compares two runs).
+pub fn e21_chaos_tenants(rates: &[f64], counts: &[u32], master_seed: u64) -> (Table, SweepOutput) {
+    e21_chaos_tenants_with_threads(rates, counts, master_seed, None)
+}
+
+/// [`e21_chaos_tenants`] with a pinned worker count (for the
+/// byte-identity tests).
+pub fn e21_chaos_tenants_with_threads(
+    rates: &[f64],
+    counts: &[u32],
+    master_seed: u64,
+    threads: Option<usize>,
+) -> (Table, SweepOutput) {
+    use rand::RngExt;
+
+    let mut sweep = Sweep::new("e21_chaos_tenants", master_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let out = sweep.run(e21_grid(rates, counts), |pt, rng| {
+        let plan = e21_plan(E21_HOST_DIMS, pt.fault_rate, rng);
+        let cfg = TenantsConfig {
+            host_dims: E21_HOST_DIMS,
+            capacity: E21_CAPACITY,
+            rounds: 6,
+            requests_per_round: 6,
+            max_requeues: 3,
+            seed: rng.random(),
+            exec: ExecMode::Packet,
+        };
+        let report =
+            run_tenants_planned(&cfg, &e21_specs(pt.tenants), &plan, FaultRouting::Learned)
+                .expect("e21 config is valid");
+        let sum =
+            |f: fn(&FlowStats) -> u64| -> u64 { report.tenants.iter().map(|t| f(&t.stats)).sum() };
+        let recovered = sum(|s| s.recovered);
+        let recovery_rounds = sum(|s| s.recovery_rounds);
+        let mean_recover =
+            if recovered == 0 { 0.0 } else { recovery_rounds as f64 / recovered as f64 };
+        Json::object([
+            ("cuts", (plan.cut_count() as u64).to_json()),
+            ("requested", sum(|s| s.requested).to_json()),
+            ("full", sum(|s| s.full).to_json()),
+            ("degraded", sum(|s| s.degraded).to_json()),
+            ("delivered", report.delivered_messages().to_json()),
+            ("recovered", recovered.to_json()),
+            ("lost", sum(|s| s.lost).to_json()),
+            ("requeues", sum(|s| s.requeues).to_json()),
+            ("shares_lost", sum(|s| s.shares_lost).to_json()),
+            ("steps", report.total_steps.to_json()),
+            ("throughput", report.aggregate_throughput().to_json()),
+            ("jain", report.jain_fairness().to_json()),
+            ("mean_rounds_to_recover", mean_recover.to_json()),
+            ("quarantined", (report.ledger.quarantined_links as u64).to_json()),
+        ])
+    });
+    let mut t = Table::new(&[
+        "p",
+        "tenants",
+        "cuts",
+        "requested",
+        "delivered",
+        "recovered",
+        "lost",
+        "tput",
+        "jain",
+        "recover",
+        "quar",
+    ]);
+    for rec in &out.records {
+        t.row(vec![
+            format!("{}", fetch_f(&rec.params, "p")),
+            fetch(&rec.params, "tenants").to_string(),
+            fetch(&rec.result, "cuts").to_string(),
+            fetch(&rec.result, "requested").to_string(),
+            fetch(&rec.result, "delivered").to_string(),
+            fetch(&rec.result, "recovered").to_string(),
+            fetch(&rec.result, "lost").to_string(),
+            format!("{:.4}", fetch_f(&rec.result, "throughput")),
+            format!("{:.4}", fetch_f(&rec.result, "jain")),
+            format!("{:.2}", fetch_f(&rec.result, "mean_rounds_to_recover")),
+            fetch(&rec.result, "quarantined").to_string(),
+        ]);
+    }
+    (t, out)
+}
+
+// ---------------------------------------------------------------------------
 // Shared CLI plumbing for the `e*` binaries.
 // ---------------------------------------------------------------------------
 
@@ -849,26 +1023,63 @@ pub struct CliOpts {
     /// `--json [PATH]`: write the sweep artifact (to PATH, or the default
     /// `BENCH_<EXPERIMENT>.json` when no path follows the flag).
     pub json: Option<Option<std::path::PathBuf>>,
-    /// `--trials N` (E12/E18 only): Monte-Carlo trials per grid point.
+    /// `--trials N` (Monte-Carlo / chaos binaries): trials per grid point.
     pub trials: Option<u32>,
-    /// `--dims N[,N...]` (E12/E18 only): hypercube dimensions to sweep.
+    /// `--dims N[,N...]` (dimension-sweep binaries): dimensions to sweep.
     pub dims: Option<Vec<u32>>,
+    /// `--seed N` (seed-pinned harnesses): master seed override.
+    pub seed: Option<u64>,
+    /// `--tenants` (`chaos_soak` only): run the multi-tenant chaos mode.
+    pub tenants: bool,
+}
+
+/// Which optional flags a binary accepts. Flags a binary does not accept
+/// are *rejected* at parse time (exit 2 with usage) rather than silently
+/// ignored — every binary routes through [`try_parse_cli_for`] so a typo
+/// can never panic deep inside a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CliAccepts {
+    /// `--trials N`.
+    pub trials: bool,
+    /// `--dims N[,N...]`.
+    pub dims: bool,
+    /// `--seed N`.
+    pub seed: bool,
+    /// `--tenants`.
+    pub tenants: bool,
 }
 
 /// The usage line for an experiment binary.
-pub fn cli_usage(accepts_trials: bool) -> &'static str {
+pub fn cli_usage(accepts_trials: bool) -> String {
     cli_usage_with(accepts_trials, false)
 }
 
 /// The usage line for an experiment binary, including `--dims` when the
 /// binary sweeps a selectable dimension list.
-pub fn cli_usage_with(accepts_trials: bool, accepts_dims: bool) -> &'static str {
-    match (accepts_trials, accepts_dims) {
-        (true, true) => "usage: <experiment> [--json [PATH]] [--trials N] [--dims N[,N...]]",
-        (true, false) => "usage: <experiment> [--json [PATH]] [--trials N]",
-        (false, true) => "usage: <experiment> [--json [PATH]] [--dims N[,N...]]",
-        (false, false) => "usage: <experiment> [--json [PATH]]",
+pub fn cli_usage_with(accepts_trials: bool, accepts_dims: bool) -> String {
+    cli_usage_for(CliAccepts {
+        trials: accepts_trials,
+        dims: accepts_dims,
+        ..CliAccepts::default()
+    })
+}
+
+/// The usage line for a binary accepting exactly the flags in `accepts`.
+pub fn cli_usage_for(accepts: CliAccepts) -> String {
+    let mut usage = String::from("usage: <experiment> [--json [PATH]]");
+    if accepts.trials {
+        usage.push_str(" [--trials N]");
     }
+    if accepts.dims {
+        usage.push_str(" [--dims N[,N...]]");
+    }
+    if accepts.seed {
+        usage.push_str(" [--seed N]");
+    }
+    if accepts.tenants {
+        usage.push_str(" [--tenants]");
+    }
+    usage
 }
 
 /// Parses an experiment-binary command line. `accepts_trials` is true only
@@ -888,6 +1099,19 @@ pub fn try_parse_cli_with(
     accepts_trials: bool,
     accepts_dims: bool,
 ) -> Result<CliOpts, String> {
+    try_parse_cli_for(
+        args,
+        CliAccepts { trials: accepts_trials, dims: accepts_dims, ..CliAccepts::default() },
+    )
+}
+
+/// The one real parser behind every experiment binary: accepts exactly
+/// the flags named by `accepts` and rejects everything else with a
+/// message (the `parse_cli*` wrappers turn that into exit 2 + usage).
+pub fn try_parse_cli_for(
+    args: impl IntoIterator<Item = String>,
+    accepts: CliAccepts,
+) -> Result<CliOpts, String> {
     let mut opts = CliOpts::default();
     let mut it = args.into_iter().peekable();
     while let Some(arg) = it.next() {
@@ -901,7 +1125,7 @@ pub fn try_parse_cli_with(
                 };
                 opts.json = Some(path);
             }
-            "--trials" if accepts_trials => {
+            "--trials" if accepts.trials => {
                 let n = it
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -914,7 +1138,7 @@ pub fn try_parse_cli_with(
                     "--trials is only meaningful for the Monte-Carlo experiments (e12)".to_string()
                 )
             }
-            "--dims" if accepts_dims => {
+            "--dims" if accepts.dims => {
                 let list = it
                     .next()
                     .ok_or_else(|| "--dims requires a comma-separated list".to_string())?;
@@ -947,6 +1171,22 @@ pub fn try_parse_cli_with(
                 return Err("--dims is only meaningful for the fault-sweep experiments (e12, e18)"
                     .to_string())
             }
+            "--seed" if accepts.seed => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| "--seed requires an unsigned integer".to_string())?;
+                opts.seed = Some(n);
+            }
+            "--seed" => {
+                return Err("--seed is only meaningful for the seed-pinned harnesses \
+                            (chaos_soak, e19, e21)"
+                    .to_string())
+            }
+            "--tenants" if accepts.tenants => opts.tenants = true,
+            "--tenants" => {
+                return Err("--tenants is only meaningful for chaos_soak".to_string());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -961,11 +1201,20 @@ pub fn parse_cli(accepts_trials: bool) -> CliOpts {
 
 /// [`parse_cli`] for binaries that also sweep a selectable dimension list.
 pub fn parse_cli_with(accepts_trials: bool, accepts_dims: bool) -> CliOpts {
-    match try_parse_cli_with(std::env::args().skip(1), accepts_trials, accepts_dims) {
+    parse_cli_for(CliAccepts {
+        trials: accepts_trials,
+        dims: accepts_dims,
+        ..CliAccepts::default()
+    })
+}
+
+/// [`parse_cli`] for a binary accepting exactly the flags in `accepts`.
+pub fn parse_cli_for(accepts: CliAccepts) -> CliOpts {
+    match try_parse_cli_for(std::env::args().skip(1), accepts) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("{}", cli_usage_with(accepts_trials, accepts_dims));
+            eprintln!("{}", cli_usage_for(accepts));
             std::process::exit(2);
         }
     }
@@ -1096,6 +1345,71 @@ mod tests {
         assert_eq!(o.dims, Some(vec![hyperpath_topology::MAX_DIMS]));
         let o = try_parse_cli_with(["--dims".to_string(), "8,".to_string()], true, true).unwrap();
         assert_eq!(o.dims, Some(vec![8]));
+    }
+
+    #[test]
+    fn cli_parses_seed_and_tenants_where_accepted() {
+        let all = CliAccepts { trials: true, dims: true, seed: true, tenants: true };
+        let o = try_parse_cli_for(["--seed".to_string(), "1990".to_string()], all).unwrap();
+        assert_eq!(o.seed, Some(1990));
+        assert!(!o.tenants);
+        let o = try_parse_cli_for(["--tenants".to_string()], all).unwrap();
+        assert!(o.tenants);
+        let o = try_parse_cli_for(
+            ["--tenants", "--seed", "7", "--trials", "3", "--dims", "6", "--json"]
+                .map(String::from),
+            all,
+        )
+        .unwrap();
+        assert_eq!(
+            (o.tenants, o.seed, o.trials, o.dims, o.json),
+            (true, Some(7), Some(3), Some(vec![6]), Some(None))
+        );
+        // Usage lines advertise exactly the accepted flags.
+        let u = cli_usage_for(all);
+        for flag in ["--json", "--trials", "--dims", "--seed", "--tenants"] {
+            assert!(u.contains(flag), "{u} missing {flag}");
+        }
+        assert_eq!(cli_usage_for(CliAccepts::default()), "usage: <experiment> [--json [PATH]]");
+    }
+
+    #[test]
+    fn cli_rejects_seed_and_tenants_where_not_accepted() {
+        // The unified parser exits 2 with usage on these via parse_cli_for;
+        // here we pin the error paths it reports.
+        let e = try_parse_cli_for(["--seed".to_string(), "1".to_string()], CliAccepts::default())
+            .unwrap_err();
+        assert!(e.contains("only meaningful"), "{e}");
+        let e = try_parse_cli_for(["--tenants".to_string()], CliAccepts::default()).unwrap_err();
+        assert!(e.contains("only meaningful"), "{e}");
+        let seedy = CliAccepts { seed: true, ..CliAccepts::default() };
+        assert!(try_parse_cli_for(["--seed".to_string()], seedy).is_err());
+        assert!(try_parse_cli_for(["--seed".to_string(), "x".to_string()], seedy).is_err());
+        assert!(try_parse_cli_for(["--seed".to_string(), "-1".to_string()], seedy).is_err());
+        // The legacy wrappers keep their exact behavior.
+        assert_eq!(
+            try_parse_cli_with(["--seed".to_string(), "1".to_string()], true, true).unwrap_err(),
+            try_parse_cli_for(
+                ["--seed".to_string(), "1".to_string()],
+                CliAccepts { trials: true, dims: true, ..CliAccepts::default() }
+            )
+            .unwrap_err()
+        );
+    }
+
+    #[test]
+    fn e21_sweep_is_deterministic_and_degrades_with_fault_rate() {
+        let (_, a) = e21_chaos_tenants_with_threads(&[0.0, 0.05], &[2], 1990, Some(1));
+        let (_, b) = e21_chaos_tenants_with_threads(&[0.0, 0.05], &[2], 1990, Some(3));
+        assert_eq!(a.records, b.records, "E21 artifact must be byte-identical across threads");
+        let delivered = |r: &crate::sweep::SweepRecord| fetch(&r.result, "delivered");
+        assert!(delivered(&a.records[1]) <= delivered(&a.records[0]));
+        assert_eq!(fetch(&a.records[0].result, "cuts"), 0);
+        assert_eq!(fetch(&a.records[0].result, "quarantined"), 0);
+        assert_eq!(
+            fetch(&a.records[0].result, "delivered") + fetch(&a.records[0].result, "lost"),
+            fetch(&a.records[0].result, "requested")
+        );
     }
 
     #[test]

@@ -766,6 +766,42 @@ pub fn run_perf_suite(cfg: &PerfConfig) -> PerfOutput {
             ],
             wall_ns: 0,
         });
+
+        // Fault-aware run of the same roster: a deterministic static
+        // cut-set inside the four Q_8 windows, ledger-learned quarantine
+        // routing. Pins the planned engine's traffic counters and times
+        // the full ACK/NACK + projection overhead against the plan-free
+        // record above.
+        use hyperpath_sim::tenants::{FaultRouting, TenantFaultPlan};
+        let mut prng = ChaCha8Rng::seed_from_u64(PERF_SEED ^ (u64::from(n) << 27));
+        let mut plan = TenantFaultPlan::none();
+        for w in 0..4u64 {
+            for _ in 0..6 {
+                let d: u32 = prng.random_range(0..8);
+                let base: u64 = prng.random_range(0..256u64) & !(1u64 << d);
+                plan.cut_link(((w << 8) | base) * u64::from(n) + u64::from(d));
+            }
+        }
+        let planned = engine.run_planned(&plan, FaultRouting::Learned);
+        let sum = |f: fn(&hyperpath_sim::tenants::FlowStats) -> u64| -> u64 {
+            planned.tenants.iter().map(|t| f(&t.stats)).sum()
+        };
+        records.push(PerfRecord {
+            name: format!("tenants/planned/n{n}"),
+            counters: vec![
+                ("tenants".into(), 8),
+                ("cuts".into(), plan.cut_count() as u64),
+                ("delivered".into(), planned.delivered_messages()),
+                ("recovered".into(), sum(|s| s.recovered)),
+                ("lost".into(), sum(|s| s.lost)),
+                ("shares_lost".into(), sum(|s| s.shares_lost)),
+                ("steps".into(), planned.total_steps),
+                ("quarantined".into(), planned.ledger.quarantined_links as u64),
+            ],
+            wall_ns: median_wall_ns(0, cfg.reps.min(3), || {
+                engine.run_planned(&plan, FaultRouting::Learned)
+            }),
+        });
     }
 
     PerfOutput { records }
@@ -814,6 +850,7 @@ mod tests {
             "scale/structural/implicit/",
             "tenants/engine/",
             "scale/tenants/ledger/",
+            "tenants/planned/",
         ] {
             assert!(names.iter().any(|n| n.starts_with(prefix)), "missing {prefix}");
         }

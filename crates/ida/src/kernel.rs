@@ -15,7 +15,7 @@
 //!   coefficient, never on the row data. On x86-64 with AVX2 (detected at
 //!   runtime) the ladder runs 64 bytes per step across two interleaved
 //!   register chains; everywhere else a portable `[u64; 8]` SWAR body
-//!   with [`xtime8`] multiplying eight byte lanes by `x` per word op.
+//!   with `xtime8` multiplying eight byte lanes by `x` per word op.
 //!   Either way large rows stream at word rates instead of one table
 //!   lookup per byte. Tails shorter than a chunk fall back to a hoisted
 //!   row of the fully `const`-evaluated 256×256 product table
@@ -202,7 +202,7 @@ mod ladder_avx2 {
 /// for `c == 1`, and the plane-parallel polynomial ladder otherwise —
 /// select-and-accumulate rounds up to the coefficient's top set bit over
 /// wide chunks (AVX2 when the CPU has it, detected at runtime; portable
-/// `[u64; 8]` SWAR with [`xtime8`] everywhere else), with sub-chunk tails
+/// `[u64; 8]` SWAR with `xtime8` everywhere else), with sub-chunk tails
 /// falling back to a hoisted [`MUL_TABLE`] row. Byte-identical to
 /// [`mul_row_acc_table`] — GF(2^8) has one product — only faster; the
 /// perf gate's `ida/rowops/*` floor holds the ladder to ≥ 2x the table

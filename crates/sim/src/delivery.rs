@@ -570,7 +570,7 @@ fn fail_stop_outcome(setup: &PhaseSetup<'_>, faults: &FaultSet) -> DeliveryOutco
 /// the machine telemetry away ([`DeliveryReport::outcome`]). When the
 /// timeline [is static](FaultTimeline::is_static) — no mid-run events, so
 /// retries avoid exactly the initial fault set — the grades are evaluated
-/// in closed form from path survival ([`fail_stop_outcome`]) and the
+/// in closed form from path survival (`fail_stop_outcome`) and the
 /// packet engine (and any [`Recorder`](crate::trace::Recorder) hook) is
 /// skipped entirely; otherwise this falls back to the engine. Equality of
 /// the two paths on static timelines is pinned by the fast-path

@@ -102,6 +102,16 @@ pub struct PlanReport {
     /// Packets of each flow that arrived with a corrupted payload,
     /// indexed by flow id.
     pub flow_corrupted: Vec<u64>,
+    /// Directed-link index (see [`Hypercube::dir_edge_index`]) where the
+    /// flow's *first* packet drop happened, `u32::MAX` if none was
+    /// dropped. This is exactly what a per-hop NACK would carry, so
+    /// oracle-free health learners (`sim::tenants`) can attribute losses
+    /// without consulting the plan.
+    pub flow_dropped_at: Vec<u32>,
+    /// Directed-link index of the first corrupting link one of the
+    /// flow's packets crossed, `u32::MAX` if the flow stayed clean —
+    /// the per-hop CRC-trailer analogue of `flow_dropped_at`.
+    pub flow_corrupted_at: Vec<u32>,
 }
 
 /// The simulator: a hypercube plus a set of flows.
@@ -315,6 +325,10 @@ impl PacketSim {
         let mut flow_lost: Vec<u64> = if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
         let mut flow_corrupted: Vec<u64> =
             if PLAN { vec![0; self.flows.len()] } else { Vec::new() };
+        let mut flow_dropped_at: Vec<u32> =
+            if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() };
+        let mut flow_corrupted_at: Vec<u32> =
+            if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() };
         let mut lost = 0u64;
         let mut corrupted = 0u64;
 
@@ -453,6 +467,9 @@ impl PacketSim {
                         let f = pkt_flow[pid as usize] as usize;
                         rec.record_drop(f as u32, step);
                         flow_lost[f] += 1;
+                        if PLAN && flow_dropped_at[f] == u32::MAX {
+                            flow_dropped_at[f] = idx as u32;
+                        }
                         lost += 1;
                         pending -= 1;
                         let nx = pkt_next[pid as usize];
@@ -476,6 +493,10 @@ impl PacketSim {
                 if PLAN && corrupting[idx] && !pkt_corrupt[pid as usize] {
                     pkt_corrupt[pid as usize] = true;
                     corrupted += 1;
+                    let f = pkt_flow[pid as usize] as usize;
+                    if flow_corrupted_at[f] == u32::MAX {
+                        flow_corrupted_at[f] = idx as u32;
+                    }
                     rec.record_corrupt(pkt_flow[pid as usize], step);
                 }
                 moved.push(pid);
@@ -569,6 +590,8 @@ impl PacketSim {
             flow_delivered,
             flow_lost,
             flow_corrupted,
+            flow_dropped_at,
+            flow_corrupted_at,
         }
     }
 

@@ -116,7 +116,12 @@ fn mix64(mut z: u64) -> u64 {
 /// byte is XORed with a seeded stream; if the stream happens to be all
 /// zeros the first byte is flipped anyway, so a "corrupted" delivery is
 /// never byte-identical to the original.
-fn corrupt_payload(ts: &TaggedShare, seed: u64, round: u32, index: usize) -> TaggedShare {
+pub(crate) fn corrupt_payload(
+    ts: &TaggedShare,
+    seed: u64,
+    round: u32,
+    index: usize,
+) -> TaggedShare {
     let mut rng =
         ChaCha8Rng::seed_from_u64(mix64(seed ^ mix64(u64::from(round) << 32 | index as u64)));
     let mut bytes = ts.share.data.to_vec();

@@ -36,15 +36,16 @@
 //! `hyperpath_core::bounds::congestion_lower_bound` — the gap column of
 //! experiment E19.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hyperpath_core::bounds::congestion_lower_bound;
 use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem2Plan};
-use hyperpath_topology::{Hypercube, Node};
+use hyperpath_topology::{DirEdge, Hypercube, Node};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::faults::FaultPlan;
 use crate::packet::{Flow, PacketSim};
 use crate::trace::{NopRecorder, Recorder};
 use crate::wormhole::{Worm, WormholeSim};
@@ -200,6 +201,149 @@ pub struct TenantsConfig {
     pub exec: ExecMode,
 }
 
+/// An adversarial fault plan over the *shared host*, in the engine's own
+/// sparse undirected-link currency (`base · n + d`, `base` with bit `d`
+/// clear — what [`LinkLedger`] keys on). [`sim::faults::FaultPlan`]
+/// allocates dense `O(n · 2^n)` per-link state, which is exactly what an
+/// implicit million-node host cannot afford; this plan stays
+/// `O(faults)`, and the engine *projects* it into a dense per-group
+/// [`FaultPlan`] over each phase's root subcube — so phases still run on
+/// the existing plan-aware engines, faithfully.
+///
+/// Faults are **round-granular**: a link down for round `r` is down for
+/// the whole of round `r`'s phase (cut at machine step 0 of the
+/// projection).
+///
+/// [`sim::faults::FaultPlan`]: crate::faults::FaultPlan
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantFaultPlan {
+    /// Permanent cuts: link → first round it is down.
+    cuts: HashMap<u64, u32>,
+    /// Transient outages: link → list of `[from, until)` round windows.
+    outages: HashMap<u64, Vec<(u32, u32)>>,
+    /// Links that corrupt every payload crossing them.
+    corrupt: HashSet<u64>,
+}
+
+impl TenantFaultPlan {
+    /// The empty plan: a run under it must be byte-identical to a
+    /// plan-free run (pinned by `bench/tests/tenants_faults.rs`).
+    pub fn none() -> Self {
+        TenantFaultPlan::default()
+    }
+
+    /// Cuts `link` permanently from round 0.
+    pub fn cut_link(&mut self, link: u64) {
+        self.cut_link_at(0, link);
+    }
+
+    /// Cuts `link` permanently from the start of `round`. Earlier of two
+    /// cuts on the same link wins.
+    pub fn cut_link_at(&mut self, round: u32, link: u64) {
+        let e = self.cuts.entry(link).or_insert(round);
+        *e = (*e).min(round);
+    }
+
+    /// Transient outage: `link` is down over rounds `[from, until)`. A
+    /// zero-width window is a legal no-op, mirroring
+    /// [`FaultPlan::outage`].
+    pub fn outage(&mut self, link: u64, from: u32, until: u32) {
+        if until > from {
+            self.outages.entry(link).or_default().push((from, until));
+        }
+    }
+
+    /// Marks `link` as corrupting every payload that crosses it.
+    pub fn corrupt_link(&mut self, link: u64) {
+        self.corrupt.insert(link);
+    }
+
+    /// Cuts all `n` links incident to host node `node` from the start of
+    /// `round`.
+    pub fn cut_node_at(&mut self, round: u32, host_dims: u32, node: u64) {
+        for d in 0..host_dims {
+            let base = node & !(1u64 << d);
+            self.cut_link_at(round, base * u64::from(host_dims) + u64::from(d));
+        }
+    }
+
+    /// Whether `link` transmits nothing during `round`.
+    pub fn is_down(&self, link: u64, round: u32) -> bool {
+        if self.cuts.get(&link).is_some_and(|&r| r <= round) {
+            return true;
+        }
+        self.outages
+            .get(&link)
+            .is_some_and(|ws| ws.iter().any(|&(from, until)| from <= round && round < until))
+    }
+
+    /// Whether `link` corrupts payloads.
+    pub fn is_corrupting(&self, link: u64) -> bool {
+        self.corrupt.contains(&link)
+    }
+
+    /// Whether `link` is ever hazardous — cut at any round, subject to
+    /// any outage window, or corrupting. This is what
+    /// [`FaultRouting::Omniscient`] path selection avoids, mirroring
+    /// [`FaultPlan::hazard_set`].
+    pub fn is_hazard(&self, link: u64) -> bool {
+        self.cuts.contains_key(&link)
+            || self.outages.contains_key(&link)
+            || self.corrupt.contains(&link)
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty() && self.outages.is_empty() && self.corrupt.is_empty()
+    }
+
+    /// Whether every fault is a permanent round-0 cut — the regime where
+    /// ledger-learned quarantine provably matches omniscient hazard
+    /// routing (pinned by `bench/tests/tenant_quarantine_conformance.rs`).
+    pub fn is_static_fail_stop(&self) -> bool {
+        self.outages.is_empty() && self.corrupt.is_empty() && self.cuts.values().all(|&r| r == 0)
+    }
+
+    /// Number of permanently cut links.
+    pub fn cut_count(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of links with at least one outage window.
+    pub fn outage_count(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Number of corrupting links.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
+    }
+}
+
+/// How fault-aware path selection learns which links to avoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRouting {
+    /// Oracle-free: avoid links the [`LinkLedger`] has quarantined from
+    /// per-phase ACK/NACK outcomes — the `deliver_adaptive` style.
+    Learned,
+    /// Omniscient baseline: avoid every [`TenantFaultPlan::is_hazard`]
+    /// link. Only tests should use this; it exists so the learned path
+    /// can be pinned against it on static fail-stop plans.
+    Omniscient,
+}
+
+/// Consecutive NACKed phases on a link before it is quarantined.
+pub const QUARANTINE_STRIKES: u32 = 2;
+/// Base quarantine length in rounds; doubles per repeat offense (aged
+/// re-admission), capped at `QUARANTINE_BASE_ROUNDS << QUARANTINE_AGE_CAP`.
+pub const QUARANTINE_BASE_ROUNDS: u32 = 2;
+/// Cap on the offense-count doubling shift.
+pub const QUARANTINE_AGE_CAP: u32 = 4;
+/// Exponential retry backoff for fault-failed requests: a request with
+/// `age` prior requeues waits `2^min(age, BACKOFF_SHIFT_CAP)` rounds
+/// before re-entering admission.
+pub const BACKOFF_SHIFT_CAP: u32 = 3;
+
 /// Per-link width accounting for the shared host. Sparse — state is
 /// `O(links actually touched)`, never `O(n · 2^{n-1})`, which is what
 /// makes admission over an implicit million-node host feasible.
@@ -210,6 +354,11 @@ pub struct LinkLedger {
     cumulative: HashMap<u64, u64>,
     total_slots: u64,
     peak_concurrent: u32,
+    /// Consecutive NACKed phases per link since its last ACK.
+    strikes: HashMap<u64, u32>,
+    /// Quarantine record per link: (first round re-admitted, offenses so
+    /// far). The entry survives expiry so repeat offenders serve longer.
+    quarantine: HashMap<u64, (u32, u32)>,
 }
 
 impl LinkLedger {
@@ -221,6 +370,8 @@ impl LinkLedger {
             cumulative: HashMap::new(),
             total_slots: 0,
             peak_concurrent: 0,
+            strikes: HashMap::new(),
+            quarantine: HashMap::new(),
         }
     }
 
@@ -285,6 +436,62 @@ impl LinkLedger {
     pub fn links_touched(&self) -> usize {
         self.cumulative.len()
     }
+
+    /// Refunds one already-released path's cumulative accounting: the
+    /// request it carried was graded Lost or requeued, so later batches
+    /// must not be charged its phantom congestion (the demand numerator
+    /// of the congestion bound, `total_slots`, and `max_cumulative` both
+    /// shrink). Concurrent width and `peak_concurrent` are untouched —
+    /// the slots genuinely were occupied during the failed phase.
+    pub fn refund(&mut self, links: &[u64]) {
+        for &l in links {
+            let c = self.cumulative.get_mut(&l).expect("refunding an uncommitted link");
+            debug_assert!(*c > 0, "refund past zero on link {l}");
+            // The entry stays even at zero so `links_touched` still
+            // counts every link ever committed.
+            *c -= 1;
+            self.total_slots -= 1;
+        }
+    }
+
+    /// Records a NACK on `link`: the phase that crossed it lost or
+    /// corrupted a share there. [`QUARANTINE_STRIKES`] consecutive
+    /// NACKed phases quarantine the link for
+    /// `QUARANTINE_BASE_ROUNDS << min(offenses, QUARANTINE_AGE_CAP)`
+    /// rounds — doubling per repeat offense, so flapping links are
+    /// re-admitted quickly at first and held out longer each relapse.
+    pub fn nack(&mut self, link: u64, round: u32) {
+        let s = self.strikes.entry(link).or_insert(0);
+        *s += 1;
+        if *s >= QUARANTINE_STRIKES {
+            *s = 0;
+            let e = self.quarantine.entry(link).or_insert((0, 0));
+            let hold = QUARANTINE_BASE_ROUNDS << e.1.min(QUARANTINE_AGE_CAP);
+            e.0 = e.0.max(round + 1 + hold);
+            e.1 += 1;
+        }
+    }
+
+    /// Records an ACK on `link`: a share crossed it cleanly this phase,
+    /// so its strike count resets (offense history is kept — aged
+    /// re-admission stays skeptical of repeat offenders).
+    pub fn ack(&mut self, link: u64) {
+        self.strikes.remove(&link);
+    }
+
+    /// Whether `link` is quarantined during `round` (expiry is passive:
+    /// the round simply passes the re-admission mark).
+    pub fn is_quarantined(&self, link: u64, round: u32) -> bool {
+        self.quarantine.get(&link).is_some_and(|&(until, _)| round < until)
+    }
+
+    /// Every link ever quarantined, ascending. Sorted so reports are
+    /// deterministic despite the hash map.
+    pub fn ever_quarantined(&self) -> Vec<u64> {
+        let mut links: Vec<u64> = self.quarantine.keys().copied().collect();
+        links.sort_unstable();
+        links
+    }
 }
 
 /// How a request ended up.
@@ -314,8 +521,19 @@ pub struct FlowStats {
     pub requeues: u64,
     /// Path shares committed through the ledger.
     pub shares_committed: u64,
-    /// Shares the phase engine delivered.
+    /// Shares the phase engine delivered (clean or corrupted).
     pub shares_delivered: u64,
+    /// Shares the phase engine dropped on a faulted link.
+    pub shares_lost: u64,
+    /// Delivered shares whose payload crossed a corrupting link
+    /// (detected and excluded from reconstruction).
+    pub shares_corrupted: u64,
+    /// Messages delivered only after at least one fault-failed phase —
+    /// the retry-with-backoff queue earned them back.
+    pub recovered: u64,
+    /// Rounds between first issue and eventual delivery, summed over
+    /// recovered messages.
+    pub recovery_rounds: u64,
 }
 
 impl FlowStats {
@@ -323,10 +541,48 @@ impl FlowStats {
     pub fn delivered_messages(&self) -> u64 {
         self.full + self.degraded
     }
+
+    /// The tenant's overall SLO grade: the worst thing that happened to
+    /// any of its messages.
+    pub fn slo_grade(&self) -> SloGrade {
+        if self.lost > 0 {
+            SloGrade::Lost
+        } else if self.recovered > 0 {
+            SloGrade::Recovered
+        } else if self.degraded > 0 {
+            SloGrade::Degraded
+        } else {
+            SloGrade::Delivered
+        }
+    }
+
+    /// Mean rounds-to-recover over recovered messages (0 when none
+    /// recovered).
+    pub fn mean_rounds_to_recover(&self) -> f64 {
+        if self.recovered == 0 {
+            0.0
+        } else {
+            self.recovery_rounds as f64 / self.recovered as f64
+        }
+    }
+}
+
+/// Per-tenant SLO grade, worst-case over the tenant's messages. Ordered:
+/// `Delivered < Degraded < Recovered < Lost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloGrade {
+    /// Every message arrived at full width on first admission.
+    Delivered,
+    /// Some message fell to the IDA threshold but still reconstructed.
+    Degraded,
+    /// Some message needed the retry-with-backoff queue to get through.
+    Recovered,
+    /// Some message exhausted its retries.
+    Lost,
 }
 
 /// One tenant's slice of the final report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantReport {
     /// The tenant's id.
     pub id: u32,
@@ -349,10 +605,13 @@ pub struct LedgerSummary {
     pub max_cumulative: u64,
     /// Peak concurrent width on one link.
     pub peak_concurrent: u32,
+    /// Distinct links the ledger ever quarantined (0 for plan-free
+    /// runs).
+    pub quarantined_links: usize,
 }
 
 /// Outcome of a multi-tenant run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
     /// Host dimension `n`.
     pub host_dims: u32,
@@ -364,6 +623,11 @@ pub struct EngineReport {
     pub total_steps: u64,
     /// Ledger accounting.
     pub ledger: LedgerSummary,
+    /// Host links the ledger ever quarantined, ascending (empty for
+    /// plan-free runs). On static fail-stop plans this is a subset of
+    /// the plan's hazard links — pinned by
+    /// `bench/tests/tenant_quarantine_conformance.rs`.
+    pub quarantined: Vec<u64>,
 }
 
 impl EngineReport {
@@ -413,18 +677,27 @@ impl EngineReport {
 }
 
 /// A pending request: tenant (by index into the sorted spec table), guest
-/// edge, and how many times it has been requeued.
+/// edge, and its retry state.
 #[derive(Debug, Clone, Copy)]
 struct Request {
     tenant: usize,
     edge: u64,
+    /// Requeues so far (admission rejects and fault failures combined).
     age: u32,
+    /// First round this request may (re-)enter admission. Admission
+    /// rejects retry next round; fault failures back off exponentially.
+    ready: u32,
+    /// Whether a phase ever fault-failed this request (delivering it now
+    /// grades Recovered).
+    faulted: bool,
+    /// Round the request was first issued (rounds-to-recover baseline).
+    issued: u32,
 }
 
 /// An admitted request, carrying its committed paths in *host* link
 /// currency.
 struct Admitted {
-    tenant: usize,
+    req: Request,
     group: usize,
     paths: Vec<Vec<u64>>,
 }
@@ -517,6 +790,38 @@ impl TenantEngine {
 
     /// Runs the engine, reporting every phase-group machine run to `rec`.
     pub fn run_recorded<R: Recorder>(&self, rec: &mut R) -> EngineReport {
+        self.run_impl(None, rec)
+    }
+
+    /// Runs the engine under an adversarial [`TenantFaultPlan`]. Phases
+    /// execute on the plan-aware engines; the ledger learns link health
+    /// from per-phase ACK/NACK outcomes and quarantines suspects
+    /// ([`FaultRouting::Learned`]), path selection routes around them
+    /// degrading gracefully to the IDA threshold, and fault-failed
+    /// requests retry with exponential backoff instead of being dropped.
+    ///
+    /// With an **empty** plan the report is byte-identical to
+    /// [`TenantEngine::run`]'s.
+    pub fn run_planned(&self, plan: &TenantFaultPlan, routing: FaultRouting) -> EngineReport {
+        self.run_planned_recorded(plan, routing, &mut NopRecorder)
+    }
+
+    /// [`TenantEngine::run_planned`] with a [`Recorder`] observing every
+    /// phase-group machine run.
+    pub fn run_planned_recorded<R: Recorder>(
+        &self,
+        plan: &TenantFaultPlan,
+        routing: FaultRouting,
+        rec: &mut R,
+    ) -> EngineReport {
+        self.run_impl(Some((plan, routing)), rec)
+    }
+
+    fn run_impl<R: Recorder>(
+        &self,
+        fault: Option<(&TenantFaultPlan, FaultRouting)>,
+        rec: &mut R,
+    ) -> EngineReport {
         let cfg = &self.cfg;
         let mut ledger = LinkLedger::new(cfg.capacity);
         let mut stats = vec![FlowStats::default(); self.specs.len()];
@@ -534,21 +839,41 @@ impl TenantEngine {
         let mut backlog: Vec<Request> = Vec::new();
         let mut total_steps = 0u64;
 
-        for _round in 0..cfg.rounds {
-            // Aged backlog first (stable order), then this round's fresh
-            // requests in canonical tenant order.
-            let mut requests: Vec<Request> = std::mem::take(&mut backlog);
+        for round in 0..cfg.rounds {
+            // Backlog entries whose backoff has expired first (stable
+            // order), then this round's fresh requests in canonical
+            // tenant order. Plan-free runs requeue with `ready = round +
+            // 1` only, so every backlog entry pops — identical to the
+            // pre-fault engine.
+            let mut requests: Vec<Request> = Vec::new();
+            let mut waiting: Vec<Request> = Vec::new();
+            for r in std::mem::take(&mut backlog) {
+                if r.ready <= round {
+                    requests.push(r);
+                } else {
+                    waiting.push(r);
+                }
+            }
+            backlog = waiting;
             for (t, spec) in self.specs.iter().enumerate() {
                 let edges = spec.plan.num_edges();
                 for _ in 0..cfg.requests_per_round {
                     let edge = draw_edge(&mut rngs[t], edges);
                     stats[t].requested += 1;
-                    requests.push(Request { tenant: t, edge, age: 0 });
+                    requests.push(Request {
+                        tenant: t,
+                        edge,
+                        age: 0,
+                        ready: round,
+                        faulted: false,
+                        issued: round,
+                    });
                 }
             }
 
             // Admission in request order: congestion-aware subset
-            // selection through the ledger.
+            // selection through the ledger, steering around quarantined
+            // (or, for the omniscient baseline, hazard) links.
             let mut admitted: Vec<Admitted> = Vec::new();
             for req in requests {
                 let t = req.tenant;
@@ -559,10 +884,26 @@ impl TenantEngine {
                 spec.plan.for_each_path(req.edge, &mut |p| {
                     paths.push(lift_path(p, spec.plan.dims(), spec.window, self.cfg.host_dims));
                 });
+                // Health-aware re-routing: paths through suspect links
+                // are not candidates at all — the bundle degrades
+                // gracefully toward the IDA threshold instead of wasting
+                // commits on links known to eat shares.
+                let suspect = |links: &[u64]| -> bool {
+                    match fault {
+                        None => false,
+                        Some((_, FaultRouting::Learned)) => {
+                            links.iter().any(|&l| ledger.is_quarantined(l, round))
+                        }
+                        Some((plan, FaultRouting::Omniscient)) => {
+                            links.iter().any(|&l| plan.is_hazard(l))
+                        }
+                    }
+                };
                 // Least-loaded-first: order candidate paths by the
                 // hottest link each would cross, keeping bundle order as
                 // the tiebreak, then take those that still fit.
-                let mut order: Vec<usize> = (0..paths.len()).collect();
+                let mut order: Vec<usize> =
+                    (0..paths.len()).filter(|&i| !suspect(&paths[i])).collect();
                 order.sort_by_key(|&i| {
                     (paths[i].iter().map(|&l| ledger.load(l)).max().unwrap_or(0), i)
                 });
@@ -576,7 +917,7 @@ impl TenantEngine {
                         stats[t].lost += 1;
                     } else {
                         stats[t].requeues += 1;
-                        backlog.push(Request { age: req.age + 1, ..req });
+                        backlog.push(Request { age: req.age + 1, ready: round + 1, ..req });
                     }
                     continue;
                 }
@@ -585,23 +926,26 @@ impl TenantEngine {
                     ledger.commit(&paths[i]);
                     committed.push(std::mem::take(&mut paths[i]));
                 }
-                if committed.len() as u32 == width {
-                    stats[t].full += 1;
-                } else {
-                    stats[t].degraded += 1;
-                }
                 stats[t].shares_committed += committed.len() as u64;
-                admitted.push(Admitted { tenant: t, group: self.group_of[t], paths: committed });
+                admitted.push(Admitted { req, group: self.group_of[t], paths: committed });
             }
 
             // One phase per window group, executed exactly on the root
             // subcube (disjoint groups cannot interact, so this is the
-            // shared machine's behavior, not an approximation).
+            // shared machine's behavior, not an approximation). Under a
+            // plan the group projects the sparse host faults into a
+            // dense subcube FaultPlan and runs the plan-aware engines;
+            // per-share outcomes feed the ledger's ACK/NACK health
+            // learning.
+            let mut delivered_shares = vec![0u64; admitted.len()];
+            let mut corrupted_shares = vec![0u64; admitted.len()];
             for (g, &(root_dims, root_base)) in self.groups.iter().enumerate() {
-                let batch: Vec<&Admitted> = admitted.iter().filter(|a| a.group == g).collect();
-                if batch.is_empty() {
+                let batch_idx: Vec<usize> =
+                    (0..admitted.len()).filter(|&i| admitted[i].group == g).collect();
+                if batch_idx.is_empty() {
                     continue;
                 }
+                let batch: Vec<&Admitted> = batch_idx.iter().map(|&i| &admitted[i]).collect();
                 let exec = match cfg.exec {
                     ExecMode::Structural => ExecMode::Structural,
                     e if root_dims > ENGINE_MAX_DIMS => {
@@ -610,11 +954,106 @@ impl TenantEngine {
                     }
                     e => e,
                 };
-                let (steps, delivered_by_flow) =
-                    run_group(&batch, root_dims, root_base, self.cfg.host_dims, exec, rec);
-                total_steps += steps;
-                for (a, d) in batch.iter().zip(delivered_by_flow) {
-                    stats[a.tenant].shares_delivered += d;
+                match fault {
+                    None => {
+                        let (steps, delivered_by_flow) =
+                            run_group(&batch, root_dims, root_base, self.cfg.host_dims, exec, rec);
+                        total_steps += steps;
+                        for (&i, d) in batch_idx.iter().zip(delivered_by_flow) {
+                            delivered_shares[i] = d;
+                        }
+                    }
+                    Some((plan, _)) => {
+                        let (steps, outcomes) = run_group_planned(
+                            &batch,
+                            round,
+                            plan,
+                            root_dims,
+                            root_base,
+                            self.cfg.host_dims,
+                            exec,
+                            rec,
+                        );
+                        total_steps += steps;
+                        for (&i, outs) in batch_idx.iter().zip(outcomes) {
+                            for (p, o) in admitted[i].paths.iter().zip(&outs) {
+                                if o.delivered {
+                                    delivered_shares[i] += 1;
+                                    if o.corrupted {
+                                        corrupted_shares[i] += 1;
+                                        if let Some(b) = o.blame {
+                                            ledger.nack(b, round);
+                                        }
+                                    } else {
+                                        // The whole path carried a clean
+                                        // share: every hop is healthy.
+                                        for &l in p {
+                                            ledger.ack(l);
+                                        }
+                                    }
+                                } else if let Some(b) = o.blame {
+                                    ledger.nack(b, round);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Post-phase SLO grading. Plan-free runs grade on committed
+            // width (their engines deliver every committed share — the
+            // run_group debug_asserts pin it); plan runs grade on shares
+            // that arrived *clean*, refund fault-failed requests'
+            // phantom congestion, and requeue them with backoff.
+            for (i, a) in admitted.iter().enumerate() {
+                let t = a.req.tenant;
+                let width = self.specs[t].plan.width();
+                let threshold = u64::from(width.div_ceil(2));
+                let committed = a.paths.len() as u64;
+                stats[t].shares_delivered += delivered_shares[i];
+                match fault {
+                    None => {
+                        if committed as u32 == width {
+                            stats[t].full += 1;
+                        } else {
+                            stats[t].degraded += 1;
+                        }
+                    }
+                    Some(_) => {
+                        let clean = delivered_shares[i] - corrupted_shares[i];
+                        stats[t].shares_lost += committed - delivered_shares[i];
+                        stats[t].shares_corrupted += corrupted_shares[i];
+                        if clean >= threshold {
+                            if clean == u64::from(width) {
+                                stats[t].full += 1;
+                            } else {
+                                stats[t].degraded += 1;
+                            }
+                            if a.req.faulted {
+                                stats[t].recovered += 1;
+                                stats[t].recovery_rounds += u64::from(round - a.req.issued);
+                            }
+                        } else {
+                            // Below the IDA threshold: the message did
+                            // not reconstruct. Refund its congestion and
+                            // retry with exponential backoff.
+                            for p in &a.paths {
+                                ledger.refund(p);
+                            }
+                            if a.req.age >= cfg.max_requeues {
+                                stats[t].lost += 1;
+                            } else {
+                                stats[t].requeues += 1;
+                                let delay = 1u32 << a.req.age.min(BACKOFF_SHIFT_CAP);
+                                backlog.push(Request {
+                                    age: a.req.age + 1,
+                                    ready: round + delay,
+                                    faulted: true,
+                                    ..a.req
+                                });
+                            }
+                        }
+                    }
                 }
             }
 
@@ -626,11 +1065,13 @@ impl TenantEngine {
             }
         }
 
-        // Drain the final backlog as lost — the run is over.
+        // Drain the final backlog as lost — the run is over (backed-off
+        // retries that never got another round count too).
         for req in backlog {
             stats[req.tenant].lost += 1;
         }
 
+        let quarantined = ledger.ever_quarantined();
         EngineReport {
             host_dims: cfg.host_dims,
             rounds: cfg.rounds,
@@ -647,7 +1088,9 @@ impl TenantEngine {
                 total_slots: ledger.total_slots(),
                 max_cumulative: ledger.max_cumulative(),
                 peak_concurrent: ledger.peak_concurrent(),
+                quarantined_links: quarantined.len(),
             },
+            quarantined,
         }
     }
 }
@@ -665,6 +1108,17 @@ pub fn run_tenants_recorded<R: Recorder>(
     rec: &mut R,
 ) -> Result<EngineReport, String> {
     Ok(TenantEngine::new(cfg.clone(), specs)?.run_recorded(rec))
+}
+
+/// Runs the engine for `cfg` over `specs` under an adversarial fault
+/// plan (see [`TenantEngine::run_planned`]).
+pub fn run_tenants_planned(
+    cfg: &TenantsConfig,
+    specs: &[TenantSpec],
+    plan: &TenantFaultPlan,
+    routing: FaultRouting,
+) -> Result<EngineReport, String> {
+    Ok(TenantEngine::new(cfg.clone(), specs)?.run_planned(plan, routing))
 }
 
 /// Uniform edge draw via rejection sampling on the raw word stream —
@@ -687,7 +1141,7 @@ fn draw_edge(rng: &mut ChaCha8Rng, edges: u64) -> u64 {
 
 /// Lifts a path of dense `Q_m` link indices into host `Q_n` currency:
 /// subcube link `(base, d)` becomes host link `((window << m) | base, d)`.
-fn lift_path(links: &[u64], m: u32, window: u64, n: u32) -> Vec<u64> {
+pub(crate) fn lift_path(links: &[u64], m: u32, window: u64, n: u32) -> Vec<u64> {
     links
         .iter()
         .map(|&l| {
@@ -804,6 +1258,197 @@ fn run_group<R: Recorder>(
                 delivered[i] += 1;
             }
             (report.makespan, delivered)
+        }
+    }
+}
+
+/// What one committed share experienced during its phase.
+struct PathOutcome {
+    /// The share arrived (possibly corrupted).
+    delivered: bool,
+    /// The share arrived but crossed a corrupting link.
+    corrupted: bool,
+    /// The host link to NACK: where the share was dropped, or the first
+    /// corrupting link it crossed. `None` for a clean delivery.
+    blame: Option<u64>,
+}
+
+/// Local `Q_m` directed edge of a host link (the link currency keeps the
+/// canonical base, so masking to the window's coordinates suffices).
+#[inline]
+fn local_dir_edge(link: u64, n: u32, mask: u64) -> DirEdge {
+    let d = (link % u64::from(n)) as u32;
+    let base = link / u64::from(n);
+    DirEdge::new(base & mask, d)
+}
+
+/// Host link of a local directed-edge index reported by a plan-aware
+/// engine (inverse of [`local_dir_edge`] up to orientation).
+#[inline]
+fn host_link_of(cube: &Hypercube, idx: u32, n: u32, root_base: u64) -> u64 {
+    let e = cube.dir_edge_from_index(idx as usize).undirected();
+    (root_base | e.from) * u64::from(n) + u64::from(e.dim)
+}
+
+/// Projects the sparse host-level plan onto the links this batch actually
+/// crosses, as a dense [`FaultPlan`] over the group's root subcube. Links
+/// down at `round` are cut from machine step 0 (round granularity);
+/// corrupting links corrupt.
+fn project_group_plan(
+    batch: &[&Admitted],
+    round: u32,
+    plan: &TenantFaultPlan,
+    cube: &Hypercube,
+    n: u32,
+) -> FaultPlan {
+    let mask = cube.num_nodes() - 1;
+    let mut dense = FaultPlan::none(cube);
+    for a in batch {
+        for p in &a.paths {
+            for &l in p {
+                if plan.is_down(l, round) {
+                    dense.cut_link(cube, local_dir_edge(l, n, mask));
+                }
+                if plan.is_corrupting(l) {
+                    dense.corrupt_link(cube, local_dir_edge(l, n, mask));
+                }
+            }
+        }
+    }
+    dense
+}
+
+/// Executes one window group's phase under the projected fault plan and
+/// returns (machine steps, per-admitted-request share outcomes in batch
+/// and path order).
+#[allow(clippy::too_many_arguments)]
+fn run_group_planned<R: Recorder>(
+    batch: &[&Admitted],
+    round: u32,
+    plan: &TenantFaultPlan,
+    root_dims: u32,
+    root_base: u64,
+    n: u32,
+    exec: ExecMode,
+    rec: &mut R,
+) -> (u64, Vec<Vec<PathOutcome>>) {
+    match exec {
+        ExecMode::Structural => {
+            // Same serialization bound as the plan-free path (committed
+            // load is committed load whether or not shares then die), so
+            // an empty plan stays bit-identical; outcomes are graded
+            // analytically per path.
+            let mut load: HashMap<u64, u64> = HashMap::new();
+            let mut longest = 0u64;
+            for a in batch {
+                for p in &a.paths {
+                    longest = longest.max(p.len() as u64);
+                    for &l in p {
+                        *load.entry(l).or_insert(0) += 1;
+                    }
+                }
+            }
+            let hottest = load.values().copied().max().unwrap_or(0);
+            let steps = hottest.saturating_add(longest.saturating_sub(1));
+            let outcomes = batch
+                .iter()
+                .map(|a| {
+                    a.paths
+                        .iter()
+                        .map(|p| {
+                            let down = p.iter().copied().find(|&l| plan.is_down(l, round));
+                            let corrupting = p.iter().copied().find(|&l| plan.is_corrupting(l));
+                            match down {
+                                Some(l) => PathOutcome {
+                                    delivered: false,
+                                    corrupted: false,
+                                    blame: Some(l),
+                                },
+                                None => PathOutcome {
+                                    delivered: true,
+                                    corrupted: corrupting.is_some(),
+                                    blame: corrupting,
+                                },
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            (steps, outcomes)
+        }
+        ExecMode::Packet => {
+            let cube = Hypercube::new(root_dims);
+            let dense = project_group_plan(batch, round, plan, &cube, n);
+            let mut sim = PacketSim::new(cube);
+            let mut flows = 0u64;
+            for a in batch.iter() {
+                for p in &a.paths {
+                    sim.add_flow(Flow { path: local_walk(p, n, root_dims, root_base), packets: 1 });
+                    flows += 1;
+                }
+            }
+            let max_steps = flows * 4 + 4;
+            let pr = sim.run_planned_recorded(max_steps, &dense, rec);
+            let mut f = 0usize;
+            let outcomes = batch
+                .iter()
+                .map(|a| {
+                    a.paths
+                        .iter()
+                        .map(|_| {
+                            let delivered = pr.flow_delivered[f] == 1;
+                            let corrupted = pr.flow_corrupted[f] == 1;
+                            let blame = if !delivered {
+                                Some(host_link_of(&cube, pr.flow_dropped_at[f], n, root_base))
+                            } else if corrupted {
+                                Some(host_link_of(&cube, pr.flow_corrupted_at[f], n, root_base))
+                            } else {
+                                None
+                            };
+                            f += 1;
+                            PathOutcome { delivered, corrupted, blame }
+                        })
+                        .collect()
+                })
+                .collect();
+            (pr.report.makespan, outcomes)
+        }
+        ExecMode::Wormhole { flits } => {
+            let cube = Hypercube::new(root_dims);
+            let dense = project_group_plan(batch, round, plan, &cube, n);
+            let mut sim = WormholeSim::new(cube);
+            let mut worms = 0u64;
+            for a in batch.iter() {
+                for p in &a.paths {
+                    sim.add_worm(Worm { path: local_walk(p, n, root_dims, root_base), flits });
+                    worms += 1;
+                }
+            }
+            let max_steps = worms * (flits + 3) + flits + 4;
+            let wr = sim.run_planned_recorded(max_steps, &dense, rec);
+            let mut w = 0usize;
+            let outcomes = batch
+                .iter()
+                .map(|a| {
+                    a.paths
+                        .iter()
+                        .map(|_| {
+                            let delivered = !wr.lost[w];
+                            let corrupted = delivered && wr.corrupted[w];
+                            let blame = if !delivered {
+                                Some(host_link_of(&cube, wr.dropped_at[w], n, root_base))
+                            } else if corrupted {
+                                Some(host_link_of(&cube, wr.corrupted_at[w], n, root_base))
+                            } else {
+                                None
+                            };
+                            w += 1;
+                            PathOutcome { delivered, corrupted, blame }
+                        })
+                        .collect()
+                })
+                .collect();
+            (wr.report.makespan, outcomes)
         }
     }
 }
@@ -1001,6 +1646,162 @@ mod tests {
     }
 
     #[test]
+    fn ledger_refund_keeps_peak_but_not_cumulative() {
+        // Satellite regression: a fault-failed request's slots must not
+        // charge later batches phantom congestion — cumulative accounting
+        // (total_slots, max_cumulative) is refunded, while the
+        // *concurrent* high-water mark stays (the slots really were held
+        // during the failed phase), as does links_touched.
+        let mut led = LinkLedger::new(4);
+        led.commit(&[5, 9]);
+        led.commit(&[5, 9]);
+        led.release(&[5, 9]);
+        led.release(&[5, 9]);
+        assert_eq!((led.total_slots(), led.max_cumulative(), led.peak_concurrent()), (4, 2, 2));
+        led.refund(&[5, 9]);
+        assert_eq!(led.total_slots(), 2, "refunded slots leave the demand numerator");
+        assert_eq!(led.max_cumulative(), 1, "refunded slots leave measured congestion");
+        assert_eq!(led.peak_concurrent(), 2, "peak concurrency is history, not demand");
+        assert_eq!(led.links_touched(), 2, "refund never forgets a touched link");
+        led.refund(&[5, 9]);
+        assert_eq!((led.total_slots(), led.max_cumulative()), (0, 0));
+        assert_eq!(led.links_touched(), 2);
+    }
+
+    #[test]
+    fn quarantine_state_machine_strikes_ack_reset_and_aged_readmission() {
+        let mut led = LinkLedger::new(2);
+        // One strike is suspicion, not quarantine.
+        led.nack(7, 0);
+        assert!(!led.is_quarantined(7, 1));
+        // Second consecutive strike quarantines for BASE (2) rounds.
+        led.nack(7, 1);
+        assert!(led.is_quarantined(7, 2));
+        assert!(led.is_quarantined(7, 3));
+        assert!(!led.is_quarantined(7, 4), "first offense expires after 2 rounds");
+        // An ACK between strikes resets the count: no quarantine.
+        led.nack(8, 0);
+        led.ack(8);
+        led.nack(8, 1);
+        assert!(!led.is_quarantined(8, 2), "ack clears strikes");
+        // Repeat offense doubles the hold: 4 rounds this time.
+        led.nack(7, 4);
+        led.nack(7, 5);
+        assert!(led.is_quarantined(7, 9));
+        assert!(!led.is_quarantined(7, 10), "second offense holds 4 rounds");
+        assert_eq!(led.ever_quarantined(), vec![7]);
+    }
+
+    #[test]
+    fn empty_plan_run_is_byte_identical_to_plain_run() {
+        // The full proptest lives in bench/tests/tenants_faults.rs; this
+        // pins the contended + nested-window case in-crate.
+        let specs = [grid_spec(0, 0), grid_spec(1, 0), tree_spec(2, 1)];
+        let engine = TenantEngine::new(cfg(6, 2), &specs).unwrap();
+        let plain = engine.run();
+        assert_eq!(engine.run_planned(&TenantFaultPlan::none(), FaultRouting::Learned), plain);
+        assert_eq!(engine.run_planned(&TenantFaultPlan::none(), FaultRouting::Omniscient), plain);
+    }
+
+    #[test]
+    fn faults_in_one_window_leave_other_tenants_byte_identical() {
+        // Disjoint windows, ample capacity: a node death inside window 0
+        // must not perturb window 1's tenant in any way.
+        let specs = [grid_spec(0, 0), grid_spec(1, 1)];
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3); // host node 3 lives in window 0's Q_4
+        let engine = TenantEngine::new(cfg(6, 8), &specs).unwrap();
+        let faulted = engine.run_planned(&tplan, FaultRouting::Learned);
+        let clean = engine.run();
+        assert_eq!(faulted.tenants[1].stats, clean.tenants[1].stats);
+        let st = &faulted.tenants[0].stats;
+        assert!(st.shares_lost > 0, "node 3's links must eat some shares: {st:?}");
+        assert_eq!(st.full + st.degraded + st.lost, st.requested, "message conservation");
+        assert_eq!(st.shares_committed, st.shares_delivered + st.shares_lost, "share conservation");
+        for &l in &faulted.quarantined {
+            assert!(tplan.is_hazard(l), "quarantined link {l} is not a planned hazard");
+        }
+    }
+
+    #[test]
+    fn round_zero_outage_recovers_via_backoff_retries() {
+        // Every window-0 link is down for round 0 only: all round-0
+        // requests fault-fail, requeue with backoff, and deliver in a
+        // later round — the Recovered grade, never Lost.
+        let mut c = cfg(6, 8);
+        c.rounds = 6;
+        c.max_requeues = 5;
+        let mut tplan = TenantFaultPlan::none();
+        for base in 0..16u64 {
+            for d in 0..4u32 {
+                if base & (1 << d) == 0 {
+                    tplan.outage(base * 6 + u64::from(d), 0, 1);
+                }
+            }
+        }
+        let engine = TenantEngine::new(c, &[grid_spec(0, 0)]).unwrap();
+        let r = engine.run_planned(&tplan, FaultRouting::Learned);
+        let st = &r.tenants[0].stats;
+        assert!(st.recovered > 0, "round-0 requests must come back: {st:?}");
+        assert!(st.recovery_rounds >= st.recovered, "recovery takes at least one round each");
+        assert!(st.shares_lost > 0);
+        assert_eq!(st.lost, 0, "a one-round outage must not lose messages: {st:?}");
+        assert_eq!(st.full + st.degraded + st.lost, st.requested);
+        assert_eq!(st.slo_grade(), SloGrade::Recovered);
+        assert!(st.mean_rounds_to_recover() >= 1.0);
+        for &l in &r.quarantined {
+            assert!(tplan.is_hazard(l));
+        }
+    }
+
+    #[test]
+    fn all_links_corrupting_detects_and_loses_every_message() {
+        // Corrupted shares arrive (the engines deliver them) but are
+        // excluded from reconstruction, so every message stays below
+        // threshold and is eventually graded Lost.
+        let mut tplan = TenantFaultPlan::none();
+        for base in 0..16u64 {
+            for d in 0..4u32 {
+                if base & (1 << d) == 0 {
+                    tplan.corrupt_link(base * 6 + u64::from(d));
+                }
+            }
+        }
+        let engine = TenantEngine::new(cfg(6, 8), &[grid_spec(0, 0)]).unwrap();
+        let r = engine.run_planned(&tplan, FaultRouting::Learned);
+        let st = &r.tenants[0].stats;
+        assert_eq!(st.delivered_messages(), 0);
+        assert_eq!(st.lost, st.requested);
+        assert!(st.shares_corrupted > 0);
+        assert_eq!(st.shares_delivered, st.shares_committed, "corrupted shares still arrive");
+        assert_eq!(st.shares_lost, 0);
+        assert_eq!(st.slo_grade(), SloGrade::Lost);
+    }
+
+    #[test]
+    fn planned_execution_modes_agree_on_grading() {
+        // Packet, wormhole, and structural modes model the same faults:
+        // message-level grading must agree (machine steps differ).
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3);
+        let specs = [grid_spec(0, 0), tree_spec(1, 1)];
+        let mut c = cfg(6, 8);
+        let packet = run_tenants_planned(&c, &specs, &tplan, FaultRouting::Learned).unwrap();
+        c.exec = ExecMode::Structural;
+        let structural = run_tenants_planned(&c, &specs, &tplan, FaultRouting::Learned).unwrap();
+        c.exec = ExecMode::Wormhole { flits: 2 };
+        let wormhole = run_tenants_planned(&c, &specs, &tplan, FaultRouting::Learned).unwrap();
+        for (p, (s, w)) in
+            packet.tenants.iter().zip(structural.tenants.iter().zip(&wormhole.tenants))
+        {
+            assert_eq!(p.stats, s.stats, "packet vs structural");
+            assert_eq!(p.stats, w.stats, "packet vs wormhole");
+        }
+        assert_eq!(packet.ledger, structural.ledger);
+        assert_eq!(packet.quarantined, structural.quarantined);
+    }
+
+    #[test]
     fn jain_fairness_formula() {
         let mk = |vals: &[u64]| EngineReport {
             host_dims: 6,
@@ -1021,7 +1822,9 @@ mod tests {
                 total_slots: 0,
                 max_cumulative: 0,
                 peak_concurrent: 0,
+                quarantined_links: 0,
             },
+            quarantined: Vec::new(),
         };
         assert_eq!(mk(&[5, 5, 5, 5]).jain_fairness(), 1.0);
         assert_eq!(mk(&[10, 0, 0, 0]).jain_fairness(), 0.25);

@@ -64,6 +64,14 @@ pub struct PlanWormReport {
     /// worm id (a corrupted worm still completes — only its payload is
     /// untrustworthy).
     pub corrupted: Vec<bool>,
+    /// Directed-link index the worm was killed on (`u32::MAX` if it
+    /// completed) — the NACK location an oracle-free health learner can
+    /// attribute, indexed by worm id.
+    pub dropped_at: Vec<u32>,
+    /// Directed-link index of the corrupting link the worm's head first
+    /// entered (`u32::MAX` if its payload stayed clean), indexed by
+    /// worm id.
+    pub corrupted_at: Vec<u32>,
 }
 
 impl PlanWormReport {
@@ -219,6 +227,8 @@ impl WormholeSim {
         let mut next_event = 0usize;
         let mut lost = vec![false; if FAULTY { self.worms.len() } else { 0 }];
         let mut corrupted = vec![false; if PLAN { self.worms.len() } else { 0 }];
+        let mut dropped_at = vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }];
+        let mut corrupted_at = vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }];
 
         // Flat per-worm arenas: link index and head-entry step per hop.
         let mut worm_off: Vec<u32> = Vec::with_capacity(self.worms.len() + 1);
@@ -260,6 +270,7 @@ impl WormholeSim {
                                  holder: &mut [u32],
                                  completion: &mut [u64],
                                  lost: &mut [bool],
+                                 dropped_at: &mut [u32],
                                  rec: &mut R| {
                     failed[idx] = true;
                     let wid = holder[idx];
@@ -274,6 +285,9 @@ impl WormholeSim {
                         }
                         completion[w] = step;
                         lost[w] = true;
+                        if PLAN {
+                            dropped_at[w] = idx as u32;
+                        }
                         any_killed = true;
                         rec.record_drop(wid, step);
                     }
@@ -292,6 +306,7 @@ impl WormholeSim {
                                     &mut holder,
                                     &mut completion,
                                     &mut lost,
+                                    &mut dropped_at,
                                     rec,
                                 ),
                                 LinkEvent::Up => failed[idx] = false,
@@ -306,7 +321,15 @@ impl WormholeSim {
                             self.host.dir_edge_index(edge),
                             self.host.dir_edge_index(edge.reversed()),
                         ] {
-                            sever(idx, &mut failed, &mut holder, &mut completion, &mut lost, rec);
+                            sever(
+                                idx,
+                                &mut failed,
+                                &mut holder,
+                                &mut completion,
+                                &mut lost,
+                                &mut dropped_at,
+                                rec,
+                            );
                         }
                         next_event += 1;
                     }
@@ -336,6 +359,9 @@ impl WormholeSim {
                         }
                         completion[w] = step;
                         lost[w] = true;
+                        if PLAN {
+                            dropped_at[w] = idx as u32;
+                        }
                         rec.record_drop(wid, step);
                         return false;
                     }
@@ -346,6 +372,7 @@ impl WormholeSim {
                         // completes normally.
                         if PLAN && corrupting[idx] && !corrupted[w] {
                             corrupted[w] = true;
+                            corrupted_at[w] = idx as u32;
                             rec.record_corrupt(wid, step);
                         }
                         entered[off + head[w]] = step;
@@ -394,6 +421,8 @@ impl WormholeSim {
             },
             lost,
             corrupted,
+            dropped_at,
+            corrupted_at,
         }
     }
 
