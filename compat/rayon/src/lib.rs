@@ -160,6 +160,29 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `.par_iter_mut()` on slice-like containers (yields `&mut T` items).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParallelPipeline<&'a mut Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParallelPipeline<&'a mut T> {
+        ParallelPipeline { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParallelPipeline<&'a mut T> {
+        ParallelPipeline { items: self.iter_mut().collect() }
+    }
+}
+
 /// `.into_par_iter()` on owning containers.
 pub trait IntoParallelIterator {
     /// Owned item type.
@@ -185,7 +208,9 @@ impl IntoParallelIterator for std::ops::Range<usize> {
 
 /// The rayon prelude: traits needed for `.par_iter()` etc.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelPipeline};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelPipeline,
+    };
 }
 
 #[cfg(test)]
@@ -228,6 +253,14 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_in_order() {
+        let mut v: Vec<u64> = (0..777).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| v.par_iter_mut().for_each(|x| *x *= 3));
+        assert_eq!(v, (0..777).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! both engines and both delivery protocols, under invariant checks.
 //!
 //! ```text
-//! chaos_soak [--seed S] [--trials N] [--dims N] [--tenants] [--json [PATH]]
+//! chaos_soak [--seed S] [--trials N] [--dims N] [--tenants] [--threads N] [--json [PATH]]
 //! ```
 //!
 //! Defaults: the CI smoke preset (`--seed 42 --trials 16 --dims 6`).
@@ -11,11 +11,13 @@
 //! checking conservation, no-wrong-bytes, empty-plan bit-identity with
 //! the plan-free engine, learned-vs-omniscient grade equality on static
 //! plans, and monotone degradation in both fault rate and tenant count.
-//! `--json` writes the full report (`CHAOS_SOAK.json`, or
-//! `CHAOS_TENANTS.json` in tenants mode, by default). The report is a
-//! pure function of the flags — identical bytes across runs and thread
-//! counts — so CI can diff two runs to prove it. Exits 1 if any
-//! invariant was violated, so the smoke jobs fail loudly.
+//! `--threads N` pins the worker pool for the tenant engine's
+//! round-parallel group phases. `--json` writes the full report
+//! (`CHAOS_SOAK.json`, or `CHAOS_TENANTS.json` in tenants mode, by
+//! default). The report is a pure function of the flags — identical
+//! bytes across runs and thread counts — so CI can diff two runs to
+//! prove it. Exits 1 if any invariant was violated, so the smoke jobs
+//! fail loudly.
 //!
 //! [`TenantFaultPlan`]: hyperpath_sim::tenants::TenantFaultPlan
 
@@ -136,8 +138,13 @@ fn write_report(json: Json, path: &std::path::Path) {
 }
 
 fn main() {
-    let accepts = CliAccepts { trials: true, dims: true, seed: true, tenants: true };
+    let accepts = CliAccepts { trials: true, dims: true, seed: true, tenants: true, threads: true };
     let opts = parse_cli_for(accepts);
+    // The report is byte-identical at any worker count; the pin exists so
+    // CI can prove that by diffing runs.
+    let pool = opts
+        .threads
+        .map(|t| rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("thread pool"));
     let mut cfg = ChaosConfig::smoke(42);
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
@@ -167,7 +174,10 @@ fn main() {
              at ample capacity, odd dynamic under contention)",
             cfg.trials, cfg.dims, cfg.seed
         );
-        let report = run_chaos_tenants(&cfg);
+        let report = match &pool {
+            Some(p) => p.install(|| run_chaos_tenants(&cfg)),
+            None => run_chaos_tenants(&cfg),
+        };
         for t in &report.trials {
             println!(
                 "  trial {:3} [{}]: tenants={} cuts={} outages={} corrupting={} | \
@@ -206,7 +216,10 @@ fn main() {
         "chaos_soak: {} trials on Q_{}, seed {} (even trials static fail-stop, odd dynamic)",
         cfg.trials, cfg.dims, cfg.seed
     );
-    let report = run_chaos(&cfg);
+    let report = match &pool {
+        Some(p) => p.install(|| run_chaos(&cfg)),
+        None => run_chaos(&cfg),
+    };
     for t in &report.trials {
         println!(
             "  trial {:3} [{}]: faults={} events={} corrupting={} | packets {}d/{}l/{}c | \

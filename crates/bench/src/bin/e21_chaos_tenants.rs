@@ -9,17 +9,18 @@
 //! recoveries (with mean rounds-to-recover), losses, throughput, Jain
 //! fairness, and quarantined links.
 //!
-//! `--json [PATH]` additionally writes the sweep artifact
-//! (`BENCH_E21_CHAOS_TENANTS.json` by default); the artifact is
-//! byte-identical at any `RAYON_NUM_THREADS` (CI's `chaos-tenants` job
-//! compares two runs).
+//! `--threads N` pins the worker pool for the round-parallel group
+//! phases; `--json [PATH]` additionally writes the sweep artifact
+//! (`BENCH_E21_CHAOS_TENANTS.json` by default). The artifact is
+//! byte-identical at any `--threads` / `RAYON_NUM_THREADS` value (CI's
+//! `tenants-scaling` job compares runs at 1, 2 and 4 workers).
 
 use hyperpath_bench::experiments::{
-    e21_chaos_tenants, maybe_write_json, parse_cli_for, CliAccepts,
+    e21_chaos_tenants_with_threads, maybe_write_json, parse_cli_for, CliAccepts,
 };
 
 fn main() {
-    let opts = parse_cli_for(CliAccepts { seed: true, ..CliAccepts::default() });
+    let opts = parse_cli_for(CliAccepts { seed: true, threads: true, ..CliAccepts::default() });
     let seed = opts.seed.unwrap_or(1990);
     let rates = [0.0, 0.02, 0.05];
     let counts = [2u32, 4, 8];
@@ -28,7 +29,7 @@ fn main() {
     println!("quarantines suspects with aged re-admission, and fault-failed tenants retry");
     println!("with bounded backoff instead of being dropped.\n");
 
-    let (table, out) = e21_chaos_tenants(&rates, &counts, seed);
+    let (table, out) = e21_chaos_tenants_with_threads(&rates, &counts, seed, opts.threads);
     println!("{}", table.render());
     println!("'recovered' = messages delivered only via the retry-with-backoff queue;");
     println!("'recover' = mean rounds from first issue to eventual delivery; 'quar' =");

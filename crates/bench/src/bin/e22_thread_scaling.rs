@@ -1,0 +1,38 @@
+//! E22 — thread scaling of the pooled multi-tenant engine.
+//!
+//! Runs one fixed workload — eight guests across the four `Q_8` windows
+//! of a shared `Q_16` host — to completion under pinned worker pools of
+//! 1, 2, 4 and 8 threads, timing the round-parallel group phases. The
+//! table reports median wall time, speedup over the single-thread
+//! baseline, and the determinism claim: every report is byte-identical
+//! to the serial run (asserted, not just printed).
+//!
+//! `--threads N` pins a single additional thread count to the axis;
+//! `--seed N` re-seeds the workload; `--json [PATH]` writes the sweep
+//! artifact (`BENCH_E22_THREAD_SCALING.json` by default). Wall times are
+//! machine telemetry — do not byte-compare this artifact across runs.
+
+use hyperpath_bench::experiments::{
+    e22_thread_scaling, maybe_write_json, parse_cli_for, CliAccepts, E22_THREADS,
+};
+
+fn main() {
+    let opts = parse_cli_for(CliAccepts { seed: true, threads: true, ..CliAccepts::default() });
+    let seed = opts.seed.unwrap_or(1990);
+    let mut counts: Vec<usize> = E22_THREADS.to_vec();
+    if let Some(t) = opts.threads {
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    println!("E22: thread scaling of the pooled tenant engine (seed {seed})");
+    println!("Eight guests in the four Q_8 windows of a shared Q_16 host; each round's");
+    println!("disjoint group phases fan out across the worker pool and merge back in");
+    println!("fixed group order, so every row below is byte-identical traffic.\n");
+
+    let (table, out) = e22_thread_scaling(&counts, seed);
+    println!("{}", table.render());
+    println!("'identical' = report equals the single-thread run (asserted); wall/speedup");
+    println!("are machine telemetry and vary run to run.");
+    maybe_write_json(&out, &opts);
+}

@@ -277,6 +277,15 @@ pub const MC256_SPEEDUP_MIN: f64 = 3.0;
 /// large enough to stream. Measured ≈ 3.3x in-container.
 pub const IDA_ROWOPS_SPEEDUP_MIN: f64 = 2.0;
 
+/// Minimum `tenants/reference / tenants/pooled` wall-clock ratio: the
+/// pooled multi-tenant engine (persistent per-group simulator arenas,
+/// flat admission scratch, memoized fault projections) against the
+/// per-round-allocating reference. Both records are measured serially in
+/// the same process, so machine speed cancels and the ratio isolates the
+/// pooling. Measured ≈ 1.5x in-container (median of warmed full-rep
+/// runs); the floor leaves margin for noisy shared runners.
+pub const TENANTS_POOLED_SPEEDUP_MIN: f64 = 1.1;
+
 /// Enforces the cross-record speedup floors on a *fresh* run (no baseline
 /// involved: both sides of each ratio come from the same process, so
 /// machine speed cancels out). Pairs:
@@ -291,7 +300,11 @@ pub const IDA_ROWOPS_SPEEDUP_MIN: f64 = 2.0;
 ///   least [`IDA_SPEEDUP_MIN`]× slower than their kernel counterparts;
 /// * every `ida/rowops/table/len<L>` with `L ≥ 65536` must be at least
 ///   [`IDA_ROWOPS_SPEEDUP_MIN`]× slower than `ida/rowops/plane/len<L>`
-///   (the plane-parallel row multiply).
+///   (the plane-parallel row multiply);
+/// * every `tenants/reference/n<N>` must be at least
+///   [`TENANTS_POOLED_SPEEDUP_MIN`]× slower than `tenants/pooled/n<N>`
+///   (the pooled multi-tenant engine vs its per-round-allocating
+///   reference; both sides measured serially).
 ///
 /// A pair whose kernel side is missing while its reference side exists is
 /// an issue — the suite must measure what the gate enforces. `Err` means
@@ -374,6 +387,20 @@ pub fn check_speedups(current: &Json) -> Result<GateReport, String> {
         let suffix = slow.strip_prefix("ida/rowops/table/").expect("filtered on prefix");
         let fast = format!("ida/rowops/plane/{suffix}");
         require(slow, &fast, IDA_ROWOPS_SPEEDUP_MIN, &mut report);
+    }
+    // Pooled multi-tenant engine floor: arena reuse must keep paying for
+    // itself against the per-round-allocating reference at every host
+    // size the suite measures.
+    let tenant_ref_names: Vec<String> = cur
+        .records
+        .iter()
+        .filter(|(n, _, _)| n.starts_with("tenants/reference/"))
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    for slow in &tenant_ref_names {
+        let suffix = slow.strip_prefix("tenants/reference/").expect("filtered on prefix");
+        let fast = format!("tenants/pooled/{suffix}");
+        require(slow, &fast, TENANTS_POOLED_SPEEDUP_MIN, &mut report);
     }
     Ok(report)
 }
@@ -704,6 +731,36 @@ mod tests {
         // A measured 64-lane record at n ≥ 10 with no 256-lane counterpart
         // is an issue — the suite must measure what the gate enforces.
         let orphaned = doc(&[("mc/structural/bitsliced/n12", &[], 9_999)]);
+        let r = check_speedups(&orphaned).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].detail.contains("missing"), "{}", r.issues[0].detail);
+    }
+
+    #[test]
+    fn tenants_pooled_floor_pairs_reference_with_pooled() {
+        // Healthy: the pooled engine clears the floor at both host sizes.
+        let healthy = doc(&[
+            ("tenants/reference/n16", &[], 3_000),
+            ("tenants/pooled/n16", &[], 1_000),
+            ("tenants/reference/n20", &[], 3_300),
+            ("tenants/pooled/n20", &[], 1_100),
+            ("tenants/parallel/n16", &[], 400), // no floor of its own
+        ]);
+        let r = check_speedups(&healthy).unwrap();
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.time_checks, 2);
+
+        // Pooling slipped below the floor at one size: one issue.
+        let slipped =
+            doc(&[("tenants/reference/n16", &[], 1_050), ("tenants/pooled/n16", &[], 1_000)]);
+        let r = check_speedups(&slipped).unwrap();
+        assert_eq!(r.issues.len(), 1);
+        assert_eq!(r.issues[0].record, "tenants/pooled/n16");
+        assert!(r.issues[0].detail.contains("floor 1.1x"), "{}", r.issues[0].detail);
+
+        // A measured reference with no pooled counterpart is an issue —
+        // the suite must measure what the gate enforces.
+        let orphaned = doc(&[("tenants/reference/n20", &[], 9_999)]);
         let r = check_speedups(&orphaned).unwrap();
         assert_eq!(r.issues.len(), 1);
         assert!(r.issues[0].detail.contains("missing"), "{}", r.issues[0].detail);

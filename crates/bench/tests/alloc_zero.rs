@@ -14,10 +14,15 @@ use hyperpath_core::ccc_copies::ccc_multi_copy;
 use hyperpath_core::cycles::theorem1;
 use hyperpath_ida::Ida;
 use hyperpath_sim::routing::{ecube_path, random_permutation};
+use hyperpath_sim::tenants::{
+    ExecMode, FaultRouting, TenantEngine, TenantFaultPlan, TenantPlan, TenantSpec, TenantsConfig,
+};
 use hyperpath_sim::trace::Recorder;
 use hyperpath_sim::{PacketSim, Worm, WormholeSim};
+use hyperpath_topology::host::{BinomialTreePlan, GridPlan};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 #[global_allocator]
 static COUNTING_ALLOC: hyperpath_bench::CountingAlloc = hyperpath_bench::CountingAlloc;
@@ -123,6 +128,80 @@ fn kernel_disperse_allocation_count_is_exact() {
     let ida = Ida::new(4, 1);
     let (_, d) = measure_allocs(|| ida.disperse(&message));
     assert_eq!(d.calls, 1 + 2 * 4, "k=1 fast path must stay growth-free");
+}
+
+/// A single-group tenant engine: both guests share window 0 of a `Q_6`
+/// host, so the round dispatch stays on the serial path (no worker
+/// threads whose internal allocations would bleed into the global
+/// counters) and the zero-allocation deltas below are exact.
+fn single_group_engine(rounds: u32) -> TenantEngine {
+    let grid: Arc<dyn TenantPlan> = Arc::new(GridPlan::new(4, 2, 2, 3).expect("grid plan"));
+    let tree: Arc<dyn TenantPlan> = Arc::new(BinomialTreePlan::new(4, 3).expect("tree plan"));
+    let specs = [
+        TenantSpec { id: 0, name: "grid-0".to_string(), window: 0, plan: grid },
+        TenantSpec { id: 1, name: "tree-1".to_string(), window: 0, plan: tree },
+    ];
+    let cfg = TenantsConfig {
+        host_dims: 6,
+        capacity: 8,
+        rounds,
+        requests_per_round: 4,
+        max_requeues: 2,
+        seed: 1990,
+        exec: ExecMode::Packet,
+    };
+    let engine = TenantEngine::new(cfg, &specs).expect("engine config is valid");
+    assert_eq!(engine.num_groups(), 1, "fixture must stay single-group");
+    engine
+}
+
+/// The tentpole claim for the pooled tenant engine: after warmup rounds
+/// have grown every pooled buffer to its working size, a whole engine
+/// round — request draws, ledger admission, arena phase execution, merge,
+/// grading, release — performs **zero** heap allocation. Exact `(0, 0)`,
+/// not "small": any growth reallocation in the round loop breaks this.
+#[test]
+fn tenant_round_loop_is_allocation_free_in_steady_state() {
+    let engine = single_group_engine(8);
+    let mut run = engine.begin();
+    for _ in 0..7 {
+        run.step_round();
+    }
+    let (_, d) = measure_allocs(|| run.step_round());
+    assert_eq!(
+        (d.calls, d.bytes),
+        (0, 0),
+        "steady-state tenant round allocated {} call(s) / {} byte(s)",
+        d.calls,
+        d.bytes
+    );
+    let report = run.finish();
+    assert!(report.delivered_messages() > 0, "workload must actually deliver");
+}
+
+/// Same pin for the plan-aware path: the memoized sparse-to-dense fault
+/// projection makes the per-round cut sync a flag flip per group-local
+/// fault, so a faulted steady-state round is also exactly allocation-free.
+#[test]
+fn planned_tenant_round_loop_is_allocation_free_in_steady_state() {
+    let engine = single_group_engine(8);
+    let mut plan = TenantFaultPlan::none();
+    plan.cut_link(3);
+    plan.outage(10, 1, 3);
+    let mut run = engine.begin_planned(&plan, FaultRouting::Learned);
+    for _ in 0..7 {
+        run.step_round();
+    }
+    let (_, d) = measure_allocs(|| run.step_round());
+    assert_eq!(
+        (d.calls, d.bytes),
+        (0, 0),
+        "steady-state planned round allocated {} call(s) / {} byte(s)",
+        d.calls,
+        d.bytes
+    );
+    let report = run.finish();
+    assert!(report.delivered_messages() > 0, "faulted workload must still deliver");
 }
 
 /// The kernel codec must beat the schoolbook reference on both allocation

@@ -46,6 +46,15 @@ impl FaultSet {
         self.failed[host.dir_edge_index(edge.reversed())] = true;
     }
 
+    /// Clears the failure mark on the undirected link carrying `edge`
+    /// (both directions) — the inverse of [`fail_link`](Self::fail_link),
+    /// used by pooled callers that maintain a persistent fault set
+    /// incrementally instead of rebuilding it.
+    pub fn unfail_link(&mut self, host: &Hypercube, edge: DirEdge) {
+        self.failed[host.dir_edge_index(edge)] = false;
+        self.failed[host.dir_edge_index(edge.reversed())] = false;
+    }
+
     /// Whether the directed edge is failed.
     pub fn is_failed(&self, host: &Hypercube, edge: DirEdge) -> bool {
         self.failed[host.dir_edge_index(edge)]
@@ -204,6 +213,14 @@ impl FaultPlan {
     /// Cuts the undirected link carrying `edge` from before step 0.
     pub fn cut_link(&mut self, host: &Hypercube, edge: DirEdge) {
         self.initial.fail_link(host, edge);
+    }
+
+    /// Clears an initial cut on the undirected link carrying `edge` (both
+    /// directions) — the inverse of [`cut_link`](Self::cut_link), used by
+    /// pooled callers that keep one dense plan per subcube alive and flip
+    /// only the cuts that changed between rounds.
+    pub fn uncut_link(&mut self, host: &Hypercube, edge: DirEdge) {
+        self.initial.unfail_link(host, edge);
     }
 
     /// Schedules the link carrying `edge` to go down at the start of

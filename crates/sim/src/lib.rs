@@ -86,7 +86,8 @@ pub use routing::{ccc_copy_routes, ecube_path, valiant_path};
 pub use schedule_exec::{run_schedule, run_schedule_with_faults};
 pub use tenants::{
     run_tenants, run_tenants_recorded, EdgeGrade, EngineReport, ExecMode, FlowStats, LedgerSummary,
-    LinkLedger, TenantEngine, TenantPlan, TenantReport, TenantSpec, TenantsConfig, ENGINE_MAX_DIMS,
+    LinkLedger, TenantEngine, TenantPlan, TenantReport, TenantRun, TenantSpec, TenantsConfig,
+    ENGINE_MAX_DIMS,
 };
 pub use trace::{
     CountingRecorder, NopRecorder, Recorder, TraceRecorder, TraceSummary, TracedReport,

@@ -307,7 +307,7 @@ impl PacketSim {
         let dims = self.host.dims() as usize;
 
         // Fault state (compiled out when `FAULTY` is false).
-        let mut failed: Vec<bool> = if PLAN {
+        let failed: Vec<bool> = if PLAN {
             plan.expect("plan-aware run needs a plan").initial().bits().to_vec()
         } else if FAULTY {
             faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
@@ -319,18 +319,6 @@ impl PacketSim {
         let plan_events: &[(u64, DirEdge, LinkEvent)] =
             if PLAN { plan.unwrap().events() } else { &[] };
         let corrupting: &[bool] = if PLAN { plan.unwrap().corrupting_bits() } else { &[] };
-        let mut next_event = 0usize;
-        let mut flow_delivered: Vec<u64> =
-            if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
-        let mut flow_lost: Vec<u64> = if FAULTY { vec![0; self.flows.len()] } else { Vec::new() };
-        let mut flow_corrupted: Vec<u64> =
-            if PLAN { vec![0; self.flows.len()] } else { Vec::new() };
-        let mut flow_dropped_at: Vec<u32> =
-            if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() };
-        let mut flow_corrupted_at: Vec<u32> =
-            if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() };
-        let mut lost = 0u64;
-        let mut corrupted = 0u64;
 
         // Per-flow directed-link sequences, precomputed once into a flat
         // arena (the old engine recomputed XOR + edge index on every hop).
@@ -347,251 +335,61 @@ impl PacketSim {
 
         let total_injected: u64 = self.flows.iter().map(|f| f.packets).sum();
         assert!(total_injected < u64::from(u32::MAX), "packet slab holds at most u32::MAX - 1");
-
-        // Packet slab in (flow, seq) injection order: the slab id is the
-        // (flow, seq) lexicographic rank, so ascending id IS the link
-        // arbitration order and no per-step sort is ever needed.
         let total = total_injected as usize;
-        let mut pkt_flow: Vec<u32> = Vec::with_capacity(total);
-        let mut pkt_pos: Vec<u32> = vec![0; total];
-        let mut pkt_next: Vec<u32> = vec![NONE; total];
-        // Sticky per-packet corruption flags (plan-aware runs only).
-        let mut pkt_corrupt: Vec<bool> = if PLAN { vec![false; total] } else { Vec::new() };
 
-        // Per-link FIFO queues: intrusive singly-linked lists over the slab.
-        let mut q_head: Vec<u32> = vec![NONE; num_links];
-        let mut q_tail: Vec<u32> = vec![NONE; num_links];
-        let mut q_len: Vec<u32> = vec![0; num_links];
-        // `in_active` guards duplicates, so `active` can never hold more
-        // than one entry per link: full capacity up front keeps the step
-        // loop allocation-free (pinned by `bench/tests/alloc_zero.rs`).
-        let mut active: Vec<u32> = Vec::with_capacity(num_links);
-        let mut in_active = vec![false; num_links];
-
-        let push_back = |link: usize,
-                         pid: u32,
-                         q_head: &mut [u32],
-                         q_tail: &mut [u32],
-                         pkt_next: &mut [u32]| {
-            if q_head[link] == NONE {
-                q_head[link] = pid;
-            } else {
-                pkt_next[q_tail[link] as usize] = pid;
-            }
-            q_tail[link] = pid;
+        let mut bufs = PacketBufs {
+            failed,
+            flow_delivered: if FAULTY { vec![0; self.flows.len()] } else { Vec::new() },
+            flow_lost: if FAULTY { vec![0; self.flows.len()] } else { Vec::new() },
+            flow_corrupted: if PLAN { vec![0; self.flows.len()] } else { Vec::new() },
+            flow_dropped_at: if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() },
+            flow_corrupted_at: if PLAN { vec![u32::MAX; self.flows.len()] } else { Vec::new() },
+            pkt_flow: Vec::with_capacity(total),
+            pkt_pos: vec![0; total],
+            pkt_next: vec![NONE; total],
+            pkt_corrupt: if PLAN { vec![false; total] } else { Vec::new() },
+            q_head: vec![NONE; num_links],
+            q_tail: vec![NONE; num_links],
+            q_len: vec![0; num_links],
+            active: Vec::with_capacity(num_links),
+            in_active: vec![false; num_links],
+            moved: Vec::with_capacity(num_links),
+            touched: Vec::with_capacity(num_links),
+            stage: vec![0; num_links * dims],
+            stage_len: vec![0; num_links],
         };
-
-        // Inject (flows in id order, packets in seq order ⇒ slab order).
-        let mut pending = 0u64;
-        for (fid, flow) in self.flows.iter().enumerate() {
-            rec.record_injection(fid as u32, flow.packets, 0);
-            let hops = flow_off[fid + 1] - flow_off[fid];
-            for _seq in 0..flow.packets {
-                let pid = pkt_flow.len() as u32;
-                pkt_flow.push(fid as u32);
-                if hops == 0 {
-                    rec.record_delivery(fid as u32, 0); // delivered instantly
-                    if FAULTY {
-                        flow_delivered[fid] += 1;
-                    }
-                    continue;
-                }
-                let link = hop_links[flow_off[fid] as usize] as usize;
-                push_back(link, pid, &mut q_head, &mut q_tail, &mut pkt_next);
-                rec.record_queue_push(link as u32, 1);
-                q_len[link] += 1;
-                if !in_active[link] {
-                    in_active[link] = true;
-                    active.push(link as u32);
-                }
-                pending += 1;
-            }
-        }
-
-        // Reusable step buffers — nothing below allocates inside the loop.
-        // `moved` holds at most one packet per link per step and `touched`
-        // at most one entry per destination link, so `num_links` capacity
-        // is the hard ceiling for both: the loop never grows a Vec.
-        let mut moved: Vec<u32> = Vec::with_capacity(num_links);
-        let mut touched: Vec<u32> = Vec::with_capacity(num_links);
-        // Per-destination-link staging buckets: at most one packet arrives
-        // per incoming link of the destination's tail node, so `dims` slots
-        // per link suffice.
-        let mut stage: Vec<u32> = vec![0; num_links * dims];
-        let mut stage_len: Vec<u8> = vec![0; num_links];
-
-        let mut step = 0u64;
-        let mut packet_hops = 0u64;
-        let mut busy_accum = 0u64;
-        let mut max_queue = 0usize;
-        while pending > 0 {
-            if step >= max_steps {
-                panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
-            }
-            // Fault events for this step fire before anything moves. Plan
-            // events within a step apply in insertion order, so a same-step
-            // Down-then-Up pair nets out to Up.
-            if PLAN {
-                while next_event < plan_events.len() && plan_events[next_event].0 <= step {
-                    let (_, edge, ev) = plan_events[next_event];
-                    let down = matches!(ev, LinkEvent::Down);
-                    failed[self.host.dir_edge_index(edge)] = down;
-                    failed[self.host.dir_edge_index(edge.reversed())] = down;
-                    next_event += 1;
-                }
-            } else if FAULTY {
-                while next_event < events.len() && events[next_event].0 <= step {
-                    let edge = events[next_event].1;
-                    failed[self.host.dir_edge_index(edge)] = true;
-                    failed[self.host.dir_edge_index(edge.reversed())] = true;
-                    next_event += 1;
-                }
-            }
-            // Pop phase: one packet per active link; the active list is
-            // compacted in place (a link stays active iff still non-empty).
-            moved.clear();
-            let mut busy = 0u64;
-            let mut kept = 0usize;
-            for r in 0..active.len() {
-                let idx = active[r] as usize;
-                let depth = q_len[idx] as usize;
-                if depth > max_queue {
-                    max_queue = depth;
-                }
-                rec.record_queue_depth(idx as u32, depth);
-                if FAULTY && failed[idx] {
-                    // A severed link transmits nothing: its whole queue is
-                    // lost this step and the link goes quiet.
-                    let mut pid = q_head[idx];
-                    while pid != NONE {
-                        let f = pkt_flow[pid as usize] as usize;
-                        rec.record_drop(f as u32, step);
-                        flow_lost[f] += 1;
-                        if PLAN && flow_dropped_at[f] == u32::MAX {
-                            flow_dropped_at[f] = idx as u32;
-                        }
-                        lost += 1;
-                        pending -= 1;
-                        let nx = pkt_next[pid as usize];
-                        pkt_next[pid as usize] = NONE;
-                        pid = nx;
-                    }
-                    q_head[idx] = NONE;
-                    q_tail[idx] = NONE;
-                    q_len[idx] = 0;
-                    in_active[idx] = false;
-                    continue;
-                }
-                let pid = q_head[idx]; // active ⇒ non-empty
-                let next = pkt_next[pid as usize];
-                q_head[idx] = next;
-                pkt_next[pid as usize] = NONE;
-                q_len[idx] -= 1;
-                pkt_pos[pid as usize] += 1;
-                // Crossing a byte-corrupting link taints the packet (once);
-                // it still travels and delivers normally.
-                if PLAN && corrupting[idx] && !pkt_corrupt[pid as usize] {
-                    pkt_corrupt[pid as usize] = true;
-                    corrupted += 1;
-                    let f = pkt_flow[pid as usize] as usize;
-                    if flow_corrupted_at[f] == u32::MAX {
-                        flow_corrupted_at[f] = idx as u32;
-                    }
-                    rec.record_corrupt(pkt_flow[pid as usize], step);
-                }
-                moved.push(pid);
-                busy += 1;
-                if next == NONE {
-                    q_tail[idx] = NONE;
-                    in_active[idx] = false;
-                } else {
-                    active[kept] = idx as u32;
-                    kept += 1;
-                }
-            }
-            active.truncate(kept);
-            packet_hops += busy;
-            busy_accum += busy;
-            rec.record_step(step, busy);
-
-            // Stage phase: bucket arrivals by destination link, keeping each
-            // bucket id-sorted via sorted insertion (≤ `dims` slots). All
-            // pops of a step happen before all re-queues, so per-link
-            // arrival order is the only order the FIFOs can observe — and
-            // per-bucket ascending ids reproduce exactly what the global
-            // (flow, seq) sort produced.
-            for &pid in &moved {
-                let f = pkt_flow[pid as usize] as usize;
-                let pos = pkt_pos[pid as usize];
-                if flow_off[f] + pos >= flow_off[f + 1] {
-                    pending -= 1;
-                    rec.record_delivery(f as u32, step + 1);
-                    if FAULTY {
-                        flow_delivered[f] += 1;
-                    }
-                    if PLAN && pkt_corrupt[pid as usize] {
-                        flow_corrupted[f] += 1;
-                    }
-                    continue;
-                }
-                let dest = hop_links[(flow_off[f] + pos) as usize] as usize;
-                let len = stage_len[dest] as usize;
-                let bucket = &mut stage[dest * dims..dest * dims + len + 1];
-                let mut i = len;
-                while i > 0 && bucket[i - 1] > pid {
-                    bucket[i] = bucket[i - 1];
-                    i -= 1;
-                }
-                bucket[i] = pid;
-                if len == 0 {
-                    touched.push(dest as u32);
-                }
-                stage_len[dest] += 1;
-            }
-
-            // Flush phase: append each bucket (ascending ids) to its FIFO.
-            for &dest in &touched {
-                let dest = dest as usize;
-                let len = stage_len[dest] as usize;
-                for i in 0..len {
-                    push_back(
-                        dest,
-                        stage[dest * dims + i],
-                        &mut q_head,
-                        &mut q_tail,
-                        &mut pkt_next,
-                    );
-                }
-                rec.record_queue_push(dest as u32, len as u64);
-                q_len[dest] += len as u32;
-                stage_len[dest] = 0;
-                if !in_active[dest] {
-                    in_active[dest] = true;
-                    active.push(dest as u32);
-                }
-            }
-            touched.clear();
-            step += 1;
-        }
+        let out = engine_core::<R, _, FAULTY, PLAN>(
+            &self.host,
+            &flow_off,
+            &hop_links,
+            |f| self.flows[f].packets,
+            total_injected,
+            max_steps,
+            events,
+            plan_events,
+            corrupting,
+            &mut bufs,
+            rec,
+        );
         PlanReport {
             report: SimReport {
-                makespan: step,
-                delivered: total_injected - lost,
-                packet_hops,
-                mean_utilization: if step == 0 {
+                makespan: out.steps,
+                delivered: total_injected - out.lost,
+                packet_hops: out.packet_hops,
+                mean_utilization: if out.steps == 0 {
                     0.0
                 } else {
-                    busy_accum as f64 / (step as f64 * num_links as f64)
+                    out.busy_accum as f64 / (out.steps as f64 * num_links as f64)
                 },
-                max_queue,
+                max_queue: out.max_queue,
             },
-            lost,
-            corrupted,
-            flow_delivered,
-            flow_lost,
-            flow_corrupted,
-            flow_dropped_at,
-            flow_corrupted_at,
+            lost: out.lost,
+            corrupted: out.corrupted,
+            flow_delivered: std::mem::take(&mut bufs.flow_delivered),
+            flow_lost: std::mem::take(&mut bufs.flow_lost),
+            flow_corrupted: std::mem::take(&mut bufs.flow_corrupted),
+            flow_dropped_at: std::mem::take(&mut bufs.flow_dropped_at),
+            flow_corrupted_at: std::mem::take(&mut bufs.flow_corrupted_at),
         }
     }
 
@@ -698,6 +496,515 @@ impl PacketSim {
             },
             max_queue,
         }
+    }
+}
+
+/// Every buffer the step machine mutates, grouped so a pooled caller
+/// ([`PacketArena`]) can keep them alive across runs. Two invariant
+/// classes:
+///
+/// * *Per-run* vectors (fault state, per-flow outcomes, the packet slab)
+///   are re-prepared by the caller before each run.
+/// * *Link-indexed* machine state (`q_head` … `stage_len`) is prepared
+///   once per host and left **clean** by every completed run — all queues
+///   empty, all links inactive, all staging buckets flushed — so reuse
+///   needs no O(links) reset (`debug_assert`ed in [`engine_core`]).
+#[derive(Debug, Clone, Default)]
+struct PacketBufs {
+    failed: Vec<bool>,
+    flow_delivered: Vec<u64>,
+    flow_lost: Vec<u64>,
+    flow_corrupted: Vec<u64>,
+    flow_dropped_at: Vec<u32>,
+    flow_corrupted_at: Vec<u32>,
+    pkt_flow: Vec<u32>,
+    pkt_pos: Vec<u32>,
+    pkt_next: Vec<u32>,
+    pkt_corrupt: Vec<bool>,
+    q_head: Vec<u32>,
+    q_tail: Vec<u32>,
+    q_len: Vec<u32>,
+    active: Vec<u32>,
+    in_active: Vec<bool>,
+    moved: Vec<u32>,
+    touched: Vec<u32>,
+    stage: Vec<u32>,
+    stage_len: Vec<u8>,
+}
+
+/// Aggregate counters [`engine_core`] returns; per-flow outcome vectors
+/// stay behind in the [`PacketBufs`] the caller owns.
+struct CoreOut {
+    steps: u64,
+    lost: u64,
+    corrupted: u64,
+    packet_hops: u64,
+    busy_accum: u64,
+    max_queue: usize,
+}
+
+/// The step machine shared by [`PacketSim`]'s one-shot engine and the
+/// pooled [`PacketArena`]: injection plus the pop/stage/flush loop,
+/// verbatim from the PR-1 engine, over caller-prepared buffers. The
+/// caller guarantees the per-run vectors in `bufs` are sized for this
+/// workload (see [`PacketBufs`]); nothing in here allocates.
+#[allow(clippy::too_many_arguments)]
+fn engine_core<R: Recorder, F: Fn(usize) -> u64, const FAULTY: bool, const PLAN: bool>(
+    host: &Hypercube,
+    flow_off: &[u32],
+    hop_links: &[u32],
+    packets_of: F,
+    total_injected: u64,
+    max_steps: u64,
+    events: &[(u64, DirEdge)],
+    plan_events: &[(u64, DirEdge, LinkEvent)],
+    corrupting: &[bool],
+    bufs: &mut PacketBufs,
+    rec: &mut R,
+) -> CoreOut {
+    const {
+        assert!(FAULTY || !PLAN, "a plan-aware run is a fault-aware run");
+    }
+    assert!(total_injected < u64::from(u32::MAX), "packet slab holds at most u32::MAX - 1");
+    let dims = host.dims() as usize;
+    let num_flows = flow_off.len() - 1;
+    let PacketBufs {
+        failed,
+        flow_delivered,
+        flow_lost,
+        flow_corrupted,
+        flow_dropped_at,
+        flow_corrupted_at,
+        pkt_flow,
+        pkt_pos,
+        pkt_next,
+        pkt_corrupt,
+        q_head,
+        q_tail,
+        q_len,
+        active,
+        in_active,
+        moved,
+        touched,
+        stage,
+        stage_len,
+    } = bufs;
+    debug_assert!(
+        active.is_empty()
+            && pkt_flow.is_empty()
+            && q_head.iter().all(|&h| h == NONE)
+            && q_len.iter().all(|&l| l == 0)
+            && in_active.iter().all(|&a| !a)
+            && stage_len.iter().all(|&l| l == 0),
+        "caller handed the engine dirty machine state"
+    );
+    let mut next_event = 0usize;
+    let mut lost = 0u64;
+    let mut corrupted = 0u64;
+
+    let push_back =
+        |link: usize, pid: u32, q_head: &mut [u32], q_tail: &mut [u32], pkt_next: &mut [u32]| {
+            if q_head[link] == NONE {
+                q_head[link] = pid;
+            } else {
+                pkt_next[q_tail[link] as usize] = pid;
+            }
+            q_tail[link] = pid;
+        };
+
+    // Inject (flows in id order, packets in seq order ⇒ slab order).
+    let mut pending = 0u64;
+    for fid in 0..num_flows {
+        let packets = packets_of(fid);
+        rec.record_injection(fid as u32, packets, 0);
+        let hops = flow_off[fid + 1] - flow_off[fid];
+        for _seq in 0..packets {
+            let pid = pkt_flow.len() as u32;
+            pkt_flow.push(fid as u32);
+            if hops == 0 {
+                rec.record_delivery(fid as u32, 0); // delivered instantly
+                if FAULTY {
+                    flow_delivered[fid] += 1;
+                }
+                continue;
+            }
+            let link = hop_links[flow_off[fid] as usize] as usize;
+            push_back(link, pid, q_head, q_tail, pkt_next);
+            rec.record_queue_push(link as u32, 1);
+            q_len[link] += 1;
+            if !in_active[link] {
+                in_active[link] = true;
+                active.push(link as u32);
+            }
+            pending += 1;
+        }
+    }
+
+    let mut step = 0u64;
+    let mut packet_hops = 0u64;
+    let mut busy_accum = 0u64;
+    let mut max_queue = 0usize;
+    while pending > 0 {
+        if step >= max_steps {
+            panic!("simulation did not finish within {max_steps} steps ({pending} pending)");
+        }
+        // Fault events for this step fire before anything moves. Plan
+        // events within a step apply in insertion order, so a same-step
+        // Down-then-Up pair nets out to Up.
+        if PLAN {
+            while next_event < plan_events.len() && plan_events[next_event].0 <= step {
+                let (_, edge, ev) = plan_events[next_event];
+                let down = matches!(ev, LinkEvent::Down);
+                failed[host.dir_edge_index(edge)] = down;
+                failed[host.dir_edge_index(edge.reversed())] = down;
+                next_event += 1;
+            }
+        } else if FAULTY {
+            while next_event < events.len() && events[next_event].0 <= step {
+                let edge = events[next_event].1;
+                failed[host.dir_edge_index(edge)] = true;
+                failed[host.dir_edge_index(edge.reversed())] = true;
+                next_event += 1;
+            }
+        }
+        // Pop phase: one packet per active link; the active list is
+        // compacted in place (a link stays active iff still non-empty).
+        moved.clear();
+        let mut busy = 0u64;
+        let mut kept = 0usize;
+        for r in 0..active.len() {
+            let idx = active[r] as usize;
+            let depth = q_len[idx] as usize;
+            if depth > max_queue {
+                max_queue = depth;
+            }
+            rec.record_queue_depth(idx as u32, depth);
+            if FAULTY && failed[idx] {
+                // A severed link transmits nothing: its whole queue is
+                // lost this step and the link goes quiet.
+                let mut pid = q_head[idx];
+                while pid != NONE {
+                    let f = pkt_flow[pid as usize] as usize;
+                    rec.record_drop(f as u32, step);
+                    flow_lost[f] += 1;
+                    if PLAN && flow_dropped_at[f] == u32::MAX {
+                        flow_dropped_at[f] = idx as u32;
+                    }
+                    lost += 1;
+                    pending -= 1;
+                    let nx = pkt_next[pid as usize];
+                    pkt_next[pid as usize] = NONE;
+                    pid = nx;
+                }
+                q_head[idx] = NONE;
+                q_tail[idx] = NONE;
+                q_len[idx] = 0;
+                in_active[idx] = false;
+                continue;
+            }
+            let pid = q_head[idx]; // active ⇒ non-empty
+            let next = pkt_next[pid as usize];
+            q_head[idx] = next;
+            pkt_next[pid as usize] = NONE;
+            q_len[idx] -= 1;
+            pkt_pos[pid as usize] += 1;
+            // Crossing a byte-corrupting link taints the packet (once);
+            // it still travels and delivers normally.
+            if PLAN && corrupting[idx] && !pkt_corrupt[pid as usize] {
+                pkt_corrupt[pid as usize] = true;
+                corrupted += 1;
+                let f = pkt_flow[pid as usize] as usize;
+                if flow_corrupted_at[f] == u32::MAX {
+                    flow_corrupted_at[f] = idx as u32;
+                }
+                rec.record_corrupt(pkt_flow[pid as usize], step);
+            }
+            moved.push(pid);
+            busy += 1;
+            if next == NONE {
+                q_tail[idx] = NONE;
+                in_active[idx] = false;
+            } else {
+                active[kept] = idx as u32;
+                kept += 1;
+            }
+        }
+        active.truncate(kept);
+        packet_hops += busy;
+        busy_accum += busy;
+        rec.record_step(step, busy);
+
+        // Stage phase: bucket arrivals by destination link, keeping each
+        // bucket id-sorted via sorted insertion (≤ `dims` slots). All
+        // pops of a step happen before all re-queues, so per-link
+        // arrival order is the only order the FIFOs can observe — and
+        // per-bucket ascending ids reproduce exactly what the global
+        // (flow, seq) sort produced.
+        for &pid in moved.iter() {
+            let f = pkt_flow[pid as usize] as usize;
+            let pos = pkt_pos[pid as usize];
+            if flow_off[f] + pos >= flow_off[f + 1] {
+                pending -= 1;
+                rec.record_delivery(f as u32, step + 1);
+                if FAULTY {
+                    flow_delivered[f] += 1;
+                }
+                if PLAN && pkt_corrupt[pid as usize] {
+                    flow_corrupted[f] += 1;
+                }
+                continue;
+            }
+            let dest = hop_links[(flow_off[f] + pos) as usize] as usize;
+            let len = stage_len[dest] as usize;
+            let bucket = &mut stage[dest * dims..dest * dims + len + 1];
+            let mut i = len;
+            while i > 0 && bucket[i - 1] > pid {
+                bucket[i] = bucket[i - 1];
+                i -= 1;
+            }
+            bucket[i] = pid;
+            if len == 0 {
+                touched.push(dest as u32);
+            }
+            stage_len[dest] += 1;
+        }
+
+        // Flush phase: append each bucket (ascending ids) to its FIFO.
+        for &t in touched.iter() {
+            let dest = t as usize;
+            let len = stage_len[dest] as usize;
+            for i in 0..len {
+                push_back(dest, stage[dest * dims + i], q_head, q_tail, pkt_next);
+            }
+            rec.record_queue_push(dest as u32, len as u64);
+            q_len[dest] += len as u32;
+            stage_len[dest] = 0;
+            if !in_active[dest] {
+                in_active[dest] = true;
+                active.push(dest as u32);
+            }
+        }
+        touched.clear();
+        step += 1;
+    }
+    CoreOut { steps: step, lost, corrupted, packet_hops, busy_accum, max_queue }
+}
+
+/// A persistent, pooled variant of [`PacketSim`]: all link-indexed machine
+/// state is allocated once for a fixed host cube and reused across runs,
+/// and flows are loaded as precomputed *directed-link* hop sequences
+/// instead of node walks. Once warmed up (every reusable vector at its
+/// steady-state capacity), [`run`](Self::run) and
+/// [`run_planned`](Self::run_planned) allocate nothing — a completed run
+/// leaves every per-link queue empty and every link inactive, so
+/// [`clear`](Self::clear) only truncates the flow arena and no O(links)
+/// reset ever happens. `bench/tests/alloc_zero.rs` pins the exact-zero
+/// behavior through the tenant engine.
+///
+/// Reports are bit-identical to [`PacketSim`] on the same workload (the
+/// engines share `engine_core`); `sim::tenants` tests pin this.
+#[derive(Debug, Clone)]
+pub struct PacketArena {
+    host: Hypercube,
+    flow_off: Vec<u32>,
+    hop_links: Vec<u32>,
+    flow_packets: Vec<u64>,
+    total_injected: u64,
+    bufs: PacketBufs,
+}
+
+impl PacketArena {
+    /// Creates an arena for `host`, allocating the link-indexed machine
+    /// state up front.
+    pub fn new(host: Hypercube) -> Self {
+        let num_links = host.num_directed_edges() as usize;
+        let dims = host.dims() as usize;
+        PacketArena {
+            host,
+            flow_off: vec![0],
+            hop_links: Vec::new(),
+            flow_packets: Vec::new(),
+            total_injected: 0,
+            bufs: PacketBufs {
+                q_head: vec![NONE; num_links],
+                q_tail: vec![NONE; num_links],
+                q_len: vec![0; num_links],
+                active: Vec::with_capacity(num_links),
+                in_active: vec![false; num_links],
+                moved: Vec::with_capacity(num_links),
+                touched: Vec::with_capacity(num_links),
+                stage: vec![0; num_links * dims],
+                stage_len: vec![0; num_links],
+                ..PacketBufs::default()
+            },
+        }
+    }
+
+    /// The host cube.
+    pub fn host(&self) -> Hypercube {
+        self.host
+    }
+
+    /// Number of flows currently loaded.
+    pub fn num_flows(&self) -> usize {
+        self.flow_packets.len()
+    }
+
+    /// Drops all flows so the next round can be loaded. Machine state
+    /// needs no touch-up: a completed run left it clean.
+    pub fn clear(&mut self) {
+        self.flow_off.truncate(1);
+        self.hop_links.clear();
+        self.flow_packets.clear();
+        self.total_injected = 0;
+    }
+
+    /// Adds one flow as a sequence of directed link indices
+    /// ([`Hypercube::dir_edge_index`]) that must chain head-to-tail —
+    /// exactly the links [`PacketSim::add_flow`] would derive from the
+    /// corresponding node walk. Returns the flow id.
+    pub fn add_flow_links(&mut self, links: &[u32], packets: u64) -> u32 {
+        debug_assert!(
+            links.iter().all(|&l| u64::from(l) < self.host.num_directed_edges()),
+            "hop link out of range for this host"
+        );
+        self.hop_links.extend_from_slice(links);
+        self.flow_off.push(self.hop_links.len() as u32);
+        self.flow_packets.push(packets);
+        self.total_injected += packets;
+        (self.flow_packets.len() - 1) as u32
+    }
+
+    /// Runs the loaded flows fault-free; bit-identical to
+    /// [`PacketSim::run_recorded`] on the same workload.
+    ///
+    /// # Panics
+    /// Panics if packets remain undelivered after `max_steps`.
+    pub fn run<R: Recorder>(&mut self, max_steps: u64, rec: &mut R) -> SimReport {
+        let PacketArena { host, flow_off, hop_links, flow_packets, total_injected, bufs } = self;
+        let total = *total_injected as usize;
+        bufs.pkt_flow.clear();
+        bufs.pkt_flow.reserve(total);
+        bufs.pkt_pos.clear();
+        bufs.pkt_pos.resize(total, 0);
+        bufs.pkt_next.clear();
+        bufs.pkt_next.resize(total, NONE);
+        let out = engine_core::<R, _, false, false>(
+            host,
+            flow_off,
+            hop_links,
+            |f| flow_packets[f],
+            *total_injected,
+            max_steps,
+            &[],
+            &[],
+            &[],
+            bufs,
+            rec,
+        );
+        let num_links = host.num_directed_edges() as usize;
+        SimReport {
+            makespan: out.steps,
+            delivered: *total_injected - out.lost,
+            packet_hops: out.packet_hops,
+            mean_utilization: if out.steps == 0 {
+                0.0
+            } else {
+                out.busy_accum as f64 / (out.steps as f64 * num_links as f64)
+            },
+            max_queue: out.max_queue,
+        }
+    }
+
+    /// Runs the loaded flows under `plan` (semantics of
+    /// [`PacketSim::run_planned`]); per-flow outcomes stay in the arena —
+    /// read them via [`flow_delivered`](Self::flow_delivered) /
+    /// [`flow_corrupted`](Self::flow_corrupted) /
+    /// [`flow_dropped_at`](Self::flow_dropped_at) /
+    /// [`flow_corrupted_at`](Self::flow_corrupted_at) — so the steady
+    /// state allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if packets remain in flight after `max_steps`.
+    pub fn run_planned<R: Recorder>(
+        &mut self,
+        max_steps: u64,
+        plan: &FaultPlan,
+        rec: &mut R,
+    ) -> SimReport {
+        let PacketArena { host, flow_off, hop_links, flow_packets, total_injected, bufs } = self;
+        let total = *total_injected as usize;
+        let num_flows = flow_packets.len();
+        bufs.failed.clear();
+        bufs.failed.extend_from_slice(plan.initial().bits());
+        bufs.flow_delivered.clear();
+        bufs.flow_delivered.resize(num_flows, 0);
+        bufs.flow_lost.clear();
+        bufs.flow_lost.resize(num_flows, 0);
+        bufs.flow_corrupted.clear();
+        bufs.flow_corrupted.resize(num_flows, 0);
+        bufs.flow_dropped_at.clear();
+        bufs.flow_dropped_at.resize(num_flows, u32::MAX);
+        bufs.flow_corrupted_at.clear();
+        bufs.flow_corrupted_at.resize(num_flows, u32::MAX);
+        bufs.pkt_flow.clear();
+        bufs.pkt_flow.reserve(total);
+        bufs.pkt_pos.clear();
+        bufs.pkt_pos.resize(total, 0);
+        bufs.pkt_next.clear();
+        bufs.pkt_next.resize(total, NONE);
+        bufs.pkt_corrupt.clear();
+        bufs.pkt_corrupt.resize(total, false);
+        let out = engine_core::<R, _, true, true>(
+            host,
+            flow_off,
+            hop_links,
+            |f| flow_packets[f],
+            *total_injected,
+            max_steps,
+            &[],
+            plan.events(),
+            plan.corrupting_bits(),
+            bufs,
+            rec,
+        );
+        let num_links = host.num_directed_edges() as usize;
+        SimReport {
+            makespan: out.steps,
+            delivered: *total_injected - out.lost,
+            packet_hops: out.packet_hops,
+            mean_utilization: if out.steps == 0 {
+                0.0
+            } else {
+                out.busy_accum as f64 / (out.steps as f64 * num_links as f64)
+            },
+            max_queue: out.max_queue,
+        }
+    }
+
+    /// Packets of each flow that arrived in the last
+    /// [`run_planned`](Self::run_planned), indexed by flow id.
+    pub fn flow_delivered(&self) -> &[u64] {
+        &self.bufs.flow_delivered
+    }
+
+    /// Packets of each flow that arrived corrupted in the last
+    /// [`run_planned`](Self::run_planned), indexed by flow id.
+    pub fn flow_corrupted(&self) -> &[u64] {
+        &self.bufs.flow_corrupted
+    }
+
+    /// Directed link where each flow's first drop happened in the last
+    /// [`run_planned`](Self::run_planned) (`u32::MAX` if none) — the
+    /// per-hop NACK payload.
+    pub fn flow_dropped_at(&self) -> &[u32] {
+        &self.bufs.flow_dropped_at
+    }
+
+    /// Directed link where each flow first crossed a corrupting link in
+    /// the last [`run_planned`](Self::run_planned) (`u32::MAX` if clean).
+    pub fn flow_corrupted_at(&self) -> &[u32] {
+        &self.bufs.flow_corrupted_at
     }
 }
 

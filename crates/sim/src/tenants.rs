@@ -44,11 +44,12 @@ use hyperpath_topology::host::{BinomialTreePlan, GridPlan, Theorem1Plan, Theorem
 use hyperpath_topology::{DirEdge, Hypercube, Node};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use crate::faults::FaultPlan;
-use crate::packet::{Flow, PacketSim};
+use crate::packet::{Flow, PacketArena, PacketSim};
 use crate::trace::{NopRecorder, Recorder};
-use crate::wormhole::{Worm, WormholeSim};
+use crate::wormhole::{Worm, WormholeArena, WormholeSim};
 
 /// Largest subcube the engine will hand to the dense packet/wormhole
 /// simulators (they allocate `O(links × dims)` state — ~100 MB at 16
@@ -783,14 +784,61 @@ impl TenantEngine {
         self.groups.len()
     }
 
-    /// Runs the engine without instrumentation.
+    /// Runs the engine without instrumentation. Groups execute on the
+    /// pooled arenas and, when there is more than one, in parallel —
+    /// the report is byte-identical at any thread count (see
+    /// [`TenantRun`]).
     pub fn run(&self) -> EngineReport {
         self.run_recorded(&mut NopRecorder)
     }
 
     /// Runs the engine, reporting every phase-group machine run to `rec`.
+    /// A non-nop recorder forces serial group order so it observes the
+    /// exact event stream; the report itself is identical either way.
     pub fn run_recorded<R: Recorder>(&self, rec: &mut R) -> EngineReport {
-        self.run_impl(None, rec)
+        let mut run = TenantRun::new(self, None);
+        for _ in 0..self.cfg.rounds {
+            run.step_round_recorded(rec);
+        }
+        run.finish()
+    }
+
+    /// Begins a pooled plain run in round-stepping form: call
+    /// [`TenantRun::step_round`] exactly [`TenantsConfig::rounds`] times,
+    /// then [`TenantRun::finish`]. `run()` is this loop; the stepping form
+    /// exists so the steady-state zero-allocation guarantee can be pinned
+    /// per round (`bench/tests/alloc_zero.rs`).
+    pub fn begin(&self) -> TenantRun<'_> {
+        TenantRun::new(self, None)
+    }
+
+    /// Begins a pooled plan-aware run in round-stepping form (see
+    /// [`TenantEngine::begin`]).
+    pub fn begin_planned<'a>(
+        &'a self,
+        plan: &'a TenantFaultPlan,
+        routing: FaultRouting,
+    ) -> TenantRun<'a> {
+        TenantRun::new(self, Some((plan, routing)))
+    }
+
+    /// Reference implementation of [`TenantEngine::run`]: the original
+    /// per-round-allocating engine (a fresh `PacketSim`/`WormholeSim` per
+    /// group per round, serial group order). Kept as the executable spec
+    /// the pooled engine is pinned bit-identical against, and as the slow
+    /// side of the perf gate's pooled-speedup floor.
+    pub fn run_reference(&self) -> EngineReport {
+        self.run_reference_impl(None, &mut NopRecorder)
+    }
+
+    /// Reference implementation of [`TenantEngine::run_planned`] (see
+    /// [`TenantEngine::run_reference`]).
+    pub fn run_planned_reference(
+        &self,
+        plan: &TenantFaultPlan,
+        routing: FaultRouting,
+    ) -> EngineReport {
+        self.run_reference_impl(Some((plan, routing)), &mut NopRecorder)
     }
 
     /// Runs the engine under an adversarial [`TenantFaultPlan`]. Phases
@@ -814,10 +862,14 @@ impl TenantEngine {
         routing: FaultRouting,
         rec: &mut R,
     ) -> EngineReport {
-        self.run_impl(Some((plan, routing)), rec)
+        let mut run = TenantRun::new(self, Some((plan, routing)));
+        for _ in 0..self.cfg.rounds {
+            run.step_round_recorded(rec);
+        }
+        run.finish()
     }
 
-    fn run_impl<R: Recorder>(
+    fn run_reference_impl<R: Recorder>(
         &self,
         fault: Option<(&TenantFaultPlan, FaultRouting)>,
         rec: &mut R,
@@ -954,27 +1006,24 @@ impl TenantEngine {
                     }
                     e => e,
                 };
+                let (steps, outcomes) = run_group_reference(
+                    &batch,
+                    fault.map(|(plan, _)| (plan, round)),
+                    root_dims,
+                    root_base,
+                    self.cfg.host_dims,
+                    exec,
+                    rec,
+                );
+                total_steps += steps;
                 match fault {
                     None => {
-                        let (steps, delivered_by_flow) =
-                            run_group(&batch, root_dims, root_base, self.cfg.host_dims, exec, rec);
-                        total_steps += steps;
-                        for (&i, d) in batch_idx.iter().zip(delivered_by_flow) {
-                            delivered_shares[i] = d;
+                        for (&i, outs) in batch_idx.iter().zip(&outcomes) {
+                            debug_assert!(outs.iter().all(|o| o.delivered && !o.corrupted));
+                            delivered_shares[i] = outs.len() as u64;
                         }
                     }
-                    Some((plan, _)) => {
-                        let (steps, outcomes) = run_group_planned(
-                            &batch,
-                            round,
-                            plan,
-                            root_dims,
-                            root_base,
-                            self.cfg.host_dims,
-                            exec,
-                            rec,
-                        );
-                        total_steps += steps;
+                    Some(_) => {
                         for (&i, outs) in batch_idx.iter().zip(outcomes) {
                             for (p, o) in admitted[i].paths.iter().zip(&outs) {
                                 if o.delivered {
@@ -1190,79 +1239,8 @@ fn local_walk(path: &[u64], n: u32, root_dims: u32, root_base: u64) -> Vec<Node>
     walk
 }
 
-/// Executes one window group's phase and returns (machine steps, shares
-/// delivered per admitted request, batch order).
-fn run_group<R: Recorder>(
-    batch: &[&Admitted],
-    root_dims: u32,
-    root_base: u64,
-    n: u32,
-    exec: ExecMode,
-    rec: &mut R,
-) -> (u64, Vec<u64>) {
-    match exec {
-        ExecMode::Structural => {
-            // Serialization bound: the hottest link forwards one share
-            // per step, each share crosses ≤ max path length links.
-            let mut load: HashMap<u64, u64> = HashMap::new();
-            let mut longest = 0u64;
-            for a in batch {
-                for p in &a.paths {
-                    longest = longest.max(p.len() as u64);
-                    for &l in p {
-                        *load.entry(l).or_insert(0) += 1;
-                    }
-                }
-            }
-            let hottest = load.values().copied().max().unwrap_or(0);
-            let steps = hottest.saturating_add(longest.saturating_sub(1));
-            (steps, batch.iter().map(|a| a.paths.len() as u64).collect())
-        }
-        ExecMode::Packet => {
-            let mut sim = PacketSim::new(Hypercube::new(root_dims));
-            let mut flow_of: Vec<(usize, u32)> = Vec::new();
-            for (i, a) in batch.iter().enumerate() {
-                for p in &a.paths {
-                    let f = sim.add_flow(Flow {
-                        path: local_walk(p, n, root_dims, root_base),
-                        packets: 1,
-                    });
-                    flow_of.push((i, f));
-                }
-            }
-            // Work-conserving machine: ≤ 3 hops per share, so hops+shares
-            // steps always finish the phase.
-            let max_steps = flow_of.len() as u64 * 4 + 4;
-            let report = sim.run_recorded(max_steps, rec);
-            debug_assert_eq!(report.delivered, flow_of.len() as u64);
-            let mut delivered = vec![0u64; batch.len()];
-            for &(i, _) in &flow_of {
-                delivered[i] += 1;
-            }
-            (report.makespan, delivered)
-        }
-        ExecMode::Wormhole { flits } => {
-            let mut sim = WormholeSim::new(Hypercube::new(root_dims));
-            let mut owner: Vec<usize> = Vec::new();
-            for (i, a) in batch.iter().enumerate() {
-                for p in &a.paths {
-                    sim.add_worm(Worm { path: local_walk(p, n, root_dims, root_base), flits });
-                    owner.push(i);
-                }
-            }
-            let max_steps = owner.len() as u64 * (flits + 3) + flits + 4;
-            let report = sim.run_recorded(max_steps, rec);
-            debug_assert_eq!(report.completion.len(), owner.len());
-            let mut delivered = vec![0u64; batch.len()];
-            for &i in &owner {
-                delivered[i] += 1;
-            }
-            (report.makespan, delivered)
-        }
-    }
-}
-
 /// What one committed share experienced during its phase.
+#[derive(Debug, Clone, Copy)]
 struct PathOutcome {
     /// The share arrived (possibly corrupted).
     delivered: bool,
@@ -1271,6 +1249,22 @@ struct PathOutcome {
     /// The host link to NACK: where the share was dropped, or the first
     /// corrupting link it crossed. `None` for a clean delivery.
     blame: Option<u64>,
+}
+
+/// The outcome every share gets on a plan-free run.
+const CLEAN_DELIVERY: PathOutcome = PathOutcome { delivered: true, corrupted: false, blame: None };
+
+/// The analytic outcome of one share under the structural model: dead at
+/// the first down link, else flagged by the first corrupting link, else
+/// clean.
+fn structural_outcome(path: &[u64], fault: Option<(&TenantFaultPlan, u32)>) -> PathOutcome {
+    let Some((plan, round)) = fault else { return CLEAN_DELIVERY };
+    let down = path.iter().copied().find(|&l| plan.is_down(l, round));
+    let corrupting = path.iter().copied().find(|&l| plan.is_corrupting(l));
+    match down {
+        Some(l) => PathOutcome { delivered: false, corrupted: false, blame: Some(l) },
+        None => PathOutcome { delivered: true, corrupted: corrupting.is_some(), blame: corrupting },
+    }
 }
 
 /// Local `Q_m` directed edge of a host link (the link currency keeps the
@@ -1318,14 +1312,14 @@ fn project_group_plan(
     dense
 }
 
-/// Executes one window group's phase under the projected fault plan and
-/// returns (machine steps, per-admitted-request share outcomes in batch
-/// and path order).
-#[allow(clippy::too_many_arguments)]
-fn run_group_planned<R: Recorder>(
+/// Executes one window group's phase — the reference per-round-allocating
+/// path deduped over plain and plan-aware runs — and returns (machine
+/// steps, per-admitted-request share outcomes in batch and path order).
+/// With `fault == None` the plain engines run and every outcome is a
+/// clean delivery.
+fn run_group_reference<R: Recorder>(
     batch: &[&Admitted],
-    round: u32,
-    plan: &TenantFaultPlan,
+    fault: Option<(&TenantFaultPlan, u32)>,
     root_dims: u32,
     root_base: u64,
     n: u32,
@@ -1334,10 +1328,11 @@ fn run_group_planned<R: Recorder>(
 ) -> (u64, Vec<Vec<PathOutcome>>) {
     match exec {
         ExecMode::Structural => {
-            // Same serialization bound as the plan-free path (committed
-            // load is committed load whether or not shares then die), so
-            // an empty plan stays bit-identical; outcomes are graded
-            // analytically per path.
+            // Serialization bound: the hottest link forwards one share
+            // per step, each share crosses ≤ max path length links.
+            // Committed load is committed load whether or not shares
+            // then die, so an empty plan stays bit-identical; outcomes
+            // are graded analytically per path.
             let mut load: HashMap<u64, u64> = HashMap::new();
             let mut longest = 0u64;
             for a in batch {
@@ -1352,33 +1347,12 @@ fn run_group_planned<R: Recorder>(
             let steps = hottest.saturating_add(longest.saturating_sub(1));
             let outcomes = batch
                 .iter()
-                .map(|a| {
-                    a.paths
-                        .iter()
-                        .map(|p| {
-                            let down = p.iter().copied().find(|&l| plan.is_down(l, round));
-                            let corrupting = p.iter().copied().find(|&l| plan.is_corrupting(l));
-                            match down {
-                                Some(l) => PathOutcome {
-                                    delivered: false,
-                                    corrupted: false,
-                                    blame: Some(l),
-                                },
-                                None => PathOutcome {
-                                    delivered: true,
-                                    corrupted: corrupting.is_some(),
-                                    blame: corrupting,
-                                },
-                            }
-                        })
-                        .collect()
-                })
+                .map(|a| a.paths.iter().map(|p| structural_outcome(p, fault)).collect())
                 .collect();
             (steps, outcomes)
         }
         ExecMode::Packet => {
             let cube = Hypercube::new(root_dims);
-            let dense = project_group_plan(batch, round, plan, &cube, n);
             let mut sim = PacketSim::new(cube);
             let mut flows = 0u64;
             for a in batch.iter() {
@@ -1387,35 +1361,60 @@ fn run_group_planned<R: Recorder>(
                     flows += 1;
                 }
             }
+            // Work-conserving machine: ≤ 3 hops per share, so hops+shares
+            // steps always finish the phase.
             let max_steps = flows * 4 + 4;
-            let pr = sim.run_planned_recorded(max_steps, &dense, rec);
-            let mut f = 0usize;
-            let outcomes = batch
-                .iter()
-                .map(|a| {
-                    a.paths
+            match fault {
+                None => {
+                    let report = sim.run_recorded(max_steps, rec);
+                    debug_assert_eq!(report.delivered, flows);
+                    let outcomes = batch
                         .iter()
-                        .map(|_| {
-                            let delivered = pr.flow_delivered[f] == 1;
-                            let corrupted = pr.flow_corrupted[f] == 1;
-                            let blame = if !delivered {
-                                Some(host_link_of(&cube, pr.flow_dropped_at[f], n, root_base))
-                            } else if corrupted {
-                                Some(host_link_of(&cube, pr.flow_corrupted_at[f], n, root_base))
-                            } else {
-                                None
-                            };
-                            f += 1;
-                            PathOutcome { delivered, corrupted, blame }
+                        .map(|a| a.paths.iter().map(|_| CLEAN_DELIVERY).collect())
+                        .collect();
+                    (report.makespan, outcomes)
+                }
+                Some((plan, round)) => {
+                    let dense = project_group_plan(batch, round, plan, &cube, n);
+                    let pr = sim.run_planned_recorded(max_steps, &dense, rec);
+                    let mut f = 0usize;
+                    let outcomes = batch
+                        .iter()
+                        .map(|a| {
+                            a.paths
+                                .iter()
+                                .map(|_| {
+                                    let delivered = pr.flow_delivered[f] == 1;
+                                    let corrupted = pr.flow_corrupted[f] == 1;
+                                    let blame = if !delivered {
+                                        Some(host_link_of(
+                                            &cube,
+                                            pr.flow_dropped_at[f],
+                                            n,
+                                            root_base,
+                                        ))
+                                    } else if corrupted {
+                                        Some(host_link_of(
+                                            &cube,
+                                            pr.flow_corrupted_at[f],
+                                            n,
+                                            root_base,
+                                        ))
+                                    } else {
+                                        None
+                                    };
+                                    f += 1;
+                                    PathOutcome { delivered, corrupted, blame }
+                                })
+                                .collect()
                         })
-                        .collect()
-                })
-                .collect();
-            (pr.report.makespan, outcomes)
+                        .collect();
+                    (pr.report.makespan, outcomes)
+                }
+            }
         }
         ExecMode::Wormhole { flits } => {
             let cube = Hypercube::new(root_dims);
-            let dense = project_group_plan(batch, round, plan, &cube, n);
             let mut sim = WormholeSim::new(cube);
             let mut worms = 0u64;
             for a in batch.iter() {
@@ -1425,30 +1424,815 @@ fn run_group_planned<R: Recorder>(
                 }
             }
             let max_steps = worms * (flits + 3) + flits + 4;
-            let wr = sim.run_planned_recorded(max_steps, &dense, rec);
-            let mut w = 0usize;
-            let outcomes = batch
-                .iter()
-                .map(|a| {
-                    a.paths
+            match fault {
+                None => {
+                    let report = sim.run_recorded(max_steps, rec);
+                    debug_assert_eq!(report.completion.len(), worms as usize);
+                    let outcomes = batch
                         .iter()
-                        .map(|_| {
-                            let delivered = !wr.lost[w];
-                            let corrupted = delivered && wr.corrupted[w];
-                            let blame = if !delivered {
-                                Some(host_link_of(&cube, wr.dropped_at[w], n, root_base))
-                            } else if corrupted {
-                                Some(host_link_of(&cube, wr.corrupted_at[w], n, root_base))
-                            } else {
-                                None
-                            };
-                            w += 1;
-                            PathOutcome { delivered, corrupted, blame }
+                        .map(|a| a.paths.iter().map(|_| CLEAN_DELIVERY).collect())
+                        .collect();
+                    (report.makespan, outcomes)
+                }
+                Some((plan, round)) => {
+                    let dense = project_group_plan(batch, round, plan, &cube, n);
+                    let wr = sim.run_planned_recorded(max_steps, &dense, rec);
+                    let mut w = 0usize;
+                    let outcomes = batch
+                        .iter()
+                        .map(|a| {
+                            a.paths
+                                .iter()
+                                .map(|_| {
+                                    let delivered = !wr.lost[w];
+                                    let corrupted = delivered && wr.corrupted[w];
+                                    let blame = if !delivered {
+                                        Some(host_link_of(&cube, wr.dropped_at[w], n, root_base))
+                                    } else if corrupted {
+                                        Some(host_link_of(&cube, wr.corrupted_at[w], n, root_base))
+                                    } else {
+                                        None
+                                    };
+                                    w += 1;
+                                    PathOutcome { delivered, corrupted, blame }
+                                })
+                                .collect()
                         })
-                        .collect()
-                })
-                .collect();
-            (wr.report.makespan, outcomes)
+                        .collect();
+                    (wr.report.makespan, outcomes)
+                }
+            }
+        }
+    }
+}
+
+/// Writes the directed local-link sequence of a host-link path into
+/// `out` — exactly the hop links [`PacketSim`]/[`WormholeSim`] derive
+/// from the corresponding [`local_walk`] node walk. Undirected link lists
+/// carry no orientation, so it is reconstructed by the same
+/// endpoint-chaining (including the first-two-links start
+/// disambiguation).
+fn local_hops_into(
+    path: &[u64],
+    n: u32,
+    root_dims: u32,
+    root_base: u64,
+    cube: &Hypercube,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(!path.is_empty());
+    out.clear();
+    let mask = (1u64 << root_dims) - 1;
+    let (a0, b0) = link_endpoints(n, path[0]);
+    let mut at = if path.len() == 1 {
+        a0
+    } else {
+        let (a1, b1) = link_endpoints(n, path[1]);
+        if a0 == a1 || a0 == b1 {
+            b0
+        } else {
+            a0
+        }
+    };
+    debug_assert_eq!(at & !mask, root_base, "path escapes its window group");
+    for &l in path {
+        let (a, b) = link_endpoints(n, l);
+        let next = if at == a { b } else { a };
+        let d = (at ^ next).trailing_zeros();
+        out.push(cube.dir_edge_index(DirEdge::new(at & mask, d)) as u32);
+        at = next;
+    }
+}
+
+/// One path of a flat `(links, offsets)` path table.
+#[inline]
+fn path_slice<'x>(links: &'x [u64], off: &[u32], p: usize) -> &'x [u64] {
+    &links[off[p] as usize..off[p + 1] as usize]
+}
+
+/// An admitted request in the pooled engine's flat round arena: its
+/// committed paths are `first_path..first_path + num_paths` of the
+/// round's shared path table, in chosen (least-loaded-first) order.
+#[derive(Debug, Clone, Copy)]
+struct AdmHeader {
+    req: Request,
+    group: u32,
+    first_path: u32,
+    num_paths: u32,
+}
+
+/// Read-only round state shared by every group execution — what makes the
+/// parallel dispatch safe to borrow from rayon workers.
+struct RoundCtx<'a> {
+    admitted: &'a [AdmHeader],
+    adm_links: &'a [u64],
+    adm_off: &'a [u32],
+    plan: Option<&'a TenantFaultPlan>,
+    round: u32,
+    host_dims: u32,
+}
+
+impl RoundCtx<'_> {
+    #[inline]
+    fn path(&self, p: u32) -> &[u64] {
+        path_slice(self.adm_links, self.adm_off, p as usize)
+    }
+}
+
+/// Persistent per-group execution state of the pooled engine: the root
+/// subcube (its [`Hypercube`] is constructed once, inside the machine
+/// arena, not per round), the machine arena for the resolved execution
+/// mode, the memoized dense fault-plan projection, and every per-round
+/// scratch buffer. Window groups live on disjoint root subcubes, so an
+/// arena is written only by its own group's phase — the invariant the
+/// parallel dispatch rests on.
+struct GroupArena {
+    root_dims: u32,
+    root_base: u64,
+    /// Execution mode with the [`ENGINE_MAX_DIMS`] structural fallback
+    /// already applied.
+    exec: ExecMode,
+    packet: Option<PacketArena>,
+    worm: Option<WormholeArena>,
+    /// Memoized dense projection of the run's [`TenantFaultPlan`] onto
+    /// this group's root subcube: corrupting bits are static and set
+    /// once here; only the round-dependent cut bits flip between rounds
+    /// (`sync_dense_cuts` over `group_faults`). Cut or corrupting bits
+    /// on links no batch path crosses are machine-neutral, so marking
+    /// the whole window's hazards keeps runs bit-identical to the
+    /// reference's per-batch projection.
+    dense: Option<FaultPlan>,
+    /// Every plan-hazard host link inside this window with its local
+    /// directed edge — the only bits of `dense` that can change.
+    group_faults: Vec<(u64, DirEdge)>,
+    /// Admitted-request indices routed to this group this round.
+    batch: Vec<u32>,
+    /// Directed local-link scratch for one path.
+    hops: Vec<u32>,
+    /// Flat per-share outcomes in batch × path order. Planned rounds
+    /// only: plain rounds deliver every share (debug-asserted) and leave
+    /// this empty.
+    outcomes: Vec<PathOutcome>,
+    /// Machine steps of this group's phase this round.
+    steps: u64,
+    /// Structural-mode link-load scratch.
+    load: HashMap<u64, u64>,
+}
+
+/// Flips the memoized projection's cut bits to `round`'s state: a hazard
+/// link is cut exactly while [`TenantFaultPlan::is_down`] says so.
+fn sync_dense_cuts(
+    dense: &mut FaultPlan,
+    group_faults: &[(u64, DirEdge)],
+    cube: &Hypercube,
+    plan: &TenantFaultPlan,
+    round: u32,
+) {
+    for &(l, e) in group_faults {
+        if plan.is_down(l, round) {
+            dense.cut_link(cube, e);
+        } else {
+            dense.uncut_link(cube, e);
+        }
+    }
+}
+
+impl GroupArena {
+    fn new(
+        root_dims: u32,
+        root_base: u64,
+        cfg_exec: ExecMode,
+        plan: Option<&TenantFaultPlan>,
+        host_dims: u32,
+    ) -> Self {
+        let exec = match cfg_exec {
+            ExecMode::Structural => ExecMode::Structural,
+            e if root_dims > ENGINE_MAX_DIMS => {
+                debug_assert!(matches!(e, ExecMode::Packet | ExecMode::Wormhole { .. }));
+                ExecMode::Structural
+            }
+            e => e,
+        };
+        let packet =
+            matches!(exec, ExecMode::Packet).then(|| PacketArena::new(Hypercube::new(root_dims)));
+        let worm = matches!(exec, ExecMode::Wormhole { .. })
+            .then(|| WormholeArena::new(Hypercube::new(root_dims)));
+        let (dense, group_faults) = match (plan, exec) {
+            (Some(plan), ExecMode::Packet | ExecMode::Wormhole { .. }) => {
+                let cube = Hypercube::new(root_dims);
+                let mask = cube.num_nodes() - 1;
+                let mut dense = FaultPlan::none(&cube);
+                let mut faults = Vec::new();
+                for &l in plan.cuts.keys().chain(plan.outages.keys()).chain(plan.corrupt.iter()) {
+                    let d = (l % u64::from(host_dims)) as u32;
+                    let base = l / u64::from(host_dims);
+                    if d < root_dims && base & !mask == root_base {
+                        let e = DirEdge::new(base & mask, d);
+                        if plan.is_corrupting(l) {
+                            dense.corrupt_link(&cube, e);
+                        }
+                        faults.push((l, e));
+                    }
+                }
+                (Some(dense), faults)
+            }
+            _ => (None, Vec::new()),
+        };
+        GroupArena {
+            root_dims,
+            root_base,
+            exec,
+            packet,
+            worm,
+            dense,
+            group_faults,
+            batch: Vec::new(),
+            hops: Vec::new(),
+            outcomes: Vec::new(),
+            steps: 0,
+            load: HashMap::new(),
+        }
+    }
+
+    /// Runs this group's phase for the round described by `ctx`,
+    /// reporting machine events to `rec`. Results land in `self.steps`
+    /// and (planned rounds) `self.outcomes`; nothing allocates once the
+    /// scratch buffers are warm.
+    fn execute<R: Recorder>(&mut self, ctx: &RoundCtx<'_>, rec: &mut R) {
+        self.steps = 0;
+        self.outcomes.clear();
+        if self.batch.is_empty() {
+            return;
+        }
+        match self.exec {
+            ExecMode::Structural => self.execute_structural(ctx),
+            ExecMode::Packet => self.execute_packet(ctx, rec),
+            ExecMode::Wormhole { flits } => self.execute_wormhole(ctx, flits, rec),
+        }
+    }
+
+    fn execute_structural(&mut self, ctx: &RoundCtx<'_>) {
+        // Serialization bound: the hottest link forwards one share per
+        // step, each share crosses ≤ max path length links. Committed
+        // load is committed load whether or not shares then die.
+        self.load.clear();
+        let mut longest = 0u64;
+        for &ai in &self.batch {
+            let h = &ctx.admitted[ai as usize];
+            for j in 0..h.num_paths {
+                let p = ctx.path(h.first_path + j);
+                longest = longest.max(p.len() as u64);
+                for &l in p {
+                    *self.load.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+        let hottest = self.load.values().copied().max().unwrap_or(0);
+        self.steps = hottest.saturating_add(longest.saturating_sub(1));
+        if let Some(plan) = ctx.plan {
+            for &ai in &self.batch {
+                let h = &ctx.admitted[ai as usize];
+                for j in 0..h.num_paths {
+                    self.outcomes.push(structural_outcome(
+                        ctx.path(h.first_path + j),
+                        Some((plan, ctx.round)),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn execute_packet<R: Recorder>(&mut self, ctx: &RoundCtx<'_>, rec: &mut R) {
+        let arena = self.packet.as_mut().expect("packet arena for packet mode");
+        let cube = arena.host();
+        arena.clear();
+        for &ai in &self.batch {
+            let h = &ctx.admitted[ai as usize];
+            for j in 0..h.num_paths {
+                local_hops_into(
+                    ctx.path(h.first_path + j),
+                    ctx.host_dims,
+                    self.root_dims,
+                    self.root_base,
+                    &cube,
+                    &mut self.hops,
+                );
+                arena.add_flow_links(&self.hops, 1);
+            }
+        }
+        let flows = arena.num_flows() as u64;
+        // Work-conserving machine: ≤ 3 hops per share, so hops+shares
+        // steps always finish the phase (the reference's budget).
+        let max_steps = flows * 4 + 4;
+        match ctx.plan {
+            None => {
+                let report = arena.run(max_steps, rec);
+                debug_assert_eq!(report.delivered, flows);
+                self.steps = report.makespan;
+            }
+            Some(plan) => {
+                let dense = self.dense.as_mut().expect("dense projection for planned run");
+                sync_dense_cuts(dense, &self.group_faults, &cube, plan, ctx.round);
+                self.steps = arena.run_planned(max_steps, dense, rec).makespan;
+                for f in 0..flows as usize {
+                    let delivered = arena.flow_delivered()[f] == 1;
+                    let corrupted = arena.flow_corrupted()[f] == 1;
+                    let blame = if !delivered {
+                        Some(host_link_of(
+                            &cube,
+                            arena.flow_dropped_at()[f],
+                            ctx.host_dims,
+                            self.root_base,
+                        ))
+                    } else if corrupted {
+                        Some(host_link_of(
+                            &cube,
+                            arena.flow_corrupted_at()[f],
+                            ctx.host_dims,
+                            self.root_base,
+                        ))
+                    } else {
+                        None
+                    };
+                    self.outcomes.push(PathOutcome { delivered, corrupted, blame });
+                }
+            }
+        }
+    }
+
+    fn execute_wormhole<R: Recorder>(&mut self, ctx: &RoundCtx<'_>, flits: u64, rec: &mut R) {
+        let arena = self.worm.as_mut().expect("wormhole arena for wormhole mode");
+        let cube = arena.host();
+        arena.clear();
+        for &ai in &self.batch {
+            let h = &ctx.admitted[ai as usize];
+            for j in 0..h.num_paths {
+                local_hops_into(
+                    ctx.path(h.first_path + j),
+                    ctx.host_dims,
+                    self.root_dims,
+                    self.root_base,
+                    &cube,
+                    &mut self.hops,
+                );
+                arena.add_worm_links(&self.hops, flits);
+            }
+        }
+        let worms = arena.num_worms() as u64;
+        let max_steps = worms * (flits + 3) + flits + 4;
+        match ctx.plan {
+            None => {
+                self.steps = arena.run(max_steps, rec);
+            }
+            Some(plan) => {
+                let dense = self.dense.as_mut().expect("dense projection for planned run");
+                sync_dense_cuts(dense, &self.group_faults, &cube, plan, ctx.round);
+                self.steps = arena.run_planned(max_steps, dense, rec);
+                for w in 0..worms as usize {
+                    let delivered = !arena.lost()[w];
+                    let corrupted = delivered && arena.corrupted()[w];
+                    let blame = if !delivered {
+                        Some(host_link_of(
+                            &cube,
+                            arena.dropped_at()[w],
+                            ctx.host_dims,
+                            self.root_base,
+                        ))
+                    } else if corrupted {
+                        Some(host_link_of(
+                            &cube,
+                            arena.corrupted_at()[w],
+                            ctx.host_dims,
+                            self.root_base,
+                        ))
+                    } else {
+                        None
+                    };
+                    self.outcomes.push(PathOutcome { delivered, corrupted, blame });
+                }
+            }
+        }
+    }
+}
+
+/// One pooled run of a [`TenantEngine`], in round-stepping form.
+///
+/// Holds the per-group arena pool (one persistent [`PacketArena`] /
+/// [`WormholeArena`] plus memoized fault projection per window group,
+/// created once) and every per-round scratch buffer, so a warmed-up
+/// [`step_round`](Self::step_round) allocates nothing at all —
+/// `bench/tests/alloc_zero.rs` pins the exact-zero behavior.
+///
+/// **Parallel groups, deterministic reports.** When the recorder is a
+/// nop ([`Recorder::IS_NOP`]) and there is more than one group, the
+/// per-round phases execute on rayon workers. Window groups live on
+/// disjoint root subcubes: their machines share no state, their
+/// host-link sets are disjoint, and each group writes only its own
+/// arena. The merge below then walks groups in ascending index order —
+/// the exact order the serial loop uses — so every ledger ACK/NACK and
+/// stat update lands in the serial sequence whatever the thread count.
+/// That is what keeps [`EngineReport`]s (and the E19/E21 artifacts built
+/// from them) byte-identical under any `RAYON_NUM_THREADS` (CI pins 1,
+/// 2, and 4). A non-nop recorder forces serial order so it observes the
+/// canonical event stream.
+pub struct TenantRun<'a> {
+    engine: &'a TenantEngine,
+    fault: Option<(&'a TenantFaultPlan, FaultRouting)>,
+    round: u32,
+    total_steps: u64,
+    ledger: LinkLedger,
+    stats: Vec<FlowStats>,
+    rngs: Vec<ChaCha8Rng>,
+    backlog: Vec<Request>,
+    arenas: Vec<GroupArena>,
+    // Round scratch, reused across rounds.
+    requests: Vec<Request>,
+    waiting: Vec<Request>,
+    admitted: Vec<AdmHeader>,
+    adm_links: Vec<u64>,
+    adm_off: Vec<u32>,
+    cand_links: Vec<u64>,
+    cand_off: Vec<u32>,
+    order: Vec<usize>,
+    chosen: Vec<usize>,
+    delivered_shares: Vec<u64>,
+    corrupted_shares: Vec<u64>,
+}
+
+impl<'a> TenantRun<'a> {
+    fn new(engine: &'a TenantEngine, fault: Option<(&'a TenantFaultPlan, FaultRouting)>) -> Self {
+        let cfg = &engine.cfg;
+        let plan = fault.map(|(p, _)| p);
+        let arenas: Vec<GroupArena> = engine
+            .groups
+            .iter()
+            .map(|&(root_dims, root_base)| {
+                GroupArena::new(root_dims, root_base, cfg.exec, plan, cfg.host_dims)
+            })
+            .collect();
+        // Satellite regression: the pool is exactly one persistent arena
+        // per window group, never rebuilt mid-run.
+        assert_eq!(arenas.len(), engine.num_groups());
+        let rngs = engine
+            .specs
+            .iter()
+            .map(|s| {
+                let mut r = ChaCha8Rng::seed_from_u64(cfg.seed);
+                r.set_stream(u64::from(s.id) + 1);
+                r
+            })
+            .collect();
+        TenantRun {
+            engine,
+            fault,
+            round: 0,
+            total_steps: 0,
+            ledger: LinkLedger::new(cfg.capacity),
+            stats: vec![FlowStats::default(); engine.specs.len()],
+            rngs,
+            backlog: Vec::new(),
+            arenas,
+            requests: Vec::new(),
+            waiting: Vec::new(),
+            admitted: Vec::new(),
+            adm_links: Vec::new(),
+            adm_off: vec![0],
+            cand_links: Vec::new(),
+            cand_off: vec![0],
+            order: Vec::new(),
+            chosen: Vec::new(),
+            delivered_shares: Vec::new(),
+            corrupted_shares: Vec::new(),
+        }
+    }
+
+    /// Rounds stepped so far.
+    pub fn rounds_stepped(&self) -> u32 {
+        self.round
+    }
+
+    /// Executes one synchronous round without instrumentation.
+    ///
+    /// # Panics
+    /// Panics if stepped more than [`TenantsConfig::rounds`] times.
+    pub fn step_round(&mut self) {
+        self.step_round_recorded(&mut NopRecorder);
+    }
+
+    /// Executes one synchronous round, reporting every phase-group
+    /// machine run to `rec` (serially, in group order, when `rec` is not
+    /// a nop).
+    pub fn step_round_recorded<R: Recorder>(&mut self, rec: &mut R) {
+        let engine = self.engine;
+        let cfg = &engine.cfg;
+        assert!(self.round < cfg.rounds, "stepped past the configured rounds");
+        let round = self.round;
+        let n = cfg.host_dims;
+        let fault = self.fault;
+
+        // Backlog entries whose backoff has expired first (stable
+        // order), then this round's fresh requests in canonical tenant
+        // order — identical queue order to the reference engine.
+        self.requests.clear();
+        self.waiting.clear();
+        for r in self.backlog.drain(..) {
+            if r.ready <= round {
+                self.requests.push(r);
+            } else {
+                self.waiting.push(r);
+            }
+        }
+        std::mem::swap(&mut self.backlog, &mut self.waiting);
+        for (t, spec) in engine.specs.iter().enumerate() {
+            let edges = spec.plan.num_edges();
+            for _ in 0..cfg.requests_per_round {
+                let edge = draw_edge(&mut self.rngs[t], edges);
+                self.stats[t].requested += 1;
+                self.requests.push(Request {
+                    tenant: t,
+                    edge,
+                    age: 0,
+                    ready: round,
+                    faulted: false,
+                    issued: round,
+                });
+            }
+        }
+
+        // Admission in request order — the reference's decisions exactly
+        // (same candidate order, same keys, same ledger state at every
+        // check), on flat reusable arenas instead of per-request Vecs.
+        self.admitted.clear();
+        self.adm_links.clear();
+        self.adm_off.truncate(1);
+        for ri in 0..self.requests.len() {
+            let req = self.requests[ri];
+            let t = req.tenant;
+            let spec = &engine.specs[t];
+            let width = spec.plan.width();
+            let threshold = width.div_ceil(2);
+            let m = spec.plan.dims();
+            self.cand_links.clear();
+            self.cand_off.truncate(1);
+            {
+                let cand_links = &mut self.cand_links;
+                let cand_off = &mut self.cand_off;
+                spec.plan.for_each_path(req.edge, &mut |p| {
+                    // lift_path, flattened in place.
+                    for &l in p {
+                        let d = l % u64::from(m);
+                        let base = l / u64::from(m);
+                        cand_links.push(((spec.window << m) | base) * u64::from(n) + d);
+                    }
+                    cand_off.push(cand_links.len() as u32);
+                });
+            }
+            let num_paths = self.cand_off.len() - 1;
+            let cand_links = &self.cand_links;
+            let cand_off = &self.cand_off;
+            let ledger = &self.ledger;
+            // Health-aware re-routing: paths through suspect links are
+            // not candidates at all — the bundle degrades gracefully
+            // toward the IDA threshold instead of wasting commits on
+            // links known to eat shares.
+            let suspect = |links: &[u64]| -> bool {
+                match fault {
+                    None => false,
+                    Some((_, FaultRouting::Learned)) => {
+                        links.iter().any(|&l| ledger.is_quarantined(l, round))
+                    }
+                    Some((plan, FaultRouting::Omniscient)) => {
+                        links.iter().any(|&l| plan.is_hazard(l))
+                    }
+                }
+            };
+            // Least-loaded-first: order candidate paths by the hottest
+            // link each would cross, keeping bundle order as the
+            // tiebreak. Keys are unique (the index breaks ties), so the
+            // allocation-free unstable sort is deterministic and matches
+            // the reference's stable sort order.
+            self.order.clear();
+            self.order
+                .extend((0..num_paths).filter(|&i| !suspect(path_slice(cand_links, cand_off, i))));
+            self.order.sort_unstable_by_key(|&i| {
+                (
+                    path_slice(cand_links, cand_off, i)
+                        .iter()
+                        .map(|&l| ledger.load(l))
+                        .max()
+                        .unwrap_or(0),
+                    i,
+                )
+            });
+            self.chosen.clear();
+            self.chosen.extend(
+                self.order
+                    .iter()
+                    .copied()
+                    .filter(|&i| ledger.fits(path_slice(cand_links, cand_off, i)))
+                    .take(width as usize),
+            );
+            if (self.chosen.len() as u32) < threshold {
+                if req.age >= cfg.max_requeues {
+                    self.stats[t].lost += 1;
+                } else {
+                    self.stats[t].requeues += 1;
+                    self.backlog.push(Request { age: req.age + 1, ready: round + 1, ..req });
+                }
+                continue;
+            }
+            let first_path = (self.adm_off.len() - 1) as u32;
+            for ci in 0..self.chosen.len() {
+                let i = self.chosen[ci];
+                let s = self.cand_off[i] as usize;
+                let e = self.cand_off[i + 1] as usize;
+                self.ledger.commit(&self.cand_links[s..e]);
+                self.adm_links.extend_from_slice(&self.cand_links[s..e]);
+                self.adm_off.push(self.adm_links.len() as u32);
+            }
+            self.stats[t].shares_committed += self.chosen.len() as u64;
+            self.admitted.push(AdmHeader {
+                req,
+                group: engine.group_of[t] as u32,
+                first_path,
+                num_paths: self.chosen.len() as u32,
+            });
+        }
+
+        // Route each admitted request to its group's arena, then execute
+        // one phase per group — in parallel when nobody is recording
+        // (disjoint subcubes; see the type-level docs), serially
+        // otherwise so `rec` observes the canonical event order.
+        for ga in &mut self.arenas {
+            ga.batch.clear();
+        }
+        for (i, h) in self.admitted.iter().enumerate() {
+            self.arenas[h.group as usize].batch.push(i as u32);
+        }
+        let ctx = RoundCtx {
+            admitted: &self.admitted,
+            adm_links: &self.adm_links,
+            adm_off: &self.adm_off,
+            plan: fault.map(|(p, _)| p),
+            round,
+            host_dims: n,
+        };
+        if R::IS_NOP && self.arenas.len() > 1 {
+            self.arenas.par_iter_mut().for_each(|ga| ga.execute(&ctx, &mut NopRecorder));
+        } else {
+            for ga in &mut self.arenas {
+                ga.execute(&ctx, rec);
+            }
+        }
+
+        // Merge per-group results in ascending group order — the serial
+        // loop's exact ledger ACK/NACK and step-accumulation sequence.
+        self.delivered_shares.clear();
+        self.delivered_shares.resize(self.admitted.len(), 0);
+        self.corrupted_shares.clear();
+        self.corrupted_shares.resize(self.admitted.len(), 0);
+        match fault {
+            None => {
+                for ga in &self.arenas {
+                    self.total_steps += ga.steps;
+                    for &ai in &ga.batch {
+                        self.delivered_shares[ai as usize] =
+                            u64::from(self.admitted[ai as usize].num_paths);
+                    }
+                }
+            }
+            Some(_) => {
+                for ga in &self.arenas {
+                    self.total_steps += ga.steps;
+                    let mut o = 0usize;
+                    for &ai in &ga.batch {
+                        let h = self.admitted[ai as usize];
+                        for j in 0..h.num_paths {
+                            let out = ga.outcomes[o];
+                            o += 1;
+                            if out.delivered {
+                                self.delivered_shares[ai as usize] += 1;
+                                if out.corrupted {
+                                    self.corrupted_shares[ai as usize] += 1;
+                                    if let Some(b) = out.blame {
+                                        self.ledger.nack(b, round);
+                                    }
+                                } else {
+                                    // The whole path carried a clean
+                                    // share: every hop is healthy.
+                                    let p = (h.first_path + j) as usize;
+                                    for &l in path_slice(&self.adm_links, &self.adm_off, p) {
+                                        self.ledger.ack(l);
+                                    }
+                                }
+                            } else if let Some(b) = out.blame {
+                                self.ledger.nack(b, round);
+                            }
+                        }
+                    }
+                    debug_assert_eq!(o, ga.outcomes.len());
+                }
+            }
+        }
+
+        // Post-phase SLO grading. Plan-free runs grade on committed
+        // width (their engines deliver every committed share); plan runs
+        // grade on shares that arrived clean, refund fault-failed
+        // requests' phantom congestion, and requeue them with backoff.
+        for i in 0..self.admitted.len() {
+            let h = self.admitted[i];
+            let t = h.req.tenant;
+            let width = engine.specs[t].plan.width();
+            let threshold = u64::from(width.div_ceil(2));
+            let committed = u64::from(h.num_paths);
+            self.stats[t].shares_delivered += self.delivered_shares[i];
+            match fault {
+                None => {
+                    if committed as u32 == width {
+                        self.stats[t].full += 1;
+                    } else {
+                        self.stats[t].degraded += 1;
+                    }
+                }
+                Some(_) => {
+                    let clean = self.delivered_shares[i] - self.corrupted_shares[i];
+                    self.stats[t].shares_lost += committed - self.delivered_shares[i];
+                    self.stats[t].shares_corrupted += self.corrupted_shares[i];
+                    if clean >= threshold {
+                        if clean == u64::from(width) {
+                            self.stats[t].full += 1;
+                        } else {
+                            self.stats[t].degraded += 1;
+                        }
+                        if h.req.faulted {
+                            self.stats[t].recovered += 1;
+                            self.stats[t].recovery_rounds += u64::from(round - h.req.issued);
+                        }
+                    } else {
+                        // Below the IDA threshold: the message did not
+                        // reconstruct. Refund its congestion and retry
+                        // with exponential backoff.
+                        for j in 0..h.num_paths {
+                            let p = (h.first_path + j) as usize;
+                            self.ledger.refund(path_slice(&self.adm_links, &self.adm_off, p));
+                        }
+                        if h.req.age >= cfg.max_requeues {
+                            self.stats[t].lost += 1;
+                        } else {
+                            self.stats[t].requeues += 1;
+                            let delay = 1u32 << h.req.age.min(BACKOFF_SHIFT_CAP);
+                            self.backlog.push(Request {
+                                age: h.req.age + 1,
+                                ready: round + delay,
+                                faulted: true,
+                                ..h.req
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Requests complete within their round: free the width.
+        for h in &self.admitted {
+            for j in 0..h.num_paths {
+                let p = (h.first_path + j) as usize;
+                self.ledger.release(path_slice(&self.adm_links, &self.adm_off, p));
+            }
+        }
+
+        self.round += 1;
+    }
+
+    /// Drains the remaining backlog as lost (backed-off retries that
+    /// never got another round count too) and freezes the report. Step
+    /// exactly [`TenantsConfig::rounds`] rounds first for the report to
+    /// equal [`TenantEngine::run`]'s.
+    pub fn finish(self) -> EngineReport {
+        let TenantRun { engine, round, total_steps, ledger, mut stats, backlog, .. } = self;
+        for req in backlog {
+            stats[req.tenant].lost += 1;
+        }
+        let quarantined = ledger.ever_quarantined();
+        EngineReport {
+            host_dims: engine.cfg.host_dims,
+            rounds: round,
+            tenants: engine
+                .specs
+                .iter()
+                .zip(stats)
+                .map(|(s, st)| TenantReport { id: s.id, name: s.name.clone(), stats: st })
+                .collect(),
+            total_steps,
+            ledger: LedgerSummary {
+                capacity: ledger.capacity(),
+                links_touched: ledger.links_touched(),
+                total_slots: ledger.total_slots(),
+                max_cumulative: ledger.max_cumulative(),
+                peak_concurrent: ledger.peak_concurrent(),
+                quarantined_links: quarantined.len(),
+            },
+            quarantined,
         }
     }
 }
@@ -1456,6 +2240,7 @@ fn run_group_planned<R: Recorder>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::CountingRecorder;
 
     fn grid_spec(id: u32, window: u64) -> TenantSpec {
         TenantSpec {
@@ -1799,6 +2584,133 @@ mod tests {
         }
         assert_eq!(packet.ledger, structural.ledger);
         assert_eq!(packet.quarantined, structural.quarantined);
+    }
+
+    #[test]
+    fn pooled_engine_is_byte_identical_to_reference() {
+        // Contended + nested + disjoint windows across every execution
+        // mode: the pooled production engine must reproduce the
+        // per-round-allocating reference bit for bit.
+        let big = TenantSpec {
+            id: 7,
+            name: "big".into(),
+            window: 0,
+            plan: Arc::new(BinomialTreePlan::new(5, 3).unwrap()),
+        };
+        let specs = [grid_spec(0, 0), grid_spec(1, 0), big, tree_spec(2, 2)];
+        for exec in [ExecMode::Packet, ExecMode::Structural, ExecMode::Wormhole { flits: 2 }] {
+            let mut c = cfg(6, 2);
+            c.exec = exec;
+            let engine = TenantEngine::new(c, &specs).unwrap();
+            assert_eq!(engine.run(), engine.run_reference(), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_planned_engine_is_byte_identical_to_reference() {
+        // Cuts, a timed outage, and a corrupting link across two window
+        // groups, both routing policies, every execution mode.
+        let big = TenantSpec {
+            id: 7,
+            name: "big".into(),
+            window: 0,
+            plan: Arc::new(BinomialTreePlan::new(5, 3).unwrap()),
+        };
+        let specs = [grid_spec(0, 0), grid_spec(1, 0), big, tree_spec(2, 2)];
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3);
+        tplan.outage(7, 1, 3); // base 1, dim 1: window-0 link down rounds 1-2
+        tplan.corrupt_link(24); // base 4, dim 0: window-0 link corrupting
+        tplan.outage(199, 0, 2); // base 33, dim 1: window-2 link down rounds 0-1
+        for exec in [ExecMode::Packet, ExecMode::Structural, ExecMode::Wormhole { flits: 2 }] {
+            let mut c = cfg(6, 2);
+            c.rounds = 6;
+            c.max_requeues = 3;
+            c.exec = exec;
+            let engine = TenantEngine::new(c, &specs).unwrap();
+            for routing in [FaultRouting::Learned, FaultRouting::Omniscient] {
+                assert_eq!(
+                    engine.run_planned(&tplan, routing),
+                    engine.run_planned_reference(&tplan, routing),
+                    "{exec:?} / {routing:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_run_is_identical_at_any_thread_count() {
+        // Three disjoint groups: the parallel dispatch kicks in, and the
+        // ascending-order merge keeps the report byte-identical.
+        let specs = [grid_spec(0, 0), grid_spec(1, 1), tree_spec(2, 2)];
+        let engine = TenantEngine::new(cfg(6, 8), &specs).unwrap();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| engine.run());
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| engine.run());
+        assert_eq!(one, four);
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3);
+        let p1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| engine.run_planned(&tplan, FaultRouting::Learned));
+        let p4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| engine.run_planned(&tplan, FaultRouting::Learned));
+        assert_eq!(p1, p4);
+    }
+
+    #[test]
+    fn stepping_a_run_to_completion_matches_run() {
+        let specs = [grid_spec(0, 0), tree_spec(1, 1)];
+        let engine = TenantEngine::new(cfg(6, 2), &specs).unwrap();
+        let mut run = engine.begin();
+        for _ in 0..4 {
+            run.step_round();
+        }
+        assert_eq!(run.rounds_stepped(), 4);
+        assert_eq!(run.finish(), engine.run());
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3);
+        let mut planned = engine.begin_planned(&tplan, FaultRouting::Learned);
+        for _ in 0..4 {
+            planned.step_round();
+        }
+        assert_eq!(planned.finish(), engine.run_planned(&tplan, FaultRouting::Learned));
+    }
+
+    #[test]
+    fn recorded_pooled_run_observes_the_reference_event_stream() {
+        // A non-nop recorder forces serial group order: the pooled
+        // arenas must then emit exactly the machine events the reference
+        // engines do — same machines, same order, same counts.
+        let specs = [grid_spec(0, 0), grid_spec(1, 0), tree_spec(2, 2)];
+        let engine = TenantEngine::new(cfg(6, 2), &specs).unwrap();
+        let mut pooled = CountingRecorder::default();
+        let pooled_report = engine.run_recorded(&mut pooled);
+        let mut reference = CountingRecorder::default();
+        let reference_report = engine.run_reference_impl(None, &mut reference);
+        assert_eq!(pooled, reference);
+        assert_eq!(pooled_report, reference_report);
+        let mut tplan = TenantFaultPlan::none();
+        tplan.cut_node_at(0, 6, 3);
+        let mut pooled = CountingRecorder::default();
+        let pooled_report = engine.run_planned_recorded(&tplan, FaultRouting::Learned, &mut pooled);
+        let mut reference = CountingRecorder::default();
+        let reference_report =
+            engine.run_reference_impl(Some((&tplan, FaultRouting::Learned)), &mut reference);
+        assert_eq!(pooled, reference);
+        assert_eq!(pooled_report, reference_report);
     }
 
     #[test]

@@ -18,6 +18,15 @@ use crate::packet::{PacketSim, SimReport};
 /// Event sink for one simulation run. All hooks default to no-ops; a
 /// recorder implements only what it needs.
 pub trait Recorder {
+    /// Whether this recorder observes nothing at all. Engines that can
+    /// exploit observation-free runs (the multi-tenant engine executes
+    /// its disjoint window groups in parallel when no recorder is
+    /// watching, falling back to deterministic serial order otherwise)
+    /// key off this constant; the reports are identical either way, so a
+    /// recorder that leaves the default `false` only loses the
+    /// parallelism, never correctness.
+    const IS_NOP: bool = false;
+
     /// A step completed with `busy_links` links transmitting.
     #[inline]
     fn record_step(&mut self, _step: u64, _busy_links: u64) {}
@@ -68,7 +77,9 @@ pub trait Recorder {
 /// The do-nothing recorder behind [`PacketSim::run`].
 pub struct NopRecorder;
 
-impl Recorder for NopRecorder {}
+impl Recorder for NopRecorder {
+    const IS_NOP: bool = true;
+}
 
 /// Accumulates the deterministic work counters of one run and nothing
 /// else: no per-event storage, no allocation, just nine integers. These

@@ -208,11 +208,9 @@ impl WormholeSim {
             assert!(FAULTY || !PLAN, "a plan-aware run is a fault-aware run");
         }
         let num_links = self.host.num_directed_edges() as usize;
-        // Which worm holds each link (u32::MAX = free).
-        let mut holder: Vec<u32> = vec![u32::MAX; num_links];
 
         // Fault state (compiled out when `FAULTY` is false).
-        let mut failed: Vec<bool> = if PLAN {
+        let failed: Vec<bool> = if PLAN {
             plan.expect("plan-aware run needs a plan").initial().bits().to_vec()
         } else if FAULTY {
             faults.expect("fault-aware run needs a timeline").initial().bits().to_vec()
@@ -224,11 +222,6 @@ impl WormholeSim {
         let plan_events: &[(u64, DirEdge, LinkEvent)] =
             if PLAN { plan.unwrap().events() } else { &[] };
         let corrupting: &[bool] = if PLAN { plan.unwrap().corrupting_bits() } else { &[] };
-        let mut next_event = 0usize;
-        let mut lost = vec![false; if FAULTY { self.worms.len() } else { 0 }];
-        let mut corrupted = vec![false; if PLAN { self.worms.len() } else { 0 }];
-        let mut dropped_at = vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }];
-        let mut corrupted_at = vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }];
 
         // Flat per-worm arenas: link index and head-entry step per hop.
         let mut worm_off: Vec<u32> = Vec::with_capacity(self.worms.len() + 1);
@@ -241,188 +234,41 @@ impl WormholeSim {
             }
             worm_off.push(worm_links.len() as u32);
         }
-        let mut entered: Vec<u64> = vec![0; worm_links.len()];
-        let mut head: Vec<usize> = vec![0; self.worms.len()];
-        let mut completion: Vec<u64> = vec![0; self.worms.len()];
 
-        // Zero-hop worms complete instantly; the rest start active, in id
-        // order (the list only ever compacts, so it stays id-sorted).
-        let mut active: Vec<u32> = Vec::with_capacity(self.worms.len());
-        for wid in 0..self.worms.len() as u32 {
-            rec.record_injection(wid, 1, 0);
-            if worm_off[wid as usize + 1] > worm_off[wid as usize] {
-                active.push(wid);
-            } else {
-                rec.record_delivery(wid, 0);
-            }
-        }
-
-        let mut step = 0u64;
-        while !active.is_empty() {
-            // Fault events for this step fire before anything moves; a
-            // worm holding a newly severed link dies on the spot. A plan's
-            // [`LinkEvent::Up`] merely reopens the link — dead worms stay
-            // dead, but stalled heads may now enter it.
-            if FAULTY {
-                let mut any_killed = false;
-                let mut sever = |idx: usize,
-                                 failed: &mut [bool],
-                                 holder: &mut [u32],
-                                 completion: &mut [u64],
-                                 lost: &mut [bool],
-                                 dropped_at: &mut [u32],
-                                 rec: &mut R| {
-                    failed[idx] = true;
-                    let wid = holder[idx];
-                    if wid != u32::MAX {
-                        let w = wid as usize;
-                        let off = worm_off[w] as usize;
-                        for h in 0..(worm_off[w + 1] as usize - off) {
-                            let l = worm_links[off + h] as usize;
-                            if holder[l] == wid {
-                                holder[l] = u32::MAX;
-                            }
-                        }
-                        completion[w] = step;
-                        lost[w] = true;
-                        if PLAN {
-                            dropped_at[w] = idx as u32;
-                        }
-                        any_killed = true;
-                        rec.record_drop(wid, step);
-                    }
-                };
-                if PLAN {
-                    while next_event < plan_events.len() && plan_events[next_event].0 <= step {
-                        let (_, edge, ev) = plan_events[next_event];
-                        for idx in [
-                            self.host.dir_edge_index(edge),
-                            self.host.dir_edge_index(edge.reversed()),
-                        ] {
-                            match ev {
-                                LinkEvent::Down => sever(
-                                    idx,
-                                    &mut failed,
-                                    &mut holder,
-                                    &mut completion,
-                                    &mut lost,
-                                    &mut dropped_at,
-                                    rec,
-                                ),
-                                LinkEvent::Up => failed[idx] = false,
-                            }
-                        }
-                        next_event += 1;
-                    }
-                } else {
-                    while next_event < events.len() && events[next_event].0 <= step {
-                        let edge = events[next_event].1;
-                        for idx in [
-                            self.host.dir_edge_index(edge),
-                            self.host.dir_edge_index(edge.reversed()),
-                        ] {
-                            sever(
-                                idx,
-                                &mut failed,
-                                &mut holder,
-                                &mut completion,
-                                &mut lost,
-                                &mut dropped_at,
-                                rec,
-                            );
-                        }
-                        next_event += 1;
-                    }
-                }
-                if any_killed {
-                    active.retain(|&wid| !lost[wid as usize]);
-                }
-            }
-            // Advance heads / complete worms, lowest id first (arbitration).
-            let mut advanced = 0u64;
-            active.retain(|&wid| {
-                let w = wid as usize;
-                let off = worm_off[w] as usize;
-                let hops = worm_off[w + 1] as usize - off;
-                if head[w] < hops {
-                    // Try to advance the head across the next link; heads
-                    // that cannot move stall (held links stay held).
-                    let idx = worm_links[off + head[w]] as usize;
-                    if FAULTY && failed[idx] {
-                        // The head ran into a severed link: the worm dies,
-                        // releasing everything it held.
-                        for h in 0..head[w] {
-                            let l = worm_links[off + h] as usize;
-                            if holder[l] == wid {
-                                holder[l] = u32::MAX;
-                            }
-                        }
-                        completion[w] = step;
-                        lost[w] = true;
-                        if PLAN {
-                            dropped_at[w] = idx as u32;
-                        }
-                        rec.record_drop(wid, step);
-                        return false;
-                    }
-                    if holder[idx] == u32::MAX {
-                        holder[idx] = wid;
-                        // The head entering a byte-corrupting link taints
-                        // the whole flit stream (once); the worm still
-                        // completes normally.
-                        if PLAN && corrupting[idx] && !corrupted[w] {
-                            corrupted[w] = true;
-                            corrupted_at[w] = idx as u32;
-                            rec.record_corrupt(wid, step);
-                        }
-                        entered[off + head[w]] = step;
-                        head[w] += 1;
-                        advanced += 1;
-                    }
-                    true
-                } else {
-                    // Head arrived; the tail clears the last link once
-                    // `flits` flits have crossed it.
-                    let release = entered[off + hops - 1] + self.worms[w].flits;
-                    if step + 1 >= release {
-                        for h in 0..hops {
-                            holder[worm_links[off + h] as usize] = u32::MAX;
-                        }
-                        completion[w] = release;
-                        rec.record_delivery(wid, release);
-                        rec.record_flit_moves(hops as u64 * self.worms[w].flits);
-                        false
-                    } else {
-                        true
-                    }
-                }
-            });
-            // Release links behind each still-active tail as it streams.
-            for &wid in &active {
-                let w = wid as usize;
-                let off = worm_off[w] as usize;
-                for h in 0..head[w] {
-                    let idx = worm_links[off + h] as usize;
-                    if holder[idx] == wid && step + 1 >= entered[off + h] + self.worms[w].flits {
-                        holder[idx] = u32::MAX;
-                    }
-                }
-            }
-            rec.record_step(step, advanced);
-            step += 1;
-            if step > max_steps && !active.is_empty() {
-                panic!("wormhole simulation did not finish within {max_steps} steps");
-            }
-        }
+        let mut bufs = WormBufs {
+            holder: vec![u32::MAX; num_links],
+            failed,
+            lost: vec![false; if FAULTY { self.worms.len() } else { 0 }],
+            corrupted: vec![false; if PLAN { self.worms.len() } else { 0 }],
+            dropped_at: vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }],
+            corrupted_at: vec![u32::MAX; if PLAN { self.worms.len() } else { 0 }],
+            entered: vec![0; worm_links.len()],
+            head: vec![0; self.worms.len()],
+            completion: vec![0; self.worms.len()],
+            active: Vec::with_capacity(self.worms.len()),
+        };
+        worm_core::<R, _, FAULTY, PLAN>(
+            &self.host,
+            &worm_off,
+            &worm_links,
+            |w| self.worms[w].flits,
+            max_steps,
+            events,
+            plan_events,
+            corrupting,
+            &mut bufs,
+            rec,
+        );
+        let completion = std::mem::take(&mut bufs.completion);
         PlanWormReport {
             report: WormReport {
                 makespan: completion.iter().copied().max().unwrap_or(0),
                 completion,
             },
-            lost,
-            corrupted,
-            dropped_at,
-            corrupted_at,
+            lost: std::mem::take(&mut bufs.lost),
+            corrupted: std::mem::take(&mut bufs.corrupted),
+            dropped_at: std::mem::take(&mut bufs.dropped_at),
+            corrupted_at: std::mem::take(&mut bufs.corrupted_at),
         }
     }
 
@@ -516,6 +362,394 @@ impl WormholeSim {
         }
         let completion: Vec<u64> = st.iter().map(|s| s.done.unwrap()).collect();
         WormReport { makespan: completion.iter().copied().max().unwrap_or(0), completion }
+    }
+}
+
+/// Every buffer the wormhole step machine mutates, grouped so a pooled
+/// caller ([`WormholeArena`]) can keep them alive across runs. `holder`
+/// is link-indexed and left **clean** (all `u32::MAX`) by every completed
+/// run — a finishing or dying worm releases everything it held — so reuse
+/// needs no O(links) reset; the per-worm vectors are re-prepared by the
+/// caller before each run.
+#[derive(Debug, Clone, Default)]
+struct WormBufs {
+    holder: Vec<u32>,
+    failed: Vec<bool>,
+    lost: Vec<bool>,
+    corrupted: Vec<bool>,
+    dropped_at: Vec<u32>,
+    corrupted_at: Vec<u32>,
+    entered: Vec<u64>,
+    head: Vec<usize>,
+    completion: Vec<u64>,
+    active: Vec<u32>,
+}
+
+/// The step machine shared by [`WormholeSim`]'s one-shot engine and the
+/// pooled [`WormholeArena`], verbatim from the PR-3 engine, over
+/// caller-prepared buffers (see [`WormBufs`]); nothing in here allocates
+/// beyond `active`'s reserved capacity. Results land in `bufs`
+/// (`completion`, `lost`, `corrupted`, `dropped_at`, `corrupted_at`).
+#[allow(clippy::too_many_arguments)]
+fn worm_core<R: Recorder, F: Fn(usize) -> u64, const FAULTY: bool, const PLAN: bool>(
+    host: &Hypercube,
+    worm_off: &[u32],
+    worm_links: &[u32],
+    flits_of: F,
+    max_steps: u64,
+    events: &[(u64, DirEdge)],
+    plan_events: &[(u64, DirEdge, LinkEvent)],
+    corrupting: &[bool],
+    bufs: &mut WormBufs,
+    rec: &mut R,
+) {
+    const {
+        assert!(FAULTY || !PLAN, "a plan-aware run is a fault-aware run");
+    }
+    let num_worms = worm_off.len() - 1;
+    let WormBufs {
+        holder,
+        failed,
+        lost,
+        corrupted,
+        dropped_at,
+        corrupted_at,
+        entered,
+        head,
+        completion,
+        active,
+    } = bufs;
+    debug_assert!(
+        active.is_empty() && holder.iter().all(|&h| h == u32::MAX),
+        "caller handed the engine dirty machine state"
+    );
+    let mut next_event = 0usize;
+
+    // Zero-hop worms complete instantly; the rest start active, in id
+    // order (the list only ever compacts, so it stays id-sorted).
+    for wid in 0..num_worms as u32 {
+        rec.record_injection(wid, 1, 0);
+        if worm_off[wid as usize + 1] > worm_off[wid as usize] {
+            active.push(wid);
+        } else {
+            rec.record_delivery(wid, 0);
+        }
+    }
+
+    let mut step = 0u64;
+    while !active.is_empty() {
+        // Fault events for this step fire before anything moves; a
+        // worm holding a newly severed link dies on the spot. A plan's
+        // [`LinkEvent::Up`] merely reopens the link — dead worms stay
+        // dead, but stalled heads may now enter it.
+        if FAULTY {
+            let mut any_killed = false;
+            let mut sever = |idx: usize,
+                             failed: &mut [bool],
+                             holder: &mut [u32],
+                             completion: &mut [u64],
+                             lost: &mut [bool],
+                             dropped_at: &mut [u32],
+                             rec: &mut R| {
+                failed[idx] = true;
+                let wid = holder[idx];
+                if wid != u32::MAX {
+                    let w = wid as usize;
+                    let off = worm_off[w] as usize;
+                    for h in 0..(worm_off[w + 1] as usize - off) {
+                        let l = worm_links[off + h] as usize;
+                        if holder[l] == wid {
+                            holder[l] = u32::MAX;
+                        }
+                    }
+                    completion[w] = step;
+                    lost[w] = true;
+                    if PLAN {
+                        dropped_at[w] = idx as u32;
+                    }
+                    any_killed = true;
+                    rec.record_drop(wid, step);
+                }
+            };
+            if PLAN {
+                while next_event < plan_events.len() && plan_events[next_event].0 <= step {
+                    let (_, edge, ev) = plan_events[next_event];
+                    for idx in [host.dir_edge_index(edge), host.dir_edge_index(edge.reversed())] {
+                        match ev {
+                            LinkEvent::Down => {
+                                sever(idx, failed, holder, completion, lost, dropped_at, rec)
+                            }
+                            LinkEvent::Up => failed[idx] = false,
+                        }
+                    }
+                    next_event += 1;
+                }
+            } else {
+                while next_event < events.len() && events[next_event].0 <= step {
+                    let edge = events[next_event].1;
+                    for idx in [host.dir_edge_index(edge), host.dir_edge_index(edge.reversed())] {
+                        sever(idx, failed, holder, completion, lost, dropped_at, rec);
+                    }
+                    next_event += 1;
+                }
+            }
+            if any_killed {
+                active.retain(|&wid| !lost[wid as usize]);
+            }
+        }
+        // Advance heads / complete worms, lowest id first (arbitration).
+        let mut advanced = 0u64;
+        active.retain(|&wid| {
+            let w = wid as usize;
+            let off = worm_off[w] as usize;
+            let hops = worm_off[w + 1] as usize - off;
+            if head[w] < hops {
+                // Try to advance the head across the next link; heads
+                // that cannot move stall (held links stay held).
+                let idx = worm_links[off + head[w]] as usize;
+                if FAULTY && failed[idx] {
+                    // The head ran into a severed link: the worm dies,
+                    // releasing everything it held.
+                    for h in 0..head[w] {
+                        let l = worm_links[off + h] as usize;
+                        if holder[l] == wid {
+                            holder[l] = u32::MAX;
+                        }
+                    }
+                    completion[w] = step;
+                    lost[w] = true;
+                    if PLAN {
+                        dropped_at[w] = idx as u32;
+                    }
+                    rec.record_drop(wid, step);
+                    return false;
+                }
+                if holder[idx] == u32::MAX {
+                    holder[idx] = wid;
+                    // The head entering a byte-corrupting link taints
+                    // the whole flit stream (once); the worm still
+                    // completes normally.
+                    if PLAN && corrupting[idx] && !corrupted[w] {
+                        corrupted[w] = true;
+                        corrupted_at[w] = idx as u32;
+                        rec.record_corrupt(wid, step);
+                    }
+                    entered[off + head[w]] = step;
+                    head[w] += 1;
+                    advanced += 1;
+                }
+                true
+            } else {
+                // Head arrived; the tail clears the last link once
+                // `flits` flits have crossed it.
+                let release = entered[off + hops - 1] + flits_of(w);
+                if step + 1 >= release {
+                    for h in 0..hops {
+                        holder[worm_links[off + h] as usize] = u32::MAX;
+                    }
+                    completion[w] = release;
+                    rec.record_delivery(wid, release);
+                    rec.record_flit_moves(hops as u64 * flits_of(w));
+                    false
+                } else {
+                    true
+                }
+            }
+        });
+        // Release links behind each still-active tail as it streams.
+        for &wid in active.iter() {
+            let w = wid as usize;
+            let off = worm_off[w] as usize;
+            for h in 0..head[w] {
+                let idx = worm_links[off + h] as usize;
+                if holder[idx] == wid && step + 1 >= entered[off + h] + flits_of(w) {
+                    holder[idx] = u32::MAX;
+                }
+            }
+        }
+        rec.record_step(step, advanced);
+        step += 1;
+        if step > max_steps && !active.is_empty() {
+            panic!("wormhole simulation did not finish within {max_steps} steps");
+        }
+    }
+}
+
+/// A persistent, pooled variant of [`WormholeSim`]: the link-holder table
+/// is allocated once for a fixed host cube and reused across runs, and
+/// worms are loaded as precomputed *directed-link* hop sequences instead
+/// of node walks. Once warmed up, [`run`](Self::run) and
+/// [`run_planned`](Self::run_planned) allocate nothing — a completed run
+/// leaves every link released, so [`clear`](Self::clear) only truncates
+/// the worm arena. Reports are bit-identical to [`WormholeSim`] on the
+/// same workload (the engines share `worm_core`); `sim::tenants` tests
+/// pin this.
+#[derive(Debug, Clone)]
+pub struct WormholeArena {
+    host: Hypercube,
+    worm_off: Vec<u32>,
+    worm_links: Vec<u32>,
+    worm_flits: Vec<u64>,
+    bufs: WormBufs,
+}
+
+impl WormholeArena {
+    /// Creates an arena for `host`, allocating the link-holder table up
+    /// front.
+    pub fn new(host: Hypercube) -> Self {
+        let num_links = host.num_directed_edges() as usize;
+        WormholeArena {
+            host,
+            worm_off: vec![0],
+            worm_links: Vec::new(),
+            worm_flits: Vec::new(),
+            bufs: WormBufs { holder: vec![u32::MAX; num_links], ..WormBufs::default() },
+        }
+    }
+
+    /// The host cube.
+    pub fn host(&self) -> Hypercube {
+        self.host
+    }
+
+    /// Number of worms currently loaded.
+    pub fn num_worms(&self) -> usize {
+        self.worm_flits.len()
+    }
+
+    /// Drops all worms so the next round can be loaded. The holder table
+    /// needs no touch-up: a completed run left every link released.
+    pub fn clear(&mut self) {
+        self.worm_off.truncate(1);
+        self.worm_links.clear();
+        self.worm_flits.clear();
+    }
+
+    /// Adds one worm as a sequence of directed link indices
+    /// ([`Hypercube::dir_edge_index`]) that must chain head-to-tail —
+    /// exactly the links [`WormholeSim::add_worm`] would derive from the
+    /// corresponding node walk. Returns the worm id.
+    pub fn add_worm_links(&mut self, links: &[u32], flits: u64) -> u32 {
+        debug_assert!(flits >= 1);
+        debug_assert!(
+            links.iter().all(|&l| u64::from(l) < self.host.num_directed_edges()),
+            "hop link out of range for this host"
+        );
+        self.worm_links.extend_from_slice(links);
+        self.worm_off.push(self.worm_links.len() as u32);
+        self.worm_flits.push(flits);
+        (self.worm_flits.len() - 1) as u32
+    }
+
+    /// Runs the loaded worms fault-free and returns the makespan;
+    /// per-worm completion times stay in the arena
+    /// ([`completion`](Self::completion)). Bit-identical to
+    /// [`WormholeSim::run_recorded`] on the same workload.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run<R: Recorder>(&mut self, max_steps: u64, rec: &mut R) -> u64 {
+        let WormholeArena { host, worm_off, worm_links, worm_flits, bufs } = self;
+        let num_worms = worm_flits.len();
+        bufs.entered.clear();
+        bufs.entered.resize(worm_links.len(), 0);
+        bufs.head.clear();
+        bufs.head.resize(num_worms, 0);
+        bufs.completion.clear();
+        bufs.completion.resize(num_worms, 0);
+        bufs.active.reserve(num_worms);
+        worm_core::<R, _, false, false>(
+            host,
+            worm_off,
+            worm_links,
+            |w| worm_flits[w],
+            max_steps,
+            &[],
+            &[],
+            &[],
+            bufs,
+            rec,
+        );
+        bufs.completion.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Runs the loaded worms under `plan` (semantics of
+    /// [`WormholeSim::run_planned`]) and returns the makespan; per-worm
+    /// outcomes stay in the arena — read them via
+    /// [`lost`](Self::lost) / [`corrupted`](Self::corrupted) /
+    /// [`dropped_at`](Self::dropped_at) /
+    /// [`corrupted_at`](Self::corrupted_at) — so the steady state
+    /// allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if worms remain in flight after `max_steps`.
+    pub fn run_planned<R: Recorder>(
+        &mut self,
+        max_steps: u64,
+        plan: &FaultPlan,
+        rec: &mut R,
+    ) -> u64 {
+        let WormholeArena { host, worm_off, worm_links, worm_flits, bufs } = self;
+        let num_worms = worm_flits.len();
+        bufs.failed.clear();
+        bufs.failed.extend_from_slice(plan.initial().bits());
+        bufs.lost.clear();
+        bufs.lost.resize(num_worms, false);
+        bufs.corrupted.clear();
+        bufs.corrupted.resize(num_worms, false);
+        bufs.dropped_at.clear();
+        bufs.dropped_at.resize(num_worms, u32::MAX);
+        bufs.corrupted_at.clear();
+        bufs.corrupted_at.resize(num_worms, u32::MAX);
+        bufs.entered.clear();
+        bufs.entered.resize(worm_links.len(), 0);
+        bufs.head.clear();
+        bufs.head.resize(num_worms, 0);
+        bufs.completion.clear();
+        bufs.completion.resize(num_worms, 0);
+        bufs.active.reserve(num_worms);
+        worm_core::<R, _, true, true>(
+            host,
+            worm_off,
+            worm_links,
+            |w| worm_flits[w],
+            max_steps,
+            &[],
+            plan.events(),
+            plan.corrupting_bits(),
+            bufs,
+            rec,
+        );
+        bufs.completion.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-worm completion times of the last run, indexed by worm id.
+    pub fn completion(&self) -> &[u64] {
+        &self.bufs.completion
+    }
+
+    /// Whether each worm was killed in the last
+    /// [`run_planned`](Self::run_planned), indexed by worm id.
+    pub fn lost(&self) -> &[bool] {
+        &self.bufs.lost
+    }
+
+    /// Whether each worm's head crossed a corrupting link in the last
+    /// [`run_planned`](Self::run_planned), indexed by worm id.
+    pub fn corrupted(&self) -> &[bool] {
+        &self.bufs.corrupted
+    }
+
+    /// Directed link each worm was killed on in the last
+    /// [`run_planned`](Self::run_planned) (`u32::MAX` if it completed).
+    pub fn dropped_at(&self) -> &[u32] {
+        &self.bufs.dropped_at
+    }
+
+    /// Directed link each worm's head first entered corrupted in the last
+    /// [`run_planned`](Self::run_planned) (`u32::MAX` if clean).
+    pub fn corrupted_at(&self) -> &[u32] {
+        &self.bufs.corrupted_at
     }
 }
 
